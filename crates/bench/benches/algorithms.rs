@@ -1,0 +1,69 @@
+//! Wall-clock comparison of the full algorithm suite on a moderate uniform
+//! database. Access *counts* are what the paper's cost model measures (see
+//! the `experiments` binary); this bench tracks the computational overhead
+//! of each algorithm's bookkeeping on top of those accesses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fagin_bench::run;
+use fagin_core::aggregation::{Average, Min};
+use fagin_core::algorithms::{BookkeepingStrategy, Ca, Fa, Naive, Nra, Ta};
+use fagin_middleware::AccessPolicy;
+use fagin_workloads::random;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let n = 2_000;
+    let k = 10;
+    let db = random::uniform(n, 3, 0xBE7C);
+
+    let mut group = c.benchmark_group("algorithms/uniform-n2000-m3-k10");
+    group.sample_size(20);
+
+    group.bench_function("TA/min", |b| {
+        b.iter(|| black_box(run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, k)))
+    });
+    group.bench_function("TA(memo)/min", |b| {
+        b.iter(|| {
+            black_box(run(
+                &db,
+                AccessPolicy::no_wild_guesses(),
+                &Ta::new().memoized(),
+                &Min,
+                k,
+            ))
+        })
+    });
+    group.bench_function("FA/min", |b| {
+        b.iter(|| black_box(run(&db, AccessPolicy::no_wild_guesses(), &Fa, &Min, k)))
+    });
+    group.bench_function("NRA(lazy)/avg", |b| {
+        b.iter(|| {
+            black_box(run(
+                &db,
+                AccessPolicy::no_random_access(),
+                &Nra::with_strategy(BookkeepingStrategy::LazyHeap),
+                &Average,
+                k,
+            ))
+        })
+    });
+    group.bench_function("CA(h=4)/avg", |b| {
+        b.iter(|| {
+            black_box(run(
+                &db,
+                AccessPolicy::no_wild_guesses(),
+                &Ca::new(4).with_strategy(BookkeepingStrategy::LazyHeap),
+                &Average,
+                k,
+            ))
+        })
+    });
+    group.bench_function("Naive/min", |b| {
+        b.iter(|| black_box(run(&db, AccessPolicy::no_random_access(), &Naive, &Min, k)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

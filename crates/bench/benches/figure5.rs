@@ -1,0 +1,56 @@
+//! Figure 5 (§8.4), timed: CA vs the intermittent algorithm vs TA on the
+//! database where choosing the right random-access target matters most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fagin_bench::run;
+use fagin_core::aggregation::Sum;
+use fagin_core::algorithms::{Ca, Intermittent, Ta};
+use fagin_middleware::AccessPolicy;
+use fagin_workloads::adversarial;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(20);
+    for h in [8usize, 16] {
+        let w = adversarial::fig5_ca_vs_intermittent(h);
+        group.bench_with_input(BenchmarkId::new("CA", h), &w, |b, w| {
+            b.iter(|| {
+                black_box(run(
+                    &w.db,
+                    AccessPolicy::no_wild_guesses(),
+                    &Ca::new(h),
+                    &Sum,
+                    1,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("intermittent", h), &w, |b, w| {
+            b.iter(|| {
+                black_box(run(
+                    &w.db,
+                    AccessPolicy::no_wild_guesses(),
+                    &Intermittent::new(h),
+                    &Sum,
+                    1,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("TA", h), &w, |b, w| {
+            b.iter(|| {
+                black_box(run(
+                    &w.db,
+                    AccessPolicy::no_wild_guesses(),
+                    &Ta::new(),
+                    &Sum,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

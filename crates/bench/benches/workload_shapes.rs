@@ -1,0 +1,32 @@
+//! TA across grade distributions: correlated data lets the threshold fall
+//! fast (cheap); anti-correlated data is the hard case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fagin_bench::run;
+use fagin_core::aggregation::Min;
+use fagin_core::algorithms::Ta;
+use fagin_middleware::{AccessPolicy, Database};
+use fagin_workloads::random;
+
+fn bench_shapes(c: &mut Criterion) {
+    let n = 4_000;
+    let shapes: Vec<(&str, Database)> = vec![
+        ("uniform", random::uniform(n, 3, 1)),
+        ("correlated", random::correlated(n, 3, 0.2, 2)),
+        ("anticorrelated", random::anticorrelated(n, 3, 0.1, 3)),
+        ("zipf", random::zipf(n, 3, 1.1, 4)),
+    ];
+    let mut group = c.benchmark_group("ta-by-distribution");
+    group.sample_size(20);
+    for (name, db) in &shapes {
+        group.bench_with_input(BenchmarkId::from_parameter(name), db, |b, db| {
+            b.iter(|| black_box(run(db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, 10)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapes);
+criterion_main!(benches);

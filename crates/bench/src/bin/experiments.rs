@@ -1,0 +1,49 @@
+//! Experiment runner: regenerates every table/figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p fagin-bench --bin experiments -- all
+//! cargo run --release -p fagin-bench --bin experiments -- e5 e6
+//! cargo run --release -p fagin-bench --bin experiments -- --quick all
+//! ```
+
+use fagin_bench::experiments::{by_id, ALL_IDS};
+use fagin_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let ids: Vec<&str> = {
+        let named: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect();
+        if named.is_empty() || named.contains(&"all") {
+            ALL_IDS.to_vec()
+        } else {
+            named
+        }
+    };
+
+    println!("fagin-topk experiment harness ({:?} scale)", scale);
+    println!("reproducing: Fagin, Lotem, Naor - Optimal Aggregation Algorithms for Middleware (PODS 2001)");
+    println!();
+    let mut failed = false;
+    for id in ids {
+        match by_id(id, scale) {
+            Some(tables) => {
+                for t in tables {
+                    println!("{t}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (valid: {})", ALL_IDS.join(", "));
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

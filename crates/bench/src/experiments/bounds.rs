@@ -1,0 +1,219 @@
+//! E6 and E13: Table 1's optimality-ratio bounds, measured.
+
+use fagin_core::aggregation::{Average, Min, MinPlus};
+use fagin_core::algorithms::{Ca, Nra, Ta};
+use fagin_core::optimality;
+use fagin_middleware::{AccessPolicy, CostModel};
+use fagin_workloads::{adversarial, random};
+
+use crate::table::{f, Table};
+use crate::{run, Scale};
+
+/// **E6 (Table 1).** Empirical optimality ratios on the lower-bound witness
+/// families, against each family's analytic optimal cost:
+///
+/// * TA on the Theorem 9.1 family → ratio → `m + m(m−1)·c_R/c_S` (tight);
+/// * NRA on the Theorem 9.5 family → ratio → `m` (tight);
+/// * CA on the Theorem 9.2 family (min-plus) → ratio grows with `c_R/c_S`
+///   (no algorithm can avoid this for that `t`);
+/// * CA vs TA on distinct uniform databases (average) → CA's cost stays
+///   within a flat factor of the best observed as `c_R/c_S` grows, TA's
+///   does not (Theorems 8.9 vs 6.1's ratio).
+pub fn e6_optimality_ratios(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    // (a) TA on Theorem 9.1 witnesses.
+    let mut ta_t = Table::new("E6a: Table 1 row 'no wild guesses' — TA on the Thm 9.1 family (min, k=1)")
+        .headers(["m", "c_R/c_S", "d", "measured ratio", "bound m+m(m-1)r", "measured/bound"]);
+    let ds: &[usize] = scale.pick(&[8, 32], &[8, 64, 512]);
+    for &m in &[2usize, 3] {
+        for ratio in [1.0, 10.0] {
+            let costs = CostModel::new(1.0, ratio);
+            for &d in ds {
+                let w = adversarial::thm_9_1(d, m);
+                let out = run(&w.db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, 1);
+                assert_eq!(out.items[0].object, w.winner);
+                let measured =
+                    optimality::measured_ratio(&out.stats, w.optimal_cost(&costs), &costs);
+                let bound = optimality::ta_ratio_bound(m, &costs);
+                assert!(
+                    measured <= bound * 1.01,
+                    "TA exceeded its proven ratio: {measured} > {bound}"
+                );
+                ta_t.row([
+                    m.to_string(),
+                    f(ratio),
+                    d.to_string(),
+                    f(measured),
+                    f(bound),
+                    f(measured / bound),
+                ]);
+            }
+        }
+    }
+    ta_t.note("measured ratio approaches the bound as d grows: the bound is tight (Cor. 6.2 / Thm 9.1)");
+    tables.push(ta_t);
+
+    // (b) NRA on Theorem 9.5 witnesses.
+    let mut nra_t = Table::new("E6b: Table 1 row 'no random access' — NRA on the Thm 9.5 family (min, k=1)")
+        .headers(["m", "d", "NRA sorted", "opt sorted", "measured ratio", "bound m"]);
+    for &m in &[2usize, 3, 4] {
+        for &d in ds {
+            let d = d.max(2 * m);
+            let w = adversarial::thm_9_5(d, m);
+            let out = run(
+                &w.db,
+                AccessPolicy::no_random_access(),
+                &Nra::new(),
+                &Min,
+                1,
+            );
+            assert_eq!(out.items[0].object, w.winner);
+            let measured = optimality::measured_ratio(
+                &out.stats,
+                w.optimal_cost(&CostModel::UNIT),
+                &CostModel::UNIT,
+            );
+            let bound = optimality::nra_ratio_bound(m);
+            assert!(
+                measured <= bound * 1.01,
+                "NRA exceeded its proven ratio: {measured} > {bound}"
+            );
+            nra_t.row([
+                m.to_string(),
+                d.to_string(),
+                out.stats.sorted_total().to_string(),
+                w.opt_sorted.to_string(),
+                f(measured),
+                f(bound),
+            ]);
+        }
+    }
+    nra_t.note("ratio approaches m as d grows: NRA is tightly instance optimal (Cor. 8.6 / Thm 9.5)");
+    tables.push(nra_t);
+
+    // (c) CA on the Theorem 9.2 family: ratio must grow with c_R/c_S.
+    let mut ca_neg = Table::new(
+        "E6c: Thm 9.2 — with t = min(x1+x2, x3..) no algorithm's ratio is c_R/c_S-free (m=3, k=1)",
+    )
+    .headers(["c_R/c_S", "d", "CA cost", "opt cost", "measured ratio", "lower bound (m-2)r/2"]);
+    let d92 = scale.pick(6, 12);
+    for ratio in [2.0, 8.0, 32.0] {
+        let costs = CostModel::new(1.0, ratio);
+        // N must dominate the sorted depth CA reaches before the last
+        // candidate is resolved (the paper takes N > 4ψ/c_S for the same
+        // reason), so it scales with h = c_R/c_S.
+        let raw = (10 * (d92 + 2)).max(3 * costs.h() * d92);
+        let n92 = raw.div_ceil(4) * 4;
+        let w = adversarial::thm_9_2(d92, 3, n92);
+        let ca = Ca::for_costs(&costs);
+        let out = run(&w.db, AccessPolicy::no_wild_guesses(), &ca, &MinPlus, 1);
+        assert_eq!(out.items[0].object, w.winner);
+        let measured = optimality::measured_ratio(&out.stats, w.optimal_cost(&costs), &costs);
+        let lower = optimality::thm_9_2_lower_bound(3, &costs);
+        ca_neg.row([
+            f(ratio),
+            d92.to_string(),
+            f(costs.cost(&out.stats)),
+            f(w.optimal_cost(&costs)),
+            f(measured),
+            f(lower),
+        ]);
+    }
+    ca_neg.note("measured ratio grows with c_R/c_S: min-plus is strictly monotone but not in each argument");
+    tables.push(ca_neg);
+
+    // (d) CA's c_R/c_S-independence on distinct databases with average.
+    let mut ca_pos = Table::new(
+        "E6d: Thm 8.9 — CA's ratio is c_R/c_S-independent for avg + distinctness (m=3, k=5)",
+    )
+    .headers(["c_R/c_S", "TA cost", "CA cost", "NRA cost", "TA/CA", "CA bound 4m+k"]);
+    let n = scale.pick(400, 4_000);
+    let db = random::uniform_distinct(n, 3, 0xFA61);
+    let k = 5;
+    for ratio in [1.0, 4.0, 16.0, 64.0] {
+        let costs = CostModel::new(1.0, ratio);
+        let ta = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Average, k);
+        let ca = run(
+            &db,
+            AccessPolicy::no_wild_guesses(),
+            &Ca::for_costs(&costs),
+            &Average,
+            k,
+        );
+        let nra = run(
+            &db,
+            AccessPolicy::no_random_access(),
+            &Nra::new(),
+            &Average,
+            k,
+        );
+        ca_pos.row([
+            f(ratio),
+            f(costs.cost(&ta.stats)),
+            f(costs.cost(&ca.stats)),
+            f(costs.cost(&nra.stats)),
+            f(costs.cost(&ta.stats) / costs.cost(&ca.stats)),
+            f(optimality::ca_ratio_bound(3, k)),
+        ]);
+    }
+    ca_pos.note("TA/CA grows with c_R/c_S while CA tracks NRA: CA spends random access wisely (Thm 8.9)");
+    tables.push(ca_pos);
+
+    tables
+}
+
+/// **E13 (Theorems 6.4/9.3).** On the randomized Example-6.3 family, every
+/// deterministic no-wild-guess algorithm needs ≥ `n+1` accesses *in
+/// expectation* — measured here for TA over many seeds, against the
+/// 2-access wild guesser.
+pub fn e13_randomized_family(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(40, 500);
+    let seeds = scale.pick(10u64, 50u64);
+    let mut accesses: Vec<u64> = Vec::new();
+    for seed in 0..seeds {
+        let w = adversarial::example_6_3_permuted(n, seed);
+        let out = run(&w.db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, 1);
+        assert_eq!(out.items[0].object, w.winner, "seed {seed}");
+        accesses.push(out.stats.total());
+    }
+    let mean = accesses.iter().sum::<u64>() as f64 / accesses.len() as f64;
+    let min = *accesses.iter().min().unwrap();
+    let max = *accesses.iter().max().unwrap();
+    assert!(
+        mean >= (n + 1) as f64,
+        "expected accesses {mean} below the n+1 = {} lower bound",
+        n + 1
+    );
+
+    let mut t = Table::new(format!(
+        "E13: Thm 6.4 — randomized Figure 1 family (n={n}, {seeds} seeds, min, k=1)"
+    ))
+    .headers(["metric", "value"]);
+    t.row(["TA accesses (mean)", &f(mean)]);
+    t.row(["TA accesses (min)", &min.to_string()]);
+    t.row(["TA accesses (max)", &max.to_string()]);
+    t.row(["lower bound n+1", &(n + 1).to_string()]);
+    t.row(["wild-guess cost", "2"]);
+    t.note("any fixed no-wild-guess algorithm pays >= n+1 expected accesses (Yao / Thm 6.4)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_runs_quick() {
+        let tables = e6_optimality_ratios(Scale::Quick);
+        assert_eq!(tables.len(), 4);
+        for t in &tables {
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn e13_runs_quick() {
+        assert!(!e13_randomized_family(Scale::Quick)[0].is_empty());
+    }
+}

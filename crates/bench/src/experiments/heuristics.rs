@@ -1,0 +1,109 @@
+//! E14: heuristic sorted-access scheduling (§10's Quick-Combine discussion).
+
+use fagin_core::aggregation::Sum;
+use fagin_core::algorithms::{QuickCombine, Ta};
+use fagin_middleware::{AccessPolicy, CostModel};
+use fagin_workloads::random;
+
+use crate::table::{f, Table};
+use crate::{run, Scale};
+
+/// **E14 (§10).** Quick-Combine's premise: on skewed grade distributions, a
+/// heuristic choice of which list to read next "can potentially lead to
+/// some speedup of TA (but the number of sorted accesses can decrease by a
+/// factor of at most m)". We sweep the Zipf exponent and compare lockstep
+/// TA against the safety-netted heuristic; the harness also records the
+/// asymmetric-list witness where the heuristic shines.
+pub fn e14_heuristic_scheduling(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(500, 20_000);
+    let k = 10;
+    let mut t = Table::new(format!(
+        "E14: heuristic sorted-access scheduling vs lockstep TA (zipf sweep, N={n}, m=3, k={k}, sum)"
+    ))
+    .headers([
+        "zipf s",
+        "TA sorted",
+        "QC sorted",
+        "TA cost",
+        "QC cost",
+        "QC/TA",
+        "max speedup 1/m",
+    ]);
+    for s in [0.0, 0.5, 1.0, 1.5] {
+        let db = random::zipf(n, 3, s, 0xE14);
+        let ta = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Sum, k);
+        let qc = run(
+            &db,
+            AccessPolicy::no_wild_guesses(),
+            &QuickCombine::new(16),
+            &Sum,
+            k,
+        );
+        let (cta, cqc) = (
+            CostModel::UNIT.cost(&ta.stats),
+            CostModel::UNIT.cost(&qc.stats),
+        );
+        // §10: the sorted-access saving is bounded by a factor of m.
+        assert!(
+            qc.stats.sorted_total() * 3 + 3 >= ta.stats.sorted_total(),
+            "saving exceeded the factor-m bound"
+        );
+        t.row([
+            f(s),
+            ta.stats.sorted_total().to_string(),
+            qc.stats.sorted_total().to_string(),
+            f(cta),
+            f(cqc),
+            f(cqc / cta),
+            f(1.0 / 3.0),
+        ]);
+    }
+    t.note("heuristic: expected gain = linear weight x recent grade decline; u=16 safety net (§10)");
+
+    // The asymmetric witness: one informative list, two flat ones.
+    let mut t2 = Table::new("E14b: asymmetric lists — one steep list, two flat (sum, k=10)")
+        .headers(["N", "TA sorted", "QC sorted", "QC per-list split"]);
+    for &nn in scale.pick(&[300usize][..], &[1_000usize, 10_000][..]) {
+        let steep: Vec<f64> = (0..nn).map(|i| 1.0 - 0.9 * i as f64 / nn as f64).collect();
+        let flat1: Vec<f64> = (0..nn).map(|i| 0.80 - 1e-7 * i as f64).collect();
+        let flat2: Vec<f64> = (0..nn).map(|i| 0.75 - 1e-7 * i as f64).collect();
+        let db = fagin_middleware::Database::from_f64_columns(&[steep, flat1, flat2]).unwrap();
+        let ta = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Sum, k);
+        let qc = run(
+            &db,
+            AccessPolicy::no_wild_guesses(),
+            &QuickCombine::new(64),
+            &Sum,
+            k,
+        );
+        assert!(
+            qc.stats.sorted_total() <= ta.stats.sorted_total(),
+            "heuristic must win on the asymmetric witness"
+        );
+        t2.row([
+            nn.to_string(),
+            ta.stats.sorted_total().to_string(),
+            qc.stats.sorted_total().to_string(),
+            format!(
+                "{}/{}/{}",
+                qc.stats.sorted_on(0),
+                qc.stats.sorted_on(1),
+                qc.stats.sorted_on(2)
+            ),
+        ]);
+    }
+    t2.note("the heuristic pours accesses into the only list whose grades fall");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_runs_quick() {
+        let tables = e14_heuristic_scheduling(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].is_empty());
+    }
+}

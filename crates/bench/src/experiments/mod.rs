@@ -1,0 +1,54 @@
+//! Experiments E1–E13: one per paper table/figure/analytic claim.
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | e1 | Figure 1 / Example 6.3 | [`figures::e1_wild_guesses`] |
+//! | e2 | Figure 2 / Example 6.8 | [`figures::e2_ta_theta_witness`] |
+//! | e3 | Figure 3 / Example 7.3 | [`figures::e3_ta_z_witness`] |
+//! | e4 | Figure 4 / Example 8.3 | [`figures::e4_nra_gradeless`] |
+//! | e5 | Figure 5 / §8.4 | [`figures::e5_ca_vs_intermittent`] |
+//! | e6 | Table 1 bounds | [`bounds::e6_optimality_ratios`] |
+//! | e7 | §3 FA cost law | [`scaling::e7_fa_scaling`] |
+//! | e8 | Thm 4.1/4.2 | [`scaling::e8_buffers_and_sorted_cost`] |
+//! | e9 | §3/§6 max | [`scaling::e9_max_specialist`] |
+//! | e10 | §6.2 approximation | [`approx::e10_theta_and_early_stop`] |
+//! | e11 | §8.4 CA vs TA | [`tradeoffs::e11_ca_vs_ta_crossover`] |
+//! | e12 | Remark 8.7 | [`tradeoffs::e12_bookkeeping_ablation`] |
+//! | e13 | Thm 6.4/9.3 | [`bounds::e13_randomized_family`] |
+//! | e14 | §10 Quick-Combine | [`heuristics::e14_heuristic_scheduling`] |
+
+pub mod approx;
+pub mod bounds;
+pub mod figures;
+pub mod heuristics;
+pub mod scaling;
+pub mod tradeoffs;
+
+use crate::table::Table;
+use crate::Scale;
+
+/// Runs an experiment by id ("e1".."e14"), returning its tables.
+pub fn by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
+    Some(match id {
+        "e1" => figures::e1_wild_guesses(scale),
+        "e2" => figures::e2_ta_theta_witness(scale),
+        "e3" => figures::e3_ta_z_witness(scale),
+        "e4" => figures::e4_nra_gradeless(scale),
+        "e5" => figures::e5_ca_vs_intermittent(scale),
+        "e6" => bounds::e6_optimality_ratios(scale),
+        "e7" => scaling::e7_fa_scaling(scale),
+        "e8" => scaling::e8_buffers_and_sorted_cost(scale),
+        "e9" => scaling::e9_max_specialist(scale),
+        "e10" => approx::e10_theta_and_early_stop(scale),
+        "e11" => tradeoffs::e11_ca_vs_ta_crossover(scale),
+        "e12" => tradeoffs::e12_bookkeeping_ablation(scale),
+        "e13" => bounds::e13_randomized_family(scale),
+        "e14" => heuristics::e14_heuristic_scheduling(scale),
+        _ => return None,
+    })
+}
+
+/// All experiment ids in order.
+pub const ALL_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+];

@@ -1,0 +1,60 @@
+//! # fagin-bench
+//!
+//! The experiment harness reproducing every table and figure of the paper
+//! (see `DESIGN.md` §5 for the experiment index E1–E14 and `EXPERIMENTS.md`
+//! for recorded results). Run everything with:
+//!
+//! ```text
+//! cargo run --release -p fagin-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment with e.g. `-- e5`. Each experiment is also a
+//! library function returning [`table::Table`]s so integration tests can
+//! assert the qualitative claims (who wins, by what factor) hold.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+
+use fagin_core::aggregation::Aggregation;
+use fagin_core::algorithms::TopKAlgorithm;
+use fagin_core::TopKOutput;
+use fagin_middleware::{AccessPolicy, Database, Session};
+
+/// How large to run an experiment: `Quick` keeps test suites fast, `Full`
+/// is what `EXPERIMENTS.md` records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Small sizes for CI/tests.
+    Quick,
+    /// Paper-scale sizes for the recorded results.
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` under `Quick` and `f` under `Full`.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}
+
+/// Runs `algo` on a fresh session over `db` under `policy`.
+///
+/// # Panics
+/// Panics if the algorithm fails (experiments are configured so that they
+/// cannot).
+pub fn run(
+    db: &Database,
+    policy: AccessPolicy,
+    algo: &dyn TopKAlgorithm,
+    agg: &dyn Aggregation,
+    k: usize,
+) -> TopKOutput {
+    let mut session = Session::with_policy(db, policy);
+    algo.run(&mut session, agg, k)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+}

@@ -1,0 +1,276 @@
+//! Monotone aggregation functions (the paper's `t`).
+//!
+//! An aggregation function combines an object's `m` attribute grades into an
+//! overall grade: `t(x₁,…,x_m)`. The paper's results are parameterized by
+//! structural properties of `t`:
+//!
+//! * **monotone** — `t(x̄) ≤ t(x̄′)` whenever `xᵢ ≤ xᵢ′` for all `i`
+//!   (required by every algorithm here; all implementations are monotone);
+//! * **strict** — `t(x₁,…,x_m) = 1` iff every `xᵢ = 1` (§3; the
+//!   "conjunction-like" property under which FA is worst-case optimal and
+//!   the TA optimality-ratio lower bound is tight);
+//! * **strictly monotone** — `t(x̄) < t(x̄′)` whenever `xᵢ < xᵢ′` for *all*
+//!   `i` (§6; with the distinctness property this makes TA instance optimal
+//!   even against wild guessers);
+//! * **strictly monotone in each argument** — increasing any single argument
+//!   strictly increases `t` (§8.3; the condition under which CA's optimality
+//!   ratio is independent of `c_R/c_S`).
+//!
+//! The [`Aggregation`] trait exposes these properties as predicates so
+//! harnesses can select the right theorem to validate, and exposes an
+//! optional linear decomposition used by the incremental NRA bookkeeping
+//! strategy (Remark 8.7).
+
+mod special;
+mod standard;
+mod tnorm;
+
+pub use special::{Custom, GatedMin, MinPlus};
+pub use standard::{
+    Average, Constant, GeometricMean, Max, Median, Min, Product, Sum, WeightedSum,
+};
+pub use tnorm::{Einstein, Hamacher, Lukasiewicz};
+
+use fagin_middleware::Grade;
+
+/// How many arguments an aggregation accepts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Arity {
+    /// Works for any number of lists `m ≥ 1`.
+    Any,
+    /// Requires exactly `m` lists.
+    Exactly(usize),
+    /// Requires at least `m` lists.
+    AtLeast(usize),
+}
+
+impl Arity {
+    /// Whether `m` lists are acceptable.
+    pub fn accepts(&self, m: usize) -> bool {
+        match *self {
+            Arity::Any => m >= 1,
+            Arity::Exactly(n) => m == n,
+            Arity::AtLeast(n) => m >= n,
+        }
+    }
+}
+
+/// A monotone aggregation function `t`.
+///
+/// Implementations must be **monotone**: this is the correctness hypothesis
+/// of every theorem in the paper, and the algorithms here silently return
+/// wrong answers for non-monotone `t`. The remaining property predicates
+/// are *advertisements* used by harnesses and tests; they must be sound
+/// (never claim a property the function lacks).
+pub trait Aggregation: Send + Sync {
+    /// Human-readable name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Accepted number of arguments.
+    fn arity(&self) -> Arity {
+        Arity::Any
+    }
+
+    /// Evaluates `t(grades)`.
+    ///
+    /// # Panics
+    /// May panic if `grades.len()` is not accepted by [`Aggregation::arity`].
+    fn evaluate(&self, grades: &[Grade]) -> Grade;
+
+    /// Whether `t(x̄) = 1` iff all `xᵢ = 1` (paper §3).
+    fn is_strict(&self) -> bool {
+        false
+    }
+
+    /// Whether `t` is strictly monotone: `t(x̄) < t(x̄′)` whenever `xᵢ < xᵢ′`
+    /// for every `i` (paper §6).
+    fn is_strictly_monotone(&self) -> bool {
+        false
+    }
+
+    /// Whether `t` is strictly monotone in each argument (paper §8.3).
+    fn is_strictly_monotone_each_arg(&self) -> bool {
+        false
+    }
+
+    /// If `t(x̄) = Σᵢ wᵢ·xᵢ`, the weight `wᵢ` for argument `i` when the
+    /// function is applied to `m` arguments; otherwise `None`.
+    ///
+    /// Used by the *incremental* NRA/CA bookkeeping strategy (Remark 8.7):
+    /// for linear `t`, the upper bound `B(R)` can be maintained as
+    /// `W(R) + Σ_{i missing} wᵢ·x̄ᵢ` without re-evaluating `t`.
+    fn linear_weight(&self, i: usize, m: usize) -> Option<f64> {
+        let _ = (i, m);
+        None
+    }
+}
+
+/// Evaluates `t` substituting `fill` for arguments not marked known.
+///
+/// This is the common engine behind the paper's lower bound
+/// `W_S(R)` (fill = 0) and upper bound `B_S(R)` (fill = per-list bottom
+/// values); see §8.
+pub fn evaluate_with_fill(
+    agg: &dyn Aggregation,
+    known: impl Fn(usize) -> Option<Grade>,
+    fill: impl Fn(usize) -> Grade,
+    m: usize,
+    scratch: &mut Vec<Grade>,
+) -> Grade {
+    scratch.clear();
+    scratch.extend((0..m).map(|i| known(i).unwrap_or_else(|| fill(i))));
+    agg.evaluate(scratch)
+}
+
+#[cfg(test)]
+pub(crate) mod proptests {
+    //! Property checks shared across aggregation implementations.
+    use super::*;
+
+    /// Asserts monotonicity of `agg` on a grid of points with `m` args.
+    pub fn assert_monotone_on_grid(agg: &dyn Aggregation, m: usize) {
+        let steps = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let pts = grid(m, &steps);
+        for a in &pts {
+            for b in &pts {
+                if a.iter().zip(b).all(|(x, y)| x <= y) {
+                    let ta = agg.evaluate(&to_grades(a));
+                    let tb = agg.evaluate(&to_grades(b));
+                    assert!(
+                        ta <= tb,
+                        "{} not monotone: t{:?}={:?} > t{:?}={:?}",
+                        agg.name(),
+                        a,
+                        ta,
+                        b,
+                        tb
+                    );
+                }
+            }
+        }
+    }
+
+    /// Asserts the advertised strictness property.
+    pub fn assert_strictness_claim(agg: &dyn Aggregation, m: usize) {
+        let ones = vec![Grade::ONE; m];
+        if agg.is_strict() {
+            assert_eq!(
+                agg.evaluate(&ones),
+                Grade::ONE,
+                "{}: strict requires t(1,…,1)=1",
+                agg.name()
+            );
+            // t = 1 must force all arguments to be 1: check points with one
+            // argument below 1.
+            for i in 0..m {
+                let mut v = vec![Grade::ONE; m];
+                v[i] = Grade::new(0.5);
+                assert!(
+                    agg.evaluate(&v) < Grade::ONE,
+                    "{}: strict violated with arg {} = 0.5",
+                    agg.name(),
+                    i
+                );
+            }
+        }
+    }
+
+    /// Asserts the advertised strict-monotonicity properties on sample points.
+    pub fn assert_strict_monotonicity_claims(agg: &dyn Aggregation, m: usize) {
+        let lo = vec![Grade::new(0.3); m];
+        let hi = vec![Grade::new(0.6); m];
+        if agg.is_strictly_monotone() {
+            assert!(
+                agg.evaluate(&lo) < agg.evaluate(&hi),
+                "{}: strictly monotone violated",
+                agg.name()
+            );
+        }
+        if agg.is_strictly_monotone_each_arg() {
+            for i in 0..m {
+                let mut hi1 = lo.clone();
+                hi1[i] = Grade::new(0.9);
+                assert!(
+                    agg.evaluate(&lo) < agg.evaluate(&hi1),
+                    "{}: strictly monotone in arg {} violated",
+                    agg.name(),
+                    i
+                );
+            }
+        }
+    }
+
+    /// Asserts `linear_weight` is consistent with `evaluate`.
+    pub fn assert_linear_weights_sound(agg: &dyn Aggregation, m: usize) {
+        let Some(w0) = agg.linear_weight(0, m) else {
+            return;
+        };
+        let mut weights = vec![w0];
+        for i in 1..m {
+            weights.push(
+                agg.linear_weight(i, m)
+                    .expect("linear_weight must be all-or-nothing per arity"),
+            );
+        }
+        let pts = grid(m, &[0.0, 0.4, 1.0]);
+        for p in &pts {
+            let direct = agg.evaluate(&to_grades(p)).value();
+            let linear: f64 = p.iter().zip(&weights).map(|(x, w)| x * w).sum();
+            assert!(
+                (direct - linear).abs() < 1e-12,
+                "{}: linear_weight inconsistent at {:?}",
+                agg.name(),
+                p
+            );
+        }
+    }
+
+    fn grid(m: usize, steps: &[f64]) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![]];
+        for _ in 0..m {
+            let mut next = Vec::new();
+            for p in &out {
+                for &s in steps {
+                    let mut q = p.clone();
+                    q.push(s);
+                    next.push(q);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn to_grades(v: &[f64]) -> Vec<Grade> {
+        v.iter().map(|&x| Grade::new(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_accepts() {
+        assert!(Arity::Any.accepts(1));
+        assert!(Arity::Any.accepts(100));
+        assert!(!Arity::Any.accepts(0));
+        assert!(Arity::Exactly(3).accepts(3));
+        assert!(!Arity::Exactly(3).accepts(2));
+        assert!(Arity::AtLeast(3).accepts(5));
+        assert!(!Arity::AtLeast(3).accepts(2));
+    }
+
+    #[test]
+    fn evaluate_with_fill_substitutes() {
+        let agg = Min;
+        let known = |i: usize| (i == 0).then(|| Grade::new(0.5));
+        let mut scratch = Vec::new();
+        // Fill with 0 → W-style bound.
+        let w = evaluate_with_fill(&agg, known, |_| Grade::ZERO, 3, &mut scratch);
+        assert_eq!(w, Grade::ZERO);
+        // Fill with 1 → B-style bound (bottoms still at 1).
+        let b = evaluate_with_fill(&agg, known, |_| Grade::ONE, 3, &mut scratch);
+        assert_eq!(b, Grade::new(0.5));
+    }
+}

@@ -1,0 +1,230 @@
+//! Aggregation functions built specifically for the paper's constructions,
+//! plus a general closure-backed escape hatch.
+
+use fagin_middleware::Grade;
+
+use super::{Aggregation, Arity};
+
+/// The paper's equation (5): `t(x̄) = min(x₁ + x₂, x₃, …, x_m)`, `m ≥ 3`.
+///
+/// Strictly monotone but **not** strictly monotone in each argument, and the
+/// witness aggregation of Theorem 9.2: under the distinctness property no
+/// deterministic algorithm can have optimality ratio below
+/// `(m−2)/2 · c_R/c_S` for this `t`, which is why CA needs the stronger
+/// strict-monotone-in-each-argument hypothesis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinPlus;
+
+impl Aggregation for MinPlus {
+    fn name(&self) -> &str {
+        "min-plus (eq. 5)"
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::AtLeast(3)
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(grades.len() >= 3, "min-plus needs m >= 3 arguments");
+        let first = grades[0].value() + grades[1].value();
+        let rest = grades[2..]
+            .iter()
+            .map(|g| g.value())
+            .fold(f64::INFINITY, f64::min);
+        Grade::new(first.min(rest))
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// The aggregation of Example 7.3 (Figure 3):
+/// `t(x, y, z) = min(x, y)` if `z = 1`, else `min(x, y, z) / 2`.
+///
+/// Strict and strictly monotone (as claimed in the paper); used to show that
+/// Theorem 6.5 does **not** generalize to TA_Z: with `Z = {1}` the threshold
+/// is "too conservative an estimate" and TA_Z reads the whole database while
+/// a 3-access specialist wins.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatedMin;
+
+impl Aggregation for GatedMin {
+    fn name(&self) -> &str {
+        "gated-min (ex. 7.3)"
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::Exactly(3)
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert_eq!(grades.len(), 3, "gated-min needs exactly 3 arguments");
+        let (x, y, z) = (grades[0].value(), grades[1].value(), grades[2].value());
+        if z == 1.0 {
+            Grade::new(x.min(y))
+        } else {
+            Grade::new(x.min(y).min(z) / 2.0)
+        }
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// A closure-backed aggregation for tests and user extensions.
+///
+/// The caller asserts the properties; [`Custom`] trusts them. The function
+/// **must be monotone** — every algorithm in this crate silently assumes it.
+pub struct Custom<F> {
+    name: String,
+    arity: Arity,
+    f: F,
+    strict: bool,
+    strictly_monotone: bool,
+    strictly_monotone_each_arg: bool,
+}
+
+impl<F> Custom<F>
+where
+    F: Fn(&[Grade]) -> Grade + Send + Sync,
+{
+    /// Wraps a monotone closure with no extra property claims.
+    pub fn new(name: impl Into<String>, arity: Arity, f: F) -> Self {
+        Custom {
+            name: name.into(),
+            arity,
+            f,
+            strict: false,
+            strictly_monotone: false,
+            strictly_monotone_each_arg: false,
+        }
+    }
+
+    /// Claims strictness.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Claims strict monotonicity.
+    pub fn strictly_monotone(mut self) -> Self {
+        self.strictly_monotone = true;
+        self
+    }
+
+    /// Claims strict monotonicity in each argument.
+    pub fn strictly_monotone_each_arg(mut self) -> Self {
+        self.strictly_monotone_each_arg = true;
+        self
+    }
+}
+
+impl<F> Aggregation for Custom<F>
+where
+    F: Fn(&[Grade]) -> Grade + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn arity(&self) -> Arity {
+        self.arity
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(
+            self.arity.accepts(grades.len()),
+            "custom aggregation '{}' rejects arity {}",
+            self.name,
+            grades.len()
+        );
+        (self.f)(grades)
+    }
+
+    fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        self.strictly_monotone
+    }
+
+    fn is_strictly_monotone_each_arg(&self) -> bool {
+        self.strictly_monotone_each_arg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::proptests::*;
+
+    fn g(v: &[f64]) -> Vec<Grade> {
+        v.iter().map(|&x| Grade::new(x)).collect()
+    }
+
+    #[test]
+    fn min_plus_values() {
+        // min(0.3 + 0.4, 0.5) = min(0.7, 0.5) = 0.5
+        assert_eq!(MinPlus.evaluate(&g(&[0.3, 0.4, 0.5])), Grade::new(0.5));
+        // min(0.1 + 0.1, 0.9, 0.8) = 0.2
+        assert_eq!(MinPlus.evaluate(&g(&[0.1, 0.1, 0.9, 0.8])), Grade::new(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "min-plus needs m >= 3")]
+    fn min_plus_needs_three_args() {
+        let _ = MinPlus.evaluate(&g(&[0.1, 0.2]));
+    }
+
+    #[test]
+    fn min_plus_is_monotone_and_sm() {
+        assert_monotone_on_grid(&MinPlus, 3);
+        assert_strict_monotonicity_claims(&MinPlus, 3);
+        // Not strictly monotone in each argument: raising x3 when x1+x2 is
+        // the minimum changes nothing.
+        let lo = MinPlus.evaluate(&g(&[0.1, 0.1, 0.9]));
+        let hi = MinPlus.evaluate(&g(&[0.1, 0.1, 1.0]));
+        assert_eq!(lo, hi);
+        assert!(!MinPlus.is_strictly_monotone_each_arg());
+    }
+
+    #[test]
+    fn gated_min_matches_example_7_3() {
+        // Object R: grades (1, 0.6, 1) → t(R) = min(1, 0.6) = 0.6.
+        assert_eq!(GatedMin.evaluate(&g(&[1.0, 0.6, 1.0])), Grade::new(0.6));
+        // Any object with z ≠ 1 has t ≤ 0.5.
+        assert_eq!(GatedMin.evaluate(&g(&[1.0, 1.0, 0.9])), Grade::new(0.45));
+        assert!(GatedMin.evaluate(&g(&[0.9, 0.8, 0.99])).value() <= 0.5);
+    }
+
+    #[test]
+    fn gated_min_is_monotone_strict() {
+        assert_monotone_on_grid(&GatedMin, 3);
+        assert_strictness_claim(&GatedMin, 3);
+        assert_strict_monotonicity_claims(&GatedMin, 3);
+    }
+
+    #[test]
+    fn custom_wraps_closure() {
+        let second = Custom::new("second", Arity::AtLeast(2), |gs: &[Grade]| gs[1])
+            .strictly_monotone();
+        assert_eq!(second.evaluate(&g(&[0.1, 0.9])), Grade::new(0.9));
+        assert!(second.is_strictly_monotone());
+        assert!(!second.is_strict());
+        assert_eq!(second.name(), "second");
+    }
+
+    #[test]
+    #[should_panic(expected = "rejects arity")]
+    fn custom_checks_arity() {
+        let f = Custom::new("pair", Arity::Exactly(2), |gs: &[Grade]| gs[0]);
+        let _ = f.evaluate(&g(&[0.5]));
+    }
+}

@@ -1,0 +1,413 @@
+//! The standard aggregation functions discussed throughout the paper:
+//! min, max, sum, average, weighted sum, product, median, geometric mean,
+//! and the constant function.
+
+use fagin_middleware::Grade;
+
+use super::{Aggregation, Arity};
+
+/// Fuzzy conjunction: `t(x̄) = min(x₁,…,x_m)` (standard fuzzy logic, §1).
+///
+/// Strict and strictly monotone, but *not* strictly monotone in each
+/// argument (raising one argument of `min(0.2, 0.9)` above 0.9 changes
+/// nothing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Min;
+
+impl Aggregation for Min {
+    fn name(&self) -> &str {
+        "min"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(!grades.is_empty(), "min needs at least one argument");
+        grades.iter().copied().reduce(Grade::min).unwrap()
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// Fuzzy disjunction: `t(x̄) = max(x₁,…,x_m)`.
+///
+/// *Not* strict (`max(1, 0) = 1`): the paper uses max as the canonical
+/// example where FA's worst-case optimality fails but TA remains instance
+/// optimal (ratio `m`), and where a trivial `mk`-sorted-access algorithm
+/// exists (§3, §6).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Max;
+
+impl Aggregation for Max {
+    fn name(&self) -> &str {
+        "max"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(!grades.is_empty(), "max needs at least one argument");
+        grades.iter().copied().reduce(Grade::max).unwrap()
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// `t(x̄) = Σ xᵢ` — the information-retrieval aggregation (§1). The overall
+/// grade may exceed 1, which the paper explicitly allows for sum.
+///
+/// Strictly monotone in each argument; not strict (its maximum is `m`,
+/// not 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Sum;
+
+impl Aggregation for Sum {
+    fn name(&self) -> &str {
+        "sum"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        Grade::new(grades.iter().map(|g| g.value()).sum())
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone_each_arg(&self) -> bool {
+        true
+    }
+
+    fn linear_weight(&self, _i: usize, _m: usize) -> Option<f64> {
+        Some(1.0)
+    }
+}
+
+/// `t(x̄) = (Σ xᵢ)/m` — the paper's "average". Strict, strictly monotone,
+/// and strictly monotone in each argument.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Average;
+
+impl Aggregation for Average {
+    fn name(&self) -> &str {
+        "avg"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(!grades.is_empty(), "avg needs at least one argument");
+        Grade::new(grades.iter().map(|g| g.value()).sum::<f64>() / grades.len() as f64)
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone_each_arg(&self) -> bool {
+        true
+    }
+
+    fn linear_weight(&self, _i: usize, m: usize) -> Option<f64> {
+        Some(1.0 / m as f64)
+    }
+}
+
+/// `t(x̄) = Σ wᵢ·xᵢ` with fixed nonnegative weights.
+///
+/// Strict iff the weights are positive and sum to 1; strictly monotone in
+/// each argument iff all weights are positive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedSum {
+    weights: Vec<f64>,
+}
+
+impl WeightedSum {
+    /// Creates a weighted sum.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or contains a negative or non-finite
+    /// weight.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and nonnegative"
+        );
+        WeightedSum { weights }
+    }
+
+    /// Creates a weighted *mean*: weights normalized to sum to 1.
+    ///
+    /// # Panics
+    /// Panics on empty, negative, non-finite, or all-zero weights.
+    pub fn normalized(weights: Vec<f64>) -> Self {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        Self::new(weights.into_iter().map(|w| w / total).collect())
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Aggregation for WeightedSum {
+    fn name(&self) -> &str {
+        "weighted-sum"
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::Exactly(self.weights.len())
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert_eq!(grades.len(), self.weights.len(), "arity mismatch");
+        Grade::new(
+            grades
+                .iter()
+                .zip(&self.weights)
+                .map(|(g, w)| g.value() * w)
+                .sum(),
+        )
+    }
+
+    fn is_strict(&self) -> bool {
+        let total: f64 = self.weights.iter().sum();
+        (total - 1.0).abs() < 1e-12 && self.weights.iter().all(|&w| w > 0.0)
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        // Strictly increasing all arguments strictly increases the value as
+        // long as some weight is positive.
+        self.weights.iter().any(|&w| w > 0.0)
+    }
+
+    fn is_strictly_monotone_each_arg(&self) -> bool {
+        self.weights.iter().all(|&w| w > 0.0)
+    }
+
+    fn linear_weight(&self, i: usize, m: usize) -> Option<f64> {
+        (m == self.weights.len()).then(|| self.weights[i])
+    }
+}
+
+/// `t(x̄) = Π xᵢ` — the Aksoy–Franklin broadcast-scheduling aggregation (§1).
+///
+/// Strict and strictly monotone; not strictly monotone in each argument
+/// on `[0,1]` (a zero annihilates).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Product;
+
+impl Aggregation for Product {
+    fn name(&self) -> &str {
+        "product"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(!grades.is_empty(), "product needs at least one argument");
+        Grade::new(grades.iter().map(|g| g.value()).product())
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// The median grade (lower median for even `m`).
+///
+/// The paper uses the median as an example where partial information is
+/// meaningful for NRA bounds ("when t is the median of three fields, as soon
+/// as two of them are known W(R) is at least the smaller of the two", §8)
+/// and where the overall grade can be known without every field
+/// (related-work discussion of Stream-Combine, §10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Median;
+
+impl Aggregation for Median {
+    fn name(&self) -> &str {
+        "median"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(!grades.is_empty(), "median needs at least one argument");
+        let mut sorted: Vec<Grade> = grades.to_vec();
+        sorted.sort_unstable();
+        // Lower median: element at index ⌈m/2⌉ - 1 = (m - 1) / 2.
+        sorted[(sorted.len() - 1) / 2]
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// Geometric mean `t(x̄) = (Π xᵢ)^(1/m)`. Strict and strictly monotone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeometricMean;
+
+impl Aggregation for GeometricMean {
+    fn name(&self) -> &str {
+        "geometric-mean"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        assert!(!grades.is_empty(), "geometric mean needs an argument");
+        let m = grades.len() as f64;
+        Grade::new(
+            grades
+                .iter()
+                .map(|g| g.value())
+                .product::<f64>()
+                .powf(1.0 / m),
+        )
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// The constant aggregation `t(x̄) = c`.
+///
+/// Monotone but degenerate: the paper uses it to show FA is not optimal for
+/// every monotone function (§3: any `k` objects are a correct answer, with
+/// `O(1)` cost), and TA is tightly instance optimal with ratio 1 (footnote
+/// 18).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Constant(pub f64);
+
+impl Default for Constant {
+    fn default() -> Self {
+        Constant(1.0)
+    }
+}
+
+impl Aggregation for Constant {
+    fn name(&self) -> &str {
+        "constant"
+    }
+
+    fn evaluate(&self, _grades: &[Grade]) -> Grade {
+        Grade::new(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::proptests::*;
+
+    fn g(v: &[f64]) -> Vec<Grade> {
+        v.iter().map(|&x| Grade::new(x)).collect()
+    }
+
+    #[test]
+    fn min_max_values() {
+        assert_eq!(Min.evaluate(&g(&[0.3, 0.7, 0.5])), Grade::new(0.3));
+        assert_eq!(Max.evaluate(&g(&[0.3, 0.7, 0.5])), Grade::new(0.7));
+        assert_eq!(Min.evaluate(&g(&[0.4])), Grade::new(0.4));
+    }
+
+    #[test]
+    fn sum_avg_values() {
+        assert_eq!(Sum.evaluate(&g(&[0.3, 0.7, 0.5])), Grade::new(1.5));
+        assert_eq!(Average.evaluate(&g(&[0.3, 0.7, 0.5])), Grade::new(0.5));
+    }
+
+    #[test]
+    fn weighted_sum_values() {
+        let w = WeightedSum::new(vec![2.0, 1.0]);
+        assert_eq!(w.evaluate(&g(&[0.5, 0.4])), Grade::new(1.4));
+        assert!(!w.is_strict());
+        let n = WeightedSum::normalized(vec![2.0, 1.0, 1.0]);
+        assert!(n.is_strict());
+        assert!((n.weights()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_and_geomean() {
+        assert_eq!(Product.evaluate(&g(&[0.5, 0.4])), Grade::new(0.2));
+        let gm = GeometricMean.evaluate(&g(&[0.25, 1.0]));
+        assert!((gm.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(Median.evaluate(&g(&[0.9, 0.1, 0.5])), Grade::new(0.5));
+        // Lower median for even arity.
+        assert_eq!(Median.evaluate(&g(&[0.9, 0.1, 0.5, 0.7])), Grade::new(0.5));
+        assert_eq!(Median.evaluate(&g(&[0.4])), Grade::new(0.4));
+    }
+
+    #[test]
+    fn constant_ignores_args() {
+        assert_eq!(Constant(0.7).evaluate(&g(&[0.0, 1.0])), Grade::new(0.7));
+        assert_eq!(Constant::default().evaluate(&g(&[0.1])), Grade::ONE);
+    }
+
+    #[test]
+    fn all_standard_functions_are_monotone() {
+        let m = 3;
+        let fns: Vec<Box<dyn Aggregation>> = vec![
+            Box::new(Min),
+            Box::new(Max),
+            Box::new(Sum),
+            Box::new(Average),
+            Box::new(WeightedSum::new(vec![0.5, 0.3, 0.2])),
+            Box::new(Product),
+            Box::new(Median),
+            Box::new(GeometricMean),
+            Box::new(Constant(0.5)),
+        ];
+        for f in &fns {
+            assert_monotone_on_grid(f.as_ref(), m);
+            assert_strictness_claim(f.as_ref(), m);
+            assert_strict_monotonicity_claims(f.as_ref(), m);
+            assert_linear_weights_sound(f.as_ref(), m);
+        }
+    }
+
+    #[test]
+    fn property_flags_match_paper() {
+        // §8.3: "The average (or sum) is strictly monotone in each argument,
+        // whereas min is not."
+        assert!(Average.is_strictly_monotone_each_arg());
+        assert!(Sum.is_strictly_monotone_each_arg());
+        assert!(!Min.is_strictly_monotone_each_arg());
+        // §3: min is strict, max is not.
+        assert!(Min.is_strict());
+        assert!(!Max.is_strict());
+        // §6: average and min are strictly monotone.
+        assert!(Average.is_strictly_monotone());
+        assert!(Min.is_strictly_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn weighted_sum_arity_checked() {
+        let w = WeightedSum::new(vec![1.0, 1.0]);
+        let _ = w.evaluate(&g(&[0.1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite and nonnegative")]
+    fn weighted_sum_rejects_negative() {
+        let _ = WeightedSum::new(vec![1.0, -1.0]);
+    }
+}

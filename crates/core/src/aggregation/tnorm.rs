@@ -1,0 +1,171 @@
+//! Triangular norms: alternative fuzzy conjunctions.
+//!
+//! The paper notes (§6) that "there are aggregation functions suggested in
+//! the literature for representing conjunction and disjunction that are
+//! monotone but not strictly monotone". T-norms are the classical family;
+//! we provide the Łukasiewicz, Hamacher and Einstein norms (binary, extended
+//! to `m` arguments by associativity). All are monotone and strict; only
+//! some are strictly monotone, which makes them useful test cases for the
+//! boundary between Theorem 6.1 and Theorem 6.5.
+
+use fagin_middleware::Grade;
+
+use super::{Aggregation, Arity};
+
+fn fold(grades: &[Grade], f: impl Fn(f64, f64) -> f64) -> Grade {
+    assert!(!grades.is_empty(), "t-norm needs at least one argument");
+    let mut acc = grades[0].value();
+    for g in &grades[1..] {
+        acc = f(acc, g.value());
+    }
+    Grade::new(acc.clamp(0.0, 1.0))
+}
+
+/// Łukasiewicz t-norm: `x ⊗ y = max(0, x + y − 1)`.
+///
+/// Monotone and strict but **not strictly monotone** (constant 0 on a region
+/// of positive measure) — an example of a conjunction for which Theorem 6.5
+/// does not apply while Theorem 6.1 does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Lukasiewicz;
+
+impl Aggregation for Lukasiewicz {
+    fn name(&self) -> &str {
+        "lukasiewicz"
+    }
+
+    fn arity(&self) -> Arity {
+        Arity::AtLeast(1)
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        fold(grades, |a, b| (a + b - 1.0).max(0.0))
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+}
+
+/// Hamacher product: `x ⊗ y = xy / (x + y − xy)` (0 at `x = y = 0`).
+///
+/// Monotone, strict, strictly monotone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hamacher;
+
+impl Aggregation for Hamacher {
+    fn name(&self) -> &str {
+        "hamacher"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        fold(grades, |a, b| {
+            let d = a + b - a * b;
+            if d == 0.0 {
+                0.0
+            } else {
+                a * b / d
+            }
+        })
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+/// Einstein product: `x ⊗ y = xy / (1 + (1 − x)(1 − y))`.
+///
+/// Monotone, strict, strictly monotone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Einstein;
+
+impl Aggregation for Einstein {
+    fn name(&self) -> &str {
+        "einstein"
+    }
+
+    fn evaluate(&self, grades: &[Grade]) -> Grade {
+        fold(grades, |a, b| a * b / (1.0 + (1.0 - a) * (1.0 - b)))
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn is_strictly_monotone(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::proptests::*;
+
+    fn g(v: &[f64]) -> Vec<Grade> {
+        v.iter().map(|&x| Grade::new(x)).collect()
+    }
+
+    #[test]
+    fn lukasiewicz_values() {
+        let v = Lukasiewicz.evaluate(&g(&[0.7, 0.5])).value();
+        assert!((v - 0.2).abs() < 1e-12);
+        assert_eq!(Lukasiewicz.evaluate(&g(&[0.3, 0.3])), Grade::ZERO);
+        assert_eq!(Lukasiewicz.evaluate(&g(&[1.0, 1.0])), Grade::ONE);
+        // Region of non-strict-monotonicity: both points map to 0.
+        assert_eq!(
+            Lukasiewicz.evaluate(&g(&[0.1, 0.1])),
+            Lukasiewicz.evaluate(&g(&[0.2, 0.2]))
+        );
+    }
+
+    #[test]
+    fn hamacher_values() {
+        assert_eq!(Hamacher.evaluate(&g(&[0.0, 0.0])), Grade::ZERO);
+        assert_eq!(Hamacher.evaluate(&g(&[1.0, 1.0])), Grade::ONE);
+        let v = Hamacher.evaluate(&g(&[0.5, 0.5])).value();
+        assert!((v - (0.25 / 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn einstein_values() {
+        assert_eq!(Einstein.evaluate(&g(&[1.0, 1.0])), Grade::ONE);
+        let v = Einstein.evaluate(&g(&[0.5, 0.5])).value();
+        assert!((v - (0.25 / 1.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tnorms_satisfy_advertised_properties() {
+        for m in [2usize, 3] {
+            let fns: Vec<Box<dyn Aggregation>> =
+                vec![Box::new(Lukasiewicz), Box::new(Hamacher), Box::new(Einstein)];
+            for f in &fns {
+                assert_monotone_on_grid(f.as_ref(), m);
+                assert_strictness_claim(f.as_ref(), m);
+                assert_strict_monotonicity_claims(f.as_ref(), m);
+            }
+        }
+    }
+
+    #[test]
+    fn tnorms_below_min() {
+        // Every t-norm is bounded above by min.
+        let pts = [[0.2, 0.9], [0.5, 0.5], [0.8, 0.3], [1.0, 0.4]];
+        for p in pts {
+            let gs = g(&p);
+            let mn = p[0].min(p[1]);
+            for f in [
+                &Lukasiewicz as &dyn Aggregation,
+                &Hamacher as &dyn Aggregation,
+                &Einstein as &dyn Aggregation,
+            ] {
+                assert!(f.evaluate(&gs).value() <= mn + 1e-12, "{}", f.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The Combined Algorithm — CA (§8.2).
+//!
+//! CA runs NRA's sorted phase, but every `h = ⌊c_R/c_S⌋` rounds it spends
+//! one random-access *phase*: it picks the seen, still-incomplete, viable
+//! object with the **largest upper bound** `B` and resolves all of its
+//! missing fields. This "wise" choice of random-access target is the design
+//! principle that makes CA's optimality ratio independent of `c_R/c_S`
+//! (Theorems 8.9/8.10) — §8.4 shows the *intermittent* algorithm, which
+//! spends the same random-access budget in TA's arrival order instead, can
+//! be worse by an unbounded factor.
+
+use fagin_middleware::Middleware;
+
+use crate::aggregation::Aggregation;
+use crate::output::{AlgoError, RunMetrics, TopKOutput};
+
+use super::engine::{BoundEngine, BookkeepingStrategy};
+use super::{validate, TopKAlgorithm};
+
+/// The Combined Algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct Ca {
+    h: usize,
+    strategy: BookkeepingStrategy,
+}
+
+impl Ca {
+    /// CA with phase length `h = ⌊c_R/c_S⌋` (the paper assumes `c_R ≥ c_S`,
+    /// i.e. `h ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics if `h == 0`.
+    pub fn new(h: usize) -> Self {
+        assert!(h >= 1, "h = floor(c_R/c_S) must be at least 1 (c_R >= c_S)");
+        Ca {
+            h,
+            strategy: BookkeepingStrategy::Exhaustive,
+        }
+    }
+
+    /// CA configured from a cost model (`h = ⌊c_R/c_S⌋`).
+    pub fn for_costs(model: &fagin_middleware::CostModel) -> Self {
+        Self::new(model.h())
+    }
+
+    /// Overrides the bookkeeping strategy.
+    pub fn with_strategy(mut self, strategy: BookkeepingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The phase length `h`.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+}
+
+impl TopKAlgorithm for Ca {
+    fn name(&self) -> String {
+        format!("CA(h={})", self.h)
+    }
+
+    fn run(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+    ) -> Result<TopKOutput, AlgoError> {
+        validate(mw, agg, k)?;
+        let m = mw.num_lists();
+        let n = mw.num_objects();
+        let mut engine = BoundEngine::new(agg, m, k, self.strategy);
+        let mut exhausted = vec![false; m];
+        let mut rounds = 0u64;
+        let mut ra_phases = 0u64;
+
+        let sel = loop {
+            rounds += 1;
+            for (i, done) in exhausted.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                match mw.sorted_next(i)? {
+                    None => *done = true,
+                    Some(entry) => engine.observe_sorted(i, entry),
+                }
+            }
+            let mut sel = engine.selection();
+
+            // Every h rounds: one random-access phase on the most promising
+            // incomplete viable object ("escape clause": skip if none).
+            if rounds.is_multiple_of(self.h as u64) {
+                if let Some(object) = engine.best_viable_incomplete(&sel) {
+                    for list in engine.missing_fields(object) {
+                        let g = mw.random_lookup(list, object)?;
+                        engine.learn_random(object, list, g);
+                    }
+                    ra_phases += 1;
+                    sel = engine.selection();
+                }
+            }
+
+            if engine.check_halt(&sel, n) {
+                break sel;
+            }
+            if exhausted.iter().all(|&e| e) {
+                break sel;
+            }
+        };
+
+        let items = engine.output_items(&sel);
+        let mut metrics = RunMetrics::new();
+        metrics.rounds = rounds;
+        metrics.peak_buffer = engine.peak_candidates;
+        metrics.bound_recomputations = engine.bound_recomputations;
+        metrics.random_access_phases = ra_phases;
+        metrics.final_threshold = Some(engine.threshold());
+        Ok(TopKOutput {
+            items,
+            stats: mw.stats().clone(),
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{Average, Min, Sum};
+    use crate::algorithms::Nra;
+    use crate::oracle;
+    use fagin_middleware::{AccessPolicy, CostModel, Database, Session};
+
+    fn db() -> Database {
+        Database::from_f64_columns(&[
+            vec![0.90, 0.50, 0.10, 0.30, 0.75, 0.05],
+            vec![0.20, 0.80, 0.50, 0.40, 0.70, 0.15],
+            vec![0.60, 0.55, 0.95, 0.10, 0.65, 0.25],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ca_matches_oracle_across_h() {
+        let db = db();
+        for h in [1usize, 2, 3, 10, 1000] {
+            for k in 1..=6 {
+                let mut s = Session::new(&db);
+                let out = Ca::new(h).run(&mut s, &Average, k).unwrap();
+                assert!(
+                    oracle::is_valid_top_k(&db, &Average, k, &out.objects()),
+                    "h={h} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ca_with_huge_h_behaves_like_nra() {
+        // "if h is very large … CA is the same as NRA" (§8.2).
+        let db = db();
+        let mut s1 = Session::new(&db);
+        let ca = Ca::new(10_000).run(&mut s1, &Sum, 2).unwrap();
+        let mut s2 = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let nra = Nra::new().run(&mut s2, &Sum, 2).unwrap();
+        assert_eq!(ca.stats.sorted_total(), nra.stats.sorted_total());
+        assert_eq!(ca.stats.random_total(), 0);
+        assert_eq!(ca.objects(), nra.objects());
+    }
+
+    #[test]
+    fn ca_random_accesses_bounded_by_phase_budget() {
+        // CA performs at most one phase (≤ m−1 probes) per h rounds.
+        let db = db();
+        for h in [1usize, 2, 3] {
+            let mut s = Session::new(&db);
+            let out = Ca::new(h).run(&mut s, &Min, 1).unwrap();
+            let phases = out.metrics.rounds.div_ceil(h as u64);
+            assert!(
+                out.stats.random_total() <= phases * (db.num_lists() as u64 - 1),
+                "h={h}: {} probes in {} rounds",
+                out.stats.random_total(),
+                out.metrics.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn ca_never_wild_guesses() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses());
+        assert!(Ca::new(1).run(&mut s, &Min, 2).is_ok());
+    }
+
+    #[test]
+    fn escape_clause_when_everything_known() {
+        // Footnote 15's scenario: with m = 1, every seen object is complete
+        // after its sorted access, so no random-access target ever exists.
+        let db = Database::from_f64_columns(&[vec![0.9, 0.5, 0.1]]).unwrap();
+        let mut s = Session::new(&db);
+        let out = Ca::new(1).run(&mut s, &Min, 1).unwrap();
+        assert_eq!(out.stats.random_total(), 0);
+        assert_eq!(out.metrics.random_access_phases, 0);
+        assert!(oracle::is_valid_top_k(&db, &Min, 1, &out.objects()));
+    }
+
+    #[test]
+    fn for_costs_uses_floor_ratio() {
+        let ca = Ca::for_costs(&CostModel::new(1.0, 7.9));
+        assert_eq!(ca.h(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "h = floor(c_R/c_S) must be at least 1")]
+    fn zero_h_rejected() {
+        let _ = Ca::new(0);
+    }
+
+    #[test]
+    fn k_greater_than_n() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let out = Ca::new(2).run(&mut s, &Min, 42).unwrap();
+        assert_eq!(out.items.len(), db.num_objects());
+    }
+}

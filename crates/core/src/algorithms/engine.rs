@@ -1,0 +1,602 @@
+//! The shared lower/upper-bound engine behind NRA (§8.1), CA (§8.2) and the
+//! intermittent baseline (§8.4) — plus the NRA algorithm itself.
+//!
+//! The engine maintains, for every object seen so far, its known fields and
+//! the bounds `W(R) ≤ t(R) ≤ B(R)` of Propositions 8.1/8.2, the current
+//! top-`k` list `T_k` (ordered by `W`, ties broken by `B` as the paper
+//! requires), and the halting test "no viable object remains outside
+//! `T_k`" (an object is *viable* when `B(R) > M_k`).
+//!
+//! Two bookkeeping strategies implement Remark 8.7's discussion:
+//!
+//! * [`BookkeepingStrategy::Exhaustive`] — recompute `B` for every candidate
+//!   at each halting check; faithful to the paper's statement (including
+//!   `B`-based tie-breaking), `Ω(d²·m)` total work.
+//! * [`BookkeepingStrategy::LazyHeap`] — exploit that `B(R)` never
+//!   increases: keep a max-heap of *stale* upper bounds and refresh only
+//!   entries that could block halting. Ties at the `M_k` boundary are
+//!   broken by object id instead of `B` (a documented deviation that can
+//!   delay halting by a round on tied databases but never affects
+//!   correctness).
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use fagin_middleware::{Entry, Grade, Middleware, ObjectId};
+
+use crate::aggregation::Aggregation;
+use crate::bounds::{Bottoms, PartialObject};
+use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+
+use super::{validate, TopKAlgorithm};
+
+/// How NRA/CA maintain the `B` upper bounds (Remark 8.7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BookkeepingStrategy {
+    /// Recompute `B` for every candidate at every halting check (faithful).
+    #[default]
+    Exhaustive,
+    /// Lazy max-heap over non-increasing `B` values; refresh on demand.
+    LazyHeap,
+}
+
+/// One tracked object.
+struct Cand {
+    row: PartialObject,
+    /// Cached `W(R)` (changes only when a field is learned).
+    w: Grade,
+}
+
+/// Max-heap entry: a stale upper bound on an object's current `B`.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct HeapEntry(Grade, ObjectId);
+
+/// The current top-`k` list `T_k`.
+pub(crate) struct Selection {
+    /// `(object, W, B)` best-first. Length `min(k, seen)`.
+    pub top: Vec<(ObjectId, Grade, Grade)>,
+    /// `M_k`: the `k`-th largest `W` value (worst `W` in `top` when full).
+    pub m_k: Grade,
+    /// Whether `top` holds `k` entries.
+    pub full: bool,
+}
+
+impl Selection {
+    pub(crate) fn contains(&self, object: ObjectId) -> bool {
+        self.top.iter().any(|&(o, _, _)| o == object)
+    }
+}
+
+/// Shared NRA/CA state machine.
+pub(crate) struct BoundEngine<'a> {
+    agg: &'a dyn Aggregation,
+    m: usize,
+    k: usize,
+    strategy: BookkeepingStrategy,
+    bottoms: Bottoms,
+    cands: HashMap<ObjectId, Cand>,
+    /// Lazy strategy only: stale upper bounds on B.
+    heap: BinaryHeap<HeapEntry>,
+    scratch: Vec<Grade>,
+    pub(crate) peak_candidates: usize,
+    pub(crate) bound_recomputations: u64,
+}
+
+impl<'a> BoundEngine<'a> {
+    pub(crate) fn new(
+        agg: &'a dyn Aggregation,
+        m: usize,
+        k: usize,
+        strategy: BookkeepingStrategy,
+    ) -> Self {
+        BoundEngine {
+            agg,
+            m,
+            k,
+            strategy,
+            bottoms: Bottoms::new(m),
+            cands: HashMap::new(),
+            heap: BinaryHeap::new(),
+            scratch: Vec::with_capacity(m),
+            peak_candidates: 0,
+            bound_recomputations: 0,
+        }
+    }
+
+    /// The current threshold value `τ = t(x̱₁,…,x̱_m)` — the `B` bound of
+    /// every unseen object.
+    pub(crate) fn threshold(&mut self) -> Grade {
+        self.bottoms.threshold(self.agg, &mut self.scratch)
+    }
+
+    /// Ingests one sorted-access result.
+    pub(crate) fn observe_sorted(&mut self, list: usize, entry: Entry) {
+        self.bottoms.observe(list, entry.grade);
+        self.learn(entry.object, list, entry.grade);
+    }
+
+    /// Ingests one random-access result (the object must already be seen —
+    /// NRA-family algorithms never wild-guess).
+    pub(crate) fn learn_random(&mut self, object: ObjectId, list: usize, grade: Grade) {
+        debug_assert!(self.cands.contains_key(&object), "no wild guesses");
+        self.learn(object, list, grade);
+    }
+
+    fn learn(&mut self, object: ObjectId, list: usize, grade: Grade) {
+        let m = self.m;
+        let is_new = !self.cands.contains_key(&object);
+        let cand = self.cands.entry(object).or_insert_with(|| Cand {
+            row: PartialObject::new(m),
+            w: Grade::ZERO,
+        });
+        if cand.row.learn(list, grade) {
+            cand.w = cand.row.w(self.agg, &mut self.scratch);
+            self.bound_recomputations += 1;
+        }
+        if is_new {
+            self.peak_candidates = self.peak_candidates.max(self.cands.len());
+            if self.strategy == BookkeepingStrategy::LazyHeap {
+                // Stale-but-sound upper bound; refreshed on demand.
+                let b = self.cands[&object]
+                    .row
+                    .b(self.agg, &self.bottoms, &mut self.scratch);
+                self.heap.push(HeapEntry(b, object));
+            }
+        }
+    }
+
+    fn b_of(&mut self, object: ObjectId) -> Grade {
+        self.bound_recomputations += 1;
+        self.cands[&object]
+            .row
+            .b(self.agg, &self.bottoms, &mut self.scratch)
+    }
+
+    /// Whether every field of `object` is known.
+    pub(crate) fn is_complete(&self, object: ObjectId) -> bool {
+        self.cands[&object].row.is_complete()
+    }
+
+    /// Missing fields of `object`.
+    pub(crate) fn missing_fields(&self, object: ObjectId) -> Vec<usize> {
+        self.cands[&object].row.missing().collect()
+    }
+
+    /// Computes the current `T_k` (paper: largest `W`, ties by larger `B`,
+    /// then by smaller object id for determinism).
+    pub(crate) fn selection(&mut self) -> Selection {
+        let k_eff = self.k.min(self.cands.len().max(1));
+        // Gather (object, w); select top k_eff by w.
+        let mut by_w: Vec<(ObjectId, Grade)> =
+            self.cands.iter().map(|(&o, c)| (o, c.w)).collect();
+        by_w.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+        let top: Vec<(ObjectId, Grade, Grade)> = match self.strategy {
+            BookkeepingStrategy::Exhaustive => {
+                // Faithful tie-breaking: order the boundary W-group by B.
+                if by_w.len() > k_eff && k_eff > 0 && by_w[k_eff - 1].1 == by_w[k_eff].1 {
+                    let wk = by_w[k_eff - 1].1;
+                    let mut head: Vec<(ObjectId, Grade, Grade)> = Vec::new();
+                    let mut tied: Vec<(ObjectId, Grade, Grade)> = Vec::new();
+                    for &(o, w) in &by_w {
+                        if w > wk {
+                            let b = self.b_of(o);
+                            head.push((o, w, b));
+                        } else if w == wk {
+                            let b = self.b_of(o);
+                            tied.push((o, w, b));
+                        }
+                        if head.len() == k_eff {
+                            break;
+                        }
+                    }
+                    tied.sort_unstable_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+                    head.extend(tied);
+                    head.truncate(k_eff);
+                    head
+                } else {
+                    by_w
+                        .iter()
+                        .take(k_eff)
+                        .map(|&(o, w)| {
+                            let b = self.b_of(o);
+                            (o, w, b)
+                        })
+                        .collect()
+                }
+            }
+            BookkeepingStrategy::LazyHeap => by_w
+                .iter()
+                .take(k_eff)
+                .map(|&(o, w)| {
+                    let b = self.b_of(o);
+                    (o, w, b)
+                })
+                .collect(),
+        };
+
+        let full = top.len() == self.k.min(self.cands.len()) && self.cands.len() >= self.k;
+        let m_k = top.last().map_or(Grade::ZERO, |&(_, w, _)| w);
+        Selection { top, m_k, full }
+    }
+
+    /// The halting test: `T_k` is full (or the whole database has been
+    /// seen) and no viable object remains outside it — including unseen
+    /// objects, whose `B` equals the threshold `τ`.
+    pub(crate) fn check_halt(&mut self, sel: &Selection, num_objects: usize) -> bool {
+        let k_eff = self.k.min(num_objects);
+        if self.cands.len() < k_eff {
+            return false;
+        }
+        if !sel.full && self.cands.len() < num_objects {
+            return false;
+        }
+        // Unseen objects are viable iff τ > M_k.
+        if self.cands.len() < num_objects {
+            let tau = self.threshold();
+            if tau > sel.m_k {
+                return false;
+            }
+        }
+        match self.strategy {
+            BookkeepingStrategy::Exhaustive => {
+                // Sorted iteration keeps the early-exit recompute count
+                // deterministic (HashMap order is randomized per process).
+                let mut objects: Vec<ObjectId> = self.cands.keys().copied().collect();
+                objects.sort_unstable();
+                for o in objects {
+                    if sel.contains(o) {
+                        continue;
+                    }
+                    if self.b_of(o) > sel.m_k {
+                        return false;
+                    }
+                }
+                true
+            }
+            BookkeepingStrategy::LazyHeap => self.check_halt_lazy(sel),
+        }
+    }
+
+    /// Lazy check: stored heap keys are upper bounds on current `B` (which
+    /// never increases), so if the max stored key is ≤ `M_k`, no candidate
+    /// is viable. Otherwise refresh entries until a genuinely viable
+    /// outsider is found or the heap's max drops below `M_k`.
+    fn check_halt_lazy(&mut self, sel: &Selection) -> bool {
+        let mut parked: Vec<HeapEntry> = Vec::new();
+        let halted = loop {
+            let Some(top) = self.heap.peek() else {
+                break true;
+            };
+            if top.0 <= sel.m_k {
+                break true;
+            }
+            let HeapEntry(_, object) = self.heap.pop().expect("peeked");
+            let b = self.b_of(object);
+            if sel.contains(object) {
+                // T_k members may stay viable; park so we can inspect the
+                // rest, reinsert afterwards.
+                parked.push(HeapEntry(b, object));
+                continue;
+            }
+            if b > sel.m_k {
+                parked.push(HeapEntry(b, object));
+                break false;
+            }
+            parked.push(HeapEntry(b, object));
+        };
+        self.heap.extend(parked);
+        halted
+    }
+
+    /// CA's random-access choice (§8.2 step 2): among seen objects with
+    /// missing fields that are viable (`B > M_k`; every object is viable
+    /// while `T_k` is not yet full), the one with the largest `B`
+    /// (deterministic tie-break: smaller id). `None` triggers the escape
+    /// clause.
+    pub(crate) fn best_viable_incomplete(&mut self, sel: &Selection) -> Option<ObjectId> {
+        let mut objects: Vec<ObjectId> = self.cands.keys().copied().collect();
+        objects.sort_unstable();
+        let mut best: Option<(Grade, ObjectId)> = None;
+        for o in objects {
+            if self.cands[&o].row.is_complete() {
+                continue;
+            }
+            let b = self.b_of(o);
+            if sel.full && b <= sel.m_k {
+                continue;
+            }
+            best = match best {
+                None => Some((b, o)),
+                Some((bb, bo)) if b > bb || (b == bb && o < bo) => Some((b, o)),
+                keep => keep,
+            };
+        }
+        best.map(|(_, o)| o)
+    }
+
+    /// Renders `sel` as output items: grades are attached when free (all
+    /// fields known), per §8.1's weakened output requirement.
+    pub(crate) fn output_items(&mut self, sel: &Selection) -> Vec<ScoredObject> {
+        sel.top
+            .iter()
+            .map(|&(object, _, _)| {
+                let grade = self.cands[&object].row.exact(self.agg, &mut self.scratch);
+                ScoredObject { object, grade }
+            })
+            .collect()
+    }
+}
+
+/// The No-Random-Access algorithm (§8.1).
+///
+/// Performs sorted access in parallel, maintains `W`/`B` bounds, and halts
+/// when no object outside the current top-`k` could still beat it. Returns
+/// the top-`k` **objects**; grades are attached only when they happen to be
+/// fully determined (the paper deliberately does not require grades —
+/// Example 8.3 shows demanding them can cost `Θ(N)` extra).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Nra {
+    strategy: BookkeepingStrategy,
+}
+
+impl Nra {
+    /// NRA with the faithful exhaustive bookkeeping.
+    pub fn new() -> Self {
+        Nra {
+            strategy: BookkeepingStrategy::Exhaustive,
+        }
+    }
+
+    /// NRA with the chosen bookkeeping strategy.
+    pub fn with_strategy(strategy: BookkeepingStrategy) -> Self {
+        Nra { strategy }
+    }
+}
+
+impl TopKAlgorithm for Nra {
+    fn name(&self) -> String {
+        match self.strategy {
+            BookkeepingStrategy::Exhaustive => "NRA".to_string(),
+            BookkeepingStrategy::LazyHeap => "NRA(lazy)".to_string(),
+        }
+    }
+
+    fn run(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+    ) -> Result<TopKOutput, AlgoError> {
+        validate(mw, agg, k)?;
+        let m = mw.num_lists();
+        let n = mw.num_objects();
+        let mut engine = BoundEngine::new(agg, m, k, self.strategy);
+        let mut exhausted = vec![false; m];
+        let mut rounds = 0u64;
+
+        let sel = loop {
+            rounds += 1;
+            for (i, done) in exhausted.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                match mw.sorted_next(i)? {
+                    None => *done = true,
+                    Some(entry) => engine.observe_sorted(i, entry),
+                }
+            }
+            let sel = engine.selection();
+            if engine.check_halt(&sel, n) {
+                break sel;
+            }
+            if exhausted.iter().all(|&e| e) {
+                // Complete information: the selection is exact.
+                break sel;
+            }
+        };
+
+        let items = engine.output_items(&sel);
+        let mut metrics = RunMetrics::new();
+        metrics.rounds = rounds;
+        metrics.peak_buffer = engine.peak_candidates;
+        metrics.bound_recomputations = engine.bound_recomputations;
+        metrics.final_threshold = Some(engine.threshold());
+        Ok(TopKOutput {
+            items,
+            stats: mw.stats().clone(),
+            metrics,
+        })
+    }
+}
+
+/// FIFO of pending random accesses for the intermittent baseline (§8.4):
+/// objects in TA's sighting order.
+pub(crate) type SightingQueue = VecDeque<ObjectId>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{Average, Max, Median, Min, Sum};
+    use crate::oracle;
+    use fagin_middleware::{AccessPolicy, Database, Session};
+
+    fn db() -> Database {
+        Database::from_f64_columns(&[
+            vec![0.90, 0.50, 0.10, 0.30, 0.75, 0.05],
+            vec![0.20, 0.80, 0.50, 0.40, 0.70, 0.15],
+            vec![0.60, 0.55, 0.95, 0.10, 0.65, 0.25],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn nra_matches_oracle_all_aggregations_and_strategies() {
+        let db = db();
+        let aggs: Vec<Box<dyn Aggregation>> = vec![
+            Box::new(Min),
+            Box::new(Max),
+            Box::new(Average),
+            Box::new(Sum),
+            Box::new(Median),
+        ];
+        for strategy in [BookkeepingStrategy::Exhaustive, BookkeepingStrategy::LazyHeap] {
+            for agg in &aggs {
+                for k in 1..=6 {
+                    let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+                    let out = Nra::with_strategy(strategy)
+                        .run(&mut s, agg.as_ref(), k)
+                        .unwrap();
+                    assert!(
+                        oracle::is_valid_top_k(&db, agg.as_ref(), k, &out.objects()),
+                        "strategy={strategy:?} agg={} k={k} got={:?}",
+                        agg.name(),
+                        out.objects()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nra_makes_no_random_accesses() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let out = Nra::new().run(&mut s, &Average, 2).unwrap();
+        assert_eq!(out.stats.random_total(), 0);
+    }
+
+    #[test]
+    fn nra_example_8_3_early_halt_without_grade() {
+        // Figure 4: avg aggregation, object R has (1, 0) and everyone else
+        // (1/3, 1/3). After two sorted accesses to L1 and one to L2, R is
+        // provably the top object even though its grade is unknown.
+        let n = 20usize;
+        let mut col1 = vec![1.0 / 3.0; n];
+        let mut col2 = vec![1.0 / 3.0; n];
+        col1[0] = 1.0; // R = object 0
+        col2[0] = 0.0;
+        let db = Database::from_f64_columns(&[col1, col2]).unwrap();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let out = Nra::new().run(&mut s, &Average, 1).unwrap();
+        assert_eq!(out.objects(), vec![ObjectId(0)]);
+        // Halts long before exhausting the lists…
+        assert!(out.stats.sorted_total() < (2 * n) as u64 / 2);
+        // …and therefore cannot know R's exact grade.
+        assert_eq!(out.items[0].grade, None);
+    }
+
+    #[test]
+    fn nra_grade_attached_when_complete() {
+        // min forces NRA to learn every field of the winner before halting
+        // (W is 0 until the row is complete), so the grade comes for free.
+        let db = Database::from_f64_columns(&[vec![1.0, 0.9], vec![0.1, 0.9]]).unwrap();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let out = Nra::new().run(&mut s, &Min, 1).unwrap();
+        assert_eq!(out.objects(), vec![ObjectId(1)]);
+        assert_eq!(out.items[0].grade, Some(Grade::new(0.9)));
+    }
+
+    #[test]
+    fn nra_partial_grades_match_oracle_when_reported() {
+        // Whenever NRA attaches a grade it must be the true grade.
+        let db = db();
+        for k in 1..=6 {
+            let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+            let out = Nra::new().run(&mut s, &Average, k).unwrap();
+            for item in &out.items {
+                if let Some(g) = item.grade {
+                    let row = db.row(item.object).unwrap();
+                    assert_eq!(g, Average.evaluate(&row));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_and_exhaustive_agree_on_distinct_databases() {
+        // Deterministic pseudo-random distinct grades.
+        let n = 60;
+        // Per-list multipliers coprime to n decorrelate the rankings.
+        let mults = [37usize, 41, 43];
+        let cols: Vec<Vec<f64>> = (0..3usize)
+            .map(|i| {
+                let mut v: Vec<f64> = (0..n)
+                    .map(|j| (((j * 7919 + i * 104729 + 13) % 99991) as f64) / 99991.0)
+                    .collect();
+                // Ensure distinctness per list.
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.dedup();
+                assert_eq!(v.len(), n);
+                // Shuffle deterministically by index arithmetic.
+                (0..n).map(|j| v[(j * mults[i]) % n]).collect()
+            })
+            .collect();
+        let db = Database::from_f64_columns(&cols).unwrap();
+        for k in [1usize, 3, 10] {
+            let mut s1 = Session::with_policy(&db, AccessPolicy::no_random_access());
+            let a = Nra::new().run(&mut s1, &Sum, k).unwrap();
+            let mut s2 = Session::with_policy(&db, AccessPolicy::no_random_access());
+            let b = Nra::with_strategy(BookkeepingStrategy::LazyHeap)
+                .run(&mut s2, &Sum, k)
+                .unwrap();
+            assert!(oracle::is_valid_top_k(&db, &Sum, k, &a.objects()));
+            assert!(oracle::is_valid_top_k(&db, &Sum, k, &b.objects()));
+            // At this small size the lazy strategy's per-candidate setup
+            // cost can outweigh its savings; it must stay in the same
+            // ballpark (the asymptotic win is asserted below and measured
+            // in experiment E12).
+            assert!(
+                b.metrics.bound_recomputations <= 2 * a.metrics.bound_recomputations,
+                "lazy {} vs exhaustive {}",
+                b.metrics.bound_recomputations,
+                a.metrics.bound_recomputations
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_heap_wins_asymptotically() {
+        // Remark 8.7: the exhaustive strategy does Ω(d²m) bound updates;
+        // at moderate size the lazy heap must already do strictly fewer.
+        let n = 1_000;
+        let cols: Vec<Vec<f64>> = (0..3usize)
+            .map(|i| {
+                (0..n)
+                    .map(|j| (((j * 7919 + i * 104729 + 13) % 999983) as f64) / 999983.0)
+                    .collect()
+            })
+            .collect();
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut s1 = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let exh = Nra::new().run(&mut s1, &Sum, 10).unwrap();
+        let mut s2 = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let lazy = Nra::with_strategy(BookkeepingStrategy::LazyHeap)
+            .run(&mut s2, &Sum, 10)
+            .unwrap();
+        assert!(oracle::is_valid_top_k(&db, &Sum, 10, &lazy.objects()));
+        assert!(
+            lazy.metrics.bound_recomputations < exh.metrics.bound_recomputations,
+            "lazy {} vs exhaustive {}",
+            lazy.metrics.bound_recomputations,
+            exh.metrics.bound_recomputations
+        );
+    }
+
+    #[test]
+    fn k_greater_than_n() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let out = Nra::new().run(&mut s, &Min, 50).unwrap();
+        assert_eq!(out.items.len(), db.num_objects());
+        assert!(oracle::is_valid_top_k(&db, &Min, 50, &out.objects()));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Nra::new().name(), "NRA");
+        assert_eq!(
+            Nra::with_strategy(BookkeepingStrategy::LazyHeap).name(),
+            "NRA(lazy)"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Fagin's Algorithm — FA (§3).
+//!
+//! Phase 1: sorted access in parallel until at least `k` objects have been
+//! seen in **every** list (the match set `H`). Phase 2: random access for
+//! every seen object's missing fields; return the `k` best.
+//!
+//! FA's access pattern is *oblivious* to the aggregation function — for a
+//! fixed database its cost is identical for every monotone `t` (§3). Its
+//! match buffer grows with the database (contrast Theorem 4.2 for TA):
+//! [`RunMetrics::peak_buffer`] reports the number of distinct objects
+//! buffered, which the buffer-growth experiment (E8) plots against `N`.
+
+use std::collections::HashMap;
+
+use fagin_middleware::{Middleware, ObjectId};
+
+use crate::aggregation::Aggregation;
+use crate::bounds::PartialObject;
+use crate::buffer::TopKBuffer;
+use crate::output::{AlgoError, RunMetrics, TopKOutput};
+
+use super::{validate, TopKAlgorithm};
+
+/// Fagin's Algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fa;
+
+impl TopKAlgorithm for Fa {
+    fn name(&self) -> String {
+        "FA".to_string()
+    }
+
+    fn run(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+    ) -> Result<TopKOutput, AlgoError> {
+        validate(mw, agg, k)?;
+        let m = mw.num_lists();
+
+        // Phase 1: sorted access in parallel until k matches.
+        let mut seen: HashMap<ObjectId, PartialObject> = HashMap::new();
+        let mut matches = 0usize;
+        let mut rounds = 0u64;
+        let mut exhausted = vec![false; m];
+        'phase1: while matches < k && !exhausted.iter().all(|&e| e) {
+            rounds += 1;
+            for (i, done) in exhausted.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                let Some(entry) = mw.sorted_next(i)? else {
+                    *done = true;
+                    continue;
+                };
+                let row = seen
+                    .entry(entry.object)
+                    .or_insert_with(|| PartialObject::new(m));
+                row.learn(i, entry.grade);
+                if row.is_complete() {
+                    matches += 1;
+                    if matches >= k {
+                        break 'phase1;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: random access for the missing fields of every seen
+        // object, then grade and select.
+        let mut buffer = TopKBuffer::new(k);
+        let mut scratch = Vec::with_capacity(m);
+        let peak_buffer = seen.len();
+        // Deterministic iteration order for reproducible tie-breaks.
+        let mut objects: Vec<ObjectId> = seen.keys().copied().collect();
+        objects.sort_unstable();
+        for object in objects {
+            let row = seen.get_mut(&object).expect("object is present");
+            for i in 0..m {
+                if !row.knows(i) {
+                    let g = mw.random_lookup(i, object)?;
+                    row.learn(i, g);
+                }
+            }
+            let grade = row.exact(agg, &mut scratch).expect("row complete");
+            buffer.offer(object, grade);
+        }
+
+        let mut metrics = RunMetrics::new();
+        metrics.rounds = rounds;
+        metrics.peak_buffer = peak_buffer;
+        Ok(TopKOutput {
+            items: buffer.items_desc(),
+            stats: mw.stats().clone(),
+            metrics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{Average, Max, Median, Min, Product, Sum};
+    use crate::algorithms::Ta;
+    use crate::oracle;
+    use fagin_middleware::{AccessPolicy, Database, Session};
+
+    fn db() -> Database {
+        Database::from_f64_columns(&[
+            vec![0.90, 0.50, 0.10, 0.30, 0.75, 0.05],
+            vec![0.20, 0.80, 0.50, 0.40, 0.70, 0.15],
+            vec![0.60, 0.55, 0.95, 0.10, 0.65, 0.25],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fa_matches_oracle() {
+        let db = db();
+        let aggs: Vec<Box<dyn Aggregation>> = vec![
+            Box::new(Min),
+            Box::new(Max),
+            Box::new(Average),
+            Box::new(Sum),
+            Box::new(Median),
+            Box::new(Product),
+        ];
+        for agg in &aggs {
+            for k in 1..=6 {
+                let mut s = Session::new(&db);
+                let out = Fa.run(&mut s, agg.as_ref(), k).unwrap();
+                assert!(
+                    oracle::is_valid_top_k(&db, agg.as_ref(), k, &out.objects()),
+                    "agg={} k={k}",
+                    agg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fa_cost_is_oblivious_to_aggregation() {
+        // §3: "the access pattern of FA is oblivious to the choice of
+        // aggregation function".
+        let db = db();
+        let mut costs = Vec::new();
+        let aggs: Vec<Box<dyn Aggregation>> =
+            vec![Box::new(Min), Box::new(Max), Box::new(Average)];
+        for agg in &aggs {
+            let mut s = Session::new(&db);
+            let out = Fa.run(&mut s, agg.as_ref(), 2).unwrap();
+            costs.push((out.stats.sorted_total(), out.stats.random_total()));
+        }
+        assert!(costs.windows(2).all(|w| w[0] == w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn ta_sorted_cost_never_exceeds_fa() {
+        // §4: "for every database, the sorted access cost for TA is at most
+        // that of FA".
+        let db = db();
+        for k in 1..=4 {
+            let mut s1 = Session::new(&db);
+            let fa = Fa.run(&mut s1, &Min, k).unwrap();
+            let mut s2 = Session::new(&db);
+            let ta = Ta::new().run(&mut s2, &Min, k).unwrap();
+            assert!(
+                ta.stats.sorted_total() <= fa.stats.sorted_total(),
+                "k={k}: TA {} vs FA {}",
+                ta.stats.sorted_total(),
+                fa.stats.sorted_total()
+            );
+        }
+    }
+
+    #[test]
+    fn fa_never_wild_guesses() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses());
+        assert!(Fa.run(&mut s, &Min, 3).is_ok());
+    }
+
+    #[test]
+    fn fa_buffer_tracks_all_seen_objects() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let out = Fa.run(&mut s, &Min, 2).unwrap();
+        // FA must remember every object seen in phase 1.
+        assert!(out.metrics.peak_buffer >= 2);
+    }
+
+    #[test]
+    fn k_greater_than_n() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let out = Fa.run(&mut s, &Min, 100).unwrap();
+        assert_eq!(out.items.len(), db.num_objects());
+        assert!(oracle::is_valid_top_k(&db, &Min, 100, &out.objects()));
+    }
+}

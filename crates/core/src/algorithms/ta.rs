@@ -1,0 +1,541 @@
+//! The Threshold Algorithm — TA (§4), with its variants TAθ (§6.2) and
+//! TA_Z (§7), plus the interactive early-stopping driver (§6.2).
+//!
+//! One engine implements all three because they differ only in
+//!
+//! * which lists receive sorted access (`Z`; all lists for TA/TAθ), and
+//! * the halting slack `θ` (`1` for exact TA/TA_Z).
+//!
+//! The faithful TA keeps only a bounded buffer (Theorem 4.2): the current
+//! top-`k` and the last grade seen per list. That means it may repeat random
+//! accesses for an object seen in several lists (footnote 7). The opt-in
+//! [`Ta::memoized`] variant trades the bounded buffer for a seen-object
+//! cache, skipping repeat probes — the ablation for the buffer/probe
+//! trade-off the paper discusses after Theorem 4.2.
+
+use std::collections::{BTreeSet, HashMap};
+
+use fagin_middleware::{Grade, Middleware, ObjectId};
+
+use crate::aggregation::Aggregation;
+use crate::bounds::Bottoms;
+use crate::buffer::TopKBuffer;
+use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+
+use super::{validate, TopKAlgorithm};
+
+/// The Threshold Algorithm and its TAθ / TA_Z variants.
+#[derive(Clone, Debug)]
+pub struct Ta {
+    theta: f64,
+    memoize: bool,
+    z: Option<BTreeSet<usize>>,
+}
+
+impl Default for Ta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ta {
+    /// Plain TA (§4): exact answers, bounded buffer, sorted access on every
+    /// list.
+    pub fn new() -> Self {
+        Ta {
+            theta: 1.0,
+            memoize: false,
+            z: None,
+        }
+    }
+
+    /// TAθ (§6.2): halts as soon as `k` objects have grade ≥ `τ/θ`,
+    /// returning a θ-approximation of the top-`k`.
+    ///
+    /// # Panics
+    /// Panics if `theta < 1`.
+    pub fn theta(theta: f64) -> Self {
+        assert!(
+            theta >= 1.0 && theta.is_finite(),
+            "theta must be finite and at least 1"
+        );
+        Ta {
+            theta,
+            ..Self::new()
+        }
+    }
+
+    /// TA_Z (§7): sorted access only on the lists in `z`; bottoms of the
+    /// other lists are pinned at 1 when computing the threshold.
+    ///
+    /// # Panics
+    /// Panics if `z` is empty.
+    pub fn restricted(z: impl IntoIterator<Item = usize>) -> Self {
+        let z: BTreeSet<usize> = z.into_iter().collect();
+        assert!(!z.is_empty(), "Z must be nonempty (paper §7)");
+        Ta {
+            z: Some(z),
+            ..Self::new()
+        }
+    }
+
+    /// Enables the seen-object cache: repeat sightings reuse previously
+    /// fetched grades instead of re-probing. Trades Theorem 4.2's bounded
+    /// buffer for fewer random accesses.
+    pub fn memoized(mut self) -> Self {
+        self.memoize = true;
+        self
+    }
+
+    /// Creates an interactive stepper over `mw` (one call to
+    /// [`TaStepper::step`] per round of sorted access in parallel).
+    ///
+    /// This is the paper's early-stopping interface: after any round the
+    /// user can inspect [`TaStepper::view`], which carries the guarantee
+    /// `θ = τ/β`, and decide whether to stop (§6.2, "Early stopping of TA").
+    pub fn stepper<'a>(
+        &self,
+        mw: &'a mut dyn Middleware,
+        agg: &'a dyn Aggregation,
+        k: usize,
+    ) -> Result<TaStepper<'a>, AlgoError> {
+        validate(mw, agg, k)?;
+        let m = mw.num_lists();
+        if let Some(z) = &self.z {
+            if let Some(&bad) = z.iter().find(|&&i| i >= m) {
+                return Err(AlgoError::Access(fagin_middleware::AccessError::NoSuchList {
+                    list: bad,
+                    num_lists: m,
+                }));
+            }
+        }
+        let active: Vec<usize> = match &self.z {
+            None => (0..m).collect(),
+            Some(z) => z.iter().copied().collect(),
+        };
+        Ok(TaStepper {
+            mw,
+            agg,
+            k,
+            theta: self.theta,
+            memo: self.memoize.then(HashMap::new),
+            buffer: TopKBuffer::new(k),
+            bottoms: Bottoms::new(m),
+            exhausted: vec![false; active.len()],
+            active,
+            scratch: Vec::with_capacity(m),
+            row: vec![Grade::ZERO; m],
+            rounds: 0,
+            halted: false,
+            distinct_seen: 0,
+            seen_flags: Vec::new(),
+        })
+    }
+}
+
+impl TopKAlgorithm for Ta {
+    fn name(&self) -> String {
+        match (&self.z, self.theta) {
+            (Some(z), _) => format!("TA_Z(|Z|={})", z.len()),
+            (None, t) if t > 1.0 => format!("TA_theta({t})"),
+            _ if self.memoize => "TA(memo)".to_string(),
+            _ => "TA".to_string(),
+        }
+    }
+
+    fn run(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+    ) -> Result<TopKOutput, AlgoError> {
+        let mut stepper = self.stepper(mw, agg, k)?;
+        while !stepper.is_halted() {
+            stepper.step()?;
+        }
+        Ok(stepper.finish())
+    }
+}
+
+/// A snapshot of TA's state after a round: the current top-`k` view and the
+/// approximation guarantee it carries (§6.2).
+#[derive(Clone, Debug)]
+pub struct TaView {
+    /// Current top-`k` candidates, best first.
+    pub items: Vec<ScoredObject>,
+    /// Current threshold value `τ` (`t` of the bottom grades).
+    pub threshold: Grade,
+    /// Grade `β` of the `k`-th (worst) object in the current view, if `k`
+    /// objects have been seen.
+    pub beta: Option<Grade>,
+    /// The guarantee: the current view is a `θ`-approximation of the true
+    /// top-`k` with `θ = τ/β` (clamped to ≥ 1). `None` until `k` objects
+    /// have been seen or if `β = 0`.
+    pub guarantee: Option<f64>,
+}
+
+/// Round-by-round TA execution (one round = one sorted access per active
+/// list, plus the random accesses for each object seen).
+pub struct TaStepper<'a> {
+    mw: &'a mut dyn Middleware,
+    agg: &'a dyn Aggregation,
+    k: usize,
+    theta: f64,
+    /// Seen-object cache (only with [`Ta::memoized`]).
+    memo: Option<HashMap<ObjectId, Grade>>,
+    buffer: TopKBuffer,
+    bottoms: Bottoms,
+    /// Lists receiving sorted access (all of them, or `Z`).
+    active: Vec<usize>,
+    /// Exhaustion flags, parallel to `active`.
+    exhausted: Vec<bool>,
+    scratch: Vec<Grade>,
+    row: Vec<Grade>,
+    rounds: u64,
+    halted: bool,
+    distinct_seen: usize,
+    seen_flags: Vec<bool>,
+}
+
+impl TaStepper<'_> {
+    /// Whether the halting condition has been reached.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The `k` this stepper is answering for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Distinct objects seen under sorted access so far (the paper's `a`).
+    pub fn distinct_seen(&self) -> usize {
+        self.distinct_seen
+    }
+
+    /// Executes one round of sorted access in parallel.
+    ///
+    /// Returns `true` if the algorithm has halted (either the TA stopping
+    /// rule fired or every active list is exhausted).
+    pub fn step(&mut self) -> Result<bool, AlgoError> {
+        if self.halted {
+            return Ok(true);
+        }
+        self.rounds += 1;
+        for ai in 0..self.active.len() {
+            if self.exhausted[ai] {
+                continue;
+            }
+            let list = self.active[ai];
+            let Some(entry) = self.mw.sorted_next(list)? else {
+                self.exhausted[ai] = true;
+                continue;
+            };
+            self.bottoms.observe(list, entry.grade);
+            self.mark_seen(entry.object);
+
+            let grade = self.resolve_grade(entry.object, list, entry.grade)?;
+            self.buffer.offer(entry.object, grade);
+
+            // "As soon as at least k objects have been seen whose grade is
+            // at least equal to τ, then halt" — checked after every access.
+            if self.stop_rule_satisfied() {
+                self.halted = true;
+                return Ok(true);
+            }
+        }
+        if self.exhausted.iter().all(|&e| e) {
+            // Every active list fully read: every object has been seen and
+            // resolved, so the buffer holds the exact answer. This is the
+            // TA_Z completion case of footnote 14, and the k ≥ N case.
+            self.halted = true;
+        }
+        Ok(self.halted)
+    }
+
+    /// Computes `t(R)`, fetching the missing fields via random access.
+    fn resolve_grade(
+        &mut self,
+        object: ObjectId,
+        seen_in: usize,
+        seen_grade: Grade,
+    ) -> Result<Grade, AlgoError> {
+        if let Some(memo) = &self.memo {
+            if let Some(&g) = memo.get(&object) {
+                return Ok(g);
+            }
+        }
+        let m = self.mw.num_lists();
+        self.row[seen_in] = seen_grade;
+        for j in 0..m {
+            if j != seen_in {
+                self.row[j] = self.mw.random_lookup(j, object)?;
+            }
+        }
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.row);
+        let grade = self.agg.evaluate(&self.scratch);
+        if let Some(memo) = &mut self.memo {
+            memo.insert(object, grade);
+        }
+        Ok(grade)
+    }
+
+    fn mark_seen(&mut self, object: ObjectId) {
+        let idx = object.index();
+        if idx >= self.seen_flags.len() {
+            self.seen_flags.resize(idx + 1, false);
+        }
+        if !self.seen_flags[idx] {
+            self.seen_flags[idx] = true;
+            self.distinct_seen += 1;
+        }
+    }
+
+    /// The TA stopping rule with slack θ: `k` buffered objects with grade
+    /// `≥ τ/θ` (θ = 1 for exact TA).
+    fn stop_rule_satisfied(&mut self) -> bool {
+        let Some(kth) = self.buffer.kth_grade() else {
+            return false;
+        };
+        let tau = self.threshold();
+        kth.value() * self.theta >= tau.value()
+    }
+
+    /// Current threshold value `τ`.
+    pub fn threshold(&mut self) -> Grade {
+        self.bottoms.threshold(self.agg, &mut self.scratch)
+    }
+
+    /// The current view with its early-stopping guarantee.
+    pub fn view(&mut self) -> TaView {
+        let threshold = self.threshold();
+        let beta = self.buffer.kth_grade();
+        let guarantee = beta.and_then(|b| {
+            if self.halted {
+                // Once TA halts normally its answer is exact up to θ.
+                Some(self.theta)
+            } else if b.value() > 0.0 {
+                Some((threshold.value() / b.value()).max(1.0))
+            } else {
+                None
+            }
+        });
+        TaView {
+            items: self.buffer.items_desc(),
+            threshold,
+            beta,
+            guarantee,
+        }
+    }
+
+    /// Finalizes the run, consuming the stepper.
+    pub fn finish(mut self) -> TopKOutput {
+        let threshold = self.threshold();
+        let mut metrics = RunMetrics::new();
+        metrics.rounds = self.rounds;
+        metrics.final_threshold = Some(threshold);
+        metrics.approximation_guarantee = self.theta;
+        // Theorem 4.2: TA's buffer is the top-k plus one bottom grade per
+        // list; memoization (optional) adds the seen cache.
+        metrics.peak_buffer =
+            self.buffer.len() + self.active.len() + self.memo.as_ref().map_or(0, HashMap::len);
+        TopKOutput {
+            items: self.buffer.items_desc(),
+            stats: self.mw.stats().clone(),
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{Average, Max, Median, Min, Sum};
+    use crate::oracle;
+    use fagin_middleware::{AccessPolicy, Database, Session};
+
+    fn db() -> Database {
+        Database::from_f64_columns(&[
+            vec![0.90, 0.50, 0.10, 0.30, 0.75],
+            vec![0.20, 0.80, 0.50, 0.40, 0.70],
+            vec![0.60, 0.55, 0.95, 0.10, 0.65],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ta_matches_oracle_for_many_aggregations() {
+        let db = db();
+        let aggs: Vec<Box<dyn Aggregation>> = vec![
+            Box::new(Min),
+            Box::new(Max),
+            Box::new(Average),
+            Box::new(Sum),
+            Box::new(Median),
+        ];
+        for agg in &aggs {
+            for k in 1..=5 {
+                let mut s = Session::new(&db);
+                let out = Ta::new().run(&mut s, agg.as_ref(), k).unwrap();
+                assert!(
+                    oracle::is_valid_top_k(&db, agg.as_ref(), k, &out.objects()),
+                    "agg={} k={k}",
+                    agg.name()
+                );
+                // Reported grades are the true grades.
+                for item in &out.items {
+                    let row = db.row(item.object).unwrap();
+                    assert_eq!(item.grade.unwrap(), agg.evaluate(&row));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ta_never_wild_guesses() {
+        // The default session policy forbids wild guesses; TA must not trip it.
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses());
+        assert!(Ta::new().run(&mut s, &Min, 2).is_ok());
+    }
+
+    #[test]
+    fn ta_stops_no_later_than_naive() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let out = Ta::new().run(&mut s, &Min, 1).unwrap();
+        assert!(out.stats.sorted_total() <= (db.num_lists() * db.num_objects()) as u64);
+    }
+
+    #[test]
+    fn memoized_ta_same_answer_fewer_random_accesses() {
+        let db = db();
+        let mut s1 = Session::new(&db);
+        let plain = Ta::new().run(&mut s1, &Average, 2).unwrap();
+        let mut s2 = Session::new(&db);
+        let memo = Ta::new().memoized().run(&mut s2, &Average, 2).unwrap();
+        assert_eq!(plain.objects(), memo.objects());
+        assert!(memo.stats.random_total() <= plain.stats.random_total());
+        assert_eq!(memo.stats.sorted_total(), plain.stats.sorted_total());
+    }
+
+    #[test]
+    fn theta_output_is_theta_approximation() {
+        let db = db();
+        for theta in [1.0f64, 1.1, 1.5, 2.0, 4.0] {
+            let mut s = Session::new(&db);
+            let out = Ta::theta(theta).run(&mut s, &Average, 2).unwrap();
+            assert!(
+                oracle::is_valid_theta_approximation(&db, &Average, 2, theta, &out.objects()),
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_halts_no_later_than_exact() {
+        let db = db();
+        let mut s1 = Session::new(&db);
+        let exact = Ta::new().run(&mut s1, &Min, 1).unwrap();
+        let mut s2 = Session::new(&db);
+        let approx = Ta::theta(2.0).run(&mut s2, &Min, 1).unwrap();
+        assert!(approx.stats.sorted_total() <= exact.stats.sorted_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be finite and at least 1")]
+    fn theta_below_one_rejected() {
+        let _ = Ta::theta(0.5);
+    }
+
+    #[test]
+    fn ta_z_correct_on_all_subsets() {
+        let db = db();
+        for z in [vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![0, 1, 2]] {
+            let mut s =
+                Session::with_policy(&db, AccessPolicy::sorted_only_on(z.iter().copied()));
+            let out = Ta::restricted(z.iter().copied())
+                .run(&mut s, &Min, 2)
+                .unwrap();
+            assert!(
+                oracle::is_valid_top_k(&db, &Min, 2, &out.objects()),
+                "Z={z:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ta_z_rejects_out_of_range_list() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let err = Ta::restricted([7]).run(&mut s, &Min, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            AlgoError::Access(fagin_middleware::AccessError::NoSuchList { list: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn stepper_guarantee_shrinks_to_one() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let ta = Ta::new();
+        let mut stepper = ta.stepper(&mut s, &Average, 2).unwrap();
+        let mut last_guarantee = f64::INFINITY;
+        while !stepper.is_halted() {
+            stepper.step().unwrap();
+            let view = stepper.view();
+            if let Some(g) = view.guarantee {
+                assert!(g >= 1.0);
+                // The current view must actually be a g-approximation.
+                let objs: Vec<_> = view.items.iter().map(|i| i.object).collect();
+                assert!(oracle::is_valid_theta_approximation(
+                    &db, &Average, 2, g, &objs
+                ));
+                last_guarantee = g;
+            }
+        }
+        assert_eq!(last_guarantee, 1.0, "exact TA ends with guarantee 1");
+    }
+
+    #[test]
+    fn k_greater_than_n_returns_all() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let out = Ta::new().run(&mut s, &Min, 100).unwrap();
+        assert_eq!(out.items.len(), db.num_objects());
+        assert!(oracle::is_valid_top_k(&db, &Min, 100, &out.objects()));
+    }
+
+    #[test]
+    fn peak_buffer_is_bounded_by_k_plus_m() {
+        // Theorem 4.2 on a larger database.
+        let n = 500;
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..n)
+                    .map(|j| (((j * 7919 + i * 104729) % 9973) as f64) / 9973.0)
+                    .collect()
+            })
+            .collect();
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut s = Session::new(&db);
+        let out = Ta::new().run(&mut s, &Min, 10).unwrap();
+        assert!(out.metrics.peak_buffer <= 10 + 3);
+        assert!(oracle::is_valid_top_k(&db, &Min, 10, &out.objects()));
+    }
+
+    #[test]
+    fn names_reflect_variant() {
+        assert_eq!(Ta::new().name(), "TA");
+        assert_eq!(Ta::theta(1.5).name(), "TA_theta(1.5)");
+        assert_eq!(Ta::restricted([0, 1]).name(), "TA_Z(|Z|=2)");
+        assert_eq!(Ta::new().memoized().name(), "TA(memo)");
+    }
+}

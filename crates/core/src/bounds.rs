@@ -1,0 +1,323 @@
+//! Lower/upper bound bookkeeping for NRA and CA (§8).
+//!
+//! For an object `R` with known fields `S(R)`, the paper defines
+//!
+//! * `W_S(R)` — the **worst** (lower-bound) value of `t(R)`: substitute `0`
+//!   for each missing field (Proposition 8.1);
+//! * `B_S(R)` — the **best** (upper-bound) value of `t(R)`: substitute the
+//!   per-list bottom value `x̱ᵢ` (the last grade seen under sorted access in
+//!   list `i`) for each missing field (Proposition 8.2).
+//!
+//! For an object never seen at all, `B(R) = t(x̱₁,…,x̱_m)` — exactly TA's
+//! threshold value `τ`.
+//!
+//! As sorted access proceeds, `W(R)` never decreases and `B(R)` never
+//! increases; both facts are exploited by the lazy-heap halting check in
+//! `nra.rs` and asserted by the property tests.
+
+use fagin_middleware::Grade;
+
+use crate::aggregation::Aggregation;
+
+/// Per-list bottom values `x̱ᵢ`: the last (smallest) grade seen under sorted
+/// access in each list. Lists never accessed report the maximal grade `1`
+/// (as in TA_Z for lists outside `Z`, §7).
+#[derive(Clone, Debug)]
+pub struct Bottoms {
+    values: Vec<Grade>,
+    accessed: Vec<bool>,
+}
+
+impl Bottoms {
+    /// Fresh bottoms for `m` lists (all at `1`, none accessed).
+    pub fn new(m: usize) -> Self {
+        Bottoms {
+            values: vec![Grade::ONE; m],
+            accessed: vec![false; m],
+        }
+    }
+
+    /// Number of lists.
+    pub fn num_lists(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Records that sorted access on `list` returned `grade`.
+    ///
+    /// Grades must arrive in non-increasing order per list (sorted access).
+    pub fn observe(&mut self, list: usize, grade: Grade) {
+        debug_assert!(
+            !self.accessed[list] || grade <= self.values[list],
+            "sorted access must be non-increasing"
+        );
+        self.values[list] = grade;
+        self.accessed[list] = true;
+    }
+
+    /// The bottom value `x̱ᵢ` (1 if the list was never accessed).
+    #[inline]
+    pub fn value(&self, list: usize) -> Grade {
+        self.values[list]
+    }
+
+    /// Whether the list has been accessed at least once.
+    #[inline]
+    pub fn accessed(&self, list: usize) -> bool {
+        self.accessed[list]
+    }
+
+    /// TA's threshold value `τ = t(x̱₁,…,x̱_m)` — also the upper bound
+    /// `B(R)` for any unseen object.
+    pub fn threshold(&self, agg: &dyn Aggregation, scratch: &mut Vec<Grade>) -> Grade {
+        scratch.clear();
+        scratch.extend_from_slice(&self.values);
+        agg.evaluate(scratch)
+    }
+}
+
+/// The known fields of one object (the paper's `S(R)` with values).
+///
+/// Supports up to 64 lists (a `u64` known-fields mask); the paper treats `m`
+/// as a small constant (the arity of the aggregation function).
+#[derive(Clone, Debug)]
+pub struct PartialObject {
+    /// Bit `i` set ⟺ field `i` known.
+    known: u64,
+    /// Field values; unknown slots hold 0 (never read except through the
+    /// fill logic below).
+    fields: Box<[Grade]>,
+}
+
+impl PartialObject {
+    /// Maximum supported number of lists.
+    pub const MAX_LISTS: usize = 64;
+
+    /// A fresh object with no known fields.
+    pub fn new(m: usize) -> Self {
+        assert!(
+            m <= Self::MAX_LISTS,
+            "at most {} lists supported",
+            Self::MAX_LISTS
+        );
+        PartialObject {
+            known: 0,
+            fields: vec![Grade::ZERO; m].into_boxed_slice(),
+        }
+    }
+
+    /// Number of lists `m`.
+    pub fn num_lists(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Records field `i = grade`. Re-recording the same field is a no-op
+    /// (grades are immutable). Returns `true` if the field was new.
+    pub fn learn(&mut self, list: usize, grade: Grade) -> bool {
+        let bit = 1u64 << list;
+        if self.known & bit != 0 {
+            debug_assert_eq!(self.fields[list], grade, "grades are immutable");
+            return false;
+        }
+        self.known |= bit;
+        self.fields[list] = grade;
+        true
+    }
+
+    /// Whether field `i` is known.
+    #[inline]
+    pub fn knows(&self, list: usize) -> bool {
+        self.known & (1u64 << list) != 0
+    }
+
+    /// The value of field `i`, if known.
+    #[inline]
+    pub fn field(&self, list: usize) -> Option<Grade> {
+        self.knows(list).then(|| self.fields[list])
+    }
+
+    /// Number of known fields `|S(R)|`.
+    #[inline]
+    pub fn num_known(&self) -> usize {
+        self.known.count_ones() as usize
+    }
+
+    /// Whether every field is known (then `W = B = t(R)`).
+    #[inline]
+    pub fn is_complete(&self) -> bool {
+        self.num_known() == self.fields.len()
+    }
+
+    /// Iterates the indices of missing fields.
+    pub fn missing(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.fields.len()).filter(|&i| !self.knows(i))
+    }
+
+    /// `W_S(R)`: evaluate `t` with 0 substituted for missing fields.
+    pub fn w(&self, agg: &dyn Aggregation, scratch: &mut Vec<Grade>) -> Grade {
+        if self.is_complete() {
+            scratch.clear();
+            scratch.extend_from_slice(&self.fields);
+            return agg.evaluate(scratch);
+        }
+        scratch.clear();
+        scratch.extend((0..self.fields.len()).map(|i| {
+            if self.knows(i) {
+                self.fields[i]
+            } else {
+                Grade::ZERO
+            }
+        }));
+        agg.evaluate(scratch)
+    }
+
+    /// `B_S(R)`: evaluate `t` with the bottom values substituted for
+    /// missing fields.
+    pub fn b(&self, agg: &dyn Aggregation, bottoms: &Bottoms, scratch: &mut Vec<Grade>) -> Grade {
+        scratch.clear();
+        scratch.extend((0..self.fields.len()).map(|i| {
+            if self.knows(i) {
+                self.fields[i]
+            } else {
+                bottoms.value(i)
+            }
+        }));
+        agg.evaluate(scratch)
+    }
+
+    /// The exact grade `t(R)` when all fields are known.
+    pub fn exact(&self, agg: &dyn Aggregation, scratch: &mut Vec<Grade>) -> Option<Grade> {
+        if !self.is_complete() {
+            return None;
+        }
+        scratch.clear();
+        scratch.extend_from_slice(&self.fields);
+        Some(agg.evaluate(scratch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{Average, Min, Sum};
+
+    #[test]
+    fn bottoms_track_last_seen() {
+        let mut b = Bottoms::new(2);
+        assert_eq!(b.value(0), Grade::ONE);
+        assert!(!b.accessed(0));
+        b.observe(0, Grade::new(0.7));
+        b.observe(0, Grade::new(0.4));
+        assert_eq!(b.value(0), Grade::new(0.4));
+        assert!(b.accessed(0));
+        assert_eq!(b.value(1), Grade::ONE);
+    }
+
+    #[test]
+    fn threshold_is_t_of_bottoms() {
+        let mut b = Bottoms::new(3);
+        b.observe(0, Grade::new(0.5));
+        b.observe(1, Grade::new(0.8));
+        // List 2 untouched → bottom 1.
+        let mut scratch = Vec::new();
+        assert_eq!(b.threshold(&Min, &mut scratch), Grade::new(0.5));
+        let s = b.threshold(&Sum, &mut scratch);
+        assert!((s.value() - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn w_and_b_bound_true_grade() {
+        // Paper §8 median example: with 2 of 3 fields known, W(R) is at
+        // least the smaller of the two (for median) — here we check the
+        // general sandwich for avg.
+        let mut p = PartialObject::new(3);
+        p.learn(0, Grade::new(0.6));
+        p.learn(2, Grade::new(0.3));
+        let mut bt = Bottoms::new(3);
+        bt.observe(1, Grade::new(0.5));
+
+        let mut scratch = Vec::new();
+        let w = p.w(&Average, &mut scratch);
+        let b = p.b(&Average, &bt, &mut scratch);
+        // True grade for any x₁ ≤ 0.5 lies in [w, b].
+        assert!((w.value() - 0.3).abs() < 1e-12); // (0.6+0+0.3)/3
+        assert!((b.value() - (0.6 + 0.5 + 0.3) / 3.0).abs() < 1e-12);
+        assert!(w <= b);
+    }
+
+    #[test]
+    fn min_w_is_zero_until_complete() {
+        // "if t is min, then W(R) is 0 until all values are discovered" (§8)
+        let mut p = PartialObject::new(3);
+        let mut scratch = Vec::new();
+        p.learn(0, Grade::new(0.9));
+        p.learn(1, Grade::new(0.8));
+        assert_eq!(p.w(&Min, &mut scratch), Grade::ZERO);
+        p.learn(2, Grade::new(0.7));
+        assert_eq!(p.w(&Min, &mut scratch), Grade::new(0.7));
+        assert_eq!(p.exact(&Min, &mut scratch), Some(Grade::new(0.7)));
+    }
+
+    #[test]
+    fn unseen_object_b_equals_threshold() {
+        let mut bt = Bottoms::new(2);
+        bt.observe(0, Grade::new(0.4));
+        bt.observe(1, Grade::new(0.6));
+        let unseen = PartialObject::new(2);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            unseen.b(&Min, &bt, &mut scratch),
+            bt.threshold(&Min, &mut scratch)
+        );
+    }
+
+    #[test]
+    fn learn_is_idempotent() {
+        let mut p = PartialObject::new(2);
+        assert!(p.learn(1, Grade::new(0.5)));
+        assert!(!p.learn(1, Grade::new(0.5)));
+        assert_eq!(p.num_known(), 1);
+        assert_eq!(p.field(1), Some(Grade::new(0.5)));
+        assert_eq!(p.field(0), None);
+        assert_eq!(p.missing().collect::<Vec<_>>(), vec![0]);
+        assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn w_monotone_b_antitone_as_information_arrives() {
+        let agg = Average;
+        let mut scratch = Vec::new();
+        let mut p = PartialObject::new(2);
+        let mut bt = Bottoms::new(2);
+
+        let mut last_w = p.w(&agg, &mut scratch);
+        let mut last_b = p.b(&agg, &bt, &mut scratch);
+
+        // Simulate sorted access: bottoms fall, fields get learned.
+        let steps: Vec<(usize, f64, Option<(usize, f64)>)> = vec![
+            (0, 0.9, Some((0, 0.9))),
+            (1, 0.8, None),
+            (0, 0.7, None),
+            (1, 0.6, Some((1, 0.6))),
+        ];
+        for (list, bottom, learn) in steps {
+            bt.observe(list, Grade::new(bottom));
+            if let Some((l, v)) = learn {
+                p.learn(l, Grade::new(v));
+            }
+            let w = p.w(&agg, &mut scratch);
+            let b = p.b(&agg, &bt, &mut scratch);
+            assert!(w >= last_w, "W must be non-decreasing");
+            assert!(b <= last_b, "B must be non-increasing");
+            assert!(w <= b);
+            last_w = w;
+            last_b = b;
+        }
+        assert_eq!(last_w, last_b, "complete object: W = B = t(R)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 lists")]
+    fn too_many_lists_rejected() {
+        let _ = PartialObject::new(65);
+    }
+}

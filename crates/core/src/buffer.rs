@@ -1,0 +1,218 @@
+//! A bounded top-`k` buffer (Theorem 4.2).
+//!
+//! TA's distinguishing resource property is that it only remembers the
+//! current top `k` objects and their grades — "only a small, constant-size
+//! buffer". [`TopKBuffer`] is that buffer: insertion keeps at most `k`
+//! entries, evicting the worst, with the canonical deterministic tie order
+//! (higher grade first; equal grades broken towards smaller object id).
+
+use std::collections::BTreeSet;
+
+use fagin_middleware::{Grade, ObjectId};
+
+use crate::output::ScoredObject;
+
+/// Ordering key: ascending = worse. Equal grades: larger id is *worse*
+/// (evicted first), so smaller ids win ties deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct Key {
+    grade: Grade,
+    worse_id: std::cmp::Reverse<ObjectId>,
+}
+
+impl Key {
+    fn new(object: ObjectId, grade: Grade) -> Self {
+        Key {
+            grade,
+            worse_id: std::cmp::Reverse(object),
+        }
+    }
+
+    fn object(&self) -> ObjectId {
+        self.worse_id.0
+    }
+}
+
+/// A bounded buffer holding the best `k` `(object, grade)` pairs seen so far.
+///
+/// Re-inserting an object already present is a no-op (TA may see the same
+/// object under sorted access in several lists and recompute the same
+/// grade). Memory is `O(k)` regardless of how many insertions occur —
+/// this is what Theorem 4.2 asserts for TA.
+#[derive(Clone, Debug)]
+pub struct TopKBuffer {
+    k: usize,
+    set: BTreeSet<Key>,
+}
+
+impl TopKBuffer {
+    /// A buffer retaining the best `k` entries.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        TopKBuffer {
+            k,
+            set: BTreeSet::new(),
+        }
+    }
+
+    /// The capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries currently held (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the buffer holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether the buffer holds `k` entries.
+    pub fn is_full(&self) -> bool {
+        self.set.len() == self.k
+    }
+
+    /// Whether `object` is currently buffered (with any grade).
+    pub fn contains(&self, object: ObjectId) -> bool {
+        self.set.iter().any(|key| key.object() == object)
+    }
+
+    /// Offers `(object, grade)`. Returns `true` if the entry is retained.
+    ///
+    /// If `object` is already buffered the call is a no-op (grades of an
+    /// object are immutable in the paper's model).
+    pub fn offer(&mut self, object: ObjectId, grade: Grade) -> bool {
+        if self.contains(object) {
+            return true;
+        }
+        let key = Key::new(object, grade);
+        if self.set.len() < self.k {
+            self.set.insert(key);
+            return true;
+        }
+        let worst = *self.set.iter().next().expect("buffer is full");
+        if key > worst {
+            self.set.remove(&worst);
+            self.set.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The grade of the worst retained entry (the paper's `M_k`-style
+    /// cutoff), or `None` if the buffer is not yet full.
+    pub fn kth_grade(&self) -> Option<Grade> {
+        if self.is_full() {
+            self.set.iter().next().map(|key| key.grade)
+        } else {
+            None
+        }
+    }
+
+    /// The worst retained grade even if fewer than `k` entries are held.
+    pub fn worst_grade(&self) -> Option<Grade> {
+        self.set.iter().next().map(|key| key.grade)
+    }
+
+    /// Entries best-first.
+    pub fn items_desc(&self) -> Vec<ScoredObject> {
+        self.set
+            .iter()
+            .rev()
+            .map(|key| ScoredObject {
+                object: key.object(),
+                grade: Some(key.grade),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(v: f64) -> Grade {
+        Grade::new(v)
+    }
+
+    #[test]
+    fn keeps_best_k() {
+        let mut buf = TopKBuffer::new(2);
+        assert!(buf.offer(ObjectId(0), g(0.1)));
+        assert!(buf.offer(ObjectId(1), g(0.5)));
+        assert!(buf.offer(ObjectId(2), g(0.3))); // evicts 0.1
+        assert!(!buf.offer(ObjectId(3), g(0.05))); // rejected
+        let objs: Vec<u32> = buf.items_desc().iter().map(|s| s.object.0).collect();
+        assert_eq!(objs, vec![1, 2]);
+        assert_eq!(buf.kth_grade(), Some(g(0.3)));
+    }
+
+    #[test]
+    fn reinsert_is_noop() {
+        let mut buf = TopKBuffer::new(2);
+        buf.offer(ObjectId(0), g(0.5));
+        buf.offer(ObjectId(0), g(0.5));
+        assert_eq!(buf.len(), 1);
+        assert!(buf.contains(ObjectId(0)));
+    }
+
+    #[test]
+    fn ties_prefer_smaller_id() {
+        let mut buf = TopKBuffer::new(1);
+        buf.offer(ObjectId(5), g(0.5));
+        // Equal grade, smaller id wins.
+        buf.offer(ObjectId(2), g(0.5));
+        assert_eq!(buf.items_desc()[0].object, ObjectId(2));
+        // Equal grade, larger id loses.
+        buf.offer(ObjectId(9), g(0.5));
+        assert_eq!(buf.items_desc()[0].object, ObjectId(2));
+    }
+
+    #[test]
+    fn kth_grade_requires_full_buffer() {
+        let mut buf = TopKBuffer::new(3);
+        buf.offer(ObjectId(0), g(0.9));
+        assert_eq!(buf.kth_grade(), None);
+        assert_eq!(buf.worst_grade(), Some(g(0.9)));
+        buf.offer(ObjectId(1), g(0.8));
+        buf.offer(ObjectId(2), g(0.7));
+        assert_eq!(buf.kth_grade(), Some(g(0.7)));
+    }
+
+    #[test]
+    fn items_are_sorted_descending() {
+        let mut buf = TopKBuffer::new(4);
+        for (i, v) in [0.2, 0.9, 0.4, 0.7].into_iter().enumerate() {
+            buf.offer(ObjectId(i as u32), g(v));
+        }
+        let grades: Vec<f64> = buf
+            .items_desc()
+            .iter()
+            .map(|s| s.grade.unwrap().value())
+            .collect();
+        assert_eq!(grades, vec![0.9, 0.7, 0.4, 0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = TopKBuffer::new(0);
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        // Offer far more entries than k; the buffer never exceeds k.
+        let mut buf = TopKBuffer::new(5);
+        for i in 0..10_000u32 {
+            buf.offer(ObjectId(i), g((i % 97) as f64 / 97.0));
+            assert!(buf.len() <= 5);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # fagin-core
+//!
+//! Rust implementations of the top-`k` aggregation algorithms of
+//! **Fagin, Lotem & Naor, "Optimal Aggregation Algorithms for Middleware"**
+//! (PODS 2001): the Threshold Algorithm (TA) with its approximation (TAθ)
+//! and restricted-sorted-access (TA_Z) variants, the No-Random-Access
+//! algorithm (NRA), the Combined Algorithm (CA), and the baselines they are
+//! measured against (the naive scan, Fagin's Algorithm FA, the intermittent
+//! algorithm, and the `mk`-access specialist for `t = max`).
+//!
+//! Algorithms run against any [`fagin_middleware::Middleware`] session and
+//! never bypass it, so the session's access counters are a complete record
+//! of middleware cost (`s·c_S + r·c_R`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fagin_middleware::{Database, Session};
+//! use fagin_core::aggregation::Min;
+//! use fagin_core::algorithms::{Ta, TopKAlgorithm};
+//!
+//! // Objects:      0     1     2
+//! let db = Database::from_f64_columns(&[
+//!     vec![0.9, 0.5, 0.1], // "redness" list
+//!     vec![0.2, 0.8, 0.5], // "roundness" list
+//! ]).unwrap();
+//!
+//! let mut session = Session::new(&db);
+//! let top = Ta::new().run(&mut session, &Min, 1).unwrap();
+//! assert_eq!(top.items[0].object.0, 1); // min(0.5, 0.8) = 0.5 wins
+//! println!("found with {} accesses", top.stats.total());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregation;
+pub mod algorithms;
+pub mod bounds;
+pub mod buffer;
+pub mod optimality;
+pub mod planner;
+pub mod oracle;
+pub mod output;
+
+pub use aggregation::Aggregation;
+pub use algorithms::TopKAlgorithm;
+pub use output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};

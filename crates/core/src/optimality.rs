@@ -1,0 +1,156 @@
+//! Instance optimality: theoretical bounds and measured ratios (§5, §6, §9).
+//!
+//! An algorithm `B` is *instance optimal* over a class `A` of algorithms and
+//! a class `D` of databases when `cost(B,D) ≤ c·cost(A,D) + c′` for every
+//! `A ∈ A`, `D ∈ D`; the constant `c` is the **optimality ratio**. This
+//! module provides the paper's proven upper bounds on the optimality ratios
+//! of TA, TA_Z, NRA, and CA (summarized in Table 1), and helpers to compare
+//! a measured execution against the cost of the best possible algorithm on
+//! the same database.
+
+use fagin_middleware::{AccessStats, CostModel};
+
+/// Theoretical optimality-ratio upper bound of **TA** over algorithms that
+/// make no wild guesses (proof of Theorem 6.1):
+/// `m + m(m−1)·c_R/c_S`. By Corollary 6.2 this is *tight* for strict
+/// aggregation functions.
+pub fn ta_ratio_bound(m: usize, costs: &CostModel) -> f64 {
+    let m = m as f64;
+    m + m * (m - 1.0) * costs.ratio()
+}
+
+/// Theoretical optimality-ratio upper bound of **TA_Z** (proof of Theorem
+/// 7.1): `m′ + m′(m−1)·c_R/c_S` where `m′ = |Z|`. Tight by Corollary 7.2.
+pub fn ta_z_ratio_bound(m_prime: usize, m: usize, costs: &CostModel) -> f64 {
+    let (m_prime, m) = (m_prime as f64, m as f64);
+    m_prime + m_prime * (m - 1.0) * costs.ratio()
+}
+
+/// Theoretical optimality-ratio upper bound of **TA** under strict
+/// monotonicity + distinctness, against *all* correct algorithms including
+/// wild guessers (proof of Theorem 6.5): `c·m²` with
+/// `c = max(c_R/c_S, c_S/c_R)`.
+pub fn ta_distinct_ratio_bound(m: usize, costs: &CostModel) -> f64 {
+    let c = costs.ratio().max(1.0 / costs.ratio());
+    c * (m * m) as f64
+}
+
+/// Theoretical optimality-ratio of **NRA** over algorithms that make no
+/// random accesses (proof of Theorem 8.5): `m`. Tight for strict `t`
+/// (Corollary 8.6 / Theorem 9.5).
+pub fn nra_ratio_bound(m: usize) -> f64 {
+    m as f64
+}
+
+/// Theoretical optimality-ratio upper bound of **CA** for aggregation
+/// functions strictly monotone in each argument, under distinctness (proof
+/// of Theorem 8.9): `4m + k` — independent of `c_R/c_S`.
+pub fn ca_ratio_bound(m: usize, k: usize) -> f64 {
+    (4 * m + k) as f64
+}
+
+/// Theoretical optimality-ratio upper bound of **CA** for `t = min` under
+/// distinctness (proof of Theorem 8.10): `5m`.
+pub fn ca_min_ratio_bound(m: usize) -> f64 {
+    (5 * m) as f64
+}
+
+/// Lower bound of Theorem 9.1: no deterministic no-wild-guess algorithm has
+/// optimality ratio below `m + m(m−1)·c_R/c_S` for strict `t` (same value
+/// as [`ta_ratio_bound`]: TA is tightly instance optimal there).
+pub fn thm_9_1_lower_bound(m: usize, costs: &CostModel) -> f64 {
+    ta_ratio_bound(m, costs)
+}
+
+/// Lower bound of Theorem 9.2: for `t = min(x₁+x₂, x₃,…,x_m)` under
+/// distinctness, every deterministic algorithm has optimality ratio at
+/// least `(m−2)/2 · c_R/c_S`.
+pub fn thm_9_2_lower_bound(m: usize, costs: &CostModel) -> f64 {
+    (m as f64 - 2.0) / 2.0 * costs.ratio()
+}
+
+/// Lower bound of Theorems 9.3/9.4: `m/2` (even for probabilistic
+/// algorithms that never err).
+pub fn thm_9_3_lower_bound(m: usize) -> f64 {
+    m as f64 / 2.0
+}
+
+/// Lower bound of Theorem 9.5: no deterministic no-random-access algorithm
+/// beats ratio `m` for strict `t`.
+pub fn thm_9_5_lower_bound(m: usize) -> f64 {
+    m as f64
+}
+
+/// The measured optimality ratio of an execution against a known
+/// best-possible cost on the same database: `cost(B,D) / cost(opt,D)`.
+pub fn measured_ratio(stats: &AccessStats, optimal_cost: f64, costs: &CostModel) -> f64 {
+    assert!(optimal_cost > 0.0, "optimal cost must be positive");
+    costs.cost(stats) / optimal_cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ta_bound_matches_corollary_6_2() {
+        // m = 2, c_R = c_S: 2 + 2·1·1 = 4.
+        assert_eq!(ta_ratio_bound(2, &CostModel::UNIT), 4.0);
+        // m = 3, c_R/c_S = 10: 3 + 3·2·10 = 63.
+        assert_eq!(ta_ratio_bound(3, &CostModel::new(1.0, 10.0)), 63.0);
+    }
+
+    #[test]
+    fn sorted_access_only_reduces_to_m() {
+        // "What if we were to consider only the sorted access cost? …the
+        // optimality ratio of TA is m" — c_R → 0 limit.
+        let tiny = CostModel::new(1.0, 1e-12);
+        assert!((ta_ratio_bound(4, &tiny) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ta_z_bound_matches_corollary_7_2() {
+        // m' = 1, m = 3, ratio 1: 1 + 1·2·1 = 3.
+        assert_eq!(ta_z_ratio_bound(1, 3, &CostModel::UNIT), 3.0);
+    }
+
+    #[test]
+    fn distinct_bound_is_symmetric_in_cost_ratio() {
+        let a = ta_distinct_ratio_bound(3, &CostModel::new(1.0, 4.0));
+        let b = ta_distinct_ratio_bound(3, &CostModel::new(4.0, 1.0));
+        assert_eq!(a, b);
+        assert_eq!(a, 36.0);
+    }
+
+    #[test]
+    fn ca_bounds() {
+        assert_eq!(ca_ratio_bound(3, 2), 14.0);
+        assert_eq!(ca_min_ratio_bound(3), 15.0);
+        assert_eq!(nra_ratio_bound(5), 5.0);
+    }
+
+    #[test]
+    fn lower_bounds() {
+        assert_eq!(thm_9_2_lower_bound(4, &CostModel::new(1.0, 10.0)), 10.0);
+        assert_eq!(thm_9_3_lower_bound(4), 2.0);
+        assert_eq!(thm_9_5_lower_bound(4), 4.0);
+    }
+
+    #[test]
+    fn measured_ratio_computes() {
+        let mut stats = AccessStats::new(2);
+        for _ in 0..6 {
+            stats.record_sorted(0);
+        }
+        stats.record_random(1);
+        let costs = CostModel::new(1.0, 4.0);
+        // cost = 6 + 4 = 10; optimal 2.5 → ratio 4.
+        assert_eq!(measured_ratio(&stats, 2.5, &costs), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "optimal cost must be positive")]
+    fn zero_optimal_cost_rejected() {
+        let _ = measured_ratio(&AccessStats::new(1), 0.0, &CostModel::UNIT);
+    }
+}

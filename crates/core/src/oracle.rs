@@ -1,0 +1,174 @@
+//! Ground-truth oracle: exact top-`k` computed subsystem-side.
+//!
+//! Tests and experiment harnesses need the *true* answer without paying (or
+//! counting) middleware accesses. The oracle reads the [`Database`]
+//! directly, so it must never be used inside an algorithm under test.
+
+use fagin_middleware::{Database, Grade, ObjectId};
+
+use crate::aggregation::Aggregation;
+use crate::output::ScoredObject;
+
+/// Computes every object's overall grade `t(R)`.
+pub fn all_grades(db: &Database, agg: &dyn Aggregation) -> Vec<(ObjectId, Grade)> {
+    let mut scratch = Vec::with_capacity(db.num_lists());
+    db.objects()
+        .map(|obj| {
+            scratch.clear();
+            scratch.extend(db.row(obj).expect("object exists"));
+            (obj, agg.evaluate(&scratch))
+        })
+        .collect()
+}
+
+/// The canonical true top-`k`: grade descending, ties broken towards the
+/// smaller object id.
+pub fn true_top_k(db: &Database, agg: &dyn Aggregation, k: usize) -> Vec<ScoredObject> {
+    let mut graded = all_grades(db, agg);
+    graded.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    graded
+        .into_iter()
+        .take(k)
+        .map(|(object, grade)| ScoredObject {
+            object,
+            grade: Some(grade),
+        })
+        .collect()
+}
+
+/// The grade of the `k`-th best object (or of the worst object if `k > N`).
+pub fn kth_grade(db: &Database, agg: &dyn Aggregation, k: usize) -> Grade {
+    let top = true_top_k(db, agg, k);
+    top.last().expect("database is nonempty").grade.unwrap()
+}
+
+/// Whether `objects` is a *valid* top-`k` answer set: its grade multiset
+/// equals the true top-`k` grade multiset (ties may be broken arbitrarily,
+/// so object identity is not required to match).
+pub fn is_valid_top_k(
+    db: &Database,
+    agg: &dyn Aggregation,
+    k: usize,
+    objects: &[ObjectId],
+) -> bool {
+    let k_eff = k.min(db.num_objects());
+    if objects.len() != k_eff {
+        return false;
+    }
+    // No duplicates allowed.
+    let mut sorted_ids = objects.to_vec();
+    sorted_ids.sort_unstable();
+    if sorted_ids.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    let mut scratch = Vec::new();
+    let mut got: Vec<Grade> = objects
+        .iter()
+        .map(|&obj| {
+            scratch.clear();
+            scratch.extend(db.row(obj).expect("object exists"));
+            agg.evaluate(&scratch)
+        })
+        .collect();
+    got.sort_unstable_by(|a, b| b.cmp(a));
+    let want: Vec<Grade> = true_top_k(db, agg, k_eff)
+        .into_iter()
+        .map(|s| s.grade.unwrap())
+        .collect();
+    got == want
+}
+
+/// Whether `objects` is a valid **θ-approximation** to the top-`k` (§6.2):
+/// for each selected `y` and unselected `z`, `θ·t(y) ≥ t(z)`.
+pub fn is_valid_theta_approximation(
+    db: &Database,
+    agg: &dyn Aggregation,
+    k: usize,
+    theta: f64,
+    objects: &[ObjectId],
+) -> bool {
+    assert!(theta >= 1.0, "theta must be at least 1");
+    let k_eff = k.min(db.num_objects());
+    if objects.len() != k_eff {
+        return false;
+    }
+    let selected: std::collections::HashSet<ObjectId> = objects.iter().copied().collect();
+    if selected.len() != objects.len() {
+        return false;
+    }
+    let graded = all_grades(db, agg);
+    let min_selected = graded
+        .iter()
+        .filter(|(o, _)| selected.contains(o))
+        .map(|&(_, g)| g)
+        .min()
+        .expect("nonempty selection");
+    let max_unselected = graded
+        .iter()
+        .filter(|(o, _)| !selected.contains(o))
+        .map(|&(_, g)| g)
+        .max();
+    match max_unselected {
+        None => true, // everything selected
+        Some(z) => theta * min_selected.value() >= z.value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{Average, Min};
+    use fagin_middleware::Database;
+
+    fn db() -> Database {
+        // rows: obj0 (0.9, 0.2) → min 0.2, avg 0.55
+        //       obj1 (0.5, 0.8) → min 0.5, avg 0.65
+        //       obj2 (0.1, 0.5) → min 0.1, avg 0.30
+        Database::from_f64_columns(&[vec![0.9, 0.5, 0.1], vec![0.2, 0.8, 0.5]]).unwrap()
+    }
+
+    #[test]
+    fn true_top_k_orders_by_grade() {
+        let top = true_top_k(&db(), &Min, 2);
+        assert_eq!(top[0].object, ObjectId(1));
+        assert_eq!(top[0].grade, Some(Grade::new(0.5)));
+        assert_eq!(top[1].object, ObjectId(0));
+    }
+
+    #[test]
+    fn kth_grade_clamps() {
+        assert_eq!(kth_grade(&db(), &Min, 1), Grade::new(0.5));
+        assert_eq!(kth_grade(&db(), &Min, 99), Grade::new(0.1));
+    }
+
+    #[test]
+    fn valid_top_k_accepts_tie_permutations() {
+        // Two objects tied on min: (0.5, 0.6) and (0.6, 0.5).
+        let db =
+            Database::from_f64_columns(&[vec![0.5, 0.6, 0.1], vec![0.6, 0.5, 0.1]]).unwrap();
+        assert!(is_valid_top_k(&db, &Min, 1, &[ObjectId(0)]));
+        assert!(is_valid_top_k(&db, &Min, 1, &[ObjectId(1)]));
+        assert!(!is_valid_top_k(&db, &Min, 1, &[ObjectId(2)]));
+        // Wrong cardinality and duplicates rejected.
+        assert!(!is_valid_top_k(&db, &Min, 2, &[ObjectId(0)]));
+        assert!(!is_valid_top_k(&db, &Min, 2, &[ObjectId(0), ObjectId(0)]));
+    }
+
+    #[test]
+    fn theta_approximation_check() {
+        let db = db();
+        // Exact answer is also a θ-approximation for every θ.
+        assert!(is_valid_theta_approximation(&db, &Average, 1, 1.0, &[ObjectId(1)]));
+        // obj0 has avg 0.55, best is 0.65: valid iff θ·0.55 ≥ 0.65.
+        assert!(!is_valid_theta_approximation(&db, &Average, 1, 1.05, &[ObjectId(0)]));
+        assert!(is_valid_theta_approximation(&db, &Average, 1, 1.2, &[ObjectId(0)]));
+    }
+
+    #[test]
+    fn k_larger_than_n_selects_everything() {
+        let db = db();
+        let all: Vec<ObjectId> = db.objects().collect();
+        assert!(is_valid_top_k(&db, &Min, 10, &all));
+        assert!(is_valid_theta_approximation(&db, &Min, 10, 1.0, &all));
+    }
+}

@@ -1,0 +1,209 @@
+//! Algorithm outputs, run metrics, and errors.
+
+use std::fmt;
+
+use fagin_middleware::{AccessError, AccessStats, Grade, ObjectId};
+
+/// One output item: an object, with its overall grade when the algorithm
+/// determined it.
+///
+/// TA/FA variants always report grades (a *top-k answer* in the paper's
+/// terminology); NRA/CA report the top-k *objects* and may leave grades
+/// unknown (§8.1 explains why demanding grades without random access can be
+/// arbitrarily more expensive).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ScoredObject {
+    /// The object.
+    pub object: ObjectId,
+    /// Its overall grade `t(R)`, if determined.
+    pub grade: Option<Grade>,
+}
+
+impl fmt::Display for ScoredObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.grade {
+            Some(g) => write!(f, "{} (grade {})", self.object, g),
+            None => write!(f, "{} (grade unknown)", self.object),
+        }
+    }
+}
+
+/// Execution metrics beyond raw access counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Rounds of sorted access in parallel (the paper's depth `d`).
+    pub rounds: u64,
+    /// Peak number of object records buffered at once.
+    ///
+    /// Theorem 4.2: TA's buffers are bounded (≤ `k` objects plus per-list
+    /// bookkeeping) while FA's match buffer can grow with `N`; NRA's
+    /// candidate set can too (Remark 8.7).
+    pub peak_buffer: usize,
+    /// The threshold value `τ` when the algorithm halted, if it computes one.
+    pub final_threshold: Option<Grade>,
+    /// For approximation runs: the guarantee `θ` such that the output is a
+    /// θ-approximation (1.0 = exact).
+    pub approximation_guarantee: f64,
+    /// Number of candidates whose grade was fully resolved via random access
+    /// (CA bookkeeping).
+    pub random_access_phases: u64,
+    /// Number of times bound bookkeeping (`W`/`B`) values were recomputed;
+    /// proxy for the Remark 8.7 cost comparison between strategies.
+    pub bound_recomputations: u64,
+}
+
+impl RunMetrics {
+    pub(crate) fn new() -> Self {
+        RunMetrics {
+            approximation_guarantee: 1.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of a top-`k` run.
+#[derive(Clone, Debug)]
+pub struct TopKOutput {
+    /// The top-`k` items, highest grade first (where grades are known;
+    /// otherwise in the algorithm's confidence order).
+    pub items: Vec<ScoredObject>,
+    /// Snapshot of the session's access counters at completion.
+    pub stats: AccessStats,
+    /// Additional run metrics.
+    pub metrics: RunMetrics,
+}
+
+impl TopKOutput {
+    /// The output objects, in order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.items.iter().map(|i| i.object).collect()
+    }
+
+    /// The output grades, where known, in order.
+    pub fn grades(&self) -> Vec<Option<Grade>> {
+        self.items.iter().map(|i| i.grade).collect()
+    }
+}
+
+impl fmt::Display for TopKOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "top-{}:", self.items.len())?;
+        for (rank, item) in self.items.iter().enumerate() {
+            writeln!(f, "  {:>3}. {}", rank + 1, item)?;
+        }
+        write!(f, "  [{}]", self.stats)
+    }
+}
+
+/// Errors returned by algorithm runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgoError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// The aggregation function rejects the database's number of lists.
+    ArityMismatch {
+        /// Lists in the database.
+        lists: usize,
+        /// Name of the aggregation.
+        aggregation: String,
+    },
+    /// The middleware refused an access the algorithm needs; the policy is
+    /// incompatible with the algorithm (e.g. running TA under a
+    /// no-random-access policy).
+    Access(AccessError),
+    /// The algorithm's precondition on the aggregation function is violated
+    /// (e.g. [`MaxTopK`](crate::algorithms::MaxTopK) requires `t = max`).
+    UnsupportedAggregation {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Why the aggregation is unsupported.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoError::ZeroK => write!(f, "k must be at least 1"),
+            AlgoError::ArityMismatch { lists, aggregation } => {
+                write!(f, "aggregation '{aggregation}' rejects {lists} lists")
+            }
+            AlgoError::Access(e) => write!(f, "middleware access failed: {e}"),
+            AlgoError::UnsupportedAggregation { algorithm, reason } => {
+                write!(f, "{algorithm}: unsupported aggregation: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgoError::Access(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AccessError> for AlgoError {
+    fn from(e: AccessError) -> Self {
+        AlgoError::Access(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scored_object_display() {
+        let with = ScoredObject {
+            object: ObjectId(1),
+            grade: Some(Grade::new(0.5)),
+        };
+        assert!(with.to_string().contains("0.5"));
+        let without = ScoredObject {
+            object: ObjectId(1),
+            grade: None,
+        };
+        assert!(without.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn output_accessors() {
+        let out = TopKOutput {
+            items: vec![
+                ScoredObject {
+                    object: ObjectId(3),
+                    grade: Some(Grade::new(0.9)),
+                },
+                ScoredObject {
+                    object: ObjectId(1),
+                    grade: None,
+                },
+            ],
+            stats: AccessStats::new(2),
+            metrics: RunMetrics::new(),
+        };
+        assert_eq!(out.objects(), vec![ObjectId(3), ObjectId(1)]);
+        assert_eq!(out.grades(), vec![Some(Grade::new(0.9)), None]);
+        assert!(out.to_string().contains("top-2"));
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: AlgoError = AccessError::BudgetExhausted.into();
+        assert!(e.to_string().contains("budget"));
+        assert!(AlgoError::ZeroK.to_string().contains("k must be"));
+        let a = AlgoError::ArityMismatch {
+            lists: 2,
+            aggregation: "min-plus".into(),
+        };
+        assert!(a.to_string().contains("min-plus"));
+    }
+
+    #[test]
+    fn metrics_default_guarantee_is_exact() {
+        assert_eq!(RunMetrics::new().approximation_guarantee, 1.0);
+    }
+}

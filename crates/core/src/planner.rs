@@ -1,0 +1,426 @@
+//! Query planning: choose the right algorithm from declared capabilities.
+//!
+//! The paper's algorithms partition cleanly by scenario — TA when both
+//! access modes are cheap (§4), TA_Z when some lists lack sorted access
+//! (§7), NRA when random access is impossible (§8.1), CA when random access
+//! is expensive (§8.2), the `mk` specialist when `t = max` (§3) — and each
+//! carries a different instance-optimality guarantee (Table 1). The
+//! [`Planner`] encodes that decision table: given a capability description
+//! and a cost model it returns an executable plan together with the paper's
+//! guarantee for it and a human-readable rationale. This is the role the
+//! Garlic middleware plays for FA in §3.
+
+use std::collections::BTreeSet;
+
+use fagin_middleware::{CostModel, Middleware};
+
+use crate::aggregation::Aggregation;
+use crate::algorithms::{
+    BookkeepingStrategy, Ca, MaxTopK, Nra, StreamCombine, Ta, TopKAlgorithm,
+};
+use crate::optimality;
+use crate::output::{AlgoError, TopKOutput};
+
+/// What the middleware's subsystems support, plus query requirements.
+#[derive(Clone, Debug)]
+pub struct Capabilities {
+    /// Number of lists `m`.
+    pub num_lists: usize,
+    /// Lists that support sorted access (the paper's `Z`). Empty set means
+    /// no planning is possible (§7 assumes `Z ≠ ∅`).
+    pub sorted_lists: BTreeSet<usize>,
+    /// Whether random access is available at all.
+    pub random_access: bool,
+    /// Whether the caller needs exact grades in the output (§8.1 relaxes
+    /// this for the no-random-access scenario).
+    pub require_grades: bool,
+    /// Whether the database is known to satisfy the distinctness property
+    /// (enables the Theorem 6.5 / 8.9 / 8.10 guarantees).
+    pub distinctness: bool,
+}
+
+impl Capabilities {
+    /// Full capabilities: every list sorted-accessible, random access
+    /// available, grades required.
+    pub fn full(m: usize) -> Self {
+        Capabilities {
+            num_lists: m,
+            sorted_lists: (0..m).collect(),
+            random_access: true,
+            require_grades: true,
+            distinctness: false,
+        }
+    }
+
+    /// The web-search scenario: no random access (§2, §8.1).
+    pub fn no_random_access(m: usize) -> Self {
+        Capabilities {
+            random_access: false,
+            require_grades: false,
+            ..Self::full(m)
+        }
+    }
+
+    /// The restaurant scenario (§7): sorted access only on `z`.
+    pub fn restricted_sorted(m: usize, z: impl IntoIterator<Item = usize>) -> Self {
+        Capabilities {
+            sorted_lists: z.into_iter().collect(),
+            ..Self::full(m)
+        }
+    }
+
+    fn all_sorted(&self) -> bool {
+        self.sorted_lists.len() == self.num_lists
+    }
+}
+
+/// The paper-backed guarantee attached to a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Guarantee {
+    /// Instance optimal over the stated class with the given optimality
+    /// ratio bound.
+    InstanceOptimal {
+        /// Upper bound on the optimality ratio.
+        ratio_bound: f64,
+        /// The class `A` (human-readable).
+        class: &'static str,
+    },
+    /// Correct, but no instance-optimality claim applies.
+    CorrectOnly,
+}
+
+/// An executable plan.
+pub struct Plan {
+    // (not Clone/Debug: holds a boxed algorithm)
+    /// The chosen algorithm.
+    pub algorithm: Box<dyn TopKAlgorithm>,
+    /// The guarantee the paper proves for this choice.
+    pub guarantee: Guarantee,
+    /// Why this plan was chosen.
+    pub rationale: Vec<String>,
+}
+
+impl Plan {
+    /// Runs the plan.
+    pub fn execute(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+    ) -> Result<TopKOutput, AlgoError> {
+        self.algorithm.run(mw, agg, k)
+    }
+}
+
+/// Errors from planning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// No list supports sorted access and random access alone cannot
+    /// enumerate unseen objects (wild guesses are not a plan).
+    NoSortedAccess,
+    /// Some lists lack sorted access and random access is unavailable:
+    /// those grades are unreachable.
+    UnreachableGrades,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoSortedAccess => write!(f, "no list supports sorted access (Z is empty)"),
+            PlanError::UnreachableGrades => write!(
+                f,
+                "some lists support neither sorted nor random access; their grades are unreachable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The decision table of §4–§8, as a planner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Planner;
+
+impl Planner {
+    /// Chooses an algorithm for the given capabilities, aggregation, `k`
+    /// and cost model.
+    pub fn plan(
+        &self,
+        caps: &Capabilities,
+        agg: &dyn Aggregation,
+        k: usize,
+        costs: &CostModel,
+    ) -> Result<Plan, PlanError> {
+        let m = caps.num_lists;
+        let mut why = Vec::new();
+
+        if caps.sorted_lists.is_empty() {
+            return Err(PlanError::NoSortedAccess);
+        }
+        if !caps.all_sorted() && !caps.random_access {
+            return Err(PlanError::UnreachableGrades);
+        }
+
+        // §7: restricted sorted access forces TA_Z.
+        if !caps.all_sorted() {
+            let m_prime = caps.sorted_lists.len();
+            why.push(format!(
+                "only {m_prime}/{m} lists support sorted access: TA_Z over Z (§7)"
+            ));
+            return Ok(Plan {
+                algorithm: Box::new(Ta::restricted(caps.sorted_lists.iter().copied())),
+                guarantee: Guarantee::InstanceOptimal {
+                    ratio_bound: optimality::ta_z_ratio_bound(m_prime, m, costs),
+                    class: "correct algorithms with sorted access on Z, no wild guesses (Thm 7.1)",
+                },
+                rationale: why,
+            });
+        }
+
+        // §8.1: no random access.
+        if !caps.random_access {
+            if caps.require_grades {
+                why.push(
+                    "no random access but grades required: Stream-Combine semantics (§10) — \
+                     note the paper proves no instance-optimality for this requirement"
+                        .to_string(),
+                );
+                return Ok(Plan {
+                    algorithm: Box::new(StreamCombine::default()),
+                    guarantee: Guarantee::CorrectOnly,
+                    rationale: why,
+                });
+            }
+            why.push("no random access: NRA (§8.1)".to_string());
+            return Ok(Plan {
+                algorithm: Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+                guarantee: Guarantee::InstanceOptimal {
+                    ratio_bound: optimality::nra_ratio_bound(m),
+                    class: "correct algorithms making no random accesses (Thm 8.5)",
+                },
+                rationale: why,
+            });
+        }
+
+        // §3/§6: the max specialist (footnote 9's mk algorithm).
+        if MaxTopK::behaves_like_max(agg, m) {
+            why.push("aggregation behaves like max: mk-sorted-access specialist (§3)".to_string());
+            return Ok(Plan {
+                algorithm: Box::new(MaxTopK),
+                guarantee: Guarantee::InstanceOptimal {
+                    ratio_bound: 1.0,
+                    class: "the specialist itself is the benchmark for max (§6, footnote 9)",
+                },
+                rationale: why,
+            });
+        }
+
+        // §8.2/8.3: expensive random access + the right structure → CA.
+        let ca_applies = caps.distinctness
+            && (agg.is_strictly_monotone_each_arg() || agg.name() == "min");
+        let ta_bound = optimality::ta_ratio_bound(m, costs);
+        let ca_bound = if agg.name() == "min" {
+            optimality::ca_min_ratio_bound(m)
+        } else {
+            optimality::ca_ratio_bound(m, k)
+        };
+        if ca_applies && ta_bound > ca_bound {
+            why.push(format!(
+                "c_R/c_S = {:.1} makes TA's ratio {ta_bound:.1} exceed CA's {ca_bound:.1}: CA (§8.2)",
+                costs.ratio()
+            ));
+            return Ok(Plan {
+                algorithm: Box::new(
+                    Ca::for_costs(costs).with_strategy(BookkeepingStrategy::LazyHeap),
+                ),
+                guarantee: Guarantee::InstanceOptimal {
+                    ratio_bound: ca_bound,
+                    class: "correct algorithms over distinct databases (Thms 8.9/8.10)",
+                },
+                rationale: why,
+            });
+        }
+
+        // §4/§6: the default — TA.
+        why.push(format!(
+            "full capabilities, c_R/c_S = {:.1}: TA (§4)",
+            costs.ratio()
+        ));
+        let class = if caps.distinctness && agg.is_strictly_monotone() {
+            "all correct algorithms, distinct databases (Thm 6.5)"
+        } else {
+            "correct algorithms making no wild guesses (Thm 6.1)"
+        };
+        let ratio_bound = if caps.distinctness && agg.is_strictly_monotone() {
+            ta_bound.min(optimality::ta_distinct_ratio_bound(m, costs))
+        } else {
+            ta_bound
+        };
+        Ok(Plan {
+            algorithm: Box::new(Ta::new()),
+            guarantee: Guarantee::InstanceOptimal { ratio_bound, class },
+            rationale: why,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregation::{Average, Max, Min};
+    use crate::oracle;
+    use fagin_middleware::{AccessPolicy, Database, Session};
+
+    fn db() -> Database {
+        Database::from_f64_columns(&[
+            vec![0.90, 0.50, 0.10, 0.30],
+            vec![0.20, 0.80, 0.50, 0.40],
+            vec![0.60, 0.55, 0.95, 0.15],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_capabilities_cheap_random_gives_ta() {
+        let plan = Planner
+            .plan(&Capabilities::full(3), &Average, 2, &CostModel::UNIT)
+            .unwrap();
+        assert_eq!(plan.algorithm.name(), "TA");
+        assert!(matches!(plan.guarantee, Guarantee::InstanceOptimal { .. }));
+    }
+
+    #[test]
+    fn expensive_random_with_structure_gives_ca() {
+        let caps = Capabilities {
+            distinctness: true,
+            ..Capabilities::full(3)
+        };
+        let costs = CostModel::new(1.0, 100.0);
+        let plan = Planner.plan(&caps, &Average, 2, &costs).unwrap();
+        assert!(plan.algorithm.name().starts_with("CA"), "{}", plan.algorithm.name());
+        if let Guarantee::InstanceOptimal { ratio_bound, .. } = plan.guarantee {
+            assert_eq!(ratio_bound, optimality::ca_ratio_bound(3, 2));
+        } else {
+            panic!("CA should carry a guarantee");
+        }
+    }
+
+    #[test]
+    fn expensive_random_without_distinctness_stays_ta() {
+        let costs = CostModel::new(1.0, 100.0);
+        let plan = Planner
+            .plan(&Capabilities::full(3), &Average, 2, &costs)
+            .unwrap();
+        assert_eq!(plan.algorithm.name(), "TA");
+    }
+
+    #[test]
+    fn min_with_distinctness_uses_ca_bound_5m() {
+        let caps = Capabilities {
+            distinctness: true,
+            ..Capabilities::full(3)
+        };
+        let costs = CostModel::new(1.0, 50.0);
+        let plan = Planner.plan(&caps, &Min, 1, &costs).unwrap();
+        assert!(plan.algorithm.name().starts_with("CA"));
+        if let Guarantee::InstanceOptimal { ratio_bound, .. } = plan.guarantee {
+            assert_eq!(ratio_bound, 15.0); // 5m
+        } else {
+            panic!();
+        }
+    }
+
+    #[test]
+    fn no_random_access_gives_nra_or_stream_combine() {
+        let plan = Planner
+            .plan(
+                &Capabilities::no_random_access(3),
+                &Average,
+                2,
+                &CostModel::UNIT,
+            )
+            .unwrap();
+        assert!(plan.algorithm.name().starts_with("NRA"));
+
+        let caps = Capabilities {
+            require_grades: true,
+            ..Capabilities::no_random_access(3)
+        };
+        let plan = Planner.plan(&caps, &Average, 2, &CostModel::UNIT).unwrap();
+        assert!(plan.algorithm.name().starts_with("StreamCombine"));
+        assert_eq!(plan.guarantee, Guarantee::CorrectOnly);
+    }
+
+    #[test]
+    fn restricted_sorted_access_gives_ta_z() {
+        let plan = Planner
+            .plan(
+                &Capabilities::restricted_sorted(3, [0]),
+                &Min,
+                1,
+                &CostModel::UNIT,
+            )
+            .unwrap();
+        assert!(plan.algorithm.name().starts_with("TA_Z"));
+    }
+
+    #[test]
+    fn max_gets_the_specialist() {
+        let plan = Planner
+            .plan(&Capabilities::full(3), &Max, 2, &CostModel::UNIT)
+            .unwrap();
+        assert_eq!(plan.algorithm.name(), "MaxTopK");
+    }
+
+    #[test]
+    fn impossible_capabilities_are_errors() {
+        let mut caps = Capabilities::full(3);
+        caps.sorted_lists.clear();
+        let err = match Planner.plan(&caps, &Min, 1, &CostModel::UNIT) {
+            Err(e) => e,
+            Ok(_) => panic!("expected NoSortedAccess"),
+        };
+        assert_eq!(err, PlanError::NoSortedAccess);
+
+        let mut caps = Capabilities::restricted_sorted(3, [0]);
+        caps.random_access = false;
+        let err = match Planner.plan(&caps, &Min, 1, &CostModel::UNIT) {
+            Err(e) => e,
+            Ok(_) => panic!("expected UnreachableGrades"),
+        };
+        assert_eq!(err, PlanError::UnreachableGrades);
+    }
+
+    #[test]
+    fn plans_execute_correctly() {
+        let db = db();
+        let cases: Vec<(Capabilities, AccessPolicy)> = vec![
+            (Capabilities::full(3), AccessPolicy::no_wild_guesses()),
+            (
+                Capabilities::no_random_access(3),
+                AccessPolicy::no_random_access(),
+            ),
+            (
+                Capabilities::restricted_sorted(3, [0]),
+                AccessPolicy::sorted_only_on([0]),
+            ),
+        ];
+        for (caps, policy) in cases {
+            let plan = Planner.plan(&caps, &Average, 2, &CostModel::UNIT).unwrap();
+            let mut session = Session::with_policy(&db, policy);
+            let out = plan.execute(&mut session, &Average, 2).unwrap();
+            assert!(
+                oracle::is_valid_top_k(&db, &Average, 2, &out.objects()),
+                "{} failed",
+                plan.algorithm.name()
+            );
+            assert!(!plan.rationale.is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_error_display() {
+        assert!(PlanError::NoSortedAccess.to_string().contains("Z is empty"));
+        assert!(PlanError::UnreachableGrades.to_string().contains("unreachable"));
+    }
+}

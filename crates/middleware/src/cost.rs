@@ -1,0 +1,244 @@
+//! Middleware cost model and access accounting (§2 of the paper).
+//!
+//! If an execution performs `s` sorted accesses and `r` random accesses, its
+//! *middleware cost* is `s·c_S + r·c_R` for positive constants `c_S`, `c_R`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The paper's cost model: positive unit costs for sorted (`c_S`) and random
+/// (`c_R`) access.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Cost of one sorted access (`c_S > 0`).
+    pub sorted: f64,
+    /// Cost of one random access (`c_R > 0`).
+    pub random: f64,
+}
+
+impl CostModel {
+    /// `c_S = c_R = 1` — counts total accesses.
+    pub const UNIT: CostModel = CostModel {
+        sorted: 1.0,
+        random: 1.0,
+    };
+
+    /// Creates a cost model; both costs must be positive and finite.
+    pub fn new(sorted: f64, random: f64) -> Self {
+        assert!(
+            sorted > 0.0 && sorted.is_finite(),
+            "c_S must be positive and finite"
+        );
+        assert!(
+            random > 0.0 && random.is_finite(),
+            "c_R must be positive and finite"
+        );
+        CostModel { sorted, random }
+    }
+
+    /// The ratio `c_R / c_S`, the paper's key parameter.
+    #[inline]
+    pub fn ratio(&self) -> f64 {
+        self.random / self.sorted
+    }
+
+    /// `h = ⌊c_R / c_S⌋`, the CA phase length (§8.2). At least 1 when
+    /// `c_R ≥ c_S`.
+    #[inline]
+    pub fn h(&self) -> usize {
+        (self.ratio().floor() as usize).max(1)
+    }
+
+    /// The middleware cost of the given counts.
+    #[inline]
+    pub fn cost(&self, stats: &AccessStats) -> f64 {
+        stats.sorted_total() as f64 * self.sorted + stats.random_total() as f64 * self.random
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::UNIT
+    }
+}
+
+/// Per-list access counters for one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    sorted: Vec<u64>,
+    random: Vec<u64>,
+}
+
+impl AccessStats {
+    /// Fresh counters for `m` lists.
+    pub fn new(m: usize) -> Self {
+        AccessStats {
+            sorted: vec![0; m],
+            random: vec![0; m],
+        }
+    }
+
+    /// Records one sorted access on `list`.
+    #[inline]
+    pub fn record_sorted(&mut self, list: usize) {
+        self.sorted[list] += 1;
+    }
+
+    /// Records one random access on `list`.
+    #[inline]
+    pub fn record_random(&mut self, list: usize) {
+        self.random[list] += 1;
+    }
+
+    /// Total sorted accesses `s`.
+    #[inline]
+    pub fn sorted_total(&self) -> u64 {
+        self.sorted.iter().sum()
+    }
+
+    /// Total random accesses `r`.
+    #[inline]
+    pub fn random_total(&self) -> u64 {
+        self.random.iter().sum()
+    }
+
+    /// Total accesses `s + r`.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.sorted_total() + self.random_total()
+    }
+
+    /// Sorted accesses on one list (the *depth* reached in that list).
+    #[inline]
+    pub fn sorted_on(&self, list: usize) -> u64 {
+        self.sorted[list]
+    }
+
+    /// Random accesses on one list.
+    #[inline]
+    pub fn random_on(&self, list: usize) -> u64 {
+        self.random[list]
+    }
+
+    /// Maximum sorted-access depth over all lists (the paper's `d`).
+    pub fn depth(&self) -> u64 {
+        self.sorted.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of lists tracked.
+    pub fn num_lists(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Middleware cost under `model`.
+    #[inline]
+    pub fn cost(&self, model: &CostModel) -> f64 {
+        model.cost(self)
+    }
+}
+
+impl Add for AccessStats {
+    type Output = AccessStats;
+    fn add(mut self, rhs: AccessStats) -> AccessStats {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for AccessStats {
+    fn add_assign(&mut self, rhs: AccessStats) {
+        assert_eq!(self.sorted.len(), rhs.sorted.len(), "list-count mismatch");
+        for (a, b) in self.sorted.iter_mut().zip(&rhs.sorted) {
+            *a += b;
+        }
+        for (a, b) in self.random.iter_mut().zip(&rhs.random) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sorted={} random={} (depth={})",
+            self.sorted_total(),
+            self.random_total(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cost_counts_accesses() {
+        let mut s = AccessStats::new(2);
+        s.record_sorted(0);
+        s.record_sorted(0);
+        s.record_sorted(1);
+        s.record_random(1);
+        assert_eq!(s.sorted_total(), 3);
+        assert_eq!(s.random_total(), 1);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.depth(), 2);
+        assert_eq!(CostModel::UNIT.cost(&s), 4.0);
+    }
+
+    #[test]
+    fn weighted_cost() {
+        let mut s = AccessStats::new(1);
+        s.record_sorted(0);
+        s.record_random(0);
+        s.record_random(0);
+        let m = CostModel::new(1.0, 10.0);
+        assert_eq!(m.cost(&s), 21.0);
+        assert_eq!(m.ratio(), 10.0);
+        assert_eq!(m.h(), 10);
+    }
+
+    #[test]
+    fn h_is_at_least_one() {
+        // Even if c_R < c_S (outside the paper's CA assumption) h clamps to 1.
+        let m = CostModel::new(2.0, 1.0);
+        assert_eq!(m.h(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "c_S must be positive")]
+    fn zero_sorted_cost_rejected() {
+        let _ = CostModel::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "c_R must be positive")]
+    fn zero_random_cost_rejected() {
+        let _ = CostModel::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn stats_addition() {
+        let mut a = AccessStats::new(2);
+        a.record_sorted(0);
+        let mut b = AccessStats::new(2);
+        b.record_random(1);
+        b.record_sorted(1);
+        let c = a.clone() + b;
+        assert_eq!(c.sorted_total(), 2);
+        assert_eq!(c.random_total(), 1);
+        assert_eq!(c.sorted_on(0), 1);
+        assert_eq!(c.sorted_on(1), 1);
+        assert_eq!(c.random_on(1), 1);
+        a += AccessStats::new(2);
+        assert_eq!(a.sorted_total(), 1);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let mut s = AccessStats::new(1);
+        s.record_sorted(0);
+        assert_eq!(s.to_string(), "sorted=1 random=0 (depth=1)");
+    }
+}

@@ -1,0 +1,362 @@
+//! The database: `m` sorted lists over the same `N` objects.
+//!
+//! This is the paper's model (§1, "The model"): a database is a set of `N`
+//! objects, each with `m` fields in `[0,1]`, viewed as `m` sorted lists
+//! `L_1, …, L_m`, each of length `N`.
+
+use crate::error::BuildError;
+use crate::grade::{Entry, Grade, ObjectId};
+use crate::list::SortedList;
+
+/// An immutable middleware database: `m` sorted lists over `N` objects.
+///
+/// A [`Database`] is the shared, subsystem-side state; algorithms never
+/// touch it directly but go through a [`Session`](crate::session::Session),
+/// which enforces access policies and counts accesses.
+#[derive(Clone, Debug)]
+pub struct Database {
+    lists: Vec<SortedList>,
+    num_objects: usize,
+}
+
+impl Database {
+    /// Builds a database from per-list grade columns.
+    ///
+    /// `columns[i][j]` is the grade of object `j` in list `i`. All columns
+    /// must have the same, nonzero length.
+    pub fn from_columns(columns: &[Vec<Grade>]) -> Result<Self, BuildError> {
+        if columns.is_empty() {
+            return Err(BuildError::NoLists);
+        }
+        let n = columns[0].len();
+        if n == 0 {
+            return Err(BuildError::NoObjects);
+        }
+        let mut lists = Vec::with_capacity(columns.len());
+        for (i, col) in columns.iter().enumerate() {
+            if col.len() != n {
+                return Err(BuildError::LengthMismatch {
+                    list: i,
+                    got: col.len(),
+                    expected: n,
+                });
+            }
+            lists.push(SortedList::from_column(i, col)?);
+        }
+        Ok(Database {
+            lists,
+            num_objects: n,
+        })
+    }
+
+    /// Builds a database from lists whose entries are **already in rank
+    /// order** (highest grade first), preserving tie order. See
+    /// [`SortedList::from_ranked`].
+    pub fn from_ranked_lists(lists: Vec<Vec<Entry>>) -> Result<Self, BuildError> {
+        if lists.is_empty() {
+            return Err(BuildError::NoLists);
+        }
+        let n = lists[0].len();
+        let mut built = Vec::with_capacity(lists.len());
+        for (i, entries) in lists.into_iter().enumerate() {
+            if entries.len() != n {
+                return Err(BuildError::LengthMismatch {
+                    list: i,
+                    got: entries.len(),
+                    expected: n,
+                });
+            }
+            built.push(SortedList::from_ranked(i, entries)?);
+        }
+        Ok(Database {
+            lists: built,
+            num_objects: n,
+        })
+    }
+
+    /// Builds a database from raw `f64` columns (convenience for tests and
+    /// examples). Panics on non-finite grades.
+    pub fn from_f64_columns(columns: &[Vec<f64>]) -> Result<Self, BuildError> {
+        let cols: Vec<Vec<Grade>> = columns
+            .iter()
+            .map(|c| c.iter().map(|&v| Grade::new(v)).collect())
+            .collect();
+        Self::from_columns(&cols)
+    }
+
+    /// Builds a database from rows: `rows[j]` holds the `m` grades of object
+    /// `j`.
+    pub fn from_rows(rows: &[Vec<Grade>]) -> Result<Self, BuildError> {
+        if rows.is_empty() {
+            return Err(BuildError::NoObjects);
+        }
+        let m = rows[0].len();
+        if m == 0 {
+            return Err(BuildError::NoLists);
+        }
+        let mut columns = vec![Vec::with_capacity(rows.len()); m];
+        for (j, row) in rows.iter().enumerate() {
+            if row.len() != m {
+                return Err(BuildError::LengthMismatch {
+                    list: row.len().min(m),
+                    got: row.len(),
+                    expected: m,
+                });
+            }
+            for (i, &g) in row.iter().enumerate() {
+                let _ = j;
+                columns[i].push(g);
+            }
+        }
+        Self::from_columns(&columns)
+    }
+
+    /// Number of lists `m`.
+    #[inline]
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of objects `N`.
+    #[inline]
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Direct access to list `i` (subsystem-side; not access-counted).
+    #[inline]
+    pub fn list(&self, i: usize) -> &SortedList {
+        &self.lists[i]
+    }
+
+    /// All grades of one object, in list order — the object's *row*.
+    ///
+    /// This is subsystem-side and not access-counted; algorithms must go
+    /// through a session. Used by test oracles and report rendering.
+    pub fn row(&self, object: ObjectId) -> Option<Vec<Grade>> {
+        if object.index() >= self.num_objects {
+            return None;
+        }
+        Some(
+            self.lists
+                .iter()
+                .map(|l| l.grade_of(object).expect("object exists in every list"))
+                .collect(),
+        )
+    }
+
+    /// Whether the database satisfies the *distinctness property* (§6): for
+    /// each list, no two objects share a grade.
+    pub fn satisfies_distinctness(&self) -> bool {
+        self.lists
+            .iter()
+            .all(|l| l.distinctness_violation().is_none())
+    }
+
+    /// Validates distinctness, reporting the first violation.
+    pub fn check_distinctness(&self) -> Result<(), BuildError> {
+        for (i, l) in self.lists.iter().enumerate() {
+            if let Some((a, b)) = l.distinctness_violation() {
+                return Err(BuildError::DistinctnessViolated { list: i, a, b });
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates all object ids `0..N`.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.num_objects as u32).map(ObjectId)
+    }
+}
+
+/// Incremental builder for a [`Database`], row-at-a-time.
+///
+/// ```
+/// use fagin_middleware::{DatabaseBuilder, Grade};
+/// let db = DatabaseBuilder::new(2)
+///     .push_row(&[0.9, 0.1])
+///     .push_row(&[0.5, 0.5])
+///     .push_row(&[0.1, 0.9])
+///     .build()
+///     .unwrap();
+/// assert_eq!(db.num_objects(), 3);
+/// assert_eq!(db.num_lists(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DatabaseBuilder {
+    columns: Vec<Vec<Grade>>,
+}
+
+impl DatabaseBuilder {
+    /// Starts a builder for a database with `m` lists.
+    pub fn new(m: usize) -> Self {
+        DatabaseBuilder {
+            columns: vec![Vec::new(); m],
+        }
+    }
+
+    /// Appends one object with the given `m` grades (as `f64`).
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the number of lists or a grade is
+    /// non-finite.
+    pub fn push_row(mut self, row: &[f64]) -> Self {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity must equal number of lists"
+        );
+        for (col, &v) in self.columns.iter_mut().zip(row) {
+            col.push(Grade::new(v));
+        }
+        self
+    }
+
+    /// Appends one object with the given `m` grades.
+    pub fn push_grades(mut self, row: &[Grade]) -> Self {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity must equal number of lists"
+        );
+        for (col, &g) in self.columns.iter_mut().zip(row) {
+            col.push(g);
+        }
+        self
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// True if no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalizes the database.
+    pub fn build(self) -> Result<Database, BuildError> {
+        Database::from_columns(&self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_columns_happy_path() {
+        let db = Database::from_f64_columns(&[vec![0.9, 0.1, 0.5], vec![0.2, 0.8, 0.5]]).unwrap();
+        assert_eq!(db.num_lists(), 2);
+        assert_eq!(db.num_objects(), 3);
+        assert_eq!(db.list(0).at_rank(0).unwrap().object, ObjectId(0));
+        assert_eq!(db.list(1).at_rank(0).unwrap().object, ObjectId(1));
+    }
+
+    #[test]
+    fn row_returns_all_grades() {
+        let db = Database::from_f64_columns(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        assert_eq!(
+            db.row(ObjectId(0)).unwrap(),
+            vec![Grade::new(0.9), Grade::new(0.2)]
+        );
+        assert_eq!(db.row(ObjectId(9)), None);
+    }
+
+    #[test]
+    fn mismatched_columns_rejected() {
+        let err = Database::from_f64_columns(&[vec![0.9, 0.1], vec![0.2]]).unwrap_err();
+        assert!(matches!(err, BuildError::LengthMismatch { list: 1, .. }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            Database::from_f64_columns(&[]),
+            Err(BuildError::NoLists)
+        ));
+        assert!(matches!(
+            Database::from_f64_columns(&[vec![]]),
+            Err(BuildError::NoObjects)
+        ));
+    }
+
+    #[test]
+    fn from_rows_matches_from_columns() {
+        let a = Database::from_rows(&[
+            vec![Grade::new(0.9), Grade::new(0.2)],
+            vec![Grade::new(0.1), Grade::new(0.8)],
+        ])
+        .unwrap();
+        let b = Database::from_f64_columns(&[vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        for obj in a.objects() {
+            assert_eq!(a.row(obj), b.row(obj));
+        }
+    }
+
+    #[test]
+    fn from_ranked_lists_preserves_order() {
+        use crate::grade::Entry;
+        let l1 = vec![Entry::new(1u32, 0.5), Entry::new(0u32, 0.5)];
+        let l2 = vec![Entry::new(0u32, 0.9), Entry::new(1u32, 0.1)];
+        let db = Database::from_ranked_lists(vec![l1, l2]).unwrap();
+        // Tie order in list 0 is preserved: object 1 outranks object 0.
+        assert_eq!(db.list(0).at_rank(0).unwrap().object, ObjectId(1));
+        assert_eq!(db.row(ObjectId(0)).unwrap()[1], Grade::new(0.9));
+    }
+
+    #[test]
+    fn from_ranked_lists_rejects_bad_shapes() {
+        use crate::grade::Entry;
+        assert!(matches!(
+            Database::from_ranked_lists(vec![]),
+            Err(BuildError::NoLists)
+        ));
+        let l1 = vec![Entry::new(0u32, 0.5), Entry::new(1u32, 0.4)];
+        let l2 = vec![Entry::new(0u32, 0.5)];
+        assert!(matches!(
+            Database::from_ranked_lists(vec![l1, l2]),
+            Err(BuildError::LengthMismatch { list: 1, .. })
+        ));
+        let ascending = vec![Entry::new(0u32, 0.1), Entry::new(1u32, 0.9)];
+        assert!(matches!(
+            Database::from_ranked_lists(vec![ascending]),
+            Err(BuildError::NotSorted { .. })
+        ));
+    }
+
+    #[test]
+    fn distinctness_check() {
+        let distinct = Database::from_f64_columns(&[vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+        assert!(distinct.satisfies_distinctness());
+        assert!(distinct.check_distinctness().is_ok());
+
+        let tied = Database::from_f64_columns(&[vec![0.1, 0.1], vec![0.3, 0.4]]).unwrap();
+        assert!(!tied.satisfies_distinctness());
+        assert!(matches!(
+            tied.check_distinctness(),
+            Err(BuildError::DistinctnessViolated { list: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let db = DatabaseBuilder::new(3)
+            .push_row(&[0.1, 0.2, 0.3])
+            .push_row(&[0.4, 0.5, 0.6])
+            .build()
+            .unwrap();
+        assert_eq!(db.num_objects(), 2);
+        assert_eq!(
+            db.row(ObjectId(1)).unwrap(),
+            vec![Grade::new(0.4), Grade::new(0.5), Grade::new(0.6)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn builder_rejects_bad_arity() {
+        let _ = DatabaseBuilder::new(2).push_row(&[0.1]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Error types for middleware access.
+
+use std::fmt;
+
+use crate::grade::ObjectId;
+
+/// Errors raised by the middleware layer when an access violates the
+/// database shape or the active [`AccessPolicy`](crate::policy::AccessPolicy).
+///
+/// Policy violations are *typed* so that tests can assert that an algorithm
+/// stays inside the class `A` required by each theorem (e.g. "makes no wild
+/// guesses", "makes no random accesses", "only does sorted access on lists
+/// in `Z`").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessError {
+    /// The list index is out of range (`list >= m`).
+    NoSuchList {
+        /// Offending list index.
+        list: usize,
+        /// Number of lists in the database.
+        num_lists: usize,
+    },
+    /// The object id does not exist in the database.
+    NoSuchObject {
+        /// Offending object.
+        object: ObjectId,
+    },
+    /// Random access was attempted but the policy forbids it
+    /// (the NRA scenario of §8.1, `c_R = ∞`).
+    RandomAccessForbidden {
+        /// List on which the access was attempted.
+        list: usize,
+    },
+    /// Sorted access was attempted on a list outside the allowed set `Z`
+    /// (the restricted-sorted-access scenario of §7).
+    SortedAccessForbidden {
+        /// List on which the access was attempted.
+        list: usize,
+    },
+    /// Random access was attempted on an object never seen under sorted
+    /// access — a *wild guess* in the paper's terminology (§6) — while the
+    /// policy forbids wild guesses.
+    WildGuess {
+        /// List on which the access was attempted.
+        list: usize,
+        /// Offending object.
+        object: ObjectId,
+    },
+    /// The access budget configured on the session was exhausted.
+    BudgetExhausted,
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::NoSuchList { list, num_lists } => {
+                write!(f, "list {list} out of range (database has {num_lists} lists)")
+            }
+            AccessError::NoSuchObject { object } => {
+                write!(f, "object {object} does not exist")
+            }
+            AccessError::RandomAccessForbidden { list } => {
+                write!(f, "random access forbidden by policy (list {list})")
+            }
+            AccessError::SortedAccessForbidden { list } => {
+                write!(f, "sorted access forbidden by policy on list {list}")
+            }
+            AccessError::WildGuess { list, object } => {
+                write!(
+                    f,
+                    "wild guess: random access to {object} in list {list} before any sorted access saw it"
+                )
+            }
+            AccessError::BudgetExhausted => write!(f, "access budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Errors raised while constructing a database.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// The database must have at least one list.
+    NoLists,
+    /// The database must contain at least one object.
+    NoObjects,
+    /// A list is missing a grade for some object (every list must contain
+    /// one entry per object, as in the paper's model).
+    MissingGrade {
+        /// List with the missing entry.
+        list: usize,
+        /// Object without a grade.
+        object: ObjectId,
+    },
+    /// An object appears twice in one list.
+    DuplicateObject {
+        /// List with the duplicate.
+        list: usize,
+        /// Duplicated object.
+        object: ObjectId,
+    },
+    /// A ranked list's grades are not non-increasing.
+    NotSorted {
+        /// Offending list.
+        list: usize,
+        /// First object whose grade exceeds its predecessor's.
+        object: ObjectId,
+    },
+    /// Lists disagree about the number of objects.
+    LengthMismatch {
+        /// Offending list.
+        list: usize,
+        /// Its length.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// The distinctness property was required but two objects share a grade
+    /// in the same list.
+    DistinctnessViolated {
+        /// List with the collision.
+        list: usize,
+        /// First object.
+        a: ObjectId,
+        /// Second object.
+        b: ObjectId,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoLists => write!(f, "database must have at least one list"),
+            BuildError::NoObjects => write!(f, "database must have at least one object"),
+            BuildError::MissingGrade { list, object } => {
+                write!(f, "list {list} is missing a grade for object {object}")
+            }
+            BuildError::DuplicateObject { list, object } => {
+                write!(f, "object {object} appears twice in list {list}")
+            }
+            BuildError::NotSorted { list, object } => {
+                write!(f, "list {list} is not in descending grade order at object {object}")
+            }
+            BuildError::LengthMismatch { list, got, expected } => {
+                write!(f, "list {list} has {got} entries, expected {expected}")
+            }
+            BuildError::DistinctnessViolated { list, a, b } => {
+                write!(f, "objects {a} and {b} share a grade in list {list} (distinctness violated)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AccessError::WildGuess {
+            list: 2,
+            object: ObjectId(5),
+        };
+        assert!(e.to_string().contains("wild guess"));
+        assert!(e.to_string().contains("#5"));
+
+        let b = BuildError::DistinctnessViolated {
+            list: 0,
+            a: ObjectId(1),
+            b: ObjectId(2),
+        };
+        assert!(b.to_string().contains("distinctness"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            AccessError::BudgetExhausted,
+            AccessError::BudgetExhausted
+        );
+        assert_ne!(
+            AccessError::RandomAccessForbidden { list: 0 },
+            AccessError::RandomAccessForbidden { list: 1 }
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Core value types: [`Grade`], [`ObjectId`] and [`Entry`].
+//!
+//! The paper models each object as having `m` grades, one per attribute,
+//! each a real number (typically in `[0, 1]`). We represent a grade as a
+//! finite `f64` wrapped in a newtype that provides a *total* order via
+//! [`f64::total_cmp`], so grades can be used as keys in heaps and B-trees.
+
+use std::fmt;
+
+/// Identifier of an object in the database.
+///
+/// Object ids are dense indices in `0..N`; the middleware layer treats them
+/// as opaque names (the paper's `R`), but generators assign them densely so
+/// lists can keep `O(1)` random-access indexes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+impl From<usize> for ObjectId {
+    fn from(v: usize) -> Self {
+        ObjectId(u32::try_from(v).expect("object id exceeds u32 range"))
+    }
+}
+
+/// A single attribute grade.
+///
+/// Grades are finite `f64` values. The paper keeps grades in `[0, 1]`; we do
+/// not enforce the upper bound because the paper explicitly allows `sum` to
+/// escape the unit interval ("or the sum, in contexts where we do not care if
+/// the resulting overall grade no longer lies in the interval `[0,1]`").
+/// Construction rejects NaN and infinities so that the derived total order is
+/// meaningful.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Grade(f64);
+
+impl Grade {
+    /// The minimal attribute grade used by the paper (`0`).
+    pub const ZERO: Grade = Grade(0.0);
+    /// The maximal attribute grade used by the paper (`1`).
+    pub const ONE: Grade = Grade(1.0);
+
+    /// Creates a grade, panicking on non-finite input.
+    ///
+    /// # Panics
+    /// Panics if `v` is NaN or infinite.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite(), "grade must be finite, got {v}");
+        Grade(v)
+    }
+
+    /// Creates a grade, returning `None` on non-finite input.
+    #[inline]
+    pub fn try_new(v: f64) -> Option<Self> {
+        v.is_finite().then_some(Grade(v))
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// `max(self, other)` under the total order.
+    #[inline]
+    pub fn max(self, other: Grade) -> Grade {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `min(self, other)` under the total order.
+    #[inline]
+    pub fn min(self, other: Grade) -> Grade {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Eq for Grade {}
+
+impl Ord for Grade {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Grade {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Grade {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state)
+    }
+}
+
+impl fmt::Debug for Grade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Grade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.0)
+    }
+}
+
+impl From<f64> for Grade {
+    fn from(v: f64) -> Self {
+        Grade::new(v)
+    }
+}
+
+/// One entry of a sorted list: an object together with its grade in that
+/// list (the paper's `(R, x_i)` pair).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Entry {
+    /// The object.
+    pub object: ObjectId,
+    /// The object's grade in this list.
+    pub grade: Grade,
+}
+
+impl Entry {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(object: impl Into<ObjectId>, grade: impl Into<Grade>) -> Self {
+        Entry {
+            object: object.into(),
+            grade: grade.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grade_ordering_is_total() {
+        let a = Grade::new(0.25);
+        let b = Grade::new(0.75);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Grade::ZERO.value(), 0.0);
+        assert_eq!(Grade::ONE.value(), 1.0);
+    }
+
+    #[test]
+    fn grade_rejects_nan() {
+        assert!(Grade::try_new(f64::NAN).is_none());
+        assert!(Grade::try_new(f64::INFINITY).is_none());
+        assert!(Grade::try_new(0.5).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "grade must be finite")]
+    fn grade_new_panics_on_nan() {
+        let _ = Grade::new(f64::NAN);
+    }
+
+    #[test]
+    fn negative_zero_orders_below_positive_zero() {
+        // total_cmp puts -0.0 < +0.0; both are valid grades.
+        let neg = Grade::new(-0.0);
+        let pos = Grade::new(0.0);
+        assert!(neg <= pos);
+    }
+
+    #[test]
+    fn object_id_roundtrip() {
+        let id: ObjectId = 7usize.into();
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "#7");
+    }
+
+    #[test]
+    fn entry_constructor() {
+        let e = Entry::new(3u32, 0.5);
+        assert_eq!(e.object, ObjectId(3));
+        assert_eq!(e.grade, Grade::new(0.5));
+    }
+}

@@ -1,0 +1,288 @@
+//! A single sorted list `L_i` — the subsystem-side data structure.
+//!
+//! Each list stores one `(object, grade)` entry per object, sorted by grade
+//! in descending order (highest grade first), exactly as in the paper's
+//! model. A list supports the two access modes of §2:
+//!
+//! * **sorted access** — read entries top-down by rank;
+//! * **random access** — look up the grade of a named object in `O(1)`.
+//!
+//! Ties are kept in a stable, deterministic order (by grade descending, then
+//! object id ascending) so experiments are reproducible.
+
+use crate::error::BuildError;
+use crate::grade::{Entry, Grade, ObjectId};
+
+/// A descending-sorted attribute list with an inverted index for random
+/// access.
+#[derive(Clone, Debug)]
+pub struct SortedList {
+    /// Entries in descending grade order.
+    entries: Vec<Entry>,
+    /// `rank_of[object.index()]` = position of the object in `entries`.
+    rank_of: Vec<u32>,
+}
+
+impl SortedList {
+    /// Builds a list from arbitrary-order entries.
+    ///
+    /// Every object id in `0..entries.len()` must appear exactly once;
+    /// violations are reported as [`BuildError`]s.
+    pub fn from_entries(list_index: usize, mut entries: Vec<Entry>) -> Result<Self, BuildError> {
+        if entries.is_empty() {
+            return Err(BuildError::NoObjects);
+        }
+        // Sort descending by grade; tie-break ascending by object id for
+        // determinism ("ties are broken arbitrarily" in the paper — we pick
+        // a canonical order).
+        entries.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+        let n = entries.len();
+        let mut rank_of = vec![u32::MAX; n];
+        for (rank, e) in entries.iter().enumerate() {
+            let idx = e.object.index();
+            if idx >= n {
+                return Err(BuildError::MissingGrade {
+                    list: list_index,
+                    // Report the smallest id that cannot be present.
+                    object: ObjectId(n as u32),
+                });
+            }
+            if rank_of[idx] != u32::MAX {
+                return Err(BuildError::DuplicateObject {
+                    list: list_index,
+                    object: e.object,
+                });
+            }
+            rank_of[idx] = rank as u32;
+        }
+        // All ids in 0..n present exactly once (pigeonhole: n slots filled).
+        Ok(SortedList { entries, rank_of })
+    }
+
+    /// Builds a list from entries **already in rank order** (highest grade
+    /// first), preserving the given order among equal grades.
+    ///
+    /// The paper's witness databases (Figures 1–5, the Theorem 9 families)
+    /// place specific objects at specific ranks *within* runs of tied
+    /// grades; [`SortedList::from_entries`] would canonicalize such ties by
+    /// object id, so adversarial generators use this constructor instead.
+    ///
+    /// Every object id in `0..entries.len()` must appear exactly once and
+    /// grades must be non-increasing.
+    pub fn from_ranked(list_index: usize, entries: Vec<Entry>) -> Result<Self, BuildError> {
+        if entries.is_empty() {
+            return Err(BuildError::NoObjects);
+        }
+        if let Some(w) = entries.windows(2).find(|w| w[0].grade < w[1].grade) {
+            return Err(BuildError::NotSorted {
+                list: list_index,
+                object: w[1].object,
+            });
+        }
+        let n = entries.len();
+        let mut rank_of = vec![u32::MAX; n];
+        for (rank, e) in entries.iter().enumerate() {
+            let idx = e.object.index();
+            if idx >= n {
+                return Err(BuildError::MissingGrade {
+                    list: list_index,
+                    object: ObjectId(n as u32),
+                });
+            }
+            if rank_of[idx] != u32::MAX {
+                return Err(BuildError::DuplicateObject {
+                    list: list_index,
+                    object: e.object,
+                });
+            }
+            rank_of[idx] = rank as u32;
+        }
+        Ok(SortedList { entries, rank_of })
+    }
+
+    /// Builds a list from a dense column of grades: `grades[i]` is the grade
+    /// of object `i`.
+    pub fn from_column(list_index: usize, grades: &[Grade]) -> Result<Self, BuildError> {
+        let entries = grades
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| Entry {
+                object: ObjectId::from(i),
+                grade: g,
+            })
+            .collect();
+        Self::from_entries(list_index, entries)
+    }
+
+    /// Number of entries (= number of objects `N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty (never true for a built list).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry at sorted-access position `rank` (0-based; rank 0 is the
+    /// highest grade).
+    #[inline]
+    pub fn at_rank(&self, rank: usize) -> Option<Entry> {
+        self.entries.get(rank).copied()
+    }
+
+    /// Random access: the grade of `object` in this list.
+    #[inline]
+    pub fn grade_of(&self, object: ObjectId) -> Option<Grade> {
+        let rank = *self.rank_of.get(object.index())?;
+        Some(self.entries[rank as usize].grade)
+    }
+
+    /// The rank (0-based) of `object` in this list.
+    ///
+    /// The paper notes (§6) that TA remains instance optimal even against
+    /// algorithms that learn the *relative rank* on each random access, so
+    /// we expose it.
+    #[inline]
+    pub fn rank_of(&self, object: ObjectId) -> Option<usize> {
+        self.rank_of.get(object.index()).map(|&r| r as usize)
+    }
+
+    /// Iterates entries in descending grade order.
+    pub fn iter(&self) -> impl Iterator<Item = Entry> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Checks the distinctness property for this list: no two objects share
+    /// a grade. Returns the first violating pair if any.
+    pub fn distinctness_violation(&self) -> Option<(ObjectId, ObjectId)> {
+        self.entries
+            .windows(2)
+            .find(|w| w[0].grade == w[1].grade)
+            .map(|w| (w[0].object, w[1].object))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grades(vs: &[f64]) -> Vec<Grade> {
+        vs.iter().map(|&v| Grade::new(v)).collect()
+    }
+
+    #[test]
+    fn from_column_sorts_descending() {
+        let l = SortedList::from_column(0, &grades(&[0.1, 0.9, 0.5])).unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.at_rank(0).unwrap(), Entry::new(1u32, 0.9));
+        assert_eq!(l.at_rank(1).unwrap(), Entry::new(2u32, 0.5));
+        assert_eq!(l.at_rank(2).unwrap(), Entry::new(0u32, 0.1));
+        assert_eq!(l.at_rank(3), None);
+    }
+
+    #[test]
+    fn random_access_matches_column() {
+        let col = grades(&[0.3, 0.8, 0.8, 0.0]);
+        let l = SortedList::from_column(0, &col).unwrap();
+        for (i, &g) in col.iter().enumerate() {
+            assert_eq!(l.grade_of(ObjectId::from(i)), Some(g));
+        }
+        assert_eq!(l.grade_of(ObjectId(99)), None);
+    }
+
+    #[test]
+    fn ties_break_by_object_id() {
+        let l = SortedList::from_column(0, &grades(&[0.5, 0.5, 0.5])).unwrap();
+        let order: Vec<u32> = l.iter().map(|e| e.object.0).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_of_is_inverse_of_at_rank() {
+        let l = SortedList::from_column(0, &grades(&[0.2, 0.9, 0.4, 0.7])).unwrap();
+        for rank in 0..l.len() {
+            let e = l.at_rank(rank).unwrap();
+            assert_eq!(l.rank_of(e.object), Some(rank));
+        }
+    }
+
+    #[test]
+    fn duplicate_object_rejected() {
+        let entries = vec![Entry::new(0u32, 0.1), Entry::new(0u32, 0.2)];
+        let err = SortedList::from_entries(3, entries).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DuplicateObject {
+                list: 3,
+                object: ObjectId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_object_rejected() {
+        let entries = vec![Entry::new(0u32, 0.1), Entry::new(5u32, 0.2)];
+        assert!(matches!(
+            SortedList::from_entries(0, entries),
+            Err(BuildError::MissingGrade { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            SortedList::from_entries(0, vec![]),
+            Err(BuildError::NoObjects)
+        ));
+    }
+
+    #[test]
+    fn from_ranked_preserves_tie_order() {
+        // Object 2 outranks object 0 despite the tie — impossible with the
+        // canonical constructor.
+        let entries = vec![
+            Entry::new(2u32, 0.5),
+            Entry::new(0u32, 0.5),
+            Entry::new(1u32, 0.1),
+        ];
+        let l = SortedList::from_ranked(0, entries).unwrap();
+        let order: Vec<u32> = l.iter().map(|e| e.object.0).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+        assert_eq!(l.rank_of(ObjectId(2)), Some(0));
+    }
+
+    #[test]
+    fn from_ranked_rejects_unsorted() {
+        let entries = vec![Entry::new(0u32, 0.1), Entry::new(1u32, 0.5)];
+        assert!(matches!(
+            SortedList::from_ranked(2, entries),
+            Err(BuildError::NotSorted { list: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn from_ranked_rejects_duplicates_and_gaps() {
+        let dup = vec![Entry::new(0u32, 0.5), Entry::new(0u32, 0.5)];
+        assert!(matches!(
+            SortedList::from_ranked(0, dup),
+            Err(BuildError::DuplicateObject { .. })
+        ));
+        let gap = vec![Entry::new(0u32, 0.5), Entry::new(7u32, 0.1)];
+        assert!(matches!(
+            SortedList::from_ranked(0, gap),
+            Err(BuildError::MissingGrade { .. })
+        ));
+    }
+
+    #[test]
+    fn distinctness_detection() {
+        let l = SortedList::from_column(0, &grades(&[0.1, 0.2, 0.3])).unwrap();
+        assert!(l.distinctness_violation().is_none());
+        let l = SortedList::from_column(0, &grades(&[0.1, 0.2, 0.2])).unwrap();
+        let (a, b) = l.distinctness_violation().unwrap();
+        assert_eq!((a, b), (ObjectId(1), ObjectId(2)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Access policies: machine-checked algorithm classes.
+//!
+//! Each instance-optimality theorem in the paper quantifies over a class
+//! `A` of algorithms: "makes no wild guesses" (Thm 6.1), "makes no random
+//! accesses" (Thm 8.5), "only does sorted access on lists in `Z`" (Thm 7.1).
+//! An [`AccessPolicy`] lets a [`Session`](crate::session::Session) *enforce*
+//! class membership at run time: violating accesses return typed errors.
+
+use std::collections::BTreeSet;
+
+/// Which lists may be accessed under sorted access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SortedAccessSet {
+    /// All lists (`Z = {1,…,m}`; the default).
+    All,
+    /// Only the listed lists (the paper's `Z`, §7). Must be nonempty.
+    Only(BTreeSet<usize>),
+}
+
+impl SortedAccessSet {
+    /// Whether sorted access on `list` is allowed.
+    pub fn allows(&self, list: usize) -> bool {
+        match self {
+            SortedAccessSet::All => true,
+            SortedAccessSet::Only(z) => z.contains(&list),
+        }
+    }
+}
+
+/// A policy restricting how a session may access the database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessPolicy {
+    /// Whether random access is allowed at all (`false` = the NRA scenario,
+    /// `c_R = ∞`).
+    pub allow_random: bool,
+    /// Whether *wild guesses* are allowed: random access to an object that
+    /// has not yet been seen under sorted access (§6). `false` matches the
+    /// class of Theorem 6.1 and "any natural algorithm".
+    pub allow_wild_guesses: bool,
+    /// Which lists support sorted access (§7's `Z`).
+    pub sorted_lists: SortedAccessSet,
+    /// Optional hard cap on total accesses; exceeding it is an error.
+    /// Useful to prove an algorithm halts within a budget.
+    pub access_budget: Option<u64>,
+}
+
+impl AccessPolicy {
+    /// The unrestricted policy: sorted + random anywhere, wild guesses
+    /// allowed, no budget.
+    pub fn unrestricted() -> Self {
+        AccessPolicy {
+            allow_random: true,
+            allow_wild_guesses: true,
+            sorted_lists: SortedAccessSet::All,
+            access_budget: None,
+        }
+    }
+
+    /// The "natural algorithm" policy of Theorem 6.1: random access only on
+    /// objects already seen under sorted access.
+    pub fn no_wild_guesses() -> Self {
+        AccessPolicy {
+            allow_wild_guesses: false,
+            ..Self::unrestricted()
+        }
+    }
+
+    /// The NRA policy of §8.1: no random accesses at all.
+    pub fn no_random_access() -> Self {
+        AccessPolicy {
+            allow_random: false,
+            allow_wild_guesses: false,
+            ..Self::unrestricted()
+        }
+    }
+
+    /// The restricted-sorted-access policy of §7: sorted access only on the
+    /// lists in `Z` (random access allowed everywhere, no wild guesses).
+    ///
+    /// # Panics
+    /// Panics if `z` is empty — the paper assumes `Z ≠ ∅`.
+    pub fn sorted_only_on(z: impl IntoIterator<Item = usize>) -> Self {
+        let set: BTreeSet<usize> = z.into_iter().collect();
+        assert!(!set.is_empty(), "Z must be nonempty (paper §7)");
+        AccessPolicy {
+            allow_random: true,
+            allow_wild_guesses: false,
+            sorted_lists: SortedAccessSet::Only(set),
+            access_budget: None,
+        }
+    }
+
+    /// Adds an access budget to the policy.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.access_budget = Some(budget);
+        self
+    }
+}
+
+impl Default for AccessPolicy {
+    fn default() -> Self {
+        Self::no_wild_guesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_classes() {
+        let u = AccessPolicy::unrestricted();
+        assert!(u.allow_random && u.allow_wild_guesses);
+        assert!(u.sorted_lists.allows(0) && u.sorted_lists.allows(7));
+
+        let n = AccessPolicy::no_wild_guesses();
+        assert!(n.allow_random && !n.allow_wild_guesses);
+
+        let nra = AccessPolicy::no_random_access();
+        assert!(!nra.allow_random);
+
+        let z = AccessPolicy::sorted_only_on([0]);
+        assert!(z.sorted_lists.allows(0));
+        assert!(!z.sorted_lists.allows(1));
+        assert!(z.allow_random);
+    }
+
+    #[test]
+    #[should_panic(expected = "Z must be nonempty")]
+    fn empty_z_rejected() {
+        let _ = AccessPolicy::sorted_only_on(std::iter::empty());
+    }
+
+    #[test]
+    fn budget_builder() {
+        let p = AccessPolicy::no_wild_guesses().with_budget(100);
+        assert_eq!(p.access_budget, Some(100));
+    }
+
+    #[test]
+    fn default_is_no_wild_guesses() {
+        assert_eq!(AccessPolicy::default(), AccessPolicy::no_wild_guesses());
+    }
+}

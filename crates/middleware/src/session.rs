@@ -1,0 +1,289 @@
+//! Access sessions: the only surface algorithms see.
+//!
+//! A [`Session`] binds a [`Database`] to an [`AccessPolicy`] and an
+//! [`AccessStats`] counter, and exposes exactly the two access modes of §2:
+//! [`Middleware::sorted_next`] and [`Middleware::random_lookup`]. Every
+//! access is counted; policy violations surface as typed
+//! [`AccessError`]s, so tests can verify an algorithm belongs to the class
+//! `A` a theorem quantifies over.
+
+use crate::cost::AccessStats;
+use crate::database::Database;
+use crate::error::AccessError;
+use crate::grade::{Entry, Grade, ObjectId};
+use crate::policy::AccessPolicy;
+
+/// The middleware access interface (paper §2).
+///
+/// Implementations must count every access and enforce their policy. The
+/// default implementation is [`Session`]; the trait exists so algorithms can
+/// also run against instrumented or synthetic sources.
+pub trait Middleware {
+    /// Number of sorted lists `m`.
+    fn num_lists(&self) -> usize;
+
+    /// Number of objects `N`.
+    ///
+    /// The paper's algorithms never need `N` to operate (TA has constant
+    /// buffers), but terminating scans (the naive algorithm) and test
+    /// oracles do.
+    fn num_objects(&self) -> usize;
+
+    /// *Sorted access*: the next entry of list `list`, proceeding from the
+    /// top. Returns `Ok(None)` when the list is exhausted (which still does
+    /// not count as an access).
+    fn sorted_next(&mut self, list: usize) -> Result<Option<Entry>, AccessError>;
+
+    /// *Random access*: the grade of `object` in list `list`.
+    fn random_lookup(&mut self, list: usize, object: ObjectId) -> Result<Grade, AccessError>;
+
+    /// Access counters so far.
+    fn stats(&self) -> &AccessStats;
+
+    /// The active policy.
+    fn policy(&self) -> &AccessPolicy;
+
+    /// Current sorted-access depth of `list` (how many entries have been
+    /// read from it).
+    fn position(&self, list: usize) -> usize;
+}
+
+/// A counted, policy-enforcing session over a [`Database`].
+#[derive(Clone, Debug)]
+pub struct Session<'db> {
+    db: &'db Database,
+    policy: AccessPolicy,
+    stats: AccessStats,
+    /// Next rank to read per list.
+    positions: Vec<usize>,
+    /// Objects seen under sorted access (for wild-guess detection).
+    seen: Vec<bool>,
+}
+
+impl<'db> Session<'db> {
+    /// Opens a session with the default policy
+    /// ([`AccessPolicy::no_wild_guesses`]).
+    pub fn new(db: &'db Database) -> Self {
+        Self::with_policy(db, AccessPolicy::default())
+    }
+
+    /// Opens a session with an explicit policy.
+    pub fn with_policy(db: &'db Database, policy: AccessPolicy) -> Self {
+        Session {
+            db,
+            policy,
+            stats: AccessStats::new(db.num_lists()),
+            positions: vec![0; db.num_lists()],
+            seen: vec![false; db.num_objects()],
+        }
+    }
+
+    /// The underlying database (subsystem-side; for oracles and reports).
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Consumes the session and returns its counters.
+    pub fn into_stats(self) -> AccessStats {
+        self.stats
+    }
+
+    /// Whether `object` has been seen under sorted access in this session.
+    pub fn has_seen(&self, object: ObjectId) -> bool {
+        self.seen.get(object.index()).copied().unwrap_or(false)
+    }
+
+    fn check_list(&self, list: usize) -> Result<(), AccessError> {
+        if list >= self.db.num_lists() {
+            Err(AccessError::NoSuchList {
+                list,
+                num_lists: self.db.num_lists(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_budget(&self) -> Result<(), AccessError> {
+        match self.policy.access_budget {
+            Some(b) if self.stats.total() >= b => Err(AccessError::BudgetExhausted),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Middleware for Session<'_> {
+    fn num_lists(&self) -> usize {
+        self.db.num_lists()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.db.num_objects()
+    }
+
+    fn sorted_next(&mut self, list: usize) -> Result<Option<Entry>, AccessError> {
+        self.check_list(list)?;
+        if !self.policy.sorted_lists.allows(list) {
+            return Err(AccessError::SortedAccessForbidden { list });
+        }
+        let pos = self.positions[list];
+        let Some(entry) = self.db.list(list).at_rank(pos) else {
+            return Ok(None);
+        };
+        self.check_budget()?;
+        self.positions[list] = pos + 1;
+        self.stats.record_sorted(list);
+        self.seen[entry.object.index()] = true;
+        Ok(Some(entry))
+    }
+
+    fn random_lookup(&mut self, list: usize, object: ObjectId) -> Result<Grade, AccessError> {
+        self.check_list(list)?;
+        if !self.policy.allow_random {
+            return Err(AccessError::RandomAccessForbidden { list });
+        }
+        if object.index() >= self.db.num_objects() {
+            return Err(AccessError::NoSuchObject { object });
+        }
+        if !self.policy.allow_wild_guesses && !self.seen[object.index()] {
+            return Err(AccessError::WildGuess { list, object });
+        }
+        self.check_budget()?;
+        self.stats.record_random(list);
+        Ok(self
+            .db
+            .list(list)
+            .grade_of(object)
+            .expect("object exists in every list"))
+    }
+
+    fn stats(&self) -> &AccessStats {
+        &self.stats
+    }
+
+    fn policy(&self) -> &AccessPolicy {
+        &self.policy
+    }
+
+    fn position(&self, list: usize) -> usize {
+        self.positions[list]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+
+    fn db() -> Database {
+        // Object grades:       L0    L1
+        //   0:                 0.9   0.2
+        //   1:                 0.5   0.8
+        //   2:                 0.1   0.5
+        Database::from_f64_columns(&[vec![0.9, 0.5, 0.1], vec![0.2, 0.8, 0.5]]).unwrap()
+    }
+
+    #[test]
+    fn sorted_access_walks_down() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let e0 = s.sorted_next(0).unwrap().unwrap();
+        let e1 = s.sorted_next(0).unwrap().unwrap();
+        let e2 = s.sorted_next(0).unwrap().unwrap();
+        assert_eq!(
+            (e0.object.0, e1.object.0, e2.object.0),
+            (0, 1, 2),
+            "descending grade order"
+        );
+        assert_eq!(s.sorted_next(0).unwrap(), None, "exhausted list");
+        assert_eq!(s.stats().sorted_on(0), 3, "exhaustion not counted");
+        assert_eq!(s.position(0), 3);
+    }
+
+    #[test]
+    fn random_access_counts() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::unrestricted());
+        let g = s.random_lookup(1, ObjectId(0)).unwrap();
+        assert_eq!(g, Grade::new(0.2));
+        assert_eq!(s.stats().random_total(), 1);
+    }
+
+    #[test]
+    fn wild_guess_detected() {
+        let db = db();
+        let mut s = Session::new(&db); // no wild guesses
+        let err = s.random_lookup(1, ObjectId(0)).unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::WildGuess {
+                list: 1,
+                object: ObjectId(0)
+            }
+        );
+        // After sorted access sees object 0, random access is fine.
+        let e = s.sorted_next(0).unwrap().unwrap();
+        assert_eq!(e.object, ObjectId(0));
+        assert!(s.random_lookup(1, ObjectId(0)).is_ok());
+        assert!(s.has_seen(ObjectId(0)));
+        assert!(!s.has_seen(ObjectId(1)));
+    }
+
+    #[test]
+    fn no_random_access_policy() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+        s.sorted_next(0).unwrap();
+        assert_eq!(
+            s.random_lookup(0, ObjectId(0)).unwrap_err(),
+            AccessError::RandomAccessForbidden { list: 0 }
+        );
+    }
+
+    #[test]
+    fn restricted_sorted_access_policy() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on([1]));
+        assert_eq!(
+            s.sorted_next(0).unwrap_err(),
+            AccessError::SortedAccessForbidden { list: 0 }
+        );
+        let e = s.sorted_next(1).unwrap().unwrap();
+        assert_eq!(e.object, ObjectId(1));
+        // Random access on list 0 is fine for seen objects.
+        assert!(s.random_lookup(0, ObjectId(1)).is_ok());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses().with_budget(2));
+        s.sorted_next(0).unwrap();
+        s.sorted_next(1).unwrap();
+        assert_eq!(s.sorted_next(0).unwrap_err(), AccessError::BudgetExhausted);
+        assert_eq!(s.stats().total(), 2);
+    }
+
+    #[test]
+    fn out_of_range_accesses() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::unrestricted());
+        assert!(matches!(
+            s.sorted_next(9),
+            Err(AccessError::NoSuchList { list: 9, .. })
+        ));
+        assert!(matches!(
+            s.random_lookup(0, ObjectId(42)),
+            Err(AccessError::NoSuchObject { .. })
+        ));
+    }
+
+    #[test]
+    fn into_stats_returns_counters() {
+        let db = db();
+        let mut s = Session::new(&db);
+        s.sorted_next(0).unwrap();
+        let stats = s.into_stats();
+        assert_eq!(stats.sorted_total(), 1);
+    }
+}

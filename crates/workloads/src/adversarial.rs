@@ -1,0 +1,740 @@
+//! The paper's witness databases — every figure and lower-bound family.
+//!
+//! Each constructor materializes the database a paper example or adversary
+//! argument ends up with, together with the *planted* top object and the
+//! analytically-known cost of the best possible (nondeterministic) correct
+//! algorithm on that database. Experiment E6 divides a measured execution
+//! cost by that optimum to obtain empirical optimality ratios, which should
+//! approach the Table 1 bounds as the family parameter `d` grows.
+//!
+//! | Constructor | Paper artifact |
+//! |-------------|----------------|
+//! | [`example_6_3`] | Figure 1 (wild guesses help; min, k=1) |
+//! | [`example_6_3_permuted`] | Theorem 6.4's randomized family |
+//! | [`example_6_8`] | Figure 2 (TAθ not instance optimal under distinctness) |
+//! | [`example_7_3`] | Figure 3 (TA_Z reads everything) |
+//! | [`example_8_3`] / [`example_8_3_swapped`] | Figure 4 (NRA, C₁ vs C₂) |
+//! | [`fig5_ca_vs_intermittent`] | Figure 5 (§8.4 CA vs intermittent/TA) |
+//! | [`thm_9_1`] | Theorem 9.1 family (TA's tight ratio) |
+//! | [`thm_9_2`] | Theorem 9.2 family (min-plus; no c_R/c_S-free ratio) |
+//! | [`thm_9_5`] | Theorem 9.5 family (NRA's tight ratio) |
+
+#![allow(clippy::needless_range_loop)] // indexing parallel columns is the clearest form here
+
+use fagin_middleware::{CostModel, Database, Entry, ObjectId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A witness database with a planted unique top object and the cost of the
+/// best possible correct algorithm on it.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The database.
+    pub db: Database,
+    /// The unique top-1 object.
+    pub winner: ObjectId,
+    /// Sorted accesses of the best correct (possibly nondeterministic)
+    /// algorithm — the "shortest proof" of §5.
+    pub opt_sorted: u64,
+    /// Random accesses of that algorithm.
+    pub opt_random: u64,
+    /// What this database witnesses.
+    pub note: &'static str,
+}
+
+impl Witness {
+    /// Middleware cost of the best possible algorithm under `costs`.
+    pub fn optimal_cost(&self, costs: &CostModel) -> f64 {
+        self.opt_sorted as f64 * costs.sorted + self.opt_random as f64 * costs.random
+    }
+}
+
+fn e(object: usize, grade: f64) -> Entry {
+    Entry::new(object as u32, grade)
+}
+
+/// **Figure 1 / Example 6.3.** `2n+1` objects, two lists, `t = min`, `k=1`.
+/// The winner sits exactly in the middle of both lists with grade 1; every
+/// no-wild-guess algorithm needs ≥ `n+1` sorted accesses, while a lucky
+/// wild guesser halts after 2 random accesses.
+pub fn example_6_3(n: usize) -> Witness {
+    assert!(n >= 1);
+    let total = 2 * n + 1;
+    // List 1: objects 0..=n grade 1 (winner = n last among the ones), then
+    // n+1..=2n grade 0.
+    let l1: Vec<Entry> = (0..=n)
+        .map(|i| e(i, 1.0))
+        .chain((n + 1..total).map(|i| e(i, 0.0)))
+        .collect();
+    // List 2: reverse object order.
+    let l2: Vec<Entry> = (n..total)
+        .rev()
+        .map(|i| e(i, 1.0))
+        .chain((0..n).rev().map(|i| e(i, 0.0)))
+        .collect();
+    let db = Database::from_ranked_lists(vec![l1, l2]).expect("valid witness");
+    Witness {
+        db,
+        winner: ObjectId(n as u32),
+        opt_sorted: 0,
+        opt_random: 2,
+        note: "Figure 1: lucky wild guess finds grade-1 object in 2 random accesses",
+    }
+}
+
+/// **Theorem 6.4's randomized family**: Example 6.3 with the first list's
+/// order drawn uniformly at random (second list reversed). The expected
+/// number of accesses of *any* fixed no-wild-guess algorithm to even see
+/// the winner is ≥ `n+1`.
+pub fn example_6_3_permuted(n: usize, seed: u64) -> Witness {
+    assert!(n >= 1);
+    let total = 2 * n + 1;
+    let mut perm: Vec<usize> = (0..total).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(seed));
+    let l1: Vec<Entry> = perm
+        .iter()
+        .enumerate()
+        .map(|(rank, &obj)| e(obj, if rank <= n { 1.0 } else { 0.0 }))
+        .collect();
+    let l2: Vec<Entry> = perm
+        .iter()
+        .rev()
+        .enumerate()
+        .map(|(rank, &obj)| e(obj, if rank <= n { 1.0 } else { 0.0 }))
+        .collect();
+    let winner = ObjectId(perm[n] as u32);
+    let db = Database::from_ranked_lists(vec![l1, l2]).expect("valid witness");
+    Witness {
+        db,
+        winner,
+        opt_sorted: 0,
+        opt_random: 2,
+        note: "Theorem 6.4: uniformly permuted Figure 1 database",
+    }
+}
+
+/// **Figure 2 / Example 6.8.** Distinct grades, `t = min`, `k=1`, parameter
+/// `θ > 1`. The unique valid θ-approximation is the middle object (grade
+/// `1/θ` in both lists); TAθ needs ≥ `n+1` sorted accesses while a wild
+/// guesser halts after 2 random accesses.
+pub fn example_6_8(n: usize, theta: f64) -> Witness {
+    assert!(n >= 1);
+    assert!(theta > 1.0, "example 6.8 requires theta > 1");
+    let total = 2 * n + 1;
+    let hi = 1.0 / theta;
+    let lo = 1.0 / (2.0 * theta * theta);
+    // Strictly decreasing grade schedule per rank.
+    let grade_at = |rank: usize| -> f64 {
+        if rank < n {
+            // Strictly between 1/θ and 1, decreasing.
+            hi + (1.0 - hi) * (n - rank) as f64 / (n + 1) as f64
+        } else if rank == n {
+            hi
+        } else if rank == n + 1 {
+            lo
+        } else {
+            // Strictly decreasing below lo, positive.
+            lo * (total - rank) as f64 / (total + 1) as f64
+        }
+    };
+    let l1: Vec<Entry> = (0..total).map(|rank| e(rank, grade_at(rank))).collect();
+    let l2: Vec<Entry> = (0..total)
+        .map(|rank| e(total - 1 - rank, grade_at(rank)))
+        .collect();
+    let db = Database::from_ranked_lists(vec![l1, l2]).expect("valid witness");
+    debug_assert!(db.satisfies_distinctness());
+    Witness {
+        db,
+        winner: ObjectId(n as u32),
+        opt_sorted: 0,
+        opt_random: 2,
+        note: "Figure 2: unique theta-approximation hidden mid-list",
+    }
+}
+
+/// **Figure 3 / Example 7.3.** Three lists, `Z = {0}` (only list 0 supports
+/// sorted access), aggregation `GatedMin` (from `fagin-core`):
+/// `t(x,y,z) = min(x,y)` if `z=1`, else `min(x,y,z)/2`.
+/// Object `R` (id 0) has grades `(1, 0.6, 1)`;
+/// every other object has `t ≤ 0.5`; all grades in list 0 are ≥ 0.7, so
+/// TA_Z's threshold never drops below 0.7 and it reads the whole database,
+/// while a 3-access specialist suffices.
+pub fn example_7_3(n: usize) -> Witness {
+    assert!(n >= 2);
+    let mut c1 = vec![0.0; n];
+    let mut c2 = vec![0.0; n];
+    let mut c3 = vec![0.0; n];
+    c1[0] = 1.0;
+    c2[0] = 0.6;
+    c3[0] = 1.0;
+    for i in 1..n {
+        // Distinct, in the required ranges.
+        c1[i] = 0.7 + 0.299 * i as f64 / n as f64; // [0.7, 0.999)
+        c2[i] = 0.59 * i as f64 / n as f64; // (0, 0.59)
+        c3[i] = 0.99 * i as f64 / n as f64; // (0, 0.99), never 1
+    }
+    let db = Database::from_f64_columns(&[c1, c2, c3]).expect("valid witness");
+    debug_assert!(db.satisfies_distinctness());
+    Witness {
+        db,
+        winner: ObjectId(0),
+        opt_sorted: 1,
+        opt_random: 2,
+        note: "Figure 3: TA_Z must read everything; specialist needs 1 sorted + 2 random",
+    }
+}
+
+/// **Figure 4 / Example 8.3.** Two lists, `t = average`, `k=1`. Object `R`
+/// (id 0) has grades `(1, 0)`; all others `(1/3, 1/3)`. After three sorted
+/// accesses NRA knows `R` wins (its average is ≥ 1/2, everyone else's is
+/// ≤ 1/3) — but determining `R`'s *grade* would require scanning all of
+/// `L_2`. Witnesses `C₁ < C₂`.
+pub fn example_8_3(n: usize) -> Witness {
+    assert!(n >= 3);
+    let mut c1 = vec![1.0 / 3.0; n];
+    let mut c2 = vec![1.0 / 3.0; n];
+    c1[0] = 1.0;
+    c2[0] = 0.0;
+    let db = Database::from_f64_columns(&[c1, c2]).expect("valid witness");
+    Witness {
+        db,
+        winner: ObjectId(0),
+        opt_sorted: 3,
+        opt_random: 0,
+        note: "Figure 4: top object provable without its grade",
+    }
+}
+
+/// A lockstep-friendly witness for Example 8.3's `C₁ < C₂` claim: the top
+/// object `R` (grades `(1,1)`) is provable in one round, but the *second*
+/// place is contested by an anti-correlated crowd (every other row sums to
+/// exactly `0.66`), so certifying any top-2 requires scanning `L₂` down to
+/// the partner grade of `L₁`'s runner-up — `Θ(n)` accesses.
+///
+/// (The paper's own Figure 4 database separates `C₁` from `C₂` only under
+/// non-lockstep scheduling; under round-robin sorted access both cost a
+/// handful of accesses there.)
+pub fn example_8_3_hard_top2(n: usize) -> Witness {
+    assert!(n >= 4);
+    let mut c1 = vec![0.0; n];
+    let mut c2 = vec![0.0; n];
+    c1[0] = 1.0;
+    c2[0] = 1.0;
+    for i in 1..n {
+        let a = 0.06 + 0.54 * (n - i) as f64 / n as f64; // distinct, in (0.06, 0.6]
+        c1[i] = a;
+        c2[i] = 0.66 - a;
+    }
+    let db = Database::from_f64_columns(&[c1, c2]).expect("valid witness");
+    Witness {
+        db,
+        winner: ObjectId(0),
+        opt_sorted: 2,
+        opt_random: 0,
+        note: "Example 8.3 discussion: C1 (top-1) is O(1) while C2 (top-2) is Θ(n)",
+    }
+}
+
+/// The paper's modification of Example 8.3 showing `C₂ < C₁`: objects `R`
+/// (grades `(1, 0)`) and `R'` (grades `(1, 1/4)`) both beat the `(1/3,1/3)`
+/// crowd, so the top *2* can be certified quickly, while certifying which of
+/// them is top *1* requires digging for their exact `L₂` grades.
+pub fn example_8_3_swapped(n: usize) -> Witness {
+    assert!(n >= 4);
+    let mut c1 = vec![1.0 / 3.0; n];
+    let mut c2 = vec![1.0 / 3.0; n];
+    c1[0] = 1.0;
+    c2[0] = 0.0; // R
+    c1[1] = 1.0;
+    c2[1] = 0.25; // R'
+    let db = Database::from_f64_columns(&[c1, c2]).expect("valid witness");
+    Witness {
+        db,
+        winner: ObjectId(1), // R' wins top-1: (1 + 1/4)/2 > (1 + 0)/2
+        opt_sorted: 4,
+        opt_random: 0,
+        note: "Figure 4 variant: top-2 cheaper to certify than top-1",
+    }
+}
+
+/// **Figure 5 (§8.4).** Three lists, `t = sum`, `k=1`, parameter `h ≥ 4`
+/// (`h = ⌊c_R/c_S⌋`). Object `R` (id 0, overall grade 1.5) hides at
+/// position `h−1` of lists 1–2 and position `h²` of list 3. CA spends `h`
+/// rounds plus **one** random access; the intermittent algorithm and TA
+/// burn `Θ(h)` random accesses resolving the decoys first, making them
+/// worse by a factor `Θ(h)`.
+pub fn fig5_ca_vs_intermittent(h: usize) -> Witness {
+    assert!(h >= 4, "construction needs h >= 4");
+    let n = h * h + h;
+    let hf = h as f64;
+    let mut c1 = vec![0.0; n];
+    let mut c2 = vec![0.0; n];
+    let mut c3 = vec![0.0; n];
+    // Small distinct filler grades, ≤ 1/8.
+    let filler = |id: usize| 0.125 * (n - id) as f64 / (n + 1) as f64;
+
+    // R = id 0.
+    c1[0] = 0.5;
+    c2[0] = 0.5;
+    c3[0] = 0.5;
+    // L1 decoys: ids 1..=h−2, grades 1/2 + i/(8h).
+    // L2 decoys: ids h−1..=2h−4, same grade ladder.
+    for i in 1..=h - 2 {
+        c1[i] = 0.5 + i as f64 / (8.0 * hf);
+        c2[h - 2 + i] = 0.5 + i as f64 / (8.0 * hf);
+        c2[i] = filler(i);
+        c1[h - 2 + i] = filler(h - 2 + i);
+    }
+    // L3: ids 1..h² get the ladder 1/2 + id/(8h²); R sits just below them.
+    for id in 1..h * h {
+        c3[id] = 0.5 + id as f64 / (8.0 * hf * hf);
+    }
+    // Everything else: distinct fillers.
+    for id in 2 * h - 3..n {
+        c1[id] = filler(id);
+        c2[id] = filler(id);
+    }
+    for id in h * h..n {
+        c3[id] = 0.4 * (n - id) as f64 / (n + 1) as f64;
+    }
+    let db = Database::from_f64_columns(&[c1, c2, c3]).expect("valid witness");
+    debug_assert!(db.satisfies_distinctness());
+    // CA itself is (essentially) the optimum here: h rounds of sorted access
+    // on 3 lists plus a single random access.
+    Witness {
+        db,
+        winner: ObjectId(0),
+        opt_sorted: 3 * h as u64,
+        opt_random: 1,
+        note: "Figure 5: CA resolves R with one random access; intermittent/TA burn Θ(h)",
+    }
+}
+
+/// **Theorem 9.1 family** (strict `t`, e.g. min; `k=1`): TA's optimality
+/// ratio `m + m(m−1)·c_R/c_S` is tight. The top `d` of each list are
+/// "high" objects with grade 1; each high object has grade 1 everywhere
+/// except one list (grade 0) — except the winner `T`, grade 1 everywhere,
+/// sitting at depth `d` of list 0. The best algorithm reads list 0 down to
+/// `T` (`d` sorted accesses) and verifies it (`m−1` random accesses).
+pub fn thm_9_1(d: usize, m: usize) -> Witness {
+    assert!(d >= 2 && m >= 2);
+    let num_high = d * m; // includes T
+    let n = num_high + d; // plus all-zero fillers
+    // High object ids: T = 0; list 0's other highs are 1..d−1;
+    // list ℓ ≥ 1 owns ids ℓ·d .. ℓ·d+d−1.
+    let highs_of = |l: usize| -> Vec<usize> {
+        if l == 0 {
+            let mut v: Vec<usize> = (1..d).collect();
+            v.push(0); // T at rank d−1
+            v
+        } else {
+            (l * d..l * d + d).collect()
+        }
+    };
+    // Zero-list of a non-T high native to list ℓ: (ℓ+1) mod m.
+    let zero_list = |id: usize| -> usize {
+        debug_assert!(id != 0 && id < num_high);
+        let native = if id < d { 0 } else { id / d };
+        (native + 1) % m
+    };
+
+    let mut lists = Vec::with_capacity(m);
+    for l in 0..m {
+        let mut ranked: Vec<Entry> = Vec::with_capacity(n);
+        let top = highs_of(l);
+        for &id in &top {
+            ranked.push(e(id, 1.0));
+        }
+        // Remaining grade-1 objects in this list: every other high object
+        // whose zero-list is not l (T has grade 1 everywhere).
+        let mut ones: Vec<usize> = (0..num_high)
+            .filter(|&id| !top.contains(&id) && (id == 0 || zero_list(id) != l))
+            .collect();
+        ones.sort_unstable();
+        for id in ones {
+            ranked.push(e(id, 1.0));
+        }
+        // Grade-0 section: highs zeroed here, plus fillers.
+        let mut zeros: Vec<usize> = (1..num_high)
+            .filter(|&id| !top.contains(&id) && zero_list(id) == l)
+            .chain(num_high..n)
+            .collect();
+        zeros.sort_unstable();
+        for id in zeros {
+            ranked.push(e(id, 0.0));
+        }
+        lists.push(ranked);
+    }
+    let db = Database::from_ranked_lists(lists).expect("valid witness");
+    Witness {
+        db,
+        winner: ObjectId(0),
+        opt_sorted: d as u64,
+        opt_random: (m - 1) as u64,
+        note: "Theorem 9.1: TA's ratio m + m(m-1)c_R/c_S is tight",
+    }
+}
+
+/// **Theorem 9.5 family** (strict `t`; `k=1`; no random access): NRA's
+/// optimality ratio `m` is tight. `2m` special objects; each is in the top
+/// `2m−2` (grade 1) of every list except its *challenge list*; the winner
+/// `T` has grade 1 at depth `d` of its challenge list (list 0), all other
+/// specials have grade 0 there. NRA must descend to depth `d` in **every**
+/// list; the best no-random-access algorithm reads only list 0 to depth `d`
+/// plus `2m−2` entries of each other list.
+pub fn thm_9_5(d: usize, m: usize) -> Witness {
+    assert!(m >= 2);
+    assert!(d >= 2 * m, "need d >= 2m so specials fit above depth d");
+    let specials = 2 * m;
+    // Fillers: per list, ranks 2m−2..d−2 plus rank d−1 for lists ≠ 0.
+    let fillers_per_list = |l: usize| (d - 1) - (2 * m - 2) + usize::from(l != 0);
+    let total_fillers: usize = (0..m).map(fillers_per_list).sum();
+    let n = specials + total_fillers;
+
+    // Assign filler ids consecutively per list.
+    let mut filler_start = vec![0usize; m + 1];
+    filler_start[0] = specials;
+    for l in 0..m {
+        filler_start[l + 1] = filler_start[l] + fillers_per_list(l);
+    }
+
+    let mut lists = Vec::with_capacity(m);
+    for l in 0..m {
+        let mut ranked: Vec<Entry> = Vec::with_capacity(n);
+        // Top 2m−2: all specials except T_l (id l) and T'_l (id m+l).
+        let mut in_top: Vec<usize> = (0..specials).filter(|&s| s % m != l).collect();
+        in_top.sort_unstable();
+        for &id in &in_top {
+            ranked.push(e(id, 1.0));
+        }
+        // Grade-1 fillers up to depth d−1 (0-based d−2), then the depth-d
+        // slot (0-based d−1): T for list 0, one more filler elsewhere.
+        let mut fillers = filler_start[l]..filler_start[l + 1];
+        while ranked.len() < d - 1 {
+            ranked.push(e(fillers.next().expect("enough fillers"), 1.0));
+        }
+        if l == 0 {
+            ranked.push(e(0, 1.0)); // T at depth d of its challenge list
+        } else {
+            ranked.push(e(fillers.next().expect("enough fillers"), 1.0));
+        }
+        debug_assert!(fillers.next().is_none());
+        // Grade-0 tail: every object not yet placed, ascending.
+        let placed: std::collections::HashSet<usize> =
+            ranked.iter().map(|en| en.object.index()).collect();
+        for id in 0..n {
+            if !placed.contains(&id) {
+                ranked.push(e(id, 0.0));
+            }
+        }
+        lists.push(ranked);
+    }
+    let db = Database::from_ranked_lists(lists).expect("valid witness");
+    Witness {
+        db,
+        winner: ObjectId(0),
+        opt_sorted: (d + (m - 1) * (2 * m - 2)) as u64,
+        opt_random: 0,
+        note: "Theorem 9.5: NRA's ratio m is tight",
+    }
+}
+
+/// **Theorem 9.2 family** (`t = min(x₁+x₂, x₃,…,x_m)` of eq. (5), `m ≥ 3`,
+/// distinctness, `k=1`): no deterministic algorithm has optimality ratio
+/// below `(m−2)/2 · c_R/c_S` — in particular CA's ratio cannot be
+/// independent of `c_R/c_S` for this (merely strictly monotone) `t`.
+///
+/// `d` candidates share `x₁+x₂ = 1/2`; the winner `T` has all its
+/// remaining grades in `[1/2, 3/4)`; every other candidate has one bad list
+/// with a grade `< 1/2`. `n` must be ≥ `10·(d+2)` and a multiple of 4.
+///
+/// The winner is candidate `d−1`, the *last* candidate in ascending-id
+/// order: a deterministic algorithm that resolves equal-`B` candidates in
+/// id order (as CA does) pays for all `d−1` decoys first — the concrete
+/// counterpart of the paper's adversary, which always answers "high" until
+/// only one candidate remains.
+pub fn thm_9_2(d: usize, m: usize, n: usize) -> Witness {
+    assert!(m >= 3, "min-plus needs m >= 3");
+    assert!(d >= 2);
+    assert!(n >= 10 * (d + 2), "need n >= 10(d+2)");
+    assert!(n.is_multiple_of(4), "paper takes N to be a multiple of 4");
+    let nf = n as f64;
+    let denom = (2 * d + 2) as f64;
+
+    // Lists 0 and 1: candidates occupy the top d with x₁+x₂ = 1/2.
+    let mut c0 = vec![0.0; n];
+    let mut c1 = vec![0.0; n];
+    for c in 0..d {
+        c0[c] = (d - c) as f64 / denom; // T = id 0 tops list 0
+        c1[c] = (c + 1) as f64 / denom;
+    }
+    for id in d..n {
+        // Distinct fillers strictly below 1/(2d+2).
+        let v = (n - id) as f64 / ((n + 1) as f64 * denom);
+        c0[id] = v;
+        c1[id] = v * 0.99;
+    }
+
+    // Lists 2..m−1: grades are i/n for distinct ranks i.
+    let winner = d - 1;
+    let mut cols = vec![c0, c1];
+    for j in 2..m {
+        let mut taken = vec![false; n + 1];
+        let mut col = vec![0.0; n];
+        // T = candidate d−1: grade in [1/2, 3/4).
+        let r_t = (6 * n / 10 + j) % n; // ≈ 0.6n, varied per list
+        col[winner] = r_t as f64 / nf;
+        taken[r_t] = true;
+        // Decoy candidates: bad list gets a low grade, good lists get
+        // grades in [1/2, 3/4).
+        for c in 0..winner {
+            let bad = 2 + c % (m - 2);
+            let r = if j == bad {
+                c + 1 // grade (c+1)/n < 1/2
+            } else {
+                n / 2 + c + 1 // grade in (1/2, 1/2 + d/n)
+            };
+            assert!(!taken[r], "rank collision in construction");
+            col[c] = r as f64 / nf;
+            taken[r] = true;
+        }
+        // Fillers: remaining ranks ascending by id.
+        let mut next = 1usize;
+        for id in d..n {
+            while taken[next] {
+                next += 1;
+            }
+            col[id] = next as f64 / nf;
+            taken[next] = true;
+        }
+        cols.push(col);
+    }
+    let db = Database::from_f64_columns(&cols).expect("valid witness");
+    debug_assert!(db.satisfies_distinctness());
+    Witness {
+        db,
+        winner: ObjectId(winner as u32),
+        opt_sorted: 2 * d as u64,
+        opt_random: (m - 2) as u64,
+        note: "Theorem 9.2: min-plus defeats c_R/c_S-independent ratios",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fagin_middleware::Grade;
+
+    /// Oracle: true overall grades by direct evaluation.
+    fn top1_by<F: Fn(&[f64]) -> f64>(db: &Database, t: F) -> (ObjectId, f64) {
+        let mut best = (ObjectId(0), f64::NEG_INFINITY);
+        for obj in db.objects() {
+            let row: Vec<f64> = db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+            let v = t(&row);
+            if v > best.1 {
+                best = (obj, v);
+            }
+        }
+        best
+    }
+
+    fn min_t(row: &[f64]) -> f64 {
+        row.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn example_6_3_shape() {
+        let w = example_6_3(5);
+        assert_eq!(w.db.num_objects(), 11);
+        let (top, grade) = top1_by(&w.db, min_t);
+        assert_eq!(top, w.winner);
+        assert_eq!(grade, 1.0);
+        // Winner hides at rank n (0-based) in both lists.
+        assert_eq!(w.db.list(0).rank_of(w.winner), Some(5));
+        assert_eq!(w.db.list(1).rank_of(w.winner), Some(5));
+        // Every other object has overall grade 0.
+        for obj in w.db.objects() {
+            if obj != w.winner {
+                let row: Vec<f64> =
+                    w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+                assert_eq!(min_t(&row), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn example_6_3_permuted_properties() {
+        for seed in 0..5 {
+            let w = example_6_3_permuted(6, seed);
+            let (top, grade) = top1_by(&w.db, min_t);
+            assert_eq!(top, w.winner, "seed {seed}");
+            assert_eq!(grade, 1.0);
+            assert_eq!(w.db.list(0).rank_of(w.winner), Some(6));
+            assert_eq!(w.db.list(1).rank_of(w.winner), Some(6));
+        }
+    }
+
+    #[test]
+    fn example_6_8_shape() {
+        let theta = 1.5;
+        let w = example_6_8(4, theta);
+        assert!(w.db.satisfies_distinctness());
+        let (top, grade) = top1_by(&w.db, min_t);
+        assert_eq!(top, w.winner);
+        assert!((grade - 1.0 / theta).abs() < 1e-12);
+        // Every other object is NOT a valid θ-approximation on its own.
+        for obj in w.db.objects() {
+            if obj != w.winner {
+                let row: Vec<f64> =
+                    w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+                assert!(theta * min_t(&row) < grade, "object {obj} too good");
+            }
+        }
+        assert_eq!(w.db.list(0).rank_of(w.winner), Some(4));
+        assert_eq!(w.db.list(1).rank_of(w.winner), Some(4));
+    }
+
+    #[test]
+    fn example_7_3_shape() {
+        let w = example_7_3(50);
+        assert!(w.db.satisfies_distinctness());
+        let gated = |row: &[f64]| -> f64 {
+            if row[2] == 1.0 {
+                row[0].min(row[1])
+            } else {
+                row[0].min(row[1]).min(row[2]) / 2.0
+            }
+        };
+        let (top, grade) = top1_by(&w.db, gated);
+        assert_eq!(top, w.winner);
+        assert!((grade - 0.6).abs() < 1e-12);
+        // Everyone else ≤ 0.5 and list-0 grades all ≥ 0.7.
+        for obj in w.db.objects() {
+            let row: Vec<f64> = w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+            if obj != w.winner {
+                assert!(gated(&row) <= 0.5);
+            }
+            assert!(row[0] >= 0.7 || obj == w.winner);
+        }
+    }
+
+    #[test]
+    fn example_8_3_variants() {
+        let avg = |row: &[f64]| row.iter().sum::<f64>() / row.len() as f64;
+        let w = example_8_3(10);
+        assert_eq!(top1_by(&w.db, avg).0, w.winner);
+
+        let w2 = example_8_3_swapped(10);
+        assert_eq!(top1_by(&w2.db, avg).0, w2.winner);
+        assert_eq!(w2.winner, ObjectId(1));
+    }
+
+    #[test]
+    fn fig5_shape() {
+        let h = 8;
+        let w = fig5_ca_vs_intermittent(h);
+        assert!(w.db.satisfies_distinctness());
+        let sum = |row: &[f64]| row.iter().sum::<f64>();
+        let (top, grade) = top1_by(&w.db, sum);
+        assert_eq!(top, w.winner);
+        assert!((grade - 1.5).abs() < 1e-12);
+        // R at 1-based position h−1 in lists 1,2 and h² in list 3.
+        assert_eq!(w.db.list(0).rank_of(w.winner), Some(h - 2));
+        assert_eq!(w.db.list(1).rank_of(w.winner), Some(h - 2));
+        assert_eq!(w.db.list(2).rank_of(w.winner), Some(h * h - 1));
+        // Decoys cap at 1 3/8 (paper's bound).
+        for obj in w.db.objects() {
+            if obj != w.winner {
+                let row: Vec<f64> =
+                    w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+                assert!(sum(&row) <= 1.375 + 1e-12, "object {obj}");
+            }
+        }
+    }
+
+    #[test]
+    fn thm_9_1_shape() {
+        for (d, m) in [(3usize, 2usize), (5, 3), (4, 4)] {
+            let w = thm_9_1(d, m);
+            let (top, grade) = top1_by(&w.db, min_t);
+            assert_eq!(top, w.winner, "d={d} m={m}");
+            assert_eq!(grade, 1.0);
+            // T at 0-based rank d−1 of list 0, deeper elsewhere.
+            assert_eq!(w.db.list(0).rank_of(w.winner), Some(d - 1));
+            for l in 1..m {
+                assert!(w.db.list(l).rank_of(w.winner).unwrap() >= d);
+            }
+            // Unique grade-1 object.
+            let ones = w
+                .db
+                .objects()
+                .filter(|&o| {
+                    let row: Vec<f64> =
+                        w.db.row(o).unwrap().iter().map(|g| g.value()).collect();
+                    min_t(&row) == 1.0
+                })
+                .count();
+            assert_eq!(ones, 1);
+        }
+    }
+
+    #[test]
+    fn thm_9_5_shape() {
+        for (d, m) in [(6usize, 2usize), (10, 3), (20, 4)] {
+            let w = thm_9_5(d, m);
+            let (top, grade) = top1_by(&w.db, min_t);
+            assert_eq!(top, w.winner, "d={d} m={m}");
+            assert_eq!(grade, 1.0);
+            assert_eq!(w.db.list(0).rank_of(w.winner), Some(d - 1));
+            // Specials other than their own challenge list occupy the top
+            // 2m−2 of each list.
+            for l in 0..m {
+                for r in 0..2 * m - 2 {
+                    let en = w.db.list(l).at_rank(r).unwrap();
+                    assert!(en.object.index() < 2 * m);
+                    assert_eq!(en.grade, Grade::ONE);
+                    assert_ne!(en.object.index() % m, l);
+                }
+                // Top d of every list all have grade 1.
+                assert_eq!(w.db.list(l).at_rank(d - 1).unwrap().grade, Grade::ONE);
+                assert!(w.db.list(l).at_rank(d).unwrap().grade == Grade::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn thm_9_2_shape() {
+        let (d, m, n) = (5usize, 4usize, 120usize);
+        let w = thm_9_2(d, m, n);
+        assert!(w.db.satisfies_distinctness());
+        let minplus = |row: &[f64]| -> f64 {
+            let rest = row[2..].iter().copied().fold(f64::INFINITY, f64::min);
+            (row[0] + row[1]).min(rest)
+        };
+        let (top, grade) = top1_by(&w.db, minplus);
+        assert_eq!(top, w.winner);
+        assert!((grade - 0.5).abs() < 1e-12);
+        // Candidates all share x₁+x₂ = 1/2; T's other grades in [1/2, 3/4).
+        for c in 0..d {
+            let row: Vec<f64> =
+                w.db.row(ObjectId(c as u32)).unwrap().iter().map(|g| g.value()).collect();
+            assert!((row[0] + row[1] - 0.5).abs() < 1e-12, "candidate {c}");
+        }
+        let t_row: Vec<f64> = w.db.row(w.winner).unwrap().iter().map(|g| g.value()).collect();
+        for &g in &t_row[2..] {
+            assert!((0.5..0.75).contains(&g));
+        }
+        // T buried beyond N/4 in the tail lists.
+        for l in 2..m {
+            assert!(w.db.list(l).rank_of(w.winner).unwrap() >= n / 4);
+        }
+    }
+
+    #[test]
+    fn optimal_cost_helper() {
+        let w = example_6_3(3);
+        let costs = CostModel::new(1.0, 5.0);
+        assert_eq!(w.optimal_cost(&costs), 10.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fagin-workloads
+//!
+//! Workload generators for the `fagin-topk` reproduction of Fagin, Lotem &
+//! Naor's *Optimal Aggregation Algorithms for Middleware* (PODS 2001):
+//!
+//! * [`random`] — seeded random databases (uniform, correlated,
+//!   anti-correlated, Zipf-skewed, and distinct-grade variants);
+//! * [`adversarial`] — concrete instantiations of every witness database in
+//!   the paper (Figures 1–5 and the Theorem 9 lower-bound families), each
+//!   carrying its planted winner and analytic optimal cost;
+//! * [`adversary`] — the paper's *interactive* adversary as a live
+//!   [`fagin_middleware::Middleware`]: it commits grades lazily, so any
+//!   algorithm (wild guessers included) can be run against the true
+//!   lower-bound construction;
+//! * [`scenarios`] — the domain workloads the paper's introduction
+//!   motivates (multimedia search, information retrieval, broadcast
+//!   scheduling, and §7's restaurant middleware).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod adversary;
+pub mod random;
+pub mod scenarios;
+
+pub use adversarial::Witness;
+pub use adversary::AdaptiveAdversary;

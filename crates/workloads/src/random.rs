@@ -1,0 +1,189 @@
+//! Random database generators.
+//!
+//! All generators are deterministic given a seed. Grade distributions follow
+//! the shapes customary in the top-k literature (and in the Quick-Combine /
+//! Stream-Combine simulations the paper discusses in §10): independent
+//! uniform, correlated, anti-correlated, and Zipf-skewed lists.
+
+use fagin_middleware::{Database, Grade};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Independent uniform grades: every field of every object is `U(0,1)`.
+///
+/// This is the independence model under which FA's
+/// `O(N^((m−1)/m) k^(1/m))` cost bound holds (§3).
+pub fn uniform(n: usize, m: usize, seed: u64) -> Database {
+    let mut r = rng(seed);
+    let cols: Vec<Vec<f64>> = (0..m)
+        .map(|_| (0..n).map(|_| r.random::<f64>()).collect())
+        .collect();
+    Database::from_f64_columns(&cols).expect("valid dimensions")
+}
+
+/// Independent lists with the **distinctness property** (§6): each list's
+/// grades are a random permutation of `{1/(n+1), …, n/(n+1)}`.
+pub fn uniform_distinct(n: usize, m: usize, seed: u64) -> Database {
+    let mut r = rng(seed);
+    let cols: Vec<Vec<Grade>> = (0..m)
+        .map(|_| {
+            let mut vals: Vec<Grade> = (1..=n)
+                .map(|i| Grade::new(i as f64 / (n + 1) as f64))
+                .collect();
+            vals.shuffle(&mut r);
+            vals
+        })
+        .collect();
+    let db = Database::from_columns(&cols).expect("valid dimensions");
+    debug_assert!(db.satisfies_distinctness());
+    db
+}
+
+/// Correlated grades: each object has a latent quality `q ~ U(0,1)` and each
+/// field is `q` plus bounded noise. High-`q` objects top every list, so
+/// threshold algorithms halt quickly.
+///
+/// `noise` in `[0,1]` controls decorrelation (0 = identical lists).
+pub fn correlated(n: usize, m: usize, noise: f64, seed: u64) -> Database {
+    assert!((0.0..=1.0).contains(&noise), "noise must be in [0,1]");
+    let mut r = rng(seed);
+    let quality: Vec<f64> = (0..n).map(|_| r.random::<f64>()).collect();
+    let cols: Vec<Vec<f64>> = (0..m)
+        .map(|_| {
+            quality
+                .iter()
+                .map(|&q| (q + noise * (r.random::<f64>() - 0.5)).clamp(0.0, 1.0))
+                .collect()
+        })
+        .collect();
+    Database::from_f64_columns(&cols).expect("valid dimensions")
+}
+
+/// Anti-correlated grades: objects good in one attribute are bad in the
+/// others (grades of an object roughly sum to `m/2`). The hard case for
+/// threshold algorithms: the threshold decays slowly.
+///
+/// `noise` in `[0,1]` perturbs the trade-off surface.
+pub fn anticorrelated(n: usize, m: usize, noise: f64, seed: u64) -> Database {
+    assert!(m >= 1);
+    assert!((0.0..=1.0).contains(&noise), "noise must be in [0,1]");
+    let mut r = rng(seed);
+    let mut cols = vec![Vec::with_capacity(n); m];
+    for _ in 0..n {
+        // Sample a point on the simplex (exponential trick), scale so the
+        // coordinates sum to m/2, then jitter and clamp.
+        let raw: Vec<f64> = (0..m)
+            .map(|_| -(1.0 - r.random::<f64>()).ln().max(1e-12))
+            .collect();
+        let sum: f64 = raw.iter().sum();
+        for (i, x) in raw.iter().enumerate() {
+            let base = x / sum * (m as f64 / 2.0);
+            let g = (base + noise * (r.random::<f64>() - 0.5)).clamp(0.0, 1.0);
+            cols[i].push(g);
+        }
+    }
+    Database::from_f64_columns(&cols).expect("valid dimensions")
+}
+
+/// Zipf-skewed grades: in each list the grade at rank `r` (1-based) is
+/// `(1/r^s) / (1/1^s)` — a few objects have high grades, most have tiny
+/// ones. Ranks are assigned by an independent random permutation per list.
+///
+/// Skewed distributions are the motivation for the sorted-access heuristics
+/// of Quick-Combine (§10).
+pub fn zipf(n: usize, m: usize, s: f64, seed: u64) -> Database {
+    assert!(s >= 0.0 && s.is_finite(), "exponent must be nonnegative");
+    let mut r = rng(seed);
+    let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+    let cols: Vec<Vec<Grade>> = (0..m)
+        .map(|_| {
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut r);
+            // Object perm[rank] receives the rank-th weight.
+            let mut col = vec![Grade::ZERO; n];
+            for (rank, &obj) in perm.iter().enumerate() {
+                col[obj] = Grade::new(weights[rank]);
+            }
+            col
+        })
+        .collect();
+    Database::from_columns(&cols).expect("valid dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_shape_and_determinism() {
+        let a = uniform(100, 3, 7);
+        let b = uniform(100, 3, 7);
+        let c = uniform(100, 3, 8);
+        assert_eq!(a.num_objects(), 100);
+        assert_eq!(a.num_lists(), 3);
+        let row_a = a.row(fagin_middleware::ObjectId(0)).unwrap();
+        assert_eq!(row_a, b.row(fagin_middleware::ObjectId(0)).unwrap());
+        assert_ne!(row_a, c.row(fagin_middleware::ObjectId(0)).unwrap());
+        for g in row_a {
+            assert!((0.0..=1.0).contains(&g.value()));
+        }
+    }
+
+    #[test]
+    fn uniform_distinct_satisfies_distinctness() {
+        let db = uniform_distinct(200, 4, 42);
+        assert!(db.satisfies_distinctness());
+        assert_eq!(db.num_objects(), 200);
+    }
+
+    #[test]
+    fn correlated_lists_rank_similarly() {
+        let db = correlated(500, 2, 0.1, 1);
+        // The top object of list 0 should rank high in list 1 too.
+        let top = db.list(0).at_rank(0).unwrap().object;
+        let rank_in_1 = db.list(1).rank_of(top).unwrap();
+        assert!(rank_in_1 < 100, "rank {rank_in_1} too deep for correlated data");
+    }
+
+    #[test]
+    fn anticorrelated_rows_sum_near_half_m() {
+        let m = 3;
+        let db = anticorrelated(300, m, 0.05, 9);
+        let mut total = 0.0;
+        for obj in db.objects() {
+            total += db
+                .row(obj)
+                .unwrap()
+                .iter()
+                .map(|g| g.value())
+                .sum::<f64>();
+        }
+        let mean = total / 300.0;
+        assert!(
+            (mean - m as f64 / 2.0).abs() < 0.25,
+            "mean row sum {mean} far from {}",
+            m as f64 / 2.0
+        );
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let db = zipf(1000, 2, 1.2, 3);
+        let l = db.list(0);
+        let top = l.at_rank(0).unwrap().grade.value();
+        let mid = l.at_rank(500).unwrap().grade.value();
+        assert_eq!(top, 1.0);
+        assert!(mid < 0.01, "rank 500 grade {mid} not skewed");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in [0,1]")]
+    fn bad_noise_rejected() {
+        let _ = correlated(10, 2, 2.0, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Domain scenarios from the paper's introduction and §7.
+//!
+//! * **Multimedia search** (QBIC, §1/§2): fuzzy color/shape/texture grades.
+//! * **Information retrieval** (§1): documents scored per search term,
+//!   aggregated by sum.
+//! * **Broadcast scheduling** (Aksoy–Franklin, §1): pages scored by waiting
+//!   time × request count, repeated top-1.
+//! * **Restaurant middleware** (Bruno–Gravano–Marian, §7): Zagat ratings
+//!   support sorted access; price and distance sources are random-access
+//!   only (`Z = {0}`).
+
+use fagin_middleware::{Database, ObjectId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A QBIC-style image collection: `m` visual attributes (color, shape,
+/// texture, …) with fuzzy grades. Attribute grades are mildly correlated
+/// (images of the same subject score similarly), which is the favorable
+/// case for TA.
+pub fn multimedia(num_images: usize, num_attributes: usize, seed: u64) -> Database {
+    crate::random::correlated(num_images, num_attributes, 0.5, seed)
+}
+
+/// A synthetic IR corpus: `num_docs` documents scored against
+/// `num_terms` search terms. Per-term relevance is Zipf-skewed (few
+/// documents are highly relevant to a term); the conventional aggregation
+/// is `Sum`.
+pub fn ir_corpus(num_docs: usize, num_terms: usize, seed: u64) -> Database {
+    crate::random::zipf(num_docs, num_terms, 1.1, seed)
+}
+
+/// The Aksoy–Franklin broadcast-scheduling state: for each page, field 0 is
+/// the normalized waiting time of its earliest requester and field 1 the
+/// normalized number of requesters. The scheduler repeatedly broadcasts the
+/// page with the top `t(x₁,x₂) = x₁·x₂` score (`Product`).
+///
+/// Waiting time and popularity are anti-correlated (popular pages get
+/// served often, so their earliest waiter is recent) — the interesting case
+/// for the scheduler.
+pub fn broadcast_queue(num_pages: usize, seed: u64) -> Database {
+    crate::random::anticorrelated(num_pages, 2, 0.3, seed)
+}
+
+/// The restaurant scenario of §7: three sources over the same restaurants.
+///
+/// * list 0 — Zagat-style rating (supports **sorted** access; `Z = {0}`),
+/// * list 1 — price score (cheapness; random access only),
+/// * list 2 — proximity score (random access only).
+///
+/// Returns the database and the sorted-accessible set `Z`.
+pub fn restaurants(n: usize, seed: u64) -> (Database, Vec<usize>) {
+    let mut r = StdRng::seed_from_u64(seed);
+    let mut rating = Vec::with_capacity(n);
+    let mut cheap = Vec::with_capacity(n);
+    let mut near = Vec::with_capacity(n);
+    for _ in 0..n {
+        let quality: f64 = r.random();
+        rating.push(quality);
+        // Better restaurants tend to be pricier: cheapness anti-correlates
+        // with rating.
+        cheap.push(((1.0 - quality) * 0.7 + 0.3 * r.random::<f64>()).clamp(0.0, 1.0));
+        near.push(r.random());
+    }
+    let db = Database::from_f64_columns(&[rating, cheap, near]).expect("valid dimensions");
+    (db, vec![0])
+}
+
+/// Human-readable labels for restaurant attributes (used by examples).
+pub const RESTAURANT_ATTRIBUTES: [&str; 3] = ["zagat-rating", "cheapness", "proximity"];
+
+/// Names a restaurant deterministically from its id (examples/demos).
+pub fn restaurant_name(id: ObjectId) -> String {
+    const FIRST: [&str; 8] = [
+        "Golden", "Rusty", "Silver", "Blue", "Smoky", "Velvet", "Iron", "Sunny",
+    ];
+    const SECOND: [&str; 8] = [
+        "Spoon", "Anchor", "Olive", "Lantern", "Kettle", "Garden", "Table", "Harbor",
+    ];
+    let i = id.index();
+    format!(
+        "{} {} #{i}",
+        FIRST[i % FIRST.len()],
+        SECOND[(i / FIRST.len()) % SECOND.len()]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(multimedia(50, 3, 1).num_lists(), 3);
+        assert_eq!(ir_corpus(100, 4, 2).num_objects(), 100);
+        assert_eq!(broadcast_queue(64, 3).num_lists(), 2);
+        let (db, z) = restaurants(30, 4);
+        assert_eq!(db.num_lists(), 3);
+        assert_eq!(z, vec![0]);
+    }
+
+    #[test]
+    fn restaurants_anticorrelate_rating_and_cheapness() {
+        let (db, _) = restaurants(500, 7);
+        // Compute a crude rank correlation between lists 0 and 1: top-rated
+        // restaurants should rank deep in cheapness.
+        let top = db.list(0).at_rank(0).unwrap().object;
+        let cheap_rank = db.list(1).rank_of(top).unwrap();
+        assert!(cheap_rank > 100, "top-rated was also cheapest? rank {cheap_rank}");
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(restaurant_name(ObjectId(3)), restaurant_name(ObjectId(3)));
+        assert_ne!(restaurant_name(ObjectId(3)), restaurant_name(ObjectId(4)));
+    }
+}

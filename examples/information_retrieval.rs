@@ -1,0 +1,58 @@
+//! Information retrieval over web search engines (paper §1, §2, §8.1).
+//!
+//! Documents are scored per search term; the total relevance is the sum of
+//! the per-term scores. Crucially, "there does not seem to be a way to ask
+//! a major search engine on the web for its internal score on some document
+//! of our choice" — random access is *impossible*, so the right tool is
+//! NRA, which also explains why "the major search engines no longer give
+//! grades": NRA certifies the top-k objects without necessarily knowing
+//! their exact scores.
+//!
+//! ```text
+//! cargo run --release --example information_retrieval
+//! ```
+
+use fagin_topk::prelude::*;
+
+fn main() {
+    let (num_docs, num_terms, k) = (100_000, 3, 10);
+    let corpus = scenarios::ir_corpus(num_docs, num_terms, 7);
+
+    println!("corpus: {num_docs} documents, query of {num_terms} terms, t = sum\n");
+
+    // The no-random-access policy *enforces* the scenario: any attempted
+    // random probe would be a typed error.
+    let mut session = Session::with_policy(&corpus, AccessPolicy::no_random_access());
+    let hits = Nra::new()
+        .run(&mut session, &Sum, k)
+        .expect("NRA never needs random access");
+
+    println!("top-{k} documents (NRA, no random access):");
+    for (rank, hit) in hits.items.iter().enumerate() {
+        match hit.grade {
+            Some(g) => println!("  {:>2}. doc {:>7}  score {g}", rank + 1, hit.object.0),
+            None => println!(
+                "  {:>2}. doc {:>7}  score not determined (provably top-{k} anyway)",
+                rank + 1,
+                hit.object.0
+            ),
+        }
+    }
+    println!(
+        "\ncost: {} sorted accesses over {} rounds ({} candidates buffered)",
+        hits.stats.sorted_total(),
+        hits.metrics.rounds,
+        hits.metrics.peak_buffer,
+    );
+    println!(
+        "the naive scan would need {} accesses",
+        num_docs * num_terms
+    );
+
+    // Trying TA here fails loudly — the policy catches the random access.
+    let mut ta_session = Session::with_policy(&corpus, AccessPolicy::no_random_access());
+    let err = Ta::new()
+        .run(&mut ta_session, &Sum, k)
+        .expect_err("TA needs random access");
+    println!("\nTA under the same policy: {err}");
+}

@@ -1,0 +1,73 @@
+//! Interactive early stopping (paper §6.2): TA as a progressive query.
+//!
+//! At any point TA can show the user its current top-k along with the
+//! guarantee `θ = τ/β` that this view is a θ-approximation of the true
+//! answer. The "user" here stops as soon as the guarantee reaches 1.05 —
+//! i.e. every shown restaurant is within 5% of optimal — and we report how
+//! much of the exact query's cost was saved.
+//!
+//! ```text
+//! cargo run --release --example interactive_approx
+//! ```
+
+use fagin_topk::prelude::*;
+
+fn main() {
+    let db = random::uniform(200_000, 3, 5);
+    let k = 10;
+    let target_guarantee = 1.05;
+
+    println!("progressive top-{k} over 200000 objects (avg), stop at θ <= {target_guarantee}\n");
+
+    let mut session = Session::new(&db);
+    let ta = Ta::new();
+    let mut stepper = ta
+        .stepper(&mut session, &Average, k)
+        .expect("valid configuration");
+
+    let mut stopped_early = false;
+    while !stepper.is_halted() {
+        stepper.step().expect("step succeeds");
+        let view = stepper.view();
+        if let Some(theta) = view.guarantee {
+            if stepper.rounds() % 64 == 0 || theta <= target_guarantee {
+                println!(
+                    "round {:>5}: threshold τ = {}, kth grade β = {}, guarantee θ = {theta:.4}",
+                    stepper.rounds(),
+                    view.threshold,
+                    view.beta.unwrap(),
+                );
+            }
+            if theta <= target_guarantee {
+                stopped_early = !stepper.is_halted();
+                println!("\nuser stops: every shown object is within {:.0}% of optimal", (theta - 1.0) * 100.0);
+                for item in view.items.iter().take(3) {
+                    println!("  object {:>7}  grade {}", item.object.0, item.grade.unwrap());
+                }
+                break;
+            }
+        }
+    }
+    let spent = stepper.rounds();
+
+    // What would the exact answer have cost?
+    let mut exact_session = Session::new(&db);
+    let exact = Ta::new().run(&mut exact_session, &Average, k).unwrap();
+    println!(
+        "\nearly stop after {spent} rounds vs {} rounds for the exact answer ({}x saved){}",
+        exact.metrics.rounds,
+        exact.metrics.rounds / spent.max(1),
+        if stopped_early { "" } else { " — query finished exactly first" },
+    );
+
+    // The equivalent one-shot form: TA_theta with θ fixed up front.
+    let mut theta_session = Session::new(&db);
+    let approx = Ta::theta(target_guarantee)
+        .run(&mut theta_session, &Average, k)
+        .unwrap();
+    println!(
+        "one-shot TA_theta({target_guarantee}): {} accesses vs {} exact",
+        approx.stats.total(),
+        exact.stats.total(),
+    );
+}

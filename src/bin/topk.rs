@@ -1,0 +1,269 @@
+//! `topk` — command-line front end for the fagin-topk library.
+//!
+//! Generate a workload, pick (or auto-plan) an algorithm, run a top-`k`
+//! query and report the answer with its middleware cost.
+//!
+//! ```text
+//! cargo run --release --bin topk -- --workload zipf --n 100000 --m 3 \
+//!     --agg avg --algo auto --k 10 --cr 10
+//! cargo run --release --bin topk -- --help
+//! ```
+
+use std::process::ExitCode;
+
+use fagin_topk::prelude::*;
+
+#[derive(Debug)]
+struct Args {
+    workload: String,
+    n: usize,
+    m: usize,
+    seed: u64,
+    agg: String,
+    algo: String,
+    k: usize,
+    c_s: f64,
+    c_r: f64,
+    theta: f64,
+    verbose: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: "uniform".into(),
+            n: 10_000,
+            m: 3,
+            seed: 42,
+            agg: "avg".into(),
+            algo: "auto".into(),
+            k: 10,
+            c_s: 1.0,
+            c_r: 1.0,
+            theta: 1.0,
+            verbose: false,
+        }
+    }
+}
+
+const HELP: &str = "topk — top-k aggregation over middleware (Fagin/Lotem/Naor, PODS 2001)
+
+USAGE: topk [OPTIONS]
+
+OPTIONS:
+  --workload <w>  uniform | distinct | correlated | anticorrelated | zipf |
+                  multimedia | ir | restaurants          [default: uniform]
+  --n <N>         number of objects                      [default: 10000]
+  --m <M>         number of lists                        [default: 3]
+  --seed <S>      RNG seed                               [default: 42]
+  --agg <t>       min | max | avg | sum | product | median [default: avg]
+  --algo <a>      auto | ta | ta-theta | fa | nra | ca | naive |
+                  quick-combine | stream-combine | max    [default: auto]
+  --k <K>         answers wanted                         [default: 10]
+  --cs <c>        cost of one sorted access              [default: 1]
+  --cr <c>        cost of one random access              [default: 1]
+  --theta <t>     approximation slack for ta-theta       [default: 1.0]
+  --verbose       print the full top-k list
+  --help          this text";
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Ok(None);
+        }
+        if flag == "--verbose" {
+            args.verbose = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))?;
+        let parse_usize =
+            |v: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
+        let parse_f64 = |v: &str| v.parse::<f64>().map_err(|e| format!("{flag}: {e}"));
+        match flag.as_str() {
+            "--workload" => args.workload = value,
+            "--n" => args.n = parse_usize(&value)?,
+            "--m" => args.m = parse_usize(&value)?,
+            "--seed" => args.seed = value.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--agg" => args.agg = value,
+            "--algo" => args.algo = value,
+            "--k" => args.k = parse_usize(&value)?,
+            "--cs" => args.c_s = parse_f64(&value)?,
+            "--cr" => args.c_r = parse_f64(&value)?,
+            "--theta" => args.theta = parse_f64(&value)?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(Some(args))
+}
+
+fn build_workload(a: &Args) -> Result<(Database, Vec<usize>), String> {
+    let db = match a.workload.as_str() {
+        "uniform" => random::uniform(a.n, a.m, a.seed),
+        "distinct" => random::uniform_distinct(a.n, a.m, a.seed),
+        "correlated" => random::correlated(a.n, a.m, 0.3, a.seed),
+        "anticorrelated" => random::anticorrelated(a.n, a.m, 0.1, a.seed),
+        "zipf" => random::zipf(a.n, a.m, 1.1, a.seed),
+        "multimedia" => scenarios::multimedia(a.n, a.m, a.seed),
+        "ir" => scenarios::ir_corpus(a.n, a.m, a.seed),
+        "restaurants" => {
+            let (db, z) = scenarios::restaurants(a.n, a.seed);
+            return Ok((db, z));
+        }
+        other => return Err(format!("unknown workload '{other}'")),
+    };
+    let m = db.num_lists();
+    Ok((db, (0..m).collect()))
+}
+
+fn build_aggregation(name: &str) -> Result<Box<dyn Aggregation>, String> {
+    Ok(match name {
+        "min" => Box::new(Min),
+        "max" => Box::new(Max),
+        "avg" => Box::new(Average),
+        "sum" => Box::new(Sum),
+        "product" => Box::new(Product),
+        "median" => Box::new(Median),
+        other => return Err(format!("unknown aggregation '{other}'")),
+    })
+}
+
+/// An algorithm choice: what to run, under which policy, and why.
+type AlgoChoice = (Box<dyn TopKAlgorithm>, AccessPolicy, Vec<String>);
+
+fn build_algorithm(
+    a: &Args,
+    z: &[usize],
+    m: usize,
+    agg: &dyn Aggregation,
+    costs: &CostModel,
+) -> Result<AlgoChoice, String> {
+    let restricted = z.len() < m;
+    let default_policy = if restricted {
+        AccessPolicy::sorted_only_on(z.iter().copied())
+    } else {
+        AccessPolicy::no_wild_guesses()
+    };
+    let algo: AlgoChoice = match a.algo.as_str() {
+        "auto" => {
+            let caps = Capabilities {
+                num_lists: m,
+                sorted_lists: z.iter().copied().collect(),
+                random_access: true,
+                require_grades: true,
+                distinctness: a.workload == "distinct",
+            };
+            let plan = Planner
+                .plan(&caps, agg, a.k, costs)
+                .map_err(|e| e.to_string())?;
+            let rationale = plan.rationale.clone();
+            (plan.algorithm, default_policy, rationale)
+        }
+        "ta" => (Box::new(Ta::new()), default_policy, vec![]),
+        "ta-theta" => (Box::new(Ta::theta(a.theta)), default_policy, vec![]),
+        "fa" => (Box::new(Fa), default_policy, vec![]),
+        "nra" => (
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+            AccessPolicy::no_random_access(),
+            vec![],
+        ),
+        "ca" => (
+            Box::new(Ca::for_costs(costs)),
+            default_policy,
+            vec![],
+        ),
+        "naive" => (Box::new(Naive), AccessPolicy::no_random_access(), vec![]),
+        "quick-combine" => (Box::new(QuickCombine::default()), default_policy, vec![]),
+        "stream-combine" => (
+            Box::new(StreamCombine::default()),
+            AccessPolicy::no_random_access(),
+            vec![],
+        ),
+        "max" => (Box::new(MaxTopK), AccessPolicy::no_random_access(), vec![]),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    Ok(algo)
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = parse_args()? else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    let costs = CostModel::new(args.c_s, args.c_r);
+    let (db, z) = build_workload(&args)?;
+    let agg = build_aggregation(&args.agg)?;
+    let (algo, policy, rationale) =
+        build_algorithm(&args, &z, db.num_lists(), agg.as_ref(), &costs)?;
+
+    println!(
+        "workload: {} (N={}, m={}, seed={})",
+        args.workload,
+        db.num_objects(),
+        db.num_lists(),
+        args.seed
+    );
+    println!(
+        "query: top-{} under {} | algorithm: {} | c_S={}, c_R={}",
+        args.k,
+        agg.name(),
+        algo.name(),
+        args.c_s,
+        args.c_r
+    );
+    for line in &rationale {
+        println!("planner: {line}");
+    }
+
+    let mut session = Session::with_policy(&db, policy);
+    let start = std::time::Instant::now();
+    let out = algo
+        .run(&mut session, agg.as_ref(), args.k)
+        .map_err(|e| format!("query failed: {e}"))?;
+    let elapsed = start.elapsed();
+
+    println!();
+    let show = if args.verbose { out.items.len() } else { out.items.len().min(5) };
+    for (rank, item) in out.items.iter().take(show).enumerate() {
+        match item.grade {
+            Some(g) => println!("  {:>3}. object {:>8}  grade {g}", rank + 1, item.object.0),
+            None => println!(
+                "  {:>3}. object {:>8}  grade not determined (certified top-{})",
+                rank + 1,
+                item.object.0,
+                args.k
+            ),
+        }
+    }
+    if show < out.items.len() {
+        println!("  … {} more (use --verbose)", out.items.len() - show);
+    }
+    println!();
+    println!(
+        "accesses: {} sorted + {} random  (middleware cost {:.1})",
+        out.stats.sorted_total(),
+        out.stats.random_total(),
+        costs.cost(&out.stats)
+    );
+    println!(
+        "depth {} | rounds {} | peak buffer {} objects | {:.2?} wall clock",
+        out.stats.depth(),
+        out.metrics.rounds,
+        out.metrics.peak_buffer,
+        elapsed
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

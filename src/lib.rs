@@ -1,0 +1,58 @@
+//! # fagin-topk
+//!
+//! A comprehensive Rust implementation of **"Optimal Aggregation Algorithms
+//! for Middleware"** (Ronald Fagin, Amnon Lotem, Moni Naor — PODS 2001):
+//! the Threshold Algorithm (TA), its approximation (TAθ) and
+//! restricted-sorted-access (TA_Z) variants, the No-Random-Access algorithm
+//! (NRA), the Combined Algorithm (CA), and the baselines the paper measures
+//! them against — over a fully instrumented middleware substrate.
+//!
+//! This umbrella crate re-exports the three component crates:
+//!
+//! * [`middleware`] — sorted-list databases, access sessions, cost model,
+//!   and machine-checked access policies;
+//! * [`core`] — aggregation functions and the algorithm suite;
+//! * [`workloads`] — random generators, the paper's adversarial witness
+//!   families, and domain scenarios.
+//!
+//! The `prelude` brings the common types into scope:
+//!
+//! ```
+//! use fagin_topk::prelude::*;
+//!
+//! let db = Database::from_f64_columns(&[
+//!     vec![0.9, 0.5, 0.1],
+//!     vec![0.2, 0.8, 0.5],
+//! ]).unwrap();
+//! let mut session = Session::new(&db);
+//! let top = Ta::new().run(&mut session, &Min, 1).unwrap();
+//! assert_eq!(top.items[0].object.0, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use fagin_core as core;
+pub use fagin_middleware as middleware;
+pub use fagin_workloads as workloads;
+
+/// Commonly used types, in one import.
+pub mod prelude {
+    pub use fagin_core::aggregation::{
+        Aggregation, Average, Constant, Custom, GatedMin, GeometricMean, Max, Median, Min,
+        MinPlus, Product, Sum, WeightedSum,
+    };
+    pub use fagin_core::algorithms::{
+        BookkeepingStrategy, Ca, Fa, Intermittent, MaxTopK, Naive, Nra, QuickCombine, StreamCombine, Ta, TaStepper, TaView,
+        TopKAlgorithm,
+    };
+    pub use fagin_core::oracle;
+    pub use fagin_core::planner::{Capabilities, Guarantee, Plan, PlanError, Planner};
+    pub use fagin_core::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+    pub use fagin_middleware::{
+        AccessError, AccessPolicy, AccessStats, CostModel, Database, DatabaseBuilder, Entry,
+        GeneratorSource, Grade, GradedSource, MaterializedSource, Middleware, ObjectId, Session, SortedAccessSet,
+        SubsystemMiddleware,
+    };
+    pub use fagin_workloads::{adversarial, adversary, random, scenarios, AdaptiveAdversary, Witness};
+}

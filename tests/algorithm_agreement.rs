@@ -1,0 +1,141 @@
+//! Property tests: every algorithm returns a valid top-`k` answer on random
+//! databases, for every monotone aggregation function — the correctness
+//! theorems 4.1 (TA), 8.4 (NRA) and 8.8 (CA), plus FA's correctness from §3,
+//! exercised together.
+
+use fagin_topk::prelude::*;
+use proptest::prelude::*;
+
+/// A database strategy: `m` lists over `n` objects with grades drawn from a
+/// small discrete set, so ties (the delicate case for buffers and bound
+/// bookkeeping) occur often.
+fn db_strategy(max_m: usize, max_n: usize) -> impl Strategy<Value = Database> {
+    (1..=max_m, 1..=max_n).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..=8).prop_map(|v| v as f64 / 8.0), n),
+            m,
+        )
+        .prop_map(|cols| Database::from_f64_columns(&cols).expect("valid dims"))
+    })
+}
+
+/// Continuous grades: ties almost never happen (the distinctness-ish case).
+fn db_strategy_continuous(max_m: usize, max_n: usize) -> impl Strategy<Value = Database> {
+    (1..=max_m, 1..=max_n).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, n), m)
+            .prop_map(|cols| Database::from_f64_columns(&cols).expect("valid dims"))
+    })
+}
+
+fn check_all_algorithms(db: &Database, agg: &dyn Aggregation, k: usize) {
+    let algos: Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> = vec![
+        (Box::new(Naive), AccessPolicy::no_random_access()),
+        (Box::new(Fa), AccessPolicy::no_wild_guesses()),
+        (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
+        (Box::new(Ta::new().memoized()), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Ta::restricted(0..db.num_lists())),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (Box::new(Nra::new()), AccessPolicy::no_random_access()),
+        (
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+            AccessPolicy::no_random_access(),
+        ),
+        (Box::new(Ca::new(1)), AccessPolicy::no_wild_guesses()),
+        (Box::new(Ca::new(3)), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Ca::new(2).with_strategy(BookkeepingStrategy::LazyHeap)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (Box::new(Intermittent::new(2)), AccessPolicy::no_wild_guesses()),
+    ];
+    for (algo, policy) in algos {
+        let mut session = Session::with_policy(db, policy);
+        let out = algo
+            .run(&mut session, agg, k)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+        assert!(
+            oracle::is_valid_top_k(db, agg, k, &out.objects()),
+            "{} returned an invalid top-{k}: {:?} (N={}, m={})",
+            algo.name(),
+            out.objects(),
+            db.num_objects(),
+            db.num_lists(),
+        );
+        // Any reported grade must be the true grade.
+        for item in &out.items {
+            if let Some(g) = item.grade {
+                let row = db.row(item.object).unwrap();
+                assert_eq!(g, agg.evaluate(&row), "{} misreported a grade", algo.name());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_algorithms_agree_min(db in db_strategy(4, 24), k in 1usize..6) {
+        check_all_algorithms(&db, &Min, k);
+    }
+
+    #[test]
+    fn all_algorithms_agree_max(db in db_strategy(4, 24), k in 1usize..6) {
+        check_all_algorithms(&db, &Max, k);
+    }
+
+    #[test]
+    fn all_algorithms_agree_avg(db in db_strategy(4, 24), k in 1usize..6) {
+        check_all_algorithms(&db, &Average, k);
+    }
+
+    #[test]
+    fn all_algorithms_agree_sum(db in db_strategy_continuous(4, 24), k in 1usize..6) {
+        check_all_algorithms(&db, &Sum, k);
+    }
+
+    #[test]
+    fn all_algorithms_agree_median(db in db_strategy(3, 18), k in 1usize..5) {
+        check_all_algorithms(&db, &Median, k);
+    }
+
+    #[test]
+    fn all_algorithms_agree_product(db in db_strategy_continuous(3, 18), k in 1usize..5) {
+        check_all_algorithms(&db, &Product, k);
+    }
+
+    #[test]
+    fn all_algorithms_agree_weighted(db in db_strategy_continuous(3, 18), k in 1usize..5) {
+        // Fixed-arity aggregation: adapt weights to the database's m.
+        let weights = vec![0.5, 0.3, 0.2][..db.num_lists()].to_vec();
+        let agg = WeightedSum::normalized(weights);
+        check_all_algorithms(&db, &agg, k);
+    }
+
+    #[test]
+    fn all_algorithms_agree_minplus(db in db_strategy(3, 18).prop_filter("needs m = 3", |d| d.num_lists() == 3), k in 1usize..4) {
+        check_all_algorithms(&db, &MinPlus, k);
+    }
+}
+
+#[test]
+fn single_object_database() {
+    let db = Database::from_f64_columns(&[vec![0.4], vec![0.6]]).unwrap();
+    check_all_algorithms(&db, &Min, 1);
+    check_all_algorithms(&db, &Min, 3); // k > N
+}
+
+#[test]
+fn all_grades_equal() {
+    let db = Database::from_f64_columns(&[vec![0.5; 7], vec![0.5; 7]]).unwrap();
+    check_all_algorithms(&db, &Average, 3);
+}
+
+#[test]
+fn all_grades_zero_and_one() {
+    let db = Database::from_f64_columns(&[vec![0.0; 5], vec![1.0; 5]]).unwrap();
+    check_all_algorithms(&db, &Min, 2);
+    check_all_algorithms(&db, &Max, 2);
+}

@@ -1,0 +1,119 @@
+//! θ-approximation properties (§6.2): TAθ's output is always a valid
+//! θ-approximation, costs no more than exact TA, and the early-stopping
+//! guarantee is sound at *every* round.
+
+use fagin_topk::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ta_theta_output_is_valid(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 20),
+            2..4usize,
+        ),
+        k in 1usize..5,
+        theta in 1.0f64..3.0,
+    ) {
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut s = Session::new(&db);
+        let out = Ta::theta(theta).run(&mut s, &Average, k).unwrap();
+        prop_assert!(oracle::is_valid_theta_approximation(
+            &db, &Average, k, theta, &out.objects()
+        ));
+    }
+
+    #[test]
+    fn ta_theta_never_costs_more_than_exact(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 20),
+            2..4usize,
+        ),
+        k in 1usize..5,
+        theta in 1.0f64..3.0,
+    ) {
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut s1 = Session::new(&db);
+        let exact = Ta::new().run(&mut s1, &Average, k).unwrap();
+        let mut s2 = Session::new(&db);
+        let approx = Ta::theta(theta).run(&mut s2, &Average, k).unwrap();
+        prop_assert!(approx.stats.total() <= exact.stats.total());
+    }
+
+    /// §6.2 "Early stopping of TA": at any time the current view together
+    /// with θ = τ/β is a θ-approximation.
+    #[test]
+    fn early_stopping_guarantee_sound_at_every_round(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 16),
+            2..4usize,
+        ),
+        k in 1usize..4,
+    ) {
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut session = Session::new(&db);
+        let ta = Ta::new();
+        let mut stepper = ta.stepper(&mut session, &Average, k).unwrap();
+        while !stepper.is_halted() {
+            stepper.step().unwrap();
+            let view = stepper.view();
+            if let Some(theta) = view.guarantee {
+                let objs: Vec<ObjectId> = view.items.iter().map(|i| i.object).collect();
+                prop_assert!(
+                    oracle::is_valid_theta_approximation(&db, &Average, k, theta, &objs),
+                    "round {}: guarantee {theta} unsound",
+                    stepper.rounds(),
+                );
+            }
+        }
+        // After halting the guarantee is exactly 1 (plain TA).
+        let final_view = stepper.view();
+        prop_assert_eq!(final_view.guarantee, Some(1.0));
+    }
+
+    /// Monotonicity of savings: a looser θ never halts later.
+    #[test]
+    fn larger_theta_halts_no_later(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 20),
+            2..4usize,
+        ),
+        k in 1usize..4,
+    ) {
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut last = u64::MAX;
+        for theta in [1.0, 1.2, 1.6, 2.5] {
+            let algo = if theta > 1.0 { Ta::theta(theta) } else { Ta::new() };
+            let mut s = Session::new(&db);
+            let out = algo.run(&mut s, &Average, k).unwrap();
+            prop_assert!(out.stats.total() <= last);
+            last = out.stats.total();
+        }
+    }
+}
+
+#[test]
+fn theta_one_equals_exact_ta() {
+    let db = Database::from_f64_columns(&[
+        vec![0.9, 0.5, 0.1, 0.3],
+        vec![0.2, 0.8, 0.5, 0.4],
+    ])
+    .unwrap();
+    let mut s1 = Session::new(&db);
+    let exact = Ta::new().run(&mut s1, &Min, 2).unwrap();
+    let mut s2 = Session::new(&db);
+    let theta1 = Ta::theta(1.0).run(&mut s2, &Min, 2).unwrap();
+    assert_eq!(exact.objects(), theta1.objects());
+    assert_eq!(exact.stats, theta1.stats);
+}
+
+#[test]
+fn example_6_8_unique_theta_approximation_found() {
+    let theta = 2.0;
+    let w = adversarial::example_6_8(25, theta);
+    let mut s = Session::new(&w.db);
+    let out = Ta::theta(theta).run(&mut s, &Min, 1).unwrap();
+    assert_eq!(out.objects(), vec![w.winner]);
+}

@@ -1,0 +1,152 @@
+//! Property tests for the §8 bound bookkeeping primitives: for any access
+//! history, `W(R) ≤ t(R) ≤ B(R)`, with `W` non-decreasing and `B`
+//! non-increasing as information arrives (Propositions 8.1/8.2 and the
+//! monotonicity facts the lazy-heap halting check relies on).
+
+use fagin_topk::core::aggregation::{Average, Max, Median, Min, Product, Sum};
+use fagin_topk::core::bounds::{Bottoms, PartialObject};
+use fagin_topk::prelude::*;
+use proptest::prelude::*;
+
+/// A simulated run over one object: the full row, plus an interleaving
+/// describing the order in which fields are revealed and bottoms decay.
+#[derive(Clone, Debug)]
+struct History {
+    /// The object's true grades.
+    row: Vec<f64>,
+    /// Sequence of events: `(list, new_bottom)`. Bottoms are non-increasing
+    /// per list and stay ≥ the row value until the field is revealed.
+    events: Vec<(usize, f64, bool)>, // (list, bottom, reveal-field?)
+}
+
+fn history_strategy(m: usize) -> impl Strategy<Value = History> {
+    let row = proptest::collection::vec(0.0f64..1.0, m);
+    (row, proptest::collection::vec((0..m, 0.0f64..1.0, any::<bool>()), 1..30)).prop_map(
+        |(row, raw)| {
+            // Normalize: per-list bottoms non-increasing, ≥ row value until
+            // revealed (sorted access cannot skip below an unseen grade).
+            let mut bottom = vec![1.0f64; row.len()];
+            let mut revealed = vec![false; row.len()];
+            let mut events = Vec::new();
+            for (list, x, reveal) in raw {
+                if revealed[list] {
+                    continue;
+                }
+                // Next bottom: between the row value and the current bottom.
+                let lo = row[list];
+                let next = lo + (bottom[list] - lo) * x;
+                bottom[list] = next;
+                if reveal {
+                    // Revealing the field means sorted access reached it:
+                    // the bottom becomes exactly the row value.
+                    bottom[list] = lo;
+                    revealed[list] = true;
+                    events.push((list, lo, true));
+                } else {
+                    events.push((list, next, false));
+                }
+            }
+            History { row, events }
+        },
+    )
+}
+
+fn check_sandwich(agg: &dyn Aggregation, h: &History) {
+    let m = h.row.len();
+    let mut bottoms = Bottoms::new(m);
+    let mut obj = PartialObject::new(m);
+    let mut scratch = Vec::new();
+
+    let truth = agg.evaluate(
+        &h.row
+            .iter()
+            .map(|&v| Grade::new(v))
+            .collect::<Vec<_>>(),
+    );
+
+    let mut last_w = obj.w(agg, &mut scratch);
+    let mut last_b = obj.b(agg, &bottoms, &mut scratch);
+    assert!(last_w <= truth.max(last_w)); // degenerate initial check
+
+    for &(list, bottom, reveal) in &h.events {
+        bottoms.observe(list, Grade::new(bottom));
+        if reveal {
+            obj.learn(list, Grade::new(h.row[list]));
+        }
+        let w = obj.w(agg, &mut scratch);
+        let b = obj.b(agg, &bottoms, &mut scratch);
+        // Sandwich: W ≤ t(R) ≤ B whenever the history is consistent with
+        // the row (unrevealed fields are below their list's bottom).
+        let consistent = (0..m).all(|i| obj.knows(i) || h.row[i] <= bottoms.value(i).value());
+        if consistent {
+            assert!(w <= truth, "{}: W={w:?} > t={truth:?}", agg.name());
+            assert!(b >= truth, "{}: B={b:?} < t={truth:?}", agg.name());
+        }
+        // Monotonicity holds unconditionally.
+        assert!(w >= last_w, "{}: W decreased", agg.name());
+        assert!(b <= last_b, "{}: B increased", agg.name());
+        assert!(w <= b, "{}: W > B", agg.name());
+        last_w = w;
+        last_b = b;
+    }
+
+    // Reveal everything: the bounds must collapse onto the truth.
+    for i in 0..m {
+        bottoms.observe(i, Grade::new(h.row[i].min(bottoms.value(i).value())));
+        obj.learn(i, Grade::new(h.row[i]));
+    }
+    assert_eq!(obj.w(agg, &mut scratch), truth);
+    assert_eq!(obj.exact(agg, &mut scratch), Some(truth));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sandwich_min(h in history_strategy(3)) { check_sandwich(&Min, &h); }
+
+    #[test]
+    fn sandwich_max(h in history_strategy(3)) { check_sandwich(&Max, &h); }
+
+    #[test]
+    fn sandwich_avg(h in history_strategy(3)) { check_sandwich(&Average, &h); }
+
+    #[test]
+    fn sandwich_sum(h in history_strategy(4)) { check_sandwich(&Sum, &h); }
+
+    #[test]
+    fn sandwich_median(h in history_strategy(3)) { check_sandwich(&Median, &h); }
+
+    #[test]
+    fn sandwich_product(h in history_strategy(2)) { check_sandwich(&Product, &h); }
+
+    /// The threshold τ equals the B bound of a never-seen object at every
+    /// point of every history ("An important special case", §8).
+    #[test]
+    fn unseen_b_equals_threshold(h in history_strategy(3)) {
+        let m = h.row.len();
+        let mut bottoms = Bottoms::new(m);
+        let unseen = PartialObject::new(m);
+        let mut scratch = Vec::new();
+        for &(list, bottom, _) in &h.events {
+            bottoms.observe(list, Grade::new(bottom));
+            let tau = bottoms.threshold(&Average, &mut scratch);
+            let b = unseen.b(&Average, &bottoms, &mut scratch);
+            prop_assert_eq!(tau, b);
+        }
+    }
+}
+
+/// §8's median observation, verbatim: "when t is the median of three
+/// fields, then as soon as two of them are known W(R) is at least the
+/// smaller of the two."
+#[test]
+fn median_w_after_two_fields() {
+    let mut obj = PartialObject::new(3);
+    let mut scratch = Vec::new();
+    obj.learn(0, Grade::new(0.7));
+    obj.learn(2, Grade::new(0.4));
+    let w = obj.w(&Median, &mut scratch);
+    assert!(w >= Grade::new(0.4));
+    assert_eq!(w, Grade::new(0.4)); // exactly the smaller of the two
+}

@@ -1,0 +1,120 @@
+//! Exhaustive verification on small databases: enumerate *every* database
+//! over a small grade alphabet and check every algorithm against the oracle
+//! for every `k`. This is model checking rather than sampling — tie
+//! handling, halting edge cases and buffer boundaries all get exercised
+//! systematically.
+
+use fagin_topk::prelude::*;
+
+fn algorithms() -> Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> {
+    vec![
+        (Box::new(Naive), AccessPolicy::no_random_access()),
+        (Box::new(Fa), AccessPolicy::no_wild_guesses()),
+        (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
+        (Box::new(Nra::new()), AccessPolicy::no_random_access()),
+        (
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+            AccessPolicy::no_random_access(),
+        ),
+        (Box::new(Ca::new(1)), AccessPolicy::no_wild_guesses()),
+        (Box::new(Intermittent::new(1)), AccessPolicy::no_wild_guesses()),
+        (Box::new(QuickCombine::new(2)), AccessPolicy::no_wild_guesses()),
+        (Box::new(StreamCombine::new(2)), AccessPolicy::no_random_access()),
+    ]
+}
+
+/// Enumerates every assignment of `slots` grades from `alphabet`.
+fn enumerate(alphabet: &[f64], slots: usize, mut visit: impl FnMut(&[f64])) {
+    let mut current = vec![alphabet[0]; slots];
+    let base = alphabet.len();
+    let total = base.pow(slots as u32);
+    for mut code in 0..total {
+        for slot in current.iter_mut() {
+            *slot = alphabet[code % base];
+            code /= base;
+        }
+        visit(&current);
+    }
+}
+
+fn check_database(cols: &[Vec<f64>], aggs: &[&dyn Aggregation]) {
+    let db = Database::from_f64_columns(cols).unwrap();
+    let n = db.num_objects();
+    for agg in aggs {
+        for k in 1..=n {
+            for (algo, policy) in algorithms() {
+                let mut session = Session::with_policy(&db, policy);
+                let out = algo
+                    .run(&mut session, *agg, k)
+                    .unwrap_or_else(|e| panic!("{} failed: {e} on {cols:?}", algo.name()));
+                assert!(
+                    oracle::is_valid_top_k(&db, *agg, k, &out.objects()),
+                    "{} wrong on cols={cols:?} agg={} k={k}: got {:?}",
+                    algo.name(),
+                    agg.name(),
+                    out.objects()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_database_n3_m2_alphabet3() {
+    // 3^(3·2) = 729 databases, each checked with min and avg for k ∈ 1..=3,
+    // across 9 algorithms.
+    let alphabet = [0.0, 0.5, 1.0];
+    let (n, m) = (3usize, 2usize);
+    let mut count = 0u32;
+    enumerate(&alphabet, n * m, |flat| {
+        let cols: Vec<Vec<f64>> = (0..m).map(|i| flat[i * n..(i + 1) * n].to_vec()).collect();
+        check_database(&cols, &[&Min, &Average]);
+        count += 1;
+    });
+    assert_eq!(count, 729);
+}
+
+#[test]
+fn every_database_n2_m3_alphabet2() {
+    // 2^(2·3) = 64 databases over {0, 1} — the all-ties stress case —
+    // checked with min, max, median.
+    let alphabet = [0.0, 1.0];
+    let (n, m) = (2usize, 3usize);
+    enumerate(&alphabet, n * m, |flat| {
+        let cols: Vec<Vec<f64>> = (0..m).map(|i| flat[i * n..(i + 1) * n].to_vec()).collect();
+        check_database(&cols, &[&Min, &Max, &Median]);
+    });
+}
+
+#[test]
+fn every_database_n4_m1_alphabet4() {
+    // Single-list databases: the degenerate m = 1 case every algorithm must
+    // still get right (4^4 = 256 databases).
+    let alphabet = [0.0, 0.25, 0.75, 1.0];
+    let n = 4usize;
+    enumerate(&alphabet, n, |flat| {
+        check_database(&[flat.to_vec()], &[&Min, &Sum]);
+    });
+}
+
+#[test]
+fn every_distinct_permutation_database_n3_m2() {
+    // All databases where each list is a permutation of {0.25, 0.5, 0.75}:
+    // the distinctness property holds, so Theorem 6.5 / 8.9 territory.
+    let perms: Vec<Vec<f64>> = vec![
+        vec![0.25, 0.50, 0.75],
+        vec![0.25, 0.75, 0.50],
+        vec![0.50, 0.25, 0.75],
+        vec![0.50, 0.75, 0.25],
+        vec![0.75, 0.25, 0.50],
+        vec![0.75, 0.50, 0.25],
+    ];
+    for a in &perms {
+        for b in &perms {
+            let cols = vec![a.clone(), b.clone()];
+            let db = Database::from_f64_columns(&cols).unwrap();
+            assert!(db.satisfies_distinctness());
+            check_database(&cols, &[&Min, &Average, &Product]);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Instance-optimality inequalities, checked across parameter sweeps:
+//! `cost(TA, D) ≤ c · cost(opt, D) + c′` with the paper's constants, on the
+//! witness families where `cost(opt, D)` is known analytically — plus the
+//! universal "TA's sorted cost ≤ FA's sorted cost" corollary on random
+//! databases.
+
+use fagin_topk::prelude::*;
+use fagin_topk::core::optimality;
+use proptest::prelude::*;
+
+/// Theorem 6.1's constants: on every database of the Thm 9.1 family,
+/// TA's cost is within `m + m(m−1)c_R/c_S` of optimal (plus the additive
+/// `k`-dependent constant, which the proof bounds by the same ratio times
+/// `k·m` accesses).
+#[test]
+fn ta_within_proven_ratio_on_thm_9_1_family() {
+    for m in 2..=4usize {
+        for d in [2usize, 5, 16, 64, 256] {
+            for ratio in [1.0, 3.0, 25.0] {
+                let costs = CostModel::new(1.0, ratio);
+                let w = adversarial::thm_9_1(d, m);
+                let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+                let out = Ta::new().run(&mut s, &Min, 1).unwrap();
+                assert_eq!(out.items[0].object, w.winner);
+                let bound = optimality::ta_ratio_bound(m, &costs);
+                let additive = (m as f64) * (costs.sorted + (m as f64 - 1.0) * costs.random);
+                assert!(
+                    costs.cost(&out.stats) <= bound * w.optimal_cost(&costs) + additive,
+                    "m={m} d={d} ratio={ratio}: {} > {bound} * {} + {additive}",
+                    costs.cost(&out.stats),
+                    w.optimal_cost(&costs),
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 8.5's constant: NRA's cost is within `m` of optimal on the
+/// Thm 9.5 family (plus the `km²` additive constant).
+#[test]
+fn nra_within_proven_ratio_on_thm_9_5_family() {
+    for m in 2..=4usize {
+        for d in [2 * m, 4 * m, 100, 400] {
+            let w = adversarial::thm_9_5(d, m);
+            let mut s = Session::with_policy(&w.db, AccessPolicy::no_random_access());
+            let out = Nra::new().run(&mut s, &Min, 1).unwrap();
+            assert_eq!(out.items[0].object, w.winner);
+            let additive = (m * m) as f64;
+            assert!(
+                CostModel::UNIT.cost(&out.stats)
+                    <= m as f64 * w.optimal_cost(&CostModel::UNIT) + additive,
+                "m={m} d={d}: NRA cost {} vs opt {}",
+                out.stats.total(),
+                w.opt_sorted,
+            );
+        }
+    }
+}
+
+/// The ratio actually *approaches* the bound as `d` grows (tightness).
+#[test]
+fn ta_ratio_is_tight_in_the_limit() {
+    let m = 3;
+    let costs = CostModel::new(1.0, 10.0);
+    let bound = optimality::ta_ratio_bound(m, &costs);
+    let mut last = 0.0;
+    for d in [4usize, 16, 64, 256, 1024] {
+        let w = adversarial::thm_9_1(d, m);
+        let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+        let out = Ta::new().run(&mut s, &Min, 1).unwrap();
+        let ratio = optimality::measured_ratio(&out.stats, w.optimal_cost(&costs), &costs);
+        assert!(ratio <= bound * 1.001);
+        assert!(ratio >= last * 0.999, "ratio should be non-decreasing in d");
+        last = ratio;
+    }
+    assert!(
+        last > bound * 0.95,
+        "ratio {last} did not approach the tight bound {bound}"
+    );
+}
+
+#[test]
+fn nra_ratio_is_tight_in_the_limit() {
+    let m = 3;
+    let mut last = 0.0;
+    for d in [8usize, 32, 128, 1024] {
+        let w = adversarial::thm_9_5(d, m);
+        let mut s = Session::with_policy(&w.db, AccessPolicy::no_random_access());
+        let out = Nra::new().run(&mut s, &Min, 1).unwrap();
+        let ratio = optimality::measured_ratio(
+            &out.stats,
+            w.optimal_cost(&CostModel::UNIT),
+            &CostModel::UNIT,
+        );
+        assert!(ratio <= m as f64 * 1.001);
+        last = ratio;
+    }
+    assert!(last > m as f64 * 0.95, "ratio {last} did not approach m");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §4: "for every database, the sorted access cost for TA is at most
+    /// that of FA" — on arbitrary random databases.
+    #[test]
+    fn ta_sorted_cost_never_exceeds_fa(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 12),
+            1..4usize,
+        ),
+        k in 1usize..5,
+    ) {
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut s1 = Session::new(&db);
+        let fa = Fa.run(&mut s1, &Min, k).unwrap();
+        let mut s2 = Session::new(&db);
+        let ta = Ta::new().run(&mut s2, &Min, k).unwrap();
+        prop_assert!(ta.stats.sorted_total() <= fa.stats.sorted_total());
+    }
+
+    /// Theorem 4.2 as a property: TA's buffer is O(k + m) on any database.
+    #[test]
+    fn ta_buffer_is_bounded(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 30),
+            1..4usize,
+        ),
+        k in 1usize..8,
+    ) {
+        let db = Database::from_f64_columns(&cols).unwrap();
+        let mut s = Session::new(&db);
+        let out = Ta::new().run(&mut s, &Average, k).unwrap();
+        prop_assert!(out.metrics.peak_buffer <= k + db.num_lists());
+    }
+}
+
+/// Example 6.3 end-to-end: the wild-guess gap is real and grows linearly.
+#[test]
+fn wild_guess_gap_grows_linearly() {
+    let mut previous_cost = 0u64;
+    for n in [10usize, 20, 40, 80] {
+        let w = adversarial::example_6_3(n);
+        let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+        let out = Ta::new().run(&mut s, &Min, 1).unwrap();
+        assert!(out.stats.sorted_total() >= (n + 1) as u64);
+        assert!(out.stats.total() > previous_cost, "gap must grow with n");
+        previous_cost = out.stats.total();
+
+        // The wild guesser really can finish in 2 accesses.
+        let mut wild = Session::with_policy(&w.db, AccessPolicy::unrestricted());
+        let g1 = wild.random_lookup(0, w.winner).unwrap();
+        let g2 = wild.random_lookup(1, w.winner).unwrap();
+        assert_eq!(Min.evaluate(&[g1, g2]), Grade::ONE);
+        assert_eq!(wild.stats().total(), 2);
+    }
+}

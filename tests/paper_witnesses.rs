@@ -1,0 +1,149 @@
+//! Integration tests on the paper's witness databases: each figure's
+//! qualitative claim holds end-to-end through the public API.
+
+use fagin_topk::prelude::*;
+
+#[test]
+fn figure_1_forces_natural_algorithms_deep() {
+    let n = 50;
+    let w = adversarial::example_6_3(n);
+    for algo in [
+        Box::new(Ta::new()) as Box<dyn TopKAlgorithm>,
+        Box::new(Fa),
+        Box::new(Ca::new(2)),
+    ] {
+        let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+        let out = algo.run(&mut s, &Min, 1).unwrap();
+        assert_eq!(out.items[0].object, w.winner, "{}", algo.name());
+        assert!(
+            out.stats.total() >= (n + 1) as u64,
+            "{} finished in {} accesses, below the n+1 bound",
+            algo.name(),
+            out.stats.total()
+        );
+    }
+    // NRA too (it cannot even use the random-access shortcut).
+    let mut s = Session::with_policy(&w.db, AccessPolicy::no_random_access());
+    let out = Nra::new().run(&mut s, &Min, 1).unwrap();
+    assert_eq!(out.items[0].object, w.winner);
+    assert!(out.stats.total() >= (n + 1) as u64);
+}
+
+#[test]
+fn figure_3_ta_z_reads_the_whole_database() {
+    let n = 200;
+    let w = adversarial::example_7_3(n);
+    let mut s = Session::with_policy(&w.db, AccessPolicy::sorted_only_on([0]));
+    let out = Ta::restricted([0]).run(&mut s, &GatedMin, 1).unwrap();
+    assert_eq!(out.items[0].object, w.winner);
+    // Footnote 14: TA_Z halts only "after it has seen the grade of every
+    // object in every list".
+    assert_eq!(out.stats.sorted_total(), n as u64);
+    assert_eq!(out.stats.random_total(), 2 * n as u64);
+}
+
+#[test]
+fn figure_3_unrestricted_ta_is_cheap() {
+    // The pathology is specific to the sorted-access restriction: plain TA
+    // (all lists sorted-accessible) finds the winner quickly.
+    let n = 200;
+    let w = adversarial::example_7_3(n);
+    let mut s = Session::new(&w.db);
+    let out = Ta::new().run(&mut s, &GatedMin, 1).unwrap();
+    assert_eq!(out.items[0].object, w.winner);
+    assert!(
+        out.stats.total() < (n / 2) as u64,
+        "plain TA should beat the TA_Z pathology, took {}",
+        out.stats.total()
+    );
+}
+
+#[test]
+fn figure_4_gradeless_certificate() {
+    let w = adversarial::example_8_3(500);
+    let mut s = Session::with_policy(&w.db, AccessPolicy::no_random_access());
+    let out = Nra::new().run(&mut s, &Average, 1).unwrap();
+    assert_eq!(out.items[0].object, w.winner);
+    assert!(out.items[0].grade.is_none());
+    assert!(out.stats.total() <= 6);
+}
+
+#[test]
+fn figure_5_ca_spends_one_random_access() {
+    for h in [4usize, 10, 20] {
+        let w = adversarial::fig5_ca_vs_intermittent(h);
+        let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+        let ca = Ca::new(h).run(&mut s, &Sum, 1).unwrap();
+        assert_eq!(ca.items[0].object, w.winner, "h={h}");
+        assert_eq!(ca.stats.random_total(), 1, "h={h}");
+        assert_eq!(ca.stats.sorted_total(), 3 * h as u64, "h={h}");
+
+        // The intermittent algorithm pays ~6(h−2) random accesses.
+        let mut s2 = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+        let int = Intermittent::new(h).run(&mut s2, &Sum, 1).unwrap();
+        assert_eq!(int.items[0].object, w.winner);
+        let expected = 6 * (h as u64 - 2);
+        assert!(
+            int.stats.random_total() >= expected - 6 && int.stats.random_total() <= expected + 6,
+            "h={h}: intermittent made {} random accesses, expected ~{expected}",
+            int.stats.random_total()
+        );
+    }
+}
+
+#[test]
+fn thm_9_1_ta_halts_at_exactly_depth_d() {
+    for (d, m) in [(10usize, 2usize), (25, 3), (12, 4)] {
+        let w = adversarial::thm_9_1(d, m);
+        let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+        let out = Ta::new().run(&mut s, &Min, 1).unwrap();
+        assert_eq!(out.items[0].object, w.winner);
+        assert_eq!(out.metrics.rounds, d as u64, "d={d} m={m}");
+        // Round d touches only list 0 before halting.
+        assert_eq!(out.stats.sorted_total(), ((d - 1) * m + 1) as u64);
+    }
+}
+
+#[test]
+fn thm_9_5_nra_halts_at_exactly_depth_d() {
+    for (d, m) in [(8usize, 2usize), (20, 3)] {
+        let w = adversarial::thm_9_5(d, m);
+        let mut s = Session::with_policy(&w.db, AccessPolicy::no_random_access());
+        let out = Nra::new().run(&mut s, &Min, 1).unwrap();
+        assert_eq!(out.items[0].object, w.winner);
+        assert_eq!(out.stats.sorted_total(), (d * m) as u64, "d={d} m={m}");
+    }
+}
+
+#[test]
+fn thm_9_2_decoys_cost_ca_dearly() {
+    let (d, m) = (8usize, 3usize);
+    let h = 16usize;
+    let n = {
+        let raw = (10 * (d + 2)).max(3 * h * d);
+        raw.div_ceil(4) * 4
+    };
+    let w = adversarial::thm_9_2(d, m, n);
+    let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+    let out = Ca::new(h).run(&mut s, &MinPlus, 1).unwrap();
+    assert_eq!(out.items[0].object, w.winner);
+    // CA resolves every decoy candidate before the winner: d−1 phases of
+    // m−2 probes each, plus the winner's phase.
+    assert!(
+        out.stats.random_total() >= ((d - 1) * (m - 2)) as u64,
+        "CA took only {} random accesses",
+        out.stats.random_total()
+    );
+}
+
+#[test]
+fn permuted_family_winner_is_found_by_everyone() {
+    for seed in [1u64, 7, 13] {
+        let w = adversarial::example_6_3_permuted(30, seed);
+        for algo in [Box::new(Ta::new()) as Box<dyn TopKAlgorithm>, Box::new(Fa)] {
+            let mut s = Session::with_policy(&w.db, AccessPolicy::no_wild_guesses());
+            let out = algo.run(&mut s, &Min, 1).unwrap();
+            assert_eq!(out.items[0].object, w.winner, "{} seed={seed}", algo.name());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end policy enforcement: the algorithm classes of the paper's
+//! theorems are machine-checked, and each algorithm stays inside its class.
+
+use fagin_topk::prelude::*;
+
+fn sample_db() -> Database {
+    Database::from_f64_columns(&[
+        vec![0.9, 0.5, 0.1, 0.3, 0.7],
+        vec![0.2, 0.8, 0.5, 0.4, 0.6],
+        vec![0.6, 0.55, 0.95, 0.1, 0.65],
+    ])
+    .unwrap()
+}
+
+#[test]
+fn ta_fa_ca_stay_in_the_no_wild_guess_class() {
+    let db = sample_db();
+    for algo in [
+        Box::new(Ta::new()) as Box<dyn TopKAlgorithm>,
+        Box::new(Fa),
+        Box::new(Ca::new(1)),
+        Box::new(Intermittent::new(1)),
+    ] {
+        let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses());
+        assert!(
+            algo.run(&mut s, &Min, 2).is_ok(),
+            "{} made a wild guess",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn nra_and_naive_stay_in_the_no_random_access_class() {
+    let db = sample_db();
+    for algo in [
+        Box::new(Nra::new()) as Box<dyn TopKAlgorithm>,
+        Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+        Box::new(Naive),
+        Box::new(MaxTopK),
+    ] {
+        let agg: &dyn Aggregation = if algo.name() == "MaxTopK" { &Max } else { &Min };
+        let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let out = algo.run(&mut s, agg, 2).expect("runs without random access");
+        assert_eq!(out.stats.random_total(), 0);
+    }
+}
+
+#[test]
+fn ta_fails_loudly_when_random_access_is_forbidden() {
+    let db = sample_db();
+    let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+    let err = Ta::new().run(&mut s, &Min, 1).unwrap_err();
+    assert!(matches!(
+        err,
+        AlgoError::Access(AccessError::RandomAccessForbidden { .. })
+    ));
+}
+
+#[test]
+fn ta_z_respects_the_sorted_access_restriction() {
+    let db = sample_db();
+    let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on([1]));
+    let out = Ta::restricted([1]).run(&mut s, &Min, 2).unwrap();
+    assert!(oracle::is_valid_top_k(&db, &Min, 2, &out.objects()));
+    assert_eq!(out.stats.sorted_on(0), 0);
+    assert_eq!(out.stats.sorted_on(2), 0);
+    assert!(out.stats.sorted_on(1) > 0);
+}
+
+#[test]
+fn plain_ta_violates_a_z_restriction() {
+    let db = sample_db();
+    let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on([1]));
+    let err = Ta::new().run(&mut s, &Min, 1).unwrap_err();
+    assert!(matches!(
+        err,
+        AlgoError::Access(AccessError::SortedAccessForbidden { list: 0 })
+    ));
+}
+
+#[test]
+fn budget_exhaustion_surfaces_as_error() {
+    let db = sample_db();
+    let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses().with_budget(3));
+    let err = Ta::new().run(&mut s, &Min, 2).unwrap_err();
+    assert!(matches!(
+        err,
+        AlgoError::Access(AccessError::BudgetExhausted)
+    ));
+    // The session never exceeded the budget.
+    assert!(s.stats().total() <= 3);
+}
+
+#[test]
+fn budget_large_enough_lets_ta_finish() {
+    let db = sample_db();
+    let budget = (db.num_objects() * db.num_lists() * db.num_lists()) as u64;
+    let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses().with_budget(budget));
+    assert!(Ta::new().run(&mut s, &Min, 2).is_ok());
+}
+
+#[test]
+fn session_counters_match_output_snapshot() {
+    let db = sample_db();
+    let mut s = Session::new(&db);
+    let out = Ta::new().run(&mut s, &Average, 2).unwrap();
+    assert_eq!(&out.stats, s.stats());
+}
+
+#[test]
+fn unrestricted_policy_allows_wild_guesses() {
+    let db = sample_db();
+    let mut s = Session::with_policy(&db, AccessPolicy::unrestricted());
+    // A "lucky wild guess" by hand: probe object 2 in all lists without any
+    // sorted access.
+    let g0 = s.random_lookup(0, ObjectId(2)).unwrap();
+    let g1 = s.random_lookup(1, ObjectId(2)).unwrap();
+    let g2 = s.random_lookup(2, ObjectId(2)).unwrap();
+    assert_eq!(
+        (g0.value(), g1.value(), g2.value()),
+        (0.1, 0.5, 0.95)
+    );
+    assert_eq!(s.stats().random_total(), 3);
+    assert_eq!(s.stats().sorted_total(), 0);
+}

@@ -1,0 +1,84 @@
+//! End-to-end runs of the paper's motivating applications (§1, §7), each
+//! with the appropriate algorithm and access policy, checked against the
+//! oracle.
+
+use fagin_topk::prelude::*;
+
+#[test]
+fn multimedia_fuzzy_conjunction_with_ta() {
+    let db = scenarios::multimedia(2_000, 3, 1);
+    let mut s = Session::new(&db);
+    let out = Ta::new().run(&mut s, &Min, 10).unwrap();
+    assert!(oracle::is_valid_top_k(&db, &Min, 10, &out.objects()));
+    // Correlated data: TA should be far cheaper than the naive scan.
+    assert!(out.stats.total() < (3 * 2_000) as u64 / 2);
+}
+
+#[test]
+fn information_retrieval_sum_with_nra() {
+    let corpus = scenarios::ir_corpus(5_000, 3, 2);
+    let mut s = Session::with_policy(&corpus, AccessPolicy::no_random_access());
+    let out = Nra::new().run(&mut s, &Sum, 10).unwrap();
+    assert!(oracle::is_valid_top_k(&corpus, &Sum, 10, &out.objects()));
+    assert_eq!(out.stats.random_total(), 0);
+}
+
+#[test]
+fn broadcast_scheduling_product_top_1() {
+    let db = scenarios::broadcast_queue(3_000, 3);
+    let mut s = Session::new(&db);
+    let out = Ta::new().run(&mut s, &Product, 1).unwrap();
+    assert!(oracle::is_valid_top_k(&db, &Product, 1, &out.objects()));
+    // RxW: the winner's score is the product of its two fields.
+    let row = db.row(out.items[0].object).unwrap();
+    assert_eq!(
+        out.items[0].grade.unwrap(),
+        Product.evaluate(&row)
+    );
+}
+
+#[test]
+fn restaurants_ta_z_only_sorts_the_zagat_list() {
+    let (db, z) = scenarios::restaurants(4_000, 4);
+    let pref = WeightedSum::normalized(vec![2.0, 1.0, 1.0]);
+    let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on(z.iter().copied()));
+    let out = Ta::restricted(z.iter().copied())
+        .run(&mut s, &pref, 5)
+        .unwrap();
+    assert!(oracle::is_valid_top_k(&db, &pref, 5, &out.objects()));
+    assert_eq!(out.stats.sorted_on(1), 0);
+    assert_eq!(out.stats.sorted_on(2), 0);
+}
+
+#[test]
+fn planner_matches_each_scenario() {
+    // The planner reproduces the per-scenario algorithm choices above.
+    let cases: Vec<(Capabilities, &str)> = vec![
+        (Capabilities::full(3), "TA"),
+        (Capabilities::no_random_access(3), "NRA"),
+        (Capabilities::restricted_sorted(3, [0]), "TA_Z"),
+    ];
+    for (caps, want) in cases {
+        let plan = Planner.plan(&caps, &Average, 5, &CostModel::UNIT).unwrap();
+        assert!(
+            plan.algorithm.name().starts_with(want),
+            "expected {want}, got {}",
+            plan.algorithm.name()
+        );
+    }
+}
+
+#[test]
+fn repeated_top_1_scheduling_is_consistent() {
+    // Re-running the same query on the same state gives the same decision
+    // and the same cost (determinism end-to-end).
+    let db = scenarios::broadcast_queue(1_000, 9);
+    let run = || {
+        let mut s = Session::new(&db);
+        Ta::new().run(&mut s, &Product, 1).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.objects(), b.objects());
+    assert_eq!(a.stats, b.stats);
+}
