@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_adversary-2c86401a6f7914ee.d: tests/adaptive_adversary.rs
+
+/root/repo/target/debug/deps/adaptive_adversary-2c86401a6f7914ee: tests/adaptive_adversary.rs
+
+tests/adaptive_adversary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithm_agreement-772f9a7cb4ce71a7.d: tests/algorithm_agreement.rs
+
+/root/repo/target/debug/deps/algorithm_agreement-772f9a7cb4ce71a7: tests/algorithm_agreement.rs
+
+tests/algorithm_agreement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/approximation-ede8d0a2e52be374.d: tests/approximation.rs
+
+/root/repo/target/debug/deps/approximation-ede8d0a2e52be374: tests/approximation.rs
+
+tests/approximation.rs:

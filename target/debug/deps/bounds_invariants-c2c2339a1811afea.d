@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bounds_invariants-c2c2339a1811afea.d: tests/bounds_invariants.rs
+
+/root/repo/target/debug/deps/bounds_invariants-c2c2339a1811afea: tests/bounds_invariants.rs
+
+tests/bounds_invariants.rs:

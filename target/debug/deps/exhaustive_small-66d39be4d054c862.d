@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exhaustive_small-66d39be4d054c862.d: tests/exhaustive_small.rs
+
+/root/repo/target/debug/deps/exhaustive_small-66d39be4d054c862: tests/exhaustive_small.rs
+
+tests/exhaustive_small.rs:

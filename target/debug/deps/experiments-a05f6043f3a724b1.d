@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-a05f6043f3a724b1.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-a05f6043f3a724b1: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

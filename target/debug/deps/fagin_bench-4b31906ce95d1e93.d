@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fagin_bench-4b31906ce95d1e93.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/approx.rs crates/bench/src/experiments/bounds.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/heuristics.rs crates/bench/src/experiments/scaling.rs crates/bench/src/experiments/tradeoffs.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/fagin_bench-4b31906ce95d1e93: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/approx.rs crates/bench/src/experiments/bounds.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/heuristics.rs crates/bench/src/experiments/scaling.rs crates/bench/src/experiments/tradeoffs.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/approx.rs:
+crates/bench/src/experiments/bounds.rs:
+crates/bench/src/experiments/figures.rs:
+crates/bench/src/experiments/heuristics.rs:
+crates/bench/src/experiments/scaling.rs:
+crates/bench/src/experiments/tradeoffs.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fagin_bench-8e4a47014d880d71.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/approx.rs crates/bench/src/experiments/bounds.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/heuristics.rs crates/bench/src/experiments/scaling.rs crates/bench/src/experiments/tradeoffs.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libfagin_bench-8e4a47014d880d71.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/approx.rs crates/bench/src/experiments/bounds.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/heuristics.rs crates/bench/src/experiments/scaling.rs crates/bench/src/experiments/tradeoffs.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libfagin_bench-8e4a47014d880d71.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/approx.rs crates/bench/src/experiments/bounds.rs crates/bench/src/experiments/figures.rs crates/bench/src/experiments/heuristics.rs crates/bench/src/experiments/scaling.rs crates/bench/src/experiments/tradeoffs.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/approx.rs:
+crates/bench/src/experiments/bounds.rs:
+crates/bench/src/experiments/figures.rs:
+crates/bench/src/experiments/heuristics.rs:
+crates/bench/src/experiments/scaling.rs:
+crates/bench/src/experiments/tradeoffs.rs:
+crates/bench/src/table.rs:

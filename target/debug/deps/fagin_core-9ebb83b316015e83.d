@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/fagin_core-9ebb83b316015e83.d: crates/core/src/lib.rs crates/core/src/aggregation/mod.rs crates/core/src/aggregation/special.rs crates/core/src/aggregation/standard.rs crates/core/src/aggregation/tnorm.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/ca.rs crates/core/src/algorithms/engine.rs crates/core/src/algorithms/fa.rs crates/core/src/algorithms/intermittent.rs crates/core/src/algorithms/max_algo.rs crates/core/src/algorithms/naive.rs crates/core/src/algorithms/quick_combine.rs crates/core/src/algorithms/stream_combine.rs crates/core/src/algorithms/ta.rs crates/core/src/bounds.rs crates/core/src/buffer.rs crates/core/src/optimality.rs crates/core/src/planner.rs crates/core/src/oracle.rs crates/core/src/output.rs
+
+/root/repo/target/debug/deps/libfagin_core-9ebb83b316015e83.rlib: crates/core/src/lib.rs crates/core/src/aggregation/mod.rs crates/core/src/aggregation/special.rs crates/core/src/aggregation/standard.rs crates/core/src/aggregation/tnorm.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/ca.rs crates/core/src/algorithms/engine.rs crates/core/src/algorithms/fa.rs crates/core/src/algorithms/intermittent.rs crates/core/src/algorithms/max_algo.rs crates/core/src/algorithms/naive.rs crates/core/src/algorithms/quick_combine.rs crates/core/src/algorithms/stream_combine.rs crates/core/src/algorithms/ta.rs crates/core/src/bounds.rs crates/core/src/buffer.rs crates/core/src/optimality.rs crates/core/src/planner.rs crates/core/src/oracle.rs crates/core/src/output.rs
+
+/root/repo/target/debug/deps/libfagin_core-9ebb83b316015e83.rmeta: crates/core/src/lib.rs crates/core/src/aggregation/mod.rs crates/core/src/aggregation/special.rs crates/core/src/aggregation/standard.rs crates/core/src/aggregation/tnorm.rs crates/core/src/algorithms/mod.rs crates/core/src/algorithms/ca.rs crates/core/src/algorithms/engine.rs crates/core/src/algorithms/fa.rs crates/core/src/algorithms/intermittent.rs crates/core/src/algorithms/max_algo.rs crates/core/src/algorithms/naive.rs crates/core/src/algorithms/quick_combine.rs crates/core/src/algorithms/stream_combine.rs crates/core/src/algorithms/ta.rs crates/core/src/bounds.rs crates/core/src/buffer.rs crates/core/src/optimality.rs crates/core/src/planner.rs crates/core/src/oracle.rs crates/core/src/output.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregation/mod.rs:
+crates/core/src/aggregation/special.rs:
+crates/core/src/aggregation/standard.rs:
+crates/core/src/aggregation/tnorm.rs:
+crates/core/src/algorithms/mod.rs:
+crates/core/src/algorithms/ca.rs:
+crates/core/src/algorithms/engine.rs:
+crates/core/src/algorithms/fa.rs:
+crates/core/src/algorithms/intermittent.rs:
+crates/core/src/algorithms/max_algo.rs:
+crates/core/src/algorithms/naive.rs:
+crates/core/src/algorithms/quick_combine.rs:
+crates/core/src/algorithms/stream_combine.rs:
+crates/core/src/algorithms/ta.rs:
+crates/core/src/bounds.rs:
+crates/core/src/buffer.rs:
+crates/core/src/optimality.rs:
+crates/core/src/planner.rs:
+crates/core/src/oracle.rs:
+crates/core/src/output.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fagin_topk-58b1d6110dcdb510.d: src/lib.rs
+
+/root/repo/target/debug/deps/fagin_topk-58b1d6110dcdb510: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fagin_topk-85f249d51d400e5d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfagin_topk-85f249d51d400e5d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfagin_topk-85f249d51d400e5d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fagin_workloads-78d201116e6143a8.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/debug/deps/fagin_workloads-78d201116e6143a8: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/adversary.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/scenarios.rs:

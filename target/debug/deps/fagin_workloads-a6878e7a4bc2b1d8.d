@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fagin_workloads-a6878e7a4bc2b1d8.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/debug/deps/libfagin_workloads-a6878e7a4bc2b1d8.rlib: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/debug/deps/libfagin_workloads-a6878e7a4bc2b1d8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/adversary.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/scenarios.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instance_optimality-e5e25337909f6a20.d: tests/instance_optimality.rs
+
+/root/repo/target/debug/deps/instance_optimality-e5e25337909f6a20: tests/instance_optimality.rs
+
+tests/instance_optimality.rs:

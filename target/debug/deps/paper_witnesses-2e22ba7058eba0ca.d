@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_witnesses-2e22ba7058eba0ca.d: tests/paper_witnesses.rs
+
+/root/repo/target/debug/deps/paper_witnesses-2e22ba7058eba0ca: tests/paper_witnesses.rs
+
+tests/paper_witnesses.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policy_enforcement-730b2766f4c36fb9.d: tests/policy_enforcement.rs
+
+/root/repo/target/debug/deps/policy_enforcement-730b2766f4c36fb9: tests/policy_enforcement.rs
+
+tests/policy_enforcement.rs:

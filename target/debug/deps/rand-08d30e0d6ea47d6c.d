@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-08d30e0d6ea47d6c.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-08d30e0d6ea47d6c.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-08d30e0d6ea47d6c.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

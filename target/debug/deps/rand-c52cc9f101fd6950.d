@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c52cc9f101fd6950.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-c52cc9f101fd6950: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

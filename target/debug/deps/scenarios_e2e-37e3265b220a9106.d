@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scenarios_e2e-37e3265b220a9106.d: tests/scenarios_e2e.rs
+
+/root/repo/target/debug/deps/scenarios_e2e-37e3265b220a9106: tests/scenarios_e2e.rs
+
+tests/scenarios_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/subsystem_sources-f80e7cb0e1136642.d: tests/subsystem_sources.rs
+
+/root/repo/target/debug/deps/subsystem_sources-f80e7cb0e1136642: tests/subsystem_sources.rs
+
+tests/subsystem_sources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topk-5549ebff4d10ac8c.d: src/bin/topk.rs
+
+/root/repo/target/debug/deps/topk-5549ebff4d10ac8c: src/bin/topk.rs
+
+src/bin/topk.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topk-e2f44ca28858ec13.d: src/bin/topk.rs
+
+/root/repo/target/debug/deps/topk-e2f44ca28858ec13: src/bin/topk.rs
+
+src/bin/topk.rs:

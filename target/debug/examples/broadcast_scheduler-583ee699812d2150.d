@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/broadcast_scheduler-583ee699812d2150.d: examples/broadcast_scheduler.rs
+
+/root/repo/target/debug/examples/broadcast_scheduler-583ee699812d2150: examples/broadcast_scheduler.rs
+
+examples/broadcast_scheduler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/information_retrieval-7ac8d1623e1f16fa.d: examples/information_retrieval.rs
+
+/root/repo/target/debug/examples/information_retrieval-7ac8d1623e1f16fa: examples/information_retrieval.rs
+
+examples/information_retrieval.rs:

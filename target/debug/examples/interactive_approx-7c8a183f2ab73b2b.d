@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interactive_approx-7c8a183f2ab73b2b.d: examples/interactive_approx.rs
+
+/root/repo/target/debug/examples/interactive_approx-7c8a183f2ab73b2b: examples/interactive_approx.rs
+
+examples/interactive_approx.rs:

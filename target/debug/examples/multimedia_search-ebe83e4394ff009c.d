@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multimedia_search-ebe83e4394ff009c.d: examples/multimedia_search.rs
+
+/root/repo/target/debug/examples/multimedia_search-ebe83e4394ff009c: examples/multimedia_search.rs
+
+examples/multimedia_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8e254f1c784e3db7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8e254f1c784e3db7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/restaurant_guide-24bf4b10fe38e0d3.d: examples/restaurant_guide.rs
+
+/root/repo/target/debug/examples/restaurant_guide-24bf4b10fe38e0d3: examples/restaurant_guide.rs
+
+examples/restaurant_guide.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fagin_middleware-2bddb43bd6f052c2.d: crates/middleware/src/lib.rs crates/middleware/src/cost.rs crates/middleware/src/database.rs crates/middleware/src/error.rs crates/middleware/src/grade.rs crates/middleware/src/list.rs crates/middleware/src/policy.rs crates/middleware/src/session.rs crates/middleware/src/source.rs
+
+/root/repo/target/release/deps/libfagin_middleware-2bddb43bd6f052c2.rlib: crates/middleware/src/lib.rs crates/middleware/src/cost.rs crates/middleware/src/database.rs crates/middleware/src/error.rs crates/middleware/src/grade.rs crates/middleware/src/list.rs crates/middleware/src/policy.rs crates/middleware/src/session.rs crates/middleware/src/source.rs
+
+/root/repo/target/release/deps/libfagin_middleware-2bddb43bd6f052c2.rmeta: crates/middleware/src/lib.rs crates/middleware/src/cost.rs crates/middleware/src/database.rs crates/middleware/src/error.rs crates/middleware/src/grade.rs crates/middleware/src/list.rs crates/middleware/src/policy.rs crates/middleware/src/session.rs crates/middleware/src/source.rs
+
+crates/middleware/src/lib.rs:
+crates/middleware/src/cost.rs:
+crates/middleware/src/database.rs:
+crates/middleware/src/error.rs:
+crates/middleware/src/grade.rs:
+crates/middleware/src/list.rs:
+crates/middleware/src/policy.rs:
+crates/middleware/src/session.rs:
+crates/middleware/src/source.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fagin_topk-076056e7f62ada34.d: src/lib.rs
+
+/root/repo/target/release/deps/libfagin_topk-076056e7f62ada34.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfagin_topk-076056e7f62ada34.rmeta: src/lib.rs
+
+src/lib.rs:

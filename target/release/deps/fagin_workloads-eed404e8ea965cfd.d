@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fagin_workloads-eed404e8ea965cfd.d: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/release/deps/libfagin_workloads-eed404e8ea965cfd.rlib: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+/root/repo/target/release/deps/libfagin_workloads-eed404e8ea965cfd.rmeta: crates/workloads/src/lib.rs crates/workloads/src/adversarial.rs crates/workloads/src/adversary.rs crates/workloads/src/random.rs crates/workloads/src/scenarios.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/adversarial.rs:
+crates/workloads/src/adversary.rs:
+crates/workloads/src/random.rs:
+crates/workloads/src/scenarios.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-91558e0578ca8f63.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-91558e0578ca8f63.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-91558e0578ca8f63.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topk-fd33d9d44d6c2710.d: src/bin/topk.rs
+
+/root/repo/target/release/deps/topk-fd33d9d44d6c2710: src/bin/topk.rs
+
+src/bin/topk.rs:
