@@ -1,12 +1,13 @@
 //! TA across grade distributions: correlated data lets the threshold fall
-//! fast (cheap); anti-correlated data is the hard case.
+//! fast (cheap); anti-correlated data is the hard case. A second group pits
+//! the sharded parallel engine against the same workloads at 1/2/4/8 shards.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use fagin_bench::run;
 use fagin_core::aggregation::Min;
-use fagin_core::algorithms::Ta;
+use fagin_core::algorithms::{Sharded, Ta};
 use fagin_middleware::{AccessPolicy, Database};
 use fagin_workloads::random;
 
@@ -28,5 +29,38 @@ fn bench_shapes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shapes);
+fn bench_sharded(c: &mut Criterion) {
+    let n = 40_000;
+    let shapes: Vec<(&str, Database)> = vec![
+        ("uniform", random::uniform(n, 3, 1)),
+        ("anticorrelated", random::anticorrelated(n, 3, 0.1, 3)),
+    ];
+    let mut group = c.benchmark_group("sharded-ta");
+    group.sample_size(20);
+    for (name, db) in &shapes {
+        for shards in [1usize, 2, 4, 8] {
+            let engine = Sharded::new(Ta::new(), shards);
+            // Shard once, serve many queries: only query time is measured.
+            let partitioned = db.shard(shards);
+            group.bench_with_input(BenchmarkId::new(*name, shards), db, |b, db| {
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .run_on_shards(
+                                db,
+                                &partitioned,
+                                AccessPolicy::no_wild_guesses(),
+                                &Min,
+                                10,
+                            )
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapes, bench_sharded);
 criterion_main!(benches);

@@ -25,6 +25,7 @@ mod intermittent;
 mod max_algo;
 mod naive;
 mod quick_combine;
+mod sharded;
 mod stream_combine;
 mod ta;
 
@@ -35,6 +36,7 @@ pub use intermittent::Intermittent;
 pub use max_algo::MaxTopK;
 pub use naive::Naive;
 pub use quick_combine::QuickCombine;
+pub use sharded::Sharded;
 pub use stream_combine::StreamCombine;
 pub use ta::{Ta, TaStepper, TaView};
 

@@ -293,7 +293,8 @@ mod tests {
         let mut last_b = p.b(&agg, &bt, &mut scratch);
 
         // Simulate sorted access: bottoms fall, fields get learned.
-        let steps: Vec<(usize, f64, Option<(usize, f64)>)> = vec![
+        type Step = (usize, f64, Option<(usize, f64)>);
+        let steps: Vec<Step> = vec![
             (0, 0.9, Some((0, 0.9))),
             (1, 0.8, None),
             (0, 0.7, None),

@@ -43,6 +43,7 @@ mod grade;
 mod list;
 mod policy;
 mod session;
+mod shard;
 mod source;
 
 pub use cost::{AccessStats, CostModel};
@@ -52,4 +53,5 @@ pub use grade::{Entry, Grade, ObjectId};
 pub use list::SortedList;
 pub use policy::{AccessPolicy, SortedAccessSet};
 pub use session::{Middleware, Session};
+pub use shard::DatabaseShard;
 pub use source::{GeneratorSource, GradedSource, MaterializedSource, SubsystemMiddleware};

@@ -43,16 +43,16 @@ pub mod prelude {
         MinPlus, Product, Sum, WeightedSum,
     };
     pub use fagin_core::algorithms::{
-        BookkeepingStrategy, Ca, Fa, Intermittent, MaxTopK, Naive, Nra, QuickCombine, StreamCombine, Ta, TaStepper, TaView,
-        TopKAlgorithm,
+        BookkeepingStrategy, Ca, Fa, Intermittent, MaxTopK, Naive, Nra, QuickCombine, Sharded,
+        StreamCombine, Ta, TaStepper, TaView, TopKAlgorithm,
     };
     pub use fagin_core::oracle;
     pub use fagin_core::planner::{Capabilities, Guarantee, Plan, PlanError, Planner};
     pub use fagin_core::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
     pub use fagin_middleware::{
-        AccessError, AccessPolicy, AccessStats, CostModel, Database, DatabaseBuilder, Entry,
-        GeneratorSource, Grade, GradedSource, MaterializedSource, Middleware, ObjectId, Session, SortedAccessSet,
-        SubsystemMiddleware,
+        AccessError, AccessPolicy, AccessStats, CostModel, Database, DatabaseBuilder,
+        DatabaseShard, Entry, GeneratorSource, Grade, GradedSource, MaterializedSource, Middleware,
+        ObjectId, Session, SortedAccessSet, SubsystemMiddleware,
     };
     pub use fagin_workloads::{adversarial, adversary, random, scenarios, AdaptiveAdversary, Witness};
 }

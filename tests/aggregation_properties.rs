@@ -1,0 +1,187 @@
+//! Property tests for the aggregation suite: every shipped `Aggregation` is
+//! monotone (the correctness hypothesis of every theorem in the paper), and
+//! the t-norms honor their boundary laws on two arguments, where they also
+//! pin down `Min`/`Max` behaviour.
+
+use fagin_topk::core::aggregation::{Einstein, Hamacher, Lukasiewicz};
+use fagin_topk::prelude::*;
+use proptest::prelude::*;
+
+/// Aggregations accepting any `m ≥ 1`.
+fn any_arity_suite() -> Vec<Box<dyn Aggregation>> {
+    vec![
+        Box::new(Min),
+        Box::new(Max),
+        Box::new(Sum),
+        Box::new(Average),
+        Box::new(Product),
+        Box::new(Median),
+        Box::new(GeometricMean),
+        Box::new(Constant(0.5)),
+        Box::new(Lukasiewicz),
+        Box::new(Hamacher),
+        Box::new(Einstein),
+    ]
+}
+
+/// Fixed-arity aggregations paired with an accepted `m`.
+fn fixed_arity_suite() -> Vec<(Box<dyn Aggregation>, usize)> {
+    vec![
+        (Box::new(MinPlus), 3),
+        (Box::new(MinPlus), 4),
+        (Box::new(GatedMin), 3),
+        (Box::new(WeightedSum::normalized(vec![0.5, 0.3, 0.2])), 3),
+    ]
+}
+
+fn grades(values: &[f64]) -> Vec<Grade> {
+    values.iter().map(|&v| Grade::new(v)).collect()
+}
+
+/// Asserts `t(lo) ≤ t(hi)` where `lo ≤ hi` pointwise.
+fn check_monotone_pair(agg: &dyn Aggregation, lo: &[f64], hi: &[f64]) {
+    let t_lo = agg.evaluate(&grades(lo));
+    let t_hi = agg.evaluate(&grades(hi));
+    assert!(
+        t_lo <= t_hi,
+        "{} not monotone: t({lo:?}) = {t_lo:?} > t({hi:?}) = {t_hi:?}",
+        agg.name()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Monotonicity for the any-arity aggregations: raise some coordinates,
+    /// the overall grade must not drop.
+    #[test]
+    fn any_arity_aggregations_are_monotone(
+        base in proptest::collection::vec(0.0f64..1.0, 1..6),
+        bumps in proptest::collection::vec(0.0f64..1.0, 1..6),
+    ) {
+        let m = base.len().min(bumps.len());
+        let lo = &base[..m];
+        let hi: Vec<f64> = lo
+            .iter()
+            .zip(&bumps[..m])
+            .map(|(&x, &d)| (x + d).min(1.0))
+            .collect();
+        for agg in any_arity_suite() {
+            check_monotone_pair(agg.as_ref(), lo, &hi);
+        }
+    }
+
+    /// Monotonicity for the fixed-arity aggregations at their native arity.
+    #[test]
+    fn fixed_arity_aggregations_are_monotone(
+        base in proptest::collection::vec(0.0f64..1.0, 4),
+        bumps in proptest::collection::vec(0.0f64..1.0, 4),
+    ) {
+        for (agg, m) in fixed_arity_suite() {
+            let lo = &base[..m];
+            let hi: Vec<f64> = lo
+                .iter()
+                .zip(&bumps[..m])
+                .map(|(&x, &d)| (x + d).min(1.0))
+                .collect();
+            check_monotone_pair(agg.as_ref(), lo, &hi);
+        }
+    }
+
+    /// T-norm boundary laws on two arguments: 1 is the neutral element and
+    /// 0 annihilates, for every t-norm in the suite (and `Min`, which is
+    /// the pointwise-largest t-norm).
+    #[test]
+    fn tnorm_boundary_laws(a in 0.0f64..=1.0) {
+        let tnorms: Vec<Box<dyn Aggregation>> = vec![
+            Box::new(Min),
+            Box::new(Product),
+            Box::new(Lukasiewicz),
+            Box::new(Hamacher),
+            Box::new(Einstein),
+        ];
+        for t in &tnorms {
+            let neutral = t.evaluate(&grades(&[a, 1.0]));
+            prop_assert!(
+                (neutral.value() - a).abs() < 1e-12,
+                "{}: t({a}, 1) = {neutral:?}, expected {a}",
+                t.name()
+            );
+            let annihilated = t.evaluate(&grades(&[a, 0.0]));
+            prop_assert_eq!(
+                annihilated,
+                Grade::ZERO,
+                "{}: t({}, 0) must be 0",
+                t.name(),
+                a
+            );
+            // Commutativity on the boundary pairs.
+            prop_assert_eq!(t.evaluate(&grades(&[1.0, a])), neutral);
+            prop_assert_eq!(t.evaluate(&grades(&[0.0, a])), annihilated);
+        }
+    }
+
+    /// Every t-norm is dominated by `Min` and dominates `Lukasiewicz`
+    /// (the classical t-norm sandwich), and `Max` dominates them all.
+    #[test]
+    fn tnorm_sandwich(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let pair = grades(&[a, b]);
+        let min = Min.evaluate(&pair);
+        let max = Max.evaluate(&pair);
+        let luk = Lukasiewicz.evaluate(&pair);
+        for t in [&Hamacher as &dyn Aggregation, &Einstein, &Product] {
+            let v = t.evaluate(&pair);
+            prop_assert!(luk <= v, "{}: Łukasiewicz must be the floor", t.name());
+            prop_assert!(v <= min, "{}: Min must be the ceiling", t.name());
+        }
+        prop_assert!(min <= max);
+    }
+
+    /// `Min` and `Max` agree with each t-norm exactly on the 2-element
+    /// boundary lattice {0, 1}².
+    #[test]
+    fn min_max_tnorms_agree_on_boundary_lattice(x in any::<bool>(), y in any::<bool>()) {
+        let a = if x { 1.0 } else { 0.0 };
+        let b = if y { 1.0 } else { 0.0 };
+        let pair = grades(&[a, b]);
+        let expected_and = Grade::new(a.min(b));
+        let expected_or = Grade::new(a.max(b));
+        for t in [
+            &Min as &dyn Aggregation,
+            &Product,
+            &Lukasiewicz,
+            &Hamacher,
+            &Einstein,
+        ] {
+            prop_assert_eq!(
+                t.evaluate(&pair),
+                expected_and,
+                "{} must act as conjunction on the boundary lattice",
+                t.name()
+            );
+        }
+        prop_assert_eq!(Max.evaluate(&pair), expected_or);
+    }
+}
+
+/// The advertised strictness flags hold on the 2-element boundary: strict
+/// aggregations hit 1 only at (1, …, 1).
+#[test]
+fn strictness_on_boundary() {
+    for agg in any_arity_suite() {
+        if !agg.is_strict() {
+            continue;
+        }
+        assert_eq!(
+            agg.evaluate(&grades(&[1.0, 1.0])),
+            Grade::ONE,
+            "{}: strict requires t(1,1) = 1",
+            agg.name()
+        );
+        assert!(
+            agg.evaluate(&grades(&[1.0, 0.5])) < Grade::ONE,
+            "{}: strict forbids t(1,0.5) = 1",
+            agg.name()
+        );
+    }
+}

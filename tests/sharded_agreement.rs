@@ -1,0 +1,218 @@
+//! Shard-count invariance: `Sharded<A>` must return exactly the answer the
+//! unsharded algorithm returns, for every shard count, on random and
+//! adversarial workloads alike.
+//!
+//! With ties the *set* of top-`k` objects is not unique, so agreement means:
+//! identical grade sequences, identical object sets away from the k-th
+//! grade boundary, and every reported grade equal to the true overall grade
+//! computed subsystem-side.
+
+use std::collections::HashSet;
+
+use fagin_topk::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// True overall grade of `object`, computed from the database's rows.
+fn true_grade(db: &Database, agg: &dyn Aggregation, object: ObjectId) -> Grade {
+    agg.evaluate(&db.row(object).expect("object exists"))
+}
+
+/// Asserts `sharded` is exactly as good an answer as `plain`.
+fn assert_same_answer(
+    db: &Database,
+    agg: &dyn Aggregation,
+    plain: &TopKOutput,
+    sharded: &TopKOutput,
+    context: &str,
+) {
+    assert_eq!(
+        sharded.items.len(),
+        plain.items.len(),
+        "{context}: answer sizes differ"
+    );
+    if plain.items.is_empty() {
+        return;
+    }
+
+    // Same grade sequence (descending), grades all reported and truthful.
+    let plain_grades: Vec<Grade> = plain
+        .items
+        .iter()
+        .map(|i| i.grade.expect("TA reports grades"))
+        .collect();
+    let sharded_grades: Vec<Grade> = sharded
+        .items
+        .iter()
+        .map(|i| i.grade.expect("sharded merge resolves grades"))
+        .collect();
+    assert_eq!(
+        plain_grades, sharded_grades,
+        "{context}: grade sequences differ"
+    );
+    for item in &sharded.items {
+        assert_eq!(
+            item.grade.unwrap(),
+            true_grade(db, agg, item.object),
+            "{context}: misreported grade for {}",
+            item.object
+        );
+    }
+
+    // Same objects, except possibly among ties at the k-th grade.
+    let boundary = *plain_grades.last().unwrap();
+    let plain_set: HashSet<ObjectId> = plain.objects().into_iter().collect();
+    let sharded_set: HashSet<ObjectId> = sharded.objects().into_iter().collect();
+    for &object in plain_set.symmetric_difference(&sharded_set) {
+        assert_eq!(
+            true_grade(db, agg, object),
+            boundary,
+            "{context}: {object} differs between answers but is not a boundary tie"
+        );
+    }
+}
+
+/// Runs plain `Ta` and `Sharded<Ta>` for every shard count and asserts
+/// agreement.
+fn check_ta_invariance(db: &Database, agg: &dyn Aggregation, k: usize, context: &str) {
+    let mut session = Session::new(db);
+    let plain = Ta::new().run(&mut session, agg, k).unwrap();
+    for shards in SHARD_COUNTS {
+        let sharded = Sharded::new(Ta::new(), shards).run(db, agg, k).unwrap();
+        assert_same_answer(
+            db,
+            agg,
+            &plain,
+            &sharded,
+            &format!("{context}, {shards} shards"),
+        );
+    }
+}
+
+#[test]
+fn uniform_random_workloads() {
+    for seed in 0..5 {
+        let db = fagin_topk::workloads::random::uniform(300, 3, seed);
+        check_ta_invariance(&db, &Min, 10, &format!("uniform seed {seed} (min)"));
+        check_ta_invariance(&db, &Average, 10, &format!("uniform seed {seed} (avg)"));
+    }
+}
+
+#[test]
+fn distinct_grade_workloads_agree_exactly() {
+    // With the distinctness property there are no ties at all, so the
+    // object sequences must be identical, not just the grade sequences.
+    for seed in 0..5 {
+        let db = fagin_topk::workloads::random::uniform_distinct(240, 2, seed);
+        let mut session = Session::new(&db);
+        let plain = Ta::new().run(&mut session, &Min, 8).unwrap();
+        for shards in SHARD_COUNTS {
+            let sharded = Sharded::new(Ta::new(), shards).run(&db, &Min, 8).unwrap();
+            assert_eq!(
+                plain.objects(),
+                sharded.objects(),
+                "distinct grades leave no room for tie disagreements"
+            );
+        }
+    }
+}
+
+#[test]
+fn correlated_and_zipf_workloads() {
+    let correlated = fagin_topk::workloads::random::correlated(250, 3, 0.2, 11);
+    check_ta_invariance(&correlated, &Average, 5, "correlated");
+    let zipf = fagin_topk::workloads::random::zipf(250, 3, 1.1, 12);
+    check_ta_invariance(&zipf, &Max, 5, "zipf");
+    let anti = fagin_topk::workloads::random::anticorrelated(250, 2, 0.3, 13);
+    check_ta_invariance(&anti, &Min, 5, "anticorrelated");
+}
+
+#[test]
+fn adversarial_witnesses() {
+    let witnesses = [
+        fagin_topk::workloads::adversarial::example_6_3(40),
+        fagin_topk::workloads::adversarial::example_6_3_permuted(40, 7),
+        fagin_topk::workloads::adversarial::example_8_3(40),
+        fagin_topk::workloads::adversarial::example_8_3_hard_top2(40),
+        fagin_topk::workloads::adversarial::fig5_ca_vs_intermittent(6),
+        fagin_topk::workloads::adversarial::thm_9_1(10, 4),
+    ];
+    for w in witnesses {
+        for k in [1, 3] {
+            check_ta_invariance(&w.db, &Min, k, w.note);
+        }
+    }
+}
+
+#[test]
+fn planted_winner_survives_sharding() {
+    // The witness databases carry a unique top-1 winner (under the
+    // aggregation their construction targets): every shard count must
+    // surface exactly that object at rank 1.
+    let cases: [(fagin_topk::workloads::Witness, &dyn Aggregation); 2] = [
+        (fagin_topk::workloads::adversarial::example_6_3(25), &Min),
+        // Figure 4's winner holds grades (1, 0): top under avg, not min.
+        (fagin_topk::workloads::adversarial::example_8_3(25), &Average),
+    ];
+    for (w, agg) in cases {
+        for shards in SHARD_COUNTS {
+            let out = Sharded::new(Ta::new(), shards).run(&w.db, agg, 1).unwrap();
+            assert_eq!(out.items[0].object, w.winner, "{}", w.note);
+        }
+    }
+}
+
+#[test]
+fn sharded_nra_and_ca_agree_with_ta() {
+    let db = fagin_topk::workloads::random::uniform(200, 3, 99);
+    let mut session = Session::new(&db);
+    let plain = Ta::new().run(&mut session, &Average, 6).unwrap();
+
+    for shards in SHARD_COUNTS {
+        let nra = Sharded::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap), shards)
+            .run_with_policy(&db, AccessPolicy::no_random_access(), &Average, 6)
+            .unwrap();
+        assert_same_answer(&db, &Average, &plain, &nra, "sharded NRA");
+
+        let ca = Sharded::new(Ca::new(4), shards).run(&db, &Average, 6).unwrap();
+        assert_same_answer(&db, &Average, &plain, &ca, "sharded CA");
+    }
+}
+
+#[test]
+fn k_exceeding_shard_sizes() {
+    // k = 12 over 7 shards of a 20-object database: every shard holds fewer
+    // than k objects, so the merge must rank the whole union correctly.
+    let db = fagin_topk::workloads::random::uniform_distinct(20, 2, 5);
+    let mut session = Session::new(&db);
+    let plain = Ta::new().run(&mut session, &Min, 12).unwrap();
+    for shards in SHARD_COUNTS {
+        let sharded = Sharded::new(Ta::new(), shards).run(&db, &Min, 12).unwrap();
+        assert_eq!(plain.objects(), sharded.objects());
+    }
+}
+
+#[test]
+fn merged_threshold_is_sound() {
+    // max_i τ_i upper-bounds the grade of every object *no shard examined*;
+    // objects a shard did surface are bounded by the k-th answer grade. So
+    // every object outside the answer sits below max(τ, k-th grade) — the
+    // exactness certificate of the merge.
+    let db = fagin_topk::workloads::random::uniform(150, 3, 21);
+    for shards in SHARD_COUNTS {
+        let out = Sharded::new(Ta::new(), shards).run(&db, &Min, 5).unwrap();
+        let tau = out
+            .metrics
+            .final_threshold
+            .expect("TA always reports a threshold");
+        let boundary = out.items.last().unwrap().grade.unwrap();
+        let certificate = tau.max(boundary);
+        let answer: HashSet<ObjectId> = out.objects().into_iter().collect();
+        for object in db.objects().filter(|o| !answer.contains(o)) {
+            assert!(
+                true_grade(&db, &Min, object) <= certificate,
+                "exactness certificate must dominate every rejected object"
+            );
+        }
+    }
+}
