@@ -21,7 +21,15 @@ fn bench_algorithms(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("TA/min", |b| {
-        b.iter(|| black_box(run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, k)))
+        b.iter(|| {
+            black_box(run(
+                &db,
+                AccessPolicy::no_wild_guesses(),
+                &Ta::new(),
+                &Min,
+                k,
+            ))
+        })
     });
     group.bench_function("TA(memo)/min", |b| {
         b.iter(|| {

@@ -1,6 +1,8 @@
 //! TA across grade distributions: correlated data lets the threshold fall
 //! fast (cheap); anti-correlated data is the hard case. A second group pits
-//! the sharded parallel engine against the same workloads at 1/2/4/8 shards.
+//! the sharded parallel engine against the same workloads at 1/2/4/8
+//! shards; a third sweeps the batched access path's batch size on the
+//! uniform-random workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -23,7 +25,15 @@ fn bench_shapes(c: &mut Criterion) {
     group.sample_size(20);
     for (name, db) in &shapes {
         group.bench_with_input(BenchmarkId::from_parameter(name), db, |b, db| {
-            b.iter(|| black_box(run(db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, 10)))
+            b.iter(|| {
+                black_box(run(
+                    db,
+                    AccessPolicy::no_wild_guesses(),
+                    &Ta::new(),
+                    &Min,
+                    10,
+                ))
+            })
         });
     }
     group.finish();
@@ -62,5 +72,37 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shapes, bench_sharded);
+fn bench_batched(c: &mut Criterion) {
+    let n = 40_000;
+    let db = random::uniform(n, 3, 1);
+    let k = 10;
+
+    // Guard rail, not a measurement: batch size 1 must reproduce plain
+    // TA's access counts exactly (the batched drive loop degenerates to
+    // the paper's access-by-access execution).
+    let plain = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, k);
+    let b1 = run(
+        &db,
+        AccessPolicy::no_wild_guesses(),
+        &Ta::new().batched(1),
+        &Min,
+        k,
+    );
+    assert_eq!(
+        plain.stats, b1.stats,
+        "batch=1 must match plain TA access-for-access"
+    );
+
+    let mut group = c.benchmark_group("batched-ta");
+    group.sample_size(20);
+    for batch in [1usize, 8, 64, 512] {
+        let ta = Ta::new().batched(batch);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &db, |b, db| {
+            b.iter(|| black_box(run(db, AccessPolicy::no_wild_guesses(), &ta, &Min, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shapes, bench_sharded, bench_batched);
 criterion_main!(benches);

@@ -1,17 +1,21 @@
-//! Experiment runner: regenerates every table/figure of the paper.
+//! Experiment runner: regenerates every table/figure of the paper, plus
+//! the machine-readable perf trajectory `BENCH_topk.json` (algorithm ×
+//! workload → access counts and wall time).
 //!
 //! ```text
 //! cargo run --release -p fagin-bench --bin experiments -- all
 //! cargo run --release -p fagin-bench --bin experiments -- e5 e6
 //! cargo run --release -p fagin-bench --bin experiments -- --quick all
+//! cargo run --release -p fagin-bench --bin experiments -- --no-json e7
 //! ```
 
 use fagin_bench::experiments::{by_id, ALL_IDS};
-use fagin_bench::Scale;
+use fagin_bench::{report, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let no_json = args.iter().any(|a| a == "--no-json");
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let ids: Vec<&str> = {
         let named: Vec<&str> = args
@@ -38,7 +42,21 @@ fn main() {
                 }
             }
             None => {
-                eprintln!("unknown experiment id: {id} (valid: {})", ALL_IDS.join(", "));
+                eprintln!(
+                    "unknown experiment id: {id} (valid: {})",
+                    ALL_IDS.join(", ")
+                );
+                failed = true;
+            }
+        }
+    }
+    if !no_json {
+        // The machine-readable companion to the tables above.
+        const PATH: &str = "BENCH_topk.json";
+        match report::write_json(PATH, scale) {
+            Ok(records) => println!("wrote {PATH} ({} records)", records.len()),
+            Err(e) => {
+                eprintln!("failed to write {PATH}: {e}");
                 failed = true;
             }
         }

@@ -30,13 +30,31 @@ pub fn e10_theta_and_early_stop(scale: Scale) -> Vec<Table> {
     let uni = random::uniform(n, 3, 0xA10);
     let zpf = random::zipf(n, 3, 1.0, 0xA11);
     let exact_uni = CostModel::UNIT.cost(
-        &run(&uni, AccessPolicy::no_wild_guesses(), &Ta::new(), &Average, k).stats,
+        &run(
+            &uni,
+            AccessPolicy::no_wild_guesses(),
+            &Ta::new(),
+            &Average,
+            k,
+        )
+        .stats,
     );
     let exact_zpf = CostModel::UNIT.cost(
-        &run(&zpf, AccessPolicy::no_wild_guesses(), &Ta::new(), &Average, k).stats,
+        &run(
+            &zpf,
+            AccessPolicy::no_wild_guesses(),
+            &Ta::new(),
+            &Average,
+            k,
+        )
+        .stats,
     );
     for theta in [1.0, 1.01, 1.05, 1.1, 1.25, 1.5, 2.0] {
-        let algo = if theta > 1.0 { Ta::theta(theta) } else { Ta::new() };
+        let algo = if theta > 1.0 {
+            Ta::theta(theta)
+        } else {
+            Ta::new()
+        };
         let ou = run(&uni, AccessPolicy::no_wild_guesses(), &algo, &Average, k);
         let oz = run(&zpf, AccessPolicy::no_wild_guesses(), &algo, &Average, k);
         let valid = oracle::is_valid_theta_approximation(&uni, &Average, k, theta, &ou.objects())
@@ -57,7 +75,13 @@ pub fn e10_theta_and_early_stop(scale: Scale) -> Vec<Table> {
 
     // (b) Early-stopping trace on the uniform database.
     let mut t2 = Table::new("E10b: early-stopping trace — guarantee θ = τ/β per round (uniform)")
-        .headers(["round", "threshold τ", "kth grade β", "guarantee θ", "view is θ-approx"]);
+        .headers([
+            "round",
+            "threshold τ",
+            "kth grade β",
+            "guarantee θ",
+            "view is θ-approx",
+        ]);
     let mut session = Session::with_policy(&uni, AccessPolicy::no_wild_guesses());
     let ta = Ta::new();
     let mut stepper = ta.stepper(&mut session, &Average, k).unwrap();

@@ -23,8 +23,16 @@ pub fn e6_optimality_ratios(scale: Scale) -> Vec<Table> {
     let mut tables = Vec::new();
 
     // (a) TA on Theorem 9.1 witnesses.
-    let mut ta_t = Table::new("E6a: Table 1 row 'no wild guesses' — TA on the Thm 9.1 family (min, k=1)")
-        .headers(["m", "c_R/c_S", "d", "measured ratio", "bound m+m(m-1)r", "measured/bound"]);
+    let mut ta_t =
+        Table::new("E6a: Table 1 row 'no wild guesses' — TA on the Thm 9.1 family (min, k=1)")
+            .headers([
+                "m",
+                "c_R/c_S",
+                "d",
+                "measured ratio",
+                "bound m+m(m-1)r",
+                "measured/bound",
+            ]);
     let ds: &[usize] = scale.pick(&[8, 32], &[8, 64, 512]);
     for &m in &[2usize, 3] {
         for ratio in [1.0, 10.0] {
@@ -51,12 +59,22 @@ pub fn e6_optimality_ratios(scale: Scale) -> Vec<Table> {
             }
         }
     }
-    ta_t.note("measured ratio approaches the bound as d grows: the bound is tight (Cor. 6.2 / Thm 9.1)");
+    ta_t.note(
+        "measured ratio approaches the bound as d grows: the bound is tight (Cor. 6.2 / Thm 9.1)",
+    );
     tables.push(ta_t);
 
     // (b) NRA on Theorem 9.5 witnesses.
-    let mut nra_t = Table::new("E6b: Table 1 row 'no random access' — NRA on the Thm 9.5 family (min, k=1)")
-        .headers(["m", "d", "NRA sorted", "opt sorted", "measured ratio", "bound m"]);
+    let mut nra_t =
+        Table::new("E6b: Table 1 row 'no random access' — NRA on the Thm 9.5 family (min, k=1)")
+            .headers([
+                "m",
+                "d",
+                "NRA sorted",
+                "opt sorted",
+                "measured ratio",
+                "bound m",
+            ]);
     for &m in &[2usize, 3, 4] {
         for &d in ds {
             let d = d.max(2 * m);
@@ -89,14 +107,23 @@ pub fn e6_optimality_ratios(scale: Scale) -> Vec<Table> {
             ]);
         }
     }
-    nra_t.note("ratio approaches m as d grows: NRA is tightly instance optimal (Cor. 8.6 / Thm 9.5)");
+    nra_t.note(
+        "ratio approaches m as d grows: NRA is tightly instance optimal (Cor. 8.6 / Thm 9.5)",
+    );
     tables.push(nra_t);
 
     // (c) CA on the Theorem 9.2 family: ratio must grow with c_R/c_S.
     let mut ca_neg = Table::new(
         "E6c: Thm 9.2 — with t = min(x1+x2, x3..) no algorithm's ratio is c_R/c_S-free (m=3, k=1)",
     )
-    .headers(["c_R/c_S", "d", "CA cost", "opt cost", "measured ratio", "lower bound (m-2)r/2"]);
+    .headers([
+        "c_R/c_S",
+        "d",
+        "CA cost",
+        "opt cost",
+        "measured ratio",
+        "lower bound (m-2)r/2",
+    ]);
     let d92 = scale.pick(6, 12);
     for ratio in [2.0, 8.0, 32.0] {
         let costs = CostModel::new(1.0, ratio);
@@ -120,20 +147,35 @@ pub fn e6_optimality_ratios(scale: Scale) -> Vec<Table> {
             f(lower),
         ]);
     }
-    ca_neg.note("measured ratio grows with c_R/c_S: min-plus is strictly monotone but not in each argument");
+    ca_neg.note(
+        "measured ratio grows with c_R/c_S: min-plus is strictly monotone but not in each argument",
+    );
     tables.push(ca_neg);
 
     // (d) CA's c_R/c_S-independence on distinct databases with average.
     let mut ca_pos = Table::new(
         "E6d: Thm 8.9 — CA's ratio is c_R/c_S-independent for avg + distinctness (m=3, k=5)",
     )
-    .headers(["c_R/c_S", "TA cost", "CA cost", "NRA cost", "TA/CA", "CA bound 4m+k"]);
+    .headers([
+        "c_R/c_S",
+        "TA cost",
+        "CA cost",
+        "NRA cost",
+        "TA/CA",
+        "CA bound 4m+k",
+    ]);
     let n = scale.pick(400, 4_000);
     let db = random::uniform_distinct(n, 3, 0xFA61);
     let k = 5;
     for ratio in [1.0, 4.0, 16.0, 64.0] {
         let costs = CostModel::new(1.0, ratio);
-        let ta = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Average, k);
+        let ta = run(
+            &db,
+            AccessPolicy::no_wild_guesses(),
+            &Ta::new(),
+            &Average,
+            k,
+        );
         let ca = run(
             &db,
             AccessPolicy::no_wild_guesses(),
@@ -157,7 +199,9 @@ pub fn e6_optimality_ratios(scale: Scale) -> Vec<Table> {
             f(optimality::ca_ratio_bound(3, k)),
         ]);
     }
-    ca_pos.note("TA/CA grows with c_R/c_S while CA tracks NRA: CA spends random access wisely (Thm 8.9)");
+    ca_pos.note(
+        "TA/CA grows with c_R/c_S while CA tracks NRA: CA spends random access wisely (Thm 8.9)",
+    );
     tables.push(ca_pos);
 
     tables

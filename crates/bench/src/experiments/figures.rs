@@ -27,13 +27,7 @@ pub fn e1_wild_guesses(scale: Scale) -> Vec<Table> {
         ]);
     for &n in sizes {
         let w = adversarial::example_6_3(n);
-        let out = run(
-            &w.db,
-            AccessPolicy::no_wild_guesses(),
-            &Ta::new(),
-            &Min,
-            1,
-        );
+        let out = run(&w.db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, 1);
         assert_eq!(out.items[0].object, w.winner, "TA must still be correct");
         let cost = CostModel::UNIT.cost(&out.stats);
         let opt = w.optimal_cost(&CostModel::UNIT);
@@ -65,7 +59,14 @@ pub fn e2_ta_theta_witness(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(format!(
         "E2: Figure 2 — TA_theta (theta={theta}) on the distinct-grades witness (min, k=1)"
     ))
-    .headers(["n", "TAθ sorted", "TAθ random", "TAθ cost", "wild cost", "valid θ-approx"]);
+    .headers([
+        "n",
+        "TAθ sorted",
+        "TAθ random",
+        "TAθ cost",
+        "wild cost",
+        "valid θ-approx",
+    ]);
     for &n in sizes {
         let w = adversarial::example_6_8(n, theta);
         let out = run(
@@ -98,8 +99,8 @@ pub fn e2_ta_theta_witness(scale: Scale) -> Vec<Table> {
 /// fails for TA_Z.
 pub fn e3_ta_z_witness(scale: Scale) -> Vec<Table> {
     let sizes: &[usize] = scale.pick(&[20, 60], &[100, 1_000, 10_000]);
-    let mut t = Table::new("E3: Figure 3 — TA_Z scans everything (gated-min, Z={0}, k=1)")
-        .headers([
+    let mut t =
+        Table::new("E3: Figure 3 — TA_Z scans everything (gated-min, Z={0}, k=1)").headers([
             "n",
             "TA_Z sorted",
             "TA_Z random",
@@ -130,7 +131,9 @@ pub fn e3_ta_z_witness(scale: Scale) -> Vec<Table> {
             f(cost / opt),
         ]);
     }
-    t.note("threshold stuck at >= 0.7 while t(winner) = 0.6: TA_Z halts only after seeing every grade");
+    t.note(
+        "threshold stuck at >= 0.7 while t(winner) = 0.6: TA_Z halts only after seeing every grade",
+    );
     t.note("specialist: 1 sorted access (winner tops list 0) + 2 random accesses");
     vec![t]
 }
@@ -166,19 +169,49 @@ pub fn e4_nra_gradeless(scale: Scale) -> Vec<Table> {
 
         // (b) C1 < C2: hard-top-2 witness.
         let wh = adversarial::example_8_3_hard_top2(n);
-        let h1 = run(&wh.db, AccessPolicy::no_random_access(), &Nra::new(), &Average, 1);
-        let h2 = run(&wh.db, AccessPolicy::no_random_access(), &Nra::new(), &Average, 2);
+        let h1 = run(
+            &wh.db,
+            AccessPolicy::no_random_access(),
+            &Nra::new(),
+            &Average,
+            1,
+        );
+        let h2 = run(
+            &wh.db,
+            AccessPolicy::no_random_access(),
+            &Nra::new(),
+            &Average,
+            2,
+        );
         assert_eq!(h1.items[0].object, wh.winner);
         let (c1, c2) = (h1.stats.total(), h2.stats.total());
-        assert!(c1 < c2, "hard-top-2 witness claims C1 < C2 (got {c1} vs {c2})");
+        assert!(
+            c1 < c2,
+            "hard-top-2 witness claims C1 < C2 (got {c1} vs {c2})"
+        );
 
         // (c) C2 < C1: the paper's swapped variant.
         let ws = adversarial::example_8_3_swapped(n);
-        let s1 = run(&ws.db, AccessPolicy::no_random_access(), &Nra::new(), &Average, 1);
-        let s2 = run(&ws.db, AccessPolicy::no_random_access(), &Nra::new(), &Average, 2);
+        let s1 = run(
+            &ws.db,
+            AccessPolicy::no_random_access(),
+            &Nra::new(),
+            &Average,
+            1,
+        );
+        let s2 = run(
+            &ws.db,
+            AccessPolicy::no_random_access(),
+            &Nra::new(),
+            &Average,
+            2,
+        );
         assert_eq!(s1.items[0].object, ws.winner);
         let (c1s, c2s) = (s1.stats.total(), s2.stats.total());
-        assert!(c2s < c1s, "swapped variant claims C2 < C1 (got {c2s} vs {c1s})");
+        assert!(
+            c2s < c1s,
+            "swapped variant claims C2 < C1 (got {c2s} vs {c1s})"
+        );
 
         t.row([
             n.to_string(),
@@ -249,7 +282,9 @@ pub fn e5_ca_vs_intermittent(scale: Scale) -> Vec<Table> {
             f(cta / cca),
         ]);
     }
-    t.note("paper: intermittent does 6(h-2) random accesses vs CA's one; ratio grows linearly in h");
+    t.note(
+        "paper: intermittent does 6(h-2) random accesses vs CA's one; ratio grows linearly in h",
+    );
     t.note("also the TA-vs-CA manifestation of TA's c_R/c_S-dependent optimality ratio (§8.4)");
     vec![t]
 }

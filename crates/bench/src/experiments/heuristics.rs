@@ -58,7 +58,9 @@ pub fn e14_heuristic_scheduling(scale: Scale) -> Vec<Table> {
             f(1.0 / 3.0),
         ]);
     }
-    t.note("heuristic: expected gain = linear weight x recent grade decline; u=16 safety net (§10)");
+    t.note(
+        "heuristic: expected gain = linear weight x recent grade decline; u=16 safety net (§10)",
+    );
 
     // The asymmetric witness: one informative list, two flat ones.
     let mut t2 = Table::new("E14b: asymmetric lists — one steep list, two flat (sum, k=10)")

@@ -15,17 +15,16 @@ use crate::{run, Scale};
 /// cost times the constant random-access factor.
 pub fn e7_fa_scaling(scale: Scale) -> Vec<Table> {
     let ns: Vec<usize> = scale.pick(vec![250, 1_000], vec![1_000, 4_000, 16_000, 64_000]);
-    let mut t = Table::new("E7: FA cost scaling on independent uniform lists (min)")
-        .headers([
-            "m",
-            "k",
-            "N",
-            "FA cost",
-            "FA exponent",
-            "theory (m-1)/m",
-            "TA cost",
-            "TA sorted <= FA sorted",
-        ]);
+    let mut t = Table::new("E7: FA cost scaling on independent uniform lists (min)").headers([
+        "m",
+        "k",
+        "N",
+        "FA cost",
+        "FA exponent",
+        "theory (m-1)/m",
+        "TA cost",
+        "TA sorted <= FA sorted",
+    ]);
     let trials = scale.pick(3u64, 15u64);
     for &m in &[2usize, 3] {
         for &k in &[1usize, 10] {
@@ -36,8 +35,7 @@ pub fn e7_fa_scaling(scale: Scale) -> Vec<Table> {
                 let mut fa_cost = 0.0;
                 let mut ta_cost = 0.0;
                 for trial in 0..trials {
-                    let db =
-                        random::uniform(n, m, 0xE7 + (m * 1000 + k) as u64 + trial * 7919);
+                    let db = random::uniform(n, m, 0xE7 + (m * 1000 + k) as u64 + trial * 7919);
                     let fa = run(&db, AccessPolicy::no_wild_guesses(), &Fa, &Min, k);
                     let ta = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, k);
                     assert!(
@@ -78,8 +76,12 @@ pub fn e7_fa_scaling(scale: Scale) -> Vec<Table> {
 pub fn e8_buffers_and_sorted_cost(scale: Scale) -> Vec<Table> {
     let ns: Vec<usize> = scale.pick(vec![250, 1_000], vec![1_000, 4_000, 16_000, 64_000]);
     let k = 10;
-    let mut t = Table::new("E8a: buffer growth with N (uniform, m=2, k=10, min)")
-        .headers(["N", "TA peak buffer", "FA peak buffer", "NRA peak candidates"]);
+    let mut t = Table::new("E8a: buffer growth with N (uniform, m=2, k=10, min)").headers([
+        "N",
+        "TA peak buffer",
+        "FA peak buffer",
+        "NRA peak candidates",
+    ]);
     for &n in &ns {
         let db = random::uniform(n, 2, 0xE8);
         let ta = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Min, k);
@@ -98,8 +100,17 @@ pub fn e8_buffers_and_sorted_cost(scale: Scale) -> Vec<Table> {
     }
     t.note("Thm 4.2: TA's buffer is bounded; FA/NRA buffers grow with the database");
 
-    let mut t2 = Table::new("E8b: TA sorted accesses <= FA sorted accesses, every distribution (m=3, k=10, min)")
-        .headers(["distribution", "N", "TA sorted", "FA sorted", "TA cost", "FA cost"]);
+    let mut t2 = Table::new(
+        "E8b: TA sorted accesses <= FA sorted accesses, every distribution (m=3, k=10, min)",
+    )
+    .headers([
+        "distribution",
+        "N",
+        "TA sorted",
+        "FA sorted",
+        "TA cost",
+        "FA cost",
+    ]);
     let n = scale.pick(500, 4_000);
     let dbs: Vec<(&str, Database)> = vec![
         ("uniform", random::uniform(n, 3, 1)),
@@ -145,13 +156,7 @@ pub fn e9_max_specialist(scale: Scale) -> Vec<Table> {
     for &m in &[2usize, 3, 4] {
         for &k in &[1usize, 10, 50] {
             let db = random::uniform_distinct(n, m, 0xE9 + (m * 100 + k) as u64);
-            let spec = run(
-                &db,
-                AccessPolicy::no_random_access(),
-                &MaxTopK,
-                &Max,
-                k,
-            );
+            let spec = run(&db, AccessPolicy::no_random_access(), &MaxTopK, &Max, k);
             assert!(spec.stats.sorted_total() <= (m * k) as u64);
             assert_eq!(spec.stats.random_total(), 0);
             let ta = run(&db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Max, k);
@@ -161,8 +166,7 @@ pub fn e9_max_specialist(scale: Scale) -> Vec<Table> {
                 "TA took {} rounds for max, expected <= {k}",
                 ta.metrics.rounds
             );
-            let ratio =
-                CostModel::UNIT.cost(&ta.stats) / CostModel::UNIT.cost(&spec.stats);
+            let ratio = CostModel::UNIT.cost(&ta.stats) / CostModel::UNIT.cost(&spec.stats);
             t.row([
                 m.to_string(),
                 k.to_string(),

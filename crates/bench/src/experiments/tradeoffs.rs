@@ -30,7 +30,13 @@ pub fn e11_ca_vs_ta_crossover(scale: Scale) -> Vec<Table> {
         ))
         .headers(["c_R/c_S", "TA cost", "CA cost", "NRA cost", "winner"]);
         let ta = run(db, AccessPolicy::no_wild_guesses(), &Ta::new(), &Average, k);
-        let nra = run(db, AccessPolicy::no_random_access(), &Nra::new(), &Average, k);
+        let nra = run(
+            db,
+            AccessPolicy::no_random_access(),
+            &Nra::new(),
+            &Average,
+            k,
+        );
         for ratio in [1.0, 2.0, 5.0, 10.0, 50.0, 100.0] {
             let costs = CostModel::new(1.0, ratio);
             let ca = run(
@@ -52,13 +58,7 @@ pub fn e11_ca_vs_ta_crossover(scale: Scale) -> Vec<Table> {
             } else {
                 "NRA"
             };
-            t.row([
-                f(ratio),
-                f(cta),
-                f(cca),
-                f(cnra),
-                winner.to_string(),
-            ]);
+            t.row([f(ratio), f(cta), f(cca), f(cnra), winner.to_string()]);
         }
         t.note("TA's access pattern is fixed; its cost scales linearly in c_R while CA adapts h");
         tables.push(t);
@@ -73,16 +73,15 @@ pub fn e11_ca_vs_ta_crossover(scale: Scale) -> Vec<Table> {
 pub fn e12_bookkeeping_ablation(scale: Scale) -> Vec<Table> {
     let ns: Vec<usize> = scale.pick(vec![250, 1_000], vec![1_000, 4_000, 16_000]);
     let k = 10;
-    let mut t = Table::new("E12: NRA bookkeeping ablation (uniform, m=3, k=10, avg)")
-        .headers([
-            "N",
-            "depth",
-            "recomputes (exhaustive)",
-            "recomputes (lazy)",
-            "reduction",
-            "time exh (ms)",
-            "time lazy (ms)",
-        ]);
+    let mut t = Table::new("E12: NRA bookkeeping ablation (uniform, m=3, k=10, avg)").headers([
+        "N",
+        "depth",
+        "recomputes (exhaustive)",
+        "recomputes (lazy)",
+        "reduction",
+        "time exh (ms)",
+        "time lazy (ms)",
+    ]);
     for &n in &ns {
         let db = random::uniform(n, 3, 0xB12A);
         let start = Instant::now();

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod report;
 pub mod table;
 
 use fagin_core::aggregation::Aggregation;

@@ -1,0 +1,188 @@
+//! Machine-readable perf reports: the `BENCH_topk.json` artifact.
+//!
+//! The text tables of the experiment harness are for humans; this module
+//! records the perf trajectory in a form tooling can diff across commits.
+//! [`perf_matrix`] runs a fixed algorithm × workload grid and measures
+//! sorted/random access counts and wall-clock time; [`to_json`] renders the
+//! records as JSON (hand-rolled — the build environment is offline, so no
+//! serde) and [`write_json`] writes the standard artifact.
+
+use std::time::Instant;
+
+use fagin_core::aggregation::{Aggregation, Min};
+use fagin_core::algorithms::{BookkeepingStrategy, Ca, Nra, Ta, TopKAlgorithm};
+use fagin_middleware::{AccessPolicy, Database, Session};
+use fagin_workloads::random;
+
+use crate::Scale;
+
+/// One measured cell of the algorithm × workload grid.
+#[derive(Clone, Debug)]
+pub struct PerfRecord {
+    /// Algorithm name as reported by [`TopKAlgorithm::name`].
+    pub algorithm: String,
+    /// Workload name (`uniform`, `correlated`, …).
+    pub workload: String,
+    /// Objects in the database.
+    pub n: usize,
+    /// Lists in the database.
+    pub m: usize,
+    /// Answers requested.
+    pub k: usize,
+    /// Sorted accesses performed.
+    pub sorted: u64,
+    /// Random accesses performed.
+    pub random: u64,
+    /// Wall-clock seconds for the run (single execution, indicative).
+    pub wall_secs: f64,
+}
+
+/// Runs the standard grid: four workload shapes × the core algorithm
+/// suite, including a batched TA configuration so the batching win (or a
+/// regression) shows up in the trajectory.
+pub fn perf_matrix(scale: Scale) -> Vec<PerfRecord> {
+    let n = scale.pick(2_000, 40_000);
+    let m = 3;
+    let k = 10;
+    let workloads: Vec<(&str, Database)> = vec![
+        ("uniform", random::uniform(n, m, 1)),
+        ("correlated", random::correlated(n, m, 0.2, 2)),
+        ("anticorrelated", random::anticorrelated(n, m, 0.1, 3)),
+        ("zipf", random::zipf(n, m, 1.1, 4)),
+    ];
+    let algorithms: Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> = vec![
+        (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Ta::new().batched(64)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+            AccessPolicy::no_random_access(),
+        ),
+        (
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap).batched(64)),
+            AccessPolicy::no_random_access(),
+        ),
+        (Box::new(Ca::new(2)), AccessPolicy::no_wild_guesses()),
+    ];
+
+    let agg: &dyn Aggregation = &Min;
+    let mut records = Vec::new();
+    for (workload, db) in &workloads {
+        for (algo, policy) in &algorithms {
+            let mut session = Session::with_policy(db, policy.clone());
+            let started = Instant::now();
+            let out = algo
+                .run(&mut session, agg, k)
+                .unwrap_or_else(|e| panic!("{} failed on {workload}: {e}", algo.name()));
+            let wall_secs = started.elapsed().as_secs_f64();
+            records.push(PerfRecord {
+                algorithm: algo.name(),
+                workload: (*workload).to_string(),
+                n: db.num_objects(),
+                m: db.num_lists(),
+                k,
+                sorted: out.stats.sorted_total(),
+                random: out.stats.random_total(),
+                wall_secs,
+            });
+        }
+    }
+    records
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the records as a pretty-printed JSON array of objects.
+pub fn to_json(records: &[PerfRecord]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"algorithm\": \"{}\", \"workload\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"k\": {}, \"sorted\": {}, \"random\": {}, \"wall_secs\": {:.6}}}{}\n",
+            escape(&r.algorithm),
+            escape(&r.workload),
+            r.n,
+            r.m,
+            r.k,
+            r.sorted,
+            r.random,
+            r.wall_secs,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Runs the grid and writes `path` (conventionally `BENCH_topk.json`).
+pub fn write_json(path: &str, scale: Scale) -> std::io::Result<Vec<PerfRecord>> {
+    let records = perf_matrix(scale);
+    std::fs::write(path, to_json(&records))?;
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_covers_the_grid() {
+        let records = perf_matrix(Scale::Quick);
+        assert_eq!(records.len(), 4 * 5, "4 workloads x 5 algorithms");
+        assert!(records.iter().any(|r| r.algorithm == "TA[b=64]"));
+        assert!(records.iter().all(|r| r.sorted > 0));
+        // NRA rows never do random accesses.
+        assert!(records
+            .iter()
+            .filter(|r| r.algorithm.starts_with("NRA"))
+            .all(|r| r.random == 0));
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let records = vec![
+            PerfRecord {
+                algorithm: "TA\"quoted\"".into(),
+                workload: "uniform".into(),
+                n: 10,
+                m: 2,
+                k: 1,
+                sorted: 5,
+                random: 4,
+                wall_secs: 0.001,
+            },
+            PerfRecord {
+                algorithm: "NRA".into(),
+                workload: "zipf".into(),
+                n: 10,
+                m: 2,
+                k: 1,
+                sorted: 9,
+                random: 0,
+                wall_secs: 0.002,
+            },
+        ];
+        let json = to_json(&records);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert_eq!(json.matches('{').count(), 2);
+        assert_eq!(json.matches('}').count(), 2);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"sorted\": 9"));
+        // Exactly one separating comma between the two objects.
+        assert_eq!(json.matches("},").count(), 1);
+    }
+}

@@ -26,9 +26,7 @@ mod standard;
 mod tnorm;
 
 pub use special::{Custom, GatedMin, MinPlus};
-pub use standard::{
-    Average, Constant, GeometricMean, Max, Median, Min, Product, Sum, WeightedSum,
-};
+pub use standard::{Average, Constant, GeometricMean, Max, Median, Min, Product, Sum, WeightedSum};
 pub use tnorm::{Einstein, Hamacher, Lukasiewicz};
 
 use fagin_middleware::Grade;

@@ -213,8 +213,8 @@ mod tests {
 
     #[test]
     fn custom_wraps_closure() {
-        let second = Custom::new("second", Arity::AtLeast(2), |gs: &[Grade]| gs[1])
-            .strictly_monotone();
+        let second =
+            Custom::new("second", Arity::AtLeast(2), |gs: &[Grade]| gs[1]).strictly_monotone();
         assert_eq!(second.evaluate(&g(&[0.1, 0.9])), Grade::new(0.9));
         assert!(second.is_strictly_monotone());
         assert!(!second.is_strict());

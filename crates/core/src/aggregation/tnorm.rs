@@ -142,8 +142,11 @@ mod tests {
     #[test]
     fn tnorms_satisfy_advertised_properties() {
         for m in [2usize, 3] {
-            let fns: Vec<Box<dyn Aggregation>> =
-                vec![Box::new(Lukasiewicz), Box::new(Hamacher), Box::new(Einstein)];
+            let fns: Vec<Box<dyn Aggregation>> = vec![
+                Box::new(Lukasiewicz),
+                Box::new(Hamacher),
+                Box::new(Einstein),
+            ];
             for f in &fns {
                 assert_monotone_on_grid(f.as_ref(), m);
                 assert_strictness_claim(f.as_ref(), m);

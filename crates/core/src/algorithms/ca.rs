@@ -9,19 +9,27 @@
 //! spends the same random-access budget in TA's arrival order instead, can
 //! be worse by an unbounded factor.
 
-use fagin_middleware::Middleware;
+use fagin_middleware::{BatchConfig, Entry, Middleware};
 
 use crate::aggregation::Aggregation;
 use crate::output::{AlgoError, RunMetrics, TopKOutput};
 
-use super::engine::{BoundEngine, BookkeepingStrategy};
+use super::engine::{BookkeepingStrategy, BoundEngine};
 use super::{validate, TopKAlgorithm};
 
 /// The Combined Algorithm.
+///
+/// The drive loop is round-based: each round consumes one batch of sorted
+/// accesses per unexhausted list ([`Ca::with_batch`]; one entry with the
+/// default scalar batch, reproducing the paper exactly). With batch size
+/// `b`, a "round" carries `b` sorted accesses per list, so the random-access
+/// cadence in units of accesses becomes `h·b` — callers tuning `h` from a
+/// cost model should account for the coarser rounds.
 #[derive(Clone, Copy, Debug)]
 pub struct Ca {
     h: usize,
     strategy: BookkeepingStrategy,
+    batch: BatchConfig,
 }
 
 impl Ca {
@@ -35,6 +43,7 @@ impl Ca {
         Ca {
             h,
             strategy: BookkeepingStrategy::Exhaustive,
+            batch: BatchConfig::scalar(),
         }
     }
 
@@ -49,6 +58,21 @@ impl Ca {
         self
     }
 
+    /// Sets the batched access configuration (batch size 1, the default,
+    /// is the paper's exact access-by-access execution).
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Convenience for [`Ca::with_batch`]`(BatchConfig::new(size))`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn batched(self, size: usize) -> Self {
+        self.with_batch(BatchConfig::new(size))
+    }
+
     /// The phase length `h`.
     pub fn h(&self) -> usize {
         self.h
@@ -57,7 +81,11 @@ impl Ca {
 
 impl TopKAlgorithm for Ca {
     fn name(&self) -> String {
-        format!("CA(h={})", self.h)
+        if self.batch.is_scalar() {
+            format!("CA(h={})", self.h)
+        } else {
+            format!("CA(h={})[b={}]", self.h, self.batch.size())
+        }
     }
 
     fn run(
@@ -69,8 +97,10 @@ impl TopKAlgorithm for Ca {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
         let n = mw.num_objects();
+        let b = self.batch.size();
         let mut engine = BoundEngine::new(agg, m, k, self.strategy);
         let mut exhausted = vec![false; m];
+        let mut batch_buf: Vec<Entry> = Vec::with_capacity(b);
         let mut rounds = 0u64;
         let mut ra_phases = 0u64;
 
@@ -80,10 +110,14 @@ impl TopKAlgorithm for Ca {
                 if *done {
                     continue;
                 }
-                match mw.sorted_next(i)? {
-                    None => *done = true,
-                    Some(entry) => engine.observe_sorted(i, entry),
+                batch_buf.clear();
+                // Only Ok(0) signals exhaustion — a short batch may be a
+                // budget truncation (see the Middleware batch contract).
+                if mw.sorted_next_batch(i, b, &mut batch_buf)? == 0 {
+                    *done = true;
+                    continue;
                 }
+                engine.observe_sorted_batch(i, &batch_buf);
             }
             let mut sel = engine.selection();
 
@@ -222,5 +256,23 @@ mod tests {
         let mut s = Session::new(&db);
         let out = Ca::new(2).run(&mut s, &Min, 42).unwrap();
         assert_eq!(out.items.len(), db.num_objects());
+    }
+
+    #[test]
+    fn batched_ca_matches_oracle() {
+        let db = db();
+        for batch in [1usize, 2, 4, 100] {
+            for h in [1usize, 3] {
+                for k in 1..=6 {
+                    let mut s = Session::new(&db);
+                    let out = Ca::new(h).batched(batch).run(&mut s, &Average, k).unwrap();
+                    assert!(
+                        oracle::is_valid_top_k(&db, &Average, k, &out.objects()),
+                        "batch={batch} h={h} k={k}"
+                    );
+                }
+            }
+        }
+        assert_eq!(Ca::new(2).batched(8).name(), "CA(h=2)[b=8]");
     }
 }

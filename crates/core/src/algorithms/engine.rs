@@ -21,7 +21,7 @@
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
-use fagin_middleware::{Entry, Grade, Middleware, ObjectId};
+use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId};
 
 use crate::aggregation::Aggregation;
 use crate::bounds::{Bottoms, PartialObject};
@@ -114,6 +114,18 @@ impl<'a> BoundEngine<'a> {
         self.learn(entry.object, list, entry.grade);
     }
 
+    /// Ingests one batch of sorted-access results from `list`, in order.
+    ///
+    /// Equivalent to calling [`BoundEngine::observe_sorted`] per entry —
+    /// the engine's bounds depend only on the set of observations, so batch
+    /// ingestion cannot change any `W`/`B` value; the batching win is in
+    /// the middleware call that produced `entries`, not here.
+    pub(crate) fn observe_sorted_batch(&mut self, list: usize, entries: &[Entry]) {
+        for &entry in entries {
+            self.observe_sorted(list, entry);
+        }
+    }
+
     /// Ingests one random-access result (the object must already be seen —
     /// NRA-family algorithms never wild-guess).
     pub(crate) fn learn_random(&mut self, object: ObjectId, list: usize, grade: Grade) {
@@ -166,8 +178,7 @@ impl<'a> BoundEngine<'a> {
     pub(crate) fn selection(&mut self) -> Selection {
         let k_eff = self.k.min(self.cands.len().max(1));
         // Gather (object, w); select top k_eff by w.
-        let mut by_w: Vec<(ObjectId, Grade)> =
-            self.cands.iter().map(|(&o, c)| (o, c.w)).collect();
+        let mut by_w: Vec<(ObjectId, Grade)> = self.cands.iter().map(|(&o, c)| (o, c.w)).collect();
         by_w.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
         let top: Vec<(ObjectId, Grade, Grade)> = match self.strategy {
@@ -194,8 +205,7 @@ impl<'a> BoundEngine<'a> {
                     head.truncate(k_eff);
                     head
                 } else {
-                    by_w
-                        .iter()
+                    by_w.iter()
                         .take(k_eff)
                         .map(|&(o, w)| {
                             let b = self.b_of(o);
@@ -334,9 +344,15 @@ impl<'a> BoundEngine<'a> {
 /// the top-`k` **objects**; grades are attached only when they happen to be
 /// fully determined (the paper deliberately does not require grades —
 /// Example 8.3 shows demanding them can cost `Θ(N)` extra).
+///
+/// The drive loop is round-based: each round consumes one batch of sorted
+/// accesses per unexhausted list ([`Nra::with_batch`]; one entry with the
+/// default scalar batch, reproducing the paper exactly) and runs the
+/// halting test once per round.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Nra {
     strategy: BookkeepingStrategy,
+    batch: BatchConfig,
 }
 
 impl Nra {
@@ -344,20 +360,45 @@ impl Nra {
     pub fn new() -> Self {
         Nra {
             strategy: BookkeepingStrategy::Exhaustive,
+            batch: BatchConfig::scalar(),
         }
     }
 
     /// NRA with the chosen bookkeeping strategy.
     pub fn with_strategy(strategy: BookkeepingStrategy) -> Self {
-        Nra { strategy }
+        Nra {
+            strategy,
+            ..Self::new()
+        }
+    }
+
+    /// Sets the batched access configuration (batch size 1, the default,
+    /// is the paper's exact access-by-access execution; size `b` can
+    /// overshoot halting by at most `b − 1` sorted accesses per list).
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Convenience for [`Nra::with_batch`]`(BatchConfig::new(size))`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn batched(self, size: usize) -> Self {
+        self.with_batch(BatchConfig::new(size))
     }
 }
 
 impl TopKAlgorithm for Nra {
     fn name(&self) -> String {
-        match self.strategy {
+        let base = match self.strategy {
             BookkeepingStrategy::Exhaustive => "NRA".to_string(),
             BookkeepingStrategy::LazyHeap => "NRA(lazy)".to_string(),
+        };
+        if self.batch.is_scalar() {
+            base
+        } else {
+            format!("{base}[b={}]", self.batch.size())
         }
     }
 
@@ -370,8 +411,10 @@ impl TopKAlgorithm for Nra {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
         let n = mw.num_objects();
+        let b = self.batch.size();
         let mut engine = BoundEngine::new(agg, m, k, self.strategy);
         let mut exhausted = vec![false; m];
+        let mut batch_buf: Vec<Entry> = Vec::with_capacity(b);
         let mut rounds = 0u64;
 
         let sel = loop {
@@ -380,10 +423,14 @@ impl TopKAlgorithm for Nra {
                 if *done {
                     continue;
                 }
-                match mw.sorted_next(i)? {
-                    None => *done = true,
-                    Some(entry) => engine.observe_sorted(i, entry),
+                batch_buf.clear();
+                // Only Ok(0) signals exhaustion — a short batch may be a
+                // budget truncation (see the Middleware batch contract).
+                if mw.sorted_next_batch(i, b, &mut batch_buf)? == 0 {
+                    *done = true;
+                    continue;
                 }
+                engine.observe_sorted_batch(i, &batch_buf);
             }
             let sel = engine.selection();
             if engine.check_halt(&sel, n) {
@@ -439,7 +486,10 @@ mod tests {
             Box::new(Sum),
             Box::new(Median),
         ];
-        for strategy in [BookkeepingStrategy::Exhaustive, BookkeepingStrategy::LazyHeap] {
+        for strategy in [
+            BookkeepingStrategy::Exhaustive,
+            BookkeepingStrategy::LazyHeap,
+        ] {
             for agg in &aggs {
                 for k in 1..=6 {
                     let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
@@ -598,5 +648,30 @@ mod tests {
             Nra::with_strategy(BookkeepingStrategy::LazyHeap).name(),
             "NRA(lazy)"
         );
+        assert_eq!(Nra::new().batched(8).name(), "NRA[b=8]");
+    }
+
+    #[test]
+    fn batched_nra_matches_oracle_and_makes_no_random_accesses() {
+        let db = db();
+        for batch in [1usize, 2, 5, 64] {
+            for strategy in [
+                BookkeepingStrategy::Exhaustive,
+                BookkeepingStrategy::LazyHeap,
+            ] {
+                for k in [1usize, 3, 6] {
+                    let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+                    let out = Nra::with_strategy(strategy)
+                        .batched(batch)
+                        .run(&mut s, &Average, k)
+                        .unwrap();
+                    assert!(
+                        oracle::is_valid_top_k(&db, &Average, k, &out.objects()),
+                        "batch={batch} strategy={strategy:?} k={k}"
+                    );
+                    assert_eq!(out.stats.random_total(), 0);
+                }
+            }
+        }
     }
 }

@@ -145,8 +145,7 @@ mod tests {
         // aggregation function".
         let db = db();
         let mut costs = Vec::new();
-        let aggs: Vec<Box<dyn Aggregation>> =
-            vec![Box::new(Min), Box::new(Max), Box::new(Average)];
+        let aggs: Vec<Box<dyn Aggregation>> = vec![Box::new(Min), Box::new(Max), Box::new(Average)];
         for agg in &aggs {
             let mut s = Session::new(&db);
             let out = Fa.run(&mut s, agg.as_ref(), 2).unwrap();

@@ -12,7 +12,7 @@ use fagin_middleware::Middleware;
 use crate::aggregation::Aggregation;
 use crate::output::{AlgoError, RunMetrics, TopKOutput};
 
-use super::engine::{BoundEngine, BookkeepingStrategy, SightingQueue};
+use super::engine::{BookkeepingStrategy, BoundEngine, SightingQueue};
 use super::{validate, TopKAlgorithm};
 
 /// The intermittent baseline: TA's random-access order, delayed in batches

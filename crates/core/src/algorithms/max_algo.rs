@@ -40,7 +40,9 @@ impl MaxTopK {
         let mut cases: Vec<Vec<Grade>> = vec![
             vec![Grade::new(0.25); m],
             (0..m).map(|i| Grade::new(i as f64 / m as f64)).collect(),
-            (0..m).map(|i| Grade::new(1.0 - i as f64 / m as f64)).collect(),
+            (0..m)
+                .map(|i| Grade::new(1.0 - i as f64 / m as f64))
+                .collect(),
         ];
         let mut spike = vec![Grade::ZERO; m];
         spike[m - 1] = Grade::ONE;

@@ -219,10 +219,7 @@ mod tests {
         let mut s = Session::new(&db);
         let out = QuickCombine::new(1).run(&mut s, &Sum, 2).unwrap();
         let counts: Vec<u64> = (0..3).map(|i| out.stats.sorted_on(i)).collect();
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(max - min <= 1, "u=1 must behave like lockstep: {counts:?}");
     }
 

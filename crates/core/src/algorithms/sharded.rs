@@ -32,7 +32,9 @@
 
 use std::thread;
 
-use fagin_middleware::{AccessPolicy, AccessStats, Database, Grade, Middleware, Session};
+use fagin_middleware::{
+    AccessPolicy, AccessStats, BatchConfig, Database, Grade, Middleware, ObjectId, Session,
+};
 
 use crate::aggregation::Aggregation;
 use crate::algorithms::TopKAlgorithm;
@@ -57,6 +59,7 @@ use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
 pub struct Sharded<A> {
     inner: A,
     shards: usize,
+    batch: BatchConfig,
 }
 
 impl<A: TopKAlgorithm + Sync> Sharded<A> {
@@ -66,7 +69,32 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
         Sharded {
             inner,
             shards: shards.max(1),
+            batch: BatchConfig::scalar(),
         }
+    }
+
+    /// Sets the merge coordinator's batch configuration: the resolution
+    /// pass fetches missing candidate grades in chunks of `batch.size()`
+    /// objects per [`Middleware::random_lookup_many`] call (scalar lookups
+    /// with the default).
+    ///
+    /// Per-shard batching is configured on the *inner* algorithm (e.g.
+    /// `Sharded::new(Ta::new().batched(64), 4)`): every shard runs the
+    /// inner algorithm against its own [`ShardView`] session, so shard
+    /// sessions batch independently and sharding composes with batching.
+    ///
+    /// [`ShardView`]: fagin_middleware::ShardView
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Convenience for [`Sharded::with_batch`]`(BatchConfig::new(size))`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn batched(self, size: usize) -> Self {
+        self.with_batch(BatchConfig::new(size))
     }
 
     /// Short name for reports, e.g. `"Sharded<TA>×4"`.
@@ -168,14 +196,16 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
 
         // Phase 1: the inner algorithm on every shard, in parallel. Each
         // shard asks for the full k (graceful when a shard has fewer
-        // objects) so the union of answers contains the global top-k.
+        // objects) so the union of answers contains the global top-k. The
+        // per-shard ShardView forwards batched accesses, so an inner
+        // algorithm's BatchConfig amortizes per shard session.
         let per_shard: Vec<Result<TopKOutput, AlgoError>> = thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter()
                 .map(|shard| {
                     let policy = policy.clone();
                     scope.spawn(move || {
-                        let mut session = Session::with_policy(shard.database(), policy);
+                        let mut session = shard.session(policy);
                         self.inner.run(&mut session, agg, k)
                     })
                 })
@@ -186,13 +216,13 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
                 .collect()
         });
 
-        // Phase 2: threshold-checked resolution. Collect candidates with
-        // global ids, resolving missing grades through a counted session.
+        // Phase 2: collect candidates with global ids, remembering which
+        // arrived without grades (NRA-style output) for the resolution
+        // pass below.
         let mut stats = AccessStats::new(m);
         let mut metrics = RunMetrics::new();
         let mut candidates: Vec<ScoredObject> = Vec::new();
-        let mut resolver = Session::with_policy(db, AccessPolicy::unrestricted());
-        let mut scratch: Vec<Grade> = Vec::with_capacity(m);
+        let mut unresolved: Vec<usize> = Vec::new();
 
         for (shard, result) in shards.iter().zip(per_shard) {
             let out = result?;
@@ -232,9 +262,8 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
             if out.metrics.approximation_guarantee == 1.0 {
                 let answered: std::collections::HashSet<_> =
                     out.items.iter().map(|i| i.object).collect();
-                let oracle = |local| {
-                    agg.evaluate(&shard.database().row(local).expect("object exists"))
-                };
+                let oracle =
+                    |local| agg.evaluate(&shard.database().row(local).expect("object exists"));
                 let floor = out
                     .items
                     .iter()
@@ -257,25 +286,45 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
             }
             for item in out.items {
                 let object = shard.to_global(item.object);
-                let grade = match item.grade {
-                    Some(g) => g,
-                    None => {
-                        // Inner algorithm knew the object but not its grade
-                        // (NRA-style output): resolve by random access.
-                        scratch.clear();
-                        for list in 0..m {
-                            scratch.push(resolver.random_lookup(list, object)?);
-                        }
-                        agg.evaluate(&scratch)
-                    }
-                };
+                if item.grade.is_none() {
+                    unresolved.push(candidates.len());
+                }
                 candidates.push(ScoredObject {
                     object,
-                    grade: Some(grade),
+                    grade: item.grade,
                 });
             }
         }
 
+        // Resolution pass: grade the unresolved candidates through a
+        // counted session, `batch.size()` objects per batched lookup (one
+        // policy check and one stats bump per chunk per list; the scalar
+        // default reproduces the per-object lookup order exactly).
+        let mut resolver = Session::with_policy(db, AccessPolicy::unrestricted());
+        if !unresolved.is_empty() {
+            let mut scratch: Vec<Grade> = Vec::with_capacity(m);
+            let mut objects: Vec<ObjectId> = Vec::new();
+            let mut grades: Vec<Grade> = Vec::new();
+            let mut rows: Vec<Grade> = Vec::new();
+            for chunk in unresolved.chunks(self.batch.size()) {
+                objects.clear();
+                objects.extend(chunk.iter().map(|&i| candidates[i].object));
+                rows.clear();
+                rows.resize(chunk.len() * m, Grade::ZERO);
+                for list in 0..m {
+                    grades.clear();
+                    resolver.random_lookup_many(list, &objects, &mut grades)?;
+                    for (i, &g) in grades.iter().enumerate() {
+                        rows[i * m + list] = g;
+                    }
+                }
+                for (i, &idx) in chunk.iter().enumerate() {
+                    scratch.clear();
+                    scratch.extend_from_slice(&rows[i * m..(i + 1) * m]);
+                    candidates[idx].grade = Some(agg.evaluate(&scratch));
+                }
+            }
+        }
         stats += resolver.into_stats();
 
         // Phase 3: rank the candidate pool and keep the top k. Ties break
@@ -375,5 +424,33 @@ mod tests {
     fn name_mentions_inner_and_count() {
         let s = Sharded::new(Ta::new(), 4);
         assert!(s.name().contains("TA") && s.name().contains('4'));
+    }
+
+    #[test]
+    fn sharding_composes_with_batching() {
+        let db = db();
+        // Batched inner algorithm (per-shard sessions batch independently)
+        // plus a batched merge resolution pass.
+        for (shards, batch) in [(1usize, 2usize), (2, 3), (3, 8), (6, 64)] {
+            let sharded = Sharded::new(Ta::new().batched(batch), shards);
+            let out = sharded.run(&db, &Min, 3).unwrap();
+            let got: Vec<(u32, Grade)> = out
+                .items
+                .iter()
+                .map(|i| (i.object.0, i.grade.unwrap()))
+                .collect();
+            assert_eq!(got, plain_top(&db, 3), "{shards} shards, batch {batch}");
+
+            let nra = Sharded::new(Nra::new().batched(batch), shards).batched(batch);
+            let out = nra
+                .run_with_policy(&db, AccessPolicy::no_random_access(), &Min, 3)
+                .unwrap();
+            let got: Vec<(u32, Grade)> = out
+                .items
+                .iter()
+                .map(|i| (i.object.0, i.grade.unwrap()))
+                .collect();
+            assert_eq!(got, plain_top(&db, 3), "NRA {shards} shards, batch {batch}");
+        }
     }
 }

@@ -15,7 +15,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use fagin_middleware::{Grade, Middleware, ObjectId};
+use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId};
 
 use crate::aggregation::Aggregation;
 use crate::bounds::Bottoms;
@@ -30,6 +30,7 @@ pub struct Ta {
     theta: f64,
     memoize: bool,
     z: Option<BTreeSet<usize>>,
+    batch: BatchConfig,
 }
 
 impl Default for Ta {
@@ -46,6 +47,7 @@ impl Ta {
             theta: 1.0,
             memoize: false,
             z: None,
+            batch: BatchConfig::scalar(),
         }
     }
 
@@ -87,6 +89,35 @@ impl Ta {
         self
     }
 
+    /// Sets the batched access configuration: each round consumes up to
+    /// `batch.size()` entries per list through one
+    /// [`Middleware::sorted_next_batch`] call, resolves their missing
+    /// fields with one [`Middleware::random_lookup_many`] call per other
+    /// list, and runs the halting test once per consumed batch.
+    ///
+    /// Batch size 1 (the default) reproduces the paper's access-by-access
+    /// execution exactly — identical `AccessStats`. Batch size `b` may
+    /// overshoot the halting point by at most `b − 1` sorted accesses per
+    /// list (plus the random accesses those entries trigger); see
+    /// `crate::optimality` for the instance-optimality accounting.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Convenience for [`Ta::with_batch`]`(BatchConfig::new(size))`.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn batched(self, size: usize) -> Self {
+        self.with_batch(BatchConfig::new(size))
+    }
+
+    /// The active batch configuration.
+    pub fn batch(&self) -> BatchConfig {
+        self.batch
+    }
+
     /// Creates an interactive stepper over `mw` (one call to
     /// [`TaStepper::step`] per round of sorted access in parallel).
     ///
@@ -103,28 +134,36 @@ impl Ta {
         let m = mw.num_lists();
         if let Some(z) = &self.z {
             if let Some(&bad) = z.iter().find(|&&i| i >= m) {
-                return Err(AlgoError::Access(fagin_middleware::AccessError::NoSuchList {
-                    list: bad,
-                    num_lists: m,
-                }));
+                return Err(AlgoError::Access(
+                    fagin_middleware::AccessError::NoSuchList {
+                        list: bad,
+                        num_lists: m,
+                    },
+                ));
             }
         }
         let active: Vec<usize> = match &self.z {
             None => (0..m).collect(),
             Some(z) => z.iter().copied().collect(),
         };
+        let b = self.batch.size();
         Ok(TaStepper {
             mw,
             agg,
             k,
             theta: self.theta,
+            batch: self.batch,
             memo: self.memoize.then(HashMap::new),
             buffer: TopKBuffer::new(k),
             bottoms: Bottoms::new(m),
             exhausted: vec![false; active.len()],
             active,
             scratch: Vec::with_capacity(m),
-            row: vec![Grade::ZERO; m],
+            batch_buf: Vec::with_capacity(b),
+            pending: Vec::with_capacity(b),
+            probe_objects: Vec::with_capacity(b),
+            probe_grades: Vec::with_capacity(b),
+            rows: Vec::with_capacity(b * m),
             rounds: 0,
             halted: false,
             distinct_seen: 0,
@@ -135,11 +174,16 @@ impl Ta {
 
 impl TopKAlgorithm for Ta {
     fn name(&self) -> String {
-        match (&self.z, self.theta) {
+        let base = match (&self.z, self.theta) {
             (Some(z), _) => format!("TA_Z(|Z|={})", z.len()),
             (None, t) if t > 1.0 => format!("TA_theta({t})"),
             _ if self.memoize => "TA(memo)".to_string(),
             _ => "TA".to_string(),
+        };
+        if self.batch.is_scalar() {
+            base
+        } else {
+            format!("{base}[b={}]", self.batch.size())
         }
     }
 
@@ -174,13 +218,16 @@ pub struct TaView {
     pub guarantee: Option<f64>,
 }
 
-/// Round-by-round TA execution (one round = one sorted access per active
-/// list, plus the random accesses for each object seen).
+/// Round-by-round TA execution (one round = one batch of sorted accesses
+/// per active list, plus the random accesses for each object seen; with the
+/// default scalar batch a round is exactly the paper's "one sorted access
+/// per list in parallel").
 pub struct TaStepper<'a> {
     mw: &'a mut dyn Middleware,
     agg: &'a dyn Aggregation,
     k: usize,
     theta: f64,
+    batch: BatchConfig,
     /// Seen-object cache (only with [`Ta::memoized`]).
     memo: Option<HashMap<ObjectId, Grade>>,
     buffer: TopKBuffer,
@@ -190,7 +237,16 @@ pub struct TaStepper<'a> {
     /// Exhaustion flags, parallel to `active`.
     exhausted: Vec<bool>,
     scratch: Vec<Grade>,
-    row: Vec<Grade>,
+    /// Reusable batch of sorted-access results.
+    batch_buf: Vec<Entry>,
+    /// Batch entries whose grade was not answered by the memo.
+    pending: Vec<Entry>,
+    /// Objects of `pending`, for batched random lookups.
+    probe_objects: Vec<ObjectId>,
+    /// One batched lookup's results.
+    probe_grades: Vec<Grade>,
+    /// Row-major partial rows of `pending` (`pending.len() × m`).
+    rows: Vec<Grade>,
     rounds: u64,
     halted: bool,
     distinct_seen: usize,
@@ -218,7 +274,8 @@ impl TaStepper<'_> {
         self.distinct_seen
     }
 
-    /// Executes one round of sorted access in parallel.
+    /// Executes one round: a batch of sorted accesses per active list, each
+    /// followed by batched resolution of the seen objects' missing fields.
     ///
     /// Returns `true` if the algorithm has halted (either the TA stopping
     /// rule fired or every active list is exhausted).
@@ -227,23 +284,34 @@ impl TaStepper<'_> {
             return Ok(true);
         }
         self.rounds += 1;
+        let b = self.batch.size();
         for ai in 0..self.active.len() {
             if self.exhausted[ai] {
                 continue;
             }
             let list = self.active[ai];
-            let Some(entry) = self.mw.sorted_next(list)? else {
+            self.batch_buf.clear();
+            // A short batch may be a budget truncation rather than
+            // exhaustion (see the Middleware contract); only Ok(0) retires
+            // the list.
+            if self.mw.sorted_next_batch(list, b, &mut self.batch_buf)? == 0 {
                 self.exhausted[ai] = true;
                 continue;
-            };
-            self.bottoms.observe(list, entry.grade);
-            self.mark_seen(entry.object);
-
-            let grade = self.resolve_grade(entry.object, list, entry.grade)?;
-            self.buffer.offer(entry.object, grade);
+            }
+            let entries = std::mem::take(&mut self.batch_buf);
+            for entry in &entries {
+                self.bottoms.observe(list, entry.grade);
+                self.mark_seen(entry.object);
+            }
+            let resolved = self.resolve_batch(list, &entries);
+            self.batch_buf = entries; // reuse the allocation
+            resolved?;
 
             // "As soon as at least k objects have been seen whose grade is
-            // at least equal to τ, then halt" — checked after every access.
+            // at least equal to τ, then halt" — checked once per consumed
+            // batch, which for batch size 1 is after every access, exactly
+            // as the paper states it. A batch of b may overshoot the
+            // halting point by at most b − 1 accesses on this list.
             if self.stop_rule_satisfied() {
                 self.halted = true;
                 return Ok(true);
@@ -258,32 +326,60 @@ impl TaStepper<'_> {
         Ok(self.halted)
     }
 
-    /// Computes `t(R)`, fetching the missing fields via random access.
-    fn resolve_grade(
-        &mut self,
-        object: ObjectId,
-        seen_in: usize,
-        seen_grade: Grade,
-    ) -> Result<Grade, AlgoError> {
-        if let Some(memo) = &self.memo {
-            if let Some(&g) = memo.get(&object) {
-                return Ok(g);
+    /// Computes `t(R)` for every entry of one sorted batch and offers the
+    /// results to the top-`k` buffer.
+    ///
+    /// Memo hits are answered without probes; the rest are resolved with
+    /// **one** [`Middleware::random_lookup_many`] call per other list
+    /// (amortizing policy checks and dispatch over the batch). Per-list
+    /// access counts are identical to the scalar path's — the same multiset
+    /// of lookups, grouped by list instead of by object.
+    fn resolve_batch(&mut self, seen_in: usize, entries: &[Entry]) -> Result<(), AlgoError> {
+        self.pending.clear();
+        for &e in entries {
+            if let Some(memo) = &self.memo {
+                if let Some(&g) = memo.get(&e.object) {
+                    self.buffer.offer(e.object, g);
+                    continue;
+                }
             }
+            self.pending.push(e);
+        }
+        if self.pending.is_empty() {
+            return Ok(());
         }
         let m = self.mw.num_lists();
-        self.row[seen_in] = seen_grade;
+        self.rows.clear();
+        self.rows.resize(self.pending.len() * m, Grade::ZERO);
+        for (i, e) in self.pending.iter().enumerate() {
+            self.rows[i * m + seen_in] = e.grade;
+        }
+        self.probe_objects.clear();
+        self.probe_objects
+            .extend(self.pending.iter().map(|e| e.object));
         for j in 0..m {
-            if j != seen_in {
-                self.row[j] = self.mw.random_lookup(j, object)?;
+            if j == seen_in {
+                continue;
+            }
+            self.probe_grades.clear();
+            self.mw
+                .random_lookup_many(j, &self.probe_objects, &mut self.probe_grades)?;
+            for (i, &g) in self.probe_grades.iter().enumerate() {
+                self.rows[i * m + j] = g;
             }
         }
-        self.scratch.clear();
-        self.scratch.extend_from_slice(&self.row);
-        let grade = self.agg.evaluate(&self.scratch);
-        if let Some(memo) = &mut self.memo {
-            memo.insert(object, grade);
+        for i in 0..self.pending.len() {
+            let object = self.pending[i].object;
+            self.scratch.clear();
+            self.scratch
+                .extend_from_slice(&self.rows[i * m..(i + 1) * m]);
+            let grade = self.agg.evaluate(&self.scratch);
+            if let Some(memo) = &mut self.memo {
+                memo.insert(object, grade);
+            }
+            self.buffer.offer(object, grade);
         }
-        Ok(grade)
+        Ok(())
     }
 
     fn mark_seen(&mut self, object: ObjectId) {
@@ -457,9 +553,15 @@ mod tests {
     #[test]
     fn ta_z_correct_on_all_subsets() {
         let db = db();
-        for z in [vec![0], vec![1], vec![2], vec![0, 1], vec![0, 2], vec![0, 1, 2]] {
-            let mut s =
-                Session::with_policy(&db, AccessPolicy::sorted_only_on(z.iter().copied()));
+        for z in [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 1, 2],
+        ] {
+            let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on(z.iter().copied()));
             let out = Ta::restricted(z.iter().copied())
                 .run(&mut s, &Min, 2)
                 .unwrap();
@@ -537,5 +639,76 @@ mod tests {
         assert_eq!(Ta::theta(1.5).name(), "TA_theta(1.5)");
         assert_eq!(Ta::restricted([0, 1]).name(), "TA_Z(|Z|=2)");
         assert_eq!(Ta::new().memoized().name(), "TA(memo)");
+        assert_eq!(Ta::new().batched(64).name(), "TA[b=64]");
+        assert_eq!(
+            Ta::new().batched(1).name(),
+            "TA",
+            "scalar batch is plain TA"
+        );
+    }
+
+    #[test]
+    fn batched_ta_matches_oracle_for_all_batch_sizes() {
+        let db = db();
+        for batch in [1usize, 2, 3, 7, 100] {
+            for k in 1..=5 {
+                let mut s = Session::new(&db);
+                let out = Ta::new().batched(batch).run(&mut s, &Average, k).unwrap();
+                assert!(
+                    oracle::is_valid_top_k(&db, &Average, k, &out.objects()),
+                    "batch={batch} k={k}"
+                );
+                for item in &out.items {
+                    let row = db.row(item.object).unwrap();
+                    assert_eq!(item.grade.unwrap(), Average.evaluate(&row));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_variants_compose() {
+        // Batching composes with θ, Z and memoization.
+        let db = db();
+        let out = Ta::theta(1.5)
+            .batched(4)
+            .run(&mut Session::new(&db), &Average, 2)
+            .unwrap();
+        assert!(oracle::is_valid_theta_approximation(
+            &db,
+            &Average,
+            2,
+            1.5,
+            &out.items.iter().map(|i| i.object).collect::<Vec<_>>()
+        ));
+        let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on([0, 2]));
+        let out = Ta::restricted([0, 2])
+            .batched(8)
+            .memoized()
+            .run(&mut s, &Min, 2)
+            .unwrap();
+        assert!(oracle::is_valid_top_k(&db, &Min, 2, &out.objects()));
+    }
+
+    #[test]
+    fn batch_overshoot_is_bounded() {
+        // Theorem-side sanity for the documented b−1 overshoot: a batched
+        // run performs at most (b−1) extra sorted accesses per active list.
+        let db = db();
+        let mut s = Session::new(&db);
+        let exact = Ta::new().run(&mut s, &Average, 1).unwrap();
+        for batch in [2usize, 3, 8] {
+            let mut s = Session::new(&db);
+            let out = Ta::new().batched(batch).run(&mut s, &Average, 1).unwrap();
+            // Per list: up to b−1 overshoot past the halting round, plus
+            // the usual ≤ m−1 round-granularity slack TA itself has.
+            let slack = (batch as u64 - 1) * db.num_lists() as u64 + (db.num_lists() as u64 - 1);
+            assert!(
+                out.stats.sorted_total() <= exact.stats.sorted_total() + slack,
+                "batch={batch}: {} vs {} + {slack}",
+                out.stats.sorted_total(),
+                exact.stats.sorted_total()
+            );
+        }
     }
 }

@@ -39,9 +39,9 @@ pub mod algorithms;
 pub mod bounds;
 pub mod buffer;
 pub mod optimality;
-pub mod planner;
 pub mod oracle;
 pub mod output;
+pub mod planner;
 
 pub use aggregation::Aggregation;
 pub use algorithms::TopKAlgorithm;

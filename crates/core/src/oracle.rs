@@ -144,8 +144,7 @@ mod tests {
     #[test]
     fn valid_top_k_accepts_tie_permutations() {
         // Two objects tied on min: (0.5, 0.6) and (0.6, 0.5).
-        let db =
-            Database::from_f64_columns(&[vec![0.5, 0.6, 0.1], vec![0.6, 0.5, 0.1]]).unwrap();
+        let db = Database::from_f64_columns(&[vec![0.5, 0.6, 0.1], vec![0.6, 0.5, 0.1]]).unwrap();
         assert!(is_valid_top_k(&db, &Min, 1, &[ObjectId(0)]));
         assert!(is_valid_top_k(&db, &Min, 1, &[ObjectId(1)]));
         assert!(!is_valid_top_k(&db, &Min, 1, &[ObjectId(2)]));
@@ -158,10 +157,28 @@ mod tests {
     fn theta_approximation_check() {
         let db = db();
         // Exact answer is also a θ-approximation for every θ.
-        assert!(is_valid_theta_approximation(&db, &Average, 1, 1.0, &[ObjectId(1)]));
+        assert!(is_valid_theta_approximation(
+            &db,
+            &Average,
+            1,
+            1.0,
+            &[ObjectId(1)]
+        ));
         // obj0 has avg 0.55, best is 0.65: valid iff θ·0.55 ≥ 0.65.
-        assert!(!is_valid_theta_approximation(&db, &Average, 1, 1.05, &[ObjectId(0)]));
-        assert!(is_valid_theta_approximation(&db, &Average, 1, 1.2, &[ObjectId(0)]));
+        assert!(!is_valid_theta_approximation(
+            &db,
+            &Average,
+            1,
+            1.05,
+            &[ObjectId(0)]
+        ));
+        assert!(is_valid_theta_approximation(
+            &db,
+            &Average,
+            1,
+            1.2,
+            &[ObjectId(0)]
+        ));
     }
 
     #[test]

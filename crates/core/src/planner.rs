@@ -12,12 +12,10 @@
 
 use std::collections::BTreeSet;
 
-use fagin_middleware::{CostModel, Middleware};
+use fagin_middleware::{BatchConfig, CostModel, Middleware};
 
 use crate::aggregation::Aggregation;
-use crate::algorithms::{
-    BookkeepingStrategy, Ca, MaxTopK, Nra, StreamCombine, Ta, TopKAlgorithm,
-};
+use crate::algorithms::{BookkeepingStrategy, Ca, MaxTopK, Nra, StreamCombine, Ta, TopKAlgorithm};
 use crate::optimality;
 use crate::output::{AlgoError, TopKOutput};
 
@@ -143,13 +141,28 @@ pub struct Planner;
 
 impl Planner {
     /// Chooses an algorithm for the given capabilities, aggregation, `k`
-    /// and cost model.
+    /// and cost model, with the scalar (access-by-access) drive loop.
     pub fn plan(
         &self,
         caps: &Capabilities,
         agg: &dyn Aggregation,
         k: usize,
         costs: &CostModel,
+    ) -> Result<Plan, PlanError> {
+        self.plan_with_batch(caps, agg, k, costs, BatchConfig::scalar())
+    }
+
+    /// Like [`Planner::plan`], but configures the chosen algorithm's
+    /// batched drive loop when it has one (TA, TA_Z, NRA, CA). Choices
+    /// without a batched loop (the max specialist, Stream-Combine) ignore
+    /// the batch and say so in the rationale.
+    pub fn plan_with_batch(
+        &self,
+        caps: &Capabilities,
+        agg: &dyn Aggregation,
+        k: usize,
+        costs: &CostModel,
+        batch: BatchConfig,
     ) -> Result<Plan, PlanError> {
         let m = caps.num_lists;
         let mut why = Vec::new();
@@ -168,7 +181,9 @@ impl Planner {
                 "only {m_prime}/{m} lists support sorted access: TA_Z over Z (§7)"
             ));
             return Ok(Plan {
-                algorithm: Box::new(Ta::restricted(caps.sorted_lists.iter().copied())),
+                algorithm: Box::new(
+                    Ta::restricted(caps.sorted_lists.iter().copied()).with_batch(batch),
+                ),
                 guarantee: Guarantee::InstanceOptimal {
                     ratio_bound: optimality::ta_z_ratio_bound(m_prime, m, costs),
                     class: "correct algorithms with sorted access on Z, no wild guesses (Thm 7.1)",
@@ -185,6 +200,12 @@ impl Planner {
                      note the paper proves no instance-optimality for this requirement"
                         .to_string(),
                 );
+                if !batch.is_scalar() {
+                    why.push(format!(
+                        "batch size {} ignored: Stream-Combine has no batched drive loop",
+                        batch.size()
+                    ));
+                }
                 return Ok(Plan {
                     algorithm: Box::new(StreamCombine::default()),
                     guarantee: Guarantee::CorrectOnly,
@@ -193,7 +214,9 @@ impl Planner {
             }
             why.push("no random access: NRA (§8.1)".to_string());
             return Ok(Plan {
-                algorithm: Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+                algorithm: Box::new(
+                    Nra::with_strategy(BookkeepingStrategy::LazyHeap).with_batch(batch),
+                ),
                 guarantee: Guarantee::InstanceOptimal {
                     ratio_bound: optimality::nra_ratio_bound(m),
                     class: "correct algorithms making no random accesses (Thm 8.5)",
@@ -205,6 +228,12 @@ impl Planner {
         // §3/§6: the max specialist (footnote 9's mk algorithm).
         if MaxTopK::behaves_like_max(agg, m) {
             why.push("aggregation behaves like max: mk-sorted-access specialist (§3)".to_string());
+            if !batch.is_scalar() {
+                why.push(format!(
+                    "batch size {} ignored: the max specialist has no batched drive loop",
+                    batch.size()
+                ));
+            }
             return Ok(Plan {
                 algorithm: Box::new(MaxTopK),
                 guarantee: Guarantee::InstanceOptimal {
@@ -216,8 +245,8 @@ impl Planner {
         }
 
         // §8.2/8.3: expensive random access + the right structure → CA.
-        let ca_applies = caps.distinctness
-            && (agg.is_strictly_monotone_each_arg() || agg.name() == "min");
+        let ca_applies =
+            caps.distinctness && (agg.is_strictly_monotone_each_arg() || agg.name() == "min");
         let ta_bound = optimality::ta_ratio_bound(m, costs);
         let ca_bound = if agg.name() == "min" {
             optimality::ca_min_ratio_bound(m)
@@ -231,7 +260,9 @@ impl Planner {
             ));
             return Ok(Plan {
                 algorithm: Box::new(
-                    Ca::for_costs(costs).with_strategy(BookkeepingStrategy::LazyHeap),
+                    Ca::for_costs(costs)
+                        .with_strategy(BookkeepingStrategy::LazyHeap)
+                        .with_batch(batch),
                 ),
                 guarantee: Guarantee::InstanceOptimal {
                     ratio_bound: ca_bound,
@@ -257,7 +288,7 @@ impl Planner {
             ta_bound
         };
         Ok(Plan {
-            algorithm: Box::new(Ta::new()),
+            algorithm: Box::new(Ta::new().with_batch(batch)),
             guarantee: Guarantee::InstanceOptimal { ratio_bound, class },
             rationale: why,
         })
@@ -290,6 +321,66 @@ mod tests {
     }
 
     #[test]
+    fn plan_with_batch_configures_batchable_choices() {
+        // TA, TA_Z, NRA and CA all pick up the batch size…
+        let batch = BatchConfig::new(64);
+        let plan = Planner
+            .plan_with_batch(&Capabilities::full(3), &Average, 2, &CostModel::UNIT, batch)
+            .unwrap();
+        assert_eq!(plan.algorithm.name(), "TA[b=64]");
+        let plan = Planner
+            .plan_with_batch(
+                &Capabilities::restricted_sorted(3, [0]),
+                &Average,
+                2,
+                &CostModel::UNIT,
+                batch,
+            )
+            .unwrap();
+        assert!(
+            plan.algorithm.name().ends_with("[b=64]"),
+            "{}",
+            plan.algorithm.name()
+        );
+        let plan = Planner
+            .plan_with_batch(
+                &Capabilities::no_random_access(3),
+                &Average,
+                2,
+                &CostModel::UNIT,
+                batch,
+            )
+            .unwrap();
+        assert!(
+            plan.algorithm.name().ends_with("[b=64]"),
+            "{}",
+            plan.algorithm.name()
+        );
+        let caps = Capabilities {
+            distinctness: true,
+            ..Capabilities::full(3)
+        };
+        let plan = Planner
+            .plan_with_batch(&caps, &Average, 2, &CostModel::new(1.0, 100.0), batch)
+            .unwrap();
+        assert!(
+            plan.algorithm.name().starts_with("CA") && plan.algorithm.name().ends_with("[b=64]"),
+            "{}",
+            plan.algorithm.name()
+        );
+        // …while choices without a batched drive loop say they ignored it.
+        let plan = Planner
+            .plan_with_batch(&Capabilities::full(3), &Max, 2, &CostModel::UNIT, batch)
+            .unwrap();
+        assert_eq!(plan.algorithm.name(), "MaxTopK");
+        assert!(
+            plan.rationale.iter().any(|r| r.contains("ignored")),
+            "{:?}",
+            plan.rationale
+        );
+    }
+
+    #[test]
     fn expensive_random_with_structure_gives_ca() {
         let caps = Capabilities {
             distinctness: true,
@@ -297,7 +388,11 @@ mod tests {
         };
         let costs = CostModel::new(1.0, 100.0);
         let plan = Planner.plan(&caps, &Average, 2, &costs).unwrap();
-        assert!(plan.algorithm.name().starts_with("CA"), "{}", plan.algorithm.name());
+        assert!(
+            plan.algorithm.name().starts_with("CA"),
+            "{}",
+            plan.algorithm.name()
+        );
         if let Guarantee::InstanceOptimal { ratio_bound, .. } = plan.guarantee {
             assert_eq!(ratio_bound, optimality::ca_ratio_bound(3, 2));
         } else {
@@ -421,6 +516,8 @@ mod tests {
     #[test]
     fn plan_error_display() {
         assert!(PlanError::NoSortedAccess.to_string().contains("Z is empty"));
-        assert!(PlanError::UnreachableGrades.to_string().contains("unreachable"));
+        assert!(PlanError::UnreachableGrades
+            .to_string()
+            .contains("unreachable"));
     }
 }

@@ -84,10 +84,24 @@ impl AccessStats {
         self.sorted[list] += 1;
     }
 
+    /// Records `n` sorted accesses on `list` at once (the batched access
+    /// path bills a whole batch with one bump; the cost model is linear, so
+    /// this is indistinguishable from `n` scalar records).
+    #[inline]
+    pub fn record_sorted_n(&mut self, list: usize, n: u64) {
+        self.sorted[list] += n;
+    }
+
     /// Records one random access on `list`.
     #[inline]
     pub fn record_random(&mut self, list: usize) {
         self.random[list] += 1;
+    }
+
+    /// Records `n` random accesses on `list` at once.
+    #[inline]
+    pub fn record_random_n(&mut self, list: usize, n: u64) {
+        self.random[list] += n;
     }
 
     /// Total sorted accesses `s`.
@@ -216,6 +230,23 @@ mod tests {
     #[should_panic(expected = "c_R must be positive")]
     fn zero_random_cost_rejected() {
         let _ = CostModel::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn batched_records_equal_scalar_records() {
+        let mut batched = AccessStats::new(2);
+        batched.record_sorted_n(0, 3);
+        batched.record_random_n(1, 2);
+        let mut scalar = AccessStats::new(2);
+        for _ in 0..3 {
+            scalar.record_sorted(0);
+        }
+        for _ in 0..2 {
+            scalar.record_random(1);
+        }
+        assert_eq!(batched, scalar);
+        batched.record_sorted_n(1, 0);
+        assert_eq!(batched.sorted_on(1), 0, "zero-sized bump is a no-op");
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl fmt::Display for AccessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AccessError::NoSuchList { list, num_lists } => {
-                write!(f, "list {list} out of range (database has {num_lists} lists)")
+                write!(
+                    f,
+                    "list {list} out of range (database has {num_lists} lists)"
+                )
             }
             AccessError::NoSuchObject { object } => {
                 write!(f, "object {object} does not exist")
@@ -140,13 +143,23 @@ impl fmt::Display for BuildError {
                 write!(f, "object {object} appears twice in list {list}")
             }
             BuildError::NotSorted { list, object } => {
-                write!(f, "list {list} is not in descending grade order at object {object}")
+                write!(
+                    f,
+                    "list {list} is not in descending grade order at object {object}"
+                )
             }
-            BuildError::LengthMismatch { list, got, expected } => {
+            BuildError::LengthMismatch {
+                list,
+                got,
+                expected,
+            } => {
                 write!(f, "list {list} has {got} entries, expected {expected}")
             }
             BuildError::DistinctnessViolated { list, a, b } => {
-                write!(f, "objects {a} and {b} share a grade in list {list} (distinctness violated)")
+                write!(
+                    f,
+                    "objects {a} and {b} share a grade in list {list} (distinctness violated)"
+                )
             }
         }
     }
@@ -177,10 +190,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            AccessError::BudgetExhausted,
-            AccessError::BudgetExhausted
-        );
+        assert_eq!(AccessError::BudgetExhausted, AccessError::BudgetExhausted);
         assert_ne!(
             AccessError::RandomAccessForbidden { list: 0 },
             AccessError::RandomAccessForbidden { list: 1 }

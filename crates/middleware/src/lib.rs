@@ -52,6 +52,6 @@ pub use error::{AccessError, BuildError};
 pub use grade::{Entry, Grade, ObjectId};
 pub use list::SortedList;
 pub use policy::{AccessPolicy, SortedAccessSet};
-pub use session::{Middleware, Session};
-pub use shard::DatabaseShard;
+pub use session::{BatchConfig, Middleware, Session};
+pub use shard::{DatabaseShard, ShardView};
 pub use source::{GeneratorSource, GradedSource, MaterializedSource, SubsystemMiddleware};

@@ -1,11 +1,14 @@
 //! Access sessions: the only surface algorithms see.
 //!
 //! A [`Session`] binds a [`Database`] to an [`AccessPolicy`] and an
-//! [`AccessStats`] counter, and exposes exactly the two access modes of §2:
-//! [`Middleware::sorted_next`] and [`Middleware::random_lookup`]. Every
-//! access is counted; policy violations surface as typed
-//! [`AccessError`]s, so tests can verify an algorithm belongs to the class
-//! `A` a theorem quantifies over.
+//! [`AccessStats`] counter, and exposes the two access modes of §2:
+//! [`Middleware::sorted_next`] and [`Middleware::random_lookup`] — plus
+//! their amortized batch forms [`Middleware::sorted_next_batch`] and
+//! [`Middleware::random_lookup_many`], which serve many entries per
+//! dynamic-dispatch round trip (§2's "ask the subsystem for, say, the top
+//! 10 objects … then request the next 10"). Every access is counted; policy
+//! violations surface as typed [`AccessError`]s, so tests can verify an
+//! algorithm belongs to the class `A` a theorem quantifies over.
 
 use crate::cost::AccessStats;
 use crate::database::Database;
@@ -13,11 +16,64 @@ use crate::error::AccessError;
 use crate::grade::{Entry, Grade, ObjectId};
 use crate::policy::AccessPolicy;
 
+/// How many entries an algorithm's drive loop consumes per list per round.
+///
+/// `BatchConfig::scalar()` (size 1) reproduces the paper's access-by-access
+/// execution exactly; size `b > 1` amortizes interface overhead (one policy
+/// check, one stats bump, one dispatch per batch) at the price of
+/// overshooting the halting point by at most `b − 1` sorted accesses per
+/// list — see `fagin_core::optimality` for the effect on instance
+/// optimality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    size: usize,
+}
+
+impl BatchConfig {
+    /// Batch size 1: the paper's exact access-by-access behavior.
+    pub const fn scalar() -> Self {
+        BatchConfig { size: 1 }
+    }
+
+    /// A batch of `size` entries per list per round.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "batch size must be at least 1");
+        BatchConfig { size }
+    }
+
+    /// Entries per list per round.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether this is the exact (size 1) configuration.
+    #[inline]
+    pub fn is_scalar(&self) -> bool {
+        self.size == 1
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self::scalar()
+    }
+}
+
 /// The middleware access interface (paper §2).
 ///
 /// Implementations must count every access and enforce their policy. The
 /// default implementation is [`Session`]; the trait exists so algorithms can
 /// also run against instrumented or synthetic sources.
+///
+/// The batched methods have default implementations that loop over the
+/// scalar ones, so external implementations keep compiling (and stay
+/// semantically correct) without changes; implementations that *can* serve
+/// batches cheaply override them — [`Session`] serves slices straight out
+/// of its sorted lists with one policy check and one stats bump per batch.
 pub trait Middleware {
     /// Number of sorted lists `m`.
     fn num_lists(&self) -> usize;
@@ -36,6 +92,65 @@ pub trait Middleware {
 
     /// *Random access*: the grade of `object` in list `list`.
     fn random_lookup(&mut self, list: usize, object: ObjectId) -> Result<Grade, AccessError>;
+
+    /// *Batched sorted access*: reads up to `max` further entries of `list`,
+    /// appends them to `out`, and returns how many were appended.
+    ///
+    /// Semantically equivalent to calling [`Middleware::sorted_next`] up to
+    /// `max` times — every appended entry counts as one sorted access and
+    /// the same policy applies — but a conforming implementation may do its
+    /// policy check and stats bookkeeping once per batch. Contract:
+    ///
+    /// * `Ok(0)` with `max > 0` means the list is exhausted (not counted,
+    ///   like the scalar `Ok(None)`).
+    /// * A **short** batch (`0 < served < max`) is *not* an exhaustion
+    ///   signal: an access budget may have truncated it. Callers keep
+    ///   requesting until `Ok(0)` or an error.
+    /// * An error that would strike before the first entry is served is
+    ///   returned as `Err`; one that strikes mid-batch (a budget running
+    ///   out) truncates the batch to `Ok(served)` and resurfaces on the
+    ///   next call. A batch therefore never blows past an access budget.
+    fn sorted_next_batch(
+        &mut self,
+        list: usize,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) -> Result<usize, AccessError> {
+        let mut served = 0;
+        while served < max {
+            match self.sorted_next(list) {
+                Ok(Some(entry)) => {
+                    out.push(entry);
+                    served += 1;
+                }
+                Ok(None) => break,
+                // Mid-batch policy errors truncate; the retry sees them.
+                Err(_) if served > 0 => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(served)
+    }
+
+    /// *Batched random access*: the grades of `objects` in `list`, appended
+    /// to `out` in order.
+    ///
+    /// Equivalent to calling [`Middleware::random_lookup`] per object in
+    /// order, stopping at the first error: grades fetched before the error
+    /// remain in `out` (and are counted — `out.len()` tells the caller how
+    /// far the batch got), and the error is returned. As with sorted
+    /// batches, an access budget is enforced mid-batch.
+    fn random_lookup_many(
+        &mut self,
+        list: usize,
+        objects: &[ObjectId],
+        out: &mut Vec<Grade>,
+    ) -> Result<(), AccessError> {
+        for &object in objects {
+            out.push(self.random_lookup(list, object)?);
+        }
+        Ok(())
+    }
 
     /// Access counters so far.
     fn stats(&self) -> &AccessStats;
@@ -155,6 +270,96 @@ impl Middleware for Session<'_> {
             .list(list)
             .grade_of(object)
             .expect("object exists in every list"))
+    }
+
+    /// Serves the batch as one slice read out of the [`SortedList`]: one
+    /// list/policy check, one budget computation and one stats bump for the
+    /// whole batch, instead of per entry.
+    ///
+    /// [`SortedList`]: crate::list::SortedList
+    fn sorted_next_batch(
+        &mut self,
+        list: usize,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) -> Result<usize, AccessError> {
+        self.check_list(list)?;
+        if !self.policy.sorted_lists.allows(list) {
+            return Err(AccessError::SortedAccessForbidden { list });
+        }
+        let pos = self.positions[list];
+        let db = self.db;
+        let l = db.list(list);
+        let want = max.min(l.len().saturating_sub(pos));
+        if want == 0 {
+            // Exhausted (or max == 0): like the scalar Ok(None), not billed
+            // and not a budget violation.
+            return Ok(0);
+        }
+        let allowed = match self.policy.access_budget {
+            Some(b) => {
+                let remaining = b.saturating_sub(self.stats.total());
+                if remaining == 0 {
+                    return Err(AccessError::BudgetExhausted);
+                }
+                want.min(usize::try_from(remaining).unwrap_or(usize::MAX))
+            }
+            None => want,
+        };
+        out.reserve(allowed);
+        for rank in pos..pos + allowed {
+            let entry = l.at_rank(rank).expect("rank < len");
+            self.seen[entry.object.index()] = true;
+            out.push(entry);
+        }
+        self.positions[list] = pos + allowed;
+        self.stats.record_sorted_n(list, allowed as u64);
+        Ok(allowed)
+    }
+
+    /// One list/policy check per batch; per-object checks (range, wild
+    /// guess, budget) keep the scalar path's order, so a failing batch
+    /// counts exactly the lookups a scalar loop would have performed.
+    fn random_lookup_many(
+        &mut self,
+        list: usize,
+        objects: &[ObjectId],
+        out: &mut Vec<Grade>,
+    ) -> Result<(), AccessError> {
+        self.check_list(list)?;
+        if !self.policy.allow_random {
+            return Err(AccessError::RandomAccessForbidden { list });
+        }
+        let db = self.db;
+        let l = db.list(list);
+        let allowed: u64 = match self.policy.access_budget {
+            Some(b) => b.saturating_sub(self.stats.total()),
+            None => u64::MAX,
+        };
+        let mut served: u64 = 0;
+        let mut failure = None;
+        out.reserve(objects.len());
+        for &object in objects {
+            if object.index() >= db.num_objects() {
+                failure = Some(AccessError::NoSuchObject { object });
+                break;
+            }
+            if !self.policy.allow_wild_guesses && !self.seen[object.index()] {
+                failure = Some(AccessError::WildGuess { list, object });
+                break;
+            }
+            if served >= allowed {
+                failure = Some(AccessError::BudgetExhausted);
+                break;
+            }
+            out.push(l.grade_of(object).expect("object exists in every list"));
+            served += 1;
+        }
+        self.stats.record_random_n(list, served);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn stats(&self) -> &AccessStats {
@@ -285,5 +490,112 @@ mod tests {
         s.sorted_next(0).unwrap();
         let stats = s.into_stats();
         assert_eq!(stats.sorted_total(), 1);
+    }
+
+    #[test]
+    fn batched_sorted_access_serves_slices() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let mut buf = Vec::new();
+        assert_eq!(s.sorted_next_batch(0, 2, &mut buf).unwrap(), 2);
+        assert_eq!(
+            buf.iter().map(|e| e.object.0).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(s.stats().sorted_on(0), 2);
+        assert_eq!(s.position(0), 2);
+        assert!(s.has_seen(ObjectId(0)) && s.has_seen(ObjectId(1)));
+        // Asking past the end serves the remainder, then signals exhaustion.
+        buf.clear();
+        assert_eq!(s.sorted_next_batch(0, 10, &mut buf).unwrap(), 1);
+        assert_eq!(s.sorted_next_batch(0, 10, &mut buf).unwrap(), 0);
+        assert_eq!(s.stats().sorted_on(0), 3, "exhaustion not billed");
+    }
+
+    #[test]
+    fn batched_sorted_access_respects_budget_mid_batch() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses().with_budget(2));
+        let mut buf = Vec::new();
+        // The batch is cut at the budget rather than blown past it…
+        assert_eq!(s.sorted_next_batch(0, 3, &mut buf).unwrap(), 2);
+        assert_eq!(s.stats().total(), 2);
+        // …and the violation resurfaces on the next call.
+        assert_eq!(
+            s.sorted_next_batch(0, 3, &mut buf).unwrap_err(),
+            AccessError::BudgetExhausted
+        );
+        assert_eq!(s.stats().total(), 2);
+    }
+
+    #[test]
+    fn batched_sorted_access_checks_policy_once() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on([1]));
+        let mut buf = Vec::new();
+        assert_eq!(
+            s.sorted_next_batch(0, 2, &mut buf).unwrap_err(),
+            AccessError::SortedAccessForbidden { list: 0 }
+        );
+        assert_eq!(s.sorted_next_batch(1, 2, &mut buf).unwrap(), 2);
+    }
+
+    #[test]
+    fn batched_random_lookup_counts_and_orders() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::unrestricted());
+        let mut grades = Vec::new();
+        s.random_lookup_many(1, &[ObjectId(2), ObjectId(0)], &mut grades)
+            .unwrap();
+        assert_eq!(grades, vec![Grade::new(0.5), Grade::new(0.2)]);
+        assert_eq!(s.stats().random_on(1), 2);
+    }
+
+    #[test]
+    fn batched_random_lookup_stops_at_wild_guess() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let e = s.sorted_next(0).unwrap().unwrap(); // sees object 0
+        let mut grades = Vec::new();
+        let err = s
+            .random_lookup_many(1, &[e.object, ObjectId(2)], &mut grades)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::WildGuess {
+                list: 1,
+                object: ObjectId(2)
+            }
+        );
+        // The grade fetched before the violation is delivered and billed.
+        assert_eq!(grades.len(), 1);
+        assert_eq!(s.stats().random_on(1), 1);
+    }
+
+    #[test]
+    fn batched_random_lookup_respects_budget_mid_batch() {
+        let db = db();
+        let mut s = Session::with_policy(&db, AccessPolicy::unrestricted().with_budget(2));
+        let mut grades = Vec::new();
+        let err = s
+            .random_lookup_many(0, &[ObjectId(0), ObjectId(1), ObjectId(2)], &mut grades)
+            .unwrap_err();
+        assert_eq!(err, AccessError::BudgetExhausted);
+        assert_eq!(grades.len(), 2);
+        assert_eq!(s.stats().total(), 2);
+    }
+
+    #[test]
+    fn batch_config_validates() {
+        assert!(BatchConfig::scalar().is_scalar());
+        assert_eq!(BatchConfig::default(), BatchConfig::scalar());
+        assert_eq!(BatchConfig::new(8).size(), 8);
+        assert!(!BatchConfig::new(8).is_scalar());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn zero_batch_rejected() {
+        let _ = BatchConfig::new(0);
     }
 }

@@ -175,6 +175,16 @@ pub struct SubsystemMiddleware {
 }
 
 impl SubsystemMiddleware {
+    /// Refills `list`'s prefetch buffer with one batch from its subsystem.
+    fn prefetch(&mut self, list: usize) {
+        for _ in 0..self.batch {
+            match self.sources[list].next_entry() {
+                Some(e) => self.buffers[list].push_back(e),
+                None => break,
+            }
+        }
+    }
+
     /// Assembles sources into a middleware. All sources must agree on the
     /// number of objects.
     ///
@@ -230,12 +240,7 @@ impl Middleware for SubsystemMiddleware {
         }
         if self.buffers[list].is_empty() {
             // Prefetch the next batch from the subsystem.
-            for _ in 0..self.batch {
-                match self.sources[list].next_entry() {
-                    Some(e) => self.buffers[list].push_back(e),
-                    None => break,
-                }
-            }
+            self.prefetch(list);
         }
         let Some(entry) = self.buffers[list].pop_front() else {
             return Ok(None);
@@ -246,6 +251,91 @@ impl Middleware for SubsystemMiddleware {
             self.seen[entry.object.index()] = true;
         }
         Ok(Some(entry))
+    }
+
+    /// Fuses the algorithm-side batch with the subsystem-side prefetch
+    /// buffer: entries stream from the buffer (refilled in source-batch
+    /// pulls) and the whole consumed batch is billed with one stats bump.
+    fn sorted_next_batch(
+        &mut self,
+        list: usize,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) -> Result<usize, AccessError> {
+        if list >= self.sources.len() {
+            return Err(AccessError::NoSuchList {
+                list,
+                num_lists: self.sources.len(),
+            });
+        }
+        let mut served = 0;
+        while served < max {
+            if self.buffers[list].is_empty() {
+                self.prefetch(list);
+                if self.buffers[list].is_empty() {
+                    break; // subsystem exhausted
+                }
+            }
+            while served < max {
+                let Some(entry) = self.buffers[list].pop_front() else {
+                    break;
+                };
+                if entry.object.index() < self.seen.len() {
+                    self.seen[entry.object.index()] = true;
+                }
+                out.push(entry);
+                served += 1;
+            }
+        }
+        self.positions[list] += served;
+        self.stats.record_sorted_n(list, served as u64);
+        Ok(served)
+    }
+
+    /// One capability check per batch; per-object checks keep the scalar
+    /// path's order so failures bill exactly what a scalar loop would.
+    fn random_lookup_many(
+        &mut self,
+        list: usize,
+        objects: &[ObjectId],
+        out: &mut Vec<Grade>,
+    ) -> Result<(), AccessError> {
+        if list >= self.sources.len() {
+            return Err(AccessError::NoSuchList {
+                list,
+                num_lists: self.sources.len(),
+            });
+        }
+        let mut served: u64 = 0;
+        let mut failure = None;
+        for &object in objects {
+            if object.index() >= self.num_objects {
+                failure = Some(AccessError::NoSuchObject { object });
+                break;
+            }
+            if !self.sources[list].supports_probe() {
+                failure = Some(AccessError::RandomAccessForbidden { list });
+                break;
+            }
+            if !self.policy.allow_wild_guesses && !self.seen[object.index()] {
+                failure = Some(AccessError::WildGuess { list, object });
+                break;
+            }
+            // Billed before the probe, exactly like the scalar path.
+            served += 1;
+            match self.sources[list].probe(object) {
+                Some(g) => out.push(g),
+                None => {
+                    failure = Some(AccessError::NoSuchObject { object });
+                    break;
+                }
+            }
+        }
+        self.stats.record_random_n(list, served);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn random_lookup(&mut self, list: usize, object: ObjectId) -> Result<Grade, AccessError> {
@@ -315,9 +405,7 @@ mod tests {
         let grades = [0.9, 0.5, 0.1];
         let mut src = GeneratorSource::new(
             3,
-            move |rank| {
-                Some(Entry::new(rank as u32, grades[rank]))
-            },
+            move |rank| Some(Entry::new(rank as u32, grades[rank])),
             None::<fn(ObjectId) -> Option<Grade>>,
         );
         assert_eq!(src.next_entry().unwrap().grade, Grade::new(0.9));
@@ -368,9 +456,9 @@ mod tests {
 
     #[test]
     fn probe_free_sources_forbid_random_access() {
-        let sources: Vec<Box<dyn GradedSource>> = vec![
-            Box::new(MaterializedSource::new(list(&[0.9, 0.1])).without_probe()),
-        ];
+        let sources: Vec<Box<dyn GradedSource>> = vec![Box::new(
+            MaterializedSource::new(list(&[0.9, 0.1])).without_probe(),
+        )];
         let mut mw = SubsystemMiddleware::new(sources, 10);
         let _ = mw.sorted_next(0).unwrap();
         assert!(matches!(
@@ -378,6 +466,64 @@ mod tests {
             Err(AccessError::RandomAccessForbidden { list: 0 })
         ));
         assert!(!mw.policy().allow_random);
+    }
+
+    #[test]
+    fn batched_reads_fuse_with_prefetch_buffer() {
+        let sources: Vec<Box<dyn GradedSource>> = vec![
+            Box::new(MaterializedSource::new(list(&[0.9, 0.5, 0.1, 0.05]))),
+            Box::new(MaterializedSource::new(list(&[0.2, 0.8, 0.4, 0.6]))),
+        ];
+        // Subsystem prefetch batch (3) deliberately differs from the
+        // algorithm-side batch (2): the buffer bridges the mismatch.
+        let mut mw = SubsystemMiddleware::new(sources, 3);
+        let mut buf = Vec::new();
+        assert_eq!(mw.sorted_next_batch(0, 2, &mut buf).unwrap(), 2);
+        assert_eq!(mw.stats().sorted_on(0), 2, "consumed entries billed");
+        assert_eq!(mw.position(0), 2);
+        // Next batch spans the buffered leftover plus a fresh prefetch.
+        buf.clear();
+        assert_eq!(mw.sorted_next_batch(0, 5, &mut buf).unwrap(), 2);
+        assert_eq!(
+            buf.iter().map(|e| e.grade.value()).collect::<Vec<_>>(),
+            vec![0.1, 0.05]
+        );
+        assert_eq!(mw.sorted_next_batch(0, 5, &mut buf).unwrap(), 0);
+        assert_eq!(mw.stats().sorted_on(0), 4);
+    }
+
+    #[test]
+    fn batched_probes_count_once_per_batch() {
+        let sources: Vec<Box<dyn GradedSource>> = vec![
+            Box::new(MaterializedSource::new(list(&[0.9, 0.5, 0.1]))),
+            Box::new(MaterializedSource::new(list(&[0.2, 0.8, 0.4]))),
+        ];
+        let mut mw = SubsystemMiddleware::new(sources, 2);
+        let mut buf = Vec::new();
+        mw.sorted_next_batch(0, 3, &mut buf).unwrap(); // see everyone
+        let mut grades = Vec::new();
+        mw.random_lookup_many(1, &[ObjectId(0), ObjectId(2)], &mut grades)
+            .unwrap();
+        assert_eq!(grades, vec![Grade::new(0.2), Grade::new(0.4)]);
+        assert_eq!(mw.stats().random_on(1), 2);
+    }
+
+    #[test]
+    fn batched_probes_reject_wild_guesses_mid_batch() {
+        let sources: Vec<Box<dyn GradedSource>> = vec![
+            Box::new(MaterializedSource::new(list(&[0.9, 0.5, 0.1]))),
+            Box::new(MaterializedSource::new(list(&[0.2, 0.8, 0.4]))),
+        ];
+        let mut mw = SubsystemMiddleware::new(sources, 2);
+        let mut buf = Vec::new();
+        mw.sorted_next_batch(0, 1, &mut buf).unwrap(); // sees object 0 only
+        let mut grades = Vec::new();
+        let err = mw
+            .random_lookup_many(1, &[ObjectId(0), ObjectId(2)], &mut grades)
+            .unwrap_err();
+        assert!(matches!(err, AccessError::WildGuess { .. }));
+        assert_eq!(grades.len(), 1, "grades before the violation delivered");
+        assert_eq!(mw.stats().random_on(1), 1);
     }
 
     #[test]

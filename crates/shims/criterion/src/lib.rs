@@ -41,11 +41,7 @@ impl Criterion {
     }
 
     /// Runs a single stand-alone benchmark.
-    pub fn bench_function(
-        &mut self,
-        id: impl Display,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_one(&id.to_string(), 100, f);
         self
     }
@@ -67,11 +63,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmarks `f` under `id` within this group.
-    pub fn bench_function(
-        &mut self,
-        id: impl Display,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         run_one(&full, self.sample_size, f);
         self

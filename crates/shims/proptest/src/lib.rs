@@ -213,8 +213,7 @@ impl Strategy for RangeInclusive<f64> {
         let (lo, hi) = (*self.start(), *self.end());
         assert!(lo <= hi, "empty f64 range strategy");
         // Closed upper end: scale by the next-up factor so `hi` is reachable.
-        Some(lo + rng.unit_f64() * (hi - lo) * (1.0 + f64::EPSILON))
-            .map(|v| v.min(hi))
+        Some(lo + rng.unit_f64() * (hi - lo) * (1.0 + f64::EPSILON)).map(|v| v.min(hi))
     }
 }
 

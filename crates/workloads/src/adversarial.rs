@@ -321,8 +321,8 @@ pub fn thm_9_1(d: usize, m: usize) -> Witness {
     assert!(d >= 2 && m >= 2);
     let num_high = d * m; // includes T
     let n = num_high + d; // plus all-zero fillers
-    // High object ids: T = 0; list 0's other highs are 1..d−1;
-    // list ℓ ≥ 1 owns ids ℓ·d .. ℓ·d+d−1.
+                          // High object ids: T = 0; list 0's other highs are 1..d−1;
+                          // list ℓ ≥ 1 owns ids ℓ·d .. ℓ·d+d−1.
     let highs_of = |l: usize| -> Vec<usize> {
         if l == 0 {
             let mut v: Vec<usize> = (1..d).collect();
@@ -556,8 +556,7 @@ mod tests {
         // Every other object has overall grade 0.
         for obj in w.db.objects() {
             if obj != w.winner {
-                let row: Vec<f64> =
-                    w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+                let row: Vec<f64> = w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
                 assert_eq!(min_t(&row), 0.0);
             }
         }
@@ -586,8 +585,7 @@ mod tests {
         // Every other object is NOT a valid θ-approximation on its own.
         for obj in w.db.objects() {
             if obj != w.winner {
-                let row: Vec<f64> =
-                    w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+                let row: Vec<f64> = w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
                 assert!(theta * min_t(&row) < grade, "object {obj} too good");
             }
         }
@@ -646,8 +644,7 @@ mod tests {
         // Decoys cap at 1 3/8 (paper's bound).
         for obj in w.db.objects() {
             if obj != w.winner {
-                let row: Vec<f64> =
-                    w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
+                let row: Vec<f64> = w.db.row(obj).unwrap().iter().map(|g| g.value()).collect();
                 assert!(sum(&row) <= 1.375 + 1e-12, "object {obj}");
             }
         }
@@ -670,8 +667,7 @@ mod tests {
                 .db
                 .objects()
                 .filter(|&o| {
-                    let row: Vec<f64> =
-                        w.db.row(o).unwrap().iter().map(|g| g.value()).collect();
+                    let row: Vec<f64> = w.db.row(o).unwrap().iter().map(|g| g.value()).collect();
                     min_t(&row) == 1.0
                 })
                 .count();
@@ -718,10 +714,19 @@ mod tests {
         // Candidates all share x₁+x₂ = 1/2; T's other grades in [1/2, 3/4).
         for c in 0..d {
             let row: Vec<f64> =
-                w.db.row(ObjectId(c as u32)).unwrap().iter().map(|g| g.value()).collect();
+                w.db.row(ObjectId(c as u32))
+                    .unwrap()
+                    .iter()
+                    .map(|g| g.value())
+                    .collect();
             assert!((row[0] + row[1] - 0.5).abs() < 1e-12, "candidate {c}");
         }
-        let t_row: Vec<f64> = w.db.row(w.winner).unwrap().iter().map(|g| g.value()).collect();
+        let t_row: Vec<f64> =
+            w.db.row(w.winner)
+                .unwrap()
+                .iter()
+                .map(|g| g.value())
+                .collect();
         for &g in &t_row[2..] {
             assert!((0.5..0.75).contains(&g));
         }

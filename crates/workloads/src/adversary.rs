@@ -133,7 +133,8 @@ impl AdaptiveAdversary {
         // (both grades 0 whenever a middle-free slot exists).
         let rank = self
             .free_loser_ranks
-            .iter().next_back()
+            .iter()
+            .next_back()
             .copied()
             .unwrap_or(self.n);
         self.bind(object, rank);
@@ -188,11 +189,7 @@ impl Middleware for AdaptiveAdversary {
         self.positions[list] = pos + 1;
         self.stats.record_sorted(list);
         // L₁ rank corresponding to this access.
-        let l1_rank = if list == 0 {
-            pos
-        } else {
-            2 * self.n - pos
-        };
+        let l1_rank = if list == 0 { pos } else { 2 * self.n - pos };
         let object = self.object_for_rank(l1_rank);
         self.seen_sorted[object.index()] = true;
         Ok(Some(Entry {

@@ -147,7 +147,10 @@ mod tests {
         // The top object of list 0 should rank high in list 1 too.
         let top = db.list(0).at_rank(0).unwrap().object;
         let rank_in_1 = db.list(1).rank_of(top).unwrap();
-        assert!(rank_in_1 < 100, "rank {rank_in_1} too deep for correlated data");
+        assert!(
+            rank_in_1 < 100,
+            "rank {rank_in_1} too deep for correlated data"
+        );
     }
 
     #[test]
@@ -156,12 +159,7 @@ mod tests {
         let db = anticorrelated(300, m, 0.05, 9);
         let mut total = 0.0;
         for obj in db.objects() {
-            total += db
-                .row(obj)
-                .unwrap()
-                .iter()
-                .map(|g| g.value())
-                .sum::<f64>();
+            total += db.row(obj).unwrap().iter().map(|g| g.value()).sum::<f64>();
         }
         let mean = total / 300.0;
         assert!(

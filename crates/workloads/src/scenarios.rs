@@ -105,7 +105,10 @@ mod tests {
         // restaurants should rank deep in cheapness.
         let top = db.list(0).at_rank(0).unwrap().object;
         let cheap_rank = db.list(1).rank_of(top).unwrap();
-        assert!(cheap_rank > 100, "top-rated was also cheapest? rank {cheap_rank}");
+        assert!(
+            cheap_rank > 100,
+            "top-rated was also cheapest? rank {cheap_rank}"
+        );
     }
 
     #[test]

@@ -60,9 +60,7 @@ fn main() {
             }
         }
     }
-    println!(
-        "\n{steps} scheduling decisions cost {total_accesses} middleware accesses total"
-    );
+    println!("\n{steps} scheduling decisions cost {total_accesses} middleware accesses total");
     println!(
         "(a naive scheduler would pay {} per decision)",
         2 * num_pages

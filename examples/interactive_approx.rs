@@ -40,9 +40,16 @@ fn main() {
             }
             if theta <= target_guarantee {
                 stopped_early = !stepper.is_halted();
-                println!("\nuser stops: every shown object is within {:.0}% of optimal", (theta - 1.0) * 100.0);
+                println!(
+                    "\nuser stops: every shown object is within {:.0}% of optimal",
+                    (theta - 1.0) * 100.0
+                );
                 for item in view.items.iter().take(3) {
-                    println!("  object {:>7}  grade {}", item.object.0, item.grade.unwrap());
+                    println!(
+                        "  object {:>7}  grade {}",
+                        item.object.0,
+                        item.grade.unwrap()
+                    );
                 }
                 break;
             }
@@ -57,7 +64,11 @@ fn main() {
         "\nearly stop after {spent} rounds vs {} rounds for the exact answer ({}x saved){}",
         exact.metrics.rounds,
         exact.metrics.rounds / spent.max(1),
-        if stopped_early { "" } else { " — query finished exactly first" },
+        if stopped_early {
+            ""
+        } else {
+            " — query finished exactly first"
+        },
     );
 
     // The equivalent one-shot form: TA_theta with θ fixed up front.

@@ -35,13 +35,18 @@ fn main() {
         answers.push(out);
     }
     // All three agree on the grades (ties may permute objects).
-    let grades = |o: &TopKOutput| -> Vec<Grade> { o.items.iter().filter_map(|i| i.grade).collect() };
+    let grades =
+        |o: &TopKOutput| -> Vec<Grade> { o.items.iter().filter_map(|i| i.grade).collect() };
     assert_eq!(grades(&answers[0]), grades(&answers[1]));
     assert_eq!(grades(&answers[0]), grades(&answers[2]));
 
     println!("\ntop-{k} images (TA):");
     for item in &answers[0].items {
-        println!("  image {:>6}  grade {}", item.object.0, item.grade.unwrap());
+        println!(
+            "  image {:>6}  grade {}",
+            item.object.0,
+            item.grade.unwrap()
+        );
     }
 
     // A user who cares twice as much about color uses a weighted mean —
@@ -53,10 +58,11 @@ fn main() {
         .expect("query succeeds");
     println!("\ntop-{k} with color weighted 2x (weighted mean):");
     for item in personalized.items.iter().take(3) {
-        println!("  image {:>6}  grade {}", item.object.0, item.grade.unwrap());
+        println!(
+            "  image {:>6}  grade {}",
+            item.object.0,
+            item.grade.unwrap()
+        );
     }
-    println!(
-        "  … costing {} accesses",
-        personalized.stats.total()
-    );
+    println!("  … costing {} accesses", personalized.stats.total());
 }

@@ -25,6 +25,7 @@ struct Args {
     c_s: f64,
     c_r: f64,
     theta: f64,
+    batch: usize,
     verbose: bool,
 }
 
@@ -41,6 +42,7 @@ impl Default for Args {
             c_s: 1.0,
             c_r: 1.0,
             theta: 1.0,
+            batch: 1,
             verbose: false,
         }
     }
@@ -63,6 +65,10 @@ OPTIONS:
   --cs <c>        cost of one sorted access              [default: 1]
   --cr <c>        cost of one random access              [default: 1]
   --theta <t>     approximation slack for ta-theta       [default: 1.0]
+  --batch <b>     sorted accesses consumed per list per round (1 = the
+                  paper's exact access-by-access execution; larger batches
+                  amortize middleware overhead for auto/ta/ta-theta/nra/ca,
+                  overshooting halting by at most b-1 per list)  [default: 1]
   --verbose       print the full top-k list
   --help          this text";
 
@@ -80,8 +86,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         let value = it
             .next()
             .ok_or_else(|| format!("missing value for {flag}"))?;
-        let parse_usize =
-            |v: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
+        let parse_usize = |v: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
         let parse_f64 = |v: &str| v.parse::<f64>().map_err(|e| format!("{flag}: {e}"));
         match flag.as_str() {
             "--workload" => args.workload = value,
@@ -94,6 +99,12 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--cs" => args.c_s = parse_f64(&value)?,
             "--cr" => args.c_r = parse_f64(&value)?,
             "--theta" => args.theta = parse_f64(&value)?,
+            "--batch" => {
+                args.batch = parse_usize(&value)?;
+                if args.batch == 0 {
+                    return Err("--batch: batch size must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -147,6 +158,7 @@ fn build_algorithm(
     } else {
         AccessPolicy::no_wild_guesses()
     };
+    let batch = BatchConfig::new(a.batch);
     let algo: AlgoChoice = match a.algo.as_str() {
         "auto" => {
             let caps = Capabilities {
@@ -156,22 +168,33 @@ fn build_algorithm(
                 require_grades: true,
                 distinctness: a.workload == "distinct",
             };
+            // The planner threads the batch into its choice when the
+            // chosen algorithm has a batched drive loop (TA/TA_Z/NRA/CA)
+            // and explains itself in the rationale when it does not.
             let plan = Planner
-                .plan(&caps, agg, a.k, costs)
+                .plan_with_batch(&caps, agg, a.k, costs, batch)
                 .map_err(|e| e.to_string())?;
             let rationale = plan.rationale.clone();
             (plan.algorithm, default_policy, rationale)
         }
-        "ta" => (Box::new(Ta::new()), default_policy, vec![]),
-        "ta-theta" => (Box::new(Ta::theta(a.theta)), default_policy, vec![]),
+        "ta" => (
+            Box::new(Ta::new().with_batch(batch)),
+            default_policy,
+            vec![],
+        ),
+        "ta-theta" => (
+            Box::new(Ta::theta(a.theta).with_batch(batch)),
+            default_policy,
+            vec![],
+        ),
         "fa" => (Box::new(Fa), default_policy, vec![]),
         "nra" => (
-            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap).with_batch(batch)),
             AccessPolicy::no_random_access(),
             vec![],
         ),
         "ca" => (
-            Box::new(Ca::for_costs(costs)),
+            Box::new(Ca::for_costs(costs).with_batch(batch)),
             default_policy,
             vec![],
         ),
@@ -185,6 +208,15 @@ fn build_algorithm(
         "max" => (Box::new(MaxTopK), AccessPolicy::no_random_access(), vec![]),
         other => return Err(format!("unknown algorithm '{other}'")),
     };
+    if !batch.is_scalar() && !matches!(a.algo.as_str(), "auto" | "ta" | "ta-theta" | "nra" | "ca") {
+        let (algo, policy, mut rationale) = algo;
+        rationale.push(format!(
+            "--batch {} ignored: {} has no batched drive loop",
+            batch.size(),
+            algo.name()
+        ));
+        return Ok((algo, policy, rationale));
+    }
     Ok(algo)
 }
 
@@ -226,7 +258,11 @@ fn run() -> Result<(), String> {
     let elapsed = start.elapsed();
 
     println!();
-    let show = if args.verbose { out.items.len() } else { out.items.len().min(5) };
+    let show = if args.verbose {
+        out.items.len()
+    } else {
+        out.items.len().min(5)
+    };
     for (rank, item) in out.items.iter().take(show).enumerate() {
         match item.grade {
             Some(g) => println!("  {:>3}. object {:>8}  grade {g}", rank + 1, item.object.0),

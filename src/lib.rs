@@ -39,8 +39,8 @@ pub use fagin_workloads as workloads;
 /// Commonly used types, in one import.
 pub mod prelude {
     pub use fagin_core::aggregation::{
-        Aggregation, Average, Constant, Custom, GatedMin, GeometricMean, Max, Median, Min,
-        MinPlus, Product, Sum, WeightedSum,
+        Aggregation, Average, Constant, Custom, GatedMin, GeometricMean, Max, Median, Min, MinPlus,
+        Product, Sum, WeightedSum,
     };
     pub use fagin_core::algorithms::{
         BookkeepingStrategy, Ca, Fa, Intermittent, MaxTopK, Naive, Nra, QuickCombine, Sharded,
@@ -50,9 +50,11 @@ pub mod prelude {
     pub use fagin_core::planner::{Capabilities, Guarantee, Plan, PlanError, Planner};
     pub use fagin_core::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
     pub use fagin_middleware::{
-        AccessError, AccessPolicy, AccessStats, CostModel, Database, DatabaseBuilder,
+        AccessError, AccessPolicy, AccessStats, BatchConfig, CostModel, Database, DatabaseBuilder,
         DatabaseShard, Entry, GeneratorSource, Grade, GradedSource, MaterializedSource, Middleware,
-        ObjectId, Session, SortedAccessSet, SubsystemMiddleware,
+        ObjectId, Session, ShardView, SortedAccessSet, SubsystemMiddleware,
     };
-    pub use fagin_workloads::{adversarial, adversary, random, scenarios, AdaptiveAdversary, Witness};
+    pub use fagin_workloads::{
+        adversarial, adversary, random, scenarios, AdaptiveAdversary, Witness,
+    };
 }

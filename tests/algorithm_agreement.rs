@@ -32,7 +32,10 @@ fn check_all_algorithms(db: &Database, agg: &dyn Aggregation, k: usize) {
         (Box::new(Naive), AccessPolicy::no_random_access()),
         (Box::new(Fa), AccessPolicy::no_wild_guesses()),
         (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
-        (Box::new(Ta::new().memoized()), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Ta::new().memoized()),
+            AccessPolicy::no_wild_guesses(),
+        ),
         (
             Box::new(Ta::restricted(0..db.num_lists())),
             AccessPolicy::no_wild_guesses(),
@@ -48,7 +51,10 @@ fn check_all_algorithms(db: &Database, agg: &dyn Aggregation, k: usize) {
             Box::new(Ca::new(2).with_strategy(BookkeepingStrategy::LazyHeap)),
             AccessPolicy::no_wild_guesses(),
         ),
-        (Box::new(Intermittent::new(2)), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Intermittent::new(2)),
+            AccessPolicy::no_wild_guesses(),
+        ),
     ];
     for (algo, policy) in algos {
         let mut session = Session::with_policy(db, policy);

@@ -96,11 +96,8 @@ proptest! {
 
 #[test]
 fn theta_one_equals_exact_ta() {
-    let db = Database::from_f64_columns(&[
-        vec![0.9, 0.5, 0.1, 0.3],
-        vec![0.2, 0.8, 0.5, 0.4],
-    ])
-    .unwrap();
+    let db =
+        Database::from_f64_columns(&[vec![0.9, 0.5, 0.1, 0.3], vec![0.2, 0.8, 0.5, 0.4]]).unwrap();
     let mut s1 = Session::new(&db);
     let exact = Ta::new().run(&mut s1, &Min, 2).unwrap();
     let mut s2 = Session::new(&db);

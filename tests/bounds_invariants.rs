@@ -21,8 +21,11 @@ struct History {
 
 fn history_strategy(m: usize) -> impl Strategy<Value = History> {
     let row = proptest::collection::vec(0.0f64..1.0, m);
-    (row, proptest::collection::vec((0..m, 0.0f64..1.0, any::<bool>()), 1..30)).prop_map(
-        |(row, raw)| {
+    (
+        row,
+        proptest::collection::vec((0..m, 0.0f64..1.0, any::<bool>()), 1..30),
+    )
+        .prop_map(|(row, raw)| {
             // Normalize: per-list bottoms non-increasing, ≥ row value until
             // revealed (sorted access cannot skip below an unseen grade).
             let mut bottom = vec![1.0f64; row.len()];
@@ -47,8 +50,7 @@ fn history_strategy(m: usize) -> impl Strategy<Value = History> {
                 }
             }
             History { row, events }
-        },
-    )
+        })
 }
 
 fn check_sandwich(agg: &dyn Aggregation, h: &History) {
@@ -57,12 +59,7 @@ fn check_sandwich(agg: &dyn Aggregation, h: &History) {
     let mut obj = PartialObject::new(m);
     let mut scratch = Vec::new();
 
-    let truth = agg.evaluate(
-        &h.row
-            .iter()
-            .map(|&v| Grade::new(v))
-            .collect::<Vec<_>>(),
-    );
+    let truth = agg.evaluate(&h.row.iter().map(|&v| Grade::new(v)).collect::<Vec<_>>());
 
     let mut last_w = obj.w(agg, &mut scratch);
     let mut last_b = obj.b(agg, &bottoms, &mut scratch);

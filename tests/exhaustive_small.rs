@@ -17,9 +17,18 @@ fn algorithms() -> Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> {
             AccessPolicy::no_random_access(),
         ),
         (Box::new(Ca::new(1)), AccessPolicy::no_wild_guesses()),
-        (Box::new(Intermittent::new(1)), AccessPolicy::no_wild_guesses()),
-        (Box::new(QuickCombine::new(2)), AccessPolicy::no_wild_guesses()),
-        (Box::new(StreamCombine::new(2)), AccessPolicy::no_random_access()),
+        (
+            Box::new(Intermittent::new(1)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (
+            Box::new(QuickCombine::new(2)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (
+            Box::new(StreamCombine::new(2)),
+            AccessPolicy::no_random_access(),
+        ),
     ]
 }
 

@@ -4,8 +4,8 @@
 //! universal "TA's sorted cost ≤ FA's sorted cost" corollary on random
 //! databases.
 
-use fagin_topk::prelude::*;
 use fagin_topk::core::optimality;
+use fagin_topk::prelude::*;
 use proptest::prelude::*;
 
 /// Theorem 6.1's constants: on every database of the Thm 9.1 family,

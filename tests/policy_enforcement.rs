@@ -41,7 +41,9 @@ fn nra_and_naive_stay_in_the_no_random_access_class() {
     ] {
         let agg: &dyn Aggregation = if algo.name() == "MaxTopK" { &Max } else { &Min };
         let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
-        let out = algo.run(&mut s, agg, 2).expect("runs without random access");
+        let out = algo
+            .run(&mut s, agg, 2)
+            .expect("runs without random access");
         assert_eq!(out.stats.random_total(), 0);
     }
 }
@@ -117,10 +119,7 @@ fn unrestricted_policy_allows_wild_guesses() {
     let g0 = s.random_lookup(0, ObjectId(2)).unwrap();
     let g1 = s.random_lookup(1, ObjectId(2)).unwrap();
     let g2 = s.random_lookup(2, ObjectId(2)).unwrap();
-    assert_eq!(
-        (g0.value(), g1.value(), g2.value()),
-        (0.1, 0.5, 0.95)
-    );
+    assert_eq!((g0.value(), g1.value(), g2.value()), (0.1, 0.5, 0.95));
     assert_eq!(s.stats().random_total(), 3);
     assert_eq!(s.stats().sorted_total(), 0);
 }

@@ -31,10 +31,7 @@ fn broadcast_scheduling_product_top_1() {
     assert!(oracle::is_valid_top_k(&db, &Product, 1, &out.objects()));
     // RxW: the winner's score is the product of its two fields.
     let row = db.row(out.items[0].object).unwrap();
-    assert_eq!(
-        out.items[0].grade.unwrap(),
-        Product.evaluate(&row)
-    );
+    assert_eq!(out.items[0].grade.unwrap(), Product.evaluate(&row));
 }
 
 #[test]

@@ -152,7 +152,10 @@ fn planted_winner_survives_sharding() {
     let cases: [(fagin_topk::workloads::Witness, &dyn Aggregation); 2] = [
         (fagin_topk::workloads::adversarial::example_6_3(25), &Min),
         // Figure 4's winner holds grades (1, 0): top under avg, not min.
-        (fagin_topk::workloads::adversarial::example_8_3(25), &Average),
+        (
+            fagin_topk::workloads::adversarial::example_8_3(25),
+            &Average,
+        ),
     ];
     for (w, agg) in cases {
         for shards in SHARD_COUNTS {
@@ -174,7 +177,9 @@ fn sharded_nra_and_ca_agree_with_ta() {
             .unwrap();
         assert_same_answer(&db, &Average, &plain, &nra, "sharded NRA");
 
-        let ca = Sharded::new(Ca::new(4), shards).run(&db, &Average, 6).unwrap();
+        let ca = Sharded::new(Ca::new(4), shards)
+            .run(&db, &Average, 6)
+            .unwrap();
         assert_same_answer(&db, &Average, &plain, &ca, "sharded CA");
     }
 }

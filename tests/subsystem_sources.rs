@@ -79,7 +79,9 @@ fn generator_sources_compute_grades_lazily() {
         }),
     );
     // Second list: same grades, reversed assignment.
-    let perm2: Vec<u32> = (0..n as u32).map(|i| (n as u32 - 1) - (i * 7) % n as u32).collect();
+    let perm2: Vec<u32> = (0..n as u32)
+        .map(|i| (n as u32 - 1) - (i * 7) % n as u32)
+        .collect();
     let lookup_perm2 = perm2.clone();
     let gen2 = GeneratorSource::new(
         n,
@@ -96,16 +98,14 @@ fn generator_sources_compute_grades_lazily() {
     let rank_of = |perm: &[u32], obj: u32| perm.iter().position(|&o| o == obj).unwrap();
     let score = |obj: u32| {
         let p1: Vec<u32> = (0..n as u32).map(|i| (i * 7) % n as u32).collect();
-        let p2: Vec<u32> = (0..n as u32).map(|i| (n as u32 - 1) - (i * 7) % n as u32).collect();
+        let p2: Vec<u32> = (0..n as u32)
+            .map(|i| (n as u32 - 1) - (i * 7) % n as u32)
+            .collect();
         1.0 / (rank_of(&p1, obj) + 1) as f64 + 1.0 / (rank_of(&p2, obj) + 1) as f64
     };
     let mut best: Vec<(u32, f64)> = (0..n as u32).map(|o| (o, score(o))).collect();
     best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    let got: Vec<f64> = out
-        .items
-        .iter()
-        .map(|i| i.grade.unwrap().value())
-        .collect();
+    let got: Vec<f64> = out.items.iter().map(|i| i.grade.unwrap().value()).collect();
     let want: Vec<f64> = best[..3].iter().map(|&(_, s)| s).collect();
     for (g, w) in got.iter().zip(&want) {
         assert!((g - w).abs() < 1e-12, "got {got:?} want {want:?}");
