@@ -1,40 +1,76 @@
 //! Experiment runner: regenerates every table/figure of the paper, plus
 //! the machine-readable perf trajectory `BENCH_topk.json` (algorithm ×
-//! workload → access counts and wall time).
+//! workload → access counts and wall time) and the wall-clock guardrail.
 //!
 //! ```text
 //! cargo run --release -p fagin-bench --bin experiments -- all
 //! cargo run --release -p fagin-bench --bin experiments -- e5 e6
 //! cargo run --release -p fagin-bench --bin experiments -- --quick all
 //! cargo run --release -p fagin-bench --bin experiments -- --no-json e7
+//! cargo run --release -p fagin-bench --bin experiments -- --assert-budget
 //! ```
+//!
+//! `--assert-budget[=MULT]` measures NRA(lazy) and CA(h=2) against TA on
+//! every workload shape at n = 10 000 and exits non-zero if any exceeds
+//! `MULT ×` TA's wall time (default 25×) — the CI smoke test that keeps
+//! bound-engine bookkeeping regressions out of the build. Given alone, it
+//! runs just the guardrail; combined with experiment ids it runs both.
 
 use fagin_bench::experiments::{by_id, ALL_IDS};
 use fagin_bench::{report, Scale};
+
+/// Default wall-time multiple: post-rewrite ratios sit under 10×, the
+/// pre-rewrite engine blew past 100×; 25× leaves room for CI noise while
+/// still catching any bookkeeping regression.
+const DEFAULT_BUDGET_MULTIPLE: f64 = 25.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let no_json = args.iter().any(|a| a == "--no-json");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
-    let ids: Vec<&str> = {
-        let named: Vec<&str> = args
-            .iter()
-            .filter(|a| !a.starts_with("--"))
-            .map(String::as_str)
-            .collect();
-        if named.is_empty() || named.contains(&"all") {
-            ALL_IDS.to_vec()
+    let budget: Option<f64> = args.iter().find_map(|a| {
+        if a == "--assert-budget" {
+            Some(DEFAULT_BUDGET_MULTIPLE)
         } else {
-            named
+            a.strip_prefix("--assert-budget=")
+                .map(|v| v.parse().expect("--assert-budget=MULT needs a number"))
         }
+    });
+    if let Some(unknown) = args.iter().find(|a| {
+        a.starts_with("--")
+            && *a != "--quick"
+            && *a != "--no-json"
+            && *a != "--assert-budget"
+            && !a.starts_with("--assert-budget=")
+    }) {
+        eprintln!("unknown flag: {unknown} (valid: --quick, --no-json, --assert-budget[=MULT])");
+        std::process::exit(2);
+    }
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let named: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    // `--assert-budget` alone runs only the guardrail; otherwise an empty
+    // id list means every experiment.
+    let ids: Vec<&str> = if named.is_empty() {
+        if budget.is_some() {
+            Vec::new()
+        } else {
+            ALL_IDS.to_vec()
+        }
+    } else if named.contains(&"all") {
+        ALL_IDS.to_vec()
+    } else {
+        named
     };
 
     println!("fagin-topk experiment harness ({:?} scale)", scale);
     println!("reproducing: Fagin, Lotem, Naor - Optimal Aggregation Algorithms for Middleware (PODS 2001)");
     println!();
     let mut failed = false;
-    for id in ids {
+    for id in &ids {
         match by_id(id, scale) {
             Some(tables) => {
                 for t in tables {
@@ -50,13 +86,30 @@ fn main() {
             }
         }
     }
-    if !no_json {
+    if !no_json && !ids.is_empty() {
         // The machine-readable companion to the tables above.
         const PATH: &str = "BENCH_topk.json";
         match report::write_json(PATH, scale) {
             Ok(records) => println!("wrote {PATH} ({} records)", records.len()),
             Err(e) => {
                 eprintln!("failed to write {PATH}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(multiple) = budget {
+        println!("wall-clock guardrail (limit: {multiple}x TA per workload)");
+        for row in report::wall_clock_guardrail(scale, multiple) {
+            println!(
+                "  {:14} {:10} {:9.3}ms vs TA {:9.3}ms -> {:6.1}x {}",
+                row.workload,
+                row.algorithm,
+                row.wall_secs * 1e3,
+                row.ta_secs * 1e3,
+                row.ratio,
+                if row.ok { "ok" } else { "OVER BUDGET" }
+            );
+            if !row.ok {
                 failed = true;
             }
         }

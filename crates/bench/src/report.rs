@@ -44,12 +44,7 @@ pub fn perf_matrix(scale: Scale) -> Vec<PerfRecord> {
     let n = scale.pick(2_000, 40_000);
     let m = 3;
     let k = 10;
-    let workloads: Vec<(&str, Database)> = vec![
-        ("uniform", random::uniform(n, m, 1)),
-        ("correlated", random::correlated(n, m, 0.2, 2)),
-        ("anticorrelated", random::anticorrelated(n, m, 0.1, 3)),
-        ("zipf", random::zipf(n, m, 1.1, 4)),
-    ];
+    let workloads = standard_workloads(n, m);
     let algorithms: Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> = vec![
         (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
         (
@@ -90,6 +85,18 @@ pub fn perf_matrix(scale: Scale) -> Vec<PerfRecord> {
         }
     }
     records
+}
+
+/// The standard four workload shapes (fixed seeds) that both the JSON perf
+/// matrix and the wall-clock guardrail measure — one definition so the two
+/// artifacts can never drift onto different grids.
+fn standard_workloads(n: usize, m: usize) -> Vec<(&'static str, Database)> {
+    vec![
+        ("uniform", random::uniform(n, m, 1)),
+        ("correlated", random::correlated(n, m, 0.2, 2)),
+        ("anticorrelated", random::anticorrelated(n, m, 0.1, 3)),
+        ("zipf", random::zipf(n, m, 1.1, 4)),
+    ]
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -133,6 +140,83 @@ pub fn write_json(path: &str, scale: Scale) -> std::io::Result<Vec<PerfRecord>> 
     let records = perf_matrix(scale);
     std::fs::write(path, to_json(&records))?;
     Ok(records)
+}
+
+/// One measured row of the wall-clock guardrail.
+#[derive(Clone, Debug)]
+pub struct BudgetRow {
+    /// Workload name.
+    pub workload: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// The algorithm's wall time (best of two runs), seconds.
+    pub wall_secs: f64,
+    /// TA's wall time on the same workload (best of two runs), seconds.
+    pub ta_secs: f64,
+    /// `wall_secs / max(ta_secs, noise floor)`.
+    pub ratio: f64,
+    /// Whether the row stays within the budget multiple.
+    pub ok: bool,
+}
+
+/// Timing noise floor: TA can finish in microseconds on easy workloads,
+/// where a ratio against its raw time would amplify scheduler jitter into
+/// spurious failures. Ratios are taken against at least this many seconds.
+const BUDGET_NOISE_FLOOR_SECS: f64 = 1e-3;
+
+/// Wall-clock guardrail (`experiments -- --assert-budget`): NRA(lazy) and
+/// CA(h=2) must finish within `multiple ×` TA's wall time on every
+/// workload shape. The bookkeeping layer is the only thing that separates
+/// their wall time from TA's at comparable access counts, so a blown
+/// multiple means an engine regression (pre-rewrite the uniform ratios
+/// were ≈150× and ≈580×; post-rewrite both sit under 10×).
+///
+/// Runs at n = 10 000 (`Scale::Full`) / 2 000 (`Scale::Quick`) — a smoke
+/// size chosen so CI pays a fraction of a second per row.
+pub fn wall_clock_guardrail(scale: Scale, multiple: f64) -> Vec<BudgetRow> {
+    let n = scale.pick(2_000, 10_000);
+    let m = 3;
+    let k = 10;
+    let workloads = standard_workloads(n, m);
+    let agg: &dyn Aggregation = &Min;
+
+    // Deterministic runs: best-of-two damps scheduler noise.
+    let time_best_of_two = |db: &Database, algo: &dyn TopKAlgorithm, policy: &AccessPolicy| {
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let mut session = Session::with_policy(db, policy.clone());
+            let started = Instant::now();
+            algo.run(&mut session, agg, k)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let mut rows = Vec::new();
+    for (workload, db) in &workloads {
+        let ta_secs = time_best_of_two(db, &Ta::new(), &AccessPolicy::no_wild_guesses());
+        let contenders: Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> = vec![
+            (
+                Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+                AccessPolicy::no_random_access(),
+            ),
+            (Box::new(Ca::new(2)), AccessPolicy::no_wild_guesses()),
+        ];
+        for (algo, policy) in &contenders {
+            let wall_secs = time_best_of_two(db, algo.as_ref(), policy);
+            let ratio = wall_secs / ta_secs.max(BUDGET_NOISE_FLOOR_SECS);
+            rows.push(BudgetRow {
+                workload: (*workload).to_string(),
+                algorithm: algo.name(),
+                wall_secs,
+                ta_secs,
+                ratio,
+                ok: ratio <= multiple,
+            });
+        }
+    }
+    rows
 }
 
 #[cfg(test)]

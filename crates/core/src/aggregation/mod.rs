@@ -101,6 +101,26 @@ pub trait Aggregation: Send + Sync {
         let _ = (i, m);
         None
     }
+
+    /// Optional *separable-bound* capability used by the incremental bound
+    /// engine to index CA's random-access targets (see `engine.rs`).
+    ///
+    /// When implemented, `bound_score(known)` must return a scalar over an
+    /// object's known field values such that for any two objects `R`, `R′`
+    /// with the **same missing-field set** and any bottoms vector,
+    /// `score(R) ≥ score(R′)` implies `B(R) ≥ B(R′)` — *exactly*, at the
+    /// floating-point level of [`Aggregation::evaluate`]. Rounding-free
+    /// folds (min, max) satisfy this with their own fold over the known
+    /// values; aggregations whose evaluation rounds (sum, avg, …) must
+    /// return `None`, because a score computed in a different operation
+    /// order could mis-rank bounds that are one ulp apart.
+    ///
+    /// Must be all-or-nothing: either every call returns `Some` or every
+    /// call returns `None` (the engine probes once at construction).
+    fn bound_score(&self, known: &[Grade]) -> Option<Grade> {
+        let _ = known;
+        None
+    }
 }
 
 /// Evaluates `t` substituting `fill` for arguments not marked known.

@@ -31,6 +31,16 @@ impl Aggregation for Min {
     fn is_strictly_monotone(&self) -> bool {
         true
     }
+
+    fn bound_score(&self, known: &[Grade]) -> Option<Grade> {
+        // B = min(known ∪ bottoms) = min(min(known), min(bottoms)):
+        // exact (min never rounds), so the separable-bound contract holds.
+        known
+            .iter()
+            .copied()
+            .reduce(Grade::min)
+            .or(Some(Grade::ONE))
+    }
 }
 
 /// Fuzzy disjunction: `t(x̄) = max(x₁,…,x_m)`.
@@ -54,6 +64,15 @@ impl Aggregation for Max {
 
     fn is_strictly_monotone(&self) -> bool {
         true
+    }
+
+    fn bound_score(&self, known: &[Grade]) -> Option<Grade> {
+        // B = max(known ∪ bottoms): exact for the same reason as Min.
+        known
+            .iter()
+            .copied()
+            .reduce(Grade::max)
+            .or(Some(Grade::ZERO))
     }
 }
 

@@ -98,7 +98,7 @@ impl TopKAlgorithm for Ca {
         let m = mw.num_lists();
         let n = mw.num_objects();
         let b = self.batch.size();
-        let mut engine = BoundEngine::new(agg, m, k, self.strategy);
+        let mut engine = BoundEngine::new(agg, m, k, self.strategy).tracking_incomplete();
         let mut exhausted = vec![false; m];
         let mut batch_buf: Vec<Entry> = Vec::with_capacity(b);
         let mut rounds = 0u64;
@@ -147,6 +147,7 @@ impl TopKAlgorithm for Ca {
         metrics.rounds = rounds;
         metrics.peak_buffer = engine.peak_candidates;
         metrics.bound_recomputations = engine.bound_recomputations;
+        metrics.evicted = engine.take_evictions();
         metrics.random_access_phases = ra_phases;
         metrics.final_threshold = Some(engine.threshold());
         Ok(TopKOutput {

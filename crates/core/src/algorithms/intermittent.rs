@@ -57,7 +57,11 @@ impl TopKAlgorithm for Intermittent {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
         let n = mw.num_objects();
-        let mut engine = BoundEngine::new(agg, m, k, self.strategy);
+        // No eviction: the intermittent strawman resolves queued objects in
+        // TA's sighting order regardless of viability, so it must remember
+        // every candidate's resolved fields to keep its (deliberately
+        // wasteful) access sequence intact.
+        let mut engine = BoundEngine::new(agg, m, k, self.strategy).without_eviction();
         let mut pending: SightingQueue = SightingQueue::new();
         let mut exhausted = vec![false; m];
         let mut rounds = 0u64;

@@ -243,6 +243,10 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
             metrics.peak_buffer += out.metrics.peak_buffer;
             metrics.random_access_phases += out.metrics.random_access_phases;
             metrics.bound_recomputations += out.metrics.bound_recomputations;
+            // Shard-local eviction logs are reported in global id space.
+            metrics
+                .evicted
+                .extend(out.metrics.evicted.iter().map(|&o| shard.to_global(o)));
             metrics.approximation_guarantee = metrics
                 .approximation_guarantee
                 .max(out.metrics.approximation_guarantee);

@@ -152,6 +152,24 @@ impl PartialObject {
         (0..self.fields.len()).filter(|&i| !self.knows(i))
     }
 
+    /// Bitmask of missing fields (bit `i` set ⟺ field `i` unknown).
+    ///
+    /// Objects with equal masks have their `B` bounds built from the same
+    /// bottoms restriction — the grouping key of the bound engine's
+    /// separable-bound index.
+    #[inline]
+    pub fn missing_mask(&self) -> u64 {
+        if self.fields.is_empty() {
+            return 0;
+        }
+        !self.known & (u64::MAX >> (64 - self.fields.len()))
+    }
+
+    /// Appends the known field values to `out`, in list order.
+    pub fn known_values(&self, out: &mut Vec<Grade>) {
+        out.extend((0..self.fields.len()).filter_map(|i| self.field(i)));
+    }
+
     /// `W_S(R)`: evaluate `t` with 0 substituted for missing fields.
     pub fn w(&self, agg: &dyn Aggregation, scratch: &mut Vec<Grade>) -> Grade {
         if self.is_complete() {

@@ -37,7 +37,11 @@ pub struct RunMetrics {
     ///
     /// Theorem 4.2: TA's buffers are bounded (≤ `k` objects plus per-list
     /// bookkeeping) while FA's match buffer can grow with `N`; NRA's
-    /// candidate set can too (Remark 8.7).
+    /// candidate set can too (Remark 8.7). For NRA/CA this counts *live*
+    /// candidates: the bound engine permanently evicts objects whose upper
+    /// bound `B` has dropped strictly below `M_k` (they can never re-enter
+    /// the top `k`), so the peak tracks the viable working set rather than
+    /// every object ever seen.
     pub peak_buffer: usize,
     /// The threshold value `τ` when the algorithm halted, if it computes one.
     pub final_threshold: Option<Grade>,
@@ -47,9 +51,20 @@ pub struct RunMetrics {
     /// Number of candidates whose grade was fully resolved via random access
     /// (CA bookkeeping).
     pub random_access_phases: u64,
-    /// Number of times bound bookkeeping (`W`/`B`) values were recomputed;
-    /// proxy for the Remark 8.7 cost comparison between strategies.
+    /// Number of `W`/`B` aggregation evaluations the bound bookkeeping
+    /// performed: one per learned field (the `W` refresh), plus every lazy
+    /// refresh of a stale `B` upper bound during halting checks, selection
+    /// tie-breaks, and CA's random-access target choice. Under the
+    /// incremental engine this grows with the *accesses* (times a small
+    /// per-round constant), not quadratically with the candidate count as
+    /// the historical exhaustive strategy did (Remark 8.7).
     pub bound_recomputations: u64,
+    /// Objects the NRA/CA bound engine permanently evicted via the
+    /// viability rule (`B(R) < M_k` with `T_k` full ⇒ `R` can never enter
+    /// the top `k`), in eviction order. Ids can repeat when a dead object
+    /// is re-encountered under sorted access and re-evicted. Empty for
+    /// algorithms that do not evict.
+    pub evicted: Vec<ObjectId>,
 }
 
 impl RunMetrics {

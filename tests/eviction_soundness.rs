@@ -1,0 +1,164 @@
+//! Eviction soundness (ISSUE 3): the bound engine may permanently drop a
+//! candidate only when the viability rule proves it dead — `B(R) < M_k`
+//! with `T_k` full, which under monotone aggregation implies
+//! `t(R) ≤ B(R) < M_k ≤` every final answer grade. The engine logs every
+//! eviction in [`RunMetrics::evicted`]; these tests audit the log.
+
+use fagin_topk::prelude::*;
+use fagin_topk::workloads::random;
+use proptest::prelude::*;
+
+/// True grades, best first.
+fn true_grades_desc(db: &Database, agg: &dyn Aggregation) -> Vec<Grade> {
+    let mut grades: Vec<Grade> = db
+        .objects()
+        .map(|o| agg.evaluate(&db.row(o).unwrap()))
+        .collect();
+    grades.sort();
+    grades.reverse();
+    grades
+}
+
+fn assert_eviction_sound(
+    db: &Database,
+    agg: &dyn Aggregation,
+    k: usize,
+    out: &TopKOutput,
+    ctx: &str,
+) {
+    for item in &out.items {
+        assert!(
+            !out.metrics.evicted.contains(&item.object),
+            "{ctx}: evicted object {} is in the top-k",
+            item.object
+        );
+    }
+    // Every evicted object is strictly beaten by the k-th best true grade:
+    // t(R) ≤ B(R) < M_k at eviction time, and M_k never exceeds the k-th
+    // best true grade.
+    let grades = true_grades_desc(db, agg);
+    if let Some(&kth) = grades.get(k.min(grades.len()) - 1) {
+        for &object in &out.metrics.evicted {
+            let grade = agg.evaluate(&db.row(object).unwrap());
+            assert!(
+                grade < kth,
+                "{ctx}: evicted {object} grades {grade} ≥ k-th best {kth}"
+            );
+        }
+    }
+}
+
+/// Pre-rewrite `peak_buffer` values on the uniform n=40000, m=3, k=10, Min
+/// workload, captured from the recompute-everything engine at commit
+/// e69b7c3 (when NRA/CA retained every object ever seen). The incremental
+/// engine evicts dead candidates, so its peak must come in below these.
+const PRE_REWRITE_PEAK_NRA_LAZY: usize = 6938;
+const PRE_REWRITE_PEAK_CA_H2: usize = 6668;
+
+#[test]
+fn uniform_40k_eviction_regression() {
+    let db = random::uniform(40_000, 3, 1);
+
+    let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+    let nra = Nra::with_strategy(BookkeepingStrategy::LazyHeap)
+        .run(&mut s, &Min, 10)
+        .unwrap();
+    // The access sequence is pinned elsewhere; re-check the headline count
+    // here so a drift in the workload generator can't silently invalidate
+    // the peak comparison below.
+    assert_eq!(nra.stats.sorted_total(), 7431, "NRA(lazy) access drift");
+    assert!(
+        !nra.metrics.evicted.is_empty(),
+        "a deep uniform run must evict dead candidates"
+    );
+    assert!(
+        nra.metrics.peak_buffer < PRE_REWRITE_PEAK_NRA_LAZY,
+        "NRA(lazy) peak_buffer {} did not drop below the pre-rewrite {}",
+        nra.metrics.peak_buffer,
+        PRE_REWRITE_PEAK_NRA_LAZY
+    );
+    assert_eviction_sound(&db, &Min, 10, &nra, "NRA(lazy) uniform-40k");
+
+    let mut s = Session::new(&db);
+    let ca = Ca::new(2).run(&mut s, &Min, 10).unwrap();
+    assert_eq!(
+        (ca.stats.sorted_total(), ca.stats.random_total()),
+        (7116, 2229),
+        "CA(h=2) access drift"
+    );
+    assert!(!ca.metrics.evicted.is_empty());
+    assert!(
+        ca.metrics.peak_buffer < PRE_REWRITE_PEAK_CA_H2,
+        "CA(h=2) peak_buffer {} did not drop below the pre-rewrite {}",
+        ca.metrics.peak_buffer,
+        PRE_REWRITE_PEAK_CA_H2
+    );
+    assert_eviction_sound(&db, &Min, 10, &ca, "CA(h=2) uniform-40k");
+}
+
+#[test]
+fn intermittent_never_evicts() {
+    // The strawman resolves queued objects regardless of viability, so its
+    // engine must keep every candidate (see Intermittent's run loop).
+    let db = random::uniform(2_000, 3, 5);
+    for h in [1usize, 3] {
+        let mut s = Session::new(&db);
+        let out = Intermittent::new(h).run(&mut s, &Min, 5).unwrap();
+        assert!(
+            out.metrics.evicted.is_empty(),
+            "Intermittent(h={h}) evicted {} objects",
+            out.metrics.evicted.len()
+        );
+        assert!(oracle::is_valid_top_k(&db, &Min, 5, &out.objects()));
+    }
+}
+
+#[test]
+fn sharded_runs_report_evictions_in_global_ids() {
+    let db = random::uniform(4_000, 3, 11);
+    let out = Sharded::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap), 4)
+        .run_with_policy(&db, AccessPolicy::no_random_access(), &Min, 5)
+        .unwrap();
+    assert!(
+        !out.metrics.evicted.is_empty(),
+        "shards on a deep uniform run must evict"
+    );
+    for &object in &out.metrics.evicted {
+        assert!(
+            object.index() < db.num_objects(),
+            "eviction log leaked a shard-local id: {object}"
+        );
+        assert!(
+            !out.objects().contains(&object),
+            "evicted object {object} is in the merged top-k"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On arbitrary continuous workloads, every eviction NRA or CA performs
+    /// is provably sound: never in the answer, always strictly below the
+    /// k-th best true grade.
+    #[test]
+    fn evictions_are_sound_on_random_workloads(
+        m in 1usize..4,
+        n in 2usize..400,
+        k in 1usize..8,
+        h in 1usize..4,
+        batch in 1usize..20,
+        seed in 0u32..1000,
+    ) {
+        let db = random::uniform(n, m, seed as u64);
+        for agg in [&Min as &dyn Aggregation, &Sum] {
+            let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+            let out = Nra::new().batched(batch).run(&mut s, agg, k).unwrap();
+            assert_eviction_sound(&db, agg, k, &out, &format!("NRA {} seed={seed}", agg.name()));
+
+            let mut s = Session::new(&db);
+            let out = Ca::new(h).batched(batch).run(&mut s, agg, k).unwrap();
+            assert_eviction_sound(&db, agg, k, &out, &format!("CA {} seed={seed}", agg.name()));
+        }
+    }
+}
