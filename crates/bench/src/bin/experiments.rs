@@ -90,7 +90,7 @@ fn main() {
         // The machine-readable companion to the tables above.
         const PATH: &str = "BENCH_topk.json";
         match report::write_json(PATH, scale) {
-            Ok(records) => println!("wrote {PATH} ({} records)", records.len()),
+            Ok(count) => println!("wrote {PATH} ({count} records)"),
             Err(e) => {
                 eprintln!("failed to write {PATH}: {e}");
                 failed = true;

@@ -16,12 +16,14 @@
 //! | e12 | Remark 8.7 | [`tradeoffs::e12_bookkeeping_ablation`] |
 //! | e13 | Thm 6.4/9.3 | [`bounds::e13_randomized_family`] |
 //! | e14 | §10 Quick-Combine | [`heuristics::e14_heuristic_scheduling`] |
+//! | e15 | §1 middleware-as-a-service | [`serving::e15_service_throughput`] |
 
 pub mod approx;
 pub mod bounds;
 pub mod figures;
 pub mod heuristics;
 pub mod scaling;
+pub mod serving;
 pub mod tradeoffs;
 
 use crate::table::Table;
@@ -44,11 +46,12 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e12" => tradeoffs::e12_bookkeeping_ablation(scale),
         "e13" => bounds::e13_randomized_family(scale),
         "e14" => heuristics::e14_heuristic_scheduling(scale),
+        "e15" => serving::e15_service_throughput(scale),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];

@@ -1,0 +1,157 @@
+//! E15: service throughput under a mixed query stream.
+//!
+//! The paper frames its algorithms as *middleware* fielding many
+//! aggregation queries over shared subsystems; this experiment measures
+//! that serving shape. A fixed mixed stream (varying `k`, aggregation and
+//! access policy, with the repeats real traffic exhibits) is pushed
+//! through [`TopKService`] at 1/2/4/8 workers, with and without the
+//! threshold-aware result cache, and we record throughput, cache hit rate
+//! and total middleware accesses. The cache's effect is architectural, not
+//! statistical: repeats and smaller-`k` queries stop touching the
+//! middleware at all.
+
+use std::sync::Arc;
+
+use fagin_core::oracle;
+use fagin_middleware::{AccessPolicy, BatchConfig, CostModel, Database};
+use fagin_serve::{AggSpec, QueryRequest, ServiceConfig, TopKService};
+
+use crate::table::{f, Table};
+use crate::Scale;
+
+/// The standard mixed query stream: `len` queries cycling through shapes
+/// that vary aggregation, `k`, policy, batch and cost model — including
+/// smaller-`k` and exact repeats of earlier shapes, which is what makes a
+/// result cache earn its keep on real traffic.
+pub fn mixed_stream(len: usize) -> Vec<QueryRequest> {
+    let nra = |k| {
+        QueryRequest::new(AggSpec::Min, k)
+            .with_policy(AccessPolicy::no_random_access())
+            .require_grades(false)
+    };
+    let shapes: Vec<QueryRequest> = vec![
+        QueryRequest::new(AggSpec::Min, 25),
+        QueryRequest::new(AggSpec::Min, 5), // prefix of the 25 above
+        QueryRequest::new(AggSpec::Average, 10),
+        QueryRequest::new(AggSpec::Average, 3), // prefix of the 10 above
+        QueryRequest::new(AggSpec::Sum, 12),
+        nra(10),
+        nra(10), // exact-k repeat: hits even though NRA answers lack grades
+        QueryRequest::new(AggSpec::Sum, 4),
+        // Expensive random access: the planner may switch algorithms here.
+        QueryRequest::new(AggSpec::Min, 50).with_costs(CostModel::new(1.0, 10.0)),
+        QueryRequest::new(AggSpec::Average, 8).with_batch(BatchConfig::new(16)),
+    ];
+    (0..len).map(|i| shapes[i % shapes.len()].clone()).collect()
+}
+
+/// One measured service configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceRun {
+    /// Worker threads.
+    pub workers: usize,
+    /// Whether the result cache was enabled.
+    pub cache: bool,
+    /// Queries answered.
+    pub answered: usize,
+    /// Wall-clock seconds for the whole stream.
+    pub wall_secs: f64,
+    /// Answered queries per second.
+    pub qps: f64,
+    /// Cache hit rate over completed queries.
+    pub hit_rate: f64,
+    /// Total sorted accesses across the stream.
+    pub sorted: u64,
+    /// Total random accesses across the stream.
+    pub random: u64,
+}
+
+/// Pushes `stream` through a fresh service and measures it. `validate`
+/// additionally checks every answer against the subsystem-side oracle.
+pub fn run_service_config(
+    db: &Arc<Database>,
+    stream: &[QueryRequest],
+    workers: usize,
+    cache: bool,
+    validate: bool,
+) -> ServiceRun {
+    let mut config = ServiceConfig::default().with_workers(workers);
+    if !cache {
+        config = config.without_cache();
+    }
+    let service = TopKService::new(Arc::clone(db), config);
+    let started = std::time::Instant::now();
+    let tickets: Vec<_> = stream
+        .iter()
+        .map(|req| service.submit(req.clone()).expect("queue cap not reached"))
+        .collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("mixed stream queries cannot fail"))
+        .collect();
+    let wall_secs = started.elapsed().as_secs_f64();
+    if validate {
+        for (req, resp) in stream.iter().zip(&responses) {
+            assert!(
+                oracle::is_valid_top_k(db.as_ref(), req.agg.instance(), req.k, &resp.objects()),
+                "{} answered top-{} wrong (source {:?})",
+                resp.algorithm,
+                req.k,
+                resp.source
+            );
+        }
+    }
+    let metrics = service.metrics();
+    let (sorted, random) = responses.iter().fold((0u64, 0u64), |(s, r), resp| {
+        (s + resp.stats.sorted_total(), r + resp.stats.random_total())
+    });
+    ServiceRun {
+        workers,
+        cache,
+        answered: responses.len(),
+        wall_secs,
+        qps: responses.len() as f64 / wall_secs.max(1e-9),
+        hit_rate: metrics.cache_hit_rate,
+        sorted,
+        random,
+    }
+}
+
+/// **E15 (service).** Mixed-stream throughput at 1/2/4/8 workers, cache on
+/// vs off. Every answer in the validated configuration is checked against
+/// `oracle::true_top_k`. The measurement itself lives in
+/// [`report::service_matrix`](crate::report::service_matrix) (memoized),
+/// so this table and the `BENCH_topk.json` rows always report the *same*
+/// runs.
+pub fn e15_service_throughput(scale: Scale) -> Vec<Table> {
+    let records = crate::report::service_matrix(scale);
+    let (n, queries) = records.first().map_or((0, 0), |r| (r.n, r.queries));
+    let mut t = Table::new(format!(
+        "E15: TopKService mixed-stream throughput (N={n}, m=3, {queries} queries)"
+    ))
+    .headers([
+        "workers",
+        "cache",
+        "wall ms",
+        "queries/s",
+        "hit rate",
+        "sorted",
+        "random",
+    ]);
+    for r in &records {
+        t.row([
+            r.workers.to_string(),
+            if r.cache { "on" } else { "off" }.to_string(),
+            f(r.wall_secs * 1e3),
+            f(r.qps),
+            format!("{:.1}%", r.cache_hit_rate * 100.0),
+            r.sorted.to_string(),
+            r.random.to_string(),
+        ]);
+    }
+    t.note(
+        "cache hits serve certified prefixes with zero middleware accesses; \
+         wall-clock scaling with workers needs real cores",
+    );
+    vec![t]
+}

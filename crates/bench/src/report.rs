@@ -99,6 +99,84 @@ fn standard_workloads(n: usize, m: usize) -> Vec<(&'static str, Database)> {
     ]
 }
 
+/// One measured service configuration of the mixed-stream serving bench
+/// (see `experiments::serving`): queries/sec and cache hit rate at a given
+/// worker count, recorded alongside the per-algorithm grid so the serving
+/// layer's trajectory is diffable across commits too.
+#[derive(Clone, Debug)]
+pub struct ServicePerfRecord {
+    /// Worker threads.
+    pub workers: usize,
+    /// Whether the result cache was enabled.
+    pub cache: bool,
+    /// Objects in the database.
+    pub n: usize,
+    /// Lists in the database.
+    pub m: usize,
+    /// Queries in the stream.
+    pub queries: usize,
+    /// Answered queries per second.
+    pub qps: f64,
+    /// Cache hit rate over completed queries.
+    pub cache_hit_rate: f64,
+    /// Total sorted accesses across the stream.
+    pub sorted: u64,
+    /// Total random accesses across the stream.
+    pub random: u64,
+    /// Wall-clock seconds for the whole stream.
+    pub wall_secs: f64,
+}
+
+/// Runs the mixed-stream serving grid: 1/2/4/8 workers × cache on/off.
+///
+/// Measured **once per process per scale** (memoized): the E15 table and
+/// the `BENCH_topk.json` rows must come from the same runs, not from two
+/// back-to-back measurements that disagree on wall-clock numbers — and
+/// `experiments all` must not pay for the grid twice. The first (cheapest)
+/// configuration validates every answer against the oracle.
+pub fn service_matrix(scale: Scale) -> Vec<ServicePerfRecord> {
+    use std::sync::{Mutex, OnceLock};
+    type Memo = Mutex<Vec<(Scale, Vec<ServicePerfRecord>)>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(Vec::new()));
+    let mut memo = memo.lock().expect("service matrix memo");
+    if let Some((_, records)) = memo.iter().find(|(s, _)| *s == scale) {
+        return records.clone();
+    }
+    let records = measure_service_matrix(scale);
+    memo.push((scale, records.clone()));
+    records
+}
+
+fn measure_service_matrix(scale: Scale) -> Vec<ServicePerfRecord> {
+    use crate::experiments::serving::{mixed_stream, run_service_config};
+    let n = scale.pick(2_000, 40_000);
+    let m = 3;
+    let db = std::sync::Arc::new(random::uniform(n, m, 0xE15));
+    let stream = mixed_stream(scale.pick(40, 200));
+    let mut records = Vec::new();
+    let mut validated = false;
+    for cache in [false, true] {
+        for workers in [1usize, 2, 4, 8] {
+            let run = run_service_config(&db, &stream, workers, cache, !validated);
+            validated = true;
+            records.push(ServicePerfRecord {
+                workers,
+                cache,
+                n,
+                m,
+                queries: run.answered,
+                qps: run.qps,
+                cache_hit_rate: run.hit_rate,
+                sorted: run.sorted,
+                random: run.random,
+                wall_secs: run.wall_secs,
+            });
+        }
+    }
+    records
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -113,10 +191,16 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Renders the records as a pretty-printed JSON array of objects.
-pub fn to_json(records: &[PerfRecord]) -> String {
+/// Renders the algorithm grid and the service grid as one pretty-printed
+/// JSON array: algorithm rows first (unchanged shape, so tooling diffs
+/// keep working), then service rows carrying `queries`, `qps` and
+/// `cache_hit_rate` instead of `k`.
+pub fn to_json(records: &[PerfRecord], service: &[ServicePerfRecord]) -> String {
     let mut s = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
+    let total = records.len() + service.len();
+    let mut written = 0usize;
+    for r in records {
+        written += 1;
         s.push_str(&format!(
             "  {{\"algorithm\": \"{}\", \"workload\": \"{}\", \"n\": {}, \"m\": {}, \
              \"k\": {}, \"sorted\": {}, \"random\": {}, \"wall_secs\": {:.6}}}{}\n",
@@ -128,18 +212,40 @@ pub fn to_json(records: &[PerfRecord]) -> String {
             r.sorted,
             r.random,
             r.wall_secs,
-            if i + 1 < records.len() { "," } else { "" }
+            if written < total { "," } else { "" }
+        ));
+    }
+    for r in service {
+        written += 1;
+        s.push_str(&format!(
+            "  {{\"algorithm\": \"TopKService[w={}]\", \"workload\": \"mixed-stream({})\", \
+             \"n\": {}, \"m\": {}, \"queries\": {}, \"qps\": {:.2}, \
+             \"cache_hit_rate\": {:.4}, \"sorted\": {}, \"random\": {}, \
+             \"wall_secs\": {:.6}}}{}\n",
+            r.workers,
+            if r.cache { "cache" } else { "no-cache" },
+            r.n,
+            r.m,
+            r.queries,
+            r.qps,
+            r.cache_hit_rate,
+            r.sorted,
+            r.random,
+            r.wall_secs,
+            if written < total { "," } else { "" }
         ));
     }
     s.push_str("]\n");
     s
 }
 
-/// Runs the grid and writes `path` (conventionally `BENCH_topk.json`).
-pub fn write_json(path: &str, scale: Scale) -> std::io::Result<Vec<PerfRecord>> {
+/// Runs both grids and writes `path` (conventionally `BENCH_topk.json`);
+/// returns how many records were written.
+pub fn write_json(path: &str, scale: Scale) -> std::io::Result<usize> {
     let records = perf_matrix(scale);
-    std::fs::write(path, to_json(&records))?;
-    Ok(records)
+    let service = service_matrix(scale);
+    std::fs::write(path, to_json(&records, &service))?;
+    Ok(records.len() + service.len())
 }
 
 /// One measured row of the wall-clock guardrail.
@@ -260,7 +366,7 @@ mod tests {
                 wall_secs: 0.002,
             },
         ];
-        let json = to_json(&records);
+        let json = to_json(&records, &[]);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"));
         assert_eq!(json.matches('{').count(), 2);
         assert_eq!(json.matches('}').count(), 2);
@@ -268,5 +374,43 @@ mod tests {
         assert!(json.contains("\"sorted\": 9"));
         // Exactly one separating comma between the two objects.
         assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn service_rows_join_the_same_array() {
+        let perf = vec![PerfRecord {
+            algorithm: "TA".into(),
+            workload: "uniform".into(),
+            n: 10,
+            m: 2,
+            k: 1,
+            sorted: 5,
+            random: 4,
+            wall_secs: 0.001,
+        }];
+        let service = vec![ServicePerfRecord {
+            workers: 4,
+            cache: true,
+            n: 10,
+            m: 2,
+            queries: 40,
+            qps: 1234.5,
+            cache_hit_rate: 0.625,
+            sorted: 100,
+            random: 50,
+            wall_secs: 0.032,
+        }];
+        let json = to_json(&perf, &service);
+        assert_eq!(json.matches('{').count(), 2);
+        // The bridge comma between the grids exists exactly once.
+        assert_eq!(json.matches("},").count(), 1);
+        assert!(json.contains("\"algorithm\": \"TopKService[w=4]\""));
+        assert!(json.contains("\"workload\": \"mixed-stream(cache)\""));
+        assert!(json.contains("\"qps\": 1234.50"));
+        assert!(json.contains("\"cache_hit_rate\": 0.6250"));
+        // Service-only output still closes the array correctly.
+        let json = to_json(&[], &service);
+        assert!(json.ends_with("}\n]\n"));
+        assert_eq!(json.matches("},").count(), 0);
     }
 }

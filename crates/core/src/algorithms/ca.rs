@@ -277,94 +277,3 @@ mod tests {
         assert_eq!(Ca::new(2).batched(8).name(), "CA(h=2)[b=8]");
     }
 }
-
-#[cfg(test)]
-mod review_scratch_tests {
-    use super::*;
-    use crate::aggregation::{Average, Min, Sum};
-    use crate::algorithms::BoundEngine;
-    use fagin_middleware::{AccessPolicy, Database, Entry, Session};
-    use crate::workloads_hook::*;
-
-    // Replicates Ca::run (batch=1) with eviction disabled — semantically the
-    // pre-rewrite full-memory engine — and returns (sorted, random) counts.
-    fn run_ca_no_evict(
-        db: &Database,
-        agg: &dyn Aggregation,
-        k: usize,
-        h: usize,
-    ) -> (u64, u64) {
-        let mut mw = Session::with_policy(db, AccessPolicy::no_wild_guesses());
-        let m = mw.num_lists();
-        let n = mw.num_objects();
-        let mut engine = BoundEngine::new(agg, m, k, BookkeepingStrategy::Exhaustive)
-            .tracking_incomplete()
-            .without_eviction();
-        let mut exhausted = vec![false; m];
-        let mut batch_buf: Vec<Entry> = Vec::with_capacity(1);
-        let mut rounds = 0u64;
-        loop {
-            rounds += 1;
-            for (i, done) in exhausted.iter_mut().enumerate() {
-                if *done {
-                    continue;
-                }
-                batch_buf.clear();
-                if mw.sorted_next_batch(i, 1, &mut batch_buf).unwrap() == 0 {
-                    *done = true;
-                    continue;
-                }
-                engine.observe_sorted_batch(i, &batch_buf);
-            }
-            let mut sel = engine.selection();
-            if rounds.is_multiple_of(h as u64) {
-                if let Some(object) = engine.best_viable_incomplete(&sel) {
-                    for list in engine.missing_fields(object) {
-                        let g = mw.random_lookup(list, object).unwrap();
-                        engine.learn_random(object, list, g);
-                    }
-                    sel = engine.selection();
-                }
-            }
-            if engine.check_halt(&sel, n) {
-                break;
-            }
-            if exhausted.iter().all(|&e| e) {
-                break;
-            }
-        }
-        let stats = mw.stats().clone();
-        (stats.sorted_total(), stats.random_total())
-    }
-
-    #[test]
-    fn review_eviction_access_equivalence() {
-        let mut diverged = Vec::new();
-        for seed in 0..6u64 {
-            for n in [200usize, 800] {
-                let db = uniform(n, 3, seed);
-                for h in [1usize, 2, 3] {
-                    for k in [1usize, 5, 10] {
-                        for (an, agg) in [
-                            ("min", &Min as &dyn Aggregation),
-                            ("sum", &Sum as &dyn Aggregation),
-                            ("avg", &Average as &dyn Aggregation),
-                        ] {
-                            let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses());
-                            let out = Ca::new(h).run(&mut s, agg, k).unwrap();
-                            let evicting =
-                                (out.stats.sorted_total(), out.stats.random_total());
-                            let full = run_ca_no_evict(&db, agg, k, h);
-                            if evicting != full {
-                                diverged.push(format!(
-                                    "seed={seed} n={n} h={h} k={k} agg={an}: evicting {evicting:?} vs full {full:?}"
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        assert!(diverged.is_empty(), "{}", diverged.join("\n"));
-    }
-}

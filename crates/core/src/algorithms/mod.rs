@@ -38,7 +38,7 @@ pub use naive::Naive;
 pub use quick_combine::QuickCombine;
 pub use sharded::Sharded;
 pub use stream_combine::StreamCombine;
-pub use ta::{Ta, TaStepper, TaView};
+pub use ta::{Ta, TaStepper, TaView, WarmStart};
 
 use fagin_middleware::Middleware;
 

@@ -24,6 +24,52 @@ use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
 
 use super::{validate, TopKAlgorithm};
 
+/// Certified `(object, overall grade)` pairs used to seed a TA-family run.
+///
+/// A warm start injects previously certified answers — typically a cached
+/// exact top-`K` for the same database and aggregation — into TA's buffer
+/// before the first sorted access. Seeded objects need no random-access
+/// resolution when they reappear under sorted access, and the pre-filled
+/// buffer lets the stopping rule fire at a shallower depth, so a warm run
+/// spends strictly fewer middleware accesses on the work the seeds already
+/// paid for.
+///
+/// **Soundness contract:** every seeded grade must be the object's *exact*
+/// overall grade `t(R)` under the same aggregation the run uses. TA's
+/// halting argument only needs buffered grades to be true grades — where
+/// they came from is irrelevant — so seeding preserves exactness (and
+/// θ-approximation guarantees) as long as the seeds themselves are exact.
+/// Seeding with stale or approximate grades silently produces wrong
+/// answers.
+#[derive(Clone, Debug, Default)]
+pub struct WarmStart {
+    seeds: Vec<(ObjectId, Grade)>,
+}
+
+impl WarmStart {
+    /// A warm start from certified `(object, overall grade)` pairs.
+    pub fn new(seeds: impl IntoIterator<Item = (ObjectId, Grade)>) -> Self {
+        WarmStart {
+            seeds: seeds.into_iter().collect(),
+        }
+    }
+
+    /// The seed pairs.
+    pub fn seeds(&self) -> &[(ObjectId, Grade)] {
+        &self.seeds
+    }
+
+    /// Number of seeded objects.
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether no seeds are present.
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+}
+
 /// The Threshold Algorithm and its TAθ / TA_Z variants.
 #[derive(Clone, Debug)]
 pub struct Ta {
@@ -31,6 +77,7 @@ pub struct Ta {
     memoize: bool,
     z: Option<BTreeSet<usize>>,
     batch: BatchConfig,
+    warm: Option<WarmStart>,
 }
 
 impl Default for Ta {
@@ -48,6 +95,7 @@ impl Ta {
             memoize: false,
             z: None,
             batch: BatchConfig::scalar(),
+            warm: None,
         }
     }
 
@@ -113,6 +161,14 @@ impl Ta {
         self.with_batch(BatchConfig::new(size))
     }
 
+    /// Seeds the run with certified `(object, overall grade)` pairs (see
+    /// [`WarmStart`] for the soundness contract). Empty warm starts are
+    /// discarded.
+    pub fn with_warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm = (!warm.is_empty()).then_some(warm);
+        self
+    }
+
     /// The active batch configuration.
     pub fn batch(&self) -> BatchConfig {
         self.batch
@@ -147,14 +203,28 @@ impl Ta {
             Some(z) => z.iter().copied().collect(),
         };
         let b = self.batch.size();
+        // Warm starts prefill the buffer and a grade memo: seeded objects
+        // re-seen under sorted access are answered without random probes,
+        // and the stopping rule can fire at a shallower depth. The memo is
+        // forced on (even without `memoized()`) because it is the channel
+        // through which seeds skip resolution.
+        let mut memo = (self.memoize || self.warm.is_some()).then(HashMap::new);
+        let mut buffer = TopKBuffer::new(k);
+        if let Some(warm) = &self.warm {
+            let memo = memo.as_mut().expect("memo forced on by warm start");
+            for &(object, grade) in warm.seeds() {
+                memo.insert(object, grade);
+                buffer.offer(object, grade);
+            }
+        }
         Ok(TaStepper {
             mw,
             agg,
             k,
             theta: self.theta,
             batch: self.batch,
-            memo: self.memoize.then(HashMap::new),
-            buffer: TopKBuffer::new(k),
+            memo,
+            buffer,
             bottoms: Bottoms::new(m),
             exhausted: vec![false; active.len()],
             active,
@@ -180,10 +250,14 @@ impl TopKAlgorithm for Ta {
             _ if self.memoize => "TA(memo)".to_string(),
             _ => "TA".to_string(),
         };
-        if self.batch.is_scalar() {
+        let base = if self.batch.is_scalar() {
             base
         } else {
             format!("{base}[b={}]", self.batch.size())
+        };
+        match &self.warm {
+            Some(w) => format!("{base}+warm({})", w.len()),
+            None => base,
         }
     }
 
@@ -688,6 +762,88 @@ mod tests {
             .run(&mut s, &Min, 2)
             .unwrap();
         assert!(oracle::is_valid_top_k(&db, &Min, 2, &out.objects()));
+    }
+
+    #[test]
+    fn warm_start_preserves_answers_and_never_costs_more() {
+        // A larger pseudo-random database so halting depths are nontrivial.
+        let n = 400;
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|i| {
+                (0..n)
+                    .map(|j| (((j * 7919 + i * 104729) % 9973) as f64) / 9973.0)
+                    .collect()
+            })
+            .collect();
+        let db = Database::from_f64_columns(&cols).unwrap();
+        for (small_k, big_k) in [(1usize, 5usize), (5, 20), (10, 11)] {
+            let mut s = Session::new(&db);
+            let certified = Ta::new().run(&mut s, &Average, small_k).unwrap();
+            let seeds = certified.items.iter().map(|i| (i.object, i.grade.unwrap()));
+            let mut cold_s = Session::new(&db);
+            let cold = Ta::new().run(&mut cold_s, &Average, big_k).unwrap();
+            let mut warm_s = Session::new(&db);
+            let warm = Ta::new()
+                .with_warm_start(WarmStart::new(seeds))
+                .run(&mut warm_s, &Average, big_k)
+                .unwrap();
+            assert!(
+                oracle::is_valid_top_k(&db, &Average, big_k, &warm.objects()),
+                "k={small_k}->{big_k}"
+            );
+            assert_eq!(warm.objects(), cold.objects(), "k={small_k}->{big_k}");
+            assert!(
+                warm.stats.random_total() <= cold.stats.random_total(),
+                "k={small_k}->{big_k}: warm {} vs cold {} random accesses",
+                warm.stats.random_total(),
+                cold.stats.random_total()
+            );
+            assert!(warm.stats.sorted_total() <= cold.stats.sorted_total());
+        }
+    }
+
+    #[test]
+    fn warm_start_name_and_empty_seeds() {
+        let seeds = WarmStart::new([(ObjectId(0), Grade::new(0.5))]);
+        assert_eq!(seeds.len(), 1);
+        assert!(!seeds.is_empty());
+        assert_eq!(seeds.seeds()[0].0, ObjectId(0));
+        assert_eq!(
+            Ta::new().with_warm_start(seeds).name(),
+            "TA+warm(1)",
+            "warm runs advertise their seed count"
+        );
+        // Empty warm starts are dropped entirely.
+        assert_eq!(Ta::new().with_warm_start(WarmStart::default()).name(), "TA");
+    }
+
+    #[test]
+    fn warm_start_composes_with_variants() {
+        let db = db();
+        let mut s = Session::new(&db);
+        let certified = Ta::new().run(&mut s, &Min, 1).unwrap();
+        let warm = WarmStart::new(certified.items.iter().map(|i| (i.object, i.grade.unwrap())));
+        // Batched + restricted + warm still answers exactly.
+        let mut s = Session::with_policy(&db, AccessPolicy::sorted_only_on([0, 2]));
+        let out = Ta::restricted([0, 2])
+            .batched(2)
+            .with_warm_start(warm.clone())
+            .run(&mut s, &Min, 3)
+            .unwrap();
+        assert!(oracle::is_valid_top_k(&db, &Min, 3, &out.objects()));
+        // θ runs stay valid θ-approximations under seeding.
+        let mut s = Session::new(&db);
+        let out = Ta::theta(1.5)
+            .with_warm_start(warm)
+            .run(&mut s, &Min, 2)
+            .unwrap();
+        assert!(oracle::is_valid_theta_approximation(
+            &db,
+            &Min,
+            2,
+            1.5,
+            &out.objects()
+        ));
     }
 
     #[test]

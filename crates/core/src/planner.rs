@@ -15,7 +15,9 @@ use std::collections::BTreeSet;
 use fagin_middleware::{BatchConfig, CostModel, Middleware};
 
 use crate::aggregation::Aggregation;
-use crate::algorithms::{BookkeepingStrategy, Ca, MaxTopK, Nra, StreamCombine, Ta, TopKAlgorithm};
+use crate::algorithms::{
+    BookkeepingStrategy, Ca, MaxTopK, Nra, StreamCombine, Ta, TopKAlgorithm, WarmStart,
+};
 use crate::optimality;
 use crate::output::{AlgoError, TopKOutput};
 
@@ -164,6 +166,24 @@ impl Planner {
         costs: &CostModel,
         batch: BatchConfig,
     ) -> Result<Plan, PlanError> {
+        self.plan_query(caps, agg, k, costs, batch, None)
+    }
+
+    /// Like [`Planner::plan_with_batch`], with an optional [`WarmStart`] of
+    /// certified `(object, overall grade)` seeds — typically a cached exact
+    /// top-`K` for the same database and aggregation, reused for a `k > K`
+    /// query. TA-family choices (TA, TA_Z) consume the seeds; choices whose
+    /// bookkeeping has no seeding channel (NRA, CA, the max specialist,
+    /// Stream-Combine) ignore them and say so in the rationale.
+    pub fn plan_query(
+        &self,
+        caps: &Capabilities,
+        agg: &dyn Aggregation,
+        k: usize,
+        costs: &CostModel,
+        batch: BatchConfig,
+        warm: Option<WarmStart>,
+    ) -> Result<Plan, PlanError> {
         let m = caps.num_lists;
         let mut why = Vec::new();
 
@@ -173,6 +193,14 @@ impl Planner {
         if !caps.all_sorted() && !caps.random_access {
             return Err(PlanError::UnreachableGrades);
         }
+        let warm_note = |why: &mut Vec<String>, warm: &Option<WarmStart>, algo: &str| {
+            if let Some(w) = warm {
+                why.push(format!(
+                    "warm start of {} seeds ignored: {algo} has no seeding channel",
+                    w.len()
+                ));
+            }
+        };
 
         // §7: restricted sorted access forces TA_Z.
         if !caps.all_sorted() {
@@ -180,10 +208,13 @@ impl Planner {
             why.push(format!(
                 "only {m_prime}/{m} lists support sorted access: TA_Z over Z (§7)"
             ));
+            let mut ta = Ta::restricted(caps.sorted_lists.iter().copied()).with_batch(batch);
+            if let Some(w) = warm {
+                why.push(format!("warm start: {} certified seeds", w.len()));
+                ta = ta.with_warm_start(w);
+            }
             return Ok(Plan {
-                algorithm: Box::new(
-                    Ta::restricted(caps.sorted_lists.iter().copied()).with_batch(batch),
-                ),
+                algorithm: Box::new(ta),
                 guarantee: Guarantee::InstanceOptimal {
                     ratio_bound: optimality::ta_z_ratio_bound(m_prime, m, costs),
                     class: "correct algorithms with sorted access on Z, no wild guesses (Thm 7.1)",
@@ -206,6 +237,7 @@ impl Planner {
                         batch.size()
                     ));
                 }
+                warm_note(&mut why, &warm, "Stream-Combine");
                 return Ok(Plan {
                     algorithm: Box::new(StreamCombine::default()),
                     guarantee: Guarantee::CorrectOnly,
@@ -213,6 +245,7 @@ impl Planner {
                 });
             }
             why.push("no random access: NRA (§8.1)".to_string());
+            warm_note(&mut why, &warm, "NRA");
             return Ok(Plan {
                 algorithm: Box::new(
                     Nra::with_strategy(BookkeepingStrategy::LazyHeap).with_batch(batch),
@@ -234,6 +267,7 @@ impl Planner {
                     batch.size()
                 ));
             }
+            warm_note(&mut why, &warm, "the max specialist");
             return Ok(Plan {
                 algorithm: Box::new(MaxTopK),
                 guarantee: Guarantee::InstanceOptimal {
@@ -258,6 +292,7 @@ impl Planner {
                 "c_R/c_S = {:.1} makes TA's ratio {ta_bound:.1} exceed CA's {ca_bound:.1}: CA (§8.2)",
                 costs.ratio()
             ));
+            warm_note(&mut why, &warm, "CA");
             return Ok(Plan {
                 algorithm: Box::new(
                     Ca::for_costs(costs)
@@ -287,8 +322,13 @@ impl Planner {
         } else {
             ta_bound
         };
+        let mut ta = Ta::new().with_batch(batch);
+        if let Some(w) = warm {
+            why.push(format!("warm start: {} certified seeds", w.len()));
+            ta = ta.with_warm_start(w);
+        }
         Ok(Plan {
-            algorithm: Box::new(Ta::new().with_batch(batch)),
+            algorithm: Box::new(ta),
             guarantee: Guarantee::InstanceOptimal { ratio_bound, class },
             rationale: why,
         })
@@ -378,6 +418,77 @@ mod tests {
             "{:?}",
             plan.rationale
         );
+    }
+
+    #[test]
+    fn plan_query_threads_warm_starts_into_ta_family() {
+        use crate::algorithms::WarmStart;
+        use fagin_middleware::{Grade, ObjectId};
+        let warm = || WarmStart::new([(ObjectId(0), Grade::new(0.5))]);
+        // TA and TA_Z consume the seeds…
+        let plan = Planner
+            .plan_query(
+                &Capabilities::full(3),
+                &Average,
+                2,
+                &CostModel::UNIT,
+                BatchConfig::scalar(),
+                Some(warm()),
+            )
+            .unwrap();
+        assert_eq!(plan.algorithm.name(), "TA+warm(1)");
+        let plan = Planner
+            .plan_query(
+                &Capabilities::restricted_sorted(3, [0]),
+                &Average,
+                2,
+                &CostModel::UNIT,
+                BatchConfig::scalar(),
+                Some(warm()),
+            )
+            .unwrap();
+        assert!(plan.algorithm.name().ends_with("+warm(1)"));
+        // …while NRA explains that it ignored them.
+        let plan = Planner
+            .plan_query(
+                &Capabilities::no_random_access(3),
+                &Average,
+                2,
+                &CostModel::UNIT,
+                BatchConfig::scalar(),
+                Some(warm()),
+            )
+            .unwrap();
+        assert!(plan.algorithm.name().starts_with("NRA"));
+        assert!(
+            plan.rationale
+                .iter()
+                .any(|r| r.contains("warm start") && r.contains("ignored")),
+            "{:?}",
+            plan.rationale
+        );
+        // A warm plan still answers exactly.
+        let db = db();
+        let mut s = Session::new(&db);
+        let certified = Planner
+            .plan(&Capabilities::full(3), &Average, 1, &CostModel::UNIT)
+            .unwrap()
+            .execute(&mut s, &Average, 1)
+            .unwrap();
+        let seeds = WarmStart::new(certified.items.iter().map(|i| (i.object, i.grade.unwrap())));
+        let plan = Planner
+            .plan_query(
+                &Capabilities::full(3),
+                &Average,
+                3,
+                &CostModel::UNIT,
+                BatchConfig::scalar(),
+                Some(seeds),
+            )
+            .unwrap();
+        let mut s = Session::new(&db);
+        let out = plan.execute(&mut s, &Average, 3).unwrap();
+        assert!(oracle::is_valid_top_k(&db, &Average, 3, &out.objects()));
     }
 
     #[test]

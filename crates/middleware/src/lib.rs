@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod budget;
 mod cost;
 mod database;
 mod error;
@@ -46,6 +47,7 @@ mod session;
 mod shard;
 mod source;
 
+pub use budget::CostBudget;
 pub use cost::{AccessStats, CostModel};
 pub use database::{Database, DatabaseBuilder};
 pub use error::{AccessError, BuildError};

@@ -1,0 +1,390 @@
+//! The threshold-aware result cache.
+//!
+//! ## Why a completed run certifies more than it was asked for
+//!
+//! When an exact top-`K` run halts, the paper's halting logic hands us a
+//! *certificate*, not just an answer: the reported objects are exactly the
+//! `K` best, and the final threshold `τ` bounds the overall grade of every
+//! object the run never saw (TA's stopping rule demands `M_K ≥ τ`; NRA/CA
+//! halt when no outside upper bound `B` exceeds the answer floor `M_k`).
+//! Sorting a certified top-`K` by grade therefore certifies the top-`k`
+//! for **every** `k ≤ K` — the `k`-prefix of an exact, grade-sorted
+//! top-`K` answer is an exact top-`k` answer. The cache exploits this:
+//!
+//! * `k ≤ K` on a matching entry → served from memory in `O(k)`, with
+//!   **zero** sorted or random middleware accesses;
+//! * `k > K` → a miss, but the entry's certified `(object, grade)` pairs
+//!   are handed to the planner as a [`WarmStart`], so the new run's buffer
+//!   starts pre-filled and seeded objects skip random-access resolution;
+//! * gradeless entries (NRA-style answers whose grades never resolved)
+//!   cannot be grade-sorted, so they only serve *exact-`k`* repeats —
+//!   the prefix rule needs the order that only grades provide.
+//!
+//! ## What the key must capture
+//!
+//! Cached answers are reused across queries, so the key contains exactly
+//! the request fields that can change the *answer bytes*: the aggregation,
+//! the capability-relevant policy fields (random access, the sorted set
+//! `Z`, whether grades are required) and the cost model — the last two
+//! because they steer the [`Planner`](fagin_core::planner::Planner) to a
+//! different algorithm, and different algorithms may break grade ties in a
+//! different order. Fields that cannot change the answer (wild-guess
+//! allowance, access budgets, batch size) are deliberately *not* in the
+//! key, maximizing reuse. Batched runs can overshoot the halting point and
+//! thereby resolve boundary *ties* differently than scalar runs; on
+//! databases with a unique `k`-th grade (any generic real-valued workload)
+//! answers are tie-free and cache hits are byte-identical to cold runs.
+//!
+//! Approximate runs (θ > 1) certify nothing about prefixes and are neither
+//! cached nor served from the cache.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BTreeSet, HashMap};
+
+use fagin_core::algorithms::WarmStart;
+use fagin_core::ScoredObject;
+use fagin_middleware::{Grade, SortedAccessSet};
+
+use crate::request::{AggSpec, QueryRequest};
+
+/// The answer-relevant projection of a [`QueryRequest`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CacheKey {
+    agg: AggSpec,
+    allow_random: bool,
+    /// `None` encodes "all lists" (so it never collides with an explicit
+    /// full set built for a different `m`).
+    sorted_lists: Option<BTreeSet<usize>>,
+    require_grades: bool,
+    /// `(c_S, c_R)` bit patterns: the cost ratio steers the planner's
+    /// TA-vs-CA choice, which can change tie order.
+    cost_bits: (u64, u64),
+}
+
+impl CacheKey {
+    fn of(req: &QueryRequest) -> Self {
+        CacheKey {
+            agg: req.agg,
+            allow_random: req.policy.allow_random,
+            sorted_lists: match &req.policy.sorted_lists {
+                SortedAccessSet::All => None,
+                SortedAccessSet::Only(z) => Some(z.clone()),
+            },
+            require_grades: req.require_grades,
+            cost_bits: (req.costs.sorted.to_bits(), req.costs.random.to_bits()),
+        }
+    }
+}
+
+/// A certified completed run, as stored in the cache.
+#[derive(Clone, Debug)]
+pub struct CachedRun {
+    /// The certified answer in canonical order (grade descending, object
+    /// id ascending) when `graded`; the algorithm's confidence order
+    /// otherwise.
+    pub items: Vec<ScoredObject>,
+    /// The run's final threshold `τ`: an upper bound on the overall grade
+    /// of every object the run never examined.
+    pub threshold: Option<Grade>,
+    /// The `k` the run was asked for (may exceed `items.len()` when the
+    /// database holds fewer than `k` objects — in that case *every* object
+    /// is certified).
+    pub requested_k: usize,
+    /// Whether every item carries its exact overall grade (the
+    /// precondition for prefix serving and warm starts).
+    pub graded: bool,
+    /// Name of the algorithm that produced the run (for reports).
+    pub algorithm: String,
+}
+
+struct Slot {
+    run: CachedRun,
+    last_used: u64,
+}
+
+/// A cache hit: the certified answer for the requested `k`.
+#[derive(Clone, Debug)]
+pub struct CacheHit {
+    /// The answer items (a prefix of the cached entry).
+    pub items: Vec<ScoredObject>,
+    /// The cached run's final threshold.
+    pub threshold: Option<Grade>,
+    /// The `k` the cached run certified (≥ the requested `k`).
+    pub certified_k: usize,
+    /// The algorithm that originally produced the entry.
+    pub algorithm: String,
+}
+
+/// Bounded, LRU-evicting map from answer-relevant request shapes to
+/// certified runs. One entry per shape: inserting a better run (larger
+/// certified `k`, or grades where there were none) replaces the old one.
+pub struct ResultCache {
+    map: HashMap<CacheKey, Slot>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry.
+    ///
+    /// Hit/miss accounting lives in the service's
+    /// [`ServiceMetrics`](crate::metrics::ServiceMetrics) — one tally, not
+    /// two — so there are no counters here to reset.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Tries to serve `req` from the cache. Exact requests only (callers
+    /// bypass the cache for θ > 1).
+    ///
+    /// Hit rule: an entry for the same answer-relevant shape serves
+    /// `k == requested_k` always, and any `k < requested_k` when the entry
+    /// is fully graded (the τ-certificate prefix rule above).
+    pub fn lookup(&mut self, req: &QueryRequest) -> Option<CacheHit> {
+        debug_assert!(req.is_exact(), "approximate requests bypass the cache");
+        self.tick += 1;
+        let key = CacheKey::of(req);
+        match self.map.get_mut(&key) {
+            Some(slot)
+                if req.k == slot.run.requested_k
+                    || (req.k < slot.run.requested_k && slot.run.graded) =>
+            {
+                slot.last_used = self.tick;
+                let take = req.k.min(slot.run.items.len());
+                Some(CacheHit {
+                    items: slot.run.items[..take].to_vec(),
+                    threshold: slot.run.threshold,
+                    certified_k: slot.run.requested_k,
+                    algorithm: slot.run.algorithm.clone(),
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// A warm start for a request that missed because `k` exceeds the
+    /// certified `K`: the entry's exact `(object, grade)` pairs seed the
+    /// new run's buffer. Requires a fully graded entry.
+    pub fn warm_hint(&self, req: &QueryRequest) -> Option<WarmStart> {
+        let slot = self.map.get(&CacheKey::of(req))?;
+        if !slot.run.graded || req.k <= slot.run.requested_k {
+            return None;
+        }
+        Some(WarmStart::new(slot.run.items.iter().map(|i| {
+            (i.object, i.grade.expect("graded entries have all grades"))
+        })))
+    }
+
+    /// Offers a completed exact run for caching. Kept if the shape is new,
+    /// or if it certifies more than the resident entry (larger `k`, or
+    /// grades at equal `k`). May evict the least-recently-used entry.
+    pub fn insert(&mut self, req: &QueryRequest, run: CachedRun) {
+        debug_assert!(req.is_exact(), "approximate runs are never cached");
+        self.tick += 1;
+        let key = CacheKey::of(req);
+        match self.map.entry(key) {
+            MapEntry::Occupied(mut e) => {
+                let old = &e.get().run;
+                let better = run.requested_k > old.requested_k
+                    || (run.requested_k == old.requested_k && run.graded >= old.graded);
+                if better {
+                    e.insert(Slot {
+                        run,
+                        last_used: self.tick,
+                    });
+                }
+            }
+            MapEntry::Vacant(e) => {
+                e.insert(Slot {
+                    run,
+                    last_used: self.tick,
+                });
+                if self.map.len() > self.capacity {
+                    self.evict_lru();
+                }
+            }
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .map
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.map.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fagin_middleware::{AccessPolicy, CostModel, ObjectId};
+
+    fn item(id: u32, grade: f64) -> ScoredObject {
+        ScoredObject {
+            object: ObjectId(id),
+            grade: Some(Grade::new(grade)),
+        }
+    }
+
+    fn run(k: usize, items: Vec<ScoredObject>, graded: bool) -> CachedRun {
+        CachedRun {
+            items,
+            threshold: Some(Grade::new(0.4)),
+            requested_k: k,
+            graded,
+            algorithm: "TA".into(),
+        }
+    }
+
+    #[test]
+    fn prefix_hits_serve_smaller_k() {
+        let mut cache = ResultCache::new(8);
+        let req10 = QueryRequest::new(AggSpec::Min, 10);
+        cache.insert(
+            &req10,
+            run(
+                10,
+                (0..10).map(|i| item(i, 1.0 - i as f64 / 10.0)).collect(),
+                true,
+            ),
+        );
+        let req3 = QueryRequest::new(AggSpec::Min, 3);
+        let hit = cache.lookup(&req3).expect("prefix hit");
+        assert_eq!(hit.items.len(), 3);
+        assert_eq!(hit.certified_k, 10);
+        assert_eq!(hit.items[0].object, ObjectId(0));
+    }
+
+    #[test]
+    fn larger_k_misses_but_warm_starts() {
+        let mut cache = ResultCache::new(8);
+        let req = QueryRequest::new(AggSpec::Min, 2);
+        cache.insert(&req, run(2, vec![item(4, 0.9), item(7, 0.8)], true));
+        let req5 = QueryRequest::new(AggSpec::Min, 5);
+        assert!(cache.lookup(&req5).is_none());
+        let warm = cache.warm_hint(&req5).expect("warm hint");
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm.seeds()[0], (ObjectId(4), Grade::new(0.9)));
+        // No hint for k the entry already serves.
+        assert!(cache
+            .warm_hint(&QueryRequest::new(AggSpec::Min, 2))
+            .is_none());
+    }
+
+    #[test]
+    fn gradeless_entries_only_serve_exact_k() {
+        let mut cache = ResultCache::new(8);
+        let req = QueryRequest::new(AggSpec::Min, 4);
+        let gradeless: Vec<ScoredObject> = (0..4)
+            .map(|i| ScoredObject {
+                object: ObjectId(i),
+                grade: None,
+            })
+            .collect();
+        cache.insert(&req, run(4, gradeless, false));
+        assert!(cache.lookup(&QueryRequest::new(AggSpec::Min, 4)).is_some());
+        assert!(
+            cache.lookup(&QueryRequest::new(AggSpec::Min, 2)).is_none(),
+            "no prefix rule without grades"
+        );
+        assert!(
+            cache
+                .warm_hint(&QueryRequest::new(AggSpec::Min, 9))
+                .is_none(),
+            "no warm start without grades"
+        );
+    }
+
+    #[test]
+    fn key_separates_answer_relevant_fields() {
+        let mut cache = ResultCache::new(8);
+        let base = QueryRequest::new(AggSpec::Min, 2);
+        cache.insert(&base, run(2, vec![item(0, 0.9), item(1, 0.8)], true));
+        // Different aggregation, policy capability, or cost model: miss.
+        assert!(cache.lookup(&QueryRequest::new(AggSpec::Max, 2)).is_none());
+        assert!(cache
+            .lookup(&base.clone().with_policy(AccessPolicy::no_random_access()))
+            .is_none());
+        assert!(cache
+            .lookup(&base.clone().with_costs(CostModel::new(1.0, 10.0)))
+            .is_none());
+        assert!(cache.lookup(&base.clone().require_grades(false)).is_none());
+        // Wild-guess allowance and budgets are answer-irrelevant: hit.
+        assert!(cache
+            .lookup(&base.clone().with_policy(AccessPolicy::unrestricted()))
+            .is_some());
+        assert!(cache.lookup(&base.clone().with_cost_budget(9.0)).is_some());
+    }
+
+    #[test]
+    fn better_runs_replace_worse_ones() {
+        let mut cache = ResultCache::new(8);
+        let req2 = QueryRequest::new(AggSpec::Min, 2);
+        cache.insert(&req2, run(2, vec![item(0, 0.9), item(1, 0.8)], true));
+        // A smaller-k run never downgrades the entry.
+        cache.insert(
+            &QueryRequest::new(AggSpec::Min, 1),
+            run(1, vec![item(0, 0.9)], true),
+        );
+        assert_eq!(cache.lookup(&req2).unwrap().certified_k, 2);
+        // A larger-k run upgrades it.
+        cache.insert(
+            &QueryRequest::new(AggSpec::Min, 3),
+            run(3, vec![item(0, 0.9), item(1, 0.8), item(2, 0.7)], true),
+        );
+        assert_eq!(cache.lookup(&req2).unwrap().certified_k, 3);
+        assert_eq!(cache.len(), 1, "one entry per shape");
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        let reqs: Vec<QueryRequest> = [AggSpec::Min, AggSpec::Max, AggSpec::Sum]
+            .into_iter()
+            .map(|a| QueryRequest::new(a, 1))
+            .collect();
+        cache.insert(&reqs[0], run(1, vec![item(0, 0.9)], true));
+        cache.insert(&reqs[1], run(1, vec![item(1, 0.8)], true));
+        // Touch the first entry so the second is LRU.
+        assert!(cache.lookup(&reqs[0]).is_some());
+        cache.insert(&reqs[2], run(1, vec![item(2, 0.7)], true));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&reqs[0]).is_some(), "recently used survives");
+        assert!(cache.lookup(&reqs[1]).is_none(), "LRU evicted");
+        assert!(cache.lookup(&reqs[2]).is_some());
+    }
+
+    #[test]
+    fn clear_drops_every_entry() {
+        let mut cache = ResultCache::new(4);
+        let req = QueryRequest::new(AggSpec::Min, 1);
+        cache.insert(&req, run(1, vec![item(0, 0.9)], true));
+        assert!(cache.lookup(&req).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&req).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Typed service errors: admission rejections and query failures.
+
+use std::fmt;
+
+use fagin_core::planner::PlanError;
+use fagin_core::AlgoError;
+
+/// Errors surfaced by [`TopKService`](crate::service::TopKService).
+///
+/// Admission-control rejections ([`ServeError::QueueFull`],
+/// [`ServeError::CostBudgetExceeded`]) are *expected* outcomes under load
+/// and carry enough context for a client to back off or retry with a larger
+/// budget; the remaining variants are genuine failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The service's queue-depth cap was reached; the query was rejected
+    /// before any work was done.
+    QueueFull {
+        /// Queue depth observed at rejection time.
+        depth: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The query's middleware-cost budget ran out mid-execution. The
+    /// spent accesses were performed against the middleware; no answer
+    /// was produced, and the rejection is tallied in
+    /// [`ServiceMetrics::rejected_over_budget`] (aborted queries do not
+    /// enter the per-query cost percentiles).
+    ///
+    /// [`ServiceMetrics::rejected_over_budget`]: crate::metrics::ServiceMetrics::rejected_over_budget
+    CostBudgetExceeded {
+        /// The configured budget (`s·c_S + r·c_R` units).
+        budget: f64,
+        /// Cost spent when the budget struck.
+        spent: f64,
+    },
+    /// The request's capabilities admit no correct algorithm.
+    Plan(PlanError),
+    /// The chosen algorithm failed (arity mismatch, policy violation, …).
+    Query(AlgoError),
+    /// The service is shutting down and dropped the query.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth, cap } => {
+                write!(f, "queue full: depth {depth} at cap {cap}")
+            }
+            ServeError::CostBudgetExceeded { budget, spent } => {
+                write!(
+                    f,
+                    "middleware-cost budget exceeded: spent {spent:.1} of {budget:.1}"
+                )
+            }
+            ServeError::Plan(e) => write!(f, "planning failed: {e}"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::Shutdown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Plan(e) => Some(e),
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for ServeError {
+    fn from(e: PlanError) -> Self {
+        ServeError::Plan(e)
+    }
+}
+
+impl From<AlgoError> for ServeError {
+    fn from(e: AlgoError) -> Self {
+        ServeError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ServeError::QueueFull { depth: 9, cap: 8 }
+            .to_string()
+            .contains("cap 8"));
+        let e = ServeError::CostBudgetExceeded {
+            budget: 10.0,
+            spent: 9.0,
+        };
+        assert!(e.to_string().contains("9.0 of 10.0"));
+        assert!(ServeError::Shutdown.to_string().contains("shutting down"));
+        let e: ServeError = AlgoError::ZeroK.into();
+        assert!(e.to_string().contains("k must be"));
+        let e: ServeError = PlanError::NoSortedAccess.into();
+        assert!(e.to_string().contains("sorted access"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        assert!(ServeError::Query(AlgoError::ZeroK).source().is_some());
+        assert!(ServeError::Shutdown.source().is_none());
+    }
+}

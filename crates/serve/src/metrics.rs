@@ -1,0 +1,227 @@
+//! Service-level metrics: throughput, hit rate, per-query cost percentiles.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many recent per-query cost samples the percentile window holds: a
+/// long-lived service must not grow memory with query count, so p50/p99
+/// are computed over a sliding window of the most recent completions.
+const COST_WINDOW: usize = 4096;
+
+/// A fixed-capacity ring of the most recent cost samples.
+#[derive(Default)]
+struct CostWindow {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl CostWindow {
+    fn push(&mut self, cost: f64) {
+        if self.samples.len() < COST_WINDOW {
+            self.samples.push(cost);
+        } else {
+            self.samples[self.next] = cost;
+        }
+        self.next = (self.next + 1) % COST_WINDOW;
+    }
+}
+
+/// Thread-safe metrics recorder shared by the service front door and its
+/// workers. Counters are atomics; the bounded window of per-query cost
+/// samples (needed for percentiles) sits behind a mutex that is touched
+/// once per completed query.
+pub(crate) struct Recorder {
+    started: Instant,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected_queue: AtomicU64,
+    rejected_budget: AtomicU64,
+    failed: AtomicU64,
+    costs: Mutex<CostWindow>,
+}
+
+impl Recorder {
+    pub(crate) fn new() -> Self {
+        Recorder {
+            started: Instant::now(),
+            completed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            rejected_queue: AtomicU64::new(0),
+            rejected_budget: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            costs: Mutex::new(CostWindow::default()),
+        }
+    }
+
+    pub(crate) fn record_completed(&self, cost: f64, cache_hit: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.costs.lock().expect("metrics lock").push(cost);
+    }
+
+    #[cfg(test)]
+    fn cost_samples_held(&self) -> usize {
+        self.costs.lock().expect("metrics lock").samples.len()
+    }
+
+    pub(crate) fn record_queue_rejection(&self) {
+        self.rejected_queue.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_budget_rejection(&self) {
+        self.rejected_budget.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceMetrics {
+        let costs = self.costs.lock().expect("metrics lock").samples.clone();
+        let completed = self.completed.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let elapsed = self.started.elapsed().as_secs_f64();
+        ServiceMetrics {
+            completed,
+            cache_hits: hits,
+            cache_misses: misses,
+            rejected_queue_full: self.rejected_queue.load(Ordering::Relaxed),
+            rejected_over_budget: self.rejected_budget.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            elapsed_secs: elapsed,
+            queries_per_sec: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            cost_p50: percentile(&costs, 0.50),
+            cost_p99: percentile(&costs, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of unsorted samples (`None` when empty).
+fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+/// A point-in-time snapshot of a service's counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceMetrics {
+    /// Queries answered (cache hits included).
+    pub completed: u64,
+    /// Queries served from the result cache.
+    pub cache_hits: u64,
+    /// Completed queries that had to execute.
+    pub cache_misses: u64,
+    /// Submissions rejected by the queue-depth cap.
+    pub rejected_queue_full: u64,
+    /// Queries aborted by their middleware-cost budget.
+    pub rejected_over_budget: u64,
+    /// Queries that failed for any other reason.
+    pub failed: u64,
+    /// Seconds since the service started.
+    pub elapsed_secs: f64,
+    /// `completed / elapsed_secs`.
+    pub queries_per_sec: f64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 before any query.
+    pub cache_hit_rate: f64,
+    /// Median middleware cost per completed query (cache hits cost 0),
+    /// over a sliding window of the most recent completions.
+    pub cost_p50: Option<f64>,
+    /// 99th-percentile middleware cost per completed query, over the same
+    /// sliding window.
+    pub cost_p99: Option<f64>,
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries ({:.1}/s) | hit rate {:.1}% | cost p50 {} p99 {} | rejected {}+{} | failed {}",
+            self.completed,
+            self.queries_per_sec,
+            self.cache_hit_rate * 100.0,
+            self.cost_p50.map_or("-".into(), |c| format!("{c:.1}")),
+            self.cost_p99.map_or("-".into(), |c| format!("{c:.1}")),
+            self.rejected_queue_full,
+            self.rejected_over_budget,
+            self.failed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.50), Some(50.0));
+        assert_eq!(percentile(&samples, 0.99), Some(99.0));
+        assert_eq!(percentile(&samples, 1.0), Some(100.0));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    fn recorder_snapshot_aggregates() {
+        let r = Recorder::new();
+        r.record_completed(10.0, false);
+        r.record_completed(0.0, true);
+        r.record_completed(30.0, false);
+        r.record_queue_rejection();
+        r.record_budget_rejection();
+        r.record_failure();
+        let m = r.snapshot();
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.rejected_queue_full, 1);
+        assert_eq!(m.rejected_over_budget, 1);
+        assert_eq!(m.failed, 1);
+        assert!((m.cache_hit_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.cost_p50, Some(10.0));
+        assert_eq!(m.cost_p99, Some(30.0));
+        assert!(m.queries_per_sec > 0.0);
+        assert!(m.cost_p50 <= m.cost_p99);
+        let text = m.to_string();
+        assert!(text.contains("3 queries") && text.contains("hit rate 33.3%"));
+    }
+
+    #[test]
+    fn cost_window_is_bounded_and_slides() {
+        let r = Recorder::new();
+        for i in 0..(COST_WINDOW + 100) {
+            r.record_completed(i as f64, false);
+        }
+        assert_eq!(r.cost_samples_held(), COST_WINDOW, "memory stays bounded");
+        let m = r.snapshot();
+        assert_eq!(m.completed, (COST_WINDOW + 100) as u64);
+        // The oldest 100 samples (0..100) have been overwritten, so the
+        // window minimum is 100: every percentile sits at or above it.
+        assert!(m.cost_p50.unwrap() >= 100.0);
+        assert!(m.cost_p99.unwrap() <= (COST_WINDOW + 99) as f64);
+    }
+}

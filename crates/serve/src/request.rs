@@ -1,0 +1,294 @@
+//! Workload-independent query descriptions.
+//!
+//! A [`QueryRequest`] is everything the service needs to answer one top-`k`
+//! query — aggregation, `k`, access policy, cost model, batch
+//! configuration, optional approximation slack `θ` and an optional
+//! middleware-cost budget — with *no* reference to a concrete database.
+//! The same request can be submitted to any [`TopKService`], and because
+//! the aggregation is named by the [`AggSpec`] enum (rather than a boxed
+//! trait object) requests are cheap to clone, hashable, and usable as
+//! result-cache keys.
+//!
+//! [`TopKService`]: crate::service::TopKService
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::str::FromStr;
+
+use fagin_core::aggregation::{
+    Aggregation, Average, GeometricMean, Max, Median, Min, Product, Sum,
+};
+use fagin_core::planner::Capabilities;
+use fagin_middleware::{AccessPolicy, BatchConfig, CostModel, SortedAccessSet};
+
+/// A named monotone aggregation, chosen from the workload-independent
+/// suite (every variant is a stateless unit aggregation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AggSpec {
+    /// `min(x₁,…,x_m)` — the paper's running example.
+    Min,
+    /// `max(x₁,…,x_m)`.
+    Max,
+    /// Arithmetic mean.
+    Average,
+    /// `Σ xᵢ`.
+    Sum,
+    /// `Π xᵢ`.
+    Product,
+    /// The median grade.
+    Median,
+    /// Geometric mean.
+    GeometricMean,
+}
+
+impl AggSpec {
+    /// Every variant, for CLIs and sweeps.
+    pub const ALL: [AggSpec; 7] = [
+        AggSpec::Min,
+        AggSpec::Max,
+        AggSpec::Average,
+        AggSpec::Sum,
+        AggSpec::Product,
+        AggSpec::Median,
+        AggSpec::GeometricMean,
+    ];
+
+    /// The aggregation instance behind the name.
+    pub fn instance(&self) -> &'static dyn Aggregation {
+        match self {
+            AggSpec::Min => &Min,
+            AggSpec::Max => &Max,
+            AggSpec::Average => &Average,
+            AggSpec::Sum => &Sum,
+            AggSpec::Product => &Product,
+            AggSpec::Median => &Median,
+            AggSpec::GeometricMean => &GeometricMean,
+        }
+    }
+
+    /// The canonical parse/display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggSpec::Min => "min",
+            AggSpec::Max => "max",
+            AggSpec::Average => "avg",
+            AggSpec::Sum => "sum",
+            AggSpec::Product => "product",
+            AggSpec::Median => "median",
+            AggSpec::GeometricMean => "geometric-mean",
+        }
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AggSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AggSpec::ALL
+            .into_iter()
+            .find(|a| a.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = AggSpec::ALL.iter().map(|a| a.name()).collect();
+                format!("unknown aggregation '{s}' (valid: {})", names.join(", "))
+            })
+    }
+}
+
+/// One top-`k` query, independent of any concrete database.
+///
+/// ```
+/// use fagin_serve::{AggSpec, QueryRequest};
+/// use fagin_middleware::AccessPolicy;
+///
+/// let req = QueryRequest::new(AggSpec::Average, 10)
+///     .with_policy(AccessPolicy::no_random_access())
+///     .require_grades(false)
+///     .with_cost_budget(50_000.0);
+/// assert_eq!(req.k, 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The aggregation `t`.
+    pub agg: AggSpec,
+    /// Answers wanted.
+    pub k: usize,
+    /// The access-policy class the execution must stay inside (also
+    /// determines which capabilities the planner sees).
+    pub policy: AccessPolicy,
+    /// The cost model used for planning, budget enforcement and metrics.
+    pub costs: CostModel,
+    /// Entries consumed per list per round (scalar = the paper's exact
+    /// access-by-access execution).
+    pub batch: BatchConfig,
+    /// Approximation slack: `1.0` demands the exact answer, `θ > 1`
+    /// accepts a θ-approximation (§6.2). Approximate requests bypass the
+    /// result cache entirely.
+    pub theta: f64,
+    /// Whether the answer must carry grades (§8.1 relaxes this for the
+    /// no-random-access scenario).
+    pub require_grades: bool,
+    /// Optional per-query middleware-cost budget `s·c_S + r·c_R ≤ B`;
+    /// exceeding it aborts the query with a typed
+    /// [`ServeError::CostBudgetExceeded`](crate::error::ServeError).
+    pub cost_budget: Option<f64>,
+}
+
+impl QueryRequest {
+    /// A request with the library defaults: no-wild-guess policy, unit
+    /// costs, scalar batch, exact answer, grades required, no budget.
+    pub fn new(agg: AggSpec, k: usize) -> Self {
+        QueryRequest {
+            agg,
+            k,
+            policy: AccessPolicy::no_wild_guesses(),
+            costs: CostModel::UNIT,
+            batch: BatchConfig::scalar(),
+            theta: 1.0,
+            require_grades: true,
+            cost_budget: None,
+        }
+    }
+
+    /// Sets the access policy.
+    pub fn with_policy(mut self, policy: AccessPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the batch configuration.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Accepts a θ-approximation (`θ ≥ 1`; `1` = exact).
+    ///
+    /// # Panics
+    /// Panics if `theta < 1` or non-finite.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        assert!(
+            theta >= 1.0 && theta.is_finite(),
+            "theta must be finite and at least 1"
+        );
+        self.theta = theta;
+        self
+    }
+
+    /// Whether grades must accompany the answer.
+    pub fn require_grades(mut self, required: bool) -> Self {
+        self.require_grades = required;
+        self
+    }
+
+    /// Caps this query's middleware cost.
+    ///
+    /// # Panics
+    /// Panics if `budget` is negative or non-finite.
+    pub fn with_cost_budget(mut self, budget: f64) -> Self {
+        assert!(
+            budget >= 0.0 && budget.is_finite(),
+            "cost budget must be finite and non-negative"
+        );
+        self.cost_budget = Some(budget);
+        self
+    }
+
+    /// Whether the request demands the exact answer.
+    pub fn is_exact(&self) -> bool {
+        self.theta == 1.0
+    }
+
+    /// The planner capabilities this request describes over an `m`-list
+    /// database whose distinctness status is `distinctness`.
+    pub fn capabilities(&self, m: usize, distinctness: bool) -> Capabilities {
+        let sorted_lists: BTreeSet<usize> = match &self.policy.sorted_lists {
+            SortedAccessSet::All => (0..m).collect(),
+            SortedAccessSet::Only(z) => z.iter().copied().filter(|&i| i < m).collect(),
+        };
+        Capabilities {
+            num_lists: m,
+            sorted_lists,
+            random_access: self.policy.allow_random,
+            require_grades: self.require_grades,
+            distinctness,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_spec_roundtrips_through_names() {
+        for spec in AggSpec::ALL {
+            assert_eq!(spec.name().parse::<AggSpec>().unwrap(), spec);
+            assert_eq!(spec.to_string(), spec.name());
+            // The instance agrees with the name.
+            assert_eq!(spec.instance().name(), spec.name());
+        }
+        assert!("nope".parse::<AggSpec>().is_err());
+    }
+
+    #[test]
+    fn defaults_are_exact_and_unbudgeted() {
+        let req = QueryRequest::new(AggSpec::Min, 5);
+        assert!(req.is_exact());
+        assert_eq!(req.cost_budget, None);
+        assert!(req.require_grades);
+        assert!(req.batch.is_scalar());
+    }
+
+    #[test]
+    fn capabilities_mirror_policy() {
+        let req = QueryRequest::new(AggSpec::Average, 3)
+            .with_policy(AccessPolicy::no_random_access())
+            .require_grades(false);
+        let caps = req.capabilities(4, true);
+        assert!(!caps.random_access);
+        assert!(!caps.require_grades);
+        assert!(caps.distinctness);
+        assert_eq!(caps.sorted_lists.len(), 4);
+
+        let req =
+            QueryRequest::new(AggSpec::Min, 1).with_policy(AccessPolicy::sorted_only_on([0, 2, 9]));
+        let caps = req.capabilities(3, false);
+        // Out-of-range lists are dropped from Z.
+        assert_eq!(
+            caps.sorted_lists.iter().copied().collect::<Vec<_>>(),
+            [0, 2]
+        );
+        assert!(caps.random_access);
+    }
+
+    #[test]
+    fn theta_builder_validates() {
+        let req = QueryRequest::new(AggSpec::Sum, 2).with_theta(1.5);
+        assert!(!req.is_exact());
+        assert_eq!(req.theta, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be finite and at least 1")]
+    fn theta_below_one_rejected() {
+        let _ = QueryRequest::new(AggSpec::Sum, 2).with_theta(0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost budget must be finite")]
+    fn negative_budget_rejected() {
+        let _ = QueryRequest::new(AggSpec::Sum, 2).with_cost_budget(-3.0);
+    }
+}

@@ -1,0 +1,700 @@
+//! The multi-query top-`k` service.
+//!
+//! [`TopKService`] owns a fixed pool of OS worker threads over one shared
+//! [`Arc<Database>`]. Clients [`submit`](TopKService::submit) a
+//! [`QueryRequest`] and receive a [`QueryTicket`] to wait on (or call the
+//! blocking [`query`](TopKService::query)). Each query is dispatched
+//! through the [`Planner`] and executed on its own [`Session`], so access
+//! accounting and policy enforcement stay per-query even when many
+//! queries run concurrently —
+//! exactly the Garlic middleware shape of the paper's introduction, with
+//! the paper's algorithms behind the counter.
+//!
+//! The service layers three serving concerns on top of the library:
+//!
+//! 1. **the threshold-aware result cache** (see [`crate::cache`]): repeat
+//!    and smaller-`k` queries are answered in `O(k)` with zero middleware
+//!    accesses, and larger-`k` near-misses warm-start from the cached
+//!    certificate;
+//! 2. **admission control**: a queue-depth cap rejects work before it
+//!    queues ([`ServeError::QueueFull`]) and per-query middleware-cost
+//!    budgets abort runaway queries mid-run
+//!    ([`ServeError::CostBudgetExceeded`]), both typed so clients can
+//!    react;
+//! 3. **metrics**: a [`ServiceMetrics`] snapshot with throughput, cache
+//!    hit rate and p50/p99 middleware cost per query.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fagin_core::planner::Planner;
+use fagin_core::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+use fagin_middleware::{AccessError, AccessStats, CostBudget, Database, ObjectId, Session};
+
+use crate::cache::{CachedRun, ResultCache};
+use crate::error::ServeError;
+use crate::metrics::{Recorder, ServiceMetrics};
+use crate::request::QueryRequest;
+
+/// Where an answer came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnswerSource {
+    /// Executed from scratch.
+    Cold,
+    /// Executed, but seeded with a cached certificate's `(object, grade)`
+    /// pairs (a `k > K` near-miss).
+    WarmStarted {
+        /// Number of seeded objects.
+        seeds: usize,
+    },
+    /// Served from the result cache with zero middleware accesses.
+    CacheHit {
+        /// The `k` the cached run certified (≥ the requested `k`).
+        certified_k: usize,
+    },
+}
+
+/// One answered query.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// The top-`k` items. Fully graded answers are in canonical order
+    /// (grade descending, ties towards the smaller object id).
+    pub items: Vec<ScoredObject>,
+    /// Middleware accesses this query performed (all zero on cache hits).
+    pub stats: AccessStats,
+    /// The run's metrics (threshold, rounds, …); synthesized from the
+    /// cached certificate on hits.
+    pub run: RunMetrics,
+    /// Name of the algorithm that produced the answer.
+    pub algorithm: String,
+    /// How the answer was produced.
+    pub source: AnswerSource,
+    /// Middleware cost of this query under the request's cost model.
+    pub cost: f64,
+    /// The planner's (and cache's) reasoning.
+    pub rationale: Vec<String>,
+    /// Wall-clock time from worker pickup to answer.
+    pub latency: Duration,
+}
+
+impl QueryResponse {
+    /// The answer objects, in order.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.items.iter().map(|i| i.object).collect()
+    }
+
+    /// Whether the answer was served from the cache.
+    pub fn is_cache_hit(&self) -> bool {
+        matches!(self.source, AnswerSource::CacheHit { .. })
+    }
+}
+
+/// Service construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (min 1). Each worker executes one query at a time.
+    pub workers: usize,
+    /// Maximum queued-but-unstarted queries; submissions beyond it are
+    /// rejected with [`ServeError::QueueFull`]. `0` rejects everything —
+    /// useful for drain tests.
+    pub queue_cap: usize,
+    /// Result-cache capacity in entries; `None` disables the cache.
+    pub cache_capacity: Option<usize>,
+    /// Whether the database satisfies the distinctness property (§6);
+    /// `None` detects it once at construction.
+    pub distinctness: Option<bool>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_cap: 1024,
+            cache_capacity: Some(128),
+            distinctness: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the queue-depth cap.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Disables the result cache.
+    pub fn without_cache(mut self) -> Self {
+        self.cache_capacity = None;
+        self
+    }
+
+    /// Sets the result-cache capacity.
+    pub fn with_cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = Some(entries);
+        self
+    }
+
+    /// Overrides distinctness detection.
+    pub fn with_distinctness(mut self, distinct: bool) -> Self {
+        self.distinctness = Some(distinct);
+        self
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    distinctness: bool,
+    cache: Option<Mutex<ResultCache>>,
+    recorder: Recorder,
+    queue_len: AtomicUsize,
+    queue_cap: usize,
+}
+
+/// A handle to one submitted query's eventual answer.
+pub struct QueryTicket {
+    rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
+}
+
+impl QueryTicket {
+    /// Blocks until the query completes.
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+/// A concurrent top-`k` query service over a shared database.
+///
+/// ```
+/// use std::sync::Arc;
+/// use fagin_middleware::Database;
+/// use fagin_serve::{AggSpec, QueryRequest, ServiceConfig, TopKService};
+///
+/// let db = Arc::new(Database::from_f64_columns(&[
+///     vec![0.9, 0.5, 0.1, 0.8],
+///     vec![0.2, 0.8, 0.5, 0.7],
+/// ]).unwrap());
+/// let service = TopKService::new(db, ServiceConfig::default());
+/// let top = service.query(QueryRequest::new(AggSpec::Min, 1)).unwrap();
+/// assert_eq!(top.items[0].object.0, 3); // min(0.8, 0.7) = 0.7 wins
+/// let again = service.query(QueryRequest::new(AggSpec::Min, 1)).unwrap();
+/// assert!(again.is_cache_hit());
+/// assert_eq!(again.stats.total(), 0);
+/// ```
+pub struct TopKService {
+    shared: Arc<Shared>,
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TopKService {
+    /// Starts the worker pool over `db`.
+    pub fn new(db: Arc<Database>, config: ServiceConfig) -> Self {
+        let distinctness = config
+            .distinctness
+            .unwrap_or_else(|| db.satisfies_distinctness());
+        let shared = Arc::new(Shared {
+            db,
+            distinctness,
+            cache: config
+                .cache_capacity
+                .map(|c| Mutex::new(ResultCache::new(c))),
+            recorder: Recorder::new(),
+            queue_len: AtomicUsize::new(0),
+            queue_cap: config.queue_cap,
+        });
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("fagin-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &receiver))
+                    .expect("failed to spawn service worker")
+            })
+            .collect();
+        TopKService {
+            shared,
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The shared database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.shared.db
+    }
+
+    /// Whether the service treats the database as distinct (§6).
+    pub fn distinctness(&self) -> bool {
+        self.shared.distinctness
+    }
+
+    /// Submits a query; returns a ticket to wait on, or a typed admission
+    /// rejection. The queue-depth cap is enforced exactly (a
+    /// compare-exchange loop, so concurrent submitters cannot overshoot
+    /// it).
+    pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, ServeError> {
+        let sender = self.sender.as_ref().ok_or(ServeError::Shutdown)?;
+        let mut depth = self.shared.queue_len.load(Ordering::SeqCst);
+        loop {
+            if depth >= self.shared.queue_cap {
+                self.shared.recorder.record_queue_rejection();
+                return Err(ServeError::QueueFull {
+                    depth,
+                    cap: self.shared.queue_cap,
+                });
+            }
+            match self.shared.queue_len.compare_exchange(
+                depth,
+                depth + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => break,
+                Err(current) => depth = current,
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        sender.send(Job { request, reply }).map_err(|_| {
+            self.shared.queue_len.fetch_sub(1, Ordering::SeqCst);
+            ServeError::Shutdown
+        })?;
+        Ok(QueryTicket { rx })
+    }
+
+    /// Submits and waits: the blocking convenience path.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared.recorder.snapshot()
+    }
+
+    /// Drops every cached entry (no-op when the cache is disabled).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.shared.cache {
+            cache.lock().expect("cache lock").clear();
+        }
+    }
+}
+
+impl Drop for TopKService {
+    fn drop(&mut self) {
+        // Closing the channel drains the pool: workers finish in-flight
+        // queries, see the disconnect, and exit.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
+    loop {
+        // Holding the lock only around `recv` hands exactly one job to
+        // exactly one idle worker; execution happens lock-free.
+        let job = match receiver.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a sibling worker panicked mid-recv
+        };
+        let Ok(job) = job else {
+            return; // channel closed: service is shutting down
+        };
+        shared.queue_len.fetch_sub(1, Ordering::SeqCst);
+        let result = execute(shared, &job.request);
+        if let Err(e) = &result {
+            match e {
+                ServeError::CostBudgetExceeded { .. } => shared.recorder.record_budget_rejection(),
+                _ => shared.recorder.record_failure(),
+            }
+        }
+        // A dropped ticket just discards the answer.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Answers one query: cache read → plan (with warm start) → execute on a
+/// fresh per-query session → canonicalize → cache write.
+fn execute(shared: &Shared, req: &QueryRequest) -> Result<QueryResponse, ServeError> {
+    let started = Instant::now();
+    let db = shared.db.as_ref();
+    let m = db.num_lists();
+
+    // Approximate requests bypass the cache entirely: a θ-approximation
+    // certifies no prefix, and serving one for an exact request would be
+    // wrong. (Serving the *exact* cached answer for a θ request would be
+    // sound but makes hit answers differ from cold ones; we keep the
+    // cache's byte-identity story simple instead.)
+    let cache_eligible = req.is_exact() && shared.cache.is_some();
+
+    if cache_eligible {
+        let cache = shared.cache.as_ref().expect("cache_eligible");
+        if let Some(hit) = cache.lock().expect("cache lock").lookup(req) {
+            let run = RunMetrics {
+                final_threshold: hit.threshold,
+                approximation_guarantee: 1.0,
+                ..RunMetrics::default()
+            };
+            shared.recorder.record_completed(0.0, true);
+            return Ok(QueryResponse {
+                items: hit.items,
+                stats: AccessStats::new(m),
+                run,
+                algorithm: format!("cache({})", hit.algorithm),
+                source: AnswerSource::CacheHit {
+                    certified_k: hit.certified_k,
+                },
+                cost: 0.0,
+                rationale: vec![format!(
+                    "cache hit: a certified exact top-{} covers k={} (τ-prefix rule)",
+                    hit.certified_k, req.k
+                )],
+                latency: started.elapsed(),
+            });
+        }
+    }
+
+    // A near-miss (k exceeds the certified K) seeds the run with the
+    // cached certificate. θ-requests may be seeded too — exact seeds
+    // preserve approximation guarantees (see `WarmStart`) — even though
+    // they never read or write cached *answers*.
+    let warm = shared
+        .cache
+        .as_ref()
+        .and_then(|cache| cache.lock().expect("cache lock").warm_hint(req));
+    let warm_seeds = warm.as_ref().map(fagin_core::algorithms::WarmStart::len);
+
+    let agg = req.agg.instance();
+    let caps = req.capabilities(m, shared.distinctness);
+    let (algorithm, mut rationale): (Box<dyn fagin_core::TopKAlgorithm>, Vec<String>) =
+        if req.theta > 1.0 && caps.random_access && caps.sorted_lists.len() == m {
+            // TAθ is the paper's only approximation algorithm; it needs
+            // full capabilities, which this request has.
+            let mut ta = fagin_core::algorithms::Ta::theta(req.theta).with_batch(req.batch);
+            let mut why = vec![format!(
+                "θ = {} accepted: TAθ early-stopping run (§6.2)",
+                req.theta
+            )];
+            if let Some(w) = warm {
+                why.push(format!("warm start: {} certified seeds", w.len()));
+                ta = ta.with_warm_start(w);
+            }
+            (Box::new(ta), why)
+        } else {
+            let plan = Planner.plan_query(&caps, agg, req.k, &req.costs, req.batch, warm)?;
+            let mut why = plan.rationale;
+            if req.theta > 1.0 {
+                why.push(format!(
+                    "θ = {} requested but capabilities are restricted: exact plan used \
+                     (an exact answer is a valid θ-approximation)",
+                    req.theta
+                ));
+            }
+            (plan.algorithm, why)
+        };
+
+    // Fresh per-query session: isolated accounting and policy enforcement.
+    let session = Session::with_policy(db, req.policy.clone());
+    let out: TopKOutput = match req.cost_budget {
+        Some(limit) => {
+            let mut guarded = CostBudget::new(session, req.costs, limit);
+            match algorithm.run(&mut guarded, agg, req.k) {
+                Err(AlgoError::Access(AccessError::BudgetExhausted)) => {
+                    return Err(ServeError::CostBudgetExceeded {
+                        budget: limit,
+                        spent: guarded.spent(),
+                    });
+                }
+                other => other?,
+            }
+        }
+        None => {
+            let mut session = session;
+            algorithm.run(&mut session, agg, req.k)?
+        }
+    };
+
+    let mut items = out.items;
+    let graded = items.iter().all(|i| i.grade.is_some());
+    if graded {
+        // Canonical answer order: grade descending, ties towards the
+        // smaller id — the same order the cache serves prefixes in.
+        items.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
+    }
+
+    let exact_result = out.metrics.approximation_guarantee == 1.0;
+    if cache_eligible && exact_result {
+        let cache = shared.cache.as_ref().expect("cache_eligible");
+        cache.lock().expect("cache lock").insert(
+            req,
+            CachedRun {
+                items: items.clone(),
+                threshold: out.metrics.final_threshold,
+                requested_k: req.k,
+                graded,
+                algorithm: algorithm.name(),
+            },
+        );
+        rationale.push(format!(
+            "cached: certifies top-k for every k ≤ {}{}",
+            req.k,
+            if graded {
+                ""
+            } else {
+                " (exact-k repeats only: gradeless)"
+            }
+        ));
+    }
+
+    let cost = req.costs.cost(&out.stats);
+    shared.recorder.record_completed(cost, false);
+    // Report WarmStarted only when the chosen algorithm actually consumed
+    // the seeds — the planner ignores them for choices without a seeding
+    // channel (NRA, CA, …), and seeded TA-family runs advertise it in
+    // their name (`Ta::name` appends "+warm(n)").
+    let name = algorithm.name();
+    let source = match warm_seeds {
+        Some(seeds) if name.contains("+warm(") => AnswerSource::WarmStarted { seeds },
+        _ => AnswerSource::Cold,
+    };
+    Ok(QueryResponse {
+        items,
+        stats: out.stats,
+        run: out.metrics,
+        algorithm: name,
+        source,
+        cost,
+        rationale,
+        latency: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::AggSpec;
+    use fagin_middleware::{AccessPolicy, CostModel};
+
+    fn db() -> Arc<Database> {
+        Arc::new(
+            Database::from_f64_columns(&[
+                vec![0.90, 0.50, 0.10, 0.30, 0.75, 0.62],
+                vec![0.20, 0.80, 0.50, 0.40, 0.70, 0.41],
+                vec![0.60, 0.55, 0.95, 0.10, 0.65, 0.33],
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn answers_and_caches() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        let cold = service
+            .query(QueryRequest::new(AggSpec::Average, 4))
+            .unwrap();
+        assert_eq!(cold.source, AnswerSource::Cold);
+        assert!(cold.stats.total() > 0);
+        assert!(cold.cost > 0.0);
+        // Smaller k: prefix hit with zero accesses, identical items.
+        let hit = service
+            .query(QueryRequest::new(AggSpec::Average, 2))
+            .unwrap();
+        assert_eq!(hit.source, AnswerSource::CacheHit { certified_k: 4 });
+        assert_eq!(hit.stats.total(), 0);
+        assert_eq!(hit.cost, 0.0);
+        assert_eq!(hit.items[..], cold.items[..2]);
+        let m = service.metrics();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cost_p50, Some(0.0));
+    }
+
+    #[test]
+    fn near_miss_warm_starts() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        service
+            .query(QueryRequest::new(AggSpec::Average, 2))
+            .unwrap();
+        let warm = service
+            .query(QueryRequest::new(AggSpec::Average, 5))
+            .unwrap();
+        assert_eq!(warm.source, AnswerSource::WarmStarted { seeds: 2 });
+        assert!(warm.algorithm.contains("warm"));
+        // The warm run re-certifies the larger k; smaller ks now hit it.
+        let hit = service
+            .query(QueryRequest::new(AggSpec::Average, 3))
+            .unwrap();
+        assert_eq!(hit.source, AnswerSource::CacheHit { certified_k: 5 });
+    }
+
+    #[test]
+    fn queue_cap_rejects_typed() {
+        let service = TopKService::new(db(), ServiceConfig::default().with_queue_cap(0));
+        let err = service
+            .query(QueryRequest::new(AggSpec::Min, 1))
+            .unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { depth: 0, cap: 0 });
+        assert_eq!(service.metrics().rejected_queue_full, 1);
+    }
+
+    #[test]
+    fn cost_budget_rejects_typed() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        let err = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_cost_budget(2.0))
+            .unwrap_err();
+        match err {
+            ServeError::CostBudgetExceeded { budget, spent } => {
+                assert_eq!(budget, 2.0);
+                assert!(spent <= budget);
+            }
+            other => panic!("expected CostBudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(service.metrics().rejected_over_budget, 1);
+        // A workable budget still answers.
+        let ok = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_cost_budget(10_000.0))
+            .unwrap();
+        assert!(ok.cost <= 10_000.0);
+    }
+
+    #[test]
+    fn warm_source_reported_only_when_seeds_are_consumed() {
+        // A CA-shaped request: distinct database + expensive random access.
+        let service = TopKService::new(db(), ServiceConfig::default().with_distinctness(true));
+        let shape =
+            |k| QueryRequest::new(AggSpec::Average, k).with_costs(CostModel::new(1.0, 60.0));
+        let cold = service.query(shape(2)).unwrap();
+        assert!(cold.algorithm.starts_with("CA"), "{}", cold.algorithm);
+        // The near-miss offers seeds, but CA has no seeding channel: the
+        // response must say Cold, with the rationale explaining why.
+        let next = service.query(shape(4)).unwrap();
+        assert_eq!(next.source, AnswerSource::Cold);
+        assert!(
+            next.rationale
+                .iter()
+                .any(|r| r.contains("warm start") && r.contains("ignored")),
+            "{:?}",
+            next.rationale
+        );
+    }
+
+    #[test]
+    fn theta_near_misses_warm_start_too() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        service
+            .query(QueryRequest::new(AggSpec::Average, 3))
+            .unwrap();
+        // A θ-request for a larger k is seeded from the exact certificate
+        // (sound: exact seeds preserve θ-guarantees)…
+        let approx = service
+            .query(QueryRequest::new(AggSpec::Average, 5).with_theta(2.0))
+            .unwrap();
+        assert_eq!(approx.source, AnswerSource::WarmStarted { seeds: 3 });
+        assert!(approx.algorithm.contains("+warm"));
+        // …without writing the cache: the exact k=5 still has to execute.
+        let exact = service
+            .query(QueryRequest::new(AggSpec::Average, 5))
+            .unwrap();
+        assert!(!exact.is_cache_hit());
+    }
+
+    #[test]
+    fn theta_requests_bypass_the_cache() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        service
+            .query(QueryRequest::new(AggSpec::Average, 4))
+            .unwrap();
+        let approx = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_theta(2.0))
+            .unwrap();
+        assert_eq!(approx.source, AnswerSource::Cold);
+        assert!(approx.algorithm.starts_with("TA_theta"));
+        assert_eq!(approx.run.approximation_guarantee, 2.0);
+        // …and do not pollute it: the exact k=2 still prefix-hits the k=4.
+        let hit = service
+            .query(QueryRequest::new(AggSpec::Average, 2))
+            .unwrap();
+        assert!(hit.is_cache_hit());
+    }
+
+    #[test]
+    fn cache_disabled_always_runs_cold() {
+        let service = TopKService::new(db(), ServiceConfig::default().without_cache());
+        let a = service.query(QueryRequest::new(AggSpec::Min, 2)).unwrap();
+        let b = service.query(QueryRequest::new(AggSpec::Min, 2)).unwrap();
+        assert_eq!(a.source, AnswerSource::Cold);
+        assert_eq!(b.source, AnswerSource::Cold);
+        assert_eq!(a.items, b.items, "cold runs are deterministic");
+        assert_eq!(service.metrics().cache_hits, 0);
+        service.clear_cache(); // no-op, must not panic
+    }
+
+    #[test]
+    fn nra_requests_are_served_and_repeat_hits_exact_k() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        let req = || {
+            QueryRequest::new(AggSpec::Min, 3)
+                .with_policy(AccessPolicy::no_random_access())
+                .require_grades(false)
+        };
+        let cold = service.query(req()).unwrap();
+        assert!(cold.algorithm.starts_with("NRA"));
+        assert_eq!(cold.stats.random_total(), 0, "policy enforced per query");
+        let repeat = service.query(req()).unwrap();
+        assert!(repeat.is_cache_hit());
+        assert_eq!(repeat.stats.total(), 0);
+        assert_eq!(repeat.objects(), cold.objects());
+    }
+
+    #[test]
+    fn zero_k_is_a_query_error() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        let err = service
+            .query(QueryRequest::new(AggSpec::Min, 0))
+            .unwrap_err();
+        assert_eq!(err, ServeError::Query(AlgoError::ZeroK));
+        assert_eq!(service.metrics().failed, 1);
+    }
+
+    #[test]
+    fn clear_cache_forces_cold_runs() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        service.query(QueryRequest::new(AggSpec::Sum, 3)).unwrap();
+        service.clear_cache();
+        let after = service.query(QueryRequest::new(AggSpec::Sum, 3)).unwrap();
+        assert_eq!(after.source, AnswerSource::Cold);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let service = TopKService::new(db(), ServiceConfig::default().with_workers(4));
+        assert_eq!(service.workers(), 4);
+        let ticket = service.submit(QueryRequest::new(AggSpec::Min, 1)).unwrap();
+        drop(service); // drains in-flight work, then joins
+        assert!(ticket.wait().is_ok(), "in-flight answers are delivered");
+    }
+}

@@ -1,0 +1,93 @@
+//! The serving layer in one sitting: a shared database, a worker pool, a
+//! mixed stream of queries, and the threshold-aware result cache doing its
+//! three tricks — prefix hits, exact-`k` repeats, and warm starts.
+//!
+//! ```text
+//! cargo run --release --example query_service
+//! ```
+
+use std::sync::Arc;
+
+use fagin_topk::prelude::*;
+
+fn show(label: &str, resp: &QueryResponse) {
+    println!(
+        "  {label:<28} {:<14} accesses {:>5}  cost {:>7.1}  {:?}",
+        resp.algorithm,
+        resp.stats.total(),
+        resp.cost,
+        resp.source,
+    );
+}
+
+fn main() {
+    // One shared corpus: 20 000 objects, 3 attribute lists.
+    let db = Arc::new(random::uniform(20_000, 3, 2001));
+    let service = TopKService::new(
+        Arc::clone(&db),
+        ServiceConfig::default()
+            .with_workers(4)
+            .with_queue_cap(1024),
+    );
+    println!(
+        "service over N={} m={} | {} workers",
+        db.num_objects(),
+        db.num_lists(),
+        service.workers()
+    );
+
+    // 1. A cold query plans (here: TA), executes, and caches its
+    //    certificate: the exact top-25 plus the final threshold τ.
+    println!("\ncold, then the cache's three tricks:");
+    let cold = service
+        .query(QueryRequest::new(AggSpec::Average, 25))
+        .unwrap();
+    show("cold top-25", &cold);
+
+    // 2. Prefix hit: top-5 is the first 5 of a certified top-25 — served
+    //    with zero middleware accesses.
+    let hit = service
+        .query(QueryRequest::new(AggSpec::Average, 5))
+        .unwrap();
+    show("top-5 (prefix of 25)", &hit);
+    assert_eq!(hit.stats.total(), 0);
+    assert_eq!(hit.items[..], cold.items[..5]);
+
+    // 3. Warm start: top-40 exceeds the certificate, but the 25 cached
+    //    (object, grade) pairs seed the new run's buffer.
+    let warm = service
+        .query(QueryRequest::new(AggSpec::Average, 40))
+        .unwrap();
+    show("top-40 (warm from 25)", &warm);
+
+    // 4. Exact repeat of the warm run: now certified up to 40.
+    let repeat = service
+        .query(QueryRequest::new(AggSpec::Average, 40))
+        .unwrap();
+    show("top-40 again", &repeat);
+
+    // Other shapes plan differently and cache independently.
+    println!("\nother capability classes:");
+    let nra = service
+        .query(
+            QueryRequest::new(AggSpec::Min, 10)
+                .with_policy(AccessPolicy::no_random_access())
+                .require_grades(false),
+        )
+        .unwrap();
+    show("min, no random access", &nra);
+    let budgeted = service.query(QueryRequest::new(AggSpec::Sum, 10).with_cost_budget(50.0));
+    match budgeted {
+        Err(ServeError::CostBudgetExceeded { budget, spent }) => println!(
+            "  {:<28} rejected: spent {spent:.0} of a {budget:.0} cost budget",
+            "sum with a tiny budget"
+        ),
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    println!("\n{}", service.metrics());
+    println!("\ntop of the corpus (avg):");
+    for item in &cold.items[..5] {
+        println!("  {item}");
+    }
+}

@@ -27,6 +27,10 @@ struct Args {
     theta: f64,
     batch: usize,
     verbose: bool,
+    queries: Option<String>,
+    workers: usize,
+    queue_cap: usize,
+    no_cache: bool,
 }
 
 impl Default for Args {
@@ -44,6 +48,10 @@ impl Default for Args {
             theta: 1.0,
             batch: 1,
             verbose: false,
+            queries: None,
+            workers: 4,
+            queue_cap: 65_536,
+            no_cache: false,
         }
     }
 }
@@ -70,7 +78,19 @@ OPTIONS:
                   amortize middleware overhead for auto/ta/ta-theta/nra/ca,
                   overshooting halting by at most b-1 per list)  [default: 1]
   --verbose       print the full top-k list
-  --help          this text";
+  --help          this text
+
+BATCH MODE (drive the query service without writing Rust):
+  --queries <f>   newline-delimited query list, fed through TopKService;
+                  reports aggregate throughput + cache hit rate. Each line
+                  overrides the CLI defaults with key=value tokens:
+                    agg=min k=25 theta=1.0 batch=8 budget=5000
+                    policy=no-wild|unrestricted|no-random|sorted:0,2
+                    grades=true|false
+                  Blank lines and lines starting with # are skipped.
+  --workers <w>   service worker threads                  [default: 4]
+  --queue-cap <q> admission queue-depth cap               [default: 65536]
+  --no-cache      disable the threshold-aware result cache";
 
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args::default();
@@ -81,6 +101,10 @@ fn parse_args() -> Result<Option<Args>, String> {
         }
         if flag == "--verbose" {
             args.verbose = true;
+            continue;
+        }
+        if flag == "--no-cache" {
+            args.no_cache = true;
             continue;
         }
         let value = it
@@ -105,6 +129,14 @@ fn parse_args() -> Result<Option<Args>, String> {
                     return Err("--batch: batch size must be at least 1".into());
                 }
             }
+            "--queries" => args.queries = Some(value),
+            "--workers" => {
+                args.workers = parse_usize(&value)?;
+                if args.workers == 0 {
+                    return Err("--workers: at least 1 worker is required".into());
+                }
+            }
+            "--queue-cap" => args.queue_cap = parse_usize(&value)?,
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
     }
@@ -220,6 +252,208 @@ fn build_algorithm(
     Ok(algo)
 }
 
+/// The base request encoded by the CLI flags, which each query line then
+/// overrides.
+fn base_request(a: &Args, z: &[usize], m: usize) -> Result<QueryRequest, String> {
+    let agg: AggSpec = a.agg.parse()?;
+    let policy = if z.len() < m {
+        AccessPolicy::sorted_only_on(z.iter().copied())
+    } else {
+        AccessPolicy::no_wild_guesses()
+    };
+    let mut req = QueryRequest::new(agg, a.k)
+        .with_policy(policy)
+        .with_costs(CostModel::new(a.c_s, a.c_r))
+        .with_batch(BatchConfig::new(a.batch));
+    if a.theta > 1.0 {
+        req = req.with_theta(a.theta);
+    }
+    Ok(req)
+}
+
+/// Parses one `key=value …` query line over the base request.
+fn parse_query_line(line: &str, base: &QueryRequest) -> Result<QueryRequest, String> {
+    let mut req = base.clone();
+    let mut grades_explicit = false;
+    for token in line.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got '{token}'"))?;
+        match key {
+            "agg" => req.agg = value.parse()?,
+            "k" => req.k = value.parse().map_err(|e| format!("k: {e}"))?,
+            "theta" => {
+                let theta: f64 = value.parse().map_err(|e| format!("theta: {e}"))?;
+                if !(theta.is_finite() && theta >= 1.0) {
+                    return Err(format!("theta must be at least 1, got {value}"));
+                }
+                req.theta = theta;
+            }
+            "batch" => {
+                let b: usize = value.parse().map_err(|e| format!("batch: {e}"))?;
+                if b == 0 {
+                    return Err("batch size must be at least 1".into());
+                }
+                req.batch = BatchConfig::new(b);
+            }
+            "budget" => {
+                let budget: f64 = value.parse().map_err(|e| format!("budget: {e}"))?;
+                if !(budget.is_finite() && budget >= 0.0) {
+                    return Err(format!("budget must be non-negative, got {value}"));
+                }
+                req.cost_budget = Some(budget);
+            }
+            "grades" => {
+                req.require_grades = value.parse().map_err(|e| format!("grades: {e}"))?;
+                grades_explicit = true;
+            }
+            "policy" => {
+                req.policy = match value {
+                    "no-wild" => AccessPolicy::no_wild_guesses(),
+                    "unrestricted" => AccessPolicy::unrestricted(),
+                    "no-random" => {
+                        if !grades_explicit {
+                            // The §8.1 scenario: without random access,
+                            // demanding grades forfeits instance
+                            // optimality, so default it off.
+                            req.require_grades = false;
+                        }
+                        AccessPolicy::no_random_access()
+                    }
+                    sorted if sorted.starts_with("sorted:") => {
+                        let lists: Result<Vec<usize>, _> = sorted["sorted:".len()..]
+                            .split(',')
+                            .map(str::parse)
+                            .collect();
+                        let lists = lists.map_err(|e| format!("policy sorted list: {e}"))?;
+                        if lists.is_empty() {
+                            return Err("policy=sorted: needs at least one list".into());
+                        }
+                        AccessPolicy::sorted_only_on(lists)
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown policy '{other}' (valid: no-wild, unrestricted, \
+                             no-random, sorted:i,j,…)"
+                        ))
+                    }
+                };
+            }
+            other => return Err(format!("unknown query key '{other}'")),
+        }
+    }
+    Ok(req)
+}
+
+/// Batch mode: feed the query file through a [`TopKService`] and report
+/// aggregate throughput and cache behavior.
+fn run_service_batch(args: &Args, db: Database, z: &[usize], path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read queries file: {e}"))?;
+    let base = base_request(args, z, db.num_lists())?;
+    let requests: Vec<(usize, QueryRequest)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| {
+            let l = l.trim();
+            !l.is_empty() && !l.starts_with('#')
+        })
+        .map(|(i, l)| Ok((i + 1, parse_query_line(l, &base)?)))
+        .collect::<Result<_, String>>()
+        .map_err(|e| format!("{path}: {e}"))?;
+    if requests.is_empty() {
+        return Err(format!(
+            "{path}: no queries (blank lines and # are skipped)"
+        ));
+    }
+    if args.algo != "auto" {
+        println!(
+            "note: --algo {} ignored in batch mode (the service plans)",
+            args.algo
+        );
+    }
+
+    let n = db.num_objects();
+    let m = db.num_lists();
+    let mut config = ServiceConfig::default()
+        .with_workers(args.workers)
+        .with_queue_cap(args.queue_cap);
+    if args.no_cache {
+        config = config.without_cache();
+    }
+    let service = TopKService::new(std::sync::Arc::new(db), config);
+    println!(
+        "service: {} workers, queue cap {}, cache {} | workload {} (N={n}, m={m})",
+        args.workers,
+        args.queue_cap,
+        if args.no_cache { "off" } else { "on" },
+        args.workload,
+    );
+
+    let started = std::time::Instant::now();
+    // Submit everything up front (admission control may reject), then wait.
+    let tickets: Vec<(usize, Result<QueryTicket, ServeError>)> = requests
+        .iter()
+        .map(|(line, req)| (*line, service.submit(req.clone())))
+        .collect();
+    let mut answered = 0usize;
+    let mut rejected = 0usize;
+    let mut failed = 0usize;
+    for (line, ticket) in tickets {
+        let outcome = ticket.and_then(QueryTicket::wait);
+        match outcome {
+            Ok(resp) => {
+                answered += 1;
+                if args.verbose {
+                    let top = resp
+                        .items
+                        .first()
+                        .map_or("-".to_string(), ToString::to_string);
+                    println!(
+                        "  line {line:>4}: {} | top: {top} | cost {:.1} | {:?}",
+                        resp.algorithm, resp.cost, resp.source
+                    );
+                }
+            }
+            Err(e @ (ServeError::QueueFull { .. } | ServeError::CostBudgetExceeded { .. })) => {
+                rejected += 1;
+                if args.verbose {
+                    println!("  line {line:>4}: rejected: {e}");
+                }
+            }
+            Err(e) => {
+                failed += 1;
+                println!("  line {line:>4}: failed: {e}");
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let metrics = service.metrics();
+    println!();
+    println!(
+        "{} queries in {:.2?}: {} answered ({:.1}/s), {} rejected, {} failed",
+        requests.len(),
+        elapsed,
+        answered,
+        answered as f64 / elapsed.as_secs_f64().max(1e-9),
+        rejected,
+        failed,
+    );
+    println!(
+        "cache hit rate: {:.1}% ({} hits / {} completed)",
+        metrics.cache_hit_rate * 100.0,
+        metrics.cache_hits,
+        metrics.completed,
+    );
+    println!(
+        "middleware cost per query: p50 {} p99 {}",
+        metrics.cost_p50.map_or("-".into(), |c| format!("{c:.1}")),
+        metrics.cost_p99.map_or("-".into(), |c| format!("{c:.1}")),
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let Some(args) = parse_args()? else {
         println!("{HELP}");
@@ -227,6 +461,9 @@ fn run() -> Result<(), String> {
     };
     let costs = CostModel::new(args.c_s, args.c_r);
     let (db, z) = build_workload(&args)?;
+    if let Some(path) = args.queries.clone() {
+        return run_service_batch(&args, db, &z, &path);
+    }
     let agg = build_aggregation(&args.agg)?;
     let (algo, policy, rationale) =
         build_algorithm(&args, &z, db.num_lists(), agg.as_ref(), &costs)?;

@@ -7,13 +7,15 @@
 //! (NRA), the Combined Algorithm (CA), and the baselines the paper measures
 //! them against — over a fully instrumented middleware substrate.
 //!
-//! This umbrella crate re-exports the three component crates:
+//! This umbrella crate re-exports the four component crates:
 //!
 //! * [`middleware`] — sorted-list databases, access sessions, cost model,
 //!   and machine-checked access policies;
 //! * [`core`] — aggregation functions and the algorithm suite;
 //! * [`workloads`] — random generators, the paper's adversarial witness
-//!   families, and domain scenarios.
+//!   families, and domain scenarios;
+//! * [`serve`] — the concurrent multi-query service with its
+//!   threshold-aware result cache, admission control and metrics.
 //!
 //! The `prelude` brings the common types into scope:
 //!
@@ -34,6 +36,7 @@
 
 pub use fagin_core as core;
 pub use fagin_middleware as middleware;
+pub use fagin_serve as serve;
 pub use fagin_workloads as workloads;
 
 /// Commonly used types, in one import.
@@ -44,15 +47,20 @@ pub mod prelude {
     };
     pub use fagin_core::algorithms::{
         BookkeepingStrategy, Ca, Fa, Intermittent, MaxTopK, Naive, Nra, QuickCombine, Sharded,
-        StreamCombine, Ta, TaStepper, TaView, TopKAlgorithm,
+        StreamCombine, Ta, TaStepper, TaView, TopKAlgorithm, WarmStart,
     };
     pub use fagin_core::oracle;
     pub use fagin_core::planner::{Capabilities, Guarantee, Plan, PlanError, Planner};
     pub use fagin_core::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
     pub use fagin_middleware::{
-        AccessError, AccessPolicy, AccessStats, BatchConfig, CostModel, Database, DatabaseBuilder,
-        DatabaseShard, Entry, GeneratorSource, Grade, GradedSource, MaterializedSource, Middleware,
-        ObjectId, Session, ShardView, SortedAccessSet, SubsystemMiddleware,
+        AccessError, AccessPolicy, AccessStats, BatchConfig, CostBudget, CostModel, Database,
+        DatabaseBuilder, DatabaseShard, Entry, GeneratorSource, Grade, GradedSource,
+        MaterializedSource, Middleware, ObjectId, Session, ShardView, SortedAccessSet,
+        SubsystemMiddleware,
+    };
+    pub use fagin_serve::{
+        AggSpec, AnswerSource, QueryRequest, QueryResponse, QueryTicket, ResultCache, ServeError,
+        ServiceConfig, ServiceMetrics, TopKService,
     };
     pub use fagin_workloads::{
         adversarial, adversary, random, scenarios, AdaptiveAdversary, Witness,

@@ -1,0 +1,223 @@
+//! Soundness of the threshold-aware result cache: prefix hits are served
+//! with **zero** middleware accesses and are byte-identical to cold runs;
+//! near-misses warm-start; admission control rejects with typed errors.
+
+use std::sync::Arc;
+
+use fagin_topk::prelude::*;
+
+fn db(n: usize, seed: u64) -> Arc<Database> {
+    Arc::new(random::uniform(n, 3, seed))
+}
+
+/// Single-worker service: deterministic pickup order for cache tests.
+fn service(db: &Arc<Database>) -> TopKService {
+    TopKService::new(Arc::clone(db), ServiceConfig::default().with_workers(1))
+}
+
+/// The acceptance property: a `k ≤ K` hit performs zero sorted/random
+/// accesses and returns exactly the bytes a cold run returns.
+#[test]
+fn prefix_hits_are_zero_access_and_byte_identical_to_cold_runs() {
+    let db = db(2_500, 11);
+    let warmed = service(&db);
+    let big = warmed
+        .query(QueryRequest::new(AggSpec::Average, 25))
+        .unwrap();
+    assert_eq!(big.source, AnswerSource::Cold);
+
+    for k in [1usize, 2, 7, 24, 25] {
+        let hit = warmed
+            .query(QueryRequest::new(AggSpec::Average, k))
+            .unwrap();
+        assert_eq!(
+            hit.source,
+            AnswerSource::CacheHit { certified_k: 25 },
+            "k={k}"
+        );
+        // Zero middleware accesses of either kind.
+        assert_eq!(hit.stats.sorted_total(), 0, "k={k}");
+        assert_eq!(hit.stats.random_total(), 0, "k={k}");
+        assert_eq!(hit.cost, 0.0, "k={k}");
+        // Byte-identical to a cold run of the same request on a fresh,
+        // cache-less service.
+        let cold_service = TopKService::new(
+            Arc::clone(&db),
+            ServiceConfig::default().with_workers(1).without_cache(),
+        );
+        let cold = cold_service
+            .query(QueryRequest::new(AggSpec::Average, k))
+            .unwrap();
+        assert_eq!(cold.source, AnswerSource::Cold);
+        assert!(cold.stats.total() > 0);
+        assert_eq!(hit.items, cold.items, "k={k}: hit differs from cold run");
+        // And still the true top-k.
+        assert!(oracle::is_valid_top_k(&db, &Average, k, &hit.objects()));
+    }
+    let metrics = warmed.metrics();
+    assert_eq!(metrics.cache_hits, 5);
+    assert_eq!(metrics.cache_misses, 1);
+}
+
+/// The τ certificate survives the round trip: hits report the cached run's
+/// final threshold, and every served grade clears it.
+#[test]
+fn hits_carry_the_certifying_threshold() {
+    let db = db(1_200, 12);
+    let svc = service(&db);
+    let cold = svc.query(QueryRequest::new(AggSpec::Min, 10)).unwrap();
+    let tau = cold.run.final_threshold.expect("TA reports τ");
+    let hit = svc.query(QueryRequest::new(AggSpec::Min, 4)).unwrap();
+    assert!(hit.is_cache_hit());
+    assert_eq!(hit.run.final_threshold, Some(tau));
+    for item in &hit.items {
+        assert!(
+            item.grade.expect("graded answer") >= tau,
+            "a reported grade below τ would not be certified"
+        );
+    }
+}
+
+/// `k > K` misses but warm-starts: the cached certificate seeds the new
+/// run, which must answer identically to a cold run while spending no
+/// more middleware accesses.
+#[test]
+fn near_misses_warm_start_and_stay_exact() {
+    let db = db(2_500, 13);
+    let svc = service(&db);
+    svc.query(QueryRequest::new(AggSpec::Average, 10)).unwrap();
+    let warm = svc.query(QueryRequest::new(AggSpec::Average, 30)).unwrap();
+    assert_eq!(warm.source, AnswerSource::WarmStarted { seeds: 10 });
+
+    let cold_service = TopKService::new(
+        Arc::clone(&db),
+        ServiceConfig::default().with_workers(1).without_cache(),
+    );
+    let cold = cold_service
+        .query(QueryRequest::new(AggSpec::Average, 30))
+        .unwrap();
+    assert_eq!(warm.items, cold.items, "warm start changed the answer");
+    assert!(
+        warm.stats.random_total() <= cold.stats.random_total(),
+        "warm {} vs cold {} random accesses",
+        warm.stats.random_total(),
+        cold.stats.random_total()
+    );
+    assert!(warm.stats.sorted_total() <= cold.stats.sorted_total());
+    // The warm run's larger certificate now serves the range in between.
+    let hit = svc.query(QueryRequest::new(AggSpec::Average, 20)).unwrap();
+    assert_eq!(hit.source, AnswerSource::CacheHit { certified_k: 30 });
+}
+
+/// Gradeless certificates (NRA answers whose grades never resolved) must
+/// not be prefix-served — only exact-`k` repeats may hit.
+#[test]
+fn gradeless_answers_only_hit_on_exact_k() {
+    // Anticorrelated grades leave NRA with unresolved overall grades.
+    let db = Arc::new(random::anticorrelated(600, 3, 0.05, 14));
+    let svc = service(&db);
+    let req = |k| {
+        QueryRequest::new(AggSpec::Average, k)
+            .with_policy(AccessPolicy::no_random_access())
+            .require_grades(false)
+    };
+    let cold = svc.query(req(12)).unwrap();
+    assert!(cold.algorithm.starts_with("NRA"));
+    if cold.items.iter().any(|i| i.grade.is_none()) {
+        // Prefix request: must re-execute, not serve an uncertified order.
+        let smaller = svc.query(req(5)).unwrap();
+        assert!(!smaller.is_cache_hit(), "gradeless prefix must not hit");
+        assert!(oracle::is_valid_top_k(&db, &Average, 5, &smaller.objects()));
+    }
+    // Exact-k repeat: the whole certified set, fine to serve.
+    let repeat = svc.query(req(12)).unwrap();
+    assert!(repeat.is_cache_hit());
+    assert_eq!(repeat.stats.total(), 0);
+    assert_eq!(repeat.objects(), cold.objects());
+}
+
+/// Approximate requests neither read nor write the cache.
+#[test]
+fn theta_requests_bypass_the_cache_both_ways() {
+    let db = db(1_000, 15);
+    let svc = service(&db);
+    // A θ run first: must not seed the cache.
+    let approx = svc
+        .query(QueryRequest::new(AggSpec::Average, 8).with_theta(3.0))
+        .unwrap();
+    assert_eq!(approx.source, AnswerSource::Cold);
+    let exact = svc.query(QueryRequest::new(AggSpec::Average, 8)).unwrap();
+    assert_eq!(
+        exact.source,
+        AnswerSource::Cold,
+        "an approximate run must never certify exact answers"
+    );
+    // The exact run's certificate serves exact prefixes; a later θ request
+    // still bypasses it (cold), by design.
+    let approx2 = svc
+        .query(QueryRequest::new(AggSpec::Average, 3).with_theta(3.0))
+        .unwrap();
+    assert_eq!(approx2.source, AnswerSource::Cold);
+    let hit = svc.query(QueryRequest::new(AggSpec::Average, 3)).unwrap();
+    assert!(hit.is_cache_hit());
+}
+
+/// Admission control: the queue cap and cost budgets reject with typed
+/// errors, and rejections show up in the metrics.
+#[test]
+fn admission_control_rejects_typed() {
+    let db = db(900, 16);
+    let full = TopKService::new(Arc::clone(&db), ServiceConfig::default().with_queue_cap(0));
+    match full.query(QueryRequest::new(AggSpec::Min, 1)) {
+        Err(ServeError::QueueFull { cap: 0, .. }) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(full.metrics().rejected_queue_full, 1);
+
+    let svc = service(&db);
+    match svc.query(QueryRequest::new(AggSpec::Average, 5).with_cost_budget(4.0)) {
+        Err(ServeError::CostBudgetExceeded { budget, spent }) => {
+            assert_eq!(budget, 4.0);
+            assert!(spent <= budget, "budget blown past: {spent} > {budget}");
+        }
+        other => panic!("expected CostBudgetExceeded, got {other:?}"),
+    }
+    assert_eq!(svc.metrics().rejected_over_budget, 1);
+    // A budget large enough to finish answers normally and is cached.
+    let ok = svc
+        .query(QueryRequest::new(AggSpec::Average, 5).with_cost_budget(1e9))
+        .unwrap();
+    assert!(oracle::is_valid_top_k(&db, &Average, 5, &ok.objects()));
+    let hit = svc.query(QueryRequest::new(AggSpec::Average, 2)).unwrap();
+    assert!(hit.is_cache_hit(), "budgeted runs still certify prefixes");
+}
+
+/// Cache keys separate what must be separated: a different aggregation,
+/// policy capability or cost model never serves another request's answer.
+#[test]
+fn cache_never_crosses_answer_relevant_shapes() {
+    let db = db(800, 17);
+    let svc = service(&db);
+    svc.query(QueryRequest::new(AggSpec::Average, 10)).unwrap();
+    // Different aggregation: cold.
+    let other = svc.query(QueryRequest::new(AggSpec::Sum, 5)).unwrap();
+    assert!(!other.is_cache_hit());
+    // Different capability class: cold (and still correct under policy).
+    let nra = svc
+        .query(
+            QueryRequest::new(AggSpec::Average, 5)
+                .with_policy(AccessPolicy::no_random_access())
+                .require_grades(false),
+        )
+        .unwrap();
+    assert!(!nra.is_cache_hit());
+    assert_eq!(nra.stats.random_total(), 0);
+    // Different cost model: cold (the planner may choose differently).
+    let pricey = svc
+        .query(QueryRequest::new(AggSpec::Average, 5).with_costs(CostModel::new(1.0, 25.0)))
+        .unwrap();
+    assert!(!pricey.is_cache_hit());
+    // The original shape still hits.
+    let hit = svc.query(QueryRequest::new(AggSpec::Average, 5)).unwrap();
+    assert!(hit.is_cache_hit());
+}

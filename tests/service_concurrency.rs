@@ -1,0 +1,174 @@
+//! Concurrency correctness of the query service: many concurrent queries
+//! with mixed algorithms and `k`, every answer checked against the
+//! subsystem-side oracle `oracle::true_top_k`.
+
+use std::sync::Arc;
+
+use fagin_topk::prelude::*;
+
+/// A distinct database so the CA branch of the planner is reachable and
+/// overall grades are (generically) tie-free.
+fn db(n: usize) -> Arc<Database> {
+    Arc::new(random::uniform_distinct(n, 3, 0xC0FFEE))
+}
+
+/// The mixed shapes: TA (plain + batched), NRA, CA (expensive random
+/// access over a distinct database) and the max specialist, at several k.
+fn shapes() -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::new(AggSpec::Average, 1),
+        QueryRequest::new(AggSpec::Average, 10),
+        QueryRequest::new(AggSpec::Min, 5),
+        QueryRequest::new(AggSpec::Min, 17).with_batch(BatchConfig::new(32)),
+        QueryRequest::new(AggSpec::Sum, 3),
+        QueryRequest::new(AggSpec::Max, 4), // the mk specialist
+        QueryRequest::new(AggSpec::Min, 8)
+            .with_policy(AccessPolicy::no_random_access())
+            .require_grades(false), // NRA
+        QueryRequest::new(AggSpec::Min, 6).with_costs(CostModel::new(1.0, 50.0)), // CA
+        QueryRequest::new(AggSpec::Average, 25),
+    ]
+}
+
+/// Answers must match the oracle no matter how many clients race. Checks
+/// both the valid-top-k property (grade multiset equality with
+/// `oracle::true_top_k`) and, for graded answers, grade exactness.
+#[test]
+fn concurrent_mixed_queries_all_match_the_oracle() {
+    let db = db(1_500);
+    let service = Arc::new(TopKService::new(
+        Arc::clone(&db),
+        ServiceConfig::default().with_workers(4),
+    ));
+    let shapes = shapes();
+    let clients = 6;
+    let rounds = 3;
+
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let service = Arc::clone(&service);
+            let db = Arc::clone(&db);
+            let shapes = shapes.clone();
+            scope.spawn(move || {
+                for round in 0..rounds {
+                    // Stagger shape order per client so different shapes race.
+                    for step in 0..shapes.len() {
+                        let req = &shapes[(client + step) % shapes.len()];
+                        let resp = service
+                            .query(req.clone())
+                            .unwrap_or_else(|e| panic!("client {client} round {round}: {e}"));
+                        let agg = req.agg.instance();
+                        assert!(
+                            oracle::is_valid_top_k(&db, agg, req.k, &resp.objects()),
+                            "client {client} round {round}: {} answered top-{} wrong \
+                             (source {:?})",
+                            resp.algorithm,
+                            req.k,
+                            resp.source
+                        );
+                        for item in &resp.items {
+                            if let Some(grade) = item.grade {
+                                let row = db.row(item.object).expect("object exists");
+                                assert_eq!(
+                                    grade,
+                                    agg.evaluate(&row),
+                                    "client {client}: wrong grade for {}",
+                                    item.object
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let metrics = service.metrics();
+    let expected = (clients * rounds * shapes.len()) as u64;
+    assert_eq!(metrics.completed, expected);
+    assert_eq!(metrics.failed, 0);
+    assert!(
+        metrics.cache_hits > 0,
+        "repeated shapes must hit the cache: {metrics}"
+    );
+    assert!(metrics.queries_per_sec > 0.0);
+    assert!(metrics.cost_p50 <= metrics.cost_p99);
+}
+
+/// Per-query sessions keep accounting isolated: a query's reported stats
+/// reflect only its own accesses, and policy violations in one request
+/// never leak into others running concurrently.
+#[test]
+fn per_query_accounting_and_policy_stay_isolated() {
+    let db = db(800);
+    let service = Arc::new(TopKService::new(
+        Arc::clone(&db),
+        // No cache: every query must execute and report its own accesses.
+        ServiceConfig::default().with_workers(4).without_cache(),
+    ));
+
+    std::thread::scope(|scope| {
+        // NRA clients: their responses must show zero random accesses even
+        // while TA clients hammer random access on the same database.
+        for _ in 0..2 {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let resp = service
+                        .query(
+                            QueryRequest::new(AggSpec::Min, 4)
+                                .with_policy(AccessPolicy::no_random_access())
+                                .require_grades(false),
+                        )
+                        .unwrap();
+                    assert_eq!(
+                        resp.stats.random_total(),
+                        0,
+                        "NRA session did random access"
+                    );
+                    assert!(resp.stats.sorted_total() > 0);
+                }
+            });
+        }
+        for _ in 0..2 {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let resp = service
+                        .query(QueryRequest::new(AggSpec::Average, 4))
+                        .unwrap();
+                    assert!(
+                        resp.stats.random_total() > 0,
+                        "TA resolves via random access"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(service.metrics().completed, 20);
+}
+
+/// Ten clients racing the same shape: every one gets the same bytes,
+/// whether served cold, warm or from the cache.
+#[test]
+fn racing_identical_queries_agree_bytewise() {
+    let db = db(1_000);
+    let service = Arc::new(TopKService::new(
+        Arc::clone(&db),
+        ServiceConfig::default().with_workers(8),
+    ));
+    let req = QueryRequest::new(AggSpec::Average, 9);
+    let answers: Vec<Vec<ScoredObject>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..10)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let req = req.clone();
+                scope.spawn(move || service.query(req).unwrap().items)
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for answer in &answers[1..] {
+        assert_eq!(answer, &answers[0], "racing clients saw different answers");
+    }
+}
