@@ -8,21 +8,30 @@
 //! cargo run --release -p fagin-bench --bin experiments -- --quick all
 //! cargo run --release -p fagin-bench --bin experiments -- --no-json e7
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-budget
+//! cargo run --release -p fagin-bench --bin experiments -- --assert-access-counts
 //! ```
 //!
 //! `--assert-budget[=MULT]` measures NRA(lazy) and CA(h=2) against TA on
 //! every workload shape at n = 10 000 and exits non-zero if any exceeds
-//! `MULT ×` TA's wall time (default 25×) — the CI smoke test that keeps
-//! bound-engine bookkeeping regressions out of the build. Given alone, it
-//! runs just the guardrail; combined with experiment ids it runs both.
+//! `MULT ×` TA's wall time (default 8×) — the CI smoke test that keeps
+//! bound-engine bookkeeping regressions out of the build.
+//!
+//! `--assert-access-counts[=PATH]` re-measures the full-scale algorithm
+//! grid and exits non-zero if any `sorted`/`random` access count differs
+//! from the recorded `BENCH_topk.json` (default path) — the referee that a
+//! perf change touched only wall-clock, never the access sequence.
+//!
+//! Either assertion given alone runs just its check; combined with
+//! experiment ids they run after the experiments.
 
 use fagin_bench::experiments::{by_id, ALL_IDS};
 use fagin_bench::{report, Scale};
 
-/// Default wall-time multiple: post-rewrite ratios sit under 10×, the
-/// pre-rewrite engine blew past 100×; 25× leaves room for CI noise while
-/// still catching any bookkeeping regression.
-const DEFAULT_BUDGET_MULTIPLE: f64 = 25.0;
+/// Default wall-time multiple: with the dense slot-table engine the
+/// NRA/CA ratios sit around 1–4× of TA (the pre-incremental engine blew
+/// past 100×, the PR 3 engine sat under 10×); 8× leaves room for CI noise
+/// while still catching any bookkeeping regression.
+const DEFAULT_BUDGET_MULTIPLE: f64 = 8.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,14 +45,26 @@ fn main() {
                 .map(|v| v.parse().expect("--assert-budget=MULT needs a number"))
         }
     });
+    let access_counts: Option<String> = args.iter().find_map(|a| {
+        if a == "--assert-access-counts" {
+            Some("BENCH_topk.json".to_string())
+        } else {
+            a.strip_prefix("--assert-access-counts=").map(String::from)
+        }
+    });
     if let Some(unknown) = args.iter().find(|a| {
         a.starts_with("--")
             && *a != "--quick"
             && *a != "--no-json"
             && *a != "--assert-budget"
             && !a.starts_with("--assert-budget=")
+            && *a != "--assert-access-counts"
+            && !a.starts_with("--assert-access-counts=")
     }) {
-        eprintln!("unknown flag: {unknown} (valid: --quick, --no-json, --assert-budget[=MULT])");
+        eprintln!(
+            "unknown flag: {unknown} (valid: --quick, --no-json, \
+             --assert-budget[=MULT], --assert-access-counts[=PATH])"
+        );
         std::process::exit(2);
     }
     let scale = if quick { Scale::Quick } else { Scale::Full };
@@ -52,10 +73,10 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
-    // `--assert-budget` alone runs only the guardrail; otherwise an empty
-    // id list means every experiment.
+    // An assertion flag alone runs only its check; otherwise an empty id
+    // list means every experiment.
     let ids: Vec<&str> = if named.is_empty() {
-        if budget.is_some() {
+        if budget.is_some() || access_counts.is_some() {
             Vec::new()
         } else {
             ALL_IDS.to_vec()
@@ -110,6 +131,34 @@ fn main() {
                 if row.ok { "ok" } else { "OVER BUDGET" }
             );
             if !row.ok {
+                failed = true;
+            }
+        }
+    }
+    if let Some(path) = access_counts {
+        // Access counts are scale-dependent and the committed artifact is
+        // regenerated at Full scale, so the check always measures Full —
+        // comparing a --quick grid against it would report false drift on
+        // every cell.
+        if quick {
+            println!(
+                "note: --assert-access-counts ignores --quick ({path} is a Full-scale artifact)"
+            );
+        }
+        println!("access-count check against {path} (Full scale)");
+        match report::access_count_drift(&path, Scale::Full) {
+            Ok(drift) if drift.is_empty() => {
+                println!("  every sorted/random access count matches");
+            }
+            Ok(drift) => {
+                for line in drift {
+                    eprintln!("  DRIFT: {line}");
+                }
+                eprintln!("  access counts changed — a perf refactor must only move wall_secs");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("  access-count check failed: {e}");
                 failed = true;
             }
         }

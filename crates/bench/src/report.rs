@@ -6,11 +6,15 @@
 //! sorted/random access counts and wall-clock time; [`to_json`] renders the
 //! records as JSON (hand-rolled — the build environment is offline, so no
 //! serde) and [`write_json`] writes the standard artifact.
+//! [`access_count_drift`] is the CI referee: it re-measures the grid and
+//! reports any `sorted`/`random` count that differs from the recorded
+//! artifact (perf work may move `wall_secs`, never the access sequence).
 
 use std::time::Instant;
 
 use fagin_core::aggregation::{Aggregation, Min};
 use fagin_core::algorithms::{BookkeepingStrategy, Ca, Nra, Ta, TopKAlgorithm};
+use fagin_core::RunScratch;
 use fagin_middleware::{AccessPolicy, Database, Session};
 use fagin_workloads::random;
 
@@ -33,13 +37,24 @@ pub struct PerfRecord {
     pub sorted: u64,
     /// Random accesses performed.
     pub random: u64,
-    /// Wall-clock seconds for the run (single execution, indicative).
+    /// Wall-clock seconds for one steady-state run: the timed executions
+    /// lease a warmed run arena and a reset session, exactly like a
+    /// serving worker's second-and-later queries (best of two timed runs,
+    /// damping scheduler noise as the guardrail does; indicative).
     pub wall_secs: f64,
 }
 
 /// Runs the standard grid: four workload shapes × the core algorithm
 /// suite, including a batched TA configuration so the batching win (or a
 /// regression) shows up in the trajectory.
+///
+/// Each cell runs twice over one shared [`fagin_core::RunScratch`]: an
+/// untimed warm-up (growing the arena for the workload) and the timed
+/// steady-state run. That is the configuration the serving layer actually
+/// executes — every `TopKService` worker leases one arena to all of its
+/// queries — and it is what the access-optimal algorithms' wall-clock
+/// trajectory should track. Access counts are identical either way (the
+/// arena never changes a decision; `tests/arena_reuse.rs`).
 pub fn perf_matrix(scale: Scale) -> Vec<PerfRecord> {
     let n = scale.pick(2_000, 40_000);
     let m = 3;
@@ -63,15 +78,25 @@ pub fn perf_matrix(scale: Scale) -> Vec<PerfRecord> {
     ];
 
     let agg: &dyn Aggregation = &Min;
+    let mut arena = RunScratch::new();
     let mut records = Vec::new();
     for (workload, db) in &workloads {
         for (algo, policy) in &algorithms {
             let mut session = Session::with_policy(db, policy.clone());
-            let started = Instant::now();
-            let out = algo
-                .run(&mut session, agg, k)
+            algo.run_with(&mut session, agg, k, &mut arena)
                 .unwrap_or_else(|e| panic!("{} failed on {workload}: {e}", algo.name()));
-            let wall_secs = started.elapsed().as_secs_f64();
+            let mut wall_secs = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..2 {
+                session.reset(policy.clone());
+                let started = Instant::now();
+                let run = algo
+                    .run_with(&mut session, agg, k, &mut arena)
+                    .unwrap_or_else(|e| panic!("{} failed on {workload}: {e}", algo.name()));
+                wall_secs = wall_secs.min(started.elapsed().as_secs_f64());
+                out = Some(run);
+            }
+            let out = out.expect("timed runs executed");
             records.push(PerfRecord {
                 algorithm: algo.name(),
                 workload: (*workload).to_string(),
@@ -248,6 +273,94 @@ pub fn write_json(path: &str, scale: Scale) -> std::io::Result<usize> {
     Ok(records.len() + service.len())
 }
 
+/// Compares a freshly measured algorithm grid against the access counts
+/// recorded in an existing `BENCH_topk.json` (the
+/// `experiments -- --assert-access-counts` smoke check).
+///
+/// Returns one human-readable line per drifted cell (empty = no drift), or
+/// `Err` when the file is missing/unparsable or the grids don't line up.
+/// Only the *algorithm* rows are compared: their access counts are
+/// deterministic functions of the workload seeds, so any drift means an
+/// algorithm's access sequence changed — exactly what a perf refactor must
+/// never do. Service rows are excluded (their totals depend on worker
+/// scheduling races against the cache) and so is `wall_secs` (that is the
+/// row that is *supposed* to change).
+pub fn access_count_drift(path: &str, scale: Scale) -> Result<Vec<String>, String> {
+    let recorded = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut want: Vec<(String, String, [u64; 5])> = Vec::new();
+    for line in recorded.lines() {
+        // Algorithm rows carry "k"; service rows carry "queries".
+        if !line.contains("\"algorithm\"") || !line.contains("\"k\":") {
+            continue;
+        }
+        let algorithm = json_str_field(line, "algorithm")
+            .ok_or_else(|| format!("{path}: row without algorithm: {line}"))?;
+        let workload = json_str_field(line, "workload")
+            .ok_or_else(|| format!("{path}: row without workload: {line}"))?;
+        let mut nums = [0u64; 5];
+        for (slot, key) in nums.iter_mut().zip(["n", "m", "k", "sorted", "random"]) {
+            *slot = json_u64_field(line, key)
+                .ok_or_else(|| format!("{path}: row without {key}: {line}"))?;
+        }
+        want.push((algorithm, workload, nums));
+    }
+    if want.is_empty() {
+        return Err(format!("{path}: no algorithm rows found"));
+    }
+    let measured = perf_matrix(scale);
+    if measured.len() != want.len() {
+        return Err(format!(
+            "{path} records {} algorithm rows but the grid measures {} — \
+             regenerate the artifact",
+            want.len(),
+            measured.len()
+        ));
+    }
+    let mut drift = Vec::new();
+    for r in &measured {
+        let Some((_, _, nums)) = want
+            .iter()
+            .find(|(a, w, _)| *a == r.algorithm && *w == r.workload)
+        else {
+            drift.push(format!(
+                "{} on {}: measured but not recorded in {path}",
+                r.algorithm, r.workload
+            ));
+            continue;
+        };
+        let got = [r.n as u64, r.m as u64, r.k as u64, r.sorted, r.random];
+        for (i, key) in ["n", "m", "k", "sorted", "random"].iter().enumerate() {
+            if nums[i] != got[i] {
+                drift.push(format!(
+                    "{} on {}: {key} recorded {} but measured {}",
+                    r.algorithm, r.workload, nums[i], got[i]
+                ));
+            }
+        }
+    }
+    Ok(drift)
+}
+
+/// Extracts a `"key": "value"` string field from one JSON row of our own
+/// `to_json` output (hand-rolled like the writer — the build is offline).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a `"key": 123` unsigned field from one JSON row.
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// One measured row of the wall-clock guardrail.
 #[derive(Clone, Debug)]
 pub struct BudgetRow {
@@ -374,6 +487,36 @@ mod tests {
         assert!(json.contains("\"sorted\": 9"));
         // Exactly one separating comma between the two objects.
         assert_eq!(json.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn access_count_drift_detects_changes_and_accepts_reruns() {
+        let records = perf_matrix(Scale::Quick);
+        let json = to_json(&records, &[]);
+        let path = std::env::temp_dir().join("bench_drift_check.json");
+        let path = path.to_str().unwrap().to_string();
+
+        std::fs::write(&path, &json).unwrap();
+        let drift = access_count_drift(&path, Scale::Quick).unwrap();
+        assert!(
+            drift.is_empty(),
+            "identical rerun must not drift: {drift:?}"
+        );
+
+        // Corrupt one sorted count: exactly that cell must be reported.
+        let corrupted = json.replacen(
+            &format!("\"sorted\": {}", records[0].sorted),
+            &format!("\"sorted\": {}", records[0].sorted + 1),
+            1,
+        );
+        std::fs::write(&path, corrupted).unwrap();
+        let drift = access_count_drift(&path, Scale::Quick).unwrap();
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].contains("sorted"));
+
+        // A missing artifact is an error, not silence.
+        assert!(access_count_drift("/nonexistent/bench.json", Scale::Quick).is_err());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

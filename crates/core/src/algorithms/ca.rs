@@ -9,9 +9,10 @@
 //! spends the same random-access budget in TA's arrival order instead, can
 //! be worse by an unbounded factor.
 
-use fagin_middleware::{BatchConfig, Entry, Middleware};
+use fagin_middleware::{BatchConfig, Middleware};
 
 use crate::aggregation::Aggregation;
+use crate::arena::RunScratch;
 use crate::output::{AlgoError, RunMetrics, TopKOutput};
 
 use super::engine::{BookkeepingStrategy, BoundEngine};
@@ -94,60 +95,72 @@ impl TopKAlgorithm for Ca {
         agg: &dyn Aggregation,
         k: usize,
     ) -> Result<TopKOutput, AlgoError> {
+        self.run_with(mw, agg, k, &mut RunScratch::new())
+    }
+
+    fn run_with(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
         let n = mw.num_objects();
         let b = self.batch.size();
-        let mut engine = BoundEngine::new(agg, m, k, self.strategy).tracking_incomplete();
-        let mut exhausted = vec![false; m];
-        let mut batch_buf: Vec<Entry> = Vec::with_capacity(b);
+        let (engine_scratch, drive) = scratch.engine_and_drive();
+        drive.reset(m);
+        let mut engine =
+            BoundEngine::new_in(agg, m, k, self.strategy, engine_scratch).tracking_incomplete();
         let mut rounds = 0u64;
         let mut ra_phases = 0u64;
 
-        let sel = loop {
+        loop {
             rounds += 1;
-            for (i, done) in exhausted.iter_mut().enumerate() {
+            for (i, done) in drive.exhausted.iter_mut().enumerate() {
                 if *done {
                     continue;
                 }
-                batch_buf.clear();
+                drive.batch_buf.clear();
                 // Only Ok(0) signals exhaustion — a short batch may be a
                 // budget truncation (see the Middleware batch contract).
-                if mw.sorted_next_batch(i, b, &mut batch_buf)? == 0 {
+                if mw.sorted_next_batch(i, b, &mut drive.batch_buf)? == 0 {
                     *done = true;
                     continue;
                 }
-                engine.observe_sorted_batch(i, &batch_buf);
+                engine.observe_sorted_batch(i, &drive.batch_buf);
             }
-            let mut sel = engine.selection();
+            engine.refresh_selection();
 
             // Every h rounds: one random-access phase on the most promising
             // incomplete viable object ("escape clause": skip if none).
             if rounds.is_multiple_of(self.h as u64) {
-                if let Some(object) = engine.best_viable_incomplete(&sel) {
-                    for list in engine.missing_fields(object) {
+                if let Some(object) = engine.best_viable_incomplete() {
+                    engine.missing_fields_into(object, &mut drive.missing);
+                    for &list in drive.missing.iter() {
                         let g = mw.random_lookup(list, object)?;
                         engine.learn_random(object, list, g);
                     }
                     ra_phases += 1;
-                    sel = engine.selection();
+                    engine.refresh_selection();
                 }
             }
 
-            if engine.check_halt(&sel, n) {
-                break sel;
+            if engine.check_halt(n) {
+                break;
             }
-            if exhausted.iter().all(|&e| e) {
-                break sel;
+            if drive.exhausted.iter().all(|&e| e) {
+                break;
             }
-        };
+        }
 
-        let items = engine.output_items(&sel);
+        let items = engine.output_items();
         let mut metrics = RunMetrics::new();
         metrics.rounds = rounds;
         metrics.peak_buffer = engine.peak_candidates;
         metrics.bound_recomputations = engine.bound_recomputations;
-        metrics.evicted = engine.take_evictions();
+        metrics.evicted = engine.evictions().to_vec();
         metrics.random_access_phases = ra_phases;
         metrics.final_threshold = Some(engine.threshold());
         Ok(TopKOutput {

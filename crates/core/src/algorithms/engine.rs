@@ -7,39 +7,50 @@
 //! requires), and the halting test "no viable object remains outside
 //! `T_k`" (an object is *viable* when `B(R) > M_k`).
 //!
-//! ## Incremental bookkeeping
+//! ## Dense, allocation-free bookkeeping
 //!
 //! The paper's cost model charges per *access*; the engine's job is to keep
 //! the per-round bookkeeping sub-linear in the candidate count so that the
-//! access-optimal algorithms are also wall-clock fast. Three incremental
-//! structures carry the state (shared by both [`BookkeepingStrategy`]s):
+//! access-optimal algorithms are also wall-clock fast. Object ids are dense
+//! indices, so all hot state lives in generation-stamped flat tables inside
+//! a reusable [`EngineScratch`] arena (cleared in `O(1)` between runs, no
+//! steady-state allocation — see `crate::arena`):
 //!
-//! * **`W` index** — a `BTreeSet` keyed by `(W desc, id asc)` over all live
-//!   candidates, updated in `O(log n)` per learned field. [`selection`]
-//!   reads the top `k` off the front instead of sorting every candidate.
-//! * **Stale-`B` max-heap** — `B(R)` never increases as sorted access
+//! * **candidate rows** — a [`RowTable`] replaces the historical
+//!   `HashMap<ObjectId, Cand>`: a candidate lookup is two indexed loads,
+//!   and each row caches its current `W` and separable score;
+//! * **`W` index** — `W(R)` only ever *rises* as fields are learned, so a
+//!   lazy max-heap of `(W, id)` snapshots replaces the `BTreeSet`: every
+//!   `W` change pushes a fresh snapshot, and [`refresh_selection`] pops
+//!   entries best-first, discarding the stale ones (entry `W` ≠ the row's
+//!   cached `W`) for good. The snapshot with the row's current `W` is
+//!   always present, so the surviving pop order is exactly the old tree's
+//!   `(W desc, id asc)` iteration — without per-node allocation or pointer
+//!   chasing;
+//! * **stale-`B` max-heap** — `B(R)` never increases as sorted access
 //!   proceeds, so a heap of *stale* upper bounds is sound: if the largest
 //!   stored bound is `≤ M_k`, no outsider is viable and the run halts. Only
-//!   entries that could still block halting are refreshed.
-//! * **Candidate eviction** — once `T_k` is full, an object with
+//!   entries that could still block halting are refreshed;
+//! * **candidate eviction** — once `T_k` is full, an object with
 //!   `B(R) < M_k` can never re-enter the top `k` (both quantities are
-//!   monotone: `B` falls, `M_k` rises), so the engine drops it from the map
-//!   for good. A dead candidate re-encountered later under sorted access is
-//!   re-admitted with a *partial* record whose pseudo-bounds are still
-//!   sound (`B` substitutes per-list bottoms `x̱ᵢ ≤` the forgotten grades),
-//!   so it is harmlessly re-evicted. Strict inequality keeps boundary ties
+//!   monotone: `B` falls, `M_k` rises), so the engine kills its row for
+//!   good (a stamped bitmap replaces the eviction `HashSet`). A dead
+//!   candidate re-encountered later under sorted access is re-admitted with
+//!   a *partial* record whose pseudo-bounds are still sound, so it is
+//!   harmlessly re-evicted. Strict inequality keeps boundary ties
 //!   (`B = M_k`) resident, which is what makes the eviction invisible to
 //!   the access sequence. See [`BoundEngine::without_eviction`] for the one
 //!   consumer that must opt out.
 //!
-//! The observable contract of the rewrite: every halting decision, `T_k`
-//! selection and random-access choice depends only on `(W, B, τ)` *values*,
-//! which the incremental structures reproduce exactly — the sequence of
-//! sorted/random accesses is identical to the historical
-//! recompute-everything implementation (pinned by
+//! The observable contract (unchanged since the incremental rewrite of
+//! PR 3): every halting decision, `T_k` selection and random-access choice
+//! depends only on `(W, B, τ)` *values*, which the lazy structures
+//! reproduce exactly — the sequence of sorted/random accesses is identical
+//! to the historical implementations (pinned by
 //! `tests/engine_equivalence.rs`).
 //!
-//! [`selection`]: BoundEngine::selection
+//! [`refresh_selection`]: BoundEngine::refresh_selection
+//! [`RowTable`]: crate::arena::RowTable
 //!
 //! Two bookkeeping strategies implement Remark 8.7's discussion:
 //!
@@ -50,30 +61,25 @@
 //!   broken by object id instead of `B` (a documented deviation that can
 //!   delay halting by a round on tied databases but never affects
 //!   correctness).
-//!
-//! Both strategies now share the incremental halting check; historically
-//! `Exhaustive` recomputed every bound at every round (`Ω(d²·m)` work),
-//! which survives only as the strategies' differing tie-break rules.
 
 use std::cmp::Reverse;
-use std::collections::hash_map::Entry as Slot;
-use std::collections::{BTreeSet, BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 
-use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId};
+use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId, SlotSet};
 
 use crate::aggregation::Aggregation;
-use crate::bounds::{Bottoms, PartialObject};
+use crate::arena::{Lease, RowTable, RunScratch};
+use crate::bounds::Bottoms;
 use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
 
 use super::{validate, TopKAlgorithm};
 
 /// How NRA/CA break ties in the `T_k` selection (Remark 8.7).
 ///
-/// Since the incremental rewrite both strategies maintain bounds with the
-/// same lazy structures; the names are kept because the *selection*
-/// semantics still differ (faithful `B` tie-breaking vs id tie-breaking)
-/// and because the access sequences of both historical implementations are
-/// pinned by tests.
+/// Both strategies share the lazy incremental structures; the names are
+/// kept because the *selection* semantics still differ (faithful `B`
+/// tie-breaking vs id tie-breaking) and because the access sequences of
+/// both historical implementations are pinned by tests.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum BookkeepingStrategy {
     /// Faithful boundary tie-breaking: the `W`-tied group at the `T_k`
@@ -85,48 +91,52 @@ pub enum BookkeepingStrategy {
     LazyHeap,
 }
 
-/// One tracked object.
-struct Cand {
-    row: PartialObject,
-    /// Cached `W(R)` (changes only when a field is learned).
+/// Per-candidate cached values stored in the row table's payload: the
+/// current `W(R)` (changes only when a field is learned) and the
+/// separable-bound score (see [`Aggregation::bound_score`]; meaningful only
+/// while the engine keeps a separable index).
+#[derive(Clone, Copy, Default)]
+struct CandMeta {
     w: Grade,
-    /// Cached separable-bound score (see [`Aggregation::bound_score`]);
-    /// meaningful only while the engine keeps a separable index.
     score: Grade,
 }
 
-/// Max-heap entry: a stale upper bound on an object's current `B`.
-/// Largest bound first; ties pop the *smallest* object id first (the
-/// `Reverse`), which is what makes the lazy CA target choice reproduce the
-/// deterministic `(B desc, id asc)` maximum exactly.
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
+/// Max-heap entry: a `(value, id)` snapshot ordered largest-value first;
+/// ties pop the *smallest* object id first (the `Reverse`). Used for the
+/// stale-`B` heaps (value = a sound upper bound on `B`) and the lazy `W`
+/// index (value = a `W` snapshot; stale iff ≠ the row's cached `W`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct HeapEntry(Grade, Reverse<ObjectId>);
 
 /// Incomplete candidates sharing one missing-field mask, for aggregations
 /// with the separable-bound capability ([`Aggregation::bound_score`]).
 /// Within a mask the bottoms restriction is common, so the score orders the
-/// `B` bounds exactly; the two indexes answer "largest `B`" (score order)
-/// and "smallest id among `B`-ties" (id order) without touching the whole
-/// group.
+/// `B` bounds exactly; the two lazy heaps answer "largest `B`" (score
+/// order) and "smallest id among `B`-ties" (id order) without touching the
+/// whole group. Entries are snapshots validated against the row table on
+/// pop (a member's score within a mask is fixed, grades being immutable);
+/// `members` counts the live membership so empty groups can be retired to a
+/// spare pool and their storage reused.
 #[derive(Default)]
 struct ScoreGroup {
-    by_score: BTreeSet<(Reverse<Grade>, ObjectId)>,
-    by_id: BTreeSet<ObjectId>,
+    by_score: BinaryHeap<HeapEntry>,
+    by_id: BinaryHeap<Reverse<ObjectId>>,
+    members: usize,
 }
 
 impl ScoreGroup {
-    fn insert(&mut self, score: Grade, object: ObjectId) {
-        self.by_score.insert((Reverse(score), object));
-        self.by_id.insert(object);
-    }
-
-    fn remove(&mut self, score: Grade, object: ObjectId) {
-        self.by_score.remove(&(Reverse(score), object));
-        self.by_id.remove(&object);
+    /// Empties the group for reuse under a (possibly different) mask.
+    fn recycle(&mut self) {
+        self.by_score.clear();
+        self.by_id.clear();
+        self.members = 0;
     }
 }
 
-/// The current top-`k` list `T_k`.
+/// The current top-`k` list `T_k`. Owned by the engine's arena and
+/// refreshed in place each round ([`BoundEngine::refresh_selection`]), so
+/// no per-round allocation.
+#[derive(Default)]
 pub(crate) struct Selection {
     /// `(object, W)` best-first. Length `min(k, live candidates)`.
     pub top: Vec<(ObjectId, Grade)>,
@@ -148,76 +158,132 @@ impl Selection {
 /// scheduling (the halting check already refreshes the interesting ones).
 const PRUNE_FLOOR: usize = 128;
 
+/// All reusable storage of one [`BoundEngine`] run: the dense candidate
+/// table, the lazy heaps, the separable-score groups, eviction state, the
+/// in-place `T_k` selection, and assorted scan buffers. Cleared in `O(1)`
+/// (generation bumps + capacity-retaining `clear`s) at the start of every
+/// run; owned by [`RunScratch`](crate::arena::RunScratch).
+#[derive(Default)]
+pub(crate) struct EngineScratch {
+    rows: RowTable<CandMeta>,
+    bottoms: Bottoms,
+    /// Lazy `W` index (see the module docs).
+    by_w: BinaryHeap<HeapEntry>,
+    /// Stale-but-sound upper bounds on `B`, ≥ 1 entry per live candidate.
+    b_heap: BinaryHeap<HeapEntry>,
+    /// CA only, generic aggregations: stale `B` bounds over incomplete
+    /// candidates (may carry duplicates for re-admitted objects; cleaned
+    /// lazily).
+    incomplete: BinaryHeap<HeapEntry>,
+    /// CA only, separable aggregations: per-missing-mask score index.
+    groups: HashMap<u64, ScoreGroup>,
+    /// Retired group storage, reused for newly occupied masks.
+    spare_groups: Vec<ScoreGroup>,
+    /// Ids of currently-evicted objects (so re-admission doesn't recount
+    /// them in `seen`).
+    evicted_ids: SlotSet,
+    /// Every eviction event, in order (ids may repeat if re-admitted and
+    /// re-evicted). Surfaced as [`RunMetrics::evicted`].
+    evicted_log: Vec<ObjectId>,
+    sel: Selection,
+    parked: Vec<HeapEntry>,
+    popped_w: Vec<HeapEntry>,
+    tied: Vec<(ObjectId, Grade)>,
+    mask_keys: Vec<u64>,
+    tied_masks: Vec<(u64, Grade)>,
+    popped_scores: Vec<HeapEntry>,
+    popped_ids: Vec<Reverse<ObjectId>>,
+    dead: Vec<ObjectId>,
+    scratch: Vec<Grade>,
+}
+
+impl EngineScratch {
+    /// Rewinds every structure for a fresh run over `m` lists.
+    fn reset(&mut self, m: usize) {
+        self.rows.reset(m);
+        self.bottoms.reset(m);
+        self.by_w.clear();
+        self.b_heap.clear();
+        self.incomplete.clear();
+        // Group storage parks in the spare pool rather than dropping.
+        let spare = &mut self.spare_groups;
+        for (_, mut g) in self.groups.drain() {
+            g.recycle();
+            spare.push(g);
+        }
+        self.evicted_ids.reset();
+        self.evicted_log.clear();
+        self.sel.top.clear();
+        self.sel.ids.clear();
+        self.sel.m_k = Grade::ZERO;
+        self.sel.full = false;
+        self.parked.clear();
+        self.popped_w.clear();
+        self.tied.clear();
+        self.mask_keys.clear();
+        self.tied_masks.clear();
+        self.popped_scores.clear();
+        self.popped_ids.clear();
+        self.dead.clear();
+        self.scratch.clear();
+    }
+}
+
 /// Shared NRA/CA state machine.
 pub(crate) struct BoundEngine<'a> {
     agg: &'a dyn Aggregation,
-    m: usize,
+    s: Lease<'a, EngineScratch>,
     k: usize,
     strategy: BookkeepingStrategy,
     /// Permanently drop candidates with `B < M_k` (on by default; the
     /// intermittent baseline must opt out, see [`Self::without_eviction`]).
     evict: bool,
-    /// Maintain the incomplete-candidate heap for
+    /// Maintain the incomplete-candidate index for
     /// [`Self::best_viable_incomplete`] (CA only).
     track_incomplete: bool,
-    bottoms: Bottoms,
-    cands: HashMap<ObjectId, Cand>,
-    /// Incremental `T_k` index: all live candidates keyed `(W desc, id asc)`.
-    by_w: BTreeSet<(Reverse<Grade>, ObjectId)>,
-    /// Stale-but-sound upper bounds on `B`, one entry per live candidate.
-    heap: BinaryHeap<HeapEntry>,
-    /// CA only, generic aggregations: stale `B` bounds over incomplete
-    /// candidates (may carry duplicates for re-admitted objects; cleaned
-    /// lazily).
-    incomplete: BinaryHeap<HeapEntry>,
-    /// CA only, separable aggregations: exact per-missing-mask score index
-    /// replacing the stale heap (`B` of bottoms-pinned candidates falls
-    /// every round, which would force the stale heap to refresh the whole
-    /// plateau per phase; the score index is bottoms-independent).
-    score_groups: Option<HashMap<u64, ScoreGroup>>,
-    /// Ids of currently-evicted objects (so re-admission doesn't recount
-    /// them in `seen`).
-    evicted_ids: HashSet<ObjectId>,
-    /// Every eviction event, in order (ids may repeat if re-admitted and
-    /// re-evicted). Surfaced as [`RunMetrics::evicted`].
-    evicted_log: Vec<ObjectId>,
-    /// Distinct objects ever seen — what `cands.len()` used to mean before
-    /// eviction existed; the halting test's "whole database seen" checks
-    /// depend on it.
+    /// Whether the aggregation advertises the separable-bound capability.
+    separable: bool,
+    /// Distinct objects ever seen — what the candidate count used to mean
+    /// before eviction existed; the halting test's "whole database seen"
+    /// checks depend on it.
     seen: usize,
     /// Next live-candidate count at which to sweep the heap for dead
     /// entries (doubling schedule → amortized `O(1)` per insertion).
     prune_watermark: usize,
-    scratch: Vec<Grade>,
     pub(crate) peak_candidates: usize,
     pub(crate) bound_recomputations: u64,
 }
 
 impl<'a> BoundEngine<'a> {
-    pub(crate) fn new(
+    /// An engine leasing the caller's reusable arena.
+    pub(crate) fn new_in(
         agg: &'a dyn Aggregation,
         m: usize,
         k: usize,
         strategy: BookkeepingStrategy,
+        scratch: &'a mut EngineScratch,
     ) -> Self {
+        Self::with_lease(agg, m, k, strategy, Lease::Leased(scratch))
+    }
+
+    fn with_lease(
+        agg: &'a dyn Aggregation,
+        m: usize,
+        k: usize,
+        strategy: BookkeepingStrategy,
+        mut s: Lease<'a, EngineScratch>,
+    ) -> Self {
+        s.reset(m);
         BoundEngine {
             agg,
-            m,
+            s,
             k,
             strategy,
             evict: true,
             track_incomplete: false,
-            bottoms: Bottoms::new(m),
-            cands: HashMap::new(),
-            by_w: BTreeSet::new(),
-            heap: BinaryHeap::new(),
-            incomplete: BinaryHeap::new(),
-            score_groups: None,
-            evicted_ids: HashSet::new(),
-            evicted_log: Vec::new(),
+            separable: false,
             seen: 0,
             prune_watermark: 0,
-            scratch: Vec::with_capacity(m),
             peak_candidates: 0,
             bound_recomputations: 0,
         }
@@ -240,27 +306,26 @@ impl<'a> BoundEngine<'a> {
     /// separable index; the rest get the lazy stale-bound heap.
     pub(crate) fn tracking_incomplete(mut self) -> Self {
         self.track_incomplete = true;
-        if self.agg.bound_score(&[Grade::ZERO]).is_some() {
-            self.score_groups = Some(HashMap::new());
-        }
+        self.separable = self.agg.bound_score(&[Grade::ZERO]).is_some();
         self
     }
 
-    /// The eviction log: every object dropped by the viability rule, in
-    /// eviction order.
-    pub(crate) fn take_evictions(&mut self) -> Vec<ObjectId> {
-        std::mem::take(&mut self.evicted_log)
+    /// The eviction log so far: every object dropped by the viability rule,
+    /// in eviction order. Copied into [`RunMetrics::evicted`] at finish.
+    pub(crate) fn evictions(&self) -> &[ObjectId] {
+        &self.s.evicted_log
     }
 
     /// The current threshold value `τ = t(x̱₁,…,x̱_m)` — the `B` bound of
     /// every unseen object.
     pub(crate) fn threshold(&mut self) -> Grade {
-        self.bottoms.threshold(self.agg, &mut self.scratch)
+        let s = &mut *self.s;
+        s.bottoms.threshold(self.agg, &mut s.scratch)
     }
 
     /// Ingests one sorted-access result.
     pub(crate) fn observe_sorted(&mut self, list: usize, entry: Entry) {
-        self.bottoms.observe(list, entry.grade);
+        self.s.bottoms.observe(list, entry.grade);
         self.learn(entry.object, list, entry.grade);
     }
 
@@ -279,266 +344,309 @@ impl<'a> BoundEngine<'a> {
     /// Ingests one random-access result (the object must already be seen —
     /// NRA-family algorithms never wild-guess).
     pub(crate) fn learn_random(&mut self, object: ObjectId, list: usize, grade: Grade) {
-        debug_assert!(self.cands.contains_key(&object), "no wild guesses");
+        debug_assert!(self.s.rows.is_live(object.index()), "no wild guesses");
         self.learn(object, list, grade);
     }
 
     fn learn(&mut self, object: ObjectId, list: usize, grade: Grade) {
-        if let Slot::Occupied(mut slot) = self.cands.entry(object) {
-            let cand = slot.get_mut();
-            let old_mask = cand.row.missing_mask();
-            if !cand.row.learn(list, grade) {
+        let idx = object.index();
+        let s = &mut *self.s;
+        if s.rows.is_live(idx) {
+            let old_mask = s.rows.missing_mask(idx);
+            if !s.rows.learn(idx, list, grade) {
                 return;
             }
-            let old_w = cand.w;
-            let old_score = cand.score;
-            cand.w = cand.row.w(self.agg, &mut self.scratch);
-            let new_w = cand.w;
-            let complete = cand.row.is_complete();
+            let old_w = s.rows.payload(idx).w;
+            let new_w = s.rows.w(idx, self.agg, &mut s.scratch);
             self.bound_recomputations += 1;
             if new_w != old_w {
-                self.by_w.remove(&(Reverse(old_w), object));
-                self.by_w.insert((Reverse(new_w), object));
+                s.rows.payload_mut(idx).w = new_w;
+                s.by_w.push(HeapEntry(new_w, Reverse(object)));
             }
-            if self.score_groups.is_some() {
-                self.group_remove(old_mask, old_score, object);
-                if !complete {
-                    self.group_insert(object);
+            if self.separable {
+                Self::group_remove(s, old_mask);
+                if !s.rows.is_complete(idx) {
+                    Self::group_insert(s, self.agg, object);
                 }
             }
             return;
         }
 
-        // First sighting (or re-admission after eviction): build the record
-        // and register it with every index.
-        let mut row = PartialObject::new(self.m);
-        row.learn(list, grade);
-        let w = row.w(self.agg, &mut self.scratch);
-        let b = row.b(self.agg, &self.bottoms, &mut self.scratch);
+        // First sighting (or re-admission after eviction): build the row
+        // and snapshot it into every index.
+        s.rows.admit(idx);
+        s.rows.learn(idx, list, grade);
+        let w = s.rows.w(idx, self.agg, &mut s.scratch);
+        let b = s.rows.b(idx, self.agg, &s.bottoms, &mut s.scratch);
         self.bound_recomputations += 2;
-        let is_incomplete = !row.is_complete();
-        self.cands.insert(
-            object,
-            Cand {
-                row,
-                w,
-                score: Grade::ZERO,
-            },
-        );
-        self.by_w.insert((Reverse(w), object));
-        self.heap.push(HeapEntry(b, Reverse(object)));
-        if self.track_incomplete && is_incomplete {
-            if self.score_groups.is_some() {
-                self.group_insert(object);
+        s.rows.payload_mut(idx).w = w;
+        s.by_w.push(HeapEntry(w, Reverse(object)));
+        s.b_heap.push(HeapEntry(b, Reverse(object)));
+        if self.track_incomplete && !s.rows.is_complete(idx) {
+            if self.separable {
+                Self::group_insert(s, self.agg, object);
             } else {
-                self.incomplete.push(HeapEntry(b, Reverse(object)));
+                s.incomplete.push(HeapEntry(b, Reverse(object)));
             }
         }
-        if !self.evicted_ids.remove(&object) {
+        if !s.evicted_ids.remove(idx) {
             self.seen += 1;
         }
-        self.peak_candidates = self.peak_candidates.max(self.cands.len());
+        self.peak_candidates = self.peak_candidates.max(s.rows.live());
     }
 
     /// Files a live incomplete candidate in its separable-bound group,
     /// caching the freshly computed score.
-    fn group_insert(&mut self, object: ObjectId) {
-        let cand = self.cands.get_mut(&object).expect("live candidate");
-        self.scratch.clear();
-        cand.row.known_values(&mut self.scratch);
-        let score = self
-            .agg
-            .bound_score(&self.scratch)
-            .expect("probed at construction");
-        cand.score = score;
-        let mask = cand.row.missing_mask();
-        self.score_groups
-            .as_mut()
-            .expect("separable index enabled")
+    fn group_insert(s: &mut EngineScratch, agg: &dyn Aggregation, object: ObjectId) {
+        let idx = object.index();
+        s.scratch.clear();
+        s.rows.known_values(idx, &mut s.scratch);
+        let score = agg.bound_score(&s.scratch).expect("probed at construction");
+        s.rows.payload_mut(idx).score = score;
+        let mask = s.rows.missing_mask(idx);
+        let spare = &mut s.spare_groups;
+        let group = s
+            .groups
             .entry(mask)
-            .or_default()
-            .insert(score, object);
+            .or_insert_with(|| spare.pop().unwrap_or_default());
+        group.members += 1;
+        group.by_score.push(HeapEntry(score, Reverse(object)));
+        group.by_id.push(Reverse(object));
     }
 
-    /// Unfiles a candidate from its separable-bound group (empty groups are
-    /// dropped so queries only visit occupied masks).
-    fn group_remove(&mut self, mask: u64, score: Grade, object: ObjectId) {
-        let groups = self.score_groups.as_mut().expect("separable index enabled");
-        if let Some(group) = groups.get_mut(&mask) {
-            group.remove(score, object);
-            if group.by_id.is_empty() {
-                groups.remove(&mask);
-            }
+    /// Unfiles a member from its mask group. Heap entries are left behind
+    /// (they invalidate by value); empty groups retire their storage to
+    /// the spare pool so queries only ever visit occupied masks.
+    fn group_remove(s: &mut EngineScratch, mask: u64) {
+        let group = s.groups.get_mut(&mask).expect("member's group exists");
+        group.members -= 1;
+        if group.members == 0 {
+            let mut g = s.groups.remove(&mask).expect("group present");
+            g.recycle();
+            s.spare_groups.push(g);
         }
+    }
+
+    /// Whether `object` is currently a live member of the group for `mask`
+    /// (the value-based validity test for group heap snapshots).
+    #[inline]
+    fn is_member(s: &EngineScratch, mask: u64, object: ObjectId) -> bool {
+        let idx = object.index();
+        s.rows.is_live(idx) && !s.rows.is_complete(idx) && s.rows.missing_mask(idx) == mask
     }
 
     fn b_of(&mut self, object: ObjectId) -> Grade {
         self.bound_recomputations += 1;
-        self.cands[&object]
-            .row
-            .b(self.agg, &self.bottoms, &mut self.scratch)
+        let s = &mut *self.s;
+        s.rows
+            .b(object.index(), self.agg, &s.bottoms, &mut s.scratch)
     }
 
     /// Whether every field of `object` is known.
     pub(crate) fn is_complete(&self, object: ObjectId) -> bool {
-        self.cands[&object].row.is_complete()
+        self.s.rows.is_complete(object.index())
     }
 
-    /// Missing fields of `object`.
-    pub(crate) fn missing_fields(&self, object: ObjectId) -> Vec<usize> {
-        self.cands[&object].row.missing().collect()
+    /// Appends the missing fields of `object` to `out`.
+    pub(crate) fn missing_fields_into(&self, object: ObjectId, out: &mut Vec<usize>) {
+        out.clear();
+        self.s.rows.missing_into(object.index(), out);
     }
 
-    /// Computes the current `T_k` (paper: largest `W`, ties by larger `B`,
-    /// then by smaller object id for determinism) by reading the front of
-    /// the incremental `W` index — `O(k)` instead of a full sort.
-    pub(crate) fn selection(&mut self) -> Selection {
-        let k_eff = self.k.min(self.cands.len().max(1));
-        let mut top: Vec<(ObjectId, Grade)> = Vec::with_capacity(k_eff);
-        // Faithful (Exhaustive) boundary handling: when the k-th W value is
-        // tied with the (k+1)-th, the whole tied group is re-ranked by B.
-        let mut tied_ids: Vec<ObjectId> = Vec::new();
-        let mut boundary_w = Grade::ZERO;
-        {
-            let mut iter = self.by_w.iter();
-            for &(Reverse(w), o) in iter.by_ref().take(k_eff) {
-                top.push((o, w));
+    /// Pops the best *current* `W` snapshot `(W desc, id asc)`, discarding
+    /// stale and dead entries for good. `None` when no live candidate
+    /// remains indexed.
+    fn pop_valid_w(&mut self) -> Option<HeapEntry> {
+        let s = &mut *self.s;
+        loop {
+            let e = s.by_w.pop()?;
+            let HeapEntry(w, Reverse(o)) = e;
+            let idx = o.index();
+            if s.rows.is_live(idx) && s.rows.payload(idx).w == w {
+                return Some(e);
             }
-            if self.strategy == BookkeepingStrategy::Exhaustive && top.len() == k_eff {
-                if let Some(&(Reverse(next_w), next_o)) = iter.clone().next() {
-                    let wk = top.last().expect("k_eff >= 1").1;
-                    if next_w == wk {
-                        boundary_w = wk;
-                        // The tied group: members already in `top` …
-                        while top.last().is_some_and(|&(_, w)| w == wk) {
-                            tied_ids.push(top.pop().expect("checked non-empty").0);
-                        }
-                        tied_ids.reverse();
-                        tied_ids.push(next_o);
-                        // … plus every further candidate at the same W.
-                        tied_ids.extend(
-                            iter.skip(1)
-                                .take_while(|&&(Reverse(w), _)| w == wk)
-                                .map(|&(_, o)| o),
-                        );
-                    }
+        }
+    }
+
+    /// Recomputes the current `T_k` in place (paper: largest `W`, ties by
+    /// larger `B`, then by smaller object id for determinism) by popping
+    /// the front of the lazy `W` index — `O((k + ties) log n)` with every
+    /// surviving snapshot pushed back, instead of a full sort.
+    pub(crate) fn refresh_selection(&mut self) {
+        let k_eff = self.k.min(self.s.rows.live().max(1));
+        {
+            let s = &mut *self.s;
+            s.sel.top.clear();
+            s.sel.ids.clear();
+            s.popped_w.clear();
+            s.tied.clear();
+        }
+
+        // Top k_eff by (W desc, id asc). A candidate can surface twice when
+        // re-admission re-snapshots an unchanged W; duplicates pop
+        // adjacently (identical keys) and are dropped, keeping one snapshot.
+        let mut last: Option<(Grade, ObjectId)> = None;
+        while self.s.sel.top.len() < k_eff {
+            let Some(e) = self.pop_valid_w() else { break };
+            let HeapEntry(w, Reverse(o)) = e;
+            if last == Some((w, o)) {
+                continue; // redundant duplicate snapshot: drop for good
+            }
+            last = Some((w, o));
+            self.s.popped_w.push(e);
+            self.s.sel.top.push((o, w));
+        }
+
+        // Faithful (Exhaustive) boundary handling: when further candidates
+        // tie the k-th W value, the whole tied group is re-ranked by B.
+        if self.strategy == BookkeepingStrategy::Exhaustive && self.s.sel.top.len() == k_eff {
+            let wk = self.s.sel.top.last().expect("k_eff >= 1").1;
+            let mut extras = 0usize;
+            while let Some(e) = self.pop_valid_w() {
+                let HeapEntry(w, Reverse(o)) = e;
+                if last == Some((w, o)) {
+                    continue;
+                }
+                last = Some((w, o));
+                self.s.popped_w.push(e);
+                if w == wk {
+                    extras += 1;
+                    self.s.tied.push((o, Grade::ZERO));
+                } else {
+                    break; // strictly below the boundary: keep for later
                 }
             }
-        }
-        if !tied_ids.is_empty() {
-            let mut tied: Vec<(ObjectId, Grade)> = tied_ids
-                .into_iter()
-                .map(|o| {
-                    let b = self.b_of(o);
-                    (o, b)
-                })
-                .collect();
-            tied.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-            top.extend(tied.into_iter().map(|(o, _)| (o, boundary_w)));
-            top.truncate(k_eff);
+            if extras > 0 {
+                // The tied group: the extras plus every top member at wk
+                // (gather order is irrelevant — the (B desc, id asc)
+                // re-rank below is a total order over distinct ids).
+                let s = &mut *self.s;
+                while s.sel.top.last().is_some_and(|&(_, w)| w == wk) {
+                    let (o, _) = s.sel.top.pop().expect("checked non-empty");
+                    s.tied.push((o, Grade::ZERO));
+                }
+                let mut tied = std::mem::take(&mut self.s.tied);
+                for slot in tied.iter_mut() {
+                    slot.1 = self.b_of(slot.0);
+                }
+                tied.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                let s = &mut *self.s;
+                s.sel.top.extend(tied.iter().map(|&(o, _)| (o, wk)));
+                s.sel.top.truncate(k_eff);
+                tied.clear();
+                s.tied = tied;
+            }
         }
 
-        let full = top.len() == self.k.min(self.cands.len()) && self.cands.len() >= self.k;
-        let m_k = top.last().map_or(Grade::ZERO, |&(_, w)| w);
-        let mut ids: Vec<ObjectId> = top.iter().map(|&(o, _)| o).collect();
-        ids.sort_unstable();
-        Selection {
-            top,
-            ids,
-            m_k,
-            full,
-        }
+        let s = &mut *self.s;
+        s.by_w.extend(s.popped_w.drain(..));
+        let live = s.rows.live();
+        s.sel.full = s.sel.top.len() == self.k.min(live) && live >= self.k;
+        s.sel.m_k = s.sel.top.last().map_or(Grade::ZERO, |&(_, w)| w);
+        s.sel.ids.extend(s.sel.top.iter().map(|&(o, _)| o));
+        s.sel.ids.sort_unstable();
     }
 
-    /// The halting test: `T_k` is full (or the whole database has been
-    /// seen) and no viable object remains outside it — including unseen
-    /// objects, whose `B` equals the threshold `τ`.
+    /// The halting test against the current selection: `T_k` is full (or
+    /// the whole database has been seen) and no viable object remains
+    /// outside it — including unseen objects, whose `B` equals the
+    /// threshold `τ`.
     ///
     /// Identical in outcome to recomputing every candidate's `B`: stored
     /// heap bounds only ever *over*-estimate, so any genuinely viable
     /// outsider is found, and a max stored bound `≤ M_k` proves none exists.
-    pub(crate) fn check_halt(&mut self, sel: &Selection, num_objects: usize) -> bool {
+    pub(crate) fn check_halt(&mut self, num_objects: usize) -> bool {
         let k_eff = self.k.min(num_objects);
         if self.seen < k_eff {
             return false;
         }
-        if !sel.full && self.seen < num_objects {
+        let (full, m_k) = (self.s.sel.full, self.s.sel.m_k);
+        if !full && self.seen < num_objects {
             return false;
         }
         // Unseen objects are viable iff τ > M_k.
         if self.seen < num_objects {
             let tau = self.threshold();
-            if tau > sel.m_k {
+            if tau > m_k {
                 return false;
             }
         }
-        self.maybe_prune(sel);
+        self.maybe_prune();
 
-        let mut parked: Vec<HeapEntry> = Vec::new();
+        let mut parked = std::mem::take(&mut self.s.parked);
         let halted = loop {
-            let Some(top) = self.heap.peek() else {
-                break true;
-            };
-            if top.0 <= sel.m_k {
-                break true;
+            {
+                let s = &mut *self.s;
+                let Some(top) = s.b_heap.peek() else {
+                    break true;
+                };
+                if top.0 <= m_k {
+                    break true;
+                }
             }
-            let HeapEntry(_, Reverse(object)) = self.heap.pop().expect("peeked");
-            if !self.cands.contains_key(&object) {
+            let HeapEntry(_, Reverse(object)) = self.s.b_heap.pop().expect("peeked");
+            if !self.s.rows.is_live(object.index()) {
                 continue; // entry for an evicted object: drop for good
             }
             let b = self.b_of(object);
-            if sel.contains(object) {
+            if self.s.sel.contains(object) {
                 // T_k members may stay viable; park so we can inspect the
                 // rest, reinsert afterwards.
                 parked.push(HeapEntry(b, Reverse(object)));
                 continue;
             }
-            if b > sel.m_k {
+            if b > m_k {
                 parked.push(HeapEntry(b, Reverse(object)));
                 break false;
             }
-            if self.evict && sel.full && b < sel.m_k {
+            if self.evict && full && b < m_k {
                 // Viability rule: B(R) < M_k with T_k full ⇒ R can never
                 // enter the top k (B falls, M_k rises). Drop it for good.
                 self.evict_now(object);
             } else {
                 // Refreshed to b ≤ M_k: re-file; cannot re-pop this round.
-                self.heap.push(HeapEntry(b, Reverse(object)));
+                self.s.b_heap.push(HeapEntry(b, Reverse(object)));
             }
         };
-        self.heap.extend(parked);
+        let s = &mut *self.s;
+        s.b_heap.extend(parked.drain(..));
+        s.parked = parked;
         halted
     }
 
     /// Permanently drops a candidate that the viability rule proved dead.
+    /// Index snapshots are left to invalidate by value.
     fn evict_now(&mut self, object: ObjectId) {
-        let cand = self
-            .cands
-            .remove(&object)
-            .expect("evicting a live candidate");
-        self.by_w.remove(&(Reverse(cand.w), object));
-        if self.score_groups.is_some() && !cand.row.is_complete() {
-            self.group_remove(cand.row.missing_mask(), cand.score, object);
+        let idx = object.index();
+        let s = &mut *self.s;
+        debug_assert!(s.rows.is_live(idx), "evicting a live candidate");
+        if self.separable && !s.rows.is_complete(idx) {
+            let mask = s.rows.missing_mask(idx);
+            Self::group_remove(s, mask);
         }
-        self.evicted_ids.insert(object);
-        self.evicted_log.push(object);
+        s.rows.kill(idx);
+        s.evicted_ids.mark(idx);
+        s.evicted_log.push(object);
     }
 
     /// Periodic sweep: every heap entry whose *stale* bound is already
     /// below `M_k` is provably dead (true `B` ≤ stored bound), so the whole
-    /// candidate record can go. Runs on a doubling watermark so the total
+    /// candidate row can go. Runs on a doubling watermark so the total
     /// sweep cost stays linear in insertions, keeping `peak_candidates`
     /// within a small factor of the live viable set.
-    fn maybe_prune(&mut self, sel: &Selection) {
-        if !self.evict || !sel.full || self.cands.len() < PRUNE_FLOOR.max(self.prune_watermark) {
+    fn maybe_prune(&mut self) {
+        let live = self.s.rows.live();
+        if !self.evict || !self.s.sel.full || live < PRUNE_FLOOR.max(self.prune_watermark) {
             return;
         }
-        let m_k = sel.m_k;
-        let mut dead: Vec<ObjectId> = Vec::new();
+        let m_k = self.s.sel.m_k;
         {
-            let cands = &self.cands;
-            self.heap.retain(|&HeapEntry(bound, Reverse(object))| {
-                if !cands.contains_key(&object) {
+            let EngineScratch {
+                b_heap, rows, dead, ..
+            } = &mut *self.s;
+            dead.clear();
+            b_heap.retain(|&HeapEntry(bound, Reverse(object))| {
+                if !rows.is_live(object.index()) {
                     return false;
                 }
                 if bound < m_k {
@@ -548,19 +656,30 @@ impl<'a> BoundEngine<'a> {
                 true
             });
         }
+        let mut dead = std::mem::take(&mut self.s.dead);
         dead.sort_unstable();
-        for object in dead {
-            self.evict_now(object);
+        for &object in &dead {
+            // A re-admitted candidate can own several heap snapshots; the
+            // first kill below the bar suffices.
+            if self.s.rows.is_live(object.index()) {
+                self.evict_now(object);
+            }
         }
-        if self.track_incomplete && self.score_groups.is_none() {
+        dead.clear();
+        self.s.dead = dead;
+        if self.track_incomplete && !self.separable {
             // The stale incomplete heap accumulates dead entries; the
             // separable index is exact and was already updated by the
             // evictions above.
-            let cands = &self.cands;
-            self.incomplete
-                .retain(|e| cands.get(&e.1 .0).is_some_and(|c| !c.row.is_complete()));
+            let EngineScratch {
+                incomplete, rows, ..
+            } = &mut *self.s;
+            incomplete.retain(|e| {
+                let idx = e.1 .0.index();
+                rows.is_live(idx) && !rows.is_complete(idx)
+            });
         }
-        self.prune_watermark = 2 * self.cands.len();
+        self.prune_watermark = 2 * self.s.rows.live();
     }
 
     /// CA's random-access choice (§8.2 step 2): among seen objects with
@@ -573,30 +692,29 @@ impl<'a> BoundEngine<'a> {
     /// stale bound, refresh it, and re-file; the first entry whose refresh
     /// confirms its stored bound is the exact `(B desc, id asc)` maximum
     /// (ties pop smallest-id first by the heap order).
-    pub(crate) fn best_viable_incomplete(&mut self, sel: &Selection) -> Option<ObjectId> {
+    pub(crate) fn best_viable_incomplete(&mut self) -> Option<ObjectId> {
         debug_assert!(self.track_incomplete, "enable via tracking_incomplete()");
-        if self.score_groups.is_some() {
-            return self.best_viable_separable(sel);
+        if self.separable {
+            return self.best_viable_separable();
         }
+        let (full, m_k) = (self.s.sel.full, self.s.sel.m_k);
         loop {
             let (key, object) = {
-                let top = self.incomplete.peek()?;
+                let top = self.s.incomplete.peek()?;
                 (top.0, top.1 .0)
             };
-            if sel.full && key <= sel.m_k {
+            if full && key <= m_k {
                 // Stored bounds over-estimate: nothing incomplete is viable.
                 return None;
             }
-            self.incomplete.pop();
-            let live_incomplete = self
-                .cands
-                .get(&object)
-                .is_some_and(|c| !c.row.is_complete());
+            self.s.incomplete.pop();
+            let idx = object.index();
+            let live_incomplete = self.s.rows.is_live(idx) && !self.s.rows.is_complete(idx);
             if !live_incomplete {
                 continue; // completed or evicted: drop the entry for good
             }
             let b = self.b_of(object);
-            self.incomplete.push(HeapEntry(b, Reverse(object)));
+            self.s.incomplete.push(HeapEntry(b, Reverse(object)));
             if b == key {
                 return Some(object);
             }
@@ -611,86 +729,150 @@ impl<'a> BoundEngine<'a> {
     /// scan alternates score-descending (enumerate the tie plateau) with
     /// id-ascending (probe for an early small-id tie) and stops at
     /// whichever concludes first.
-    fn best_viable_separable(&mut self, sel: &Selection) -> Option<ObjectId> {
-        let champions: Vec<(u64, ObjectId)> = self
-            .score_groups
-            .as_ref()
-            .expect("separable index enabled")
-            .iter()
-            .map(|(&mask, g)| {
-                let &(_, o) = g.by_score.iter().next().expect("groups are never empty");
-                (mask, o)
-            })
-            .collect();
+    fn best_viable_separable(&mut self) -> Option<ObjectId> {
+        let mut mask_keys = std::mem::take(&mut self.s.mask_keys);
+        let mut tied_masks = std::mem::take(&mut self.s.tied_masks);
+        mask_keys.clear();
+        tied_masks.clear();
+        mask_keys.extend(self.s.groups.keys().copied());
         let mut b_max: Option<Grade> = None;
-        let mut tied_masks: Vec<(u64, Grade)> = Vec::with_capacity(champions.len());
-        for (mask, o) in champions {
-            let b = self.b_of(o);
+        for &mask in &mask_keys {
+            // Detach the group so the scans can refresh bounds through
+            // `&mut self`; reattach when done.
+            let mut group = self.s.groups.remove(&mask).expect("occupied mask");
+            let leader = self.group_leader(&mut group, mask);
+            let b = self.b_of(leader);
+            self.s.groups.insert(mask, group);
             tied_masks.push((mask, b));
             b_max = Some(b_max.map_or(b, |x: Grade| x.max(b)));
         }
-        let b_max = b_max?;
-        if sel.full && b_max <= sel.m_k {
+        mask_keys.clear();
+        self.s.mask_keys = mask_keys;
+        let Some(b_max) = b_max else {
+            self.s.tied_masks = tied_masks;
+            return None;
+        };
+        let (full, m_k) = (self.s.sel.full, self.s.sel.m_k);
+        if full && b_max <= m_k {
+            tied_masks.clear();
+            self.s.tied_masks = tied_masks;
             return None;
         }
         let mut winner: Option<ObjectId> = None;
-        for (mask, b) in tied_masks {
+        for &(mask, b) in &tied_masks {
             if b != b_max {
                 continue;
             }
-            // Detach the group so the scan can refresh bounds through
-            // `&mut self`; reattach when done.
-            let group = self
-                .score_groups
-                .as_mut()
-                .expect("separable index enabled")
-                .remove(&mask)
-                .expect("tied group exists");
-            let local = self.min_id_at_bound(&group, b_max);
-            self.score_groups
-                .as_mut()
-                .expect("separable index enabled")
-                .insert(mask, group);
+            let mut group = self.s.groups.remove(&mask).expect("tied group exists");
+            let local = self.min_id_at_bound(&mut group, mask, b_max);
+            self.s.groups.insert(mask, group);
             winner = Some(winner.map_or(local, |w: ObjectId| w.min(local)));
         }
+        tied_masks.clear();
+        self.s.tied_masks = tied_masks;
         winner
     }
 
-    /// Smallest id in `group` whose current `B` equals `b_max` (the group
-    /// leader's bound, so at least one member qualifies).
-    fn min_id_at_bound(&mut self, group: &ScoreGroup, b_max: Grade) -> ObjectId {
-        let mut ids = group.by_id.iter();
-        let mut scores = group.by_score.iter();
-        let mut plateau_min: Option<ObjectId> = None;
+    /// The group's score leader (largest score, smallest id among ties):
+    /// the member attaining the group's largest `B`. Pops invalidated
+    /// snapshots for good; every member keeps a valid snapshot, so the
+    /// leader's is always found.
+    fn group_leader(&mut self, group: &mut ScoreGroup, mask: u64) -> ObjectId {
         loop {
-            if let Some(&o) = ids.next() {
-                if self.b_of(o) == b_max {
-                    // Ids are scanned in ascending order: first hit wins.
-                    return o;
-                }
+            let &HeapEntry(score, Reverse(o)) = group
+                .by_score
+                .peek()
+                .expect("occupied group has a valid snapshot");
+            if Self::is_member(&self.s, mask, o) && self.s.rows.payload(o.index()).score == score {
+                return o;
             }
-            match scores.next() {
-                Some(&(_, o)) if self.b_of(o) == b_max => {
-                    plateau_min = Some(plateau_min.map_or(o, |p: ObjectId| p.min(o)));
-                }
-                // A below-max bound ends the plateau (bounds fall weakly
-                // along the score order, so ties form a prefix), and an
-                // exhausted group means the whole group was the plateau.
-                Some(_) | None => return plateau_min.expect("group leader ties b_max"),
-            }
+            group.by_score.pop();
         }
     }
 
-    /// Renders `sel` as output items: grades are attached when free (all
-    /// fields known), per §8.1's weakened output requirement.
-    pub(crate) fn output_items(&mut self, sel: &Selection) -> Vec<ScoredObject> {
-        sel.top
-            .iter()
-            .map(|&(object, _)| {
-                let grade = self.cands[&object].row.exact(self.agg, &mut self.scratch);
-                ScoredObject { object, grade }
-            })
-            .collect()
+    /// Smallest id in `group` whose current `B` equals `b_max` (the group
+    /// leader's bound, so at least one member qualifies). The dual scan
+    /// pops lazily-validated snapshots from both heaps and re-files every
+    /// surviving one.
+    fn min_id_at_bound(&mut self, group: &mut ScoreGroup, mask: u64, b_max: Grade) -> ObjectId {
+        let mut popped_scores = std::mem::take(&mut self.s.popped_scores);
+        let mut popped_ids = std::mem::take(&mut self.s.popped_ids);
+        popped_scores.clear();
+        popped_ids.clear();
+        let mut last_id: Option<ObjectId> = None;
+        let mut last_score: Option<(Grade, ObjectId)> = None;
+        let mut plateau_min: Option<ObjectId> = None;
+        let winner = loop {
+            // Ids are scanned in ascending order: the first member whose
+            // refreshed B ties b_max wins outright.
+            let next_id = loop {
+                match group.by_id.pop() {
+                    None => break None,
+                    Some(Reverse(o)) => {
+                        if Self::is_member(&self.s, mask, o) && last_id != Some(o) {
+                            break Some(o);
+                        }
+                        // Dead/foreign/duplicate snapshot: drop for good.
+                    }
+                }
+            };
+            if let Some(o) = next_id {
+                popped_ids.push(Reverse(o));
+                last_id = Some(o);
+                if self.b_of(o) == b_max {
+                    break o;
+                }
+            }
+            // Score-descending scan enumerates the tie plateau (a prefix
+            // of the score order).
+            let next_score = loop {
+                match group.by_score.pop() {
+                    None => break None,
+                    Some(HeapEntry(score, Reverse(o))) => {
+                        let member = Self::is_member(&self.s, mask, o)
+                            && self.s.rows.payload(o.index()).score == score;
+                        if member && last_score != Some((score, o)) {
+                            break Some((score, o));
+                        }
+                    }
+                }
+            };
+            match next_score {
+                Some((score, o)) => {
+                    popped_scores.push(HeapEntry(score, Reverse(o)));
+                    last_score = Some((score, o));
+                    if self.b_of(o) == b_max {
+                        plateau_min = Some(plateau_min.map_or(o, |p: ObjectId| p.min(o)));
+                    } else {
+                        // A below-max bound ends the plateau (bounds fall
+                        // weakly along the score order, so ties form a
+                        // prefix).
+                        break plateau_min.expect("group leader ties b_max");
+                    }
+                }
+                // An exhausted group means the whole group was the plateau.
+                None => break plateau_min.expect("group leader ties b_max"),
+            }
+        };
+        group.by_id.extend(popped_ids.drain(..));
+        group.by_score.extend(popped_scores.drain(..));
+        self.s.popped_scores = popped_scores;
+        self.s.popped_ids = popped_ids;
+        winner
+    }
+
+    /// Renders the current selection as output items: grades are attached
+    /// when free (all fields known), per §8.1's weakened output
+    /// requirement.
+    pub(crate) fn output_items(&mut self) -> Vec<ScoredObject> {
+        let s = &mut *self.s;
+        let mut items = Vec::with_capacity(s.sel.top.len());
+        for i in 0..s.sel.top.len() {
+            let (object, _) = s.sel.top[i];
+            let grade = s.rows.exact(object.index(), self.agg, &mut s.scratch);
+            items.push(ScoredObject { object, grade });
+        }
+        items
     }
 }
 
@@ -765,46 +947,56 @@ impl TopKAlgorithm for Nra {
         agg: &dyn Aggregation,
         k: usize,
     ) -> Result<TopKOutput, AlgoError> {
+        self.run_with(mw, agg, k, &mut RunScratch::new())
+    }
+
+    fn run_with(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
         let n = mw.num_objects();
         let b = self.batch.size();
-        let mut engine = BoundEngine::new(agg, m, k, self.strategy);
-        let mut exhausted = vec![false; m];
-        let mut batch_buf: Vec<Entry> = Vec::with_capacity(b);
+        let (engine_scratch, drive) = scratch.engine_and_drive();
+        drive.reset(m);
+        let mut engine = BoundEngine::new_in(agg, m, k, self.strategy, engine_scratch);
         let mut rounds = 0u64;
 
-        let sel = loop {
+        loop {
             rounds += 1;
-            for (i, done) in exhausted.iter_mut().enumerate() {
+            for (i, done) in drive.exhausted.iter_mut().enumerate() {
                 if *done {
                     continue;
                 }
-                batch_buf.clear();
+                drive.batch_buf.clear();
                 // Only Ok(0) signals exhaustion — a short batch may be a
                 // budget truncation (see the Middleware batch contract).
-                if mw.sorted_next_batch(i, b, &mut batch_buf)? == 0 {
+                if mw.sorted_next_batch(i, b, &mut drive.batch_buf)? == 0 {
                     *done = true;
                     continue;
                 }
-                engine.observe_sorted_batch(i, &batch_buf);
+                engine.observe_sorted_batch(i, &drive.batch_buf);
             }
-            let sel = engine.selection();
-            if engine.check_halt(&sel, n) {
-                break sel;
+            engine.refresh_selection();
+            if engine.check_halt(n) {
+                break;
             }
-            if exhausted.iter().all(|&e| e) {
+            if drive.exhausted.iter().all(|&e| e) {
                 // Complete information: the selection is exact.
-                break sel;
+                break;
             }
-        };
+        }
 
-        let items = engine.output_items(&sel);
+        let items = engine.output_items();
         let mut metrics = RunMetrics::new();
         metrics.rounds = rounds;
         metrics.peak_buffer = engine.peak_candidates;
         metrics.bound_recomputations = engine.bound_recomputations;
-        metrics.evicted = engine.take_evictions();
+        metrics.evicted = engine.evictions().to_vec();
         metrics.final_threshold = Some(engine.threshold());
         Ok(TopKOutput {
             items,
@@ -813,10 +1005,6 @@ impl TopKAlgorithm for Nra {
         })
     }
 }
-
-/// FIFO of pending random accesses for the intermittent baseline (§8.4):
-/// objects in TA's sighting order.
-pub(crate) type SightingQueue = VecDeque<ObjectId>;
 
 #[cfg(test)]
 mod tests {
@@ -1072,6 +1260,29 @@ mod tests {
                     );
                     assert_eq!(out.stats.random_total(), 0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn leased_runs_match_fresh_runs_exactly() {
+        // The arena changes where state lives, never what it contains.
+        let db = db();
+        let mut arena = RunScratch::new();
+        for k in [1usize, 3, 6, 2, 1] {
+            for strategy in [
+                BookkeepingStrategy::Exhaustive,
+                BookkeepingStrategy::LazyHeap,
+            ] {
+                let mut s1 = Session::with_policy(&db, AccessPolicy::no_random_access());
+                let fresh = Nra::with_strategy(strategy).run(&mut s1, &Sum, k).unwrap();
+                let mut s2 = Session::with_policy(&db, AccessPolicy::no_random_access());
+                let leased = Nra::with_strategy(strategy)
+                    .run_with(&mut s2, &Sum, k, &mut arena)
+                    .unwrap();
+                assert_eq!(fresh.items, leased.items, "k={k} {strategy:?}");
+                assert_eq!(fresh.stats, leased.stats);
+                assert_eq!(fresh.metrics, leased.metrics);
             }
         }
     }

@@ -9,17 +9,32 @@
 //! match buffer grows with the database (contrast Theorem 4.2 for TA):
 //! [`RunMetrics::peak_buffer`] reports the number of distinct objects
 //! buffered, which the buffer-growth experiment (E8) plots against `N`.
-
-use std::collections::HashMap;
+//!
+//! The match buffer is a dense generation-stamped [`RowTable`] (ids are
+//! dense indices), leased from a [`RunScratch`] arena so repeated runs
+//! reuse the storage — one flat stripe per object instead of a
+//! `HashMap<ObjectId, PartialObject>` full of boxed rows.
 
 use fagin_middleware::{Middleware, ObjectId};
 
 use crate::aggregation::Aggregation;
-use crate::bounds::PartialObject;
+use crate::arena::{RowTable, RunScratch};
 use crate::buffer::TopKBuffer;
 use crate::output::{AlgoError, RunMetrics, TopKOutput};
 
 use super::{validate, TopKAlgorithm};
+
+/// Reusable per-run storage for FA, owned by
+/// [`RunScratch`](crate::arena::RunScratch).
+#[derive(Default)]
+pub(crate) struct FaScratch {
+    /// The phase-1 match buffer: every object seen under sorted access.
+    rows: RowTable<()>,
+    /// First-sighting order (sorted by id before phase 2 for determinism).
+    order: Vec<ObjectId>,
+    buffer: TopKBuffer,
+    scratch: Vec<fagin_middleware::Grade>,
+}
 
 /// Fagin's Algorithm.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,14 +51,29 @@ impl TopKAlgorithm for Fa {
         agg: &dyn Aggregation,
         k: usize,
     ) -> Result<TopKOutput, AlgoError> {
+        self.run_with(mw, agg, k, &mut RunScratch::new())
+    }
+
+    fn run_with(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
+        let s = &mut *scratch.fa();
+        s.rows.reset(m);
+        s.order.clear();
+        s.buffer.reset(k);
+        s.scratch.clear();
+        let mut exhausted_scratch = [false; 64];
+        let exhausted = &mut exhausted_scratch[..m];
 
         // Phase 1: sorted access in parallel until k matches.
-        let mut seen: HashMap<ObjectId, PartialObject> = HashMap::new();
         let mut matches = 0usize;
         let mut rounds = 0u64;
-        let mut exhausted = vec![false; m];
         'phase1: while matches < k && !exhausted.iter().all(|&e| e) {
             rounds += 1;
             for (i, done) in exhausted.iter_mut().enumerate() {
@@ -54,11 +84,13 @@ impl TopKAlgorithm for Fa {
                     *done = true;
                     continue;
                 };
-                let row = seen
-                    .entry(entry.object)
-                    .or_insert_with(|| PartialObject::new(m));
-                row.learn(i, entry.grade);
-                if row.is_complete() {
+                let idx = entry.object.index();
+                if !s.rows.is_live(idx) {
+                    s.rows.admit(idx);
+                    s.order.push(entry.object);
+                }
+                s.rows.learn(idx, i, entry.grade);
+                if s.rows.is_complete(idx) {
                     matches += 1;
                     if matches >= k {
                         break 'phase1;
@@ -69,29 +101,30 @@ impl TopKAlgorithm for Fa {
 
         // Phase 2: random access for the missing fields of every seen
         // object, then grade and select.
-        let mut buffer = TopKBuffer::new(k);
-        let mut scratch = Vec::with_capacity(m);
-        let peak_buffer = seen.len();
+        let peak_buffer = s.rows.live();
         // Deterministic iteration order for reproducible tie-breaks.
-        let mut objects: Vec<ObjectId> = seen.keys().copied().collect();
-        objects.sort_unstable();
-        for object in objects {
-            let row = seen.get_mut(&object).expect("object is present");
+        s.order.sort_unstable();
+        for oi in 0..s.order.len() {
+            let object = s.order[oi];
+            let idx = object.index();
             for i in 0..m {
-                if !row.knows(i) {
+                if !s.rows.knows(idx, i) {
                     let g = mw.random_lookup(i, object)?;
-                    row.learn(i, g);
+                    s.rows.learn(idx, i, g);
                 }
             }
-            let grade = row.exact(agg, &mut scratch).expect("row complete");
-            buffer.offer(object, grade);
+            let grade = s
+                .rows
+                .exact(idx, agg, &mut s.scratch)
+                .expect("row complete");
+            s.buffer.offer(object, grade);
         }
 
         let mut metrics = RunMetrics::new();
         metrics.rounds = rounds;
         metrics.peak_buffer = peak_buffer;
         Ok(TopKOutput {
-            items: buffer.items_desc(),
+            items: s.buffer.items_desc(),
             stats: mw.stats().clone(),
             metrics,
         })
@@ -196,5 +229,20 @@ mod tests {
         let out = Fa.run(&mut s, &Min, 100).unwrap();
         assert_eq!(out.items.len(), db.num_objects());
         assert!(oracle::is_valid_top_k(&db, &Min, 100, &out.objects()));
+    }
+
+    #[test]
+    fn leased_runs_match_fresh_runs_exactly() {
+        let db = db();
+        let mut arena = RunScratch::new();
+        for k in [1usize, 4, 2, 6] {
+            let mut s1 = Session::new(&db);
+            let fresh = Fa.run(&mut s1, &Median, k).unwrap();
+            let mut s2 = Session::new(&db);
+            let leased = Fa.run_with(&mut s2, &Median, k, &mut arena).unwrap();
+            assert_eq!(fresh.items, leased.items, "k={k}");
+            assert_eq!(fresh.stats, leased.stats, "k={k}");
+            assert_eq!(fresh.metrics, leased.metrics, "k={k}");
+        }
     }
 }

@@ -10,9 +10,10 @@
 use fagin_middleware::Middleware;
 
 use crate::aggregation::Aggregation;
+use crate::arena::RunScratch;
 use crate::output::{AlgoError, RunMetrics, TopKOutput};
 
-use super::engine::{BookkeepingStrategy, BoundEngine, SightingQueue};
+use super::engine::{BookkeepingStrategy, BoundEngine};
 use super::{validate, TopKAlgorithm};
 
 /// The intermittent baseline: TA's random-access order, delayed in batches
@@ -54,6 +55,16 @@ impl TopKAlgorithm for Intermittent {
         agg: &dyn Aggregation,
         k: usize,
     ) -> Result<TopKOutput, AlgoError> {
+        self.run_with(mw, agg, k, &mut RunScratch::new())
+    }
+
+    fn run_with(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
         let n = mw.num_objects();
@@ -61,14 +72,15 @@ impl TopKAlgorithm for Intermittent {
         // TA's sighting order regardless of viability, so it must remember
         // every candidate's resolved fields to keep its (deliberately
         // wasteful) access sequence intact.
-        let mut engine = BoundEngine::new(agg, m, k, self.strategy).without_eviction();
-        let mut pending: SightingQueue = SightingQueue::new();
-        let mut exhausted = vec![false; m];
+        let (engine_scratch, drive) = scratch.engine_and_drive();
+        drive.reset(m);
+        let mut engine =
+            BoundEngine::new_in(agg, m, k, self.strategy, engine_scratch).without_eviction();
         let mut rounds = 0u64;
 
-        let sel = loop {
+        'drive: loop {
             rounds += 1;
-            for (i, done) in exhausted.iter_mut().enumerate() {
+            for (i, done) in drive.exhausted.iter_mut().enumerate() {
                 if *done {
                     continue;
                 }
@@ -78,43 +90,39 @@ impl TopKAlgorithm for Intermittent {
                         engine.observe_sorted(i, entry);
                         // TA would resolve this sighting immediately; the
                         // intermittent algorithm queues it instead.
-                        pending.push_back(entry.object);
+                        drive.pending.push_back(entry.object);
                     }
                 }
             }
-            let mut sel = engine.selection();
-            if engine.check_halt(&sel, n) {
-                break sel;
+            engine.refresh_selection();
+            if engine.check_halt(n) {
+                break;
             }
 
             // Every h rounds: drain the backlog in TA's arrival order,
             // stopping as soon as the halting condition is met.
             if rounds.is_multiple_of(self.h as u64) {
-                let mut halted = false;
-                while let Some(object) = pending.pop_front() {
+                while let Some(object) = drive.pending.pop_front() {
                     if engine.is_complete(object) {
                         continue;
                     }
-                    for list in engine.missing_fields(object) {
+                    engine.missing_fields_into(object, &mut drive.missing);
+                    for &list in drive.missing.iter() {
                         let g = mw.random_lookup(list, object)?;
                         engine.learn_random(object, list, g);
                     }
-                    sel = engine.selection();
-                    if engine.check_halt(&sel, n) {
-                        halted = true;
-                        break;
+                    engine.refresh_selection();
+                    if engine.check_halt(n) {
+                        break 'drive;
                     }
                 }
-                if halted {
-                    break sel;
-                }
             }
-            if exhausted.iter().all(|&e| e) {
-                break sel;
+            if drive.exhausted.iter().all(|&e| e) {
+                break;
             }
-        };
+        }
 
-        let items = engine.output_items(&sel);
+        let items = engine.output_items();
         let mut metrics = RunMetrics::new();
         metrics.rounds = rounds;
         metrics.peak_buffer = engine.peak_candidates;

@@ -40,9 +40,14 @@ pub use sharded::Sharded;
 pub use stream_combine::StreamCombine;
 pub use ta::{Ta, TaStepper, TaView, WarmStart};
 
+pub(crate) use engine::EngineScratch;
+pub(crate) use fa::FaScratch;
+pub(crate) use ta::TaScratch;
+
 use fagin_middleware::Middleware;
 
 use crate::aggregation::Aggregation;
+use crate::arena::RunScratch;
 use crate::output::{AlgoError, TopKOutput};
 
 /// Re-export under the paper's name.
@@ -63,6 +68,27 @@ pub trait TopKAlgorithm {
         agg: &dyn Aggregation,
         k: usize,
     ) -> Result<TopKOutput, AlgoError>;
+
+    /// Like [`TopKAlgorithm::run`], but leases all per-run buffers from
+    /// `scratch` (see [`RunScratch`]) so a caller executing many queries —
+    /// a serving worker, a benchmark loop — allocates nothing per run in
+    /// steady state.
+    ///
+    /// The answer, access sequence and metrics are identical to
+    /// [`run`](TopKAlgorithm::run)'s; the arena only changes where the
+    /// run's state lives. The default implementation ignores the arena
+    /// (algorithms with no reusable state — the naive scan, the max
+    /// specialist — have nothing to lease).
+    fn run_with(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
+        let _ = scratch;
+        self.run(mw, agg, k)
+    }
 }
 
 /// Validates the common preconditions shared by every algorithm.

@@ -264,8 +264,13 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
             // floor by exactness. A shard answering wrong trips this.
             #[cfg(debug_assertions)]
             if out.metrics.approximation_guarantee == 1.0 {
-                let answered: std::collections::HashSet<_> =
-                    out.items.iter().map(|i| i.object).collect();
+                // Sorted ids + binary search, consistent with the engine's
+                // `Selection::contains` — no per-merge hash set.
+                let answered = {
+                    let mut ids: Vec<ObjectId> = out.items.iter().map(|i| i.object).collect();
+                    ids.sort_unstable();
+                    ids
+                };
                 let oracle =
                     |local| agg.evaluate(&shard.database().row(local).expect("object exists"));
                 let floor = out
@@ -276,7 +281,7 @@ impl<A: TopKAlgorithm + Sync> Sharded<A> {
                 if let Some(floor) = floor {
                     let cert = out.metrics.final_threshold.map_or(floor, |t| t.max(floor));
                     for local in shard.database().objects() {
-                        if !answered.contains(&local) {
+                        if answered.binary_search(&local).is_err() {
                             debug_assert!(
                                 oracle(local) <= cert,
                                 "{} missed shard {} object {local} scoring above \

@@ -12,12 +12,20 @@
 //! [`Ta::memoized`] variant trades the bounded buffer for a seen-object
 //! cache, skipping repeat probes — the ablation for the buffer/probe
 //! trade-off the paper discusses after Theorem 4.2.
+//!
+//! All per-run state — the top-`k` buffer, the memo, the seen-flags, the
+//! batch/probe scratch — lives in a [`TaScratch`] arena leased from a
+//! caller's [`RunScratch`] (or owned for one-shot runs), so a worker
+//! serving many TA queries allocates nothing per run in steady state. The
+//! memo is a dense generation-stamped slot table: ids are dense indices, so
+//! a memo hit is one indexed load instead of a hash.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId};
+use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId, SlotSet, SlotTable};
 
 use crate::aggregation::Aggregation;
+use crate::arena::{Lease, RunScratch};
 use crate::bounds::Bottoms;
 use crate::buffer::TopKBuffer;
 use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
@@ -67,6 +75,68 @@ impl WarmStart {
     /// Whether no seeds are present.
     pub fn is_empty(&self) -> bool {
         self.seeds.is_empty()
+    }
+}
+
+/// Reusable per-run storage for the TA family, owned by
+/// [`RunScratch`](crate::arena::RunScratch): the bounded top-`k` buffer,
+/// the (optional) grade memo, per-list bookkeeping and the batched-access
+/// scratch vectors. Cleared in `O(1)` between runs.
+pub(crate) struct TaScratch {
+    memo: SlotTable<Grade>,
+    seen: SlotSet,
+    buffer: TopKBuffer,
+    bottoms: Bottoms,
+    /// Lists receiving sorted access (all of them, or `Z`).
+    active: Vec<usize>,
+    /// Exhaustion flags, parallel to `active`.
+    exhausted: Vec<bool>,
+    scratch: Vec<Grade>,
+    /// Reusable batch of sorted-access results.
+    batch_buf: Vec<Entry>,
+    /// Batch entries whose grade was not answered by the memo.
+    pending: Vec<Entry>,
+    /// Objects of `pending`, for batched random lookups.
+    probe_objects: Vec<ObjectId>,
+    /// One batched lookup's results.
+    probe_grades: Vec<Grade>,
+    /// Row-major partial rows of `pending` (`pending.len() × m`).
+    rows: Vec<Grade>,
+}
+
+impl Default for TaScratch {
+    fn default() -> Self {
+        TaScratch {
+            memo: SlotTable::new(),
+            seen: SlotSet::new(),
+            buffer: TopKBuffer::default(),
+            bottoms: Bottoms::new(0),
+            active: Vec::new(),
+            exhausted: Vec::new(),
+            scratch: Vec::new(),
+            batch_buf: Vec::new(),
+            pending: Vec::new(),
+            probe_objects: Vec::new(),
+            probe_grades: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+}
+
+impl TaScratch {
+    fn reset(&mut self, m: usize, k: usize) {
+        self.memo.reset();
+        self.seen.reset();
+        self.buffer.reset(k);
+        self.bottoms.reset(m);
+        self.active.clear();
+        self.exhausted.clear();
+        self.scratch.clear();
+        self.batch_buf.clear();
+        self.pending.clear();
+        self.probe_objects.clear();
+        self.probe_grades.clear();
+        self.rows.clear();
     }
 }
 
@@ -175,7 +245,8 @@ impl Ta {
     }
 
     /// Creates an interactive stepper over `mw` (one call to
-    /// [`TaStepper::step`] per round of sorted access in parallel).
+    /// [`TaStepper::step`] per round of sorted access in parallel), with
+    /// run state owned by the stepper.
     ///
     /// This is the paper's early-stopping interface: after any round the
     /// user can inspect [`TaStepper::view`], which carries the guarantee
@@ -185,6 +256,28 @@ impl Ta {
         mw: &'a mut dyn Middleware,
         agg: &'a dyn Aggregation,
         k: usize,
+    ) -> Result<TaStepper<'a>, AlgoError> {
+        self.stepper_with(mw, agg, k, Lease::owned())
+    }
+
+    /// Like [`Ta::stepper`], but leases all run state from `scratch` so
+    /// repeated runs allocate nothing in steady state.
+    pub fn stepper_in<'a>(
+        &self,
+        mw: &'a mut dyn Middleware,
+        agg: &'a dyn Aggregation,
+        k: usize,
+        scratch: &'a mut RunScratch,
+    ) -> Result<TaStepper<'a>, AlgoError> {
+        self.stepper_with(mw, agg, k, Lease::Leased(scratch.ta()))
+    }
+
+    fn stepper_with<'a>(
+        &self,
+        mw: &'a mut dyn Middleware,
+        agg: &'a dyn Aggregation,
+        k: usize,
+        mut s: Lease<'a, TaScratch>,
     ) -> Result<TaStepper<'a>, AlgoError> {
         validate(mw, agg, k)?;
         let m = mw.num_lists();
@@ -198,23 +291,23 @@ impl Ta {
                 ));
             }
         }
-        let active: Vec<usize> = match &self.z {
-            None => (0..m).collect(),
-            Some(z) => z.iter().copied().collect(),
-        };
-        let b = self.batch.size();
+        s.reset(m, k);
+        match &self.z {
+            None => s.active.extend(0..m),
+            Some(z) => s.active.extend(z.iter().copied()),
+        }
+        let actives = s.active.len();
+        s.exhausted.resize(actives, false);
         // Warm starts prefill the buffer and a grade memo: seeded objects
         // re-seen under sorted access are answered without random probes,
         // and the stopping rule can fire at a shallower depth. The memo is
         // forced on (even without `memoized()`) because it is the channel
         // through which seeds skip resolution.
-        let mut memo = (self.memoize || self.warm.is_some()).then(HashMap::new);
-        let mut buffer = TopKBuffer::new(k);
+        let memoize = self.memoize || self.warm.is_some();
         if let Some(warm) = &self.warm {
-            let memo = memo.as_mut().expect("memo forced on by warm start");
             for &(object, grade) in warm.seeds() {
-                memo.insert(object, grade);
-                buffer.offer(object, grade);
+                s.memo.insert(object.index(), grade);
+                s.buffer.offer(object, grade);
             }
         }
         Ok(TaStepper {
@@ -223,21 +316,11 @@ impl Ta {
             k,
             theta: self.theta,
             batch: self.batch,
-            memo,
-            buffer,
-            bottoms: Bottoms::new(m),
-            exhausted: vec![false; active.len()],
-            active,
-            scratch: Vec::with_capacity(m),
-            batch_buf: Vec::with_capacity(b),
-            pending: Vec::with_capacity(b),
-            probe_objects: Vec::with_capacity(b),
-            probe_grades: Vec::with_capacity(b),
-            rows: Vec::with_capacity(b * m),
+            memoize,
+            s,
             rounds: 0,
             halted: false,
             distinct_seen: 0,
-            seen_flags: Vec::new(),
         })
     }
 }
@@ -273,6 +356,20 @@ impl TopKAlgorithm for Ta {
         }
         Ok(stepper.finish())
     }
+
+    fn run_with(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
+        let mut stepper = self.stepper_in(mw, agg, k, scratch)?;
+        while !stepper.is_halted() {
+            stepper.step()?;
+        }
+        Ok(stepper.finish())
+    }
 }
 
 /// A snapshot of TA's state after a round: the current top-`k` view and the
@@ -302,29 +399,13 @@ pub struct TaStepper<'a> {
     k: usize,
     theta: f64,
     batch: BatchConfig,
-    /// Seen-object cache (only with [`Ta::memoized`]).
-    memo: Option<HashMap<ObjectId, Grade>>,
-    buffer: TopKBuffer,
-    bottoms: Bottoms,
-    /// Lists receiving sorted access (all of them, or `Z`).
-    active: Vec<usize>,
-    /// Exhaustion flags, parallel to `active`.
-    exhausted: Vec<bool>,
-    scratch: Vec<Grade>,
-    /// Reusable batch of sorted-access results.
-    batch_buf: Vec<Entry>,
-    /// Batch entries whose grade was not answered by the memo.
-    pending: Vec<Entry>,
-    /// Objects of `pending`, for batched random lookups.
-    probe_objects: Vec<ObjectId>,
-    /// One batched lookup's results.
-    probe_grades: Vec<Grade>,
-    /// Row-major partial rows of `pending` (`pending.len() × m`).
-    rows: Vec<Grade>,
+    /// Whether the grade memo answers repeat sightings ([`Ta::memoized`],
+    /// or forced on by a warm start).
+    memoize: bool,
+    s: Lease<'a, TaScratch>,
     rounds: u64,
     halted: bool,
     distinct_seen: usize,
-    seen_flags: Vec<bool>,
 }
 
 impl TaStepper<'_> {
@@ -359,26 +440,39 @@ impl TaStepper<'_> {
         }
         self.rounds += 1;
         let b = self.batch.size();
-        for ai in 0..self.active.len() {
-            if self.exhausted[ai] {
+        for ai in 0..self.s.active.len() {
+            if self.s.exhausted[ai] {
                 continue;
             }
-            let list = self.active[ai];
-            self.batch_buf.clear();
+            let list = self.s.active[ai];
+            self.s.batch_buf.clear();
             // A short batch may be a budget truncation rather than
             // exhaustion (see the Middleware contract); only Ok(0) retires
-            // the list.
-            if self.mw.sorted_next_batch(list, b, &mut self.batch_buf)? == 0 {
-                self.exhausted[ai] = true;
+            // the list. The buffer is restored before any error propagates
+            // so a rejected query (e.g. a budget breach mid-serve) cannot
+            // leak the arena's capacity.
+            let mut entries = std::mem::take(&mut self.s.batch_buf);
+            let served = self.mw.sorted_next_batch(list, b, &mut entries);
+            let served = match served {
+                Ok(n) => n,
+                Err(e) => {
+                    self.s.batch_buf = entries;
+                    return Err(e.into());
+                }
+            };
+            if served == 0 {
+                self.s.batch_buf = entries;
+                self.s.exhausted[ai] = true;
                 continue;
             }
-            let entries = std::mem::take(&mut self.batch_buf);
             for entry in &entries {
-                self.bottoms.observe(list, entry.grade);
-                self.mark_seen(entry.object);
+                self.s.bottoms.observe(list, entry.grade);
+                if self.s.seen.mark(entry.object.index()) {
+                    self.distinct_seen += 1;
+                }
             }
             let resolved = self.resolve_batch(list, &entries);
-            self.batch_buf = entries; // reuse the allocation
+            self.s.batch_buf = entries; // reuse the allocation
             resolved?;
 
             // "As soon as at least k objects have been seen whose grade is
@@ -391,7 +485,7 @@ impl TaStepper<'_> {
                 return Ok(true);
             }
         }
-        if self.exhausted.iter().all(|&e| e) {
+        if self.s.exhausted.iter().all(|&e| e) {
             // Every active list fully read: every object has been seen and
             // resolved, so the buffer holds the exact answer. This is the
             // TA_Z completion case of footnote 14, and the k ≥ N case.
@@ -409,68 +503,69 @@ impl TaStepper<'_> {
     /// access counts are identical to the scalar path's — the same multiset
     /// of lookups, grouped by list instead of by object.
     fn resolve_batch(&mut self, seen_in: usize, entries: &[Entry]) -> Result<(), AlgoError> {
-        self.pending.clear();
-        for &e in entries {
-            if let Some(memo) = &self.memo {
-                if let Some(&g) = memo.get(&e.object) {
-                    self.buffer.offer(e.object, g);
-                    continue;
+        {
+            let s = &mut *self.s;
+            s.pending.clear();
+            for &e in entries {
+                if self.memoize {
+                    if let Some(&g) = s.memo.get(e.object.index()) {
+                        s.buffer.offer(e.object, g);
+                        continue;
+                    }
                 }
+                s.pending.push(e);
             }
-            self.pending.push(e);
         }
-        if self.pending.is_empty() {
+        if self.s.pending.is_empty() {
             return Ok(());
         }
         let m = self.mw.num_lists();
-        self.rows.clear();
-        self.rows.resize(self.pending.len() * m, Grade::ZERO);
-        for (i, e) in self.pending.iter().enumerate() {
-            self.rows[i * m + seen_in] = e.grade;
+        {
+            let s = &mut *self.s;
+            s.rows.clear();
+            s.rows.resize(s.pending.len() * m, Grade::ZERO);
+            for (i, e) in s.pending.iter().enumerate() {
+                s.rows[i * m + seen_in] = e.grade;
+            }
+            s.probe_objects.clear();
+            let pending = &s.pending;
+            s.probe_objects.extend(pending.iter().map(|e| e.object));
         }
-        self.probe_objects.clear();
-        self.probe_objects
-            .extend(self.pending.iter().map(|e| e.object));
         for j in 0..m {
             if j == seen_in {
                 continue;
             }
-            self.probe_grades.clear();
-            self.mw
-                .random_lookup_many(j, &self.probe_objects, &mut self.probe_grades)?;
-            for (i, &g) in self.probe_grades.iter().enumerate() {
-                self.rows[i * m + j] = g;
+            let s = &mut *self.s;
+            s.probe_grades.clear();
+            let mut probe_grades = std::mem::take(&mut s.probe_grades);
+            let result = self
+                .mw
+                .random_lookup_many(j, &self.s.probe_objects, &mut probe_grades);
+            let s = &mut *self.s;
+            for (i, &g) in probe_grades.iter().enumerate() {
+                s.rows[i * m + j] = g;
             }
+            s.probe_grades = probe_grades;
+            result?;
         }
-        for i in 0..self.pending.len() {
-            let object = self.pending[i].object;
-            self.scratch.clear();
-            self.scratch
-                .extend_from_slice(&self.rows[i * m..(i + 1) * m]);
-            let grade = self.agg.evaluate(&self.scratch);
-            if let Some(memo) = &mut self.memo {
-                memo.insert(object, grade);
+        let s = &mut *self.s;
+        for i in 0..s.pending.len() {
+            let object = s.pending[i].object;
+            s.scratch.clear();
+            s.scratch.extend_from_slice(&s.rows[i * m..(i + 1) * m]);
+            let grade = self.agg.evaluate(&s.scratch);
+            if self.memoize {
+                s.memo.insert(object.index(), grade);
             }
-            self.buffer.offer(object, grade);
+            s.buffer.offer(object, grade);
         }
         Ok(())
-    }
-
-    fn mark_seen(&mut self, object: ObjectId) {
-        let idx = object.index();
-        if idx >= self.seen_flags.len() {
-            self.seen_flags.resize(idx + 1, false);
-        }
-        if !self.seen_flags[idx] {
-            self.seen_flags[idx] = true;
-            self.distinct_seen += 1;
-        }
     }
 
     /// The TA stopping rule with slack θ: `k` buffered objects with grade
     /// `≥ τ/θ` (θ = 1 for exact TA).
     fn stop_rule_satisfied(&mut self) -> bool {
-        let Some(kth) = self.buffer.kth_grade() else {
+        let Some(kth) = self.s.buffer.kth_grade() else {
             return false;
         };
         let tau = self.threshold();
@@ -479,13 +574,14 @@ impl TaStepper<'_> {
 
     /// Current threshold value `τ`.
     pub fn threshold(&mut self) -> Grade {
-        self.bottoms.threshold(self.agg, &mut self.scratch)
+        let s = &mut *self.s;
+        s.bottoms.threshold(self.agg, &mut s.scratch)
     }
 
     /// The current view with its early-stopping guarantee.
     pub fn view(&mut self) -> TaView {
         let threshold = self.threshold();
-        let beta = self.buffer.kth_grade();
+        let beta = self.s.buffer.kth_grade();
         let guarantee = beta.and_then(|b| {
             if self.halted {
                 // Once TA halts normally its answer is exact up to θ.
@@ -497,7 +593,7 @@ impl TaStepper<'_> {
             }
         });
         TaView {
-            items: self.buffer.items_desc(),
+            items: self.s.buffer.items_desc(),
             threshold,
             beta,
             guarantee,
@@ -513,10 +609,10 @@ impl TaStepper<'_> {
         metrics.approximation_guarantee = self.theta;
         // Theorem 4.2: TA's buffer is the top-k plus one bottom grade per
         // list; memoization (optional) adds the seen cache.
-        metrics.peak_buffer =
-            self.buffer.len() + self.active.len() + self.memo.as_ref().map_or(0, HashMap::len);
+        let memo_len = if self.memoize { self.s.memo.len() } else { 0 };
+        metrics.peak_buffer = self.s.buffer.len() + self.s.active.len() + memo_len;
         TopKOutput {
-            items: self.buffer.items_desc(),
+            items: self.s.buffer.items_desc(),
             stats: self.mw.stats().clone(),
             metrics,
         }
@@ -865,6 +961,34 @@ mod tests {
                 out.stats.sorted_total(),
                 exact.stats.sorted_total()
             );
+        }
+    }
+
+    #[test]
+    fn leased_runs_match_fresh_runs_exactly() {
+        // Interleave every TA variant through one arena: answers, stats and
+        // metrics must be bytewise identical to fresh-state runs.
+        let db = db();
+        let mut arena = RunScratch::new();
+        let certified = Ta::new().run(&mut Session::new(&db), &Average, 1).unwrap();
+        let warm = WarmStart::new(certified.items.iter().map(|i| (i.object, i.grade.unwrap())));
+        let variants: Vec<Ta> = vec![
+            Ta::new(),
+            Ta::new().memoized(),
+            Ta::new().batched(3),
+            Ta::theta(1.5),
+            Ta::new().with_warm_start(warm),
+        ];
+        for k in [1usize, 3, 5, 2] {
+            for ta in &variants {
+                let mut s1 = Session::new(&db);
+                let fresh = ta.run(&mut s1, &Average, k).unwrap();
+                let mut s2 = Session::new(&db);
+                let leased = ta.run_with(&mut s2, &Average, k, &mut arena).unwrap();
+                assert_eq!(fresh.items, leased.items, "{} k={k}", ta.name());
+                assert_eq!(fresh.stats, leased.stats, "{} k={k}", ta.name());
+                assert_eq!(fresh.metrics, leased.metrics, "{} k={k}", ta.name());
+            }
         }
     }
 }

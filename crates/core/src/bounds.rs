@@ -22,7 +22,7 @@ use crate::aggregation::Aggregation;
 /// Per-list bottom values `x̱ᵢ`: the last (smallest) grade seen under sorted
 /// access in each list. Lists never accessed report the maximal grade `1`
 /// (as in TA_Z for lists outside `Z`, §7).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct Bottoms {
     values: Vec<Grade>,
     accessed: Vec<bool>,
@@ -35,6 +35,16 @@ impl Bottoms {
             values: vec![Grade::ONE; m],
             accessed: vec![false; m],
         }
+    }
+
+    /// Rewinds to the fresh state for `m` lists, in place (`O(m)`, no
+    /// allocation once capacity covers `m`). Lets a run arena reuse one
+    /// `Bottoms` across queries.
+    pub fn reset(&mut self, m: usize) {
+        self.values.clear();
+        self.values.resize(m, Grade::ONE);
+        self.accessed.clear();
+        self.accessed.resize(m, false);
     }
 
     /// Number of lists.

@@ -5,8 +5,13 @@
 //! buffer". [`TopKBuffer`] is that buffer: insertion keeps at most `k`
 //! entries, evicting the worst, with the canonical deterministic tie order
 //! (higher grade first; equal grades broken towards smaller object id).
-
-use std::collections::BTreeSet;
+//!
+//! The buffer is two small sorted `Vec`s (entries best-first; ids for
+//! `O(log k)` membership) rather than a tree: `k` is small, so binary
+//! search plus a bounded memmove beats node allocation and pointer chasing
+//! on every offer — and the storage is reusable across runs
+//! ([`TopKBuffer::reset`]), which is what lets a serving worker's arena
+//! make the TA hot path allocation-free.
 
 use fagin_middleware::{Grade, ObjectId};
 
@@ -42,7 +47,10 @@ impl Key {
 #[derive(Clone, Debug)]
 pub struct TopKBuffer {
     k: usize,
-    set: BTreeSet<Key>,
+    /// Entries sorted descending by [`Key`]: best first, worst last.
+    entries: Vec<Key>,
+    /// The buffered object ids, sorted, for `O(log k)` membership tests.
+    ids: Vec<ObjectId>,
 }
 
 impl TopKBuffer {
@@ -54,8 +62,21 @@ impl TopKBuffer {
         assert!(k > 0, "k must be at least 1");
         TopKBuffer {
             k,
-            set: BTreeSet::new(),
+            entries: Vec::new(),
+            ids: Vec::new(),
         }
+    }
+
+    /// Empties the buffer and re-arms it for a new `k`, retaining the
+    /// backing storage (no allocation once capacity covers `k`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "k must be at least 1");
+        self.k = k;
+        self.entries.clear();
+        self.ids.clear();
     }
 
     /// The capacity `k`.
@@ -65,22 +86,22 @@ impl TopKBuffer {
 
     /// Number of entries currently held (≤ `k`).
     pub fn len(&self) -> usize {
-        self.set.len()
+        self.entries.len()
     }
 
     /// Whether the buffer holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
+        self.entries.is_empty()
     }
 
     /// Whether the buffer holds `k` entries.
     pub fn is_full(&self) -> bool {
-        self.set.len() == self.k
+        self.entries.len() == self.k
     }
 
     /// Whether `object` is currently buffered (with any grade).
     pub fn contains(&self, object: ObjectId) -> bool {
-        self.set.iter().any(|key| key.object() == object)
+        self.ids.binary_search(&object).is_ok()
     }
 
     /// Offers `(object, grade)`. Returns `true` if the entry is retained.
@@ -88,29 +109,47 @@ impl TopKBuffer {
     /// If `object` is already buffered the call is a no-op (grades of an
     /// object are immutable in the paper's model).
     pub fn offer(&mut self, object: ObjectId, grade: Grade) -> bool {
-        if self.contains(object) {
-            return true;
-        }
+        let id_slot = match self.ids.binary_search(&object) {
+            Ok(_) => return true,
+            Err(slot) => slot,
+        };
         let key = Key::new(object, grade);
-        if self.set.len() < self.k {
-            self.set.insert(key);
-            return true;
-        }
-        let worst = *self.set.iter().next().expect("buffer is full");
-        if key > worst {
-            self.set.remove(&worst);
-            self.set.insert(key);
-            true
+        if self.entries.len() == self.k {
+            let worst = *self.entries.last().expect("buffer is full");
+            if key <= worst {
+                return false;
+            }
+            self.entries.pop();
+            let evicted = self
+                .ids
+                .binary_search(&worst.object())
+                .expect("buffered id is indexed");
+            self.ids.remove(evicted);
+            // The eviction may shift the insertion slot for `object`.
+            let id_slot = self
+                .ids
+                .binary_search(&object)
+                .expect_err("object is absent");
+            self.insert_at(key, id_slot, object);
         } else {
-            false
+            self.insert_at(key, id_slot, object);
         }
+        true
+    }
+
+    /// Inserts `key` at its descending-sorted position and `object` at
+    /// `id_slot` in the id index.
+    fn insert_at(&mut self, key: Key, id_slot: usize, object: ObjectId) {
+        let pos = self.entries.partition_point(|e| *e > key);
+        self.entries.insert(pos, key);
+        self.ids.insert(id_slot, object);
     }
 
     /// The grade of the worst retained entry (the paper's `M_k`-style
     /// cutoff), or `None` if the buffer is not yet full.
     pub fn kth_grade(&self) -> Option<Grade> {
         if self.is_full() {
-            self.set.iter().next().map(|key| key.grade)
+            self.entries.last().map(|key| key.grade)
         } else {
             None
         }
@@ -118,19 +157,26 @@ impl TopKBuffer {
 
     /// The worst retained grade even if fewer than `k` entries are held.
     pub fn worst_grade(&self) -> Option<Grade> {
-        self.set.iter().next().map(|key| key.grade)
+        self.entries.last().map(|key| key.grade)
     }
 
     /// Entries best-first.
     pub fn items_desc(&self) -> Vec<ScoredObject> {
-        self.set
+        self.entries
             .iter()
-            .rev()
             .map(|key| ScoredObject {
                 object: key.object(),
                 grade: Some(key.grade),
             })
             .collect()
+    }
+}
+
+/// The default buffer is a placeholder for arena storage (`k = 1`); it is
+/// always [`reset`](TopKBuffer::reset) before a run uses it.
+impl Default for TopKBuffer {
+    fn default() -> Self {
+        TopKBuffer::new(1)
     }
 }
 
@@ -214,5 +260,39 @@ mod tests {
             buf.offer(ObjectId(i), g((i % 97) as f64 / 97.0));
             assert!(buf.len() <= 5);
         }
+    }
+
+    #[test]
+    fn reset_reuses_storage_for_a_new_k() {
+        let mut buf = TopKBuffer::new(3);
+        for i in 0..5u32 {
+            buf.offer(ObjectId(i), g(i as f64 / 10.0));
+        }
+        buf.reset(2);
+        assert!(buf.is_empty());
+        assert_eq!(buf.k(), 2);
+        assert!(!buf.contains(ObjectId(4)));
+        buf.offer(ObjectId(7), g(0.9));
+        buf.offer(ObjectId(8), g(0.8));
+        buf.offer(ObjectId(9), g(0.95));
+        let objs: Vec<u32> = buf.items_desc().iter().map(|s| s.object.0).collect();
+        assert_eq!(objs, vec![9, 7]);
+    }
+
+    #[test]
+    fn eviction_keeps_id_index_consistent() {
+        // Interleave offers so evictions shift id slots in both directions.
+        let mut buf = TopKBuffer::new(3);
+        let grades = [0.5, 0.9, 0.1, 0.7, 0.3, 0.8, 0.2, 0.6];
+        for (i, &v) in grades.iter().enumerate() {
+            buf.offer(ObjectId((grades.len() - i) as u32), g(v));
+        }
+        let items = buf.items_desc();
+        assert_eq!(items.len(), 3);
+        for item in &items {
+            assert!(buf.contains(item.object));
+        }
+        let vals: Vec<f64> = items.iter().map(|s| s.grade.unwrap().value()).collect();
+        assert_eq!(vals, vec![0.9, 0.8, 0.7]);
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod aggregation;
 pub mod algorithms;
+pub mod arena;
 pub mod bounds;
 pub mod buffer;
 pub mod optimality;
@@ -45,4 +46,5 @@ pub mod planner;
 
 pub use aggregation::Aggregation;
 pub use algorithms::TopKAlgorithm;
+pub use arena::RunScratch;
 pub use output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};

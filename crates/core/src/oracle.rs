@@ -92,20 +92,25 @@ pub fn is_valid_theta_approximation(
     if objects.len() != k_eff {
         return false;
     }
-    let selected: std::collections::HashSet<ObjectId> = objects.iter().copied().collect();
+    // Sorted ids + binary search (as in the engine's `Selection::contains`)
+    // instead of a per-call hash set: the oracle runs inside every
+    // differential test loop, so its verification pass should not hash.
+    let mut selected: Vec<ObjectId> = objects.to_vec();
+    selected.sort_unstable();
+    selected.dedup();
     if selected.len() != objects.len() {
         return false;
     }
     let graded = all_grades(db, agg);
     let min_selected = graded
         .iter()
-        .filter(|(o, _)| selected.contains(o))
+        .filter(|(o, _)| selected.binary_search(o).is_ok())
         .map(|&(_, g)| g)
         .min()
         .expect("nonempty selection");
     let max_unselected = graded
         .iter()
-        .filter(|(o, _)| !selected.contains(o))
+        .filter(|(o, _)| selected.binary_search(o).is_err())
         .map(|&(_, g)| g)
         .max();
     match max_unselected {

@@ -78,6 +78,14 @@ impl AccessStats {
         }
     }
 
+    /// Zeroes every counter in place (the list count is kept). Lets a
+    /// reused [`Session`](crate::session::Session) start a fresh run
+    /// without reallocating its counters.
+    pub fn reset(&mut self) {
+        self.sorted.fill(0);
+        self.random.fill(0);
+    }
+
     /// Records one sorted access on `list`.
     #[inline]
     pub fn record_sorted(&mut self, list: usize) {

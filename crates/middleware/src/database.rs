@@ -74,6 +74,22 @@ impl Database {
         })
     }
 
+    /// Builds a database from per-list entries that are rank-preserving
+    /// restrictions of validated lists (the shard() fast path; see
+    /// [`SortedList::from_ranked_trusted`]).
+    pub(crate) fn from_ranked_lists_trusted(lists: Vec<Vec<Entry>>) -> Self {
+        debug_assert!(!lists.is_empty());
+        let n = lists[0].len();
+        debug_assert!(lists.iter().all(|l| l.len() == n));
+        Database {
+            lists: lists
+                .into_iter()
+                .map(SortedList::from_ranked_trusted)
+                .collect(),
+            num_objects: n,
+        }
+    }
+
     /// Builds a database from raw `f64` columns (convenience for tests and
     /// examples). Panics on non-finite grades.
     pub fn from_f64_columns(columns: &[Vec<f64>]) -> Result<Self, BuildError> {

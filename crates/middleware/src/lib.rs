@@ -45,6 +45,7 @@ mod list;
 mod policy;
 mod session;
 mod shard;
+mod slots;
 mod source;
 
 pub use budget::CostBudget;
@@ -56,4 +57,5 @@ pub use list::SortedList;
 pub use policy::{AccessPolicy, SortedAccessSet};
 pub use session::{BatchConfig, Middleware, Session};
 pub use shard::{DatabaseShard, ShardView};
+pub use slots::{SlotSet, SlotTable};
 pub use source::{GeneratorSource, GradedSource, MaterializedSource, SubsystemMiddleware};

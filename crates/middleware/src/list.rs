@@ -100,6 +100,32 @@ impl SortedList {
         Ok(SortedList { entries, rank_of })
     }
 
+    /// Builds a list from entries that are a *rank-order-preserving
+    /// restriction* of an already-validated list — the shard() fast path.
+    ///
+    /// Skips the sortedness/duplicate/gap validation of
+    /// [`SortedList::from_ranked`] (debug builds still assert it): a
+    /// restriction of a sorted list is sorted, so re-validating every shard
+    /// would make partitioning pay a second full scan per list for
+    /// information the source database already proved. Sorted-view reads on
+    /// the shard are then plain `O(1)` rank lookups — the per-shard sorted
+    /// order is computed exactly once, at shard time.
+    pub(crate) fn from_ranked_trusted(entries: Vec<Entry>) -> Self {
+        debug_assert!(!entries.is_empty(), "shards are never empty");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].grade >= w[1].grade),
+            "restriction of a sorted list must stay sorted"
+        );
+        let n = entries.len();
+        let mut rank_of = vec![u32::MAX; n];
+        for (rank, e) in entries.iter().enumerate() {
+            debug_assert!(e.object.index() < n, "shard ids are dense");
+            debug_assert_eq!(rank_of[e.object.index()], u32::MAX, "ids appear once");
+            rank_of[e.object.index()] = rank as u32;
+        }
+        SortedList { entries, rank_of }
+    }
+
     /// Builds a list from a dense column of grades: `grades[i]` is the grade
     /// of object `i`.
     pub fn from_column(list_index: usize, grades: &[Grade]) -> Result<Self, BuildError> {

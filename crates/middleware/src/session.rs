@@ -15,6 +15,7 @@ use crate::database::Database;
 use crate::error::AccessError;
 use crate::grade::{Entry, Grade, ObjectId};
 use crate::policy::AccessPolicy;
+use crate::slots::SlotSet;
 
 /// How many entries an algorithm's drive loop consumes per list per round.
 ///
@@ -163,6 +164,58 @@ pub trait Middleware {
     fn position(&self, list: usize) -> usize;
 }
 
+/// Forwarding impl so a wrapper that takes a middleware *by value* (e.g.
+/// [`CostBudget`](crate::budget::CostBudget)) can also wrap a borrowed
+/// session — which is what lets a serving worker reuse one [`Session`]
+/// across queries instead of constructing one per request.
+impl<M: Middleware + ?Sized> Middleware for &mut M {
+    fn num_lists(&self) -> usize {
+        (**self).num_lists()
+    }
+
+    fn num_objects(&self) -> usize {
+        (**self).num_objects()
+    }
+
+    fn sorted_next(&mut self, list: usize) -> Result<Option<Entry>, AccessError> {
+        (**self).sorted_next(list)
+    }
+
+    fn random_lookup(&mut self, list: usize, object: ObjectId) -> Result<Grade, AccessError> {
+        (**self).random_lookup(list, object)
+    }
+
+    fn sorted_next_batch(
+        &mut self,
+        list: usize,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) -> Result<usize, AccessError> {
+        (**self).sorted_next_batch(list, max, out)
+    }
+
+    fn random_lookup_many(
+        &mut self,
+        list: usize,
+        objects: &[ObjectId],
+        out: &mut Vec<Grade>,
+    ) -> Result<(), AccessError> {
+        (**self).random_lookup_many(list, objects, out)
+    }
+
+    fn stats(&self) -> &AccessStats {
+        (**self).stats()
+    }
+
+    fn policy(&self) -> &AccessPolicy {
+        (**self).policy()
+    }
+
+    fn position(&self, list: usize) -> usize {
+        (**self).position(list)
+    }
+}
+
 /// A counted, policy-enforcing session over a [`Database`].
 #[derive(Clone, Debug)]
 pub struct Session<'db> {
@@ -172,7 +225,8 @@ pub struct Session<'db> {
     /// Next rank to read per list.
     positions: Vec<usize>,
     /// Objects seen under sorted access (for wild-guess detection).
-    seen: Vec<bool>,
+    /// Generation-stamped so [`Session::reset`] is `O(m)`, not `O(N)`.
+    seen: SlotSet,
 }
 
 impl<'db> Session<'db> {
@@ -184,13 +238,27 @@ impl<'db> Session<'db> {
 
     /// Opens a session with an explicit policy.
     pub fn with_policy(db: &'db Database, policy: AccessPolicy) -> Self {
+        let mut seen = SlotSet::new();
+        seen.grow_to(db.num_objects());
         Session {
             db,
             policy,
             stats: AccessStats::new(db.num_lists()),
             positions: vec![0; db.num_lists()],
-            seen: vec![false; db.num_objects()],
+            seen,
         }
+    }
+
+    /// Rewinds the session to a fresh run under `policy`: counters zeroed,
+    /// sorted cursors back to the top, seen-set emptied. Everything is done
+    /// in place (the seen-set clear is a generation bump), so a worker that
+    /// serves many queries over one database reuses a single session with
+    /// zero per-query allocation.
+    pub fn reset(&mut self, policy: AccessPolicy) {
+        self.policy = policy;
+        self.stats.reset();
+        self.positions.fill(0);
+        self.seen.reset();
     }
 
     /// The underlying database (subsystem-side; for oracles and reports).
@@ -205,7 +273,7 @@ impl<'db> Session<'db> {
 
     /// Whether `object` has been seen under sorted access in this session.
     pub fn has_seen(&self, object: ObjectId) -> bool {
-        self.seen.get(object.index()).copied().unwrap_or(false)
+        self.seen.contains(object.index())
     }
 
     fn check_list(&self, list: usize) -> Result<(), AccessError> {
@@ -248,7 +316,7 @@ impl Middleware for Session<'_> {
         self.check_budget()?;
         self.positions[list] = pos + 1;
         self.stats.record_sorted(list);
-        self.seen[entry.object.index()] = true;
+        self.seen.mark(entry.object.index());
         Ok(Some(entry))
     }
 
@@ -260,7 +328,7 @@ impl Middleware for Session<'_> {
         if object.index() >= self.db.num_objects() {
             return Err(AccessError::NoSuchObject { object });
         }
-        if !self.policy.allow_wild_guesses && !self.seen[object.index()] {
+        if !self.policy.allow_wild_guesses && !self.seen.contains(object.index()) {
             return Err(AccessError::WildGuess { list, object });
         }
         self.check_budget()?;
@@ -309,7 +377,7 @@ impl Middleware for Session<'_> {
         out.reserve(allowed);
         for rank in pos..pos + allowed {
             let entry = l.at_rank(rank).expect("rank < len");
-            self.seen[entry.object.index()] = true;
+            self.seen.mark(entry.object.index());
             out.push(entry);
         }
         self.positions[list] = pos + allowed;
@@ -344,7 +412,7 @@ impl Middleware for Session<'_> {
                 failure = Some(AccessError::NoSuchObject { object });
                 break;
             }
-            if !self.policy.allow_wild_guesses && !self.seen[object.index()] {
+            if !self.policy.allow_wild_guesses && !self.seen.contains(object.index()) {
                 failure = Some(AccessError::WildGuess { list, object });
                 break;
             }
@@ -481,6 +549,49 @@ mod tests {
             s.random_lookup(0, ObjectId(42)),
             Err(AccessError::NoSuchObject { .. })
         ));
+    }
+
+    #[test]
+    fn reset_rewinds_everything_in_place() {
+        let db = db();
+        let mut s = Session::new(&db);
+        s.sorted_next(0).unwrap();
+        s.sorted_next(0).unwrap();
+        assert!(s.has_seen(ObjectId(0)));
+        s.reset(AccessPolicy::unrestricted());
+        assert_eq!(s.stats().total(), 0, "counters zeroed");
+        assert_eq!(s.position(0), 0, "cursor rewound");
+        assert!(!s.has_seen(ObjectId(0)), "seen-set emptied");
+        // The new policy is in force: wild guesses now allowed.
+        assert!(s.random_lookup(1, ObjectId(2)).is_ok());
+        // And the cursor serves the top of the list again.
+        assert_eq!(s.sorted_next(0).unwrap().unwrap().object, ObjectId(0));
+    }
+
+    #[test]
+    fn mut_ref_forwards_the_middleware_interface() {
+        // Drive the session through the blanket `impl Middleware for &mut M`
+        // (a generic consumer taking the middleware *by value*, as
+        // `CostBudget` does when wrapping a worker's reused session).
+        fn drive<M: Middleware>(mut mw: M) -> u64 {
+            assert_eq!(mw.num_lists(), 2);
+            assert_eq!(mw.num_objects(), 3);
+            let e = mw.sorted_next(0).unwrap().unwrap();
+            assert_eq!(e.object, ObjectId(0));
+            assert!(mw.random_lookup(1, e.object).is_ok());
+            let mut buf = Vec::new();
+            assert_eq!(mw.sorted_next_batch(1, 2, &mut buf).unwrap(), 2);
+            let mut grades = Vec::new();
+            mw.random_lookup_many(0, &[buf[0].object], &mut grades)
+                .unwrap();
+            assert_eq!(mw.position(0), 1);
+            assert!(!mw.policy().allow_wild_guesses);
+            mw.stats().total()
+        }
+        let db = db();
+        let mut s = Session::new(&db);
+        assert_eq!(drive(&mut s), 5);
+        assert_eq!(s.stats().total(), 5, "accesses land on the inner session");
     }
 
     #[test]

@@ -213,14 +213,19 @@ impl Database {
             }
         }
 
+        // The trusted constructor skips re-validating what the source
+        // database already proved (each shard list is a rank-preserving
+        // restriction of a sorted list), so the per-shard sorted order —
+        // entries *and* the random-access rank index — is computed exactly
+        // once here; shard sorted-view reads are `O(1)` rank lookups with
+        // no re-sort or re-scan anywhere on the read path.
         ranked
             .into_iter()
             .zip(global_ids)
             .enumerate()
             .map(|(index, (lists, global_ids))| DatabaseShard {
                 index,
-                database: Database::from_ranked_lists(lists)
-                    .expect("restriction of a valid database is valid"),
+                database: Database::from_ranked_lists_trusted(lists),
                 global_ids,
             })
             .collect()

@@ -30,7 +30,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fagin_core::planner::Planner;
-use fagin_core::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+use fagin_core::{AlgoError, RunMetrics, RunScratch, ScoredObject, TopKOutput};
 use fagin_middleware::{AccessError, AccessStats, CostBudget, Database, ObjectId, Session};
 
 use crate::cache::{CachedRun, ResultCache};
@@ -313,6 +313,12 @@ impl Drop for TopKService {
 }
 
 fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
+    // Each worker owns one run arena and one session, leased to every query
+    // it executes: steady-state serving re-allocates neither per-object run
+    // state nor session bookkeeping per request (both clear in O(1) via
+    // generation stamps; see `fagin_core::arena`).
+    let mut arena = RunScratch::new();
+    let mut session = Session::new(shared.db.as_ref());
     loop {
         // Holding the lock only around `recv` hands exactly one job to
         // exactly one idle worker; execution happens lock-free.
@@ -324,7 +330,7 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
             return; // channel closed: service is shutting down
         };
         shared.queue_len.fetch_sub(1, Ordering::SeqCst);
-        let result = execute(shared, &job.request);
+        let result = execute(shared, &job.request, &mut session, &mut arena);
         if let Err(e) = &result {
             match e {
                 ServeError::CostBudgetExceeded { .. } => shared.recorder.record_budget_rejection(),
@@ -336,9 +342,15 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
     }
 }
 
-/// Answers one query: cache read → plan (with warm start) → execute on a
-/// fresh per-query session → canonicalize → cache write.
-fn execute(shared: &Shared, req: &QueryRequest) -> Result<QueryResponse, ServeError> {
+/// Answers one query: cache read → plan (with warm start) → execute on the
+/// worker's reused session + run arena (reset per query, so accounting and
+/// policy enforcement stay per-query) → canonicalize → cache write.
+fn execute(
+    shared: &Shared,
+    req: &QueryRequest,
+    session: &mut Session<'_>,
+    arena: &mut RunScratch,
+) -> Result<QueryResponse, ServeError> {
     let started = Instant::now();
     let db = shared.db.as_ref();
     let m = db.num_lists();
@@ -416,12 +428,13 @@ fn execute(shared: &Shared, req: &QueryRequest) -> Result<QueryResponse, ServeEr
             (plan.algorithm, why)
         };
 
-    // Fresh per-query session: isolated accounting and policy enforcement.
-    let session = Session::with_policy(db, req.policy.clone());
+    // The worker's session, rewound in place: accounting and policy
+    // enforcement are per-query even though the storage is per-worker.
+    session.reset(req.policy.clone());
     let out: TopKOutput = match req.cost_budget {
         Some(limit) => {
-            let mut guarded = CostBudget::new(session, req.costs, limit);
-            match algorithm.run(&mut guarded, agg, req.k) {
+            let mut guarded = CostBudget::new(&mut *session, req.costs, limit);
+            match algorithm.run_with(&mut guarded, agg, req.k, arena) {
                 Err(AlgoError::Access(AccessError::BudgetExhausted)) => {
                     return Err(ServeError::CostBudgetExceeded {
                         budget: limit,
@@ -431,10 +444,7 @@ fn execute(shared: &Shared, req: &QueryRequest) -> Result<QueryResponse, ServeEr
                 other => other?,
             }
         }
-        None => {
-            let mut session = session;
-            algorithm.run(&mut session, agg, req.k)?
-        }
+        None => algorithm.run_with(&mut *session, agg, req.k, arena)?,
     };
 
     let mut items = out.items;

@@ -51,12 +51,12 @@ pub mod prelude {
     };
     pub use fagin_core::oracle;
     pub use fagin_core::planner::{Capabilities, Guarantee, Plan, PlanError, Planner};
-    pub use fagin_core::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+    pub use fagin_core::{AlgoError, RunMetrics, RunScratch, ScoredObject, TopKOutput};
     pub use fagin_middleware::{
         AccessError, AccessPolicy, AccessStats, BatchConfig, CostBudget, CostModel, Database,
         DatabaseBuilder, DatabaseShard, Entry, GeneratorSource, Grade, GradedSource,
-        MaterializedSource, Middleware, ObjectId, Session, ShardView, SortedAccessSet,
-        SubsystemMiddleware,
+        MaterializedSource, Middleware, ObjectId, Session, ShardView, SlotSet, SlotTable,
+        SortedAccessSet, SubsystemMiddleware,
     };
     pub use fagin_serve::{
         AggSpec, AnswerSource, QueryRequest, QueryResponse, QueryTicket, ResultCache, ServeError,

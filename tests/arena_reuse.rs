@@ -1,0 +1,234 @@
+//! Arena-reuse equivalence harness (ISSUE 5 tentpole guarantee).
+//!
+//! The run-arena refactor moved every per-run buffer — TA's memo and
+//! top-`k` buffer, the bound engine's candidate table / `W` index / heaps,
+//! FA's match buffer, the serving workers' sessions — into reusable,
+//! generation-stamped storage leased across queries. None of that may be
+//! observable: a query executed through a *reused* arena/session must be
+//! bytewise identical to the same query executed from fresh state, no
+//! matter what ran through the arena before it. Two layers of checks:
+//!
+//! 1. **Algorithm-level** — a mixed stream of (algorithm, aggregation, k,
+//!    database-shape) runs through one shared [`RunScratch`], each compared
+//!    field-for-field (items, stats, metrics) against a fresh-state run.
+//!    Shapes deliberately alternate `n` and `m` so stride changes and
+//!    stale-slot aliasing would surface.
+//! 2. **Service-level** — one single-worker [`TopKService`] (whose worker
+//!    leases one arena + one session to every query) answers a mixed
+//!    stream; every response must match a freshly constructed service
+//!    answering only that query. Runs with the cache disabled (every query
+//!    exercises the leased engine state) and enabled (hits, warm starts
+//!    and cold runs interleave over the same arena).
+
+use std::sync::Arc;
+
+use fagin_topk::prelude::*;
+
+fn pseudo_db(n: usize, m: usize, salt: u64) -> Database {
+    let cols: Vec<Vec<f64>> = (0..m)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    let x = (j as u64).wrapping_mul(6364136223846793005).wrapping_add(
+                        salt.wrapping_add(i as u64)
+                            .wrapping_mul(1442695040888963407),
+                    );
+                    ((x >> 11) % 999983) as f64 / 999983.0
+                })
+                .collect()
+        })
+        .collect();
+    Database::from_f64_columns(&cols).unwrap()
+}
+
+fn assert_same(fresh: &TopKOutput, leased: &TopKOutput, ctx: &str) {
+    assert_eq!(fresh.items, leased.items, "{ctx}: items");
+    assert_eq!(fresh.stats, leased.stats, "{ctx}: stats");
+    assert_eq!(fresh.metrics, leased.metrics, "{ctx}: metrics");
+}
+
+#[test]
+fn mixed_queries_through_one_arena_match_fresh_state_runs() {
+    // Three shapes with different n AND m: every lease must re-stride.
+    let dbs = [
+        pseudo_db(300, 3, 7),
+        pseudo_db(120, 4, 11),
+        pseudo_db(500, 2, 13),
+    ];
+    let aggs: Vec<Box<dyn Aggregation>> = vec![
+        Box::new(Min),
+        Box::new(Max),
+        Box::new(Sum),
+        Box::new(Average),
+    ];
+    type Case = (Box<dyn TopKAlgorithm>, AccessPolicy);
+    let cases: Vec<Case> = vec![
+        (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Ta::new().memoized()),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (
+            Box::new(Ta::new().batched(7)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (Box::new(Ta::theta(1.5)), AccessPolicy::no_wild_guesses()),
+        (Box::new(Nra::new()), AccessPolicy::no_random_access()),
+        (
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap).batched(5)),
+            AccessPolicy::no_random_access(),
+        ),
+        (Box::new(Ca::new(1)), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Ca::new(3).with_strategy(BookkeepingStrategy::LazyHeap)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (
+            Box::new(Intermittent::new(2)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (Box::new(Fa), AccessPolicy::no_wild_guesses()),
+    ];
+
+    let mut arena = RunScratch::new();
+    // Interleave shapes, algorithms and k so each lease inherits maximally
+    // foreign stale state from its predecessor.
+    for round in 0..3usize {
+        for (di, db) in dbs.iter().enumerate() {
+            for (ci, (algo, policy)) in cases.iter().enumerate() {
+                let agg = aggs[(round + di + ci) % aggs.len()].as_ref();
+                let k = [1usize, 5, 17][(round + ci) % 3];
+                let ctx = format!(
+                    "round={round} db={di} algo={} agg={} k={k}",
+                    algo.name(),
+                    agg.name()
+                );
+                let mut fresh_session = Session::with_policy(db, policy.clone());
+                let fresh = algo.run(&mut fresh_session, agg, k).unwrap();
+                let mut leased_session = Session::with_policy(db, policy.clone());
+                let leased = algo
+                    .run_with(&mut leased_session, agg, k, &mut arena)
+                    .unwrap();
+                assert_same(&fresh, &leased, &ctx);
+                assert!(
+                    oracle::is_valid_theta_approximation(
+                        db,
+                        agg,
+                        k,
+                        fresh.metrics.approximation_guarantee.max(1.0),
+                        &fresh.objects()
+                    ),
+                    "{ctx}: answer validity"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reused_sessions_match_fresh_sessions() {
+    // Session::reset must behave exactly like opening a new session, across
+    // policy changes.
+    let db = pseudo_db(200, 3, 23);
+    let mut reused = Session::new(&db);
+    let policies = [
+        AccessPolicy::no_wild_guesses(),
+        AccessPolicy::no_random_access(),
+        AccessPolicy::unrestricted(),
+        AccessPolicy::no_wild_guesses().with_budget(100),
+    ];
+    for round in 0..4usize {
+        for (pi, policy) in policies.iter().enumerate() {
+            let algo: Box<dyn TopKAlgorithm> = if policy.allow_random {
+                Box::new(Ta::new())
+            } else {
+                Box::new(Nra::new())
+            };
+            let k = 1 + (round + pi) % 5;
+            reused.reset(policy.clone());
+            let a = algo.run(&mut reused, &Average, k);
+            let mut fresh = Session::with_policy(&db, policy.clone());
+            let b = algo.run(&mut fresh, &Average, k);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_same(&a, &b, &format!("round={round} policy={pi}"));
+                    assert_eq!(reused.stats(), fresh.stats());
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("reused {a:?} vs fresh {b:?}"),
+            }
+        }
+    }
+}
+
+/// The mixed stream for the service-level check: aggregations × k × policy
+/// shapes, with repeats so the cached variant produces hits and warm
+/// starts.
+fn mixed_requests() -> Vec<QueryRequest> {
+    let mut reqs = Vec::new();
+    for k in [4usize, 2, 6, 4, 9, 2] {
+        reqs.push(QueryRequest::new(AggSpec::Average, k));
+        reqs.push(QueryRequest::new(AggSpec::Min, k));
+        reqs.push(
+            QueryRequest::new(AggSpec::Sum, k)
+                .with_policy(AccessPolicy::no_random_access())
+                .require_grades(false),
+        );
+        reqs.push(QueryRequest::new(AggSpec::Max, k));
+    }
+    reqs.push(QueryRequest::new(AggSpec::Average, 3).with_theta(1.5));
+    reqs.push(QueryRequest::new(AggSpec::Min, 30));
+    reqs
+}
+
+fn assert_responses_match(worker_reuse: &QueryResponse, fresh: &QueryResponse, ctx: &str) {
+    assert_eq!(worker_reuse.items, fresh.items, "{ctx}: items");
+    assert_eq!(worker_reuse.stats, fresh.stats, "{ctx}: stats");
+    assert_eq!(worker_reuse.algorithm, fresh.algorithm, "{ctx}: algorithm");
+    assert_eq!(
+        worker_reuse.run.final_threshold, fresh.run.final_threshold,
+        "{ctx}: threshold"
+    );
+    assert_eq!(worker_reuse.cost, fresh.cost, "{ctx}: cost");
+}
+
+#[test]
+fn single_worker_service_leaks_no_state_across_queries() {
+    let db = Arc::new(pseudo_db(400, 3, 31));
+    // Cache disabled: every query must run its engine on the worker's
+    // leased arena, inheriting whatever the previous query left behind.
+    let service = TopKService::new(
+        Arc::clone(&db),
+        ServiceConfig::default().with_workers(1).without_cache(),
+    );
+    for (qi, req) in mixed_requests().into_iter().enumerate() {
+        let reused = service.query(req.clone()).unwrap();
+        // A freshly constructed service answers from a virgin arena.
+        let one_shot = TopKService::new(
+            Arc::clone(&db),
+            ServiceConfig::default().with_workers(1).without_cache(),
+        );
+        let fresh = one_shot.query(req).unwrap();
+        assert_responses_match(&reused, &fresh, &format!("query {qi}"));
+        assert_eq!(reused.source, AnswerSource::Cold, "query {qi}");
+    }
+}
+
+#[test]
+fn single_worker_service_with_cache_matches_fresh_replay() {
+    let db = Arc::new(pseudo_db(400, 3, 31));
+    let service = TopKService::new(Arc::clone(&db), ServiceConfig::default().with_workers(1));
+    // The reference service replays the SAME stream from scratch (its own
+    // cache evolves identically), but with a fresh worker per... service.
+    let replay = TopKService::new(Arc::clone(&db), ServiceConfig::default().with_workers(1));
+    for (qi, req) in mixed_requests().into_iter().enumerate() {
+        let a = service.query(req.clone()).unwrap();
+        let b = replay.query(req).unwrap();
+        assert_responses_match(&a, &b, &format!("query {qi}"));
+        assert_eq!(a.source, b.source, "query {qi}: answer source");
+    }
+    assert!(
+        service.metrics().cache_hits > 0,
+        "the stream must actually exercise hits over the reused arena"
+    );
+}
