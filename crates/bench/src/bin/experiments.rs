@@ -9,6 +9,7 @@
 //! cargo run --release -p fagin-bench --bin experiments -- --no-json e7
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-budget
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-access-counts
+//! cargo run --release -p fagin-bench --bin experiments -- --assert-service-qps
 //! ```
 //!
 //! `--assert-budget[=MULT]` measures NRA(lazy) and CA(h=2) against TA on
@@ -21,7 +22,13 @@
 //! from the recorded `BENCH_topk.json` (default path) — the referee that a
 //! perf change touched only wall-clock, never the access sequence.
 //!
-//! Either assertion given alone runs just its check; combined with
+//! `--assert-service-qps[=RATIO]` measures the cached mixed stream at 1
+//! and 4 workers and exits non-zero if the 4-worker throughput falls below
+//! `RATIO ×` the single-worker throughput (default 0.75) — the CI smoke
+//! test that keeps the multi-worker cache stampede from regressing (the
+//! pre-coalescing service sat at ≈0.27).
+//!
+//! Any assertion given alone runs just its check; combined with
 //! experiment ids they run after the experiments.
 
 use fagin_bench::experiments::{by_id, ALL_IDS};
@@ -32,6 +39,12 @@ use fagin_bench::{report, Scale};
 /// past 100×, the PR 3 engine sat under 10×); 8× leaves room for CI noise
 /// while still catching any bookkeeping regression.
 const DEFAULT_BUDGET_MULTIPLE: f64 = 8.0;
+
+/// Default minimum `qps(w=4) / qps(w=1)` on the cached mixed stream: with
+/// single-flight coalescing the ratio sits near 1 even on one core (and
+/// above it with real cores); 0.75 leaves room for scheduler noise while
+/// still failing loudly on a stampede regression (which lands near 0.27).
+const DEFAULT_SERVICE_QPS_RATIO: f64 = 0.75;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +65,16 @@ fn main() {
             a.strip_prefix("--assert-access-counts=").map(String::from)
         }
     });
+    let service_qps: Option<f64> = args.iter().find_map(|a| {
+        if a == "--assert-service-qps" {
+            Some(DEFAULT_SERVICE_QPS_RATIO)
+        } else {
+            a.strip_prefix("--assert-service-qps=").map(|v| {
+                v.parse()
+                    .expect("--assert-service-qps=RATIO needs a number")
+            })
+        }
+    });
     if let Some(unknown) = args.iter().find(|a| {
         a.starts_with("--")
             && *a != "--quick"
@@ -60,10 +83,13 @@ fn main() {
             && !a.starts_with("--assert-budget=")
             && *a != "--assert-access-counts"
             && !a.starts_with("--assert-access-counts=")
+            && *a != "--assert-service-qps"
+            && !a.starts_with("--assert-service-qps=")
     }) {
         eprintln!(
             "unknown flag: {unknown} (valid: --quick, --no-json, \
-             --assert-budget[=MULT], --assert-access-counts[=PATH])"
+             --assert-budget[=MULT], --assert-access-counts[=PATH], \
+             --assert-service-qps[=RATIO])"
         );
         std::process::exit(2);
     }
@@ -76,7 +102,7 @@ fn main() {
     // An assertion flag alone runs only its check; otherwise an empty id
     // list means every experiment.
     let ids: Vec<&str> = if named.is_empty() {
-        if budget.is_some() || access_counts.is_some() {
+        if budget.is_some() || access_counts.is_some() || service_qps.is_some() {
             Vec::new()
         } else {
             ALL_IDS.to_vec()
@@ -161,6 +187,32 @@ fn main() {
                 eprintln!("  access-count check failed: {e}");
                 failed = true;
             }
+        }
+    }
+    if let Some(min_ratio) = service_qps {
+        println!("service qps guardrail (cached mixed stream, w=4 vs w=1, min ratio {min_ratio})");
+        let guard = report::service_qps_guard(scale, min_ratio);
+        for row in &guard.rows {
+            println!(
+                "  w={} {:10.0} qps (hit rate {:5.1}%, coalesced {})",
+                row.workers,
+                row.qps,
+                row.hit_rate * 100.0,
+                row.coalesced
+            );
+        }
+        println!(
+            "  ratio {:.2} (min {:.2}) {}",
+            guard.ratio,
+            guard.min_ratio,
+            if guard.ok {
+                "ok"
+            } else {
+                "STAMPEDE REGRESSION"
+            }
+        );
+        if !guard.ok {
+            failed = true;
         }
     }
     if failed {

@@ -43,6 +43,7 @@ mod error;
 mod grade;
 mod list;
 mod policy;
+mod scan;
 mod session;
 mod shard;
 mod slots;
@@ -55,6 +56,7 @@ pub use error::{AccessError, BuildError};
 pub use grade::{Entry, Grade, ObjectId};
 pub use list::SortedList;
 pub use policy::{AccessPolicy, SortedAccessSet};
+pub use scan::ScanFrontier;
 pub use session::{BatchConfig, Middleware, Session};
 pub use shard::{DatabaseShard, ShardView};
 pub use slots::{SlotSet, SlotTable};

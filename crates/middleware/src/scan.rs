@@ -1,0 +1,228 @@
+//! The shared sorted-scan frontier: cross-query reuse of in-progress
+//! sweeps.
+//!
+//! The result cache (in the serving crate) reuses *finished* runs; this
+//! module generalizes that to runs *in progress*. A [`ScanFrontier`] keeps,
+//! per sorted list, the prefix of entries that **some** query has already
+//! pulled from the subsystem, materialized once and shared read-only. A
+//! [`Session`](crate::Session) attached via
+//! [`Session::share_scans`](crate::Session::share_scans) serves its sorted
+//! accesses *through* the frontier: ranks at or below the shared high-water
+//! mark are read from the materialized prefix (the sweep another query
+//! already paid for), and ranks beyond it extend the frontier exactly once
+//! — concurrent queries each attach their private cursor at depth 0 and
+//! detach when their own bound engine halts, but the underlying sweep is
+//! performed once per list, not once per query.
+//!
+//! Sharing is **observationally invisible** to any single query: the
+//! frontier materializes entries by rank from the same
+//! [`Database`](crate::Database) lists a detached session would read, so
+//! every served entry — and therefore every answer, every access count and
+//! every policy decision — is bytewise identical to an isolated run. What
+//! changes is only the subsystem-side work, which the frontier tallies:
+//! [`ScanFrontier::served_shared`] counts sorted accesses served from the
+//! already-materialized prefix, [`ScanFrontier::served_fresh`] counts the
+//! accesses that had to advance the sweep.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use crate::database::Database;
+use crate::grade::Entry;
+
+/// A per-list shared sorted-scan frontier over one database.
+///
+/// Cheap to share (`Arc<ScanFrontier>`); all methods take `&self`. The
+/// common path — a rank below the shared high-water mark — is one
+/// read-lock acquisition and a slice read, with no allocation.
+#[derive(Debug)]
+pub struct ScanFrontier {
+    db: Arc<Database>,
+    /// Materialized descending-grade prefixes, one per list. Entries are
+    /// copied verbatim from the database's sorted lists, so a frontier
+    /// read and a direct list read are indistinguishable.
+    lists: Vec<RwLock<Vec<Entry>>>,
+    /// Sorted accesses served from the already-materialized prefix.
+    served_shared: AtomicU64,
+    /// Sorted accesses that advanced the frontier (fresh subsystem work).
+    served_fresh: AtomicU64,
+}
+
+impl ScanFrontier {
+    /// An empty frontier (every list at depth 0) over `db`.
+    pub fn new(db: Arc<Database>) -> Self {
+        let lists = (0..db.num_lists())
+            .map(|_| RwLock::new(Vec::new()))
+            .collect();
+        ScanFrontier {
+            db,
+            lists,
+            served_shared: AtomicU64::new(0),
+            served_fresh: AtomicU64::new(0),
+        }
+    }
+
+    /// The database the frontier sweeps.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Current materialized depth of `list` (the shared high-water mark).
+    pub fn depth(&self, list: usize) -> usize {
+        self.lists[list]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Total sorted accesses served from the shared prefix so far.
+    pub fn served_shared(&self) -> u64 {
+        self.served_shared.load(Ordering::Relaxed)
+    }
+
+    /// Total sorted accesses that extended the frontier so far.
+    pub fn served_fresh(&self) -> u64 {
+        self.served_fresh.load(Ordering::Relaxed)
+    }
+
+    /// Serves ranks `start..end` of `list` from the shared prefix,
+    /// extending the frontier first if it has not reached `end` yet, and
+    /// hands the slice to `f`.
+    ///
+    /// The caller is responsible for clamping `end` to the list length
+    /// (sessions do, exactly as they clamp direct reads) and for all
+    /// policy/budget/accounting decisions — the frontier only shares the
+    /// sweep.
+    pub fn with_prefix<R>(
+        &self,
+        list: usize,
+        start: usize,
+        end: usize,
+        f: impl FnOnce(&[Entry]) -> R,
+    ) -> R {
+        debug_assert!(start <= end);
+        debug_assert!(
+            end <= self.db.list(list).len(),
+            "callers clamp to the list length"
+        );
+        {
+            // Fast path: the sweep already covers the range.
+            let prefix = self.lists[list]
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if prefix.len() >= end {
+                self.served_shared
+                    .fetch_add((end - start) as u64, Ordering::Relaxed);
+                return f(&prefix[start..end]);
+            }
+        }
+        let mut prefix = self.lists[list]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let covered = prefix.len();
+        if covered < end {
+            let source = self.db.list(list);
+            prefix.reserve(end - covered);
+            for rank in covered..end {
+                prefix.push(source.at_rank(rank).expect("rank < len"));
+            }
+            self.served_fresh
+                .fetch_add((end - covered) as u64, Ordering::Relaxed);
+            self.served_shared
+                .fetch_add(covered.saturating_sub(start) as u64, Ordering::Relaxed);
+        } else {
+            // A concurrent writer covered the range between our two locks.
+            self.served_shared
+                .fetch_add((end - start) as u64, Ordering::Relaxed);
+        }
+        f(&prefix[start..end])
+    }
+
+    /// Serves the single entry at `rank` of `list` (the scalar
+    /// [`sorted_next`](crate::Middleware::sorted_next) path). Returns
+    /// `None` when `rank` is past the end of the list.
+    pub fn entry_at(&self, list: usize, rank: usize) -> Option<Entry> {
+        if rank >= self.db.list(list).len() {
+            return None;
+        }
+        Some(self.with_prefix(list, rank, rank + 1, |slice| slice[0]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grade::ObjectId;
+
+    fn db() -> Arc<Database> {
+        Arc::new(
+            Database::from_f64_columns(&[vec![0.9, 0.5, 0.1, 0.7], vec![0.2, 0.8, 0.5, 0.6]])
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn frontier_entries_match_the_lists_exactly() {
+        let db = db();
+        let frontier = ScanFrontier::new(Arc::clone(&db));
+        for list in 0..db.num_lists() {
+            let len = db.list(list).len();
+            frontier.with_prefix(list, 0, len, |slice| {
+                for (rank, entry) in slice.iter().enumerate() {
+                    assert_eq!(Some(*entry), db.list(list).at_rank(rank));
+                }
+            });
+            assert_eq!(frontier.depth(list), len);
+        }
+    }
+
+    #[test]
+    fn shared_vs_fresh_accounting_splits_at_the_high_water_mark() {
+        let frontier = ScanFrontier::new(db());
+        // First sweep of ranks 0..2: all fresh.
+        frontier.with_prefix(0, 0, 2, |_| ());
+        assert_eq!((frontier.served_fresh(), frontier.served_shared()), (2, 0));
+        // Re-reading the covered range is all shared.
+        frontier.with_prefix(0, 0, 2, |_| ());
+        assert_eq!((frontier.served_fresh(), frontier.served_shared()), (2, 2));
+        // A range straddling the mark splits: rank 1 shared, ranks 2..4 fresh.
+        frontier.with_prefix(0, 1, 4, |_| ());
+        assert_eq!((frontier.served_fresh(), frontier.served_shared()), (4, 3));
+        // Lists advance independently.
+        assert_eq!(frontier.depth(1), 0);
+    }
+
+    #[test]
+    fn entry_at_serves_and_signals_exhaustion() {
+        let db = db();
+        let frontier = ScanFrontier::new(Arc::clone(&db));
+        let top = frontier.entry_at(1, 0).unwrap();
+        assert_eq!(top.object, ObjectId(1), "list 1 is led by grade 0.8");
+        assert_eq!(frontier.entry_at(1, 4), None, "past the end");
+        assert_eq!(frontier.depth(1), 1, "exhaustion does not extend");
+    }
+
+    #[test]
+    fn concurrent_extension_materializes_each_rank_once() {
+        let db = db();
+        let frontier = Arc::new(ScanFrontier::new(Arc::clone(&db)));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let frontier = Arc::clone(&frontier);
+                scope.spawn(move || {
+                    for end in 1..=4 {
+                        frontier.with_prefix(0, 0, end, |slice| {
+                            assert_eq!(slice.len(), end);
+                        });
+                    }
+                });
+            }
+        });
+        // 4 ranks exist; no matter the interleaving, each is fresh once.
+        assert_eq!(frontier.served_fresh(), 4);
+        assert_eq!(
+            frontier.served_shared() + frontier.served_fresh(),
+            4 * (1 + 2 + 3 + 4)
+        );
+    }
+}

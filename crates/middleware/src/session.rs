@@ -10,11 +10,14 @@
 //! violations surface as typed [`AccessError`]s, so tests can verify an
 //! algorithm belongs to the class `A` a theorem quantifies over.
 
+use std::sync::Arc;
+
 use crate::cost::AccessStats;
 use crate::database::Database;
 use crate::error::AccessError;
 use crate::grade::{Entry, Grade, ObjectId};
 use crate::policy::AccessPolicy;
+use crate::scan::ScanFrontier;
 use crate::slots::SlotSet;
 
 /// How many entries an algorithm's drive loop consumes per list per round.
@@ -227,6 +230,10 @@ pub struct Session<'db> {
     /// Objects seen under sorted access (for wild-guess detection).
     /// Generation-stamped so [`Session::reset`] is `O(m)`, not `O(N)`.
     seen: SlotSet,
+    /// When attached, sorted entries are served through the shared scan
+    /// frontier instead of directly from the lists (identical bytes —
+    /// see [`ScanFrontier`] — but the sweep is shared across sessions).
+    frontier: Option<Arc<ScanFrontier>>,
 }
 
 impl<'db> Session<'db> {
@@ -246,7 +253,39 @@ impl<'db> Session<'db> {
             stats: AccessStats::new(db.num_lists()),
             positions: vec![0; db.num_lists()],
             seen,
+            frontier: None,
         }
+    }
+
+    /// Attaches the session to a shared scan frontier: sorted accesses are
+    /// now served through the frontier's materialized prefixes (extending
+    /// them on first contact), so concurrent sessions over the same
+    /// database share one sweep per list instead of repeating it. The
+    /// session's own cursor, policy, budget and accounting are untouched —
+    /// answers and stats stay bytewise identical to a detached run.
+    ///
+    /// The attachment survives [`Session::reset`] (a serving worker
+    /// attaches once and rewinds per query).
+    ///
+    /// # Panics
+    /// Panics if the frontier was built over a different database.
+    pub fn share_scans(&mut self, frontier: Arc<ScanFrontier>) {
+        assert!(
+            std::ptr::eq(self.db, Arc::as_ptr(frontier.database())),
+            "frontier must sweep this session's database"
+        );
+        self.frontier = Some(frontier);
+    }
+
+    /// Detaches the session from its shared scan frontier (no-op when
+    /// detached); subsequent sorted accesses read the lists directly.
+    pub fn unshare_scans(&mut self) {
+        self.frontier = None;
+    }
+
+    /// The shared scan frontier this session serves from, if attached.
+    pub fn scan_frontier(&self) -> Option<&Arc<ScanFrontier>> {
+        self.frontier.as_ref()
     }
 
     /// Rewinds the session to a fresh run under `policy`: counters zeroed,
@@ -310,10 +349,16 @@ impl Middleware for Session<'_> {
             return Err(AccessError::SortedAccessForbidden { list });
         }
         let pos = self.positions[list];
-        let Some(entry) = self.db.list(list).at_rank(pos) else {
+        if pos >= self.db.list(list).len() {
             return Ok(None);
-        };
+        }
         self.check_budget()?;
+        // Same entry either way (the frontier materializes from this very
+        // list); attached sessions route through it so the sweep is shared.
+        let entry = match &self.frontier {
+            Some(frontier) => frontier.entry_at(list, pos).expect("rank < len"),
+            None => self.db.list(list).at_rank(pos).expect("rank < len"),
+        };
         self.positions[list] = pos + 1;
         self.stats.record_sorted(list);
         self.seen.mark(entry.object.index());
@@ -375,10 +420,23 @@ impl Middleware for Session<'_> {
             None => want,
         };
         out.reserve(allowed);
-        for rank in pos..pos + allowed {
-            let entry = l.at_rank(rank).expect("rank < len");
-            self.seen.mark(entry.object.index());
-            out.push(entry);
+        match &self.frontier {
+            Some(frontier) => {
+                let seen = &mut self.seen;
+                frontier.with_prefix(list, pos, pos + allowed, |slice| {
+                    for entry in slice {
+                        seen.mark(entry.object.index());
+                        out.push(*entry);
+                    }
+                });
+            }
+            None => {
+                for rank in pos..pos + allowed {
+                    let entry = l.at_rank(rank).expect("rank < len");
+                    self.seen.mark(entry.object.index());
+                    out.push(entry);
+                }
+            }
         }
         self.positions[list] = pos + allowed;
         self.stats.record_sorted_n(list, allowed as u64);
@@ -694,6 +752,74 @@ mod tests {
         assert_eq!(err, AccessError::BudgetExhausted);
         assert_eq!(grades.len(), 2);
         assert_eq!(s.stats().total(), 2);
+    }
+
+    #[test]
+    fn shared_scans_are_bytewise_invisible() {
+        // The same access sequence, attached vs detached: every entry,
+        // every counter and every cursor must agree exactly.
+        let shared_db = Arc::new(db());
+        let frontier = Arc::new(crate::ScanFrontier::new(Arc::clone(&shared_db)));
+        let mut attached = Session::new(&shared_db);
+        attached.share_scans(Arc::clone(&frontier));
+        let mut detached = Session::new(&shared_db);
+
+        let drive = |s: &mut Session<'_>| {
+            let mut log = Vec::new();
+            log.push(s.sorted_next(0).unwrap());
+            let mut batch = Vec::new();
+            s.sorted_next_batch(1, 2, &mut batch).unwrap();
+            log.extend(batch.into_iter().map(Some));
+            log.push(s.sorted_next(1).unwrap());
+            log.push(s.sorted_next(1).unwrap()); // exhausted
+            log
+        };
+        assert_eq!(drive(&mut attached), drive(&mut detached));
+        assert_eq!(
+            attached.stats().sorted_total(),
+            detached.stats().sorted_total()
+        );
+        assert_eq!(attached.position(1), detached.position(1));
+        assert!(attached.has_seen(ObjectId(0)));
+
+        // The frontier advanced exactly as far as the deepest cursor, and
+        // survives a reset (the cursor rewinds, the shared sweep does not).
+        assert_eq!(frontier.depth(0), 1);
+        assert_eq!(frontier.depth(1), 3);
+        attached.reset(AccessPolicy::default());
+        assert!(attached.scan_frontier().is_some());
+        assert_eq!(attached.position(1), 0);
+        let before = frontier.served_fresh();
+        attached.sorted_next(1).unwrap();
+        assert_eq!(frontier.served_fresh(), before, "rewound reads are shared");
+        attached.unshare_scans();
+        assert!(attached.scan_frontier().is_none());
+    }
+
+    #[test]
+    fn shared_scans_respect_budget_and_policy_order() {
+        let shared_db = Arc::new(db());
+        let frontier = Arc::new(crate::ScanFrontier::new(Arc::clone(&shared_db)));
+        let mut s =
+            Session::with_policy(&shared_db, AccessPolicy::no_wild_guesses().with_budget(2));
+        s.share_scans(Arc::clone(&frontier));
+        let mut buf = Vec::new();
+        // Budget truncates the batch before the frontier is consulted for
+        // the denied ranks: only 2 entries materialize.
+        assert_eq!(s.sorted_next_batch(0, 3, &mut buf).unwrap(), 2);
+        assert_eq!(s.sorted_next(0).unwrap_err(), AccessError::BudgetExhausted);
+        assert_eq!(frontier.depth(0), 2, "denied accesses never extend");
+        assert_eq!(s.stats().total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "frontier must sweep this session's database")]
+    fn foreign_frontier_rejected() {
+        let a = Arc::new(db());
+        let b = Arc::new(db());
+        let frontier = Arc::new(crate::ScanFrontier::new(b));
+        let mut s = Session::new(&a);
+        s.share_scans(frontier);
     }
 
     #[test]

@@ -39,7 +39,8 @@
 //! cached nor served from the cache.
 
 use std::collections::hash_map::Entry as MapEntry;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use fagin_core::algorithms::WarmStart;
 use fagin_core::ScoredObject;
@@ -48,8 +49,13 @@ use fagin_middleware::{Grade, SortedAccessSet};
 use crate::request::{AggSpec, QueryRequest};
 
 /// The answer-relevant projection of a [`QueryRequest`].
+///
+/// Shared with the in-flight table (`crate::inflight`): two requests with
+/// equal keys and compatible `k` produce byte-identical answers, which is
+/// exactly the condition under which a result may be reused — finished
+/// (this cache) or still executing (single-flight coalescing).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
-struct CacheKey {
+pub(crate) struct CacheKey {
     agg: AggSpec,
     allow_random: bool,
     /// `None` encodes "all lists" (so it never collides with an explicit
@@ -62,7 +68,7 @@ struct CacheKey {
 }
 
 impl CacheKey {
-    fn of(req: &QueryRequest) -> Self {
+    pub(crate) fn of(req: &QueryRequest) -> Self {
         CacheKey {
             agg: req.agg,
             allow_random: req.policy.allow_random,
@@ -81,8 +87,9 @@ impl CacheKey {
 pub struct CachedRun {
     /// The certified answer in canonical order (grade descending, object
     /// id ascending) when `graded`; the algorithm's confidence order
-    /// otherwise.
-    pub items: Vec<ScoredObject>,
+    /// otherwise. Behind an `Arc` so the same certified items can be
+    /// shared with in-flight followers without copying the full run.
+    pub items: Arc<Vec<ScoredObject>>,
     /// The run's final threshold `τ`: an upper bound on the overall grade
     /// of every object the run never examined.
     pub threshold: Option<Grade>,
@@ -118,8 +125,18 @@ pub struct CacheHit {
 /// Bounded, LRU-evicting map from answer-relevant request shapes to
 /// certified runs. One entry per shape: inserting a better run (larger
 /// certified `k`, or grades where there were none) replaces the old one.
+///
+/// Recency is tracked by a monotone tick plus a tick-ordered index
+/// (`recency`), so eviction pops the stalest entry in `O(log n)` instead
+/// of scanning every slot. **Every** use of an entry counts as a touch:
+/// serving a hit, serving a warm hint (an entry that keeps seeding `k > K`
+/// near-misses is hot, not idle), and an `insert` that keeps the resident
+/// entry because the offer was no better.
 pub struct ResultCache {
     map: HashMap<CacheKey, Slot>,
+    /// `last_used` tick → key, mirroring `map` exactly (ticks are unique,
+    /// so this is a bijection onto the resident entries).
+    recency: BTreeMap<u64, CacheKey>,
     capacity: usize,
     tick: u64,
 }
@@ -129,6 +146,7 @@ impl ResultCache {
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             map: HashMap::new(),
+            recency: BTreeMap::new(),
             capacity: capacity.max(1),
             tick: 0,
         }
@@ -151,6 +169,14 @@ impl ResultCache {
     /// two — so there are no counters here to reset.
     pub fn clear(&mut self) {
         self.map.clear();
+        self.recency.clear();
+    }
+
+    /// Moves `slot` to the front of the recency order.
+    fn touch(recency: &mut BTreeMap<u64, CacheKey>, tick: u64, key: &CacheKey, slot: &mut Slot) {
+        recency.remove(&slot.last_used);
+        slot.last_used = tick;
+        recency.insert(tick, key.clone());
     }
 
     /// Tries to serve `req` from the cache. Exact requests only (callers
@@ -168,7 +194,7 @@ impl ResultCache {
                 if req.k == slot.run.requested_k
                     || (req.k < slot.run.requested_k && slot.run.graded) =>
             {
-                slot.last_used = self.tick;
+                Self::touch(&mut self.recency, self.tick, &key, slot);
                 let take = req.k.min(slot.run.items.len());
                 Some(CacheHit {
                     items: slot.run.items[..take].to_vec(),
@@ -184,11 +210,19 @@ impl ResultCache {
     /// A warm start for a request that missed because `k` exceeds the
     /// certified `K`: the entry's exact `(object, grade)` pairs seed the
     /// new run's buffer. Requires a fully graded entry.
-    pub fn warm_hint(&self, req: &QueryRequest) -> Option<WarmStart> {
-        let slot = self.map.get(&CacheKey::of(req))?;
+    ///
+    /// Serving a hint is a *use* of the entry, so it bumps recency: an
+    /// entry that keeps warm-starting larger-`k` misses must not look idle
+    /// to the LRU and get evicted out from under the very traffic it is
+    /// accelerating.
+    pub fn warm_hint(&mut self, req: &QueryRequest) -> Option<WarmStart> {
+        self.tick += 1;
+        let key = CacheKey::of(req);
+        let slot = self.map.get_mut(&key)?;
         if !slot.run.graded || req.k <= slot.run.requested_k {
             return None;
         }
+        Self::touch(&mut self.recency, self.tick, &key, slot);
         Some(WarmStart::new(slot.run.items.iter().map(|i| {
             (i.object, i.grade.expect("graded entries have all grades"))
         })))
@@ -207,13 +241,21 @@ impl ResultCache {
                 let better = run.requested_k > old.requested_k
                     || (run.requested_k == old.requested_k && run.graded >= old.graded);
                 if better {
+                    self.recency.remove(&e.get().last_used);
+                    self.recency.insert(self.tick, e.key().clone());
                     e.insert(Slot {
                         run,
                         last_used: self.tick,
                     });
+                } else {
+                    // The offer lost, but the shape is demonstrably live
+                    // traffic: keep the resident entry warm.
+                    let key = e.key().clone();
+                    Self::touch(&mut self.recency, self.tick, &key, e.into_mut());
                 }
             }
             MapEntry::Vacant(e) => {
+                self.recency.insert(self.tick, e.key().clone());
                 e.insert(Slot {
                     run,
                     last_used: self.tick,
@@ -225,14 +267,19 @@ impl ResultCache {
         }
     }
 
+    /// Evicts the least-recently-used entry in `O(log n)`: the stalest
+    /// tick is the first key of the recency index.
     fn evict_lru(&mut self) {
-        if let Some(key) = self
-            .map
-            .iter()
-            .min_by_key(|(_, slot)| slot.last_used)
-            .map(|(k, _)| k.clone())
-        {
+        if let Some((_, key)) = self.recency.pop_first() {
             self.map.remove(&key);
+        }
+    }
+
+    #[cfg(test)]
+    fn check_recency_invariant(&self) {
+        assert_eq!(self.map.len(), self.recency.len());
+        for (tick, key) in &self.recency {
+            assert_eq!(self.map.get(key).expect("indexed key").last_used, *tick);
         }
     }
 }
@@ -251,7 +298,7 @@ mod tests {
 
     fn run(k: usize, items: Vec<ScoredObject>, graded: bool) -> CachedRun {
         CachedRun {
-            items,
+            items: Arc::new(items),
             threshold: Some(Grade::new(0.4)),
             requested_k: k,
             graded,
@@ -375,6 +422,189 @@ mod tests {
         assert!(cache.lookup(&reqs[0]).is_some(), "recently used survives");
         assert!(cache.lookup(&reqs[1]).is_none(), "LRU evicted");
         assert!(cache.lookup(&reqs[2]).is_some());
+    }
+
+    #[test]
+    fn warm_hints_keep_entries_hot() {
+        // Regression: warm_hint used to leave last_used untouched, so an
+        // entry that was busily seeding k > K near-misses looked idle and
+        // was the first to be evicted.
+        let mut cache = ResultCache::new(2);
+        let seeder = QueryRequest::new(AggSpec::Min, 2);
+        cache.insert(&seeder, run(2, vec![item(0, 0.9), item(1, 0.8)], true));
+        cache.insert(
+            &QueryRequest::new(AggSpec::Max, 1),
+            run(1, vec![item(3, 0.7)], true),
+        );
+        // The seeder keeps warm-starting larger-k misses — that is a use.
+        assert!(cache
+            .warm_hint(&QueryRequest::new(AggSpec::Min, 9))
+            .is_some());
+        // A third shape arrives: the Max entry is now the stale one.
+        cache.insert(
+            &QueryRequest::new(AggSpec::Sum, 1),
+            run(1, vec![item(4, 0.6)], true),
+        );
+        assert!(
+            cache
+                .warm_hint(&QueryRequest::new(AggSpec::Min, 9))
+                .is_some(),
+            "the hot seeder survives"
+        );
+        assert!(cache.lookup(&QueryRequest::new(AggSpec::Max, 1)).is_none());
+        cache.check_recency_invariant();
+    }
+
+    #[test]
+    fn losing_inserts_still_touch_the_resident_entry() {
+        let mut cache = ResultCache::new(2);
+        let hot = QueryRequest::new(AggSpec::Min, 5);
+        cache.insert(
+            &hot,
+            run(
+                5,
+                (0..5).map(|i| item(i, 0.9 - i as f64 / 10.0)).collect(),
+                true,
+            ),
+        );
+        cache.insert(
+            &QueryRequest::new(AggSpec::Max, 1),
+            run(1, vec![item(7, 0.7)], true),
+        );
+        // A smaller-k run for the hot shape loses the replacement contest,
+        // but proves the shape is live: recency must move (k is not part
+        // of the key, so this lands on the same entry).
+        cache.insert(
+            &QueryRequest::new(AggSpec::Min, 1),
+            run(1, vec![item(0, 0.9)], true),
+        );
+        cache.insert(
+            &QueryRequest::new(AggSpec::Sum, 1),
+            run(1, vec![item(8, 0.6)], true),
+        );
+        assert_eq!(cache.lookup(&hot).unwrap().certified_k, 5, "hot entry kept");
+        assert!(cache.lookup(&QueryRequest::new(AggSpec::Max, 1)).is_none());
+        cache.check_recency_invariant();
+    }
+
+    /// A naive reference cache with the *same* intended semantics but the
+    /// old O(n)-scan eviction, driven through a random op sequence: the
+    /// tick-ordered index must agree with it on every resident shape.
+    #[test]
+    fn randomized_ops_match_a_naive_lru_reference() {
+        struct Naive {
+            map: HashMap<CacheKey, (usize, bool, u64)>, // k, graded, last_used
+            capacity: usize,
+            tick: u64,
+        }
+        impl Naive {
+            fn lookup(&mut self, req: &QueryRequest) -> bool {
+                self.tick += 1;
+                let tick = self.tick;
+                match self.map.get_mut(&CacheKey::of(req)) {
+                    Some(e) if req.k == e.0 || (req.k < e.0 && e.1) => {
+                        e.2 = tick;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            fn warm_hint(&mut self, req: &QueryRequest) -> bool {
+                self.tick += 1;
+                let tick = self.tick;
+                match self.map.get_mut(&CacheKey::of(req)) {
+                    Some(e) if e.1 && req.k > e.0 => {
+                        e.2 = tick;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            fn insert(&mut self, req: &QueryRequest, graded: bool) {
+                self.tick += 1;
+                let key = CacheKey::of(req);
+                if let Some(e) = self.map.get_mut(&key) {
+                    if req.k > e.0 || (req.k == e.0 && graded >= e.1) {
+                        *e = (req.k, graded, self.tick);
+                    } else {
+                        e.2 = self.tick;
+                    }
+                } else {
+                    self.map.insert(key, (req.k, graded, self.tick));
+                    if self.map.len() > self.capacity {
+                        let victim = self
+                            .map
+                            .iter()
+                            .min_by_key(|(_, e)| e.2)
+                            .map(|(k, _)| k.clone())
+                            .expect("non-empty");
+                        self.map.remove(&victim);
+                    }
+                }
+            }
+        }
+
+        let mut cache = ResultCache::new(4);
+        let mut naive = Naive {
+            map: HashMap::new(),
+            capacity: 4,
+            tick: 0,
+        };
+        let aggs = [
+            AggSpec::Min,
+            AggSpec::Max,
+            AggSpec::Sum,
+            AggSpec::Average,
+            AggSpec::Product,
+            AggSpec::Median,
+            AggSpec::GeometricMean,
+        ];
+        let mut rng: u64 = 0x5EED_CAFE;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for _ in 0..2_000 {
+            let agg = aggs[(next() % aggs.len() as u64) as usize];
+            let k = 1 + (next() % 6) as usize;
+            let graded = next() % 4 != 0;
+            let req = QueryRequest::new(agg, k);
+            match next() % 3 {
+                0 => {
+                    let got = cache.lookup(&req).is_some();
+                    assert_eq!(got, naive.lookup(&req), "lookup({agg:?}, k={k})");
+                }
+                1 => {
+                    let got = cache.warm_hint(&req).is_some();
+                    assert_eq!(got, naive.warm_hint(&req), "warm_hint({agg:?}, k={k})");
+                }
+                _ => {
+                    let items: Vec<ScoredObject> = (0..k as u32)
+                        .map(|i| {
+                            if graded {
+                                item(i, 0.9 - f64::from(i) / 10.0)
+                            } else {
+                                ScoredObject {
+                                    object: ObjectId(i),
+                                    grade: None,
+                                }
+                            }
+                        })
+                        .collect();
+                    cache.insert(&req, run(k, items, graded));
+                    naive.insert(&req, graded);
+                }
+            }
+            cache.check_recency_invariant();
+        }
+        // Same resident shapes at the end of the sequence.
+        let mut ours: Vec<_> = cache.map.keys().cloned().collect();
+        let mut theirs: Vec<_> = naive.map.keys().cloned().collect();
+        ours.sort_by_key(|k| format!("{k:?}"));
+        theirs.sort_by_key(|k| format!("{k:?}"));
+        assert_eq!(ours, theirs);
     }
 
     #[test]

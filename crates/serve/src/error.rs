@@ -38,6 +38,16 @@ pub enum ServeError {
     Plan(PlanError),
     /// The chosen algorithm failed (arity mismatch, policy violation, …).
     Query(AlgoError),
+    /// The worker executing the query panicked. The panic was caught at
+    /// the worker loop, the worker survives to serve later queries, and
+    /// the death is tallied in
+    /// [`ServiceMetrics::worker_panics`](crate::metrics::ServiceMetrics::worker_panics)
+    /// — the caller's ticket resolves to this error instead of blocking
+    /// forever on a reply that would never come.
+    WorkerPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// The service is shutting down and dropped the query.
     Shutdown,
 }
@@ -56,6 +66,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::Plan(e) => write!(f, "planning failed: {e}"),
             ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::WorkerPanicked { message } => {
+                write!(f, "worker panicked while executing the query: {message}")
+            }
             ServeError::Shutdown => write!(f, "service is shutting down"),
         }
     }
@@ -98,6 +111,11 @@ mod tests {
         };
         assert!(e.to_string().contains("9.0 of 10.0"));
         assert!(ServeError::Shutdown.to_string().contains("shutting down"));
+        assert!(ServeError::WorkerPanicked {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
         let e: ServeError = AlgoError::ZeroK.into();
         assert!(e.to_string().contains("k must be"));
         let e: ServeError = PlanError::NoSortedAccess.into();

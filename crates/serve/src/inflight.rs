@@ -1,0 +1,327 @@
+//! Single-flight query coalescing: the in-flight table.
+//!
+//! The result cache shares *finished* runs; under concurrency that is not
+//! enough — when identical queries arrive in a burst, they all miss the
+//! cache simultaneously and each re-executes the full drive loop (the
+//! classic cache stampede, multiplying exactly the `s·c_S + r·c_R`
+//! middleware cost the paper's algorithms minimize, for zero information
+//! gain). This module closes the gap: the first query to miss registers a
+//! [`Flight`] keyed by its answer-relevant shape
+//! ([`CacheKey`](crate::cache::CacheKey)) and becomes the **leader**; a
+//! query arriving while a flight with `k' ≥ k` is executing registers as a
+//! **follower** and blocks on the flight instead of executing. When the
+//! leader finishes, its canonicalized answer is published to every
+//! follower, which serves its own `k`-prefix by the same τ-certificate
+//! rule the cache uses — one cold run per shape per burst, by
+//! construction.
+//!
+//! The table itself (`HashMap<CacheKey, Arc<Flight>>`) lives *inside the
+//! same mutex as the result cache* (see `service.rs`): "look up the cache,
+//! else join/open a flight" and "insert into the cache, then retire the
+//! flight" are each one atomic step, so a query can never slip between a
+//! leader's cache insert and its flight retirement and cold-run a shape
+//! that was just answered.
+//!
+//! Leader failure is handled, not wished away: a leader that errors
+//! publishes its typed error and followers *retry* (the error may be
+//! specific to the leader's request — e.g. a cost budget, which is not
+//! part of the shape key); a leader that panics publishes a failure from
+//! the guard's `Drop` during unwinding, so followers never block on a
+//! flight whose leader died.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use fagin_core::ScoredObject;
+use fagin_middleware::Grade;
+
+use crate::cache::CacheKey;
+use crate::error::ServeError;
+
+/// A leader's published answer, shared with every follower.
+///
+/// `items` is the leader's full canonicalized answer (grade descending,
+/// ties toward the smaller id when `graded`); a follower with `k ≤
+/// requested_k` serves its prefix, exactly like a cache hit.
+#[derive(Clone, Debug)]
+pub(crate) struct FlightAnswer {
+    /// The leader's canonicalized items (shared with the cache entry).
+    pub items: Arc<Vec<ScoredObject>>,
+    /// The leader run's final threshold τ.
+    pub threshold: Option<Grade>,
+    /// Whether every item carries its exact overall grade (the
+    /// precondition for serving smaller-`k` prefixes).
+    pub graded: bool,
+    /// The `k` the leader was asked for.
+    pub requested_k: usize,
+    /// Name of the algorithm the leader ran.
+    pub algorithm: String,
+}
+
+impl FlightAnswer {
+    /// Whether this answer covers a follower asking for `k`: exact `k`
+    /// always, smaller `k` only when graded (the τ-prefix rule).
+    pub(crate) fn serves(&self, k: usize) -> bool {
+        k == self.requested_k || (k < self.requested_k && self.graded)
+    }
+}
+
+/// What a flight resolved to.
+#[derive(Clone, Debug)]
+pub(crate) enum FlightOutcome {
+    /// The leader completed with an exact answer.
+    Answer(FlightAnswer),
+    /// The leader failed; followers re-enter the admission path.
+    Failed(ServeError),
+}
+
+/// One in-flight leader run. Followers block on `state`/`cv` until the
+/// leader publishes.
+#[derive(Debug)]
+pub(crate) struct Flight {
+    requested_k: usize,
+    state: Mutex<Option<FlightOutcome>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new(requested_k: usize) -> Self {
+        Flight {
+            requested_k,
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, outcome: FlightOutcome) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.is_none() {
+            *state = Some(outcome);
+        }
+        self.cv.notify_all();
+    }
+
+    fn is_settled(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Blocks until the leader publishes, then returns the outcome.
+    pub(crate) fn await_outcome(&self) -> FlightOutcome {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(outcome) = state.as_ref() {
+                return outcome.clone();
+            }
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The in-flight table: keyed by answer-relevant shape, one active flight
+/// per shape. Lives inside the service's admission mutex.
+pub(crate) type InflightMap = HashMap<CacheKey, Arc<Flight>>;
+
+/// How a query enters the single-flight protocol.
+pub(crate) enum Join {
+    /// No usable flight: the caller is now the leader and must execute,
+    /// then settle the guard.
+    Lead(FlightGuard),
+    /// An identical-shape flight with `k' ≥ k` is executing: block on it.
+    Follow(Arc<Flight>),
+}
+
+/// Joins (or opens) the flight for `key`. Must be called with the
+/// admission lock held (the caller owns `&mut InflightMap`).
+///
+/// A resident flight is followed only if its `k' ≥ k` (a smaller leader
+/// could not serve our prefix) and it is still unsettled (a settled
+/// resident is a leftover from a panicked leader — its guard published
+/// failure but could not reach the map; replace it). A larger-`k`
+/// newcomer replaces a smaller-`k` resident as the key's current flight;
+/// the old leader still settles its own guard, which retires only the
+/// flight it owns.
+pub(crate) fn join(map: &mut InflightMap, key: &CacheKey, k: usize) -> Join {
+    if let Some(flight) = map.get(key) {
+        if flight.requested_k >= k && !flight.is_settled() {
+            return Join::Follow(Arc::clone(flight));
+        }
+    }
+    let flight = Arc::new(Flight::new(k));
+    map.insert(key.clone(), Arc::clone(&flight));
+    Join::Lead(FlightGuard {
+        key: key.clone(),
+        flight,
+        settled: false,
+    })
+}
+
+/// The leader's obligation: exactly one of
+/// [`settle`](FlightGuard::settle) (normal path, with the admission lock
+/// held) or `Drop` (unwind path) publishes the flight's outcome, so
+/// followers can never block forever.
+#[derive(Debug)]
+pub(crate) struct FlightGuard {
+    key: CacheKey,
+    flight: Arc<Flight>,
+    settled: bool,
+}
+
+impl FlightGuard {
+    /// Publishes `outcome` to every follower and retires the flight from
+    /// the table (only if the table still points at *this* flight — a
+    /// larger-`k` leader may have replaced it).
+    pub(crate) fn settle(mut self, map: &mut InflightMap, outcome: FlightOutcome) {
+        self.settled = true;
+        self.flight.publish(outcome);
+        if map
+            .get(&self.key)
+            .is_some_and(|f| Arc::ptr_eq(f, &self.flight))
+        {
+            map.remove(&self.key);
+        }
+    }
+
+    /// The `k` this flight's leader is running.
+    #[cfg(test)]
+    pub(crate) fn requested_k(&self) -> usize {
+        self.flight.requested_k
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if !self.settled {
+            // The leader is unwinding (or otherwise bailed without
+            // settling): fail the flight so followers wake and retry. The
+            // stale map entry is settled, so `join` replaces it lazily.
+            self.flight
+                .publish(FlightOutcome::Failed(ServeError::WorkerPanicked {
+                    message: "leader abandoned the flight".into(),
+                }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AggSpec, QueryRequest};
+    use fagin_middleware::ObjectId;
+
+    fn key(agg: AggSpec) -> CacheKey {
+        CacheKey::of(&QueryRequest::new(agg, 1))
+    }
+
+    fn answer(requested_k: usize, graded: bool) -> FlightOutcome {
+        FlightOutcome::Answer(FlightAnswer {
+            items: Arc::new(vec![ScoredObject {
+                object: ObjectId(0),
+                grade: graded.then(|| Grade::new(0.9)),
+            }]),
+            threshold: None,
+            graded,
+            requested_k,
+            algorithm: "TA".into(),
+        })
+    }
+
+    #[test]
+    fn first_joiner_leads_compatible_second_follows() {
+        let mut map = InflightMap::new();
+        let k = key(AggSpec::Min);
+        let Join::Lead(guard) = join(&mut map, &k, 10) else {
+            panic!("empty table must elect a leader");
+        };
+        // Same shape, smaller k: follows (the τ-prefix rule will cover it).
+        assert!(matches!(join(&mut map, &k, 3), Join::Follow(_)));
+        assert!(matches!(join(&mut map, &k, 10), Join::Follow(_)));
+        // A different shape leads its own flight.
+        assert!(matches!(
+            join(&mut map, &key(AggSpec::Max), 3),
+            Join::Lead(_)
+        ));
+        // Settling publishes and retires the flight.
+        let Join::Follow(flight) = join(&mut map, &k, 2) else {
+            panic!()
+        };
+        guard.settle(&mut map, answer(10, true));
+        assert!(!map.contains_key(&k), "settled flight retired");
+        match flight.await_outcome() {
+            FlightOutcome::Answer(a) => {
+                assert!(a.serves(2) && a.serves(10) && !a.serves(11));
+            }
+            FlightOutcome::Failed(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+
+    #[test]
+    fn larger_k_replaces_the_resident_leader() {
+        let mut map = InflightMap::new();
+        let k = key(AggSpec::Min);
+        let Join::Lead(small) = join(&mut map, &k, 3) else {
+            panic!()
+        };
+        // k=10 cannot follow a k=3 flight: it leads a replacement.
+        let Join::Lead(big) = join(&mut map, &k, 10) else {
+            panic!("larger k must not follow a smaller leader");
+        };
+        assert_eq!(big.requested_k(), 10);
+        // New arrivals follow the replacement flight.
+        assert!(matches!(join(&mut map, &k, 5), Join::Follow(_)));
+        // The old leader settles without disturbing the new flight.
+        small.settle(&mut map, answer(3, true));
+        assert!(map.contains_key(&k), "replacement flight still open");
+        big.settle(&mut map, answer(10, true));
+        assert!(!map.contains_key(&k));
+    }
+
+    #[test]
+    fn dropped_guards_fail_their_followers_and_are_replaced() {
+        let mut map = InflightMap::new();
+        let k = key(AggSpec::Min);
+        let Join::Lead(guard) = join(&mut map, &k, 5) else {
+            panic!()
+        };
+        let Join::Follow(flight) = join(&mut map, &k, 5) else {
+            panic!()
+        };
+        drop(guard); // leader panicked / bailed without settling
+        assert!(
+            matches!(flight.await_outcome(), FlightOutcome::Failed(_)),
+            "followers must wake with a failure, not block forever"
+        );
+        // The stale settled entry is replaced, not followed.
+        assert!(matches!(join(&mut map, &k, 5), Join::Lead(_)));
+    }
+
+    #[test]
+    fn gradeless_answers_serve_exact_k_only() {
+        let FlightOutcome::Answer(a) = answer(4, false) else {
+            panic!()
+        };
+        assert!(a.serves(4));
+        assert!(!a.serves(2), "no prefix rule without grades");
+    }
+
+    #[test]
+    fn followers_block_until_the_leader_publishes() {
+        let mut map = InflightMap::new();
+        let k = key(AggSpec::Min);
+        let Join::Lead(guard) = join(&mut map, &k, 7) else {
+            panic!()
+        };
+        let Join::Follow(flight) = join(&mut map, &k, 7) else {
+            panic!()
+        };
+        let waiter = std::thread::spawn(move || flight.await_outcome());
+        // Publish from this thread; the waiter must wake and observe it.
+        guard.settle(&mut map, answer(7, true));
+        match waiter.join().unwrap() {
+            FlightOutcome::Answer(a) => assert_eq!(a.requested_k, 7),
+            FlightOutcome::Failed(e) => panic!("unexpected failure: {e}"),
+        }
+    }
+}

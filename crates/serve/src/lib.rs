@@ -11,10 +11,19 @@
 //!   exact), so smaller-`k` repeats are served in `O(k)` with zero
 //!   middleware accesses, and `k > K` near-misses warm-start from the
 //!   cached certificate instead of cold-running;
+//! * **single-flight coalescing**: identical-shape queries that arrive
+//!   while a covering run is still executing register as followers and
+//!   receive the leader's canonicalized answer by the same τ-prefix rule —
+//!   one cold run per shape per burst, so a multi-worker pool cannot
+//!   stampede the subsystem re-computing one answer;
+//! * **shared scan frontiers**: concurrent non-identical queries sweep
+//!   each grade-sorted list through one shared materialized prefix, so a
+//!   rank is fetched from the subsystem once per service, not once per
+//!   query — while bounds, halting and accounting stay private per query;
 //! * **admission control**: an exact queue-depth cap and per-query
 //!   middleware-cost budgets, both rejecting with typed [`ServeError`]s;
 //! * **service metrics** ([`ServiceMetrics`]): throughput, cache hit rate,
-//!   p50/p99 middleware cost per query.
+//!   coalesced/shared-scan counters, p50/p99 middleware cost per query.
 //!
 //! ## Quick tour
 //!
@@ -47,8 +56,10 @@
 
 pub mod cache;
 pub mod error;
+mod inflight;
 pub mod metrics;
 pub mod request;
+mod scanhub;
 pub mod service;
 
 pub use cache::{CacheHit, CachedRun, ResultCache};

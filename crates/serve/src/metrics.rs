@@ -37,9 +37,11 @@ pub(crate) struct Recorder {
     completed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    coalesced: AtomicU64,
     rejected_queue: AtomicU64,
     rejected_budget: AtomicU64,
     failed: AtomicU64,
+    worker_panics: AtomicU64,
     costs: Mutex<CostWindow>,
 }
 
@@ -50,9 +52,11 @@ impl Recorder {
             completed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             rejected_queue: AtomicU64::new(0),
             rejected_budget: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             costs: Mutex::new(CostWindow::default()),
         }
     }
@@ -64,7 +68,35 @@ impl Recorder {
         } else {
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
         }
-        self.costs.lock().expect("metrics lock").push(cost);
+        self.push_cost(cost);
+    }
+
+    /// A query answered by riding an identical in-flight leader run
+    /// (single-flight coalescing). Counted as completed with zero cost but
+    /// as neither a cache hit nor a miss: the hit rate keeps describing
+    /// the *finished-run* cache alone.
+    pub(crate) fn record_coalesced(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+        self.push_cost(0.0);
+    }
+
+    /// A worker caught a panic while executing a query (the worker
+    /// survives; the caller got [`ServeError::WorkerPanicked`]).
+    ///
+    /// [`ServeError::WorkerPanicked`]: crate::error::ServeError::WorkerPanicked
+    pub(crate) fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn push_cost(&self, cost: f64) {
+        // Recover a poisoning rather than propagate it: metrics must keep
+        // flowing after a caught worker panic, and the window's state is
+        // valid after any interrupted push (at worst one sample short).
+        self.costs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(cost);
     }
 
     #[cfg(test)]
@@ -85,7 +117,12 @@ impl Recorder {
     }
 
     pub(crate) fn snapshot(&self) -> ServiceMetrics {
-        let costs = self.costs.lock().expect("metrics lock").samples.clone();
+        let costs = self
+            .costs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .samples
+            .clone();
         let completed = self.completed.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
         let misses = self.cache_misses.load(Ordering::Relaxed);
@@ -94,9 +131,13 @@ impl Recorder {
             completed,
             cache_hits: hits,
             cache_misses: misses,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue.load(Ordering::Relaxed),
             rejected_over_budget: self.rejected_budget.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            shared_scan_served: 0,
+            shared_scan_extended: 0,
             elapsed_secs: elapsed,
             queries_per_sec: if elapsed > 0.0 {
                 completed as f64 / elapsed
@@ -134,12 +175,26 @@ pub struct ServiceMetrics {
     pub cache_hits: u64,
     /// Completed queries that had to execute.
     pub cache_misses: u64,
+    /// Queries answered by riding an identical in-flight run
+    /// (single-flight coalescing) — counted in `completed` but in neither
+    /// `cache_hits` nor `cache_misses`.
+    pub coalesced: u64,
     /// Submissions rejected by the queue-depth cap.
     pub rejected_queue_full: u64,
     /// Queries aborted by their middleware-cost budget.
     pub rejected_over_budget: u64,
     /// Queries that failed for any other reason.
     pub failed: u64,
+    /// Worker panics caught at the worker loop (each one also failed its
+    /// query with a typed error; the worker itself survived).
+    pub worker_panics: u64,
+    /// Sorted accesses served from the shared scan frontier's
+    /// already-materialized prefix (sweep work some other query paid for).
+    /// Zero when scan sharing is disabled.
+    pub shared_scan_served: u64,
+    /// Sorted accesses that extended the shared scan frontier (fresh
+    /// subsystem sweep work). Zero when scan sharing is disabled.
+    pub shared_scan_extended: u64,
     /// Seconds since the service started.
     pub elapsed_secs: f64,
     /// `completed / elapsed_secs`.
@@ -158,15 +213,20 @@ impl fmt::Display for ServiceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} queries ({:.1}/s) | hit rate {:.1}% | cost p50 {} p99 {} | rejected {}+{} | failed {}",
+            "{} queries ({:.1}/s) | hit rate {:.1}% | coalesced {} | cost p50 {} p99 {} | \
+             rejected {}+{} | failed {} | panics {} | shared scans {}/{}",
             self.completed,
             self.queries_per_sec,
             self.cache_hit_rate * 100.0,
+            self.coalesced,
             self.cost_p50.map_or("-".into(), |c| format!("{c:.1}")),
             self.cost_p99.map_or("-".into(), |c| format!("{c:.1}")),
             self.rejected_queue_full,
             self.rejected_over_budget,
             self.failed,
+            self.worker_panics,
+            self.shared_scan_served,
+            self.shared_scan_served + self.shared_scan_extended,
         )
     }
 }
@@ -198,6 +258,8 @@ mod tests {
         assert_eq!(m.completed, 3);
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.coalesced, 0);
+        assert_eq!(m.worker_panics, 0);
         assert_eq!(m.rejected_queue_full, 1);
         assert_eq!(m.rejected_over_budget, 1);
         assert_eq!(m.failed, 1);
@@ -208,6 +270,24 @@ mod tests {
         assert!(m.cost_p50 <= m.cost_p99);
         let text = m.to_string();
         assert!(text.contains("3 queries") && text.contains("hit rate 33.3%"));
+    }
+
+    #[test]
+    fn coalesced_and_panics_count_separately_from_the_hit_rate() {
+        let r = Recorder::new();
+        r.record_completed(10.0, false);
+        r.record_coalesced();
+        r.record_coalesced();
+        r.record_worker_panic();
+        let m = r.snapshot();
+        assert_eq!(m.completed, 3, "coalesced answers complete");
+        assert_eq!(m.coalesced, 2);
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.cache_hits, 0);
+        assert_eq!(m.cache_misses, 1, "only the executing leader is a miss");
+        assert_eq!(m.cache_hit_rate, 0.0, "hit rate ignores coalesced rides");
+        assert_eq!(m.cost_p50, Some(0.0), "coalesced rides cost nothing");
+        assert!(m.to_string().contains("coalesced 2"));
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Cross-query scan sharing: the service side of
+//! [`ScanFrontier`](fagin_middleware::ScanFrontier).
+//!
+//! Concurrent *non-identical* queries cannot coalesce, but they sweep the
+//! same grade-sorted lists from depth 0. The hub owns one shared
+//! [`ScanFrontier`] over the service's database; every worker session
+//! attaches to it at startup, so each rank of each list is fetched from
+//! the subsystem **once** across the whole pool and every later sorted
+//! access at that rank is served from the materialized prefix. Private
+//! per-query state — bounds, halting decisions, access accounting, policy
+//! enforcement — stays in each worker's [`Session`]/`RunScratch`, which is
+//! what keeps sharing observationally invisible: a shared run returns the
+//! same bytes and reports the same [`AccessStats`] as an isolated one.
+//!
+//! [`Session`]: fagin_middleware::Session
+//! [`AccessStats`]: fagin_middleware::AccessStats
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use fagin_middleware::{Database, ScanFrontier};
+
+/// The per-service scan-sharing hub: one frontier plus attachment
+/// accounting (how many queries are currently leaning on it).
+#[derive(Debug)]
+pub(crate) struct ScanHub {
+    frontier: Arc<ScanFrontier>,
+    attached: AtomicUsize,
+}
+
+impl ScanHub {
+    pub(crate) fn new(db: Arc<Database>) -> Self {
+        ScanHub {
+            frontier: Arc::new(ScanFrontier::new(db)),
+            attached: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared frontier (clone the `Arc` into each worker's session).
+    pub(crate) fn frontier(&self) -> &Arc<ScanFrontier> {
+        &self.frontier
+    }
+
+    /// Marks one query as attached for its run; detach is the guard's
+    /// `Drop` (it runs even when the query's engine halts by panicking).
+    pub(crate) fn lease(&self) -> ScanLease<'_> {
+        self.attached.fetch_add(1, Ordering::Relaxed);
+        ScanLease { hub: self }
+    }
+
+    /// Queries currently attached to the frontier.
+    #[cfg(test)]
+    pub(crate) fn attached(&self) -> usize {
+        self.attached.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII attachment marker for one query run.
+#[derive(Debug)]
+pub(crate) struct ScanLease<'a> {
+    hub: &'a ScanHub,
+}
+
+impl Drop for ScanLease<'_> {
+    fn drop(&mut self) {
+        self.hub.attached.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_track_attachment_and_release_on_drop() {
+        let db = Arc::new(Database::from_f64_columns(&[vec![0.9, 0.5], vec![0.2, 0.8]]).unwrap());
+        let hub = ScanHub::new(Arc::clone(&db));
+        assert_eq!(hub.attached(), 0);
+        {
+            let _a = hub.lease();
+            let _b = hub.lease();
+            assert_eq!(hub.attached(), 2);
+        }
+        assert_eq!(hub.attached(), 0);
+        assert!(std::ptr::eq(
+            Arc::as_ptr(hub.frontier().database()),
+            Arc::as_ptr(&db)
+        ));
+    }
+}

@@ -10,33 +10,56 @@
 //! exactly the Garlic middleware shape of the paper's introduction, with
 //! the paper's algorithms behind the counter.
 //!
-//! The service layers three serving concerns on top of the library:
+//! The service layers five serving concerns on top of the library:
 //!
 //! 1. **the threshold-aware result cache** (see [`crate::cache`]): repeat
 //!    and smaller-`k` queries are answered in `O(k)` with zero middleware
 //!    accesses, and larger-`k` near-misses warm-start from the cached
 //!    certificate;
-//! 2. **admission control**: a queue-depth cap rejects work before it
+//! 2. **single-flight coalescing** (`crate::inflight`): a query that
+//!    misses the cache while an identical-shape run with `k' ≥ k` is
+//!    already executing follows that leader instead of re-executing, and
+//!    is served the leader's answer by the τ-prefix rule. The cache and
+//!    the in-flight table live under **one** admission mutex, so
+//!    "lookup, else join or lead" and "insert, then retire the flight"
+//!    are atomic: exactly one cold run per shape per burst, by
+//!    construction, with no gap for a stampede to slip through;
+//! 3. **shared scan frontiers** (`crate::scanhub`): concurrent
+//!    non-identical queries sweep the grade-sorted lists through one
+//!    shared materialized prefix, fetching each rank from the subsystem
+//!    once per service rather than once per query — while every query's
+//!    bounds, halting state and accounting stay private to its session;
+//! 4. **admission control**: a queue-depth cap rejects work before it
 //!    queues ([`ServeError::QueueFull`]) and per-query middleware-cost
 //!    budgets abort runaway queries mid-run
 //!    ([`ServeError::CostBudgetExceeded`]), both typed so clients can
-//!    react;
-//! 3. **metrics**: a [`ServiceMetrics`] snapshot with throughput, cache
-//!    hit rate and p50/p99 middleware cost per query.
+//!    react. Worker panics are caught at the loop: the caller's ticket
+//!    resolves to [`ServeError::WorkerPanicked`] and the worker survives;
+//! 5. **metrics**: a [`ServiceMetrics`] snapshot with throughput, cache
+//!    hit rate, coalescing and shared-scan counters, and p50/p99
+//!    middleware cost per query.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fagin_core::algorithms::WarmStart;
 use fagin_core::planner::Planner;
 use fagin_core::{AlgoError, RunMetrics, RunScratch, ScoredObject, TopKOutput};
 use fagin_middleware::{AccessError, AccessStats, CostBudget, Database, ObjectId, Session};
 
-use crate::cache::{CachedRun, ResultCache};
+use crate::cache::{CacheHit, CacheKey, CachedRun, ResultCache};
 use crate::error::ServeError;
+use crate::inflight::{self, Flight, FlightAnswer, FlightOutcome, InflightMap, Join};
 use crate::metrics::{Recorder, ServiceMetrics};
 use crate::request::QueryRequest;
+use crate::scanhub::ScanHub;
+
+/// How many failed follows (leader errored, or its answer could not serve
+/// our `k`) a query tolerates before it stops coalescing and runs solo.
+const FOLLOW_RETRIES: usize = 2;
 
 /// Where an answer came from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -54,6 +77,12 @@ pub enum AnswerSource {
         /// The `k` the cached run certified (≥ the requested `k`).
         certified_k: usize,
     },
+    /// Served by riding an identical-shape in-flight run (single-flight
+    /// coalescing) with zero middleware accesses of its own.
+    Coalesced {
+        /// The `k` the leader ran (≥ the requested `k`).
+        leader_k: usize,
+    },
 }
 
 /// One answered query.
@@ -62,10 +91,11 @@ pub struct QueryResponse {
     /// The top-`k` items. Fully graded answers are in canonical order
     /// (grade descending, ties towards the smaller object id).
     pub items: Vec<ScoredObject>,
-    /// Middleware accesses this query performed (all zero on cache hits).
+    /// Middleware accesses this query performed (all zero on cache hits
+    /// and coalesced rides).
     pub stats: AccessStats,
     /// The run's metrics (threshold, rounds, …); synthesized from the
-    /// cached certificate on hits.
+    /// cached certificate on hits and from the leader's run on rides.
     pub run: RunMetrics,
     /// Name of the algorithm that produced the answer.
     pub algorithm: String,
@@ -89,6 +119,11 @@ impl QueryResponse {
     pub fn is_cache_hit(&self) -> bool {
         matches!(self.source, AnswerSource::CacheHit { .. })
     }
+
+    /// Whether the answer rode an identical in-flight run.
+    pub fn is_coalesced(&self) -> bool {
+        matches!(self.source, AnswerSource::Coalesced { .. })
+    }
 }
 
 /// Service construction parameters.
@@ -102,6 +137,14 @@ pub struct ServiceConfig {
     pub queue_cap: usize,
     /// Result-cache capacity in entries; `None` disables the cache.
     pub cache_capacity: Option<usize>,
+    /// Whether identical-shape concurrent queries are coalesced onto one
+    /// leader run (single-flight). On by default; turn off only to
+    /// measure the stampede it prevents.
+    pub coalescing: bool,
+    /// Whether worker sessions share one scan frontier per list, so
+    /// concurrent non-identical queries reuse each other's sorted sweep.
+    /// On by default; observationally invisible either way.
+    pub scan_sharing: bool,
     /// Whether the database satisfies the distinctness property (§6);
     /// `None` detects it once at construction.
     pub distinctness: Option<bool>,
@@ -113,6 +156,8 @@ impl Default for ServiceConfig {
             workers: 2,
             queue_cap: 1024,
             cache_capacity: Some(128),
+            coalescing: true,
+            scan_sharing: true,
             distinctness: None,
         }
     }
@@ -143,6 +188,20 @@ impl ServiceConfig {
         self
     }
 
+    /// Disables single-flight coalescing (every query executes its own
+    /// run, as the pre-coalescing service did).
+    pub fn without_coalescing(mut self) -> Self {
+        self.coalescing = false;
+        self
+    }
+
+    /// Disables the shared scan frontier (every session sweeps the
+    /// subsystem privately).
+    pub fn without_scan_sharing(mut self) -> Self {
+        self.scan_sharing = false;
+        self
+    }
+
     /// Overrides distinctness detection.
     pub fn with_distinctness(mut self, distinct: bool) -> Self {
         self.distinctness = Some(distinct);
@@ -155,13 +214,38 @@ struct Job {
     reply: mpsc::Sender<Result<QueryResponse, ServeError>>,
 }
 
+/// The shared admission state: the result cache and the in-flight table
+/// under **one** lock, so "cache lookup, else join/lead a flight" and
+/// "cache insert, then retire the flight" are each atomic. A burst of
+/// identical queries therefore resolves to exactly one cold run: every
+/// other query either follows the flight or hits the cache entry the
+/// leader installed in the same critical section that retired it.
+struct Coalescer {
+    cache: Option<ResultCache>,
+    inflight: InflightMap,
+}
+
 struct Shared {
     db: Arc<Database>,
     distinctness: bool,
-    cache: Option<Mutex<ResultCache>>,
+    admission: Mutex<Coalescer>,
+    cache_enabled: bool,
+    coalescing: bool,
+    scan_hub: Option<ScanHub>,
     recorder: Recorder,
     queue_len: AtomicUsize,
     queue_cap: usize,
+}
+
+impl Shared {
+    fn admit(&self) -> std::sync::MutexGuard<'_, Coalescer> {
+        // A worker that panics while holding the admission lock poisons
+        // it; the state is still valid (cache and table mutations are
+        // individually complete), so siblings recover and keep serving.
+        self.admission
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A handle to one submitted query's eventual answer.
@@ -206,15 +290,20 @@ impl TopKService {
         let distinctness = config
             .distinctness
             .unwrap_or_else(|| db.satisfies_distinctness());
+        let scan_hub = config.scan_sharing.then(|| ScanHub::new(Arc::clone(&db)));
         let shared = Arc::new(Shared {
-            db,
             distinctness,
-            cache: config
-                .cache_capacity
-                .map(|c| Mutex::new(ResultCache::new(c))),
+            admission: Mutex::new(Coalescer {
+                cache: config.cache_capacity.map(ResultCache::new),
+                inflight: InflightMap::new(),
+            }),
+            cache_enabled: config.cache_capacity.is_some(),
+            coalescing: config.coalescing,
+            scan_hub,
             recorder: Recorder::new(),
             queue_len: AtomicUsize::new(0),
             queue_cap: config.queue_cap,
+            db,
         });
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
@@ -254,8 +343,30 @@ impl TopKService {
     /// rejection. The queue-depth cap is enforced exactly (a
     /// compare-exchange loop, so concurrent submitters cannot overshoot
     /// it).
+    ///
+    /// Cache hits are answered on the *caller's* thread, before the queue:
+    /// a certified prefix is already sitting in memory, so routing it
+    /// through the worker pool would only add a queue round-trip (and, on
+    /// few cores, contention with queries doing real work). The returned
+    /// ticket is pre-resolved; `wait` does not block.
     pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, ServeError> {
         let sender = self.sender.as_ref().ok_or(ServeError::Shutdown)?;
+        if request.is_exact() && self.shared.cache_enabled {
+            let started = Instant::now();
+            let hit = self
+                .shared
+                .admit()
+                .cache
+                .as_mut()
+                .and_then(|c| c.lookup(&request));
+            if let Some(hit) = hit {
+                self.shared.recorder.record_completed(0.0, true);
+                let resp = hit_response(self.shared.db.num_lists(), request.k, hit, started);
+                let (reply, rx) = mpsc::channel();
+                let _ = reply.send(Ok(resp));
+                return Ok(QueryTicket { rx });
+            }
+        }
         let mut depth = self.shared.queue_len.load(Ordering::SeqCst);
         loop {
             if depth >= self.shared.queue_cap {
@@ -290,13 +401,18 @@ impl TopKService {
 
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> ServiceMetrics {
-        self.shared.recorder.snapshot()
+        let mut m = self.shared.recorder.snapshot();
+        if let Some(hub) = &self.shared.scan_hub {
+            m.shared_scan_served = hub.frontier().served_shared();
+            m.shared_scan_extended = hub.frontier().served_fresh();
+        }
+        m
     }
 
     /// Drops every cached entry (no-op when the cache is disabled).
     pub fn clear_cache(&self) {
-        if let Some(cache) = &self.shared.cache {
-            cache.lock().expect("cache lock").clear();
+        if let Some(cache) = self.shared.admit().cache.as_mut() {
+            cache.clear();
         }
     }
 }
@@ -312,6 +428,17 @@ impl Drop for TopKService {
     }
 }
 
+/// Renders a caught panic payload for [`ServeError::WorkerPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
     // Each worker owns one run arena and one session, leased to every query
     // it executes: steady-state serving re-allocates neither per-object run
@@ -319,18 +446,41 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
     // generation stamps; see `fagin_core::arena`).
     let mut arena = RunScratch::new();
     let mut session = Session::new(shared.db.as_ref());
+    if let Some(hub) = &shared.scan_hub {
+        session.share_scans(Arc::clone(hub.frontier()));
+    }
     loop {
         // Holding the lock only around `recv` hands exactly one job to
-        // exactly one idle worker; execution happens lock-free.
-        let job = match receiver.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return, // a sibling worker panicked mid-recv
-        };
+        // exactly one idle worker; execution happens lock-free. A sibling
+        // that panicked mid-`recv` poisons the lock without corrupting the
+        // channel — recover and keep draining, don't strand the queue.
+        let job = receiver
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv();
         let Ok(job) = job else {
             return; // channel closed: service is shutting down
         };
         shared.queue_len.fetch_sub(1, Ordering::SeqCst);
-        let result = execute(shared, &job.request, &mut session, &mut arena);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            execute(shared, &job.request, &mut session, &mut arena)
+        }))
+        .unwrap_or_else(|payload| {
+            // The worker survives its query's panic: tally it, rebuild the
+            // possibly mid-run session and arena, and fail this query with
+            // a typed error instead of stranding the caller's ticket. (If
+            // the query led a flight, the guard already failed it during
+            // unwinding, so followers retried rather than blocking.)
+            shared.recorder.record_worker_panic();
+            arena = RunScratch::new();
+            session = Session::new(shared.db.as_ref());
+            if let Some(hub) = &shared.scan_hub {
+                session.share_scans(Arc::clone(hub.frontier()));
+            }
+            Err(ServeError::WorkerPanicked {
+                message: panic_message(payload),
+            })
+        });
         if let Err(e) = &result {
             match e {
                 ServeError::CostBudgetExceeded { .. } => shared.recorder.record_budget_rejection(),
@@ -342,9 +492,54 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
     }
 }
 
-/// Answers one query: cache read → plan (with warm start) → execute on the
-/// worker's reused session + run arena (reset per query, so accounting and
-/// policy enforcement stay per-query) → canonicalize → cache write.
+/// A fault-injection `k`: requests with this `k` panic inside the worker
+/// (after flight registration), exercising the catch/recover path.
+#[cfg(test)]
+pub(crate) const PANIC_K: usize = usize::MAX - 41;
+
+/// How a query was admitted under the combined cache + in-flight lock.
+enum Admission {
+    /// Served from the cache inside the admission section.
+    Hit(CacheHit),
+    /// Elected leader of its shape's flight; must execute and settle.
+    Lead(inflight::FlightGuard, Option<WarmStart>),
+    /// An identical-shape covering flight exists; wait on it.
+    Follow(Arc<Flight>),
+    /// Executes without a flight (coalescing off / ineligible / retries
+    /// exhausted).
+    Solo(Option<WarmStart>),
+}
+
+/// The zero-access answer for a cache hit: a certified exact top-`K`'s
+/// grade-sorted prefix serves any `k ≤ K` (the τ-prefix rule). Shared by
+/// the submit-side fast path and the worker-side admission loop.
+fn hit_response(m: usize, k: usize, hit: CacheHit, started: Instant) -> QueryResponse {
+    let run = RunMetrics {
+        final_threshold: hit.threshold,
+        approximation_guarantee: 1.0,
+        ..RunMetrics::default()
+    };
+    QueryResponse {
+        items: hit.items,
+        stats: AccessStats::new(m),
+        run,
+        algorithm: format!("cache({})", hit.algorithm),
+        source: AnswerSource::CacheHit {
+            certified_k: hit.certified_k,
+        },
+        cost: 0.0,
+        rationale: vec![format!(
+            "cache hit: a certified exact top-{} covers k={} (τ-prefix rule)",
+            hit.certified_k, k
+        )],
+        latency: started.elapsed(),
+    }
+}
+
+/// Answers one query: admission (cache read and flight join under one
+/// lock) → plan (with warm start) → execute on the worker's reused
+/// session + run arena → canonicalize → commit (cache write and flight
+/// settlement under one lock).
 fn execute(
     shared: &Shared,
     req: &QueryRequest,
@@ -352,56 +547,260 @@ fn execute(
     arena: &mut RunScratch,
 ) -> Result<QueryResponse, ServeError> {
     let started = Instant::now();
-    let db = shared.db.as_ref();
-    let m = db.num_lists();
+    let m = shared.db.num_lists();
 
-    // Approximate requests bypass the cache entirely: a θ-approximation
-    // certifies no prefix, and serving one for an exact request would be
-    // wrong. (Serving the *exact* cached answer for a θ request would be
-    // sound but makes hit answers differ from cold ones; we keep the
-    // cache's byte-identity story simple instead.)
-    let cache_eligible = req.is_exact() && shared.cache.is_some();
+    // Approximate requests bypass the cache *and* coalescing entirely: a
+    // θ-approximation certifies no prefix, and serving one for an exact
+    // request (or an exact answer for a θ request) would break the
+    // byte-identity story. They may still warm-start from exact seeds.
+    let cache_eligible = req.is_exact() && shared.cache_enabled;
+    let coalesce_eligible = req.is_exact() && shared.coalescing;
 
-    if cache_eligible {
-        let cache = shared.cache.as_ref().expect("cache_eligible");
-        if let Some(hit) = cache.lock().expect("cache lock").lookup(req) {
-            let run = RunMetrics {
-                final_threshold: hit.threshold,
-                approximation_guarantee: 1.0,
-                ..RunMetrics::default()
-            };
-            shared.recorder.record_completed(0.0, true);
-            return Ok(QueryResponse {
-                items: hit.items,
-                stats: AccessStats::new(m),
-                run,
-                algorithm: format!("cache({})", hit.algorithm),
-                source: AnswerSource::CacheHit {
-                    certified_k: hit.certified_k,
-                },
-                cost: 0.0,
-                rationale: vec![format!(
-                    "cache hit: a certified exact top-{} covers k={} (τ-prefix rule)",
-                    hit.certified_k, req.k
-                )],
-                latency: started.elapsed(),
-            });
-        }
+    if !cache_eligible && !coalesce_eligible {
+        let warm = if shared.cache_enabled {
+            shared.admit().cache.as_mut().and_then(|c| c.warm_hint(req))
+        } else {
+            None
+        };
+        let run = run_query(shared, req, session, arena, warm)?;
+        shared.recorder.record_completed(run.cost, false);
+        return Ok(run.into_response(started));
     }
 
-    // A near-miss (k exceeds the certified K) seeds the run with the
-    // cached certificate. θ-requests may be seeded too — exact seeds
-    // preserve approximation guarantees (see `WarmStart`) — even though
-    // they never read or write cached *answers*.
-    let warm = shared
-        .cache
-        .as_ref()
-        .and_then(|cache| cache.lock().expect("cache lock").warm_hint(req));
-    let warm_seeds = warm.as_ref().map(fagin_core::algorithms::WarmStart::len);
+    let mut follow_failures = 0;
+    // What happened on follow attempts that didn't pan out, prepended to
+    // the eventual answer's rationale.
+    let mut follow_notes: Vec<String> = Vec::new();
+    loop {
+        let admission = {
+            let mut adm = shared.admit();
+            let hit = if cache_eligible {
+                adm.cache.as_mut().and_then(|c| c.lookup(req))
+            } else {
+                None
+            };
+            if let Some(hit) = hit {
+                Admission::Hit(hit)
+            } else if coalesce_eligible && follow_failures < FOLLOW_RETRIES {
+                match inflight::join(&mut adm.inflight, &CacheKey::of(req), req.k) {
+                    Join::Lead(guard) => {
+                        let warm = adm.cache.as_mut().and_then(|c| c.warm_hint(req));
+                        Admission::Lead(guard, warm)
+                    }
+                    Join::Follow(flight) => Admission::Follow(flight),
+                }
+            } else {
+                let warm = adm.cache.as_mut().and_then(|c| c.warm_hint(req));
+                Admission::Solo(warm)
+            }
+        };
+
+        match admission {
+            Admission::Hit(hit) => {
+                shared.recorder.record_completed(0.0, true);
+                return Ok(hit_response(m, req.k, hit, started));
+            }
+            Admission::Follow(flight) => {
+                match flight.await_outcome() {
+                    FlightOutcome::Answer(answer) if answer.serves(req.k) => {
+                        shared.recorder.record_coalesced();
+                        let take = req.k.min(answer.items.len());
+                        return Ok(QueryResponse {
+                            items: answer.items[..take].to_vec(),
+                            stats: AccessStats::new(m),
+                            run: RunMetrics {
+                                final_threshold: answer.threshold,
+                                approximation_guarantee: 1.0,
+                                ..RunMetrics::default()
+                            },
+                            algorithm: format!("coalesced({})", answer.algorithm),
+                            source: AnswerSource::Coalesced {
+                                leader_k: answer.requested_k,
+                            },
+                            cost: 0.0,
+                            rationale: vec![format!(
+                                "coalesced: rode an identical in-flight top-{} run \
+                                 (τ-prefix rule); zero middleware accesses",
+                                answer.requested_k
+                            )],
+                            latency: started.elapsed(),
+                        });
+                    }
+                    // The leader failed or its answer cannot serve our k
+                    // (e.g. a gradeless run at a larger k'): re-enter
+                    // admission — the cache may have been fed meanwhile,
+                    // or we lead our own run.
+                    FlightOutcome::Failed(e) => {
+                        follow_notes.push(format!(
+                            "followed an in-flight run whose leader failed ({e}); re-admitted"
+                        ));
+                        follow_failures += 1;
+                        continue;
+                    }
+                    FlightOutcome::Answer(answer) => {
+                        follow_notes.push(format!(
+                            "followed an in-flight top-{} run that could not serve k={}; \
+                             re-admitted",
+                            answer.requested_k, req.k
+                        ));
+                        follow_failures += 1;
+                        continue;
+                    }
+                }
+            }
+            Admission::Lead(guard, warm) => {
+                let run = run_query(shared, req, session, arena, warm);
+                return match run {
+                    Ok(mut run) => {
+                        let items = Arc::new(std::mem::take(&mut run.items));
+                        // Commit atomically: install the cache entry and
+                        // retire the flight in one admission section, so
+                        // no query can miss both.
+                        let mut adm = shared.admit();
+                        if cache_eligible && run.exact {
+                            if let Some(cache) = adm.cache.as_mut() {
+                                cache.insert(
+                                    req,
+                                    CachedRun {
+                                        items: Arc::clone(&items),
+                                        threshold: run.metrics.final_threshold,
+                                        requested_k: req.k,
+                                        graded: run.graded,
+                                        algorithm: run.name.clone(),
+                                    },
+                                );
+                                run.rationale.push(cached_rationale(req.k, run.graded));
+                            }
+                        }
+                        let outcome = if run.exact {
+                            FlightOutcome::Answer(FlightAnswer {
+                                items: Arc::clone(&items),
+                                threshold: run.metrics.final_threshold,
+                                graded: run.graded,
+                                requested_k: req.k,
+                                algorithm: run.name.clone(),
+                            })
+                        } else {
+                            // Unreachable for exact requests (the only
+                            // ones that coalesce), but never hand
+                            // followers an uncertified answer.
+                            FlightOutcome::Failed(ServeError::WorkerPanicked {
+                                message: "leader produced a non-exact answer".into(),
+                            })
+                        };
+                        guard.settle(&mut adm.inflight, outcome);
+                        drop(adm);
+                        shared.recorder.record_completed(run.cost, false);
+                        run.items = (*items).clone();
+                        if !follow_notes.is_empty() {
+                            follow_notes.append(&mut run.rationale);
+                            run.rationale = std::mem::take(&mut follow_notes);
+                        }
+                        Ok(run.into_response(started))
+                    }
+                    Err(e) => {
+                        // Followers wake with the typed error and retry
+                        // (it may be leader-specific, e.g. a cost budget).
+                        let mut adm = shared.admit();
+                        guard.settle(&mut adm.inflight, FlightOutcome::Failed(e.clone()));
+                        drop(adm);
+                        Err(e)
+                    }
+                };
+            }
+            Admission::Solo(warm) => {
+                let mut run = run_query(shared, req, session, arena, warm)?;
+                if cache_eligible && run.exact {
+                    let mut adm = shared.admit();
+                    if let Some(cache) = adm.cache.as_mut() {
+                        cache.insert(
+                            req,
+                            CachedRun {
+                                items: Arc::new(run.items.clone()),
+                                threshold: run.metrics.final_threshold,
+                                requested_k: req.k,
+                                graded: run.graded,
+                                algorithm: run.name.clone(),
+                            },
+                        );
+                        run.rationale.push(cached_rationale(req.k, run.graded));
+                    }
+                }
+                shared.recorder.record_completed(run.cost, false);
+                if !follow_notes.is_empty() {
+                    follow_notes.append(&mut run.rationale);
+                    run.rationale = std::mem::take(&mut follow_notes);
+                }
+                return Ok(run.into_response(started));
+            }
+        }
+    }
+}
+
+fn cached_rationale(k: usize, graded: bool) -> String {
+    format!(
+        "cached: certifies top-k for every k ≤ {}{}",
+        k,
+        if graded {
+            ""
+        } else {
+            " (exact-k repeats only: gradeless)"
+        }
+    )
+}
+
+/// One executed (not cached/coalesced) run, before response assembly.
+struct ExecutedRun {
+    items: Vec<ScoredObject>,
+    graded: bool,
+    exact: bool,
+    stats: AccessStats,
+    metrics: RunMetrics,
+    name: String,
+    source: AnswerSource,
+    cost: f64,
+    rationale: Vec<String>,
+}
+
+impl ExecutedRun {
+    fn into_response(self, started: Instant) -> QueryResponse {
+        QueryResponse {
+            items: self.items,
+            stats: self.stats,
+            run: self.metrics,
+            algorithm: self.name,
+            source: self.source,
+            cost: self.cost,
+            rationale: self.rationale,
+            latency: started.elapsed(),
+        }
+    }
+}
+
+/// Plans and executes one query on the worker's reused session + run
+/// arena (reset per query, so accounting and policy enforcement stay
+/// per-query), then canonicalizes the answer.
+fn run_query(
+    shared: &Shared,
+    req: &QueryRequest,
+    session: &mut Session<'_>,
+    arena: &mut RunScratch,
+    warm: Option<WarmStart>,
+) -> Result<ExecutedRun, ServeError> {
+    #[cfg(test)]
+    if req.k == PANIC_K {
+        panic!("injected worker fault");
+    }
+
+    let m = shared.db.num_lists();
+    // Attachment accounting only: the frontier itself lives in the
+    // worker's session for the worker's whole life.
+    let _lease = shared.scan_hub.as_ref().map(ScanHub::lease);
+    let warm_seeds = warm.as_ref().map(WarmStart::len);
 
     let agg = req.agg.instance();
     let caps = req.capabilities(m, shared.distinctness);
-    let (algorithm, mut rationale): (Box<dyn fagin_core::TopKAlgorithm>, Vec<String>) =
+    let (algorithm, rationale): (Box<dyn fagin_core::TopKAlgorithm>, Vec<String>) =
         if req.theta > 1.0 && caps.random_access && caps.sorted_lists.len() == m {
             // TAθ is the paper's only approximation algorithm; it needs
             // full capabilities, which this request has.
@@ -455,32 +854,7 @@ fn execute(
         items.sort_by(|a, b| b.grade.cmp(&a.grade).then(a.object.cmp(&b.object)));
     }
 
-    let exact_result = out.metrics.approximation_guarantee == 1.0;
-    if cache_eligible && exact_result {
-        let cache = shared.cache.as_ref().expect("cache_eligible");
-        cache.lock().expect("cache lock").insert(
-            req,
-            CachedRun {
-                items: items.clone(),
-                threshold: out.metrics.final_threshold,
-                requested_k: req.k,
-                graded,
-                algorithm: algorithm.name(),
-            },
-        );
-        rationale.push(format!(
-            "cached: certifies top-k for every k ≤ {}{}",
-            req.k,
-            if graded {
-                ""
-            } else {
-                " (exact-k repeats only: gradeless)"
-            }
-        ));
-    }
-
     let cost = req.costs.cost(&out.stats);
-    shared.recorder.record_completed(cost, false);
     // Report WarmStarted only when the chosen algorithm actually consumed
     // the seeds — the planner ignores them for choices without a seeding
     // channel (NRA, CA, …), and seeded TA-family runs advertise it in
@@ -490,15 +864,16 @@ fn execute(
         Some(seeds) if name.contains("+warm(") => AnswerSource::WarmStarted { seeds },
         _ => AnswerSource::Cold,
     };
-    Ok(QueryResponse {
+    Ok(ExecutedRun {
         items,
+        graded,
+        exact: out.metrics.approximation_guarantee == 1.0,
         stats: out.stats,
-        run: out.metrics,
-        algorithm: name,
+        metrics: out.metrics,
+        name,
         source,
         cost,
         rationale,
-        latency: started.elapsed(),
     })
 }
 
@@ -661,6 +1036,69 @@ mod tests {
         assert_eq!(a.items, b.items, "cold runs are deterministic");
         assert_eq!(service.metrics().cache_hits, 0);
         service.clear_cache(); // no-op, must not panic
+    }
+
+    #[test]
+    fn coalescing_and_sharing_disabled_still_serves() {
+        // The fully stripped configuration is the pre-coalescing service.
+        let service = TopKService::new(
+            db(),
+            ServiceConfig::default()
+                .without_coalescing()
+                .without_scan_sharing(),
+        );
+        let cold = service.query(QueryRequest::new(AggSpec::Sum, 3)).unwrap();
+        assert_eq!(cold.source, AnswerSource::Cold);
+        let hit = service.query(QueryRequest::new(AggSpec::Sum, 2)).unwrap();
+        assert!(hit.is_cache_hit());
+        let m = service.metrics();
+        assert_eq!(m.coalesced, 0);
+        assert_eq!(m.shared_scan_served + m.shared_scan_extended, 0);
+    }
+
+    #[test]
+    fn scan_sharing_reports_frontier_traffic() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        service
+            .query(QueryRequest::new(AggSpec::Average, 3))
+            .unwrap();
+        let first = service.metrics();
+        assert!(
+            first.shared_scan_extended > 0,
+            "a cold run must extend the shared frontier"
+        );
+        service.clear_cache();
+        service
+            .query(QueryRequest::new(AggSpec::Average, 3))
+            .unwrap();
+        let second = service.metrics();
+        assert_eq!(
+            second.shared_scan_extended, first.shared_scan_extended,
+            "the repeat re-reads the frontier without new subsystem fetches"
+        );
+        assert!(second.shared_scan_served > first.shared_scan_served);
+    }
+
+    #[test]
+    fn worker_panics_are_caught_and_the_pool_survives() {
+        let service = TopKService::new(db(), ServiceConfig::default().with_workers(1));
+        let err = service
+            .query(QueryRequest::new(AggSpec::Min, PANIC_K))
+            .unwrap_err();
+        match err {
+            ServeError::WorkerPanicked { message } => {
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        let m = service.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert_eq!(m.failed, 1);
+        // The same single worker keeps serving — including the very shape
+        // whose flight the panicking run abandoned.
+        let ok = service.query(QueryRequest::new(AggSpec::Min, 2)).unwrap();
+        assert_eq!(ok.items.len(), 2);
+        assert_eq!(service.metrics().worker_panics, 1);
     }
 
     #[test]

@@ -447,6 +447,10 @@ fn run_service_batch(args: &Args, db: Database, z: &[usize], path: &str) -> Resu
         metrics.completed,
     );
     println!(
+        "coalesced: {} rides on in-flight runs, shared scans: {} served / {} extended",
+        metrics.coalesced, metrics.shared_scan_served, metrics.shared_scan_extended,
+    );
+    println!(
         "middleware cost per query: p50 {} p99 {}",
         metrics.cost_p50.map_or("-".into(), |c| format!("{c:.1}")),
         metrics.cost_p99.map_or("-".into(), |c| format!("{c:.1}")),

@@ -55,8 +55,8 @@ pub mod prelude {
     pub use fagin_middleware::{
         AccessError, AccessPolicy, AccessStats, BatchConfig, CostBudget, CostModel, Database,
         DatabaseBuilder, DatabaseShard, Entry, GeneratorSource, Grade, GradedSource,
-        MaterializedSource, Middleware, ObjectId, Session, ShardView, SlotSet, SlotTable,
-        SortedAccessSet, SubsystemMiddleware,
+        MaterializedSource, Middleware, ObjectId, ScanFrontier, Session, ShardView, SlotSet,
+        SlotTable, SortedAccessSet, SubsystemMiddleware,
     };
     pub use fagin_serve::{
         AggSpec, AnswerSource, QueryRequest, QueryResponse, QueryTicket, ResultCache, ServeError,

@@ -1,0 +1,201 @@
+//! Stampede-proofing of the query service: single-flight coalescing and
+//! the shared scan frontier.
+//!
+//! The load-bearing guarantees, each checked here:
+//!
+//! * a burst of identical-shape queries resolves to **exactly one** cold
+//!   execution per unique shape — every other answer is a coalesced ride
+//!   or a cache hit, and all of them are bytewise identical to the cold
+//!   answer (the τ-prefix rule at work across threads);
+//! * cross-query scan sharing is **observationally invisible**: a service
+//!   with the shared frontier returns the same items *and* the same
+//!   per-query access statistics as a service sweeping privately.
+
+use std::sync::Arc;
+
+use fagin_topk::prelude::*;
+
+fn db(n: usize) -> Arc<Database> {
+    Arc::new(random::uniform_distinct(n, 3, 0xC0A1E5CE))
+}
+
+/// Shapes with pairwise-distinct cache keys (the aggregation differs), so
+/// "one cold run per shape" is a per-key statement.
+fn burst_shapes(k: usize) -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::new(AggSpec::Average, k),
+        QueryRequest::new(AggSpec::Min, k),
+        QueryRequest::new(AggSpec::Sum, k),
+        QueryRequest::new(AggSpec::Max, k),
+    ]
+}
+
+#[test]
+fn a_burst_of_identical_queries_cold_runs_exactly_once_per_shape() {
+    const COPIES: usize = 24;
+    let db = db(3_000);
+    let shapes = burst_shapes(40);
+    let service = TopKService::new(Arc::clone(&db), ServiceConfig::default().with_workers(8));
+
+    // Fire every copy of every shape before waiting on any of them, so the
+    // pool sees the whole burst while the first runs are still in flight.
+    let tickets: Vec<(usize, _)> = (0..COPIES)
+        .flat_map(|_| shapes.iter().enumerate())
+        .map(|(shape_idx, req)| {
+            (
+                shape_idx,
+                service.submit(req.clone()).expect("queue cap is ample"),
+            )
+        })
+        .collect();
+
+    let mut colds = vec![0usize; shapes.len()];
+    let mut canonical: Vec<Option<Vec<ScoredObject>>> = vec![None; shapes.len()];
+    let mut coalesced_or_hit = 0usize;
+    for (shape_idx, ticket) in tickets {
+        let resp = ticket.wait().expect("burst queries succeed");
+        match resp.source {
+            AnswerSource::Cold => colds[shape_idx] += 1,
+            AnswerSource::Coalesced { leader_k } => {
+                assert_eq!(leader_k, 40, "only the identical shape coalesces");
+                assert_eq!(resp.stats.total(), 0, "rides perform no accesses");
+                assert_eq!(resp.cost, 0.0);
+                coalesced_or_hit += 1;
+            }
+            AnswerSource::CacheHit { certified_k } => {
+                assert_eq!(certified_k, 40);
+                assert_eq!(resp.stats.total(), 0);
+                coalesced_or_hit += 1;
+            }
+            AnswerSource::WarmStarted { .. } => {
+                panic!("identical-k bursts never warm-start")
+            }
+        }
+        // Bytewise identity across the whole burst, leader and riders.
+        match &canonical[shape_idx] {
+            None => canonical[shape_idx] = Some(resp.items),
+            Some(expected) => assert_eq!(&resp.items, expected, "answers must be bytewise equal"),
+        }
+    }
+
+    for (idx, &c) in colds.iter().enumerate() {
+        assert_eq!(
+            c, 1,
+            "shape {idx} must cold-run exactly once in the burst (got {c})"
+        );
+    }
+    assert_eq!(coalesced_or_hit, shapes.len() * (COPIES - 1));
+
+    let m = service.metrics();
+    assert_eq!(m.completed as usize, shapes.len() * COPIES);
+    assert_eq!(m.cache_misses as usize, shapes.len(), "one miss per shape");
+    assert_eq!(
+        (m.coalesced + m.cache_hits) as usize,
+        shapes.len() * (COPIES - 1)
+    );
+
+    // Every answer matches an isolated, coalescing-free rerun.
+    let oracle_service = TopKService::new(
+        db,
+        ServiceConfig::default()
+            .without_coalescing()
+            .without_scan_sharing()
+            .without_cache(),
+    );
+    for (shape_idx, req) in shapes.iter().enumerate() {
+        let isolated = oracle_service.query(req.clone()).unwrap();
+        assert_eq!(
+            canonical[shape_idx].as_ref().unwrap(),
+            &isolated.items,
+            "burst answers must equal an isolated run's answer"
+        );
+    }
+}
+
+#[test]
+fn coalesced_rides_actually_happen_under_load() {
+    // Scheduling decides whether followers arrive while the leader is
+    // still running, so a single burst can't *guarantee* a ride — but
+    // across fresh attempts with a slow leader (large k, wide db) and a
+    // deep backlog, one materializes almost immediately. The previous
+    // test pins the hard invariants; this one pins that the machinery is
+    // actually exercised.
+    let db = db(4_000);
+    let req = QueryRequest::new(AggSpec::Average, 400);
+    for _ in 0..50 {
+        let service = TopKService::new(Arc::clone(&db), ServiceConfig::default().with_workers(8));
+        let tickets: Vec<_> = (0..16)
+            .map(|_| service.submit(req.clone()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        if service.metrics().coalesced > 0 {
+            return;
+        }
+    }
+    panic!("no query ever coalesced across 50 bursts of 16 identical queries");
+}
+
+#[test]
+fn scan_sharing_is_bytewise_invisible_for_mixed_streams() {
+    let db = db(2_500);
+    // Caching and coalescing off on both sides: every query must execute,
+    // so the comparison isolates the shared frontier itself.
+    let base = ServiceConfig::default()
+        .with_workers(4)
+        .without_cache()
+        .without_coalescing();
+    let sharing = TopKService::new(Arc::clone(&db), base.clone());
+    let isolated = TopKService::new(Arc::clone(&db), base.without_scan_sharing());
+
+    // A mixed stream: different algorithms, aggregations, k and policies,
+    // repeated so concurrent runs actually overlap on the frontier.
+    let shapes = [
+        QueryRequest::new(AggSpec::Average, 12),
+        QueryRequest::new(AggSpec::Min, 5),
+        QueryRequest::new(AggSpec::Sum, 30),
+        QueryRequest::new(AggSpec::Max, 7),
+        QueryRequest::new(AggSpec::Min, 9)
+            .with_policy(AccessPolicy::no_random_access())
+            .require_grades(false), // NRA: sorted-only sweeps
+        QueryRequest::new(AggSpec::Average, 21).with_batch(BatchConfig::new(16)),
+        QueryRequest::new(AggSpec::Min, 3).with_costs(CostModel::new(1.0, 40.0)),
+    ];
+    let stream: Vec<QueryRequest> = (0..6).flat_map(|_| shapes.iter().cloned()).collect();
+
+    // Drive the sharing service concurrently (frontier contention is the
+    // point), then replay the same stream on the isolated service.
+    let tickets: Vec<_> = stream
+        .iter()
+        .map(|req| sharing.submit(req.clone()).unwrap())
+        .collect();
+    let shared_answers: Vec<QueryResponse> =
+        tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+
+    for (req, shared) in stream.iter().zip(&shared_answers) {
+        let alone = isolated.query(req.clone()).unwrap();
+        assert_eq!(
+            shared.items, alone.items,
+            "shared-scan answers must be bytewise identical ({req:?})"
+        );
+        assert_eq!(
+            shared.stats, alone.stats,
+            "shared scans must not change per-query accounting ({req:?})"
+        );
+        assert_eq!(shared.algorithm, alone.algorithm);
+        assert_eq!(shared.cost, alone.cost);
+    }
+
+    let m = sharing.metrics();
+    assert!(
+        m.shared_scan_served > 0,
+        "repeated shapes must re-read the shared frontier"
+    );
+    assert!(
+        m.shared_scan_extended > 0,
+        "cold sweeps extend the frontier"
+    );
+    let iso = isolated.metrics();
+    assert_eq!(iso.shared_scan_served + iso.shared_scan_extended, 0);
+}

@@ -103,8 +103,13 @@ fn per_query_accounting_and_policy_stay_isolated() {
     let db = db(800);
     let service = Arc::new(TopKService::new(
         Arc::clone(&db),
-        // No cache: every query must execute and report its own accesses.
-        ServiceConfig::default().with_workers(4).without_cache(),
+        // No cache and no coalescing: every query must execute and report
+        // its own accesses (identical concurrent shapes would otherwise
+        // legitimately ride one run and report zero).
+        ServiceConfig::default()
+            .with_workers(4)
+            .without_cache()
+            .without_coalescing(),
     ));
 
     std::thread::scope(|scope| {
