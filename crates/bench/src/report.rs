@@ -58,8 +58,40 @@ pub struct PerfRecord {
 pub fn perf_matrix(scale: Scale) -> Vec<PerfRecord> {
     let n = scale.pick(2_000, 40_000);
     let m = 3;
+    measure_grid(&standard_workloads(n, m))
+}
+
+/// The same grid, but with every workload round-tripped through a store
+/// file first (write → reopen, auto backend, full verification). The
+/// storage tier's contract is that this changes *nothing* the algorithms
+/// can observe, so the records must be identical to [`perf_matrix`]'s in
+/// every column except `wall_secs`.
+pub fn perf_matrix_store_backed(scale: Scale) -> Vec<PerfRecord> {
+    let n = scale.pick(2_000, 40_000);
+    let m = 3;
+    let workloads: Vec<(&'static str, Database)> = standard_workloads(n, m)
+        .into_iter()
+        .map(|(name, db)| (name, store_roundtrip(&db, name)))
+        .collect();
+    measure_grid(&workloads)
+}
+
+/// Writes `db` to a temporary store file and reopens it (default
+/// options: auto backend, full verify). The file is unlinked immediately
+/// — on unix the mapping keeps the pages alive until the database drops.
+fn store_roundtrip(db: &Database, tag: &str) -> Database {
+    let path =
+        std::env::temp_dir().join(format!("fagin-bench-{}-{tag}.fstore", std::process::id()));
+    fagin_store::StoreWriter::write(db, &path)
+        .unwrap_or_else(|e| panic!("store write for {tag}: {e}"));
+    let store = fagin_store::Store::open_default(&path)
+        .unwrap_or_else(|e| panic!("store open for {tag}: {e}"));
+    std::fs::remove_file(&path).ok();
+    store.into_database()
+}
+
+fn measure_grid(workloads: &[(&'static str, Database)]) -> Vec<PerfRecord> {
     let k = 10;
-    let workloads = standard_workloads(n, m);
     let algorithms: Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> = vec![
         (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
         (
@@ -80,7 +112,7 @@ pub fn perf_matrix(scale: Scale) -> Vec<PerfRecord> {
     let agg: &dyn Aggregation = &Min;
     let mut arena = RunScratch::new();
     let mut records = Vec::new();
-    for (workload, db) in &workloads {
+    for (workload, db) in workloads {
         for (algo, policy) in &algorithms {
             let mut session = Session::with_policy(db, policy.clone());
             algo.run_with(&mut session, agg, k, &mut arena)
@@ -122,6 +154,114 @@ fn standard_workloads(n: usize, m: usize) -> Vec<(&'static str, Database)> {
         ("anticorrelated", random::anticorrelated(n, m, 0.1, 3)),
         ("zipf", random::zipf(n, m, 1.1, 4)),
     ]
+}
+
+/// One measured restart path: how long until the first answer, starting
+/// either from raw grade columns (sort + index build) or from a store
+/// file (validate + map/decode).
+#[derive(Clone, Debug)]
+pub struct ColdStartRecord {
+    /// `"build"` (the from-columns baseline) or `"open:<backend>,<verify>"`.
+    pub phase: String,
+    /// Objects per list.
+    pub n: usize,
+    /// Lists.
+    pub m: usize,
+    /// Seconds to a queryable database (column build, or store open).
+    pub prepare_secs: f64,
+    /// Seconds for the first top-10 TA query on the fresh database.
+    pub first_query_secs: f64,
+    /// `prepare + first query` — the restart-to-first-answer time.
+    pub total_secs: f64,
+    /// Baseline `total_secs` ÷ this row's `total_secs` (the build row
+    /// records 1.0).
+    pub speedup: f64,
+}
+
+/// Measures restart-to-first-answer: build-from-columns vs opening a
+/// store file at each verification level, n = 50 000 (`Quick`) /
+/// 5 000 000 (`Full`), m = 2. The store open serves the pre-sorted
+/// stripes in place, so it skips the O(n log n) sort per list *and* the
+/// rank-table build — the mmap rows should beat the baseline by well
+/// over an order of magnitude at full scale.
+pub fn cold_start_matrix(scale: Scale) -> Vec<ColdStartRecord> {
+    use fagin_store::{Store, StoreOptions, StoreWriter, Verify};
+
+    let n = scale.pick(50_000, 5_000_000);
+    let m = 2;
+    let k = 10;
+    let agg: &dyn Aggregation = &Min;
+
+    // Raw columns, generated untimed (SplitMix64: deterministic, and the
+    // generator's cost must not pollute the build measurement).
+    let columns: Vec<Vec<f64>> = (0..m as u64)
+        .map(|list| {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (list << 32) ^ n as u64;
+            (0..n)
+                .map(|_| {
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^= z >> 31;
+                    (z >> 11) as f64 / (1u64 << 53) as f64
+                })
+                .collect()
+        })
+        .collect();
+
+    let first_query = |db: &Database| {
+        let started = Instant::now();
+        let mut session = Session::with_policy(db, AccessPolicy::no_wild_guesses());
+        Ta::new()
+            .run(&mut session, agg, k)
+            .expect("cold-start query");
+        started.elapsed().as_secs_f64()
+    };
+
+    let started = Instant::now();
+    let db = Database::from_f64_columns(&columns).expect("cold-start build");
+    let build_secs = started.elapsed().as_secs_f64();
+    let build_query_secs = first_query(&db);
+    let baseline_total = build_secs + build_query_secs;
+    let mut records = vec![ColdStartRecord {
+        phase: "build".into(),
+        n,
+        m,
+        prepare_secs: build_secs,
+        first_query_secs: build_query_secs,
+        total_secs: baseline_total,
+        speedup: 1.0,
+    }];
+
+    let path = std::env::temp_dir().join(format!("fagin-bench-coldstart-{}.fstore", n));
+    StoreWriter::write(&db, &path).expect("cold-start store write");
+    drop(db);
+    for (verify, label) in [
+        (Verify::HeaderOnly, "header"),
+        (Verify::Structural, "structural"),
+        (Verify::Full, "full"),
+    ] {
+        let started = Instant::now();
+        let store =
+            Store::open(&path, StoreOptions::default().verify(verify)).expect("cold-start open");
+        let prepare_secs = started.elapsed().as_secs_f64();
+        let backend = store.backend().label();
+        let db = store.into_database();
+        let first_query_secs = first_query(&db);
+        let total_secs = prepare_secs + first_query_secs;
+        records.push(ColdStartRecord {
+            phase: format!("open:{backend},{label}"),
+            n,
+            m,
+            prepare_secs,
+            first_query_secs,
+            total_secs,
+            speedup: baseline_total / total_secs.max(1e-12),
+        });
+    }
+    std::fs::remove_file(&path).ok();
+    records
 }
 
 /// One measured service configuration of the mixed-stream serving bench
@@ -256,13 +396,19 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Renders the algorithm grid and the service grid as one pretty-printed
-/// JSON array: algorithm rows first (unchanged shape, so tooling diffs
-/// keep working), then service rows carrying `queries`, `qps` and
-/// `cache_hit_rate` instead of `k`.
-pub fn to_json(records: &[PerfRecord], service: &[ServicePerfRecord]) -> String {
+/// Renders the algorithm grid, the service grid, and the cold-start rows
+/// as one pretty-printed JSON array: algorithm rows first (unchanged
+/// shape, so tooling diffs keep working), then service rows carrying
+/// `queries`, `qps` and `cache_hit_rate` instead of `k`, then cold-start
+/// rows carrying `prepare_secs`, `first_query_secs` and `speedup`. Only
+/// algorithm rows carry `k` — the access-count referee keys on it.
+pub fn to_json(
+    records: &[PerfRecord],
+    service: &[ServicePerfRecord],
+    cold: &[ColdStartRecord],
+) -> String {
     let mut s = String::from("[\n");
-    let total = records.len() + service.len();
+    let total = records.len() + service.len() + cold.len();
     let mut written = 0usize;
     for r in records {
         written += 1;
@@ -302,17 +448,34 @@ pub fn to_json(records: &[PerfRecord], service: &[ServicePerfRecord]) -> String 
             if written < total { "," } else { "" }
         ));
     }
+    for r in cold {
+        written += 1;
+        s.push_str(&format!(
+            "  {{\"algorithm\": \"ColdStart[{}]\", \"workload\": \"cold-start\", \
+             \"n\": {}, \"m\": {}, \"prepare_secs\": {:.6}, \"first_query_secs\": {:.6}, \
+             \"speedup\": {:.2}, \"wall_secs\": {:.6}}}{}\n",
+            escape(&r.phase),
+            r.n,
+            r.m,
+            r.prepare_secs,
+            r.first_query_secs,
+            r.speedup,
+            r.total_secs,
+            if written < total { "," } else { "" }
+        ));
+    }
     s.push_str("]\n");
     s
 }
 
-/// Runs both grids and writes `path` (conventionally `BENCH_topk.json`);
-/// returns how many records were written.
+/// Runs all three grids and writes `path` (conventionally
+/// `BENCH_topk.json`); returns how many records were written.
 pub fn write_json(path: &str, scale: Scale) -> std::io::Result<usize> {
     let records = perf_matrix(scale);
     let service = service_matrix(scale);
-    std::fs::write(path, to_json(&records, &service))?;
-    Ok(records.len() + service.len())
+    let cold = cold_start_matrix(scale);
+    std::fs::write(path, to_json(&records, &service, &cold))?;
+    Ok(records.len() + service.len() + cold.len())
 }
 
 /// Compares a freshly measured algorithm grid against the access counts
@@ -325,8 +488,15 @@ pub fn write_json(path: &str, scale: Scale) -> std::io::Result<usize> {
 /// deterministic functions of the workload seeds, so any drift means an
 /// algorithm's access sequence changed — exactly what a perf refactor must
 /// never do. Service rows are excluded (their totals depend on worker
-/// scheduling races against the cache) and so is `wall_secs` (that is the
-/// row that is *supposed* to change).
+/// scheduling races against the cache), cold-start rows are excluded
+/// (pure wall-clock), and so is `wall_secs` (that is the row that is
+/// *supposed* to change).
+///
+/// The grid is measured **twice**: once in memory and once with every
+/// workload round-tripped through a store file, both compared against the
+/// same recorded counts — so a storage-tier bug that perturbs a single
+/// access anywhere on the grid fails this check even though every
+/// in-memory row still matches.
 pub fn access_count_drift(path: &str, scale: Scale) -> Result<Vec<String>, String> {
     let recorded = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let mut want: Vec<(String, String, [u64; 5])> = Vec::new();
@@ -349,34 +519,39 @@ pub fn access_count_drift(path: &str, scale: Scale) -> Result<Vec<String>, Strin
     if want.is_empty() {
         return Err(format!("{path}: no algorithm rows found"));
     }
-    let measured = perf_matrix(scale);
-    if measured.len() != want.len() {
-        return Err(format!(
-            "{path} records {} algorithm rows but the grid measures {} — \
-             regenerate the artifact",
-            want.len(),
-            measured.len()
-        ));
-    }
     let mut drift = Vec::new();
-    for r in &measured {
-        let Some((_, _, nums)) = want
-            .iter()
-            .find(|(a, w, _)| *a == r.algorithm && *w == r.workload)
-        else {
-            drift.push(format!(
-                "{} on {}: measured but not recorded in {path}",
-                r.algorithm, r.workload
+    for (label, measured) in [
+        ("", perf_matrix(scale)),
+        ("store-backed: ", perf_matrix_store_backed(scale)),
+    ] {
+        if measured.len() != want.len() {
+            return Err(format!(
+                "{path} records {} algorithm rows but the {}grid measures {} — \
+                 regenerate the artifact",
+                want.len(),
+                label,
+                measured.len()
             ));
-            continue;
-        };
-        let got = [r.n as u64, r.m as u64, r.k as u64, r.sorted, r.random];
-        for (i, key) in ["n", "m", "k", "sorted", "random"].iter().enumerate() {
-            if nums[i] != got[i] {
+        }
+        for r in &measured {
+            let Some((_, _, nums)) = want
+                .iter()
+                .find(|(a, w, _)| *a == r.algorithm && *w == r.workload)
+            else {
                 drift.push(format!(
-                    "{} on {}: {key} recorded {} but measured {}",
-                    r.algorithm, r.workload, nums[i], got[i]
+                    "{label}{} on {}: measured but not recorded in {path}",
+                    r.algorithm, r.workload
                 ));
+                continue;
+            };
+            let got = [r.n as u64, r.m as u64, r.k as u64, r.sorted, r.random];
+            for (i, key) in ["n", "m", "k", "sorted", "random"].iter().enumerate() {
+                if nums[i] != got[i] {
+                    drift.push(format!(
+                        "{label}{} on {}: {key} recorded {} but measured {}",
+                        r.algorithm, r.workload, nums[i], got[i]
+                    ));
+                }
             }
         }
     }
@@ -583,7 +758,7 @@ mod tests {
                 wall_secs: 0.002,
             },
         ];
-        let json = to_json(&records, &[]);
+        let json = to_json(&records, &[], &[]);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"));
         assert_eq!(json.matches('{').count(), 2);
         assert_eq!(json.matches('}').count(), 2);
@@ -596,7 +771,7 @@ mod tests {
     #[test]
     fn access_count_drift_detects_changes_and_accepts_reruns() {
         let records = perf_matrix(Scale::Quick);
-        let json = to_json(&records, &[]);
+        let json = to_json(&records, &[], &[]);
         let path = std::env::temp_dir().join("bench_drift_check.json");
         let path = path.to_str().unwrap().to_string();
 
@@ -607,7 +782,8 @@ mod tests {
             "identical rerun must not drift: {drift:?}"
         );
 
-        // Corrupt one sorted count: exactly that cell must be reported.
+        // Corrupt one sorted count: exactly that cell must be reported —
+        // by the in-memory pass AND the store-backed pass.
         let corrupted = json.replacen(
             &format!("\"sorted\": {}", records[0].sorted),
             &format!("\"sorted\": {}", records[0].sorted + 1),
@@ -615,8 +791,9 @@ mod tests {
         );
         std::fs::write(&path, corrupted).unwrap();
         let drift = access_count_drift(&path, Scale::Quick).unwrap();
-        assert_eq!(drift.len(), 1, "{drift:?}");
-        assert!(drift[0].contains("sorted"));
+        assert_eq!(drift.len(), 2, "{drift:?}");
+        assert!(drift.iter().all(|d| d.contains("sorted")));
+        assert!(drift.iter().any(|d| d.starts_with("store-backed: ")));
 
         // A missing artifact is an error, not silence.
         assert!(access_count_drift("/nonexistent/bench.json", Scale::Quick).is_err());
@@ -649,7 +826,7 @@ mod tests {
             random: 50,
             wall_secs: 0.032,
         }];
-        let json = to_json(&perf, &service);
+        let json = to_json(&perf, &service, &[]);
         assert_eq!(json.matches('{').count(), 2);
         // The bridge comma between the grids exists exactly once.
         assert_eq!(json.matches("},").count(), 1);
@@ -663,8 +840,57 @@ mod tests {
             .lines()
             .any(|l| l.contains("TopKService") && l.contains("\"k\":")));
         // Service-only output still closes the array correctly.
-        let json = to_json(&[], &service);
+        let json = to_json(&[], &service, &[]);
         assert!(json.ends_with("}\n]\n"));
         assert_eq!(json.matches("},").count(), 0);
+    }
+
+    /// The storage contract, measured: round-tripping every workload
+    /// through a store file must leave every record identical to the
+    /// in-memory grid in all columns but `wall_secs`.
+    #[test]
+    fn store_backed_grid_is_observationally_identical() {
+        let direct = perf_matrix(Scale::Quick);
+        let stored = perf_matrix_store_backed(Scale::Quick);
+        assert_eq!(direct.len(), stored.len());
+        for (a, b) in direct.iter().zip(&stored) {
+            assert_eq!(a.algorithm, b.algorithm);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(
+                (a.n, a.m, a.k),
+                (b.n, b.m, b.k),
+                "{} on {}",
+                a.algorithm,
+                a.workload
+            );
+            assert_eq!(
+                (a.sorted, a.random),
+                (b.sorted, b.random),
+                "{} on {}: access counts must survive the store round-trip",
+                a.algorithm,
+                a.workload
+            );
+        }
+    }
+
+    #[test]
+    fn cold_start_rows_cover_build_and_all_verify_levels() {
+        let rows = cold_start_matrix(Scale::Quick);
+        assert_eq!(rows.len(), 4, "build + three verify levels");
+        assert_eq!(rows[0].phase, "build");
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        for r in &rows[1..] {
+            assert!(r.phase.starts_with("open:"), "{}", r.phase);
+            assert!(r.total_secs > 0.0);
+        }
+        // Cold-start rows carry no "k", so the access-count referee
+        // ignores them by construction.
+        let json = to_json(&[], &[], &rows);
+        assert!(json.contains("\"algorithm\": \"ColdStart[build]\""));
+        assert!(json.contains("\"speedup\": 1.00"));
+        assert!(!json
+            .lines()
+            .any(|l| l.contains("ColdStart") && l.contains("\"k\":")));
+        assert!(json.ends_with("}\n]\n"));
     }
 }

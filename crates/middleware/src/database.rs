@@ -90,6 +90,41 @@ impl Database {
         }
     }
 
+    /// Builds a database from already-constructed lists (the storage-tier
+    /// path: `fagin-store` validates each list's stripes via
+    /// [`SortedList::from_stripes`] and assembles the database here).
+    ///
+    /// Lists must be non-empty and agree on the number of objects; every
+    /// per-list invariant is the constructing [`SortedList`]'s business.
+    pub fn from_lists(lists: Vec<SortedList>) -> Result<Self, BuildError> {
+        if lists.is_empty() {
+            return Err(BuildError::NoLists);
+        }
+        let n = lists[0].len();
+        if n == 0 {
+            return Err(BuildError::NoObjects);
+        }
+        for (i, l) in lists.iter().enumerate() {
+            if l.len() != n {
+                return Err(BuildError::LengthMismatch {
+                    list: i,
+                    got: l.len(),
+                    expected: n,
+                });
+            }
+        }
+        Ok(Database {
+            lists,
+            num_objects: n,
+        })
+    }
+
+    /// Whether any list is served from a mapped stripe (true for
+    /// store-backed databases).
+    pub fn is_mapped(&self) -> bool {
+        self.lists.iter().any(SortedList::is_mapped)
+    }
+
     /// Builds a database from raw `f64` columns (convenience for tests and
     /// examples). Panics on non-finite grades.
     pub fn from_f64_columns(columns: &[Vec<f64>]) -> Result<Self, BuildError> {

@@ -129,6 +129,25 @@ pub enum BuildError {
         /// Second object.
         b: ObjectId,
     },
+    /// A grade is NaN or infinite — only possible when lists are rebuilt
+    /// from raw stripe bytes (e.g. a store file), since [`crate::Grade`]
+    /// construction rejects non-finite values.
+    NonFiniteGrade {
+        /// Offending list.
+        list: usize,
+        /// Object carrying the non-finite grade.
+        object: ObjectId,
+    },
+    /// The random-access rank table disagrees with the sorted entries: the
+    /// object at some rank does not map back to that rank. Only possible
+    /// when lists are rebuilt from raw stripe bytes, since the in-memory
+    /// constructors derive the table from the entries.
+    RankMismatch {
+        /// Offending list.
+        list: usize,
+        /// Object whose rank entry is inconsistent.
+        object: ObjectId,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -159,6 +178,15 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "objects {a} and {b} share a grade in list {list} (distinctness violated)"
+                )
+            }
+            BuildError::NonFiniteGrade { list, object } => {
+                write!(f, "object {object} has a non-finite grade in list {list}")
+            }
+            BuildError::RankMismatch { list, object } => {
+                write!(
+                    f,
+                    "rank table of list {list} is inconsistent at object {object}"
                 )
             }
         }

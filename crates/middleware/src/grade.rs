@@ -13,6 +13,7 @@ use std::fmt;
 /// as opaque names (the paper's `R`), but generators assign them densely so
 /// lists can keep `O(1)` random-access indexes.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+#[repr(transparent)]
 pub struct ObjectId(pub u32);
 
 impl ObjectId {
@@ -50,6 +51,7 @@ impl From<usize> for ObjectId {
 /// Construction rejects NaN and infinities so that the derived total order is
 /// meaningful.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
 pub struct Grade(f64);
 
 impl Grade {
@@ -143,13 +145,34 @@ impl From<f64> for Grade {
 
 /// One entry of a sorted list: an object together with its grade in that
 /// list (the paper's `(R, x_i)` pair).
+///
+/// The layout is `#[repr(C)]` and pinned by compile-time assertions below:
+/// stripe files written by `fagin-store` reinterpret mapped bytes as
+/// `&[Entry]` in place, so the on-disk format *is* this struct's layout
+/// (id at offset 0, grade at offset 8, 16 bytes total, little-endian
+/// fields, zeroed padding).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[repr(C)]
 pub struct Entry {
     /// The object.
     pub object: ObjectId,
     /// The object's grade in this list.
     pub grade: Grade,
 }
+
+// The storage tier depends on this exact layout; a drift (field reorder,
+// size/alignment change, repr removal) must fail the build, not corrupt
+// stores.
+const _: () = {
+    assert!(std::mem::size_of::<Entry>() == 16);
+    assert!(std::mem::align_of::<Entry>() == 8);
+    assert!(std::mem::offset_of!(Entry, object) == 0);
+    assert!(std::mem::offset_of!(Entry, grade) == 8);
+    assert!(std::mem::size_of::<ObjectId>() == 4);
+    assert!(std::mem::align_of::<ObjectId>() == 4);
+    assert!(std::mem::size_of::<Grade>() == 8);
+    assert!(std::mem::align_of::<Grade>() == 8);
+};
 
 impl Entry {
     /// Convenience constructor.
@@ -203,6 +226,19 @@ mod tests {
         let id: ObjectId = 7usize.into();
         assert_eq!(id.index(), 7);
         assert_eq!(format!("{id}"), "#7");
+    }
+
+    #[test]
+    fn entry_layout_is_pinned() {
+        // Mirrors the compile-time assertions so the contract shows up in
+        // the test report: stripe bytes are portable across builds only
+        // while this layout holds.
+        assert_eq!(std::mem::size_of::<Entry>(), 16);
+        assert_eq!(std::mem::align_of::<Entry>(), 8);
+        assert_eq!(std::mem::offset_of!(Entry, object), 0);
+        assert_eq!(std::mem::offset_of!(Entry, grade), 8);
+        assert_eq!(std::mem::size_of::<Grade>(), 8);
+        assert_eq!(std::mem::size_of::<ObjectId>(), 4);
     }
 
     #[test]

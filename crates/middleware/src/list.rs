@@ -12,15 +12,21 @@
 
 use crate::error::BuildError;
 use crate::grade::{Entry, Grade, ObjectId};
+use crate::stripe::Stripe;
 
 /// A descending-sorted attribute list with an inverted index for random
 /// access.
+///
+/// Both arrays live in [`Stripe`]s: built databases own plain vectors,
+/// store-backed databases borrow memory-mapped windows — the access paths
+/// below only ever see slices, so the backing cannot change an answer or
+/// an access count.
 #[derive(Clone, Debug)]
 pub struct SortedList {
     /// Entries in descending grade order.
-    entries: Vec<Entry>,
+    entries: Stripe<Entry>,
     /// `rank_of[object.index()]` = position of the object in `entries`.
-    rank_of: Vec<u32>,
+    rank_of: Stripe<u32>,
 }
 
 impl SortedList {
@@ -56,7 +62,10 @@ impl SortedList {
             rank_of[idx] = rank as u32;
         }
         // All ids in 0..n present exactly once (pigeonhole: n slots filled).
-        Ok(SortedList { entries, rank_of })
+        Ok(SortedList {
+            entries: entries.into(),
+            rank_of: rank_of.into(),
+        })
     }
 
     /// Builds a list from entries **already in rank order** (highest grade
@@ -97,7 +106,10 @@ impl SortedList {
             }
             rank_of[idx] = rank as u32;
         }
-        Ok(SortedList { entries, rank_of })
+        Ok(SortedList {
+            entries: entries.into(),
+            rank_of: rank_of.into(),
+        })
     }
 
     /// Builds a list from entries that are a *rank-order-preserving
@@ -123,7 +135,123 @@ impl SortedList {
             debug_assert_eq!(rank_of[e.object.index()], u32::MAX, "ids appear once");
             rank_of[e.object.index()] = rank as u32;
         }
-        SortedList { entries, rank_of }
+        SortedList {
+            entries: entries.into(),
+            rank_of: rank_of.into(),
+        }
+    }
+
+    /// Builds a list directly from its two stripes, validating every
+    /// structural invariant the in-memory constructors establish by
+    /// construction: grades finite and non-increasing, every object id in
+    /// `0..n`, and `rank_of` the exact inverse of the entry order.
+    ///
+    /// This is the trust boundary for store-backed databases: the stripes
+    /// may alias a file of hostile bytes, and a list that passes this
+    /// validation can never panic an access path or leak a non-finite
+    /// grade into an aggregation. One fused O(n) pass.
+    pub fn from_stripes(
+        list_index: usize,
+        entries: Stripe<Entry>,
+        rank_of: Stripe<u32>,
+    ) -> Result<Self, BuildError> {
+        let n = entries.len();
+        if n == 0 {
+            return Err(BuildError::NoObjects);
+        }
+        if rank_of.len() != n {
+            return Err(BuildError::LengthMismatch {
+                list: list_index,
+                got: rank_of.len(),
+                expected: n,
+            });
+        }
+        let (entries_s, rank_s) = (entries.as_slice(), rank_of.as_slice());
+        let mut prev = None::<Grade>;
+        for (rank, e) in entries_s.iter().enumerate() {
+            if !e.grade.value().is_finite() {
+                return Err(BuildError::NonFiniteGrade {
+                    list: list_index,
+                    object: e.object,
+                });
+            }
+            if let Some(p) = prev {
+                if p < e.grade {
+                    return Err(BuildError::NotSorted {
+                        list: list_index,
+                        object: e.object,
+                    });
+                }
+            }
+            prev = Some(e.grade);
+            let idx = e.object.index();
+            if idx >= n {
+                return Err(BuildError::MissingGrade {
+                    list: list_index,
+                    object: ObjectId(n as u32),
+                });
+            }
+            // rank_of must send this object back to this rank. Together
+            // with there being exactly n entries, this pins rank_of as the
+            // inverse permutation: a duplicated object id would need
+            // rank_of[idx] to equal two different ranks.
+            if rank_s[idx] as usize != rank {
+                return Err(BuildError::RankMismatch {
+                    list: list_index,
+                    object: e.object,
+                });
+            }
+        }
+        Ok(SortedList { entries, rank_of })
+    }
+
+    /// Builds a list from its two stripes with only O(1) shape checks —
+    /// no per-entry validation.
+    ///
+    /// For **trusted** stripes only (e.g. reopening a store file this
+    /// process just wrote, or an operator-verified artifact): corrupt
+    /// stripes accepted here can make access paths panic (a rank pointing
+    /// past the end) or return wrong answers. Hostile files must go
+    /// through [`SortedList::from_stripes`].
+    pub fn from_stripes_unchecked(
+        list_index: usize,
+        entries: Stripe<Entry>,
+        rank_of: Stripe<u32>,
+    ) -> Result<Self, BuildError> {
+        let n = entries.len();
+        if n == 0 {
+            return Err(BuildError::NoObjects);
+        }
+        if rank_of.len() != n {
+            return Err(BuildError::LengthMismatch {
+                list: list_index,
+                got: rank_of.len(),
+                expected: n,
+            });
+        }
+        Ok(SortedList { entries, rank_of })
+    }
+
+    /// The raw entry stripe, in descending grade order (subsystem-side;
+    /// not access-counted). The store writer serializes exactly this.
+    #[inline]
+    pub fn entries(&self) -> &[Entry] {
+        self.entries.as_slice()
+    }
+
+    /// The raw rank table: `ranks()[id]` is the rank of object `id`
+    /// (subsystem-side; not access-counted). The store writer serializes
+    /// exactly this.
+    #[inline]
+    pub fn ranks(&self) -> &[u32] {
+        self.rank_of.as_slice()
+    }
+
+    /// Whether either stripe is a mapped window into a shared buffer
+    /// (true for store-backed lists served zero-copy).
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        self.entries.is_mapped() || self.rank_of.is_mapped()
     }
 
     /// Builds a list from a dense column of grades: `grades[i]` is the grade
@@ -301,6 +429,74 @@ mod tests {
             SortedList::from_ranked(0, gap),
             Err(BuildError::MissingGrade { .. })
         ));
+    }
+
+    #[test]
+    fn from_stripes_validates_structure() {
+        let good = SortedList::from_column(0, &grades(&[0.1, 0.9, 0.5])).unwrap();
+        let entries: Vec<Entry> = good.entries().to_vec();
+        let ranks: Vec<u32> = good.ranks().to_vec();
+
+        // A faithful copy revalidates cleanly and serves identically.
+        let rebuilt =
+            SortedList::from_stripes(0, entries.clone().into(), ranks.clone().into()).unwrap();
+        for rank in 0..good.len() {
+            assert_eq!(rebuilt.at_rank(rank), good.at_rank(rank));
+        }
+        for id in 0..good.len() {
+            let id = ObjectId(id as u32);
+            assert_eq!(rebuilt.grade_of(id), good.grade_of(id));
+        }
+
+        // Unsorted entries.
+        let mut bad = entries.clone();
+        bad.swap(0, 2);
+        let mut bad_ranks = ranks.clone();
+        bad_ranks.swap(bad[0].object.index(), bad[2].object.index());
+        assert!(matches!(
+            SortedList::from_stripes(3, bad.into(), bad_ranks.into()),
+            Err(BuildError::NotSorted { list: 3, .. })
+        ));
+
+        // Rank table out of sync (points somewhere else).
+        let mut bad_ranks = ranks.clone();
+        bad_ranks[1] = 2;
+        assert!(matches!(
+            SortedList::from_stripes(1, entries.clone().into(), bad_ranks.into()),
+            Err(BuildError::RankMismatch { list: 1, .. })
+        ));
+
+        // Rank table out of bounds is a mismatch too, never a panic.
+        let mut bad_ranks = ranks.clone();
+        bad_ranks[1] = 77;
+        assert!(SortedList::from_stripes(0, entries.clone().into(), bad_ranks.into()).is_err());
+
+        // Non-finite grades cannot be constructed through the Grade API at
+        // all; the NonFiniteGrade arm is exercised end-to-end by
+        // fagin-store's corruption tests, which craft raw mapped bytes.
+
+        // Length mismatch between the stripes.
+        assert!(matches!(
+            SortedList::from_stripes(0, entries.clone().into(), vec![0u32, 1].into()),
+            Err(BuildError::LengthMismatch { .. })
+        ));
+
+        // Empty stripes.
+        assert!(matches!(
+            SortedList::from_stripes(0, Vec::<Entry>::new().into(), Vec::<u32>::new().into()),
+            Err(BuildError::NoObjects)
+        ));
+
+        // Duplicate object id: rank_of cannot agree with both positions.
+        let dup = vec![Entry::new(1u32, 0.9), Entry::new(1u32, 0.5)];
+        assert!(SortedList::from_stripes(0, dup.into(), vec![0u32, 1].into()).is_err());
+
+        // The unchecked constructor still refuses shape violations.
+        assert!(
+            SortedList::from_stripes_unchecked(0, entries.clone().into(), vec![0u32].into())
+                .is_err()
+        );
+        assert!(SortedList::from_stripes_unchecked(0, entries.into(), ranks.into()).is_ok());
     }
 
     #[test]

@@ -324,6 +324,23 @@ impl TopKService {
         }
     }
 
+    /// Cold-starts a service from a store file written by
+    /// [`fagin_store::StoreWriter`]: the file is validated and opened
+    /// (zero-copy via mmap where supported), then served exactly as an
+    /// in-memory database would be — same answers, same access counts.
+    /// Returns the service together with the backend that is serving the
+    /// stripes, for status lines and metrics.
+    pub fn from_store(
+        path: &std::path::Path,
+        options: fagin_store::StoreOptions,
+        config: ServiceConfig,
+    ) -> Result<(TopKService, fagin_store::BackendKind), fagin_store::StoreError> {
+        let store = fagin_store::Store::open(path, options)?;
+        let backend = store.backend();
+        let service = TopKService::new(Arc::new(store.into_database()), config);
+        Ok((service, backend))
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()

@@ -1,0 +1,71 @@
+//! The store's stripe checksum: a word-folding multiply-xor hash.
+//!
+//! Requirements are integrity, not cryptography: any *single* bit flip in
+//! a stripe must change the sum (each 8-byte word is xor-folded into the
+//! state and then multiplied by an odd constant — both steps are bijective
+//! on `u64`, so two inputs differing in one word can never collide at that
+//! step), and verification must run at memory bandwidth so checksummed
+//! opens stay cheap next to a sort-based rebuild. Byte-at-a-time FNV would
+//! be ~8× slower for no integrity gain here.
+
+/// Checksums a byte region (FNV-1a constants, folded a word at a time,
+/// with a final avalanche so truncated/extended regions of zeros do not
+/// collide trivially).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    // Fold the length in first: zero-padded tails of different lengths
+    // must not collide.
+    let mut h = SEED ^ (bytes.len() as u64).wrapping_mul(PRIME);
+    let mut words = bytes.chunks_exact(8);
+    for w in &mut words {
+        let w = u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = (h ^ w).wrapping_mul(PRIME);
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut last = [0u8; 8];
+        last[..tail.len()].copy_from_slice(tail);
+        h = (h ^ u64::from_le_bytes(last)).wrapping_mul(PRIME);
+    }
+    // xor-shift/multiply avalanche (SplitMix64 finalizer constants).
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        let a = checksum(b"hello world");
+        assert_eq!(a, checksum(b"hello world"));
+        assert_ne!(a, checksum(b"hello worle"));
+        assert_ne!(checksum(&[0u8; 16]), checksum(&[0u8; 24]));
+        assert_ne!(checksum(&[]), checksum(&[0u8]));
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_sum() {
+        // The property the corruption tests rely on: exhaustively flip
+        // every bit of a representative buffer (odd length exercises the
+        // tail path) and demand a different sum each time.
+        let base: Vec<u8> = (0..37u8).map(|i| i.wrapping_mul(97) ^ 0x5a).collect();
+        let want = checksum(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(
+                    checksum(&flipped),
+                    want,
+                    "flip at byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed store errors: a hostile or damaged file must surface as one of
+//! these, never as a panic.
+
+use std::fmt;
+
+use fagin_middleware::BuildError;
+
+/// Everything that can go wrong opening or writing a store file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure (open, read, write, fsync, rename, mmap).
+    Io(std::io::Error),
+    /// The file does not start with the store magic — not a store file.
+    BadMagic {
+        /// The first eight bytes found.
+        got: [u8; 8],
+    },
+    /// The file's format version is not one this reader speaks.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        got: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The endianness marker does not match the format's little-endian
+    /// contract (a corrupted header, or a file written by a byte-swapping
+    /// writer this version never shipped).
+    BadEndianMark {
+        /// The marker found.
+        got: u32,
+    },
+    /// The file is shorter than its header or its own recorded length —
+    /// a torn copy or interrupted download.
+    Truncated {
+        /// Bytes the file claims (or the header requires).
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A checksum disagrees with the region's bytes.
+    ChecksumMismatch {
+        /// Which region: `"header"`, `"list 3 entries"`, `"list 0 ranks"`.
+        region: String,
+        /// The checksum recorded in the header.
+        stored: u64,
+        /// The checksum of the bytes actually present.
+        computed: u64,
+    },
+    /// The header or stripe directory violates the format's shape rules
+    /// (misaligned offsets, wrong stripe sizes, out-of-range extents).
+    Malformed {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The stripe bytes parse but violate a database invariant (unsorted
+    /// grades, inconsistent rank table, non-finite grade, shape mismatch).
+    Corrupt(BuildError),
+    /// The mmap backend was explicitly requested on a platform without it
+    /// (non-unix, or a big-endian target where in-place reinterpretation
+    /// of the little-endian format is impossible).
+    MmapUnsupported,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic { got } => {
+                write!(f, "not a fagin store file (magic bytes {got:02x?})")
+            }
+            StoreError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "store format version {got} (this build reads {supported})"
+                )
+            }
+            StoreError::BadEndianMark { got } => {
+                write!(f, "store endianness marker 0x{got:08x} is invalid")
+            }
+            StoreError::Truncated { expected, got } => {
+                write!(
+                    f,
+                    "store truncated: {got} bytes present, {expected} expected"
+                )
+            }
+            StoreError::ChecksumMismatch {
+                region,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch in {region}: recorded {stored:#018x}, computed {computed:#018x}"
+            ),
+            StoreError::Malformed { detail } => write!(f, "malformed store: {detail}"),
+            StoreError::Corrupt(e) => write!(f, "corrupt store data: {e}"),
+            StoreError::MmapUnsupported => {
+                write!(f, "mmap backend unavailable on this platform")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<BuildError> for StoreError {
+    fn from(e: BuildError) -> Self {
+        StoreError::Corrupt(e)
+    }
+}

@@ -1,0 +1,379 @@
+//! The on-disk format, version 1.
+//!
+//! A store file is a page-aligned columnar image of a
+//! [`Database`](fagin_middleware::Database): per list, the two arrays a
+//! [`SortedList`](fagin_middleware::SortedList) holds in memory —
+//! byte-for-byte — so a reader can serve them in place.
+//!
+//! ```text
+//! offset    bytes  field
+//! 0         8      magic  "FGNSTRP1"
+//! 8         4      format version (u32, = 1)
+//! 12        4      endianness marker (u32, = 0x1F2E3D4C; file is LE)
+//! 16        8      n — objects per list (u64)
+//! 24        8      m — number of lists (u64)
+//! 32        8      total file length in bytes (u64)
+//! 40        8      header checksum (u64, over the whole header region
+//!                  with this field zeroed)
+//! 48+i*48   48     directory entry for list i (see below)
+//! …                header region zero-padded to a page boundary
+//! (aligned)        stripes: entries₀, ranks₀, entries₁, ranks₁, …
+//!                  each starting on a page boundary, zero-padded to one
+//! ```
+//!
+//! Directory entry (all u64): `entries_off`, `entries_bytes` (= n·16),
+//! `entries_sum`, `ranks_off`, `ranks_bytes` (= n·4), `ranks_sum`. Offsets
+//! are absolute and page-aligned — pages are the unit of mmap alignment,
+//! so every stripe start is automatically aligned for its element type.
+//! Stripe checksums cover the *padded* extent, so together with the header
+//! checksum every byte of the file is covered by exactly one checksum (a
+//! bit flip anywhere is detectable, padding included).
+//!
+//! An entry is 16 bytes — id (u32 LE), four zero padding bytes, grade
+//! (f64 bits, LE) — matching `#[repr(C)] Entry`'s pinned in-memory layout;
+//! a rank is a u32 LE. On little-endian targets the mmap backend casts
+//! stripe bytes to `&[Entry]`/`&[u32]` in place; the fallback backend
+//! decodes field-by-field and works anywhere.
+
+use crate::checksum::checksum;
+use crate::error::StoreError;
+
+/// First eight bytes of every store file.
+pub const MAGIC: [u8; 8] = *b"FGNSTRP1";
+/// The format version this build writes and reads.
+pub const VERSION: u32 = 1;
+/// Little-endian sanity marker.
+pub const ENDIAN_MARK: u32 = 0x1F2E_3D4C;
+/// Stripe alignment: one page. mmap returns page-aligned buffers, so
+/// page-aligned offsets make every stripe start aligned for `Entry`.
+pub const PAGE: usize = 4096;
+/// Bytes of the fixed header before the directory.
+pub const FIXED_LEN: usize = 48;
+/// Bytes per directory entry.
+pub const DIR_LEN: usize = 48;
+/// Bytes per serialized entry (pinned to `size_of::<Entry>()` by the
+/// layout assertions in fagin-middleware).
+pub const ENTRY_BYTES: usize = 16;
+/// Bytes per serialized rank.
+pub const RANK_BYTES: usize = 4;
+
+/// Rounds up to the next page boundary.
+pub const fn pad(len: usize) -> usize {
+    len.div_ceil(PAGE) * PAGE
+}
+
+/// Where one list's two stripes live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Absolute offset of the entry stripe (page-aligned).
+    pub entries_off: u64,
+    /// Unpadded byte length of the entry stripe (`n * 16`).
+    pub entries_bytes: u64,
+    /// Checksum of the entry stripe's padded extent.
+    pub entries_sum: u64,
+    /// Absolute offset of the rank stripe (page-aligned).
+    pub ranks_off: u64,
+    /// Unpadded byte length of the rank stripe (`n * 4`).
+    pub ranks_bytes: u64,
+    /// Checksum of the rank stripe's padded extent.
+    pub ranks_sum: u64,
+}
+
+/// The parsed, validated header of a store file.
+#[derive(Clone, Debug)]
+pub struct Header {
+    /// Objects per list.
+    pub n: usize,
+    /// Number of lists.
+    pub m: usize,
+    /// Total file length the header commits to.
+    pub file_len: u64,
+    /// Per-list stripe directory.
+    pub directory: Vec<DirEntry>,
+}
+
+impl Header {
+    /// Bytes of the header region (fixed part + directory, page-padded)
+    /// for a database of `m` lists.
+    pub fn region_len(m: usize) -> usize {
+        pad(FIXED_LEN + m * DIR_LEN)
+    }
+
+    /// Serializes the header region (padded, checksum patched in).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; Self::region_len(self.m)];
+        buf[0..8].copy_from_slice(&MAGIC);
+        buf[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        buf[12..16].copy_from_slice(&ENDIAN_MARK.to_le_bytes());
+        buf[16..24].copy_from_slice(&(self.n as u64).to_le_bytes());
+        buf[24..32].copy_from_slice(&(self.m as u64).to_le_bytes());
+        buf[32..40].copy_from_slice(&self.file_len.to_le_bytes());
+        // buf[40..48] stays zero while the checksum is computed.
+        for (i, d) in self.directory.iter().enumerate() {
+            let at = FIXED_LEN + i * DIR_LEN;
+            for (j, v) in [
+                d.entries_off,
+                d.entries_bytes,
+                d.entries_sum,
+                d.ranks_off,
+                d.ranks_bytes,
+                d.ranks_sum,
+            ]
+            .iter()
+            .enumerate()
+            {
+                buf[at + j * 8..at + (j + 1) * 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        let sum = checksum(&buf);
+        buf[40..48].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    /// Parses and fully validates a header region against the actual file
+    /// length, returning a typed [`StoreError`] on any violation. Runs at
+    /// every verification level — it touches only the header pages.
+    pub fn parse(bytes: &[u8], actual_len: u64) -> Result<Header, StoreError> {
+        if bytes.len() < FIXED_LEN {
+            return Err(StoreError::Truncated {
+                expected: FIXED_LEN as u64,
+                got: bytes.len() as u64,
+            });
+        }
+        let magic: [u8; 8] = bytes[0..8].try_into().expect("8 bytes");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { got: magic });
+        }
+        let version = read_u32(bytes, 8);
+        if version != VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                got: version,
+                supported: VERSION,
+            });
+        }
+        let endian = read_u32(bytes, 12);
+        if endian != ENDIAN_MARK {
+            return Err(StoreError::BadEndianMark { got: endian });
+        }
+        let n = read_u64(bytes, 16);
+        let m = read_u64(bytes, 24);
+        if m == 0 {
+            return Err(StoreError::Malformed {
+                detail: "zero lists".into(),
+            });
+        }
+        if n == 0 {
+            return Err(StoreError::Malformed {
+                detail: "zero objects".into(),
+            });
+        }
+        if n > u32::MAX as u64 {
+            return Err(StoreError::Malformed {
+                detail: format!("n = {n} exceeds the u32 object-id space"),
+            });
+        }
+        if m > (u32::MAX as u64) / DIR_LEN as u64 {
+            return Err(StoreError::Malformed {
+                detail: format!("m = {m} lists is not representable"),
+            });
+        }
+        let (n, m) = (n as usize, m as usize);
+        let region = Self::region_len(m);
+        if bytes.len() < region {
+            return Err(StoreError::Truncated {
+                expected: region as u64,
+                got: bytes.len() as u64,
+            });
+        }
+        // Header checksum: recompute with the stored sum zeroed. Verified
+        // unconditionally — a corrupted directory must never steer reads.
+        let stored = read_u64_raw(bytes, 40);
+        let mut region_bytes = bytes[..region].to_vec();
+        region_bytes[40..48].fill(0);
+        let computed = checksum(&region_bytes);
+        if stored != computed {
+            return Err(StoreError::ChecksumMismatch {
+                region: "header".into(),
+                stored,
+                computed,
+            });
+        }
+        let file_len = read_u64_raw(bytes, 32);
+        if file_len != actual_len {
+            return Err(StoreError::Truncated {
+                expected: file_len,
+                got: actual_len,
+            });
+        }
+        let entries_bytes = (n * ENTRY_BYTES) as u64;
+        let ranks_bytes = (n * RANK_BYTES) as u64;
+        let mut directory = Vec::with_capacity(m);
+        for i in 0..m {
+            let at = FIXED_LEN + i * DIR_LEN;
+            let d = DirEntry {
+                entries_off: read_u64_raw(bytes, at),
+                entries_bytes: read_u64_raw(bytes, at + 8),
+                entries_sum: read_u64_raw(bytes, at + 16),
+                ranks_off: read_u64_raw(bytes, at + 24),
+                ranks_bytes: read_u64_raw(bytes, at + 32),
+                ranks_sum: read_u64_raw(bytes, at + 40),
+            };
+            for (what, off, len, want_len) in [
+                ("entries", d.entries_off, d.entries_bytes, entries_bytes),
+                ("ranks", d.ranks_off, d.ranks_bytes, ranks_bytes),
+            ] {
+                if len != want_len {
+                    return Err(StoreError::Malformed {
+                        detail: format!(
+                            "list {i} {what} stripe records {len} bytes, expected {want_len}"
+                        ),
+                    });
+                }
+                if !(off as usize).is_multiple_of(PAGE) {
+                    return Err(StoreError::Malformed {
+                        detail: format!("list {i} {what} stripe at unaligned offset {off}"),
+                    });
+                }
+                if off < region as u64 {
+                    return Err(StoreError::Malformed {
+                        detail: format!("list {i} {what} stripe overlaps the header"),
+                    });
+                }
+                let end = off.checked_add(pad(len as usize) as u64).ok_or_else(|| {
+                    StoreError::Malformed {
+                        detail: format!("list {i} {what} stripe extent overflows"),
+                    }
+                })?;
+                if end > actual_len {
+                    return Err(StoreError::Truncated {
+                        expected: end,
+                        got: actual_len,
+                    });
+                }
+            }
+            directory.push(d);
+        }
+        Ok(Header {
+            n,
+            m,
+            file_len,
+            directory,
+        })
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    read_u64_raw(bytes, at)
+}
+
+fn read_u64_raw(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Header {
+        let region = Header::region_len(2) as u64;
+        let e = pad(3 * ENTRY_BYTES) as u64;
+        let r = pad(3 * RANK_BYTES) as u64;
+        Header {
+            n: 3,
+            m: 2,
+            file_len: region + 2 * (e + r),
+            directory: vec![
+                DirEntry {
+                    entries_off: region,
+                    entries_bytes: 3 * ENTRY_BYTES as u64,
+                    entries_sum: 111,
+                    ranks_off: region + e,
+                    ranks_bytes: 3 * RANK_BYTES as u64,
+                    ranks_sum: 222,
+                },
+                DirEntry {
+                    entries_off: region + e + r,
+                    entries_bytes: 3 * ENTRY_BYTES as u64,
+                    entries_sum: 333,
+                    ranks_off: region + e + r + e,
+                    ranks_bytes: 3 * RANK_BYTES as u64,
+                    ranks_sum: 444,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), Header::region_len(2));
+        let parsed = Header::parse(&bytes, h.file_len).unwrap();
+        assert_eq!(parsed.n, 3);
+        assert_eq!(parsed.m, 2);
+        assert_eq!(parsed.directory, h.directory);
+    }
+
+    #[test]
+    fn every_header_bit_flip_is_a_typed_error() {
+        let h = sample();
+        let bytes = h.encode();
+        for byte in 0..FIXED_LEN + 2 * DIR_LEN {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    Header::parse(&bad, h.file_len).is_err(),
+                    "flip at byte {byte} bit {bit} parsed successfully"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_skew_reported_before_checksum() {
+        let h = sample();
+        let mut bytes = h.encode();
+        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(
+            Header::parse(&bytes, h.file_len),
+            Err(StoreError::UnsupportedVersion {
+                got: 2,
+                supported: VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation() {
+        let h = sample();
+        let bytes = h.encode();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Header::parse(&bad, h.file_len),
+            Err(StoreError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            Header::parse(&bytes[..16], h.file_len),
+            Err(StoreError::Truncated { .. })
+        ));
+        // A file-length mismatch (torn copy) is truncation too.
+        assert!(matches!(
+            Header::parse(&bytes, h.file_len - 1),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn padding_is_page_granular() {
+        assert_eq!(pad(0), 0);
+        assert_eq!(pad(1), PAGE);
+        assert_eq!(pad(PAGE), PAGE);
+        assert_eq!(pad(PAGE + 1), 2 * PAGE);
+    }
+}

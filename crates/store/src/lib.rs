@@ -1,0 +1,327 @@
+//! On-disk columnar storage for fagin middleware databases.
+//!
+//! A store file is the two arrays every
+//! [`SortedList`](fagin_middleware::SortedList) holds — the grade-sorted
+//! `(id, grade)` entry stripe and the dense `rank_of` inverse — laid out
+//! byte-for-byte in their pinned in-memory representation, behind a
+//! versioned, checksummed header ([`mod@format`]). Because the bytes on disk
+//! *are* the bytes the query engine reads, opening a store is not a
+//! rebuild: the mmap backend maps the file and serves every stripe in
+//! place; a portable fallback decodes into owned memory where mapping is
+//! unavailable. Either way the resulting
+//! [`Database`](fagin_middleware::Database) is observationally identical
+//! to the one that was written — same answers, same tie order, same
+//! sorted/random access counts — because the algorithms above the slice
+//! boundary cannot tell the backings apart.
+//!
+//! ```no_run
+//! use fagin_store::{Store, StoreWriter};
+//! # fn demo(db: &fagin_middleware::Database) -> Result<(), fagin_store::StoreError> {
+//! let path = std::path::Path::new("grades.fstore");
+//! StoreWriter::write(db, path)?;                 // fsync + atomic rename
+//! let store = Store::open_default(path)?;        // validate, map, serve
+//! assert_eq!(store.database().num_objects(), db.num_objects());
+//! # Ok(()) }
+//! ```
+//!
+//! Hostile or damaged files are a first-class case: every open validates
+//! the header checksum, and the default [`Verify::Full`] level checks
+//! every stripe byte against its recorded sum and every structural
+//! invariant (sortedness, finite grades, rank-table inversion) before a
+//! single query runs. Any violation is a typed [`StoreError`], never a
+//! panic.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checksum;
+mod error;
+pub mod format;
+mod mapping;
+mod reader;
+mod writer;
+
+pub use error::StoreError;
+pub use mapping::{mmap_supported, Backend, BackendKind, Mapping};
+pub use reader::{Store, StoreOptions, Verify};
+pub use writer::{StoreWriter, WriteSummary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fagin_middleware::{Database, Grade};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("fagin-store-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_db() -> Database {
+        // Three lists, five objects, with ties (objects 1 and 3 in list 0)
+        // so round-trips must preserve tie order, not just grade values.
+        Database::from_f64_columns(&[
+            vec![0.9, 0.5, 0.1, 0.5, 0.7],
+            vec![0.2, 0.8, 0.6, 0.4, 0.0],
+            vec![0.3, 0.3, 0.3, 0.9, 0.5],
+        ])
+        .unwrap()
+    }
+
+    fn assert_identical(a: &Database, b: &Database) {
+        assert_eq!(a.num_lists(), b.num_lists());
+        assert_eq!(a.num_objects(), b.num_objects());
+        for i in 0..a.num_lists() {
+            assert_eq!(a.list(i).entries(), b.list(i).entries(), "list {i} entries");
+            assert_eq!(a.list(i).ranks(), b.list(i).ranks(), "list {i} ranks");
+        }
+    }
+
+    #[test]
+    fn roundtrip_both_backends() {
+        let db = sample_db();
+        let path = tmp("roundtrip.fstore");
+        let summary = StoreWriter::write(&db, &path).unwrap();
+        assert_eq!(summary.n, 5);
+        assert_eq!(summary.m, 3);
+
+        let fallback = Store::open(&path, StoreOptions::with_backend(Backend::InMemory)).unwrap();
+        assert_eq!(fallback.backend(), BackendKind::InMemory);
+        assert_identical(&db, fallback.database());
+        assert!(!fallback.database().is_mapped());
+
+        let auto = Store::open_default(&path).unwrap();
+        assert_identical(&db, auto.database());
+        if mmap_supported() {
+            assert_eq!(auto.backend(), BackendKind::Mmap);
+            assert!(auto.database().is_mapped());
+            let explicit = Store::open(&path, StoreOptions::with_backend(Backend::Mmap)).unwrap();
+            assert_identical(&db, explicit.database());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn all_verify_levels_accept_a_good_file() {
+        let db = sample_db();
+        let path = tmp("verify-levels.fstore");
+        StoreWriter::write(&db, &path).unwrap();
+        for verify in [Verify::HeaderOnly, Verify::Structural, Verify::Full] {
+            for backend in [Backend::Auto, Backend::InMemory] {
+                let store =
+                    Store::open(&path, StoreOptions::with_backend(backend).verify(verify)).unwrap();
+                assert_identical(&db, store.database());
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrites_are_atomic_overwrites() {
+        let db1 = sample_db();
+        let db2 = Database::from_f64_columns(&[vec![0.4, 0.6], vec![0.1, 0.2]]).unwrap();
+        let path = tmp("overwrite.fstore");
+        StoreWriter::write(&db1, &path).unwrap();
+        StoreWriter::write(&db2, &path).unwrap();
+        let store = Store::open_default(&path).unwrap();
+        assert_identical(&db2, store.database());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The fuzz test the error contract demands: flip every byte of a
+    /// small valid store (header, stripes, and padding alike) and demand
+    /// a typed error — never a panic, never a silent success — under the
+    /// default full verification, on both backends.
+    #[test]
+    fn every_byte_flip_is_rejected_with_a_typed_error() {
+        let db = Database::from_f64_columns(&[vec![0.9, 0.5, 0.1], vec![0.2, 0.8, 0.6]]).unwrap();
+        let path = tmp("bitflip.fstore");
+        StoreWriter::write(&db, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let flipped_path = tmp("bitflip-mutant.fstore");
+        for byte in 0..good.len() {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            std::fs::write(&flipped_path, &bad).unwrap();
+            for backend in [Backend::Auto, Backend::InMemory] {
+                let got = Store::open(&flipped_path, StoreOptions::with_backend(backend));
+                assert!(
+                    got.is_err(),
+                    "byte {byte} flipped: open succeeded on {backend:?}"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&flipped_path).ok();
+    }
+
+    #[test]
+    fn truncated_files_are_rejected_at_every_level() {
+        let db = sample_db();
+        let path = tmp("trunc.fstore");
+        StoreWriter::write(&db, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let cut = tmp("trunc-cut.fstore");
+        for keep in [0, 7, 47, 48, 4096, good.len() - 1] {
+            std::fs::write(&cut, &good[..keep]).unwrap();
+            for verify in [Verify::HeaderOnly, Verify::Structural, Verify::Full] {
+                let got = Store::open(&cut, StoreOptions::default().verify(verify));
+                assert!(
+                    matches!(
+                        got,
+                        Err(StoreError::Truncated { .. }) | Err(StoreError::Io(_))
+                    ),
+                    "keep={keep} verify={verify:?}: {got:?}"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&cut).ok();
+    }
+
+    #[test]
+    fn version_skew_and_bad_magic_are_typed() {
+        let db = sample_db();
+        let path = tmp("skew.fstore");
+        StoreWriter::write(&db, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let bad_path = tmp("skew-mutant.fstore");
+
+        let mut vskew = good.clone();
+        vskew[8..12].copy_from_slice(&9u32.to_le_bytes());
+        std::fs::write(&bad_path, &vskew).unwrap();
+        assert!(matches!(
+            Store::open_default(&bad_path),
+            Err(StoreError::UnsupportedVersion { got: 9, .. })
+        ));
+
+        let mut magic = good.clone();
+        magic[0..8].copy_from_slice(b"NOTSTORE");
+        std::fs::write(&bad_path, &magic).unwrap();
+        assert!(matches!(
+            Store::open_default(&bad_path),
+            Err(StoreError::BadMagic { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad_path).ok();
+    }
+
+    /// Corruption that keeps checksums consistent (an attacker recomputes
+    /// them) must still die in the structural pass, as a typed
+    /// [`StoreError::Corrupt`], on both backends.
+    #[test]
+    fn structurally_invalid_stripes_with_valid_checksums_are_corrupt() {
+        use crate::checksum::checksum;
+        use crate::format::{pad, Header, ENTRY_BYTES, FIXED_LEN};
+
+        let db = Database::from_f64_columns(&[vec![0.9, 0.5, 0.1], vec![0.2, 0.8, 0.6]]).unwrap();
+        let path = tmp("hostile.fstore");
+        StoreWriter::write(&db, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        let header = Header::parse(&good, good.len() as u64).unwrap();
+        let d0 = header.directory[0];
+
+        // Re-sign a stripe mutation and then the header, so only the
+        // structural pass can notice.
+        let resign = |bytes: &mut Vec<u8>| {
+            let start = d0.entries_off as usize;
+            let end = start + pad(d0.entries_bytes as usize);
+            let sum = checksum(&bytes[start..end]);
+            bytes[FIXED_LEN + 16..FIXED_LEN + 24].copy_from_slice(&sum.to_le_bytes());
+            let region = Header::region_len(header.m);
+            bytes[40..48].fill(0);
+            let hsum = checksum(&bytes[..region]);
+            bytes[40..48].copy_from_slice(&hsum.to_le_bytes());
+        };
+
+        // NaN grade in list 0, rank 0.
+        let mut nan = good.clone();
+        let at = d0.entries_off as usize + 8;
+        nan[at..at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        resign(&mut nan);
+
+        // Unsorted: swap the grades of ranks 0 and 2 (keeps ids, breaks
+        // the non-increasing order AND leaves the rank table stale —
+        // either check may fire; both are Corrupt).
+        let mut unsorted = good.clone();
+        let (a, b) = (
+            d0.entries_off as usize + 8,
+            d0.entries_off as usize + 2 * ENTRY_BYTES + 8,
+        );
+        for k in 0..8 {
+            unsorted.swap(a + k, b + k);
+        }
+        resign(&mut unsorted);
+
+        // Out-of-range object id at rank 1.
+        let mut wild_id = good.clone();
+        let at = d0.entries_off as usize + ENTRY_BYTES;
+        wild_id[at..at + 4].copy_from_slice(&999u32.to_le_bytes());
+        resign(&mut wild_id);
+
+        let bad_path = tmp("hostile-mutant.fstore");
+        for (name, bytes) in [
+            ("nan", &nan),
+            ("unsorted", &unsorted),
+            ("wild-id", &wild_id),
+        ] {
+            std::fs::write(&bad_path, bytes).unwrap();
+            for backend in [Backend::Auto, Backend::InMemory] {
+                let got = Store::open(&bad_path, StoreOptions::with_backend(backend));
+                assert!(
+                    matches!(got, Err(StoreError::Corrupt(_))),
+                    "{name} on {backend:?}: {got:?}"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad_path).ok();
+    }
+
+    #[test]
+    fn grades_survive_bit_exact_including_ties_and_negatives() {
+        let db = Database::from_f64_columns(&[
+            vec![-1.5, 0.0, -0.0, 1.0e-300, 0.1 + 0.2],
+            vec![0.5, 0.5, 0.5, 0.5, 0.5],
+        ])
+        .unwrap();
+        let path = tmp("bitexact.fstore");
+        StoreWriter::write(&db, &path).unwrap();
+        for backend in [Backend::Auto, Backend::InMemory] {
+            let store = Store::open(&path, StoreOptions::with_backend(backend)).unwrap();
+            for i in 0..db.num_lists() {
+                let want: Vec<u64> = db.list(i).entries().iter().map(grade_bits).collect();
+                let got: Vec<u64> = store
+                    .database()
+                    .list(i)
+                    .entries()
+                    .iter()
+                    .map(grade_bits)
+                    .collect();
+                assert_eq!(want, got, "list {i} grade bits via {backend:?}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn grade_bits(e: &fagin_middleware::Entry) -> u64 {
+        Grade::value(e.grade).to_bits()
+    }
+
+    #[test]
+    fn mmap_requested_on_unsupported_platform_is_typed() {
+        if mmap_supported() {
+            return; // Exercised only where mmap genuinely cannot work.
+        }
+        let db = sample_db();
+        let path = tmp("nommap.fstore");
+        StoreWriter::write(&db, &path).unwrap();
+        assert!(matches!(
+            Store::open(&path, StoreOptions::with_backend(Backend::Mmap)),
+            Err(StoreError::MmapUnsupported)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,221 @@
+//! Read-only memory mapping behind a safe RAII wrapper, plus the backend
+//! selection types.
+//!
+//! The only unsafe code in this crate lives here: a minimal `extern "C"`
+//! binding to `mmap`/`munmap` (no libc crate in the build environment).
+//! Everything above it handles a [`Mapping`] as an ordinary byte buffer.
+
+use std::fmt;
+use std::fs::File;
+use std::path::Path;
+
+use crate::error::StoreError;
+
+/// Which storage backend to use when opening a store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Memory-map on platforms that support zero-copy serving (unix,
+    /// little-endian); otherwise fall back to reading into memory.
+    #[default]
+    Auto,
+    /// Require the zero-copy mmap backend; error with
+    /// [`StoreError::MmapUnsupported`] where it cannot work.
+    Mmap,
+    /// Always read stripes into freshly allocated memory. Portable, and
+    /// useful for pinning down mmap-vs-heap discrepancies in tests.
+    InMemory,
+}
+
+/// The backend a store actually ended up on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Stripes are served in place from a shared memory mapping.
+    Mmap,
+    /// Stripes were decoded into owned memory.
+    InMemory,
+}
+
+impl BackendKind {
+    /// Short label for status lines: `"mmap"` or `"fallback"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Mmap => "mmap",
+            BackendKind::InMemory => "fallback",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// True when this build can serve mapped stripes in place: mmap needs a
+/// unix-ish kernel, and zero-copy reinterpretation of the little-endian
+/// format needs a little-endian target.
+pub fn mmap_supported() -> bool {
+    cfg!(all(unix, target_endian = "little"))
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    //! The raw mmap binding. `PROT_READ`, `MAP_PRIVATE`, and the
+    //! `MAP_FAILED` sentinel have these values on every unix this crate
+    //! targets (Linux and the BSD family agree on all three).
+
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// Maps `len` bytes of `fd` read-only. Returns the page-aligned base
+    /// address, or an OS error.
+    pub fn map_readonly(fd: i32, len: usize) -> std::io::Result<*const u8> {
+        // Safety: we pass a null addr hint, a length the caller took from
+        // the file's metadata, and flags requesting a read-only private
+        // mapping; the kernel validates the fd. The returned region stays
+        // valid until `unmap`.
+        let ptr = unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, fd, 0) };
+        if ptr as isize == -1 {
+            Err(std::io::Error::last_os_error())
+        } else {
+            Ok(ptr as *const u8)
+        }
+    }
+
+    /// Unmaps a region previously returned by [`map_readonly`].
+    pub fn unmap(ptr: *const u8, len: usize) {
+        // Safety: called exactly once, from `Mapping::drop`, with the
+        // pointer and length `map_readonly` returned.
+        unsafe {
+            munmap(ptr as *mut c_void, len);
+        }
+    }
+}
+
+/// A read-only memory mapping of a whole store file. Unmapped on drop;
+/// shared via `Arc` so stripes keep the mapping alive.
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// Safety: the mapping is read-only and owned; the raw pointer is only a
+// base address into an immutable region, safe to share across threads.
+#[allow(unsafe_code)]
+unsafe impl Send for Mapping {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `file` (of size `len`) read-only. Fails with
+    /// [`StoreError::MmapUnsupported`] on platforms without mmap and
+    /// [`StoreError::Io`] when the kernel refuses.
+    #[cfg(unix)]
+    pub fn of_file(file: &File, len: u64) -> Result<Mapping, StoreError> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return Err(StoreError::Malformed {
+                detail: "cannot map an empty file".into(),
+            });
+        }
+        let len = usize::try_from(len).map_err(|_| StoreError::Malformed {
+            detail: "file too large to map on this target".into(),
+        })?;
+        let ptr = sys::map_readonly(file.as_raw_fd(), len)?;
+        Ok(Mapping { ptr, len })
+    }
+
+    /// mmap is unavailable off unix; [`Backend::Auto`] falls back instead.
+    #[cfg(not(unix))]
+    pub fn of_file(_file: &File, _len: u64) -> Result<Mapping, StoreError> {
+        Err(StoreError::MmapUnsupported)
+    }
+
+    /// Convenience: open and map a path in one step.
+    pub fn open(path: &Path) -> Result<Mapping, StoreError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Mapping::of_file(&file, len)
+    }
+
+    /// The mapped bytes.
+    #[cfg(unix)]
+    pub fn as_bytes(&self) -> &[u8] {
+        // Safety: ptr/len describe a live read-only mapping owned by self.
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts(self.ptr, self.len)
+        }
+    }
+
+    /// Unreachable off unix (no constructor succeeds), but keeps the type
+    /// well-formed for cross-platform builds.
+    #[cfg(not(unix))]
+    pub fn as_bytes(&self) -> &[u8] {
+        &[]
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        sys::unmap(self.ptr, self.len);
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mapping")
+            .field("ptr", &self.ptr)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+// Safety: the mapping is read-only (PROT_READ) and lives until drop, so
+// the buffer is stable for as long as any Arc<Mapping> keeper exists —
+// exactly the StripeBytes contract.
+#[allow(unsafe_code)]
+unsafe impl fagin_middleware::StripeBytes for Mapping {
+    fn bytes(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents_readonly() {
+        let dir = std::env::temp_dir().join("fagin-store-mapping-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&payload).unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+
+        let mapping = Mapping::open(&path).unwrap();
+        assert_eq!(mapping.as_bytes(), &payload[..]);
+        drop(mapping);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,249 @@
+//! Opening a store file and serving it as a live
+//! [`Database`](fagin_middleware::Database).
+//!
+//! The mmap backend maps the file once and hands each list a pair of
+//! [`Stripe`]s that read the mapped pages in place — open cost is header
+//! validation plus (optionally) one checksum sweep, not an O(n log n)
+//! rebuild, and the first query faults in only the pages it touches. The
+//! fallback backend decodes the same bytes field-by-field into owned
+//! memory and works on any platform.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use fagin_middleware::{Database, Entry, Grade, ObjectId, SortedList, Stripe, StripeBytes};
+
+use crate::checksum::checksum;
+use crate::error::StoreError;
+use crate::format::{Header, ENTRY_BYTES, RANK_BYTES};
+use crate::mapping::{mmap_supported, Backend, BackendKind, Mapping};
+
+/// How much of the file to verify at open time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Verify {
+    /// Validate the header and directory only (their checksum is always
+    /// checked), and trust the stripes. Cheapest open — O(header) — but a
+    /// corrupted stripe on a *trusted* file surfaces as wrong answers,
+    /// never as a panic is NOT guaranteed at this level. Use for files
+    /// this process just wrote.
+    HeaderOnly,
+    /// Additionally walk every stripe once, checking that grades are
+    /// finite and sorted and that the rank table is the exact inverse of
+    /// the entry order. Guarantees no panic and no NaN can arise from the
+    /// file, without reading checksums over padding. O(data), no hashing.
+    Structural,
+    /// Structural checks plus stripe checksums: every byte of the file is
+    /// verified against its recorded sum. The default.
+    #[default]
+    Full,
+}
+
+/// Options for [`Store::open`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreOptions {
+    /// Backend selection (default [`Backend::Auto`]).
+    pub backend: Backend,
+    /// Verification level (default [`Verify::Full`]).
+    pub verify: Verify,
+}
+
+impl StoreOptions {
+    /// Options with the given backend, default verification.
+    pub fn with_backend(backend: Backend) -> Self {
+        StoreOptions {
+            backend,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the verification level.
+    pub fn verify(mut self, verify: Verify) -> Self {
+        self.verify = verify;
+        self
+    }
+}
+
+/// An opened store: a ready-to-query database plus provenance.
+#[derive(Debug)]
+pub struct Store {
+    database: Database,
+    backend: BackendKind,
+    file_len: u64,
+}
+
+impl Store {
+    /// Opens `path` with default options (auto backend, full verify).
+    pub fn open_default(path: &Path) -> Result<Store, StoreError> {
+        Store::open(path, StoreOptions::default())
+    }
+
+    /// Opens `path` as a store file.
+    pub fn open(path: &Path, options: StoreOptions) -> Result<Store, StoreError> {
+        let use_mmap = match options.backend {
+            Backend::Auto => mmap_supported(),
+            Backend::Mmap => {
+                if !mmap_supported() {
+                    return Err(StoreError::MmapUnsupported);
+                }
+                true
+            }
+            Backend::InMemory => false,
+        };
+        if use_mmap {
+            Store::open_mapped(path, options.verify)
+        } else {
+            Store::open_in_memory(path, options.verify)
+        }
+    }
+
+    /// The database served from this store.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// Consumes the store, yielding the database. Mapped stripes keep the
+    /// underlying mapping alive on their own.
+    pub fn into_database(self) -> Database {
+        self.database
+    }
+
+    /// Which backend actually serves the data.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// Size of the backing file in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    fn open_mapped(path: &Path, verify: Verify) -> Result<Store, StoreError> {
+        // A file shorter than the fixed header cannot be a store (and an
+        // empty one cannot be mapped at all) — report truncation before
+        // asking the kernel for a mapping.
+        let actual = std::fs::metadata(path)?.len();
+        if actual < crate::format::FIXED_LEN as u64 {
+            return Err(StoreError::Truncated {
+                expected: crate::format::FIXED_LEN as u64,
+                got: actual,
+            });
+        }
+        let mapping = Arc::new(Mapping::open(path)?);
+        let bytes = mapping.bytes();
+        let header = Header::parse(bytes, bytes.len() as u64)?;
+        if verify == Verify::Full {
+            verify_stripe_checksums(bytes, &header)?;
+        }
+        let mut lists = Vec::with_capacity(header.m);
+        for (i, d) in header.directory.iter().enumerate() {
+            let keeper: Arc<dyn StripeBytes> = mapping.clone();
+            let entries: Stripe<Entry> =
+                Stripe::mapped(keeper.clone(), d.entries_off as usize, header.n).map_err(|e| {
+                    StoreError::Malformed {
+                        detail: format!("list {i} entries stripe: {e}"),
+                    }
+                })?;
+            let ranks: Stripe<u32> = Stripe::mapped(keeper, d.ranks_off as usize, header.n)
+                .map_err(|e| StoreError::Malformed {
+                    detail: format!("list {i} ranks stripe: {e}"),
+                })?;
+            lists.push(assemble_list(i, entries, ranks, verify)?);
+        }
+        Ok(Store {
+            database: Database::from_lists(lists)?,
+            backend: BackendKind::Mmap,
+            file_len: bytes.len() as u64,
+        })
+    }
+
+    fn open_in_memory(path: &Path, verify: Verify) -> Result<Store, StoreError> {
+        let bytes = std::fs::read(path)?;
+        let header = Header::parse(&bytes, bytes.len() as u64)?;
+        if verify == Verify::Full {
+            verify_stripe_checksums(&bytes, &header)?;
+        }
+        let mut lists = Vec::with_capacity(header.m);
+        for (i, d) in header.directory.iter().enumerate() {
+            let entries = decode_entries(i, &bytes, d.entries_off as usize, header.n)?;
+            let ranks = decode_ranks(&bytes, d.ranks_off as usize, header.n);
+            lists.push(assemble_list(i, entries.into(), ranks.into(), verify)?);
+        }
+        Ok(Store {
+            database: Database::from_lists(lists)?,
+            backend: BackendKind::InMemory,
+            file_len: bytes.len() as u64,
+        })
+    }
+}
+
+fn assemble_list(
+    i: usize,
+    entries: Stripe<Entry>,
+    ranks: Stripe<u32>,
+    verify: Verify,
+) -> Result<SortedList, StoreError> {
+    let list = match verify {
+        Verify::HeaderOnly => SortedList::from_stripes_unchecked(i, entries, ranks)?,
+        Verify::Structural | Verify::Full => SortedList::from_stripes(i, entries, ranks)?,
+    };
+    Ok(list)
+}
+
+fn verify_stripe_checksums(bytes: &[u8], header: &Header) -> Result<(), StoreError> {
+    for (i, d) in header.directory.iter().enumerate() {
+        for (what, off, len, stored) in [
+            ("entries", d.entries_off, d.entries_bytes, d.entries_sum),
+            ("ranks", d.ranks_off, d.ranks_bytes, d.ranks_sum),
+        ] {
+            let start = off as usize;
+            let end = start + crate::format::pad(len as usize);
+            let computed = checksum(&bytes[start..end]);
+            if computed != stored {
+                return Err(StoreError::ChecksumMismatch {
+                    region: format!("list {i} {what}"),
+                    stored,
+                    computed,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes an entry stripe field-by-field. Non-finite grade bits become
+/// a typed error right here — a `Grade` can never hold NaN or an
+/// infinity, so this is rejected even under [`Verify::HeaderOnly`];
+/// ordering and rank-table problems are left to the structural pass.
+fn decode_entries(
+    list: usize,
+    bytes: &[u8],
+    off: usize,
+    n: usize,
+) -> Result<Vec<Entry>, StoreError> {
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let at = off + k * ENTRY_BYTES;
+        let id = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let bits = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().expect("8 bytes"));
+        let grade = Grade::try_new(f64::from_bits(bits)).ok_or(StoreError::Corrupt(
+            fagin_middleware::BuildError::NonFiniteGrade {
+                list,
+                object: ObjectId(id),
+            },
+        ))?;
+        out.push(Entry {
+            object: ObjectId(id),
+            grade,
+        });
+    }
+    Ok(out)
+}
+
+fn decode_ranks(bytes: &[u8], off: usize, n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|k| {
+            let at = off + k * RANK_BYTES;
+            u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+        })
+        .collect()
+}

@@ -1,0 +1,148 @@
+//! Writing a database to a store file, atomically.
+//!
+//! The writer streams each list's stripes through a reused page-sized
+//! buffer (no whole-database staging copy), fsyncs the temporary file,
+//! and renames it over the destination — readers either see the old file
+//! or the complete new one, never a torn write.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+
+use fagin_middleware::Database;
+
+use crate::checksum::checksum;
+use crate::error::StoreError;
+use crate::format::{pad, DirEntry, Header, ENTRY_BYTES, RANK_BYTES};
+
+/// What a completed write looked like.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteSummary {
+    /// Objects per list.
+    pub n: usize,
+    /// Number of lists.
+    pub m: usize,
+    /// Total bytes written.
+    pub file_len: u64,
+}
+
+/// Writes store files. Stateless; the struct exists for discoverability
+/// and future knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreWriter;
+
+impl StoreWriter {
+    /// Serializes `db` to `path`: written to `<path>.tmp` first, fsynced,
+    /// then atomically renamed into place (the parent directory is
+    /// fsynced too, so the rename itself is durable).
+    pub fn write(db: &Database, path: &Path) -> Result<WriteSummary, StoreError> {
+        let n = db.num_objects();
+        let m = db.num_lists();
+        let tmp = tmp_path(path);
+        let result = Self::write_inner(db, n, m, &tmp, path);
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
+    }
+
+    fn write_inner(
+        db: &Database,
+        n: usize,
+        m: usize,
+        tmp: &Path,
+        path: &Path,
+    ) -> Result<WriteSummary, StoreError> {
+        let region = Header::region_len(m);
+        let entries_pad = pad(n * ENTRY_BYTES);
+        let ranks_pad = pad(n * RANK_BYTES);
+        let file_len = region as u64 + m as u64 * (entries_pad + ranks_pad) as u64;
+
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(tmp)?;
+
+        // Reserve the header region; the real header (whose checksum
+        // depends on the stripe checksums) is patched in afterwards.
+        file.write_all(&vec![0u8; region])?;
+
+        let mut directory = Vec::with_capacity(m);
+        let mut buf = Vec::with_capacity(entries_pad.min(1 << 22));
+        let mut off = region as u64;
+        for i in 0..m {
+            let list = db.list(i);
+
+            buf.clear();
+            for e in list.entries() {
+                buf.extend_from_slice(&e.object.0.to_le_bytes());
+                buf.extend_from_slice(&[0u8; 4]);
+                buf.extend_from_slice(&e.grade.value().to_bits().to_le_bytes());
+            }
+            buf.resize(entries_pad, 0);
+            let entries_sum = checksum(&buf);
+            file.write_all(&buf)?;
+            let entries_off = off;
+            off += entries_pad as u64;
+
+            buf.clear();
+            for &r in list.ranks() {
+                buf.extend_from_slice(&r.to_le_bytes());
+            }
+            buf.resize(ranks_pad, 0);
+            let ranks_sum = checksum(&buf);
+            file.write_all(&buf)?;
+            let ranks_off = off;
+            off += ranks_pad as u64;
+
+            directory.push(DirEntry {
+                entries_off,
+                entries_bytes: (n * ENTRY_BYTES) as u64,
+                entries_sum,
+                ranks_off,
+                ranks_bytes: (n * RANK_BYTES) as u64,
+                ranks_sum,
+            });
+        }
+        debug_assert_eq!(off, file_len);
+
+        let header = Header {
+            n,
+            m,
+            file_len,
+            directory,
+        };
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header.encode())?;
+        file.sync_all()?;
+        drop(file);
+
+        std::fs::rename(tmp, path)?;
+        sync_parent_dir(path);
+
+        Ok(WriteSummary { n, m, file_len })
+    }
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Makes the rename durable. Best-effort: some filesystems refuse
+/// directory fsync, and a lost rename after power failure degrades to
+/// "the old file is still there", which the format tolerates.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        let parent = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        if let Ok(dir) = File::open(parent) {
+            dir.sync_all().ok();
+        }
+    }
+}

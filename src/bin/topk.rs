@@ -9,6 +9,7 @@
 //! cargo run --release --bin topk -- --help
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use fagin_topk::prelude::*;
@@ -31,6 +32,9 @@ struct Args {
     workers: usize,
     queue_cap: usize,
     no_cache: bool,
+    save: Option<String>,
+    load: Option<String>,
+    store_backend: String,
 }
 
 impl Default for Args {
@@ -52,6 +56,9 @@ impl Default for Args {
             workers: 4,
             queue_cap: 65_536,
             no_cache: false,
+            save: None,
+            load: None,
+            store_backend: "auto".into(),
         }
     }
 }
@@ -79,6 +86,16 @@ OPTIONS:
                   overshooting halting by at most b-1 per list)  [default: 1]
   --verbose       print the full top-k list
   --help          this text
+
+STORAGE (the on-disk columnar tier, see fagin-store):
+  --save <f>      after building the workload, write it to <f> as a store
+                  file (checksummed stripes, fsync + atomic rename)
+  --load <f>      serve from a store file instead of generating a workload
+                  (--workload/--n/--m/--seed are ignored); the file is
+                  fully verified before the first query
+  --store-backend auto | mmap | in-memory                 [default: auto]
+                  how --load serves the stripes: mmap = zero-copy mapped
+                  pages, in-memory = portable decode into owned memory
 
 BATCH MODE (drive the query service without writing Rust):
   --queries <f>   newline-delimited query list, fed through TopKService;
@@ -130,6 +147,9 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
             }
             "--queries" => args.queries = Some(value),
+            "--save" => args.save = Some(value),
+            "--load" => args.load = Some(value),
+            "--store-backend" => args.store_backend = value,
             "--workers" => {
                 args.workers = parse_usize(&value)?;
                 if args.workers == 0 {
@@ -141,6 +161,37 @@ fn parse_args() -> Result<Option<Args>, String> {
         }
     }
     Ok(Some(args))
+}
+
+fn parse_backend(name: &str) -> Result<Backend, String> {
+    match name {
+        "auto" => Ok(Backend::Auto),
+        "mmap" => Ok(Backend::Mmap),
+        "in-memory" => Ok(Backend::InMemory),
+        other => Err(format!(
+            "unknown store backend '{other}' (valid: auto, mmap, in-memory)"
+        )),
+    }
+}
+
+/// How the database got here and how its stripes are being served:
+/// `"in-memory"` for a generated workload, `"mmap"`/`"fallback"` for a
+/// loaded store.
+fn acquire_database(a: &Args) -> Result<(Database, Vec<usize>, String, &'static str), String> {
+    // Validate the backend name even when it is unused (no --load): a
+    // typo should be a typed error, not silently ignored.
+    let backend = parse_backend(&a.store_backend)?;
+    if let Some(path) = &a.load {
+        let options = StoreOptions::with_backend(backend);
+        let store = Store::open(Path::new(path), options)
+            .map_err(|e| format!("cannot load store {path}: {e}"))?;
+        let serving = store.backend().label();
+        let db = store.into_database();
+        let z = (0..db.num_lists()).collect();
+        return Ok((db, z, format!("store:{path}"), serving));
+    }
+    let (db, z) = build_workload(a)?;
+    Ok((db, z, a.workload.clone(), "in-memory"))
 }
 
 fn build_workload(a: &Args) -> Result<(Database, Vec<usize>), String> {
@@ -347,7 +398,14 @@ fn parse_query_line(line: &str, base: &QueryRequest) -> Result<QueryRequest, Str
 
 /// Batch mode: feed the query file through a [`TopKService`] and report
 /// aggregate throughput and cache behavior.
-fn run_service_batch(args: &Args, db: Database, z: &[usize], path: &str) -> Result<(), String> {
+fn run_service_batch(
+    args: &Args,
+    db: Database,
+    z: &[usize],
+    path: &str,
+    workload: &str,
+    serving: &str,
+) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read queries file: {e}"))?;
     let base = base_request(args, z, db.num_lists())?;
@@ -383,11 +441,10 @@ fn run_service_batch(args: &Args, db: Database, z: &[usize], path: &str) -> Resu
     }
     let service = TopKService::new(std::sync::Arc::new(db), config);
     println!(
-        "service: {} workers, queue cap {}, cache {} | workload {} (N={n}, m={m})",
+        "service: {} workers, queue cap {}, cache {} | workload {workload} (N={n}, m={m}) | serving: {serving}",
         args.workers,
         args.queue_cap,
         if args.no_cache { "off" } else { "on" },
-        args.workload,
     );
 
     let started = std::time::Instant::now();
@@ -432,7 +489,7 @@ fn run_service_batch(args: &Args, db: Database, z: &[usize], path: &str) -> Resu
     let metrics = service.metrics();
     println!();
     println!(
-        "{} queries in {:.2?}: {} answered ({:.1}/s), {} rejected, {} failed",
+        "{} queries in {:.2?}: {} answered ({:.1}/s), {} rejected, {} failed | backend: {serving}",
         requests.len(),
         elapsed,
         answered,
@@ -464,20 +521,32 @@ fn run() -> Result<(), String> {
         return Ok(());
     };
     let costs = CostModel::new(args.c_s, args.c_r);
-    let (db, z) = build_workload(&args)?;
+    let (db, z, workload, serving) = acquire_database(&args)?;
+    if let Some(path) = &args.save {
+        let summary = StoreWriter::write(&db, Path::new(path))
+            .map_err(|e| format!("cannot save store {path}: {e}"))?;
+        println!(
+            "saved store: {path} ({} bytes, N={}, m={})",
+            summary.file_len, summary.n, summary.m
+        );
+    }
     if let Some(path) = args.queries.clone() {
-        return run_service_batch(&args, db, &z, &path);
+        return run_service_batch(&args, db, &z, &path, &workload, serving);
     }
     let agg = build_aggregation(&args.agg)?;
     let (algo, policy, rationale) =
         build_algorithm(&args, &z, db.num_lists(), agg.as_ref(), &costs)?;
 
+    let provenance = if args.load.is_some() {
+        String::new()
+    } else {
+        format!(", seed={}", args.seed)
+    };
     println!(
-        "workload: {} (N={}, m={}, seed={})",
-        args.workload,
+        "workload: {} (N={}, m={}{provenance}) | serving: {serving}",
+        workload,
         db.num_objects(),
         db.num_lists(),
-        args.seed
     );
     println!(
         "query: top-{} under {} | algorithm: {} | c_S={}, c_R={}",

@@ -7,7 +7,7 @@
 //! (NRA), the Combined Algorithm (CA), and the baselines the paper measures
 //! them against — over a fully instrumented middleware substrate.
 //!
-//! This umbrella crate re-exports the four component crates:
+//! This umbrella crate re-exports the five component crates:
 //!
 //! * [`middleware`] — sorted-list databases, access sessions, cost model,
 //!   and machine-checked access policies;
@@ -15,7 +15,9 @@
 //! * [`workloads`] — random generators, the paper's adversarial witness
 //!   families, and domain scenarios;
 //! * [`serve`] — the concurrent multi-query service with its
-//!   threshold-aware result cache, admission control and metrics.
+//!   threshold-aware result cache, admission control and metrics;
+//! * [`store`] — the on-disk columnar storage tier: versioned,
+//!   checksummed stripe files served zero-copy through mmap.
 //!
 //! The `prelude` brings the common types into scope:
 //!
@@ -37,6 +39,7 @@
 pub use fagin_core as core;
 pub use fagin_middleware as middleware;
 pub use fagin_serve as serve;
+pub use fagin_store as store;
 pub use fagin_workloads as workloads;
 
 /// Commonly used types, in one import.
@@ -61,6 +64,9 @@ pub mod prelude {
     pub use fagin_serve::{
         AggSpec, AnswerSource, QueryRequest, QueryResponse, QueryTicket, ResultCache, ServeError,
         ServiceConfig, ServiceMetrics, TopKService,
+    };
+    pub use fagin_store::{
+        Backend, BackendKind, Store, StoreError, StoreOptions, StoreWriter, Verify,
     };
     pub use fagin_workloads::{
         adversarial, adversary, random, scenarios, AdaptiveAdversary, Witness,

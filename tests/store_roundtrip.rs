@@ -1,0 +1,300 @@
+//! The storage tier's observational-identity contract (PR 7 tentpole).
+//!
+//! A database written to a store file and reopened — through the
+//! zero-copy mmap backend *or* the portable in-memory fallback — must be
+//! indistinguishable from the original to everything above the slice
+//! boundary: bytewise-identical stripes (so tie order is preserved, not
+//! just grade multisets), identical top-k answers with identical grade
+//! *bits*, and identical per-list sorted/random access counts for every
+//! algorithm, including `Sharded` execution and the serving layer's
+//! threshold-aware cache.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fagin_topk::prelude::*;
+use fagin_topk::workloads::{adversarial, random};
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fagin-store-roundtrip-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Writes `db` and reopens it on the requested backend. The temp file is
+/// unlinked immediately (the mapping keeps the pages alive on unix).
+fn roundtrip(db: &Database, backend: Backend, name: &str) -> Database {
+    let path = tmp(name);
+    StoreWriter::write(db, &path).expect("store write");
+    let store = Store::open(&path, StoreOptions::with_backend(backend)).expect("store open");
+    std::fs::remove_file(&path).ok();
+    store.into_database()
+}
+
+/// Both reopen paths a test should exercise. `Backend::Auto` resolves to
+/// mmap where supported and to the fallback elsewhere, so (Auto,
+/// InMemory) covers both implementations on every platform.
+fn both_backends(db: &Database, name: &str) -> Vec<(&'static str, Database)> {
+    vec![
+        (
+            "auto",
+            roundtrip(db, Backend::Auto, &format!("{name}-auto.fstore")),
+        ),
+        (
+            "in-memory",
+            roundtrip(db, Backend::InMemory, &format!("{name}-mem.fstore")),
+        ),
+    ]
+}
+
+/// Stripe-level identity: every entry and every rank byte-for-byte, which
+/// pins tie order (equal grades keep their relative positions) and grade
+/// bit patterns (`-0.0` stays `-0.0`).
+fn assert_stripes_identical(a: &Database, b: &Database, ctx: &str) {
+    assert_eq!(a.num_lists(), b.num_lists(), "{ctx}: m");
+    assert_eq!(a.num_objects(), b.num_objects(), "{ctx}: n");
+    for i in 0..a.num_lists() {
+        let (ea, eb) = (a.list(i).entries(), b.list(i).entries());
+        assert_eq!(ea.len(), eb.len(), "{ctx}: list {i} length");
+        for (x, y) in ea.iter().zip(eb) {
+            assert_eq!(x.object, y.object, "{ctx}: list {i} tie order");
+            assert_eq!(
+                x.grade.value().to_bits(),
+                y.grade.value().to_bits(),
+                "{ctx}: list {i} grade bits for {}",
+                x.object
+            );
+        }
+        assert_eq!(
+            a.list(i).ranks(),
+            b.list(i).ranks(),
+            "{ctx}: list {i} ranks"
+        );
+    }
+}
+
+/// Runs `algo` on both databases and demands bit-identical answers and
+/// access-for-access identical accounting.
+fn assert_runs_identical(
+    original: &Database,
+    reopened: &Database,
+    algo: &dyn TopKAlgorithm,
+    policy: &AccessPolicy,
+    agg: &dyn Aggregation,
+    k: usize,
+    ctx: &str,
+) {
+    let mut sa = Session::with_policy(original, policy.clone());
+    let mut sb = Session::with_policy(reopened, policy.clone());
+    let a = algo.run(&mut sa, agg, k).expect("original run");
+    let b = algo.run(&mut sb, agg, k).expect("reopened run");
+
+    assert_eq!(a.items.len(), b.items.len(), "{ctx}: answer length");
+    for (x, y) in a.items.iter().zip(&b.items) {
+        assert_eq!(x.object, y.object, "{ctx}: answer object order");
+        assert_eq!(
+            x.grade.map(|g| g.value().to_bits()),
+            y.grade.map(|g| g.value().to_bits()),
+            "{ctx}: grade bits for {}",
+            x.object
+        );
+    }
+    for i in 0..original.num_lists() {
+        assert_eq!(
+            a.stats.sorted_on(i),
+            b.stats.sorted_on(i),
+            "{ctx}: sorted accesses on list {i}"
+        );
+        assert_eq!(
+            a.stats.random_on(i),
+            b.stats.random_on(i),
+            "{ctx}: random accesses on list {i}"
+        );
+    }
+    assert_eq!(a.stats.depth(), b.stats.depth(), "{ctx}: depth");
+    assert_eq!(a.metrics.rounds, b.metrics.rounds, "{ctx}: rounds");
+}
+
+/// The standard suite a round-trip has to preserve, over a database.
+fn check_database(db: &Database, k: usize, name: &str) {
+    let suite: Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> = vec![
+        (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
+        (
+            Box::new(Ta::new().batched(8)),
+            AccessPolicy::no_wild_guesses(),
+        ),
+        (
+            Box::new(Nra::with_strategy(BookkeepingStrategy::LazyHeap)),
+            AccessPolicy::no_random_access(),
+        ),
+        (Box::new(Ca::new(2)), AccessPolicy::no_wild_guesses()),
+        (Box::new(Naive), AccessPolicy::no_random_access()),
+    ];
+    for (label, reopened) in both_backends(db, name) {
+        assert_stripes_identical(db, &reopened, &format!("{name}/{label}"));
+        for (algo, policy) in &suite {
+            for agg in [&Min as &dyn Aggregation, &Average] {
+                assert_runs_identical(
+                    db,
+                    &reopened,
+                    algo.as_ref(),
+                    policy,
+                    agg,
+                    k,
+                    &format!("{name}/{label}/{}/{}", algo.name(), agg.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_witnesses_roundtrip() {
+    // The paper's witness families are tie-heavy by construction (planted
+    // winners amid constant-grade padding) — exactly where a tie-order or
+    // rank-table bug in the store would surface.
+    let witnesses = [
+        ("example-6-3", adversarial::example_6_3(40).db),
+        (
+            "example-6-3-permuted",
+            adversarial::example_6_3_permuted(40, 7).db,
+        ),
+        ("example-7-3", adversarial::example_7_3(60).db),
+        ("example-8-3", adversarial::example_8_3(50).db),
+        ("thm-9-1", adversarial::thm_9_1(5, 3).db),
+    ];
+    for (name, db) in &witnesses {
+        check_database(db, 1, name);
+        check_database(db, 3, name);
+    }
+}
+
+#[test]
+fn sharded_execution_is_identical_on_reopened_stores() {
+    let db = random::zipf(600, 3, 1.1, 21);
+    for (label, reopened) in both_backends(&db, "sharded") {
+        for shards in [2usize, 5] {
+            let ctx = format!("sharded/{label}/shards={shards}");
+            let a = Sharded::new(Ta::new(), shards)
+                .run(&db, &Min, 5)
+                .expect("original sharded run");
+            let b = Sharded::new(Ta::new(), shards)
+                .run(&reopened, &Min, 5)
+                .expect("reopened sharded run");
+            assert_eq!(a.objects(), b.objects(), "{ctx}: answer");
+            for (x, y) in a.items.iter().zip(&b.items) {
+                assert_eq!(
+                    x.grade.map(|g| g.value().to_bits()),
+                    y.grade.map(|g| g.value().to_bits()),
+                    "{ctx}: grade bits for {}",
+                    x.object
+                );
+            }
+            for i in 0..db.num_lists() {
+                assert_eq!(
+                    (a.stats.sorted_on(i), a.stats.random_on(i)),
+                    (b.stats.sorted_on(i), b.stats.random_on(i)),
+                    "{ctx}: access counts on list {i}"
+                );
+            }
+        }
+    }
+}
+
+/// The serving layer over a reopened store: cold answers, cache hits and
+/// their zero-access accounting must all match a service over the
+/// original database.
+#[test]
+fn service_cache_behaves_identically_over_a_reopened_store() {
+    let db = random::uniform(800, 3, 33);
+    for (label, reopened) in both_backends(&db, "service") {
+        let config = || ServiceConfig::default().with_workers(1);
+        let original = TopKService::new(Arc::new(db.clone()), config());
+        let served = TopKService::new(Arc::new(reopened), config());
+        let queries = [
+            QueryRequest::new(AggSpec::Min, 10),
+            QueryRequest::new(AggSpec::Average, 5),
+            QueryRequest::new(AggSpec::Min, 10), // exact repeat: cache hit
+            QueryRequest::new(AggSpec::Min, 4),  // smaller-k: cache hit
+        ];
+        for (qi, req) in queries.iter().enumerate() {
+            let a = original.query(req.clone()).expect("original service");
+            let b = served.query(req.clone()).expect("store-backed service");
+            let ctx = format!("service/{label}/query {qi}");
+            assert_eq!(a.objects(), b.objects(), "{ctx}: answer");
+            assert_eq!(a.is_cache_hit(), b.is_cache_hit(), "{ctx}: cache path");
+            assert_eq!(
+                (a.stats.sorted_total(), a.stats.random_total()),
+                (b.stats.sorted_total(), b.stats.random_total()),
+                "{ctx}: access totals"
+            );
+            if qi >= 2 {
+                assert!(b.is_cache_hit(), "{ctx}: repeat must hit the cache");
+                assert_eq!(b.stats.total(), 0, "{ctx}: cache hits cost no accesses");
+            }
+        }
+    }
+}
+
+/// Cold start straight from a file into the service (the `from_store`
+/// path the CLI and deployments use), answers checked against an
+/// in-memory service.
+#[test]
+fn service_from_store_matches_in_memory_service() {
+    let db = random::correlated(500, 3, 0.2, 44);
+    let path = tmp("from-store.fstore");
+    StoreWriter::write(&db, &path).expect("store write");
+    let (served, backend) = TopKService::from_store(
+        &path,
+        StoreOptions::default(),
+        ServiceConfig::default().with_workers(2),
+    )
+    .expect("service from store");
+    assert_eq!(
+        backend,
+        if fagin_topk::store::mmap_supported() {
+            BackendKind::Mmap
+        } else {
+            BackendKind::InMemory
+        }
+    );
+    let original = TopKService::new(Arc::new(db), ServiceConfig::default().with_workers(2));
+    for k in [1usize, 5, 20] {
+        let req = QueryRequest::new(AggSpec::Min, k);
+        let a = original.query(req.clone()).expect("in-memory");
+        let b = served.query(req).expect("store-backed");
+        assert_eq!(a.objects(), b.objects(), "k={k}");
+        assert_eq!(a.stats.total(), b.stats.total(), "k={k} access totals");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random ranked databases of every small shape: write → reopen on
+    /// both backends → bytewise-identical stripes and identical runs.
+    #[test]
+    fn random_databases_roundtrip(
+        n in 1usize..120,
+        m in 1usize..4,
+        k in 1usize..8,
+        seed in 0u32..500,
+    ) {
+        let db = random::uniform(n, m, seed as u64);
+        check_database(&db, k.min(n), &format!("prop-{n}-{m}-{seed}"));
+    }
+
+    /// Zipf workloads concentrate mass and produce duplicate grades —
+    /// the tie-order stress case for the round-trip.
+    #[test]
+    fn tied_databases_roundtrip(
+        n in 2usize..100,
+        m in 1usize..4,
+        seed in 0u32..500,
+    ) {
+        let db = random::zipf(n, m, 1.1, seed as u64);
+        check_database(&db, 2.min(n), &format!("prop-zipf-{n}-{m}-{seed}"));
+    }
+}
