@@ -10,6 +10,7 @@
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-budget
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-access-counts
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-service-qps
+//! cargo run --release -p fagin-bench --bin experiments -- --assert-theta-monotone
 //! ```
 //!
 //! `--assert-budget[=MULT]` measures NRA(lazy) and CA(h=2) against TA on
@@ -27,6 +28,13 @@
 //! `RATIO ×` the single-worker throughput (default 0.75) — the CI smoke
 //! test that keeps the multi-worker cache stampede from regressing (the
 //! pre-coalescing service sat at ≈0.27).
+//!
+//! `--assert-theta-monotone` runs TA, NRA(lazy) and CA(h=2) at
+//! θ ∈ {1.1, 1.5, 2.0} against their exact counterparts on every workload
+//! shape and exits non-zero if any θ-run performs more sorted or random
+//! accesses than exact, or returns an answer that fails the oracle's
+//! θ-approximation predicate — relaxing the guarantee may only ever
+//! remove work.
 //!
 //! Any assertion given alone runs just its check; combined with
 //! experiment ids they run after the experiments.
@@ -75,6 +83,7 @@ fn main() {
             })
         }
     });
+    let theta_monotone = args.iter().any(|a| a == "--assert-theta-monotone");
     if let Some(unknown) = args.iter().find(|a| {
         a.starts_with("--")
             && *a != "--quick"
@@ -85,11 +94,12 @@ fn main() {
             && !a.starts_with("--assert-access-counts=")
             && *a != "--assert-service-qps"
             && !a.starts_with("--assert-service-qps=")
+            && *a != "--assert-theta-monotone"
     }) {
         eprintln!(
             "unknown flag: {unknown} (valid: --quick, --no-json, \
              --assert-budget[=MULT], --assert-access-counts[=PATH], \
-             --assert-service-qps[=RATIO])"
+             --assert-service-qps[=RATIO], --assert-theta-monotone)"
         );
         std::process::exit(2);
     }
@@ -102,7 +112,7 @@ fn main() {
     // An assertion flag alone runs only its check; otherwise an empty id
     // list means every experiment.
     let ids: Vec<&str> = if named.is_empty() {
-        if budget.is_some() || access_counts.is_some() || service_qps.is_some() {
+        if budget.is_some() || access_counts.is_some() || service_qps.is_some() || theta_monotone {
             Vec::new()
         } else {
             ALL_IDS.to_vec()
@@ -213,6 +223,30 @@ fn main() {
         );
         if !guard.ok {
             failed = true;
+        }
+    }
+    if theta_monotone {
+        println!("theta-monotonicity guardrail (θ-run accesses ≤ exact, answers certified)");
+        for row in report::theta_monotone_guard(scale) {
+            println!(
+                "  {:14} {:20} sorted {:8} (exact {:8})  random {:8} (exact {:8}) {}",
+                row.workload,
+                row.algorithm,
+                row.sorted,
+                row.exact_sorted,
+                row.random,
+                row.exact_random,
+                if row.ok {
+                    "ok"
+                } else if !row.valid {
+                    "UNCERTIFIED ANSWER"
+                } else {
+                    "MORE ACCESSES THAN EXACT"
+                }
+            );
+            if !row.ok {
+                failed = true;
+            }
         }
     }
     if failed {

@@ -113,6 +113,69 @@ pub fn e10_theta_and_early_stop(scale: Scale) -> Vec<Table> {
     vec![t, t2]
 }
 
+/// **E16 (§6.2 + anytime serving).** The θ/anytime matrix behind the
+/// `BENCH_topk.json` anytime rows
+/// ([`crate::report::anytime_matrix`]), rendered as two tables:
+/// (a) access counts and wall time as the slack relaxes from exact to
+/// θ = 2 for TA, NRA(lazy) and CA(h=2) on every standard workload;
+/// (b) the interruption sweep — anytime runs round-capped at ¼, ½ and ¾
+/// of the exact run's rounds, with the certified θ̂ each returns.
+pub fn e16_anytime(scale: Scale) -> Vec<Table> {
+    let records = crate::report::anytime_matrix(scale);
+    let ms = |secs: f64| format!("{:.3}", secs * 1e3);
+
+    let mut t = Table::new("E16a: θ-halting — accesses and wall time vs slack (standard grid)")
+        .headers([
+            "workload",
+            "algorithm",
+            "theta",
+            "sorted",
+            "random",
+            "wall ms",
+        ]);
+    for r in records
+        .iter()
+        .filter(|r| r.mode == "exact" || r.mode == "theta")
+    {
+        t.row([
+            r.workload.clone(),
+            r.algorithm.clone(),
+            f(r.theta),
+            r.sorted.to_string(),
+            r.random.to_string(),
+            ms(r.wall_secs),
+        ]);
+    }
+    t.note(
+        "θ-runs never access more than their exact counterpart \
+         (enforced in CI by --assert-theta-monotone)",
+    );
+
+    let mut t2 = Table::new("E16b: interruption sweep — certified θ̂ at each round cap").headers([
+        "workload",
+        "algorithm",
+        "cap",
+        "guarantee θ̂",
+        "sorted",
+        "random",
+    ]);
+    for r in records.iter().filter(|r| r.mode.starts_with("cap=")) {
+        t2.row([
+            r.workload.clone(),
+            r.algorithm.clone(),
+            r.mode.trim_start_matches("cap=").to_string(),
+            f(r.guarantee),
+            r.sorted.to_string(),
+            r.random.to_string(),
+        ]);
+    }
+    t2.note(
+        "every interrupted answer carries a certificate the oracle verifies; \
+         θ̂ shrinks to 1 as the cap approaches convergence",
+    );
+    vec![t, t2]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +185,15 @@ mod tests {
         let tables = e10_theta_and_early_stop(Scale::Quick);
         assert_eq!(tables.len(), 2);
         assert!(!tables[0].is_empty());
+        assert!(!tables[1].is_empty());
+    }
+
+    #[test]
+    fn e16_runs_quick() {
+        let tables = e16_anytime(Scale::Quick);
+        assert_eq!(tables.len(), 2);
+        // 4 workloads × 3 families × 4 slack levels in the θ table.
+        assert_eq!(tables[0].len(), 4 * 3 * 4);
         assert!(!tables[1].is_empty());
     }
 }

@@ -1,4 +1,4 @@
-//! Experiments E1–E13: one per paper table/figure/analytic claim.
+//! Experiments E1–E16: one per paper table/figure/analytic claim.
 //!
 //! | id | paper artifact | function |
 //! |----|----------------|----------|
@@ -17,6 +17,7 @@
 //! | e13 | Thm 6.4/9.3 | [`bounds::e13_randomized_family`] |
 //! | e14 | §10 Quick-Combine | [`heuristics::e14_heuristic_scheduling`] |
 //! | e15 | §1 middleware-as-a-service | [`serving::e15_service_throughput`] |
+//! | e16 | §6.2 anytime / θ-halting | [`approx::e16_anytime`] |
 
 pub mod approx;
 pub mod bounds;
@@ -29,7 +30,7 @@ pub mod tradeoffs;
 use crate::table::Table;
 use crate::Scale;
 
-/// Runs an experiment by id ("e1".."e14"), returning its tables.
+/// Runs an experiment by id ("e1".."e16"), returning its tables.
 pub fn by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
     Some(match id {
         "e1" => figures::e1_wild_guesses(scale),
@@ -47,11 +48,13 @@ pub fn by_id(id: &str, scale: Scale) -> Option<Vec<Table>> {
         "e13" => bounds::e13_randomized_family(scale),
         "e14" => heuristics::e14_heuristic_scheduling(scale),
         "e15" => serving::e15_service_throughput(scale),
+        "e16" => approx::e16_anytime(scale),
         _ => return None,
     })
 }
 
 /// All experiment ids in order.
-pub const ALL_IDS: [&str; 15] = [
+pub const ALL_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use fagin_core::aggregation::{Aggregation, Min};
 use fagin_core::algorithms::{BookkeepingStrategy, Ca, Nra, Ta, TopKAlgorithm};
-use fagin_core::RunScratch;
+use fagin_core::{oracle, AnytimeConfig, RunScratch, TopKOutput};
 use fagin_middleware::{AccessPolicy, Database, Session};
 use fagin_workloads::random;
 
@@ -154,6 +154,218 @@ fn standard_workloads(n: usize, m: usize) -> Vec<(&'static str, Database)> {
         ("anticorrelated", random::anticorrelated(n, m, 0.1, 3)),
         ("zipf", random::zipf(n, m, 1.1, 4)),
     ]
+}
+
+/// One measured row of the θ/anytime matrix (experiment E16 and the
+/// `BENCH_topk.json` anytime rows): how access counts and wall time
+/// respond to approximation slack and to mid-run interruption.
+#[derive(Clone, Debug)]
+pub struct AnytimeRecord {
+    /// Algorithm name as reported by [`TopKAlgorithm::name`] (θ-variants
+    /// include their slack, e.g. `TA_theta(1.5)`).
+    pub algorithm: String,
+    /// Workload name (`uniform`, `correlated`, …).
+    pub workload: String,
+    /// Objects in the database.
+    pub n: usize,
+    /// Lists in the database.
+    pub m: usize,
+    /// How the run was relaxed: `"exact"`, `"theta"` (θ-halting), or
+    /// `"cap=R"` (an anytime run interrupted at round cap `R`).
+    pub mode: String,
+    /// Requested approximation slack θ (1 for exact and capped runs —
+    /// capped runs ask for the exact answer and get interrupted).
+    pub theta: f64,
+    /// Certified guarantee θ̂ of the returned answer: θ for θ-halting
+    /// runs, the achieved bound at the interrupt point for capped runs.
+    pub guarantee: f64,
+    /// Sorted accesses performed.
+    pub sorted: u64,
+    /// Random accesses performed.
+    pub random: u64,
+    /// Wall-clock seconds (warmed arena, best of two timed runs, like
+    /// [`perf_matrix`]).
+    pub wall_secs: f64,
+}
+
+/// A θ-capable algorithm family: a constructor from the requested slack
+/// paired with the family's natural access policy.
+type ThetaFamily = (fn(f64) -> Box<dyn TopKAlgorithm>, AccessPolicy);
+
+/// The three θ-capable algorithm families the θ/anytime artifacts
+/// measure, each as a constructor from the requested slack (θ = 1 builds
+/// the plain exact configuration, so names stay `TA`/`NRA`/`CA(h=2)` on
+/// baseline rows) paired with its natural access policy. One definition
+/// shared by [`anytime_matrix`] and [`theta_monotone_guard`] so the
+/// recorded artifact and the CI referee can never drift onto different
+/// configurations.
+fn theta_families() -> Vec<ThetaFamily> {
+    fn ta(theta: f64) -> Box<dyn TopKAlgorithm> {
+        if theta > 1.0 {
+            Box::new(Ta::theta(theta))
+        } else {
+            Box::new(Ta::new())
+        }
+    }
+    fn nra(theta: f64) -> Box<dyn TopKAlgorithm> {
+        let base = Nra::with_strategy(BookkeepingStrategy::LazyHeap);
+        if theta > 1.0 {
+            Box::new(base.with_theta(theta))
+        } else {
+            Box::new(base)
+        }
+    }
+    fn ca(theta: f64) -> Box<dyn TopKAlgorithm> {
+        if theta > 1.0 {
+            Box::new(Ca::new(2).with_theta(theta))
+        } else {
+            Box::new(Ca::new(2))
+        }
+    }
+    vec![
+        (ta, AccessPolicy::no_wild_guesses()),
+        (nra, AccessPolicy::no_random_access()),
+        (ca, AccessPolicy::no_wild_guesses()),
+    ]
+}
+
+/// Runs `algo` once untimed (warming the arena) and twice timed, exactly
+/// like [`perf_matrix`]'s cells; `anytime` switches the executions to the
+/// interruptible entry point. Returns the last output and the best wall
+/// time.
+fn timed_run(
+    db: &Database,
+    algo: &dyn TopKAlgorithm,
+    policy: &AccessPolicy,
+    agg: &dyn Aggregation,
+    k: usize,
+    arena: &mut RunScratch,
+    anytime: Option<&AnytimeConfig>,
+) -> (TopKOutput, f64) {
+    let mut session = Session::with_policy(db, policy.clone());
+    let mut wall_secs = f64::INFINITY;
+    let mut out = None;
+    for pass in 0..3 {
+        if pass > 0 {
+            session.reset(policy.clone());
+        }
+        let started = Instant::now();
+        let run = match anytime {
+            Some(cfg) => algo.run_anytime(&mut session, agg, k, cfg, arena),
+            None => algo.run_with(&mut session, agg, k, arena),
+        }
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+        if pass > 0 {
+            wall_secs = wall_secs.min(started.elapsed().as_secs_f64());
+            out = Some(run);
+        }
+    }
+    (out.expect("timed runs executed"), wall_secs)
+}
+
+/// The θ/anytime measurement grid behind experiment E16 and the
+/// `BENCH_topk.json` anytime rows: every standard workload ×
+/// {TA, NRA(lazy), CA(h=2)}, measured exactly, under θ-halting for
+/// θ ∈ {1.1, 1.5, 2.0}, and under round-capped anytime interruption at
+/// ¼, ½ and ¾ of the exact run's round count. Every recorded answer is
+/// checked against the oracle's θ-approximation predicate for its own
+/// certified guarantee — the artifact cannot record an uncertified row.
+/// (The access-count inequality θ-run ≤ exact-run is *not* asserted here;
+/// that is [`theta_monotone_guard`]'s job, so a regression fails the
+/// guardrail instead of panicking the artifact writer.)
+pub fn anytime_matrix(scale: Scale) -> Vec<AnytimeRecord> {
+    let n = scale.pick(2_000, 40_000);
+    let m = 3;
+    let k = 10;
+    let agg: &dyn Aggregation = &Min;
+    let mut arena = RunScratch::new();
+    let mut records = Vec::new();
+    for (workload, db) in &standard_workloads(n, m) {
+        for (family, policy) in theta_families() {
+            let exact_algo = family(1.0);
+            let (exact, exact_wall) =
+                timed_run(db, exact_algo.as_ref(), &policy, agg, k, &mut arena, None);
+            records.push(AnytimeRecord {
+                algorithm: exact_algo.name(),
+                workload: (*workload).to_string(),
+                n: db.num_objects(),
+                m: db.num_lists(),
+                mode: "exact".to_string(),
+                theta: 1.0,
+                guarantee: exact.metrics.approximation_guarantee,
+                sorted: exact.stats.sorted_total(),
+                random: exact.stats.random_total(),
+                wall_secs: exact_wall,
+            });
+            for theta in [1.1, 1.5, 2.0] {
+                let algo = family(theta);
+                let (out, wall_secs) =
+                    timed_run(db, algo.as_ref(), &policy, agg, k, &mut arena, None);
+                let guarantee = out.metrics.approximation_guarantee;
+                assert!(
+                    oracle::is_valid_theta_approximation(db, agg, k, guarantee, &out.objects()),
+                    "{} on {workload}: answer violates its certificate θ̂ = {guarantee}",
+                    algo.name()
+                );
+                records.push(AnytimeRecord {
+                    algorithm: algo.name(),
+                    workload: (*workload).to_string(),
+                    n: db.num_objects(),
+                    m: db.num_lists(),
+                    mode: "theta".to_string(),
+                    theta,
+                    guarantee,
+                    sorted: out.stats.sorted_total(),
+                    random: out.stats.random_total(),
+                    wall_secs,
+                });
+            }
+            // Interruption sweep: round caps at quarters of the exact
+            // run's round count (deduplicated — tiny runs collapse).
+            let rounds = exact.metrics.rounds;
+            let mut caps: Vec<u64> = [rounds / 4, rounds / 2, 3 * rounds / 4]
+                .into_iter()
+                .map(|c| c.max(1))
+                .collect();
+            caps.dedup();
+            for cap in caps {
+                let cfg = AnytimeConfig::new().with_round_cap(cap);
+                let (out, wall_secs) = timed_run(
+                    db,
+                    exact_algo.as_ref(),
+                    &policy,
+                    agg,
+                    k,
+                    &mut arena,
+                    Some(&cfg),
+                );
+                let guarantee = out.metrics.approximation_guarantee;
+                assert!(
+                    guarantee.is_finite() && guarantee >= 1.0,
+                    "{} on {workload} cap {cap}: uncertified guarantee {guarantee}",
+                    exact_algo.name()
+                );
+                assert!(
+                    oracle::is_valid_theta_approximation(db, agg, k, guarantee, &out.objects()),
+                    "{} on {workload} cap {cap}: answer violates θ̂ = {guarantee}",
+                    exact_algo.name()
+                );
+                records.push(AnytimeRecord {
+                    algorithm: exact_algo.name(),
+                    workload: (*workload).to_string(),
+                    n: db.num_objects(),
+                    m: db.num_lists(),
+                    mode: format!("cap={cap}"),
+                    theta: 1.0,
+                    guarantee,
+                    sorted: out.stats.sorted_total(),
+                    random: out.stats.random_total(),
+                    wall_secs,
+                });
+            }
+        }
+    }
+    records
 }
 
 /// One measured restart path: how long until the first answer, starting
@@ -400,15 +612,17 @@ fn escape(s: &str) -> String {
 /// as one pretty-printed JSON array: algorithm rows first (unchanged
 /// shape, so tooling diffs keep working), then service rows carrying
 /// `queries`, `qps` and `cache_hit_rate` instead of `k`, then cold-start
-/// rows carrying `prepare_secs`, `first_query_secs` and `speedup`. Only
-/// algorithm rows carry `k` — the access-count referee keys on it.
+/// rows carrying `prepare_secs`, `first_query_secs` and `speedup`, then
+/// anytime rows carrying `mode`, `theta` and `guarantee`. Only algorithm
+/// rows carry `k` — the access-count referee keys on it.
 pub fn to_json(
     records: &[PerfRecord],
     service: &[ServicePerfRecord],
     cold: &[ColdStartRecord],
+    anytime: &[AnytimeRecord],
 ) -> String {
     let mut s = String::from("[\n");
-    let total = records.len() + service.len() + cold.len();
+    let total = records.len() + service.len() + cold.len() + anytime.len();
     let mut written = 0usize;
     for r in records {
         written += 1;
@@ -464,18 +678,38 @@ pub fn to_json(
             if written < total { "," } else { "" }
         ));
     }
+    for r in anytime {
+        written += 1;
+        s.push_str(&format!(
+            "  {{\"algorithm\": \"{}\", \"workload\": \"{}\", \"n\": {}, \"m\": {}, \
+             \"mode\": \"{}\", \"theta\": {:.2}, \"guarantee\": {:.4}, \
+             \"sorted\": {}, \"random\": {}, \"wall_secs\": {:.6}}}{}\n",
+            escape(&r.algorithm),
+            escape(&r.workload),
+            r.n,
+            r.m,
+            escape(&r.mode),
+            r.theta,
+            r.guarantee,
+            r.sorted,
+            r.random,
+            r.wall_secs,
+            if written < total { "," } else { "" }
+        ));
+    }
     s.push_str("]\n");
     s
 }
 
-/// Runs all three grids and writes `path` (conventionally
+/// Runs all four grids and writes `path` (conventionally
 /// `BENCH_topk.json`); returns how many records were written.
 pub fn write_json(path: &str, scale: Scale) -> std::io::Result<usize> {
     let records = perf_matrix(scale);
     let service = service_matrix(scale);
     let cold = cold_start_matrix(scale);
-    std::fs::write(path, to_json(&records, &service, &cold))?;
-    Ok(records.len() + service.len() + cold.len())
+    let anytime = anytime_matrix(scale);
+    std::fs::write(path, to_json(&records, &service, &cold, &anytime))?;
+    Ok(records.len() + service.len() + cold.len() + anytime.len())
 }
 
 /// Compares a freshly measured algorithm grid against the access counts
@@ -717,6 +951,78 @@ pub fn service_qps_guard(scale: Scale, min_ratio: f64) -> ServiceQpsGuard {
     }
 }
 
+/// One measured row of the θ-monotonicity guardrail.
+#[derive(Clone, Debug)]
+pub struct ThetaMonotoneRow {
+    /// Workload name.
+    pub workload: String,
+    /// The θ-variant's name (includes the slack).
+    pub algorithm: String,
+    /// Requested slack.
+    pub theta: f64,
+    /// The θ-run's sorted accesses.
+    pub sorted: u64,
+    /// The θ-run's random accesses.
+    pub random: u64,
+    /// The exact counterpart's sorted accesses.
+    pub exact_sorted: u64,
+    /// The exact counterpart's random accesses.
+    pub exact_random: u64,
+    /// Whether the answer satisfies the oracle's θ-approximation predicate.
+    pub valid: bool,
+    /// `valid` and both access counts ≤ the exact counterpart's.
+    pub ok: bool,
+}
+
+/// θ-monotonicity guardrail (`experiments -- --assert-theta-monotone`):
+/// for TA, NRA(lazy) and CA(h=2) on every workload shape, a θ-relaxed run
+/// (θ ∈ {1.1, 1.5, 2.0}) must (a) return an answer satisfying the
+/// oracle's θ-approximation predicate and (b) perform no more sorted or
+/// random accesses than its exact counterpart — relaxing the guarantee
+/// may only ever remove work (Theorem 6.6's point). Access counts are
+/// deterministic functions of the workload seeds, so unlike the
+/// wall-clock guardrail no noise floor is needed; runs at the same smoke
+/// size (n = 10 000 `Full` / 2 000 `Quick`).
+pub fn theta_monotone_guard(scale: Scale) -> Vec<ThetaMonotoneRow> {
+    let n = scale.pick(2_000, 10_000);
+    let m = 3;
+    let k = 10;
+    let agg: &dyn Aggregation = &Min;
+    let mut arena = RunScratch::new();
+    let run_once =
+        |db: &Database, algo: &dyn TopKAlgorithm, policy: &AccessPolicy, arena: &mut RunScratch| {
+            let mut session = Session::with_policy(db, policy.clone());
+            algo.run_with(&mut session, agg, k, arena)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()))
+        };
+    let mut rows = Vec::new();
+    for (workload, db) in &standard_workloads(n, m) {
+        for (family, policy) in theta_families() {
+            let exact = run_once(db, family(1.0).as_ref(), &policy, &mut arena);
+            let (exact_sorted, exact_random) =
+                (exact.stats.sorted_total(), exact.stats.random_total());
+            for theta in [1.1, 1.5, 2.0] {
+                let algo = family(theta);
+                let out = run_once(db, algo.as_ref(), &policy, &mut arena);
+                let valid = oracle::is_valid_theta_approximation(db, agg, k, theta, &out.objects());
+                let (sorted, random) = (out.stats.sorted_total(), out.stats.random_total());
+                rows.push(ThetaMonotoneRow {
+                    workload: (*workload).to_string(),
+                    algorithm: algo.name(),
+                    theta,
+                    sorted,
+                    random,
+                    exact_sorted,
+                    exact_random,
+                    valid,
+                    ok: valid && sorted <= exact_sorted && random <= exact_random,
+                });
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -758,7 +1064,7 @@ mod tests {
                 wall_secs: 0.002,
             },
         ];
-        let json = to_json(&records, &[], &[]);
+        let json = to_json(&records, &[], &[], &[]);
         assert!(json.starts_with("[\n") && json.ends_with("]\n"));
         assert_eq!(json.matches('{').count(), 2);
         assert_eq!(json.matches('}').count(), 2);
@@ -771,7 +1077,7 @@ mod tests {
     #[test]
     fn access_count_drift_detects_changes_and_accepts_reruns() {
         let records = perf_matrix(Scale::Quick);
-        let json = to_json(&records, &[], &[]);
+        let json = to_json(&records, &[], &[], &[]);
         let path = std::env::temp_dir().join("bench_drift_check.json");
         let path = path.to_str().unwrap().to_string();
 
@@ -826,7 +1132,7 @@ mod tests {
             random: 50,
             wall_secs: 0.032,
         }];
-        let json = to_json(&perf, &service, &[]);
+        let json = to_json(&perf, &service, &[], &[]);
         assert_eq!(json.matches('{').count(), 2);
         // The bridge comma between the grids exists exactly once.
         assert_eq!(json.matches("},").count(), 1);
@@ -840,7 +1146,7 @@ mod tests {
             .lines()
             .any(|l| l.contains("TopKService") && l.contains("\"k\":")));
         // Service-only output still closes the array correctly.
-        let json = to_json(&[], &service, &[]);
+        let json = to_json(&[], &service, &[], &[]);
         assert!(json.ends_with("}\n]\n"));
         assert_eq!(json.matches("},").count(), 0);
     }
@@ -885,12 +1191,74 @@ mod tests {
         }
         // Cold-start rows carry no "k", so the access-count referee
         // ignores them by construction.
-        let json = to_json(&[], &[], &rows);
+        let json = to_json(&[], &[], &rows, &[]);
         assert!(json.contains("\"algorithm\": \"ColdStart[build]\""));
         assert!(json.contains("\"speedup\": 1.00"));
         assert!(!json
             .lines()
             .any(|l| l.contains("ColdStart") && l.contains("\"k\":")));
         assert!(json.ends_with("}\n]\n"));
+    }
+
+    #[test]
+    fn anytime_matrix_covers_every_family_and_mode() {
+        let records = anytime_matrix(Scale::Quick);
+        // 4 workloads × 3 families × (1 exact + 3 θ + ≥1 cap rows).
+        assert!(records.len() >= 4 * 3 * 5, "{} rows", records.len());
+        for prefix in ["TA", "NRA", "CA"] {
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.algorithm.starts_with(prefix) && r.mode == "theta"),
+                "no θ rows for {prefix}"
+            );
+            assert!(
+                records
+                    .iter()
+                    .any(|r| r.algorithm.starts_with(prefix) && r.mode.starts_with("cap=")),
+                "no interruption rows for {prefix}"
+            );
+        }
+        // Exact rows certify θ̂ = 1; every guarantee is a real certificate.
+        assert!(records
+            .iter()
+            .filter(|r| r.mode == "exact")
+            .all(|r| r.guarantee == 1.0));
+        assert!(records
+            .iter()
+            .all(|r| r.guarantee.is_finite() && r.guarantee >= 1.0));
+        // θ rows certify exactly their requested slack.
+        assert!(records
+            .iter()
+            .filter(|r| r.mode == "theta")
+            .all(|r| r.guarantee == r.theta));
+
+        // Anytime rows carry no "k": the access-count referee skips them.
+        let json = to_json(&[], &[], &[], &records[..2]);
+        assert!(json.contains("\"mode\": \"exact\""));
+        assert!(json.contains("\"guarantee\": 1.0000"));
+        assert!(!json.lines().any(|l| l.contains("\"k\":")));
+        assert!(json.ends_with("}\n]\n"));
+    }
+
+    #[test]
+    fn theta_monotone_guard_holds_on_the_quick_grid() {
+        let rows = theta_monotone_guard(Scale::Quick);
+        // 4 workloads × 3 families × 3 θ values.
+        assert_eq!(rows.len(), 4 * 3 * 3);
+        for row in &rows {
+            assert!(
+                row.ok,
+                "{} on {} (θ = {}): valid = {}, sorted {} vs exact {}, random {} vs exact {}",
+                row.algorithm,
+                row.workload,
+                row.theta,
+                row.valid,
+                row.sorted,
+                row.exact_sorted,
+                row.random,
+                row.exact_random
+            );
+        }
     }
 }

@@ -12,8 +12,9 @@
 use fagin_middleware::{BatchConfig, Middleware};
 
 use crate::aggregation::Aggregation;
+use crate::anytime::{AnytimeConfig, BestSnapshot};
 use crate::arena::RunScratch;
-use crate::output::{AlgoError, RunMetrics, TopKOutput};
+use crate::output::{AlgoError, HaltReason, RunMetrics, TopKOutput};
 
 use super::engine::{BookkeepingStrategy, BoundEngine};
 use super::{validate, TopKAlgorithm};
@@ -31,6 +32,7 @@ pub struct Ca {
     h: usize,
     strategy: BookkeepingStrategy,
     batch: BatchConfig,
+    theta: f64,
 }
 
 impl Ca {
@@ -45,6 +47,7 @@ impl Ca {
             h,
             strategy: BookkeepingStrategy::Exhaustive,
             batch: BatchConfig::scalar(),
+            theta: 1.0,
         }
     }
 
@@ -74,18 +77,163 @@ impl Ca {
         self.with_batch(BatchConfig::new(size))
     }
 
+    /// The θ-approximate variant: the halting rule relaxes to
+    /// `θ·M_k ≥ B` over viable candidates, so the run halts no later (and
+    /// typically much earlier) than exact CA while certifying a
+    /// θ-approximation. θ = 1 (the default) is exact CA.
+    ///
+    /// # Panics
+    /// Panics unless `θ` is finite and at least 1.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 1.0,
+            "theta must be finite and at least 1"
+        );
+        self.theta = theta;
+        self
+    }
+
     /// The phase length `h`.
     pub fn h(&self) -> usize {
         self.h
     }
 }
 
+impl Ca {
+    /// The shared drive loop behind [`Ca::run_with`] (no interruption) and
+    /// [`Ca::run_anytime`].
+    fn run_impl(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+        anytime: Option<&AnytimeConfig>,
+    ) -> Result<TopKOutput, AlgoError> {
+        validate(mw, agg, k)?;
+        let m = mw.num_lists();
+        let n = mw.num_objects();
+        let b = self.batch.size();
+        let (engine_scratch, drive) = scratch.engine_and_drive();
+        drive.reset(m);
+        let mut engine = BoundEngine::new_in(agg, m, k, self.strategy, engine_scratch)
+            .tracking_incomplete()
+            .with_theta(self.theta);
+        let mut rounds = 0u64;
+        let mut ra_phases = 0u64;
+        let mut best = BestSnapshot::default();
+        let mut halt = HaltReason::Converged;
+
+        'drive: loop {
+            rounds += 1;
+            let mut budget_err = None;
+            for (i, done) in drive.exhausted.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                drive.batch_buf.clear();
+                // Only Ok(0) signals exhaustion — a short batch may be a
+                // budget truncation (see the Middleware batch contract).
+                match mw.sorted_next_batch(i, b, &mut drive.batch_buf) {
+                    Ok(0) => {
+                        *done = true;
+                        continue;
+                    }
+                    Ok(_) => engine.observe_sorted_batch(i, &drive.batch_buf),
+                    Err(e) => {
+                        if anytime.is_none() {
+                            return Err(e.into());
+                        }
+                        budget_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            engine.refresh_selection();
+
+            // Every h rounds: one random-access phase on the most promising
+            // incomplete viable object ("escape clause": skip if none).
+            if budget_err.is_none() && rounds.is_multiple_of(self.h as u64) {
+                if let Some(object) = engine.best_viable_incomplete() {
+                    engine.missing_fields_into(object, &mut drive.missing);
+                    for &list in drive.missing.iter() {
+                        match mw.random_lookup(list, object) {
+                            Ok(g) => engine.learn_random(object, list, g),
+                            Err(e) => {
+                                if anytime.is_none() {
+                                    return Err(e.into());
+                                }
+                                budget_err = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    ra_phases += 1;
+                    engine.refresh_selection();
+                }
+            }
+
+            if budget_err.is_none() && engine.check_halt(n) {
+                break;
+            }
+            if drive.exhausted.iter().all(|&e| e) {
+                break;
+            }
+            if let Some(cfg) = anytime {
+                // Each learned field keeps the bounds sound, so even a
+                // mid-phase budget failure certifies whatever is known.
+                if let Some(g) = engine.certificate(n) {
+                    best.offer(g, || engine.output_items());
+                }
+                if let Some(e) = budget_err {
+                    if best.is_certified() {
+                        halt = HaltReason::BudgetExhausted;
+                        break 'drive;
+                    }
+                    return Err(e.into());
+                }
+                if best.is_certified() {
+                    if let Some(reason) = cfg.triggered(rounds, mw.stats()) {
+                        halt = reason;
+                        break 'drive;
+                    }
+                }
+            }
+        }
+
+        let (items, guarantee) = if halt.is_interrupted() {
+            best.take().map(|(g, items)| (items, g)).expect("certified")
+        } else {
+            (engine.output_items(), self.theta)
+        };
+        let mut metrics = RunMetrics::new();
+        metrics.rounds = rounds;
+        metrics.peak_buffer = engine.peak_candidates;
+        metrics.bound_recomputations = engine.bound_recomputations;
+        metrics.evicted = engine.evictions().to_vec();
+        metrics.random_access_phases = ra_phases;
+        metrics.final_threshold = Some(engine.threshold());
+        metrics.approximation_guarantee = guarantee;
+        metrics.halt = halt;
+        Ok(TopKOutput {
+            items,
+            stats: mw.stats().clone(),
+            metrics,
+        })
+    }
+}
+
 impl TopKAlgorithm for Ca {
     fn name(&self) -> String {
-        if self.batch.is_scalar() {
-            format!("CA(h={})", self.h)
+        let base = if self.theta > 1.0 {
+            format!("CA(h={},theta={})", self.h, self.theta)
         } else {
-            format!("CA(h={})[b={}]", self.h, self.batch.size())
+            format!("CA(h={})", self.h)
+        };
+        if self.batch.is_scalar() {
+            base
+        } else {
+            format!("{base}[b={}]", self.batch.size())
         }
     }
 
@@ -105,69 +253,18 @@ impl TopKAlgorithm for Ca {
         k: usize,
         scratch: &mut RunScratch,
     ) -> Result<TopKOutput, AlgoError> {
-        validate(mw, agg, k)?;
-        let m = mw.num_lists();
-        let n = mw.num_objects();
-        let b = self.batch.size();
-        let (engine_scratch, drive) = scratch.engine_and_drive();
-        drive.reset(m);
-        let mut engine =
-            BoundEngine::new_in(agg, m, k, self.strategy, engine_scratch).tracking_incomplete();
-        let mut rounds = 0u64;
-        let mut ra_phases = 0u64;
+        self.run_impl(mw, agg, k, scratch, None)
+    }
 
-        loop {
-            rounds += 1;
-            for (i, done) in drive.exhausted.iter_mut().enumerate() {
-                if *done {
-                    continue;
-                }
-                drive.batch_buf.clear();
-                // Only Ok(0) signals exhaustion — a short batch may be a
-                // budget truncation (see the Middleware batch contract).
-                if mw.sorted_next_batch(i, b, &mut drive.batch_buf)? == 0 {
-                    *done = true;
-                    continue;
-                }
-                engine.observe_sorted_batch(i, &drive.batch_buf);
-            }
-            engine.refresh_selection();
-
-            // Every h rounds: one random-access phase on the most promising
-            // incomplete viable object ("escape clause": skip if none).
-            if rounds.is_multiple_of(self.h as u64) {
-                if let Some(object) = engine.best_viable_incomplete() {
-                    engine.missing_fields_into(object, &mut drive.missing);
-                    for &list in drive.missing.iter() {
-                        let g = mw.random_lookup(list, object)?;
-                        engine.learn_random(object, list, g);
-                    }
-                    ra_phases += 1;
-                    engine.refresh_selection();
-                }
-            }
-
-            if engine.check_halt(n) {
-                break;
-            }
-            if drive.exhausted.iter().all(|&e| e) {
-                break;
-            }
-        }
-
-        let items = engine.output_items();
-        let mut metrics = RunMetrics::new();
-        metrics.rounds = rounds;
-        metrics.peak_buffer = engine.peak_candidates;
-        metrics.bound_recomputations = engine.bound_recomputations;
-        metrics.evicted = engine.evictions().to_vec();
-        metrics.random_access_phases = ra_phases;
-        metrics.final_threshold = Some(engine.threshold());
-        Ok(TopKOutput {
-            items,
-            stats: mw.stats().clone(),
-            metrics,
-        })
+    fn run_anytime(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        anytime: &AnytimeConfig,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
+        self.run_impl(mw, agg, k, scratch, Some(anytime))
     }
 }
 
@@ -288,5 +385,62 @@ mod tests {
             }
         }
         assert_eq!(Ca::new(2).batched(8).name(), "CA(h=2)[b=8]");
+    }
+
+    #[test]
+    fn theta_ca_is_valid_and_never_costs_more_than_exact() {
+        let db = db();
+        for h in [1usize, 2, 4] {
+            for theta in [1.1, 1.5, 2.0] {
+                for k in 1..=4 {
+                    let mut s1 = Session::new(&db);
+                    let exact = Ca::new(h).run(&mut s1, &Average, k).unwrap();
+                    let mut s2 = Session::new(&db);
+                    let approx = Ca::new(h)
+                        .with_theta(theta)
+                        .run(&mut s2, &Average, k)
+                        .unwrap();
+                    assert!(
+                        oracle::is_valid_theta_approximation(
+                            &db,
+                            &Average,
+                            k,
+                            theta,
+                            &approx.objects()
+                        ),
+                        "h={h} theta={theta} k={k}"
+                    );
+                    assert!(
+                        approx.stats.sorted_total() <= exact.stats.sorted_total()
+                            && approx.stats.random_total() <= exact.stats.random_total(),
+                        "h={h} theta={theta} k={k}: θ-CA cost more than exact CA"
+                    );
+                    assert_eq!(approx.metrics.approximation_guarantee, theta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theta_one_ca_is_bit_identical_to_exact() {
+        let db = db();
+        let mut s1 = Session::new(&db);
+        let exact = Ca::new(2).run(&mut s1, &Sum, 3).unwrap();
+        let mut s2 = Session::new(&db);
+        let theta_one = Ca::new(2).with_theta(1.0).run(&mut s2, &Sum, 3).unwrap();
+        assert_eq!(exact.objects(), theta_one.objects());
+        assert_eq!(exact.stats, theta_one.stats);
+    }
+
+    #[test]
+    fn theta_name_includes_slack() {
+        assert_eq!(Ca::new(3).with_theta(1.5).name(), "CA(h=3,theta=1.5)");
+        assert_eq!(Ca::new(3).name(), "CA(h=3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be finite and at least 1")]
+    fn ca_theta_below_one_rejected() {
+        let _ = Ca::new(1).with_theta(0.99);
     }
 }

@@ -68,9 +68,10 @@ use std::collections::{BinaryHeap, HashMap};
 use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId, SlotSet};
 
 use crate::aggregation::Aggregation;
+use crate::anytime::{AnytimeConfig, BestSnapshot};
 use crate::arena::{Lease, RowTable, RunScratch};
 use crate::bounds::Bottoms;
-use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+use crate::output::{AlgoError, HaltReason, RunMetrics, ScoredObject, TopKOutput};
 
 use super::{validate, TopKAlgorithm};
 
@@ -243,6 +244,12 @@ pub(crate) struct BoundEngine<'a> {
     track_incomplete: bool,
     /// Whether the aggregation advertises the separable-bound capability.
     separable: bool,
+    /// Approximation factor θ ≥ 1 (§6.2 extended to NRA/CA): the halting
+    /// comparisons treat an outsider bound `x` as still viable only when
+    /// `x > θ·M_k`. Eviction and pruning keep the *exact* rule (`B < M_k`)
+    /// — dropping a candidate must stay invisible to the access sequence
+    /// regardless of θ, and a θ-halt only ever fires earlier.
+    theta: f64,
     /// Distinct objects ever seen — what the candidate count used to mean
     /// before eviction existed; the halting test's "whole database seen"
     /// checks depend on it.
@@ -282,6 +289,7 @@ impl<'a> BoundEngine<'a> {
             evict: true,
             track_incomplete: false,
             separable: false,
+            theta: 1.0,
             seen: 0,
             prune_watermark: 0,
             peak_candidates: 0,
@@ -298,6 +306,30 @@ impl<'a> BoundEngine<'a> {
     pub(crate) fn without_eviction(mut self) -> Self {
         self.evict = false;
         self
+    }
+
+    /// Relaxes the halting test to the θ-approximate rule: halt once
+    /// `θ·M_k ≥ B` for every object outside `T_k` (then every unselected
+    /// `z` has `θ·t(y) ≥ θ·M_k ≥ B(z) ≥ t(z)` for each selected `y`). At
+    /// θ = 1 the comparison stays the exact `Grade` order — bit-identical
+    /// to the pinned historical behavior, no float multiply on that path.
+    pub(crate) fn with_theta(mut self, theta: f64) -> Self {
+        debug_assert!(
+            theta.is_finite() && theta >= 1.0,
+            "theta must be finite and at least 1"
+        );
+        self.theta = theta;
+        self
+    }
+
+    /// The relaxed viability comparison: whether `x` exceeds `θ·m_k`.
+    #[inline]
+    fn exceeds_relaxed(theta: f64, x: Grade, m_k: Grade) -> bool {
+        if theta <= 1.0 {
+            x > m_k
+        } else {
+            x.value() > theta * m_k.value()
+        }
     }
 
     /// Enables the incomplete-candidate index behind
@@ -550,11 +582,13 @@ impl<'a> BoundEngine<'a> {
     /// The halting test against the current selection: `T_k` is full (or
     /// the whole database has been seen) and no viable object remains
     /// outside it — including unseen objects, whose `B` equals the
-    /// threshold `τ`.
+    /// threshold `τ`. Under θ > 1 ([`Self::with_theta`]) "viable" means
+    /// `B > θ·M_k`, so the test can only fire earlier, never later.
     ///
     /// Identical in outcome to recomputing every candidate's `B`: stored
     /// heap bounds only ever *over*-estimate, so any genuinely viable
-    /// outsider is found, and a max stored bound `≤ M_k` proves none exists.
+    /// outsider is found, and a max stored bound `≤ θ·M_k` proves none
+    /// exists.
     pub(crate) fn check_halt(&mut self, num_objects: usize) -> bool {
         let k_eff = self.k.min(num_objects);
         if self.seen < k_eff {
@@ -564,10 +598,10 @@ impl<'a> BoundEngine<'a> {
         if !full && self.seen < num_objects {
             return false;
         }
-        // Unseen objects are viable iff τ > M_k.
+        // Unseen objects are viable iff τ > θ·M_k.
         if self.seen < num_objects {
             let tau = self.threshold();
-            if tau > m_k {
+            if Self::exceeds_relaxed(self.theta, tau, m_k) {
                 return false;
             }
         }
@@ -575,14 +609,15 @@ impl<'a> BoundEngine<'a> {
 
         let mut parked = std::mem::take(&mut self.s.parked);
         let halted = loop {
-            {
-                let s = &mut *self.s;
-                let Some(top) = s.b_heap.peek() else {
-                    break true;
-                };
-                if top.0 <= m_k {
-                    break true;
+            let top0 = {
+                let s = &*self.s;
+                match s.b_heap.peek() {
+                    None => break true,
+                    Some(top) => top.0,
                 }
+            };
+            if !Self::exceeds_relaxed(self.theta, top0, m_k) {
+                break true;
             }
             let HeapEntry(_, Reverse(object)) = self.s.b_heap.pop().expect("peeked");
             if !self.s.rows.is_live(object.index()) {
@@ -595,7 +630,7 @@ impl<'a> BoundEngine<'a> {
                 parked.push(HeapEntry(b, Reverse(object)));
                 continue;
             }
-            if b > m_k {
+            if Self::exceeds_relaxed(self.theta, b, m_k) {
                 parked.push(HeapEntry(b, Reverse(object)));
                 break false;
             }
@@ -604,7 +639,8 @@ impl<'a> BoundEngine<'a> {
                 // enter the top k (B falls, M_k rises). Drop it for good.
                 self.evict_now(object);
             } else {
-                // Refreshed to b ≤ M_k: re-file; cannot re-pop this round.
+                // Refreshed to b ≤ θ·M_k (but not evictably below M_k):
+                // re-file; cannot re-pop this round.
                 self.s.b_heap.push(HeapEntry(b, Reverse(object)));
             }
         };
@@ -612,6 +648,72 @@ impl<'a> BoundEngine<'a> {
         s.b_heap.extend(parked.drain(..));
         s.parked = parked;
         halted
+    }
+
+    /// The *achieved* approximation guarantee `θ̂` of the current
+    /// selection: the smallest factor for which every selected `y` and
+    /// unselected `z` satisfy `θ̂·t(y) ≥ t(z)`, computed from the live
+    /// bounds as `max_outside_B / M_k` (clamped to ≥ 1). Selected objects
+    /// have `t ≥ W ≥ M_k`; live outsiders are bounded by the exact maximum
+    /// `B` (a lazy drain of the stale-`B` heap, mirroring
+    /// [`Self::best_viable_incomplete`]); unseen objects contribute the
+    /// threshold `τ`; evicted objects had `B < M_k` and are covered for
+    /// free.
+    ///
+    /// `None` when the state cannot certify yet: the selection is not full
+    /// while unseen objects remain, or `M_k = 0` with a non-zero outsider
+    /// bound. Performs no middleware accesses — certificates are pure
+    /// bookkeeping, so probing one at a round boundary cannot perturb the
+    /// pinned access sequences.
+    pub(crate) fn certificate(&mut self, num_objects: usize) -> Option<f64> {
+        if self.s.sel.top.is_empty() || (!self.s.sel.full && self.seen < num_objects) {
+            return None;
+        }
+        let m_k = self.s.sel.m_k;
+        let mut max_outside = if self.seen < num_objects {
+            self.threshold()
+        } else {
+            Grade::ZERO
+        };
+        let mut parked = std::mem::take(&mut self.s.parked);
+        loop {
+            let HeapEntry(key, Reverse(object)) = {
+                let s = &*self.s;
+                match s.b_heap.peek() {
+                    None => break,
+                    Some(&top) => top,
+                }
+            };
+            if key <= max_outside {
+                break; // stored bounds over-estimate: no outsider beats it
+            }
+            self.s.b_heap.pop();
+            if !self.s.rows.is_live(object.index()) {
+                continue; // entry for an evicted object: drop for good
+            }
+            let b = self.b_of(object);
+            if self.s.sel.contains(object) {
+                // T_k members are not outsiders; park, reinsert at the end.
+                parked.push(HeapEntry(b, Reverse(object)));
+                continue;
+            }
+            self.s.b_heap.push(HeapEntry(b, Reverse(object)));
+            if b == key {
+                // The refresh confirmed the heap max: exact outsider max.
+                max_outside = b;
+                break;
+            }
+        }
+        let s = &mut *self.s;
+        s.b_heap.extend(parked.drain(..));
+        s.parked = parked;
+        if m_k == Grade::ZERO {
+            return (max_outside == Grade::ZERO).then_some(1.0);
+        }
+        Some(crate::anytime::certified_ratio(
+            max_outside.value(),
+            m_k.value(),
+        ))
     }
 
     /// Permanently drops a candidate that the viability rule proved dead.
@@ -888,10 +990,21 @@ impl<'a> BoundEngine<'a> {
 /// accesses per unexhausted list ([`Nra::with_batch`]; one entry with the
 /// default scalar batch, reproducing the paper exactly) and runs the
 /// halting test once per round.
-#[derive(Clone, Copy, Debug, Default)]
+///
+/// [`Nra::with_theta`] gives the θ-approximate variant (§6.2 extended to
+/// NRA): the relaxed halting rule fires no later than the exact one, so a
+/// θ-NRA run's access counts never exceed its exact counterpart's.
+#[derive(Clone, Copy, Debug)]
 pub struct Nra {
     strategy: BookkeepingStrategy,
     batch: BatchConfig,
+    theta: f64,
+}
+
+impl Default for Nra {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Nra {
@@ -900,6 +1013,7 @@ impl Nra {
         Nra {
             strategy: BookkeepingStrategy::Exhaustive,
             batch: BatchConfig::scalar(),
+            theta: 1.0,
         }
     }
 
@@ -926,14 +1040,133 @@ impl Nra {
     pub fn batched(self, size: usize) -> Self {
         self.with_batch(BatchConfig::new(size))
     }
+
+    /// The θ-approximate variant: halts once `θ·M_k ≥ B` for every object
+    /// outside the selection, certifying a θ-approximation at a fraction
+    /// of the exact access cost. θ = 1 (the default) is exact NRA.
+    ///
+    /// # Panics
+    /// Panics unless `θ` is finite and at least 1.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 1.0,
+            "theta must be finite and at least 1"
+        );
+        self.theta = theta;
+        self
+    }
+}
+
+impl Nra {
+    /// The shared drive loop behind [`Nra::run_with`] (no interruption)
+    /// and [`Nra::run_anytime`].
+    fn run_impl(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        scratch: &mut RunScratch,
+        anytime: Option<&AnytimeConfig>,
+    ) -> Result<TopKOutput, AlgoError> {
+        validate(mw, agg, k)?;
+        let m = mw.num_lists();
+        let n = mw.num_objects();
+        let b = self.batch.size();
+        let (engine_scratch, drive) = scratch.engine_and_drive();
+        drive.reset(m);
+        let mut engine =
+            BoundEngine::new_in(agg, m, k, self.strategy, engine_scratch).with_theta(self.theta);
+        let mut rounds = 0u64;
+        let mut best = BestSnapshot::default();
+        let mut halt = HaltReason::Converged;
+
+        loop {
+            rounds += 1;
+            let mut budget_err = None;
+            for (i, done) in drive.exhausted.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                drive.batch_buf.clear();
+                // Only Ok(0) signals exhaustion — a short batch may be a
+                // budget truncation (see the Middleware batch contract).
+                match mw.sorted_next_batch(i, b, &mut drive.batch_buf) {
+                    Ok(0) => {
+                        *done = true;
+                        continue;
+                    }
+                    Ok(_) => engine.observe_sorted_batch(i, &drive.batch_buf),
+                    Err(e) => {
+                        if anytime.is_none() {
+                            return Err(e.into());
+                        }
+                        // Anytime rescue: salvage the best certified
+                        // snapshot instead of erroring (below).
+                        budget_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            engine.refresh_selection();
+            if budget_err.is_none() && engine.check_halt(n) {
+                break;
+            }
+            if drive.exhausted.iter().all(|&e| e) {
+                // Complete information: the selection is exact.
+                break;
+            }
+            if let Some(cfg) = anytime {
+                // The engine's bounds are sound at any observation
+                // boundary, so even a mid-round budget failure certifies.
+                if let Some(g) = engine.certificate(n) {
+                    best.offer(g, || engine.output_items());
+                }
+                if let Some(e) = budget_err {
+                    if best.is_certified() {
+                        halt = HaltReason::BudgetExhausted;
+                        break;
+                    }
+                    return Err(e.into());
+                }
+                if best.is_certified() {
+                    if let Some(reason) = cfg.triggered(rounds, mw.stats()) {
+                        halt = reason;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let (items, guarantee) = if halt.is_interrupted() {
+            best.take().map(|(g, items)| (items, g)).expect("certified")
+        } else {
+            (engine.output_items(), self.theta)
+        };
+        let mut metrics = RunMetrics::new();
+        metrics.rounds = rounds;
+        metrics.peak_buffer = engine.peak_candidates;
+        metrics.bound_recomputations = engine.bound_recomputations;
+        metrics.evicted = engine.evictions().to_vec();
+        metrics.final_threshold = Some(engine.threshold());
+        metrics.approximation_guarantee = guarantee;
+        metrics.halt = halt;
+        Ok(TopKOutput {
+            items,
+            stats: mw.stats().clone(),
+            metrics,
+        })
+    }
 }
 
 impl TopKAlgorithm for Nra {
     fn name(&self) -> String {
-        let base = match self.strategy {
+        let mut base = match self.strategy {
             BookkeepingStrategy::Exhaustive => "NRA".to_string(),
             BookkeepingStrategy::LazyHeap => "NRA(lazy)".to_string(),
         };
+        if self.theta > 1.0 {
+            base = format!("{base}_theta({})", self.theta);
+        }
         if self.batch.is_scalar() {
             base
         } else {
@@ -957,52 +1190,18 @@ impl TopKAlgorithm for Nra {
         k: usize,
         scratch: &mut RunScratch,
     ) -> Result<TopKOutput, AlgoError> {
-        validate(mw, agg, k)?;
-        let m = mw.num_lists();
-        let n = mw.num_objects();
-        let b = self.batch.size();
-        let (engine_scratch, drive) = scratch.engine_and_drive();
-        drive.reset(m);
-        let mut engine = BoundEngine::new_in(agg, m, k, self.strategy, engine_scratch);
-        let mut rounds = 0u64;
+        self.run_impl(mw, agg, k, scratch, None)
+    }
 
-        loop {
-            rounds += 1;
-            for (i, done) in drive.exhausted.iter_mut().enumerate() {
-                if *done {
-                    continue;
-                }
-                drive.batch_buf.clear();
-                // Only Ok(0) signals exhaustion — a short batch may be a
-                // budget truncation (see the Middleware batch contract).
-                if mw.sorted_next_batch(i, b, &mut drive.batch_buf)? == 0 {
-                    *done = true;
-                    continue;
-                }
-                engine.observe_sorted_batch(i, &drive.batch_buf);
-            }
-            engine.refresh_selection();
-            if engine.check_halt(n) {
-                break;
-            }
-            if drive.exhausted.iter().all(|&e| e) {
-                // Complete information: the selection is exact.
-                break;
-            }
-        }
-
-        let items = engine.output_items();
-        let mut metrics = RunMetrics::new();
-        metrics.rounds = rounds;
-        metrics.peak_buffer = engine.peak_candidates;
-        metrics.bound_recomputations = engine.bound_recomputations;
-        metrics.evicted = engine.evictions().to_vec();
-        metrics.final_threshold = Some(engine.threshold());
-        Ok(TopKOutput {
-            items,
-            stats: mw.stats().clone(),
-            metrics,
-        })
+    fn run_anytime(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        anytime: &AnytimeConfig,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
+        self.run_impl(mw, agg, k, scratch, Some(anytime))
     }
 }
 
@@ -1238,6 +1437,59 @@ mod tests {
             "NRA(lazy)"
         );
         assert_eq!(Nra::new().batched(8).name(), "NRA[b=8]");
+        assert_eq!(Nra::new().with_theta(1.5).name(), "NRA_theta(1.5)");
+        assert_eq!(
+            Nra::new().with_theta(2.0).batched(4).name(),
+            "NRA_theta(2)[b=4]"
+        );
+    }
+
+    #[test]
+    fn theta_nra_is_valid_and_never_costs_more_than_exact() {
+        let db = db();
+        for theta in [1.1, 1.5, 2.0] {
+            for k in 1..=4 {
+                let mut s1 = Session::with_policy(&db, AccessPolicy::no_random_access());
+                let exact = Nra::new().run(&mut s1, &Average, k).unwrap();
+                let mut s2 = Session::with_policy(&db, AccessPolicy::no_random_access());
+                let approx = Nra::new()
+                    .with_theta(theta)
+                    .run(&mut s2, &Average, k)
+                    .unwrap();
+                assert!(
+                    oracle::is_valid_theta_approximation(
+                        &db,
+                        &Average,
+                        k,
+                        theta,
+                        &approx.objects()
+                    ),
+                    "theta={theta} k={k}"
+                );
+                assert!(
+                    approx.stats.sorted_total() <= exact.stats.sorted_total(),
+                    "theta={theta} k={k}: θ-NRA read more than exact NRA"
+                );
+                assert_eq!(approx.metrics.approximation_guarantee, theta);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_one_nra_is_bit_identical_to_exact() {
+        let db = db();
+        let mut s1 = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let exact = Nra::new().run(&mut s1, &Sum, 3).unwrap();
+        let mut s2 = Session::with_policy(&db, AccessPolicy::no_random_access());
+        let theta_one = Nra::new().with_theta(1.0).run(&mut s2, &Sum, 3).unwrap();
+        assert_eq!(exact.objects(), theta_one.objects());
+        assert_eq!(exact.stats, theta_one.stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be finite and at least 1")]
+    fn nra_theta_below_one_rejected() {
+        let _ = Nra::new().with_theta(0.5);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub(crate) use ta::TaScratch;
 use fagin_middleware::Middleware;
 
 use crate::aggregation::Aggregation;
+use crate::anytime::AnytimeConfig;
 use crate::arena::RunScratch;
 use crate::output::{AlgoError, TopKOutput};
 
@@ -88,6 +89,34 @@ pub trait TopKAlgorithm {
     ) -> Result<TopKOutput, AlgoError> {
         let _ = scratch;
         self.run(mw, agg, k)
+    }
+
+    /// Like [`TopKAlgorithm::run_with`], but cooperatively interruptible:
+    /// at round boundaries the run checks `anytime`'s triggers and, once it
+    /// holds a certified snapshot, returns the best-known answer with its
+    /// *achieved* guarantee `θ̂` in
+    /// [`RunMetrics::approximation_guarantee`] and the trigger in
+    /// [`RunMetrics::halt`] instead of running to convergence. A mid-run
+    /// middleware budget exhaustion is likewise downgraded to the best
+    /// certified snapshot when one exists (and still errors when none
+    /// does).
+    ///
+    /// The default implementation runs to convergence ignoring the config —
+    /// algorithms without incremental certificates (the naive scan, FA)
+    /// have no sound early answer to return.
+    ///
+    /// [`RunMetrics::approximation_guarantee`]: crate::output::RunMetrics::approximation_guarantee
+    /// [`RunMetrics::halt`]: crate::output::RunMetrics::halt
+    fn run_anytime(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        anytime: &AnytimeConfig,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
+        let _ = anytime;
+        self.run_with(mw, agg, k, scratch)
     }
 }
 

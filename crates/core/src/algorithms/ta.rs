@@ -22,13 +22,16 @@
 
 use std::collections::BTreeSet;
 
-use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId, SlotSet, SlotTable};
+use fagin_middleware::{
+    AccessError, AccessStats, BatchConfig, Entry, Grade, Middleware, ObjectId, SlotSet, SlotTable,
+};
 
 use crate::aggregation::Aggregation;
+use crate::anytime::{AnytimeConfig, BestSnapshot};
 use crate::arena::{Lease, RunScratch};
 use crate::bounds::Bottoms;
 use crate::buffer::TopKBuffer;
-use crate::output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+use crate::output::{AlgoError, HaltReason, RunMetrics, ScoredObject, TopKOutput};
 
 use super::{validate, TopKAlgorithm};
 
@@ -207,6 +210,21 @@ impl Ta {
         self
     }
 
+    /// Sets the halting slack θ on an already-configured variant (composes
+    /// with `Z`, batching, memoization and warm starts; equivalent to
+    /// [`Ta::theta`] for plain TA).
+    ///
+    /// # Panics
+    /// Panics unless `θ` is finite and at least 1.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        assert!(
+            theta >= 1.0 && theta.is_finite(),
+            "theta must be finite and at least 1"
+        );
+        self.theta = theta;
+        self
+    }
+
     /// Sets the batched access configuration: each round consumes up to
     /// `batch.size()` entries per list through one
     /// [`Middleware::sorted_next_batch`] call, resolves their missing
@@ -328,6 +346,7 @@ impl Ta {
 impl TopKAlgorithm for Ta {
     fn name(&self) -> String {
         let base = match (&self.z, self.theta) {
+            (Some(z), t) if t > 1.0 => format!("TA_Z(|Z|={},theta={t})", z.len()),
             (Some(z), _) => format!("TA_Z(|Z|={})", z.len()),
             (None, t) if t > 1.0 => format!("TA_theta({t})"),
             _ if self.memoize => "TA(memo)".to_string(),
@@ -369,6 +388,57 @@ impl TopKAlgorithm for Ta {
             stepper.step()?;
         }
         Ok(stepper.finish())
+    }
+
+    fn run_anytime(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        anytime: &AnytimeConfig,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
+        let mut stepper = self.stepper_in(mw, agg, k, scratch)?;
+        let mut best = BestSnapshot::default();
+        let mut halt = HaltReason::Converged;
+        while !stepper.is_halted() {
+            match stepper.step() {
+                Ok(_) => {}
+                // Budget rescue: the hard budget ran out mid-round. The
+                // snapshots below were taken at consistent points *before*
+                // the failing round (mid-round sightings may be observed
+                // but unresolved, so the current view is not certifiable),
+                // so the best one still answers.
+                Err(AlgoError::Access(AccessError::BudgetExhausted)) if best.is_certified() => {
+                    halt = HaltReason::BudgetExhausted;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            if stepper.is_halted() {
+                break;
+            }
+            // A completed round is a consistent point: every sighting is
+            // resolved, so the view's τ/β guarantee certifies it (§6.2).
+            let view = stepper.view();
+            if let Some(g) = view.guarantee {
+                best.offer(g, || view.items);
+            }
+            if best.is_certified() {
+                if let Some(reason) = anytime.triggered(stepper.rounds(), stepper.stats()) {
+                    halt = reason;
+                    break;
+                }
+            }
+        }
+        let mut out = stepper.finish();
+        if halt.is_interrupted() {
+            let (g, items) = best.take().expect("interrupts require a certificate");
+            out.items = items;
+            out.metrics.approximation_guarantee = g;
+            out.metrics.halt = halt;
+        }
+        Ok(out)
     }
 }
 
@@ -427,6 +497,11 @@ impl TaStepper<'_> {
     /// Distinct objects seen under sorted access so far (the paper's `a`).
     pub fn distinct_seen(&self) -> usize {
         self.distinct_seen
+    }
+
+    /// Snapshot of the session's access counters so far.
+    pub fn stats(&self) -> &AccessStats {
+        self.mw.stats()
     }
 
     /// Executes one round: a batch of sorted accesses per active list, each
@@ -587,7 +662,10 @@ impl TaStepper<'_> {
                 // Once TA halts normally its answer is exact up to θ.
                 Some(self.theta)
             } else if b.value() > 0.0 {
-                Some((threshold.value() / b.value()).max(1.0))
+                Some(crate::anytime::certified_ratio(
+                    threshold.value(),
+                    b.value(),
+                ))
             } else {
                 None
             }

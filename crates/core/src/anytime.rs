@@ -1,0 +1,237 @@
+//! Anytime execution: cooperative interruption with a certified answer.
+//!
+//! §6.2 of the paper shows that halting TA early still yields a *certified*
+//! answer: after any round the current view is a `θ̂`-approximation of the
+//! true top-`k` with `θ̂ = τ/β`. The anytime mode generalizes this to the
+//! whole algorithm suite: a run configured with an [`AnytimeConfig`] checks
+//! its triggers at round boundaries and, instead of running to convergence
+//! (or erroring on a hard budget), returns the **best certified snapshot**
+//! seen so far — the answer together with its achieved guarantee `θ̂`,
+//! carried in [`RunMetrics::approximation_guarantee`] with the trigger in
+//! [`RunMetrics::halt`].
+//!
+//! Snapshots are only taken at *consistent* points (TA: after a list
+//! segment's sightings are fully resolved; NRA/CA: after a selection
+//! refresh), where the bounds `W ≤ t ≤ B` and the threshold `τ` are sound.
+//! The best snapshot is a running minimum over `θ̂`, so the guarantee is
+//! monotone non-increasing as the interruption point moves later — an
+//! interrupted run never reports a weaker certificate than any earlier
+//! interruption would have.
+//!
+//! [`RunMetrics::approximation_guarantee`]: crate::output::RunMetrics::approximation_guarantee
+//! [`RunMetrics::halt`]: crate::output::RunMetrics::halt
+
+use std::time::Instant;
+
+use fagin_middleware::{AccessStats, CostModel};
+
+use crate::output::{HaltReason, ScoredObject};
+
+/// Triggers for cooperative interruption, checked at round boundaries.
+///
+/// All triggers are optional and compose; the first one that fires wins.
+/// An empty config never triggers — the run behaves exactly like its
+/// non-anytime counterpart except that a mid-run middleware budget
+/// exhaustion is downgraded from an error to a certified degraded answer
+/// when a snapshot exists.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnytimeConfig {
+    deadline: Option<Instant>,
+    watermark: Option<(CostModel, f64)>,
+    round_cap: Option<u64>,
+}
+
+impl AnytimeConfig {
+    /// A config with no triggers (budget-exhaustion rescue only).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interrupts at the first round boundary at or past `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Interrupts at the first round boundary where the middleware cost
+    /// under `costs` reaches `limit` (a *soft* watermark — unlike a hard
+    /// [`CostBudget`](fagin_middleware::CostBudget), accesses are never
+    /// refused).
+    ///
+    /// # Panics
+    /// Panics if `limit` is negative or not finite.
+    pub fn with_cost_watermark(mut self, costs: CostModel, limit: f64) -> Self {
+        assert!(
+            limit >= 0.0 && limit.is_finite(),
+            "cost watermark must be non-negative and finite"
+        );
+        self.watermark = Some((costs, limit));
+        self
+    }
+
+    /// Interrupts at the first round boundary where at least `rounds`
+    /// rounds have completed. Deterministic, so it is the trigger the
+    /// round-boundary interruption tests sweep.
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0` (a zero-round run has nothing to certify).
+    pub fn with_round_cap(mut self, rounds: u64) -> Self {
+        assert!(rounds >= 1, "round cap must be at least 1");
+        self.round_cap = Some(rounds);
+        self
+    }
+
+    /// Whether any trigger fires for a run that has completed `rounds`
+    /// rounds with the given access counters. Returns the trigger that
+    /// fired, checked in deterministic-first order (round cap, watermark,
+    /// deadline) so deterministic triggers shadow wall-clock ones in tests.
+    pub fn triggered(&self, rounds: u64, stats: &AccessStats) -> Option<HaltReason> {
+        if self.round_cap.is_some_and(|cap| rounds >= cap) {
+            return Some(HaltReason::RoundCap);
+        }
+        if let Some((costs, limit)) = &self.watermark {
+            if costs.cost(stats) >= *limit {
+                return Some(HaltReason::CostWatermark);
+            }
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(HaltReason::Deadline);
+        }
+        None
+    }
+}
+
+/// The smallest `θ ≥ 1` with `θ · denom ≥ numer`, computed round-up-safe:
+/// plain `numer / denom` rounds to nearest, and a result one ulp low makes
+/// the certificate `θ̂` claim a bound the answer misses by a hair (caught
+/// by the oracle on knife-edge instances where an outsider's score equals
+/// the threshold exactly). Mirrors `oracle::achieved_theta`'s nudge.
+pub(crate) fn certified_ratio(numer: f64, denom: f64) -> f64 {
+    debug_assert!(denom > 0.0, "certificates need a positive denominator");
+    let mut theta = (numer / denom).max(1.0);
+    while theta * denom < numer {
+        theta = theta.next_up();
+    }
+    theta
+}
+
+/// The best certified snapshot seen so far: a running minimum over the
+/// achieved guarantee `θ̂`. Only replaced when a new consistent point
+/// certifies a *strictly* tighter guarantee, so the stored items always
+/// satisfy the stored `θ̂` and `θ̂` is monotone non-increasing in time.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BestSnapshot {
+    snap: Option<(f64, Vec<ScoredObject>)>,
+}
+
+impl BestSnapshot {
+    /// Offers a certified `(θ̂, items)` pair; kept iff strictly tighter
+    /// than the incumbent.
+    pub(crate) fn offer(&mut self, guarantee: f64, items: impl FnOnce() -> Vec<ScoredObject>) {
+        debug_assert!(guarantee >= 1.0, "certificates are clamped to >= 1");
+        match &self.snap {
+            Some((best, _)) if *best <= guarantee => {}
+            _ => self.snap = Some((guarantee, items())),
+        }
+    }
+
+    /// Whether any certified snapshot exists yet.
+    pub(crate) fn is_certified(&self) -> bool {
+        self.snap.is_some()
+    }
+
+    /// Consumes the snapshot: `(θ̂, items)`.
+    pub(crate) fn take(self) -> Option<(f64, Vec<ScoredObject>)> {
+        self.snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_config_never_triggers() {
+        let cfg = AnytimeConfig::new();
+        assert_eq!(cfg.triggered(u64::MAX, &AccessStats::new(2)), None);
+    }
+
+    #[test]
+    fn round_cap_triggers_at_the_boundary() {
+        let cfg = AnytimeConfig::new().with_round_cap(3);
+        let stats = AccessStats::new(1);
+        assert_eq!(cfg.triggered(2, &stats), None);
+        assert_eq!(cfg.triggered(3, &stats), Some(HaltReason::RoundCap));
+        assert_eq!(cfg.triggered(4, &stats), Some(HaltReason::RoundCap));
+    }
+
+    #[test]
+    fn watermark_triggers_on_cost() {
+        let cfg = AnytimeConfig::new().with_cost_watermark(CostModel::UNIT, 2.0);
+        let mut stats = AccessStats::new(1);
+        assert_eq!(cfg.triggered(1, &stats), None);
+        stats.record_sorted(0);
+        stats.record_random(0);
+        assert_eq!(cfg.triggered(1, &stats), Some(HaltReason::CostWatermark));
+    }
+
+    #[test]
+    fn deadline_triggers_once_past() {
+        let past = AnytimeConfig::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            past.triggered(1, &AccessStats::new(1)),
+            Some(HaltReason::Deadline)
+        );
+        let future = AnytimeConfig::new().with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(future.triggered(1, &AccessStats::new(1)), None);
+    }
+
+    #[test]
+    fn deterministic_triggers_shadow_the_deadline() {
+        let cfg = AnytimeConfig::new()
+            .with_deadline(Instant::now() - Duration::from_millis(1))
+            .with_round_cap(1);
+        assert_eq!(
+            cfg.triggered(1, &AccessStats::new(1)),
+            Some(HaltReason::RoundCap)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "round cap must be at least 1")]
+    fn zero_round_cap_rejected() {
+        let _ = AnytimeConfig::new().with_round_cap(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost watermark must be non-negative")]
+    fn negative_watermark_rejected() {
+        let _ = AnytimeConfig::new().with_cost_watermark(CostModel::UNIT, -1.0);
+    }
+
+    #[test]
+    fn certified_ratio_never_undershoots() {
+        // The knife edge the plain division loses: β from the correlated
+        // workload where round-to-nearest gives (1/β)·β = 1 − 1 ulp.
+        let beta = 0.9495564182190441_f64;
+        let theta = certified_ratio(1.0, beta);
+        assert!(theta * beta >= 1.0, "certificate must cover the threshold");
+        assert!((theta - 1.0 / beta).abs() < 1e-12, "nudge stays tiny");
+        // Exact cases pass through untouched.
+        assert_eq!(certified_ratio(0.5, 1.0), 1.0);
+        assert_eq!(certified_ratio(2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn best_snapshot_is_a_running_min() {
+        let mut best = BestSnapshot::default();
+        assert!(!best.is_certified());
+        best.offer(2.0, Vec::new);
+        best.offer(3.0, || panic!("looser guarantee must not be cloned"));
+        best.offer(1.5, Vec::new);
+        best.offer(1.5, || panic!("equal guarantee keeps the incumbent"));
+        let (g, _) = best.take().unwrap();
+        assert_eq!(g, 1.5);
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod aggregation;
 pub mod algorithms;
+pub mod anytime;
 pub mod arena;
 pub mod bounds;
 pub mod buffer;
@@ -46,5 +47,6 @@ pub mod planner;
 
 pub use aggregation::Aggregation;
 pub use algorithms::TopKAlgorithm;
+pub use anytime::AnytimeConfig;
 pub use arena::RunScratch;
-pub use output::{AlgoError, RunMetrics, ScoredObject, TopKOutput};
+pub use output::{AlgoError, HaltReason, RunMetrics, ScoredObject, TopKOutput};

@@ -119,6 +119,58 @@ pub fn is_valid_theta_approximation(
     }
 }
 
+/// The smallest θ for which `objects` is a valid θ-approximation to the
+/// top-`k`: `max_unselected t(z) / min_selected t(y)`, clamped to ≥ 1.
+///
+/// `None` when no finite θ certifies the answer (wrong cardinality,
+/// duplicates, or a selected grade of zero while an unselected grade is
+/// positive). This is the ground-truth counterpart of the engine-side θ̂
+/// certificate: for any anytime answer, `achieved_theta(...) ≤ θ̂` must
+/// hold, since θ̂ is computed from bounds that only over-estimate.
+pub fn achieved_theta(
+    db: &Database,
+    agg: &dyn Aggregation,
+    k: usize,
+    objects: &[ObjectId],
+) -> Option<f64> {
+    let k_eff = k.min(db.num_objects());
+    if objects.len() != k_eff {
+        return None;
+    }
+    let mut selected: Vec<ObjectId> = objects.to_vec();
+    selected.sort_unstable();
+    selected.dedup();
+    if selected.len() != objects.len() {
+        return None;
+    }
+    let graded = all_grades(db, agg);
+    let min_selected = graded
+        .iter()
+        .filter(|(o, _)| selected.binary_search(o).is_ok())
+        .map(|&(_, g)| g)
+        .min()
+        .expect("nonempty selection");
+    let max_unselected = graded
+        .iter()
+        .filter(|(o, _)| selected.binary_search(o).is_err())
+        .map(|&(_, g)| g)
+        .max();
+    match max_unselected {
+        None => Some(1.0),
+        Some(z) if z == Grade::ZERO => Some(1.0),
+        Some(_) if min_selected == Grade::ZERO => None,
+        Some(z) => {
+            // `(z/y)·y` can round below `z`; nudge up until the θ we return
+            // actually satisfies the predicate we claim it certifies.
+            let mut theta = (z.value() / min_selected.value()).max(1.0);
+            while theta * min_selected.value() < z.value() {
+                theta = theta.next_up();
+            }
+            Some(theta)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +236,42 @@ mod tests {
             1.2,
             &[ObjectId(0)]
         ));
+    }
+
+    #[test]
+    fn achieved_theta_matches_the_predicate() {
+        let db = db();
+        // Exact answer: θ̂ = 1.
+        assert_eq!(achieved_theta(&db, &Average, 1, &[ObjectId(1)]), Some(1.0));
+        // obj0 has avg 0.55, best is 0.65: θ̂ = 0.65/0.55.
+        let t = achieved_theta(&db, &Average, 1, &[ObjectId(0)]).unwrap();
+        assert!((t - 0.65 / 0.55).abs() < 1e-12);
+        assert!(is_valid_theta_approximation(
+            &db,
+            &Average,
+            1,
+            t,
+            &[ObjectId(0)]
+        ));
+        // Selecting everything certifies exactly.
+        let all: Vec<ObjectId> = db.objects().collect();
+        assert_eq!(achieved_theta(&db, &Min, 10, &all), Some(1.0));
+        // Wrong cardinality and duplicates certify nothing.
+        assert_eq!(achieved_theta(&db, &Min, 2, &[ObjectId(0)]), None);
+        assert_eq!(
+            achieved_theta(&db, &Min, 2, &[ObjectId(0), ObjectId(0)]),
+            None
+        );
+    }
+
+    #[test]
+    fn achieved_theta_zero_grades() {
+        // Selected grade 0 with a positive outsider: no finite θ.
+        let db = Database::from_f64_columns(&[vec![0.0, 0.5], vec![0.0, 0.5]]).unwrap();
+        assert_eq!(achieved_theta(&db, &Min, 1, &[ObjectId(0)]), None);
+        // Everything zero: exact.
+        let db0 = Database::from_f64_columns(&[vec![0.0, 0.0]]).unwrap();
+        assert_eq!(achieved_theta(&db0, &Min, 1, &[ObjectId(1)]), Some(1.0));
     }
 
     #[test]

@@ -28,6 +28,34 @@ impl fmt::Display for ScoredObject {
     }
 }
 
+/// Why a run ended: converged normally, or was interrupted by an anytime
+/// trigger (see [`crate::anytime::AnytimeConfig`]) and returned its best
+/// certified snapshot instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HaltReason {
+    /// The algorithm's own halting rule fired (or the lists were
+    /// exhausted): the answer carries the configured guarantee.
+    #[default]
+    Converged,
+    /// An anytime deadline passed at a round boundary.
+    Deadline,
+    /// An anytime cost watermark was reached at a round boundary.
+    CostWatermark,
+    /// An anytime round cap was reached at a round boundary.
+    RoundCap,
+    /// The middleware's hard cost budget ran out mid-run and the anytime
+    /// path salvaged the best certified snapshot instead of erroring.
+    BudgetExhausted,
+}
+
+impl HaltReason {
+    /// Whether the run was cut short by an anytime trigger (any reason
+    /// other than [`HaltReason::Converged`]).
+    pub fn is_interrupted(&self) -> bool {
+        *self != HaltReason::Converged
+    }
+}
+
 /// Execution metrics beyond raw access counts.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunMetrics {
@@ -46,8 +74,13 @@ pub struct RunMetrics {
     /// The threshold value `τ` when the algorithm halted, if it computes one.
     pub final_threshold: Option<Grade>,
     /// For approximation runs: the guarantee `θ` such that the output is a
-    /// θ-approximation (1.0 = exact).
+    /// θ-approximation (1.0 = exact). Anytime-interrupted runs carry the
+    /// *achieved* certificate `θ̂` computed from the bounds at the best
+    /// snapshot.
     pub approximation_guarantee: f64,
+    /// Why the run ended ([`HaltReason::Converged`] unless an anytime
+    /// trigger cut it short).
+    pub halt: HaltReason,
     /// Number of candidates whose grade was fully resolved via random access
     /// (CA bookkeeping).
     pub random_access_phases: u64,
@@ -220,5 +253,9 @@ mod tests {
     #[test]
     fn metrics_default_guarantee_is_exact() {
         assert_eq!(RunMetrics::new().approximation_guarantee, 1.0);
+        assert_eq!(RunMetrics::new().halt, HaltReason::Converged);
+        assert!(!RunMetrics::new().halt.is_interrupted());
+        assert!(HaltReason::Deadline.is_interrupted());
+        assert!(HaltReason::BudgetExhausted.is_interrupted());
     }
 }

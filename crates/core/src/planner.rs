@@ -18,6 +18,8 @@ use crate::aggregation::Aggregation;
 use crate::algorithms::{
     BookkeepingStrategy, Ca, MaxTopK, Nra, StreamCombine, Ta, TopKAlgorithm, WarmStart,
 };
+use crate::anytime::AnytimeConfig;
+use crate::arena::RunScratch;
 use crate::optimality;
 use crate::output::{AlgoError, TopKOutput};
 
@@ -110,6 +112,22 @@ impl Plan {
     ) -> Result<TopKOutput, AlgoError> {
         self.algorithm.run(mw, agg, k)
     }
+
+    /// Runs the plan cooperatively: at round boundaries the algorithm checks
+    /// `anytime`'s triggers and, once it holds a certified snapshot, returns
+    /// the best-known answer with its achieved guarantee θ̂ instead of
+    /// running to convergence (see
+    /// [`crate::algorithms::TopKAlgorithm::run_anytime`]).
+    pub fn execute_anytime(
+        &self,
+        mw: &mut dyn Middleware,
+        agg: &dyn Aggregation,
+        k: usize,
+        anytime: &AnytimeConfig,
+        scratch: &mut RunScratch,
+    ) -> Result<TopKOutput, AlgoError> {
+        self.algorithm.run_anytime(mw, agg, k, anytime, scratch)
+    }
 }
 
 /// Errors from planning.
@@ -184,8 +202,42 @@ impl Planner {
         batch: BatchConfig,
         warm: Option<WarmStart>,
     ) -> Result<Plan, PlanError> {
+        self.plan_query_theta(caps, agg, k, costs, batch, warm, 1.0)
+    }
+
+    /// Like [`Planner::plan_query`], but plans a **θ-approximate** query
+    /// (§6.2): the chosen algorithm halts as soon as it can certify a
+    /// θ-approximation, so its access cost never exceeds the exact plan's.
+    /// TA, TA_Z, NRA and CA all thread θ through their relaxed halting
+    /// rule; choices that are already exact at no extra cost (the max
+    /// specialist) or have no θ channel (Stream-Combine) ignore it and say
+    /// so in the rationale. `theta = 1.0` is exactly [`Planner::plan_query`].
+    ///
+    /// # Panics
+    /// Panics unless `θ` is finite and at least 1.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_query_theta(
+        &self,
+        caps: &Capabilities,
+        agg: &dyn Aggregation,
+        k: usize,
+        costs: &CostModel,
+        batch: BatchConfig,
+        warm: Option<WarmStart>,
+        theta: f64,
+    ) -> Result<Plan, PlanError> {
+        assert!(
+            theta >= 1.0 && theta.is_finite(),
+            "theta must be finite and at least 1"
+        );
         let m = caps.num_lists;
         let mut why = Vec::new();
+        if theta > 1.0 {
+            why.push(format!(
+                "θ = {theta}: relaxed halting certifies a θ-approximation (§6.2), \
+                 never costing more accesses than the exact plan"
+            ));
+        }
 
         if caps.sorted_lists.is_empty() {
             return Err(PlanError::NoSortedAccess);
@@ -209,6 +261,9 @@ impl Planner {
                 "only {m_prime}/{m} lists support sorted access: TA_Z over Z (§7)"
             ));
             let mut ta = Ta::restricted(caps.sorted_lists.iter().copied()).with_batch(batch);
+            if theta > 1.0 {
+                ta = ta.with_theta(theta);
+            }
             if let Some(w) = warm {
                 why.push(format!("warm start: {} certified seeds", w.len()));
                 ta = ta.with_warm_start(w);
@@ -238,6 +293,11 @@ impl Planner {
                     ));
                 }
                 warm_note(&mut why, &warm, "Stream-Combine");
+                if theta > 1.0 {
+                    why.push(
+                        "θ ignored: Stream-Combine has no θ channel, answer is exact".to_string(),
+                    );
+                }
                 return Ok(Plan {
                     algorithm: Box::new(StreamCombine::default()),
                     guarantee: Guarantee::CorrectOnly,
@@ -246,10 +306,12 @@ impl Planner {
             }
             why.push("no random access: NRA (§8.1)".to_string());
             warm_note(&mut why, &warm, "NRA");
+            let mut nra = Nra::with_strategy(BookkeepingStrategy::LazyHeap).with_batch(batch);
+            if theta > 1.0 {
+                nra = nra.with_theta(theta);
+            }
             return Ok(Plan {
-                algorithm: Box::new(
-                    Nra::with_strategy(BookkeepingStrategy::LazyHeap).with_batch(batch),
-                ),
+                algorithm: Box::new(nra),
                 guarantee: Guarantee::InstanceOptimal {
                     ratio_bound: optimality::nra_ratio_bound(m),
                     class: "correct algorithms making no random accesses (Thm 8.5)",
@@ -268,6 +330,13 @@ impl Planner {
                 ));
             }
             warm_note(&mut why, &warm, "the max specialist");
+            if theta > 1.0 {
+                why.push(
+                    "θ ignored: the specialist's mk sorted accesses are already optimal, \
+                     answer is exact"
+                        .to_string(),
+                );
+            }
             return Ok(Plan {
                 algorithm: Box::new(MaxTopK),
                 guarantee: Guarantee::InstanceOptimal {
@@ -293,12 +362,14 @@ impl Planner {
                 costs.ratio()
             ));
             warm_note(&mut why, &warm, "CA");
+            let mut ca = Ca::for_costs(costs)
+                .with_strategy(BookkeepingStrategy::LazyHeap)
+                .with_batch(batch);
+            if theta > 1.0 {
+                ca = ca.with_theta(theta);
+            }
             return Ok(Plan {
-                algorithm: Box::new(
-                    Ca::for_costs(costs)
-                        .with_strategy(BookkeepingStrategy::LazyHeap)
-                        .with_batch(batch),
-                ),
+                algorithm: Box::new(ca),
                 guarantee: Guarantee::InstanceOptimal {
                     ratio_bound: ca_bound,
                     class: "correct algorithms over distinct databases (Thms 8.9/8.10)",
@@ -323,6 +394,9 @@ impl Planner {
             ta_bound
         };
         let mut ta = Ta::new().with_batch(batch);
+        if theta > 1.0 {
+            ta = ta.with_theta(theta);
+        }
         if let Some(w) = warm {
             why.push(format!("warm start: {} certified seeds", w.len()));
             ta = ta.with_warm_start(w);
@@ -621,6 +695,111 @@ mod tests {
                 plan.algorithm.name()
             );
             assert!(!plan.rationale.is_empty());
+        }
+    }
+
+    #[test]
+    fn theta_plans_thread_theta_into_every_branch() {
+        let p = |caps: &Capabilities, agg: &dyn Aggregation, costs: &CostModel, theta: f64| {
+            Planner
+                .plan_query_theta(caps, agg, 2, costs, BatchConfig::scalar(), None, theta)
+                .unwrap()
+        };
+        // θ = 1 is exactly the exact plan.
+        let plan = p(&Capabilities::full(3), &Average, &CostModel::UNIT, 1.0);
+        assert_eq!(plan.algorithm.name(), "TA");
+        // TA, TA_Z, NRA and CA all pick up θ…
+        let plan = p(&Capabilities::full(3), &Average, &CostModel::UNIT, 1.5);
+        assert_eq!(plan.algorithm.name(), "TA_theta(1.5)");
+        let plan = p(
+            &Capabilities::restricted_sorted(3, [0]),
+            &Average,
+            &CostModel::UNIT,
+            1.5,
+        );
+        assert_eq!(plan.algorithm.name(), "TA_Z(|Z|=1,theta=1.5)");
+        let plan = p(
+            &Capabilities::no_random_access(3),
+            &Average,
+            &CostModel::UNIT,
+            1.5,
+        );
+        assert_eq!(plan.algorithm.name(), "NRA(lazy)_theta(1.5)");
+        let caps = Capabilities {
+            distinctness: true,
+            ..Capabilities::full(3)
+        };
+        let plan = p(&caps, &Average, &CostModel::new(1.0, 100.0), 1.5);
+        assert!(
+            plan.algorithm.name().starts_with("CA") && plan.algorithm.name().contains("theta=1.5"),
+            "{}",
+            plan.algorithm.name()
+        );
+        // …while exact-anyway choices explain that they ignored it.
+        let plan = p(&Capabilities::full(3), &Max, &CostModel::UNIT, 1.5);
+        assert_eq!(plan.algorithm.name(), "MaxTopK");
+        assert!(
+            plan.rationale.iter().any(|r| r.contains("θ ignored")),
+            "{:?}",
+            plan.rationale
+        );
+        let caps = Capabilities {
+            require_grades: true,
+            ..Capabilities::no_random_access(3)
+        };
+        let plan = p(&caps, &Average, &CostModel::UNIT, 1.5);
+        assert!(plan.algorithm.name().starts_with("StreamCombine"));
+        assert!(
+            plan.rationale.iter().any(|r| r.contains("θ ignored")),
+            "{:?}",
+            plan.rationale
+        );
+    }
+
+    #[test]
+    fn theta_plans_answer_validly_and_never_cost_more() {
+        let db = db();
+        let cases: Vec<(Capabilities, AccessPolicy)> = vec![
+            (Capabilities::full(3), AccessPolicy::no_wild_guesses()),
+            (
+                Capabilities::no_random_access(3),
+                AccessPolicy::no_random_access(),
+            ),
+            (
+                Capabilities::restricted_sorted(3, [0]),
+                AccessPolicy::sorted_only_on([0]),
+            ),
+        ];
+        for (caps, policy) in cases {
+            for theta in [1.0, 1.5, 2.0] {
+                let exact = Planner.plan(&caps, &Average, 2, &CostModel::UNIT).unwrap();
+                let mut s = Session::with_policy(&db, policy.clone());
+                let exact_out = exact.execute(&mut s, &Average, 2).unwrap();
+                let plan = Planner
+                    .plan_query_theta(
+                        &caps,
+                        &Average,
+                        2,
+                        &CostModel::UNIT,
+                        BatchConfig::scalar(),
+                        None,
+                        theta,
+                    )
+                    .unwrap();
+                let mut s = Session::with_policy(&db, policy.clone());
+                let out = plan.execute(&mut s, &Average, 2).unwrap();
+                assert!(
+                    oracle::is_valid_theta_approximation(&db, &Average, 2, theta, &out.objects()),
+                    "{} not a valid {theta}-approximation",
+                    plan.algorithm.name()
+                );
+                assert!(
+                    out.stats.sorted_total() <= exact_out.stats.sorted_total()
+                        && out.stats.random_total() <= exact_out.stats.random_total(),
+                    "{} cost more than the exact plan",
+                    plan.algorithm.name()
+                );
+            }
         }
     }
 

@@ -85,6 +85,27 @@ impl<M: Middleware> CostBudget<M> {
         self.inner
     }
 
+    /// The cost model this budget bills under.
+    pub fn model(&self) -> CostModel {
+        self.model
+    }
+
+    /// An early-warning watermark at `fraction` of the limit: the billing
+    /// model paired with `fraction·limit`, in the shape an anytime cost
+    /// trigger consumes. A run that yields its best certified answer at the
+    /// watermark halts gracefully *before* the hard budget would reject an
+    /// access mid-round.
+    ///
+    /// # Panics
+    /// Panics unless `fraction` is in `[0, 1]`.
+    pub fn watermark(&self, fraction: f64) -> (CostModel, f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "watermark fraction must be in [0, 1]"
+        );
+        (self.model, self.limit * fraction)
+    }
+
     /// How many accesses of unit cost `unit` the remaining allowance
     /// affords.
     fn affordable(&self, unit: f64) -> usize {
@@ -299,6 +320,24 @@ mod tests {
         assert!(!g.policy().allow_wild_guesses);
         let session = g.into_inner();
         assert_eq!(session.stats().total(), 0);
+    }
+
+    #[test]
+    fn watermark_scales_the_limit() {
+        let db = db();
+        let g = CostBudget::new(Session::new(&db), CostModel::new(1.0, 5.0), 40.0);
+        let (model, at) = g.watermark(0.75);
+        assert_eq!(model, CostModel::new(1.0, 5.0));
+        assert_eq!(at, 30.0);
+        assert_eq!(g.model(), CostModel::new(1.0, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark fraction must be in [0, 1]")]
+    fn watermark_fraction_out_of_range_rejected() {
+        let db = db();
+        let g = CostBudget::new(Session::new(&db), CostModel::UNIT, 1.0);
+        let _ = g.watermark(1.5);
     }
 
     #[test]

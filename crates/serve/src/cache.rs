@@ -35,8 +35,22 @@
 //! databases with a unique `k`-th grade (any generic real-valued workload)
 //! answers are tie-free and cache hits are byte-identical to cold runs.
 //!
-//! Approximate runs (θ > 1) certify nothing about prefixes and are neither
-//! cached nor served from the cache.
+//! ## Guarantee-tagged entries (the θ-ordering rule)
+//!
+//! Every entry carries the guarantee its run certified: `1.0` for exact
+//! runs, the achieved `θ̂` for approximate or anytime-interrupted runs. A
+//! θ̂-certified answer is by definition a valid θ-approximation for every
+//! `θ ≥ θ̂`, so:
+//!
+//! * an **exact** entry (`θ̂ = 1`) serves any request — exact or
+//!   approximate — by the prefix rule above (an exact prefix is a valid
+//!   θ-approximation for every θ);
+//! * a **θ̂ entry** serves only requests with `θ ≥ θ̂` at *exactly* its
+//!   certified `k` (an approximate answer certifies no prefix ordering),
+//!   and never serves an exact request or seeds a warm start;
+//! * on insert, a tighter guarantee beats a looser one at the same shape;
+//!   at equal guarantee the larger certified `k` (then gradedness) wins —
+//!   so an exact run always displaces a θ̂ entry, never the reverse.
 
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -102,6 +116,10 @@ pub struct CachedRun {
     pub graded: bool,
     /// Name of the algorithm that produced the run (for reports).
     pub algorithm: String,
+    /// The guarantee the run certified: `1.0` for exact runs, the achieved
+    /// `θ̂` for approximate or anytime-interrupted runs. Governs which
+    /// requests the entry may serve (the θ-ordering rule above).
+    pub guarantee: f64,
 }
 
 struct Slot {
@@ -120,6 +138,9 @@ pub struct CacheHit {
     pub certified_k: usize,
     /// The algorithm that originally produced the entry.
     pub algorithm: String,
+    /// The guarantee the entry certifies (`1.0` = exact; otherwise the
+    /// achieved `θ̂` — always ≤ the request's θ, or it would not have hit).
+    pub guarantee: f64,
 }
 
 /// Bounded, LRU-evicting map from answer-relevant request shapes to
@@ -179,21 +200,25 @@ impl ResultCache {
         recency.insert(tick, key.clone());
     }
 
-    /// Tries to serve `req` from the cache. Exact requests only (callers
-    /// bypass the cache for θ > 1).
-    ///
-    /// Hit rule: an entry for the same answer-relevant shape serves
-    /// `k == requested_k` always, and any `k < requested_k` when the entry
-    /// is fully graded (the τ-certificate prefix rule above).
+    /// Whether `entry` may serve `req` (the θ-ordering rule): exact
+    /// entries serve `k == requested_k` always and any smaller `k` when
+    /// graded (the τ-certificate prefix rule); θ̂ entries serve only
+    /// requests with `θ ≥ θ̂` at exactly their certified `k`.
+    fn serves(entry: &CachedRun, req: &QueryRequest) -> bool {
+        if entry.guarantee <= 1.0 {
+            req.k == entry.requested_k || (req.k < entry.requested_k && entry.graded)
+        } else {
+            req.theta >= entry.guarantee && req.k == entry.requested_k
+        }
+    }
+
+    /// Tries to serve `req` from the cache, exact and approximate requests
+    /// alike (see `ResultCache::serves` above for the hit rule).
     pub fn lookup(&mut self, req: &QueryRequest) -> Option<CacheHit> {
-        debug_assert!(req.is_exact(), "approximate requests bypass the cache");
         self.tick += 1;
         let key = CacheKey::of(req);
         match self.map.get_mut(&key) {
-            Some(slot)
-                if req.k == slot.run.requested_k
-                    || (req.k < slot.run.requested_k && slot.run.graded) =>
-            {
+            Some(slot) if Self::serves(&slot.run, req) => {
                 Self::touch(&mut self.recency, self.tick, &key, slot);
                 let take = req.k.min(slot.run.items.len());
                 Some(CacheHit {
@@ -201,6 +226,7 @@ impl ResultCache {
                     threshold: slot.run.threshold,
                     certified_k: slot.run.requested_k,
                     algorithm: slot.run.algorithm.clone(),
+                    guarantee: slot.run.guarantee,
                 })
             }
             _ => None,
@@ -219,7 +245,9 @@ impl ResultCache {
         self.tick += 1;
         let key = CacheKey::of(req);
         let slot = self.map.get_mut(&key)?;
-        if !slot.run.graded || req.k <= slot.run.requested_k {
+        // θ̂ entries never seed: their items are not certified to be the
+        // true top, so handing them to a warm start would be unsound.
+        if slot.run.guarantee > 1.0 || !slot.run.graded || req.k <= slot.run.requested_k {
             return None;
         }
         Self::touch(&mut self.recency, self.tick, &key, slot);
@@ -228,18 +256,28 @@ impl ResultCache {
         })))
     }
 
-    /// Offers a completed exact run for caching. Kept if the shape is new,
-    /// or if it certifies more than the resident entry (larger `k`, or
-    /// grades at equal `k`). May evict the least-recently-used entry.
+    /// Offers a certified run for caching. Kept if the shape is new, or if
+    /// it certifies more than the resident entry: a tighter guarantee wins
+    /// outright, and at equal guarantee the larger `k` (then grades at
+    /// equal `k`) wins. May evict the least-recently-used entry.
     pub fn insert(&mut self, req: &QueryRequest, run: CachedRun) {
-        debug_assert!(req.is_exact(), "approximate runs are never cached");
+        debug_assert!(
+            run.guarantee >= 1.0 && run.guarantee.is_finite(),
+            "cached runs carry a finite guarantee of at least 1"
+        );
         self.tick += 1;
         let key = CacheKey::of(req);
         match self.map.entry(key) {
             MapEntry::Occupied(mut e) => {
                 let old = &e.get().run;
-                let better = run.requested_k > old.requested_k
-                    || (run.requested_k == old.requested_k && run.graded >= old.graded);
+                let better = match run.guarantee.partial_cmp(&old.guarantee) {
+                    Some(std::cmp::Ordering::Less) => true,
+                    Some(std::cmp::Ordering::Greater) => false,
+                    _ => {
+                        run.requested_k > old.requested_k
+                            || (run.requested_k == old.requested_k && run.graded >= old.graded)
+                    }
+                };
                 if better {
                     self.recency.remove(&e.get().last_used);
                     self.recency.insert(self.tick, e.key().clone());
@@ -303,6 +341,15 @@ mod tests {
             requested_k: k,
             graded,
             algorithm: "TA".into(),
+            guarantee: 1.0,
+        }
+    }
+
+    fn theta_run(k: usize, items: Vec<ScoredObject>, guarantee: f64) -> CachedRun {
+        CachedRun {
+            guarantee,
+            algorithm: "TA_theta".into(),
+            ..run(k, items, true)
         }
     }
 
@@ -363,6 +410,115 @@ mod tests {
                 .is_none(),
             "no warm start without grades"
         );
+    }
+
+    #[test]
+    fn exact_entries_certify_every_smaller_k_for_any_theta() {
+        // Regression: an exact entry must keep serving the full prefix
+        // family, and additionally any approximate request (an exact
+        // prefix is a valid θ-approximation for every θ ≥ 1).
+        let mut cache = ResultCache::new(8);
+        let req5 = QueryRequest::new(AggSpec::Min, 5);
+        cache.insert(
+            &req5,
+            run(
+                5,
+                (0..5).map(|i| item(i, 0.9 - i as f64 / 10.0)).collect(),
+                true,
+            ),
+        );
+        for k in 1..=5 {
+            let hit = cache
+                .lookup(&QueryRequest::new(AggSpec::Min, k))
+                .unwrap_or_else(|| panic!("exact k={k} must hit"));
+            assert_eq!(hit.items.len(), k);
+            assert_eq!(hit.guarantee, 1.0);
+            let hit = cache
+                .lookup(&QueryRequest::new(AggSpec::Min, k).with_theta(1.5))
+                .unwrap_or_else(|| panic!("θ k={k} must hit"));
+            assert_eq!(hit.guarantee, 1.0, "served from the exact certificate");
+        }
+    }
+
+    #[test]
+    fn theta_entries_serve_only_looser_requests_at_their_k() {
+        let mut cache = ResultCache::new(8);
+        let req = QueryRequest::new(AggSpec::Min, 3).with_theta(1.5);
+        cache.insert(
+            &req,
+            theta_run(3, vec![item(0, 0.9), item(1, 0.8), item(2, 0.7)], 1.5),
+        );
+        // Looser or equal θ at the certified k: hit, reporting θ̂.
+        let hit = cache
+            .lookup(&QueryRequest::new(AggSpec::Min, 3).with_theta(1.5))
+            .expect("equal θ hits");
+        assert_eq!(hit.guarantee, 1.5);
+        assert!(cache
+            .lookup(&QueryRequest::new(AggSpec::Min, 3).with_theta(2.0))
+            .is_some());
+        // A tighter guarantee must never be served from a looser entry.
+        assert!(
+            cache
+                .lookup(&QueryRequest::new(AggSpec::Min, 3).with_theta(1.2))
+                .is_none(),
+            "θ̂ = 1.5 cannot certify θ = 1.2"
+        );
+        assert!(
+            cache.lookup(&QueryRequest::new(AggSpec::Min, 3)).is_none(),
+            "θ̂ entries never serve exact requests"
+        );
+        // No prefix rule and no warm starts for approximate certificates.
+        assert!(cache
+            .lookup(&QueryRequest::new(AggSpec::Min, 2).with_theta(2.0))
+            .is_none());
+        assert!(cache
+            .warm_hint(&QueryRequest::new(AggSpec::Min, 9))
+            .is_none());
+    }
+
+    #[test]
+    fn tighter_guarantees_displace_looser_ones_and_not_vice_versa() {
+        let mut cache = ResultCache::new(8);
+        let theta_req = QueryRequest::new(AggSpec::Min, 2).with_theta(2.0);
+        cache.insert(
+            &theta_req,
+            theta_run(2, vec![item(3, 0.6), item(4, 0.5)], 1.8),
+        );
+        // An exact run for the same shape displaces the θ̂ entry…
+        cache.insert(
+            &QueryRequest::new(AggSpec::Min, 2),
+            run(2, vec![item(0, 0.9), item(1, 0.8)], true),
+        );
+        let hit = cache.lookup(&theta_req).expect("exact serves looser θ");
+        assert_eq!(hit.guarantee, 1.0);
+        assert_eq!(hit.items[0].object, ObjectId(0));
+        // …and a θ̂ offer never displaces the exact entry.
+        cache.insert(
+            &theta_req,
+            theta_run(2, vec![item(3, 0.6), item(4, 0.5)], 1.8),
+        );
+        assert_eq!(cache.lookup(&theta_req).unwrap().guarantee, 1.0);
+        assert!(cache.lookup(&QueryRequest::new(AggSpec::Min, 1)).is_some());
+        // Among θ̂ entries, the tighter certificate wins.
+        let mut cache = ResultCache::new(8);
+        cache.insert(
+            &theta_req,
+            theta_run(2, vec![item(3, 0.6), item(4, 0.5)], 1.8),
+        );
+        cache.insert(
+            &theta_req,
+            theta_run(2, vec![item(0, 0.9), item(1, 0.8)], 1.3),
+        );
+        let hit = cache
+            .lookup(&QueryRequest::new(AggSpec::Min, 2).with_theta(1.4))
+            .expect("tighter θ̂ serves θ = 1.4");
+        assert_eq!(hit.guarantee, 1.3);
+        cache.insert(
+            &theta_req,
+            theta_run(2, vec![item(3, 0.6), item(4, 0.5)], 1.8),
+        );
+        assert_eq!(cache.lookup(&theta_req).unwrap().guarantee, 1.3);
+        cache.check_recency_invariant();
     }
 
     #[test]

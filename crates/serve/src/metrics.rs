@@ -38,6 +38,7 @@ pub(crate) struct Recorder {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     coalesced: AtomicU64,
+    degraded: AtomicU64,
     rejected_queue: AtomicU64,
     rejected_budget: AtomicU64,
     failed: AtomicU64,
@@ -53,6 +54,7 @@ impl Recorder {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
             rejected_queue: AtomicU64::new(0),
             rejected_budget: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -79,6 +81,14 @@ impl Recorder {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.coalesced.fetch_add(1, Ordering::Relaxed);
         self.push_cost(0.0);
+    }
+
+    /// A query answered degraded: an anytime trigger (deadline, cost
+    /// watermark, or a budget strike with a certificate in hand) cut the
+    /// run short and the best certified θ̂ answer was returned instead of
+    /// an error. Counted *in addition to* the completion tally.
+    pub(crate) fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A worker caught a panic while executing a query (the worker
@@ -132,6 +142,7 @@ impl Recorder {
             cache_hits: hits,
             cache_misses: misses,
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue.load(Ordering::Relaxed),
             rejected_over_budget: self.rejected_budget.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
@@ -179,6 +190,10 @@ pub struct ServiceMetrics {
     /// (single-flight coalescing) — counted in `completed` but in neither
     /// `cache_hits` nor `cache_misses`.
     pub coalesced: u64,
+    /// Queries answered degraded: an anytime interrupt (deadline, cost
+    /// watermark, or budget strike) returned the best certified θ̂ answer
+    /// instead of an error. A subset of `completed`.
+    pub degraded: u64,
     /// Submissions rejected by the queue-depth cap.
     pub rejected_queue_full: u64,
     /// Queries aborted by their middleware-cost budget.
@@ -213,12 +228,13 @@ impl fmt::Display for ServiceMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} queries ({:.1}/s) | hit rate {:.1}% | coalesced {} | cost p50 {} p99 {} | \
-             rejected {}+{} | failed {} | panics {} | shared scans {}/{}",
+            "{} queries ({:.1}/s) | hit rate {:.1}% | coalesced {} | degraded {} | \
+             cost p50 {} p99 {} | rejected {}+{} | failed {} | panics {} | shared scans {}/{}",
             self.completed,
             self.queries_per_sec,
             self.cache_hit_rate * 100.0,
             self.coalesced,
+            self.degraded,
             self.cost_p50.map_or("-".into(), |c| format!("{c:.1}")),
             self.cost_p99.map_or("-".into(), |c| format!("{c:.1}")),
             self.rejected_queue_full,
@@ -254,11 +270,14 @@ mod tests {
         r.record_queue_rejection();
         r.record_budget_rejection();
         r.record_failure();
+        r.record_degraded();
         let m = r.snapshot();
         assert_eq!(m.completed, 3);
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.cache_misses, 2);
         assert_eq!(m.coalesced, 0);
+        assert_eq!(m.degraded, 1);
+        assert!(m.to_string().contains("degraded 1"));
         assert_eq!(m.worker_panics, 0);
         assert_eq!(m.rejected_queue_full, 1);
         assert_eq!(m.rejected_over_budget, 1);

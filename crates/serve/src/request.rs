@@ -14,6 +14,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::str::FromStr;
+use std::time::Duration;
 
 use fagin_core::aggregation::{
     Aggregation, Average, GeometricMean, Max, Median, Min, Product, Sum,
@@ -127,16 +128,30 @@ pub struct QueryRequest {
     /// access-by-access execution).
     pub batch: BatchConfig,
     /// Approximation slack: `1.0` demands the exact answer, `θ > 1`
-    /// accepts a θ-approximation (§6.2). Approximate requests bypass the
-    /// result cache entirely.
+    /// accepts a θ-approximation (§6.2). Approximate requests are served
+    /// from the result cache whenever an entry's guarantee is at least as
+    /// tight: exact entries certify every θ, and a θ̂-tagged entry serves
+    /// any request with `θ ≥ θ̂` at its `k`.
     pub theta: f64,
     /// Whether the answer must carry grades (§8.1 relaxes this for the
     /// no-random-access scenario).
     pub require_grades: bool,
     /// Optional per-query middleware-cost budget `s·c_S + r·c_R ≤ B`;
     /// exceeding it aborts the query with a typed
-    /// [`ServeError::CostBudgetExceeded`](crate::error::ServeError).
+    /// [`ServeError::CostBudgetExceeded`](crate::error::ServeError) —
+    /// unless [`degrade`](QueryRequest::degrade) is set, in which case the
+    /// best certified answer is returned with its achieved guarantee θ̂.
     pub cost_budget: Option<f64>,
+    /// Degraded-admission opt-in: instead of failing with
+    /// [`ServeError::CostBudgetExceeded`](crate::error::ServeError) when
+    /// the cost budget (or deadline) strikes, the query returns its best
+    /// certified answer together with the achieved guarantee θ̂ (carried in
+    /// the response's run metrics). Off by default.
+    pub degrade: bool,
+    /// Optional wall-clock latency budget, measured from execution start.
+    /// At the deadline the run returns its best certified θ̂ answer
+    /// (deadline requests always run in anytime mode).
+    pub deadline: Option<Duration>,
 }
 
 impl QueryRequest {
@@ -152,6 +167,8 @@ impl QueryRequest {
             theta: 1.0,
             require_grades: true,
             cost_budget: None,
+            degrade: false,
+            deadline: None,
         }
     }
 
@@ -205,9 +222,29 @@ impl QueryRequest {
         self
     }
 
+    /// Opts into degraded admission: a budget or deadline strike returns
+    /// the best certified θ̂ answer instead of an error.
+    pub fn with_degradation(mut self) -> Self {
+        self.degrade = true;
+        self
+    }
+
+    /// Sets a wall-clock latency budget; the run yields its best certified
+    /// θ̂ answer at the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Whether the request demands the exact answer.
     pub fn is_exact(&self) -> bool {
         self.theta == 1.0
+    }
+
+    /// Whether the query must execute in anytime mode (a degraded-admission
+    /// opt-in or a deadline; both interrupt at round boundaries).
+    pub fn is_anytime(&self) -> bool {
+        self.degrade || self.deadline.is_some()
     }
 
     /// The planner capabilities this request describes over an `m`-list
@@ -249,6 +286,20 @@ mod tests {
         assert_eq!(req.cost_budget, None);
         assert!(req.require_grades);
         assert!(req.batch.is_scalar());
+        assert!(!req.is_anytime());
+    }
+
+    #[test]
+    fn degradation_and_deadlines_turn_on_anytime_mode() {
+        let req = QueryRequest::new(AggSpec::Min, 5)
+            .with_cost_budget(100.0)
+            .with_degradation();
+        assert!(req.is_anytime());
+        assert!(req.degrade);
+        let req = QueryRequest::new(AggSpec::Min, 5).with_deadline(Duration::from_millis(5));
+        assert!(req.is_anytime());
+        assert!(!req.degrade);
+        assert_eq!(req.deadline, Some(Duration::from_millis(5)));
     }
 
     #[test]

@@ -47,7 +47,7 @@ use std::time::{Duration, Instant};
 
 use fagin_core::algorithms::WarmStart;
 use fagin_core::planner::Planner;
-use fagin_core::{AlgoError, RunMetrics, RunScratch, ScoredObject, TopKOutput};
+use fagin_core::{AlgoError, AnytimeConfig, RunMetrics, RunScratch, ScoredObject, TopKOutput};
 use fagin_middleware::{AccessError, AccessStats, CostBudget, Database, ObjectId, Session};
 
 use crate::cache::{CacheHit, CacheKey, CachedRun, ResultCache};
@@ -60,6 +60,12 @@ use crate::scanhub::ScanHub;
 /// How many failed follows (leader errored, or its answer could not serve
 /// our `k`) a query tolerates before it stops coalescing and runs solo.
 const FOLLOW_RETRIES: usize = 2;
+
+/// Fraction of a degrade-opted query's cost budget at which the anytime
+/// cost watermark fires: the run yields its best certified answer at a
+/// round boundary *before* the hard budget would reject an access mid-round
+/// (the budget itself stays in force as the backstop).
+const DEGRADE_WATERMARK: f64 = 0.9;
 
 /// Where an answer came from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,6 +129,21 @@ impl QueryResponse {
     /// Whether the answer rode an identical in-flight run.
     pub fn is_coalesced(&self) -> bool {
         matches!(self.source, AnswerSource::Coalesced { .. })
+    }
+
+    /// Whether the answer was degraded: an anytime trigger (deadline, cost
+    /// watermark, or budget strike) cut the run short and this is the best
+    /// certified answer, with its achieved guarantee in
+    /// [`guarantee`](QueryResponse::guarantee).
+    pub fn is_degraded(&self) -> bool {
+        self.run.halt.is_interrupted()
+    }
+
+    /// The guarantee this answer certifies: `1.0` = exact, otherwise the
+    /// θ (requested) or θ̂ (achieved, for degraded answers) such that the
+    /// answer is a valid θ-approximation.
+    pub fn guarantee(&self) -> f64 {
+        self.run.approximation_guarantee
     }
 }
 
@@ -368,7 +389,7 @@ impl TopKService {
     /// ticket is pre-resolved; `wait` does not block.
     pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, ServeError> {
         let sender = self.sender.as_ref().ok_or(ServeError::Shutdown)?;
-        if request.is_exact() && self.shared.cache_enabled {
+        if self.shared.cache_enabled {
             let started = Instant::now();
             let hit = self
                 .shared
@@ -378,7 +399,7 @@ impl TopKService {
                 .and_then(|c| c.lookup(&request));
             if let Some(hit) = hit {
                 self.shared.recorder.record_completed(0.0, true);
-                let resp = hit_response(self.shared.db.num_lists(), request.k, hit, started);
+                let resp = hit_response(self.shared.db.num_lists(), &request, hit, started);
                 let (reply, rx) = mpsc::channel();
                 let _ = reply.send(Ok(resp));
                 return Ok(QueryTicket { rx });
@@ -528,13 +549,27 @@ enum Admission {
 }
 
 /// The zero-access answer for a cache hit: a certified exact top-`K`'s
-/// grade-sorted prefix serves any `k ≤ K` (the τ-prefix rule). Shared by
-/// the submit-side fast path and the worker-side admission loop.
-fn hit_response(m: usize, k: usize, hit: CacheHit, started: Instant) -> QueryResponse {
+/// grade-sorted prefix serves any `k ≤ K` (the τ-prefix rule), and a
+/// guarantee-tagged θ̂ entry serves any looser-θ request at its certified
+/// `k`. Shared by the submit-side fast path and the worker-side admission
+/// loop.
+fn hit_response(m: usize, req: &QueryRequest, hit: CacheHit, started: Instant) -> QueryResponse {
     let run = RunMetrics {
         final_threshold: hit.threshold,
-        approximation_guarantee: 1.0,
+        approximation_guarantee: hit.guarantee,
         ..RunMetrics::default()
+    };
+    let rationale = if hit.guarantee > 1.0 {
+        format!(
+            "cache hit: a certified θ̂={:.3} answer serves θ={} at k={} \
+             (guarantee-ordering rule)",
+            hit.guarantee, req.theta, req.k
+        )
+    } else {
+        format!(
+            "cache hit: a certified exact top-{} covers k={} (τ-prefix rule)",
+            hit.certified_k, req.k
+        )
     };
     QueryResponse {
         items: hit.items,
@@ -545,10 +580,7 @@ fn hit_response(m: usize, k: usize, hit: CacheHit, started: Instant) -> QueryRes
             certified_k: hit.certified_k,
         },
         cost: 0.0,
-        rationale: vec![format!(
-            "cache hit: a certified exact top-{} covers k={} (τ-prefix rule)",
-            hit.certified_k, k
-        )],
+        rationale: vec![rationale],
         latency: started.elapsed(),
     }
 }
@@ -566,12 +598,14 @@ fn execute(
     let started = Instant::now();
     let m = shared.db.num_lists();
 
-    // Approximate requests bypass the cache *and* coalescing entirely: a
-    // θ-approximation certifies no prefix, and serving one for an exact
-    // request (or an exact answer for a θ request) would break the
-    // byte-identity story. They may still warm-start from exact seeds.
-    let cache_eligible = req.is_exact() && shared.cache_enabled;
-    let coalesce_eligible = req.is_exact() && shared.coalescing;
+    // Every request is cache-eligible: exact entries serve any θ by the
+    // prefix rule, and guarantee-tagged θ̂ entries serve looser-θ requests
+    // at their certified k (the cache's θ-ordering rule). Coalescing stays
+    // exact-only and non-anytime: followers are handed the leader's answer
+    // verbatim, which is only sound when both demand the same certificate
+    // and the leader cannot be interrupted into a θ̂ answer.
+    let cache_eligible = shared.cache_enabled;
+    let coalesce_eligible = req.is_exact() && !req.is_anytime() && shared.coalescing;
 
     if !cache_eligible && !coalesce_eligible {
         let warm = if shared.cache_enabled {
@@ -615,7 +649,7 @@ fn execute(
         match admission {
             Admission::Hit(hit) => {
                 shared.recorder.record_completed(0.0, true);
-                return Ok(hit_response(m, req.k, hit, started));
+                return Ok(hit_response(m, req, hit, started));
             }
             Admission::Follow(flight) => {
                 match flight.await_outcome() {
@@ -684,9 +718,10 @@ fn execute(
                                         requested_k: req.k,
                                         graded: run.graded,
                                         algorithm: run.name.clone(),
+                                        guarantee: 1.0,
                                     },
                                 );
-                                run.rationale.push(cached_rationale(req.k, run.graded));
+                                run.rationale.push(cached_rationale(req.k, run.graded, 1.0));
                             }
                         }
                         let outcome = if run.exact {
@@ -727,7 +762,11 @@ fn execute(
             }
             Admission::Solo(warm) => {
                 let mut run = run_query(shared, req, session, arena, warm)?;
-                if cache_eligible && run.exact {
+                if cache_eligible {
+                    // Every completed run certifies *something*: exact runs
+                    // the τ-prefix family (guarantee 1.0), θ and degraded
+                    // runs their guarantee θ̂ — cache it under that tag.
+                    let guarantee = run.metrics.approximation_guarantee;
                     let mut adm = shared.admit();
                     if let Some(cache) = adm.cache.as_mut() {
                         cache.insert(
@@ -738,9 +777,11 @@ fn execute(
                                 requested_k: req.k,
                                 graded: run.graded,
                                 algorithm: run.name.clone(),
+                                guarantee,
                             },
                         );
-                        run.rationale.push(cached_rationale(req.k, run.graded));
+                        run.rationale
+                            .push(cached_rationale(req.k, run.graded, guarantee));
                     }
                 }
                 shared.recorder.record_completed(run.cost, false);
@@ -754,16 +795,20 @@ fn execute(
     }
 }
 
-fn cached_rationale(k: usize, graded: bool) -> String {
-    format!(
-        "cached: certifies top-k for every k ≤ {}{}",
-        k,
-        if graded {
-            ""
-        } else {
-            " (exact-k repeats only: gradeless)"
-        }
-    )
+fn cached_rationale(k: usize, graded: bool, guarantee: f64) -> String {
+    if guarantee > 1.0 {
+        format!("cached under guarantee θ̂={guarantee:.3}: serves any request with θ ≥ θ̂ at k={k}")
+    } else {
+        format!(
+            "cached: certifies top-k for every k ≤ {}{}",
+            k,
+            if graded {
+                ""
+            } else {
+                " (exact-k repeats only: gradeless)"
+            }
+        )
+    }
 }
 
 /// One executed (not cached/coalesced) run, before response assembly.
@@ -817,51 +862,73 @@ fn run_query(
 
     let agg = req.agg.instance();
     let caps = req.capabilities(m, shared.distinctness);
-    let (algorithm, rationale): (Box<dyn fagin_core::TopKAlgorithm>, Vec<String>) =
-        if req.theta > 1.0 && caps.random_access && caps.sorted_lists.len() == m {
-            // TAθ is the paper's only approximation algorithm; it needs
-            // full capabilities, which this request has.
-            let mut ta = fagin_core::algorithms::Ta::theta(req.theta).with_batch(req.batch);
-            let mut why = vec![format!(
-                "θ = {} accepted: TAθ early-stopping run (§6.2)",
-                req.theta
-            )];
-            if let Some(w) = warm {
-                why.push(format!("warm start: {} certified seeds", w.len()));
-                ta = ta.with_warm_start(w);
-            }
-            (Box::new(ta), why)
-        } else {
-            let plan = Planner.plan_query(&caps, agg, req.k, &req.costs, req.batch, warm)?;
-            let mut why = plan.rationale;
-            if req.theta > 1.0 {
-                why.push(format!(
-                    "θ = {} requested but capabilities are restricted: exact plan used \
-                     (an exact answer is a valid θ-approximation)",
-                    req.theta
-                ));
-            }
-            (plan.algorithm, why)
-        };
+    // The planner threads θ into every branch of its decision table
+    // (θ-TA, TA_Z, θ-NRA, θ-CA); choices without a θ channel fall back
+    // exact and say so in the rationale.
+    let plan =
+        Planner.plan_query_theta(&caps, agg, req.k, &req.costs, req.batch, warm, req.theta)?;
+    let algorithm = plan.algorithm;
+    let mut rationale = plan.rationale;
 
     // The worker's session, rewound in place: accounting and policy
     // enforcement are per-query even though the storage is per-worker.
     session.reset(req.policy.clone());
-    let out: TopKOutput = match req.cost_budget {
-        Some(limit) => {
-            let mut guarded = CostBudget::new(&mut *session, req.costs, limit);
-            match algorithm.run_with(&mut guarded, agg, req.k, arena) {
-                Err(AlgoError::Access(AccessError::BudgetExhausted)) => {
-                    return Err(ServeError::CostBudgetExceeded {
-                        budget: limit,
-                        spent: guarded.spent(),
-                    });
-                }
-                other => other?,
-            }
+    let out: TopKOutput = if req.is_anytime() {
+        // Degraded admission: run cooperatively. A deadline or watermark
+        // interrupt — or a budget strike with a certificate in hand —
+        // returns the best-known answer with its achieved guarantee θ̂
+        // instead of erroring.
+        let mut cfg = AnytimeConfig::new();
+        if let Some(d) = req.deadline {
+            cfg = cfg.with_deadline(Instant::now() + d);
         }
-        None => algorithm.run_with(&mut *session, agg, req.k, arena)?,
+        match req.cost_budget {
+            Some(limit) => {
+                let mut guarded = CostBudget::new(&mut *session, req.costs, limit);
+                if req.degrade {
+                    let (model, at) = guarded.watermark(DEGRADE_WATERMARK);
+                    cfg = cfg.with_cost_watermark(model, at);
+                }
+                match algorithm.run_anytime(&mut guarded, agg, req.k, &cfg, arena) {
+                    Err(AlgoError::Access(AccessError::BudgetExhausted)) => {
+                        // No certified snapshot existed when the budget
+                        // struck (e.g. the first round never completed):
+                        // there is nothing sound to degrade to.
+                        return Err(ServeError::CostBudgetExceeded {
+                            budget: limit,
+                            spent: guarded.spent(),
+                        });
+                    }
+                    other => other?,
+                }
+            }
+            None => algorithm.run_anytime(&mut *session, agg, req.k, &cfg, arena)?,
+        }
+    } else {
+        match req.cost_budget {
+            Some(limit) => {
+                let mut guarded = CostBudget::new(&mut *session, req.costs, limit);
+                match algorithm.run_with(&mut guarded, agg, req.k, arena) {
+                    Err(AlgoError::Access(AccessError::BudgetExhausted)) => {
+                        return Err(ServeError::CostBudgetExceeded {
+                            budget: limit,
+                            spent: guarded.spent(),
+                        });
+                    }
+                    other => other?,
+                }
+            }
+            None => algorithm.run_with(&mut *session, agg, req.k, arena)?,
+        }
     };
+    if out.metrics.halt.is_interrupted() {
+        shared.recorder.record_degraded();
+        rationale.push(format!(
+            "degraded admission: {:?} interrupt returned the best certified answer \
+             with θ̂ = {:.3}",
+            out.metrics.halt, out.metrics.approximation_guarantee
+        ));
+    }
 
     let mut items = out.items;
     let graded = items.iter().all(|i| i.grade.is_some());
@@ -1025,22 +1092,109 @@ mod tests {
     }
 
     #[test]
-    fn theta_requests_bypass_the_cache() {
+    fn theta_requests_are_served_from_exact_certificates() {
         let service = TopKService::new(db(), ServiceConfig::default());
         service
             .query(QueryRequest::new(AggSpec::Average, 4))
             .unwrap();
+        // An exact prefix is a valid θ-approximation for every θ: the θ
+        // request rides the exact certificate with zero accesses.
         let approx = service
             .query(QueryRequest::new(AggSpec::Average, 2).with_theta(2.0))
             .unwrap();
-        assert_eq!(approx.source, AnswerSource::Cold);
-        assert!(approx.algorithm.starts_with("TA_theta"));
-        assert_eq!(approx.run.approximation_guarantee, 2.0);
-        // …and do not pollute it: the exact k=2 still prefix-hits the k=4.
+        assert!(approx.is_cache_hit());
+        assert_eq!(approx.guarantee(), 1.0);
+        assert_eq!(approx.stats.total(), 0);
+        // The exact k=2 still prefix-hits the k=4 entry.
         let hit = service
             .query(QueryRequest::new(AggSpec::Average, 2))
             .unwrap();
         assert!(hit.is_cache_hit());
+    }
+
+    #[test]
+    fn theta_runs_are_cached_under_their_guarantee() {
+        let service = TopKService::new(db(), ServiceConfig::default());
+        let cold = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_theta(2.0))
+            .unwrap();
+        assert_eq!(cold.source, AnswerSource::Cold);
+        assert!(cold.algorithm.starts_with("TA_theta"), "{}", cold.algorithm);
+        assert_eq!(cold.run.approximation_guarantee, 2.0);
+        // A looser-θ repeat is served from the guarantee-tagged entry…
+        let looser = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_theta(3.0))
+            .unwrap();
+        assert!(looser.is_cache_hit());
+        assert_eq!(looser.guarantee(), 2.0);
+        assert_eq!(looser.stats.total(), 0);
+        // …a tighter-θ request must execute (θ̂ = 2 certifies nothing
+        // about θ = 1.5)…
+        let tighter = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_theta(1.5))
+            .unwrap();
+        assert!(!tighter.is_cache_hit());
+        // …and so must the exact request, whose run then upgrades the
+        // entry to the exact certificate.
+        let exact = service
+            .query(QueryRequest::new(AggSpec::Average, 2))
+            .unwrap();
+        assert_eq!(exact.source, AnswerSource::Cold);
+        let again = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_theta(2.0))
+            .unwrap();
+        assert!(again.is_cache_hit());
+        assert_eq!(again.guarantee(), 1.0, "upgraded to the exact certificate");
+    }
+
+    #[test]
+    fn degraded_admission_returns_certified_theta_instead_of_erroring() {
+        let service = TopKService::new(db(), ServiceConfig::default().without_cache());
+        // Establish this shape's exact cost, then budget well below it.
+        let exact = service
+            .query(QueryRequest::new(AggSpec::Average, 2))
+            .unwrap();
+        assert!(!exact.is_degraded());
+        let budget = exact.cost * 0.6;
+        // Without the opt-in, the budget rejects with a typed error…
+        let err = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_cost_budget(budget))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::CostBudgetExceeded { .. }));
+        // …with it, the same request answers degraded and certified.
+        let resp = service
+            .query(
+                QueryRequest::new(AggSpec::Average, 2)
+                    .with_cost_budget(budget)
+                    .with_degradation(),
+            )
+            .unwrap();
+        assert!(resp.is_degraded());
+        assert!(resp.guarantee() >= 1.0 && resp.guarantee().is_finite());
+        assert_eq!(resp.items.len(), 2);
+        assert!(resp.cost <= budget, "degraded runs respect the budget");
+        assert!(
+            resp.rationale.iter().any(|r| r.contains("degraded")),
+            "{:?}",
+            resp.rationale
+        );
+        let m = service.metrics();
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.rejected_over_budget, 1, "only the non-degrade request");
+    }
+
+    #[test]
+    fn deadline_requests_return_the_best_answer_at_the_deadline() {
+        let service = TopKService::new(db(), ServiceConfig::default().without_cache());
+        // An already-expired deadline interrupts at the first certified
+        // round boundary instead of erroring.
+        let resp = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_deadline(Duration::ZERO))
+            .unwrap();
+        assert!(resp.is_degraded());
+        assert!(resp.guarantee() >= 1.0 && resp.guarantee().is_finite());
+        assert_eq!(resp.items.len(), 2);
+        assert_eq!(service.metrics().degraded, 1);
     }
 
     #[test]

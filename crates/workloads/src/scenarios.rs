@@ -9,7 +9,7 @@
 //!   support sorted access; price and distance sources are random-access
 //!   only (`Z = {0}`).
 
-use fagin_middleware::{Database, ObjectId};
+use fagin_middleware::{Database, Grade, ObjectId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -65,6 +65,181 @@ pub fn restaurants(n: usize, seed: u64) -> (Database, Vec<usize>) {
     (db, vec![0])
 }
 
+/// A hostile ranked join `R ⋈ S` of two graded relations over a shared key
+/// universe (only the matched core is materialized: unmatched tuples never
+/// reach the join's top-k).
+///
+/// List 0 carries each joined tuple's `R`-grade and list 1 its `S`-grade.
+/// The grades are built to be *adversarial for threshold algorithms*: the
+/// two relations rank the keys in exactly opposite order, and every tuple's
+/// combined score sits in a narrow band near `1.0`, separated only by tiny
+/// planted jitter on the `S` side. The threshold `τ = top(R) + top(S)`
+/// therefore starts near `1.8` and decays linearly, so an exact run must
+/// descend through roughly *half of each relation* before it can halt —
+/// while a θ-approximate run with even modest slack halts almost
+/// immediately. The natural aggregation is `Sum` (or `Average`).
+pub fn ranked_join(num_matches: usize, seed: u64) -> Database {
+    assert!(num_matches > 0, "a join needs at least one matched key");
+    let mut r = StdRng::seed_from_u64(seed);
+    let n = num_matches;
+    let mut left = Vec::with_capacity(n);
+    let mut right = Vec::with_capacity(n);
+    for i in 0..n {
+        // Spread the R/S trade-off evenly across the key space; the jitter
+        // on the S side is the only thing separating the true winners.
+        let delta = 0.4 * (2.0 * (i as f64 + 0.5) / n as f64 - 1.0);
+        let jitter = 0.02 * r.random::<f64>();
+        left.push(0.5 + delta);
+        right.push((0.5 - delta + jitter).clamp(0.0, 1.0));
+    }
+    Database::from_f64_columns(&[left, right]).expect("valid dimensions")
+}
+
+/// A wide "universal relation" of `m` specialist attributes: attribute `j`
+/// grades objects `j, j+m, j+2m, …` highly (they are its specialty) and
+/// everything else near zero.
+///
+/// This is the hostile case for *attribute-subset* serving: the top-k of
+/// any two different subsets of attributes are (near-)disjoint, so answers,
+/// caches and warm-start hints computed for one projection are useless —
+/// and actively misleading — for another. Project with
+/// [`attribute_subset`] before querying.
+pub fn wide_table(n: usize, m: usize, seed: u64) -> Database {
+    assert!(m >= 1 && n >= m, "need at least one object per attribute");
+    let mut r = StdRng::seed_from_u64(seed);
+    let cols: Vec<Vec<f64>> = (0..m)
+        .map(|j| {
+            (0..n)
+                .map(|i| {
+                    if i % m == j {
+                        0.8 + 0.2 * r.random::<f64>()
+                    } else {
+                        0.3 * r.random::<f64>()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Database::from_f64_columns(&cols).expect("valid dimensions")
+}
+
+/// Projects a database onto the attribute subset `attrs`, preserving object
+/// identity: list `i` of the result is list `attrs[i]` of the original.
+///
+/// # Panics
+/// Panics if `attrs` is empty or names an attribute out of range.
+pub fn attribute_subset(db: &Database, attrs: &[usize]) -> Database {
+    assert!(
+        !attrs.is_empty(),
+        "a query must touch at least one attribute"
+    );
+    let cols: Vec<Vec<Grade>> = attrs
+        .iter()
+        .map(|&a| {
+            assert!(a < db.num_lists(), "attribute {a} out of range");
+            db.objects()
+                .map(|o| db.row(o).expect("object in range")[a])
+                .collect()
+        })
+        .collect();
+    Database::from_columns(&cols).expect("valid dimensions")
+}
+
+/// A graded stream for sliding-window top-k, with hostile *regime drift*.
+///
+/// Each stream item has `m` attribute grades derived from a latent quality
+/// wave that completes a full cycle every two window widths, with each
+/// attribute phase-shifted. Consequences: the winners rotate as the window
+/// slides (answers for one position are stale one slide later), adjacent
+/// windows share all but one item (tempting — and punishing — for caches),
+/// and within any single window the attribute lists disagree strongly.
+///
+/// [`window`](SlidingWindowStream::window) materializes the database seen
+/// by a query at a given window start; window-local [`ObjectId`]s map back
+/// to stream positions via
+/// [`stream_index`](SlidingWindowStream::stream_index).
+#[derive(Clone, Debug)]
+pub struct SlidingWindowStream {
+    /// `grades[t][j]` is attribute `j` of the item arriving at time `t`.
+    grades: Vec<Vec<f64>>,
+    width: usize,
+}
+
+impl SlidingWindowStream {
+    /// Generates a stream of `len` items with `m` attributes and the given
+    /// window `width`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < width <= len` and `m >= 1`.
+    pub fn new(len: usize, m: usize, width: usize, seed: u64) -> Self {
+        assert!(width > 0 && width <= len, "window must fit in the stream");
+        assert!(m >= 1, "need at least one attribute");
+        let mut r = StdRng::seed_from_u64(seed);
+        let period = 2.0 * width as f64;
+        let grades = (0..len)
+            .map(|t| {
+                (0..m)
+                    .map(|j| {
+                        let phase =
+                            std::f64::consts::TAU * (t as f64 / period + j as f64 / m as f64);
+                        let wave = 0.5 + 0.45 * phase.sin();
+                        (wave + 0.05 * r.random::<f64>()).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        SlidingWindowStream { grades, width }
+    }
+
+    /// Number of items in the stream.
+    pub fn len(&self) -> usize {
+        self.grades.len()
+    }
+
+    /// Whether the stream is empty (it never is — `new` demands `len > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.grades.is_empty()
+    }
+
+    /// The window width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of distinct window positions (`len - width + 1`).
+    pub fn num_positions(&self) -> usize {
+        self.grades.len() - self.width + 1
+    }
+
+    /// The database a query sees when the window starts at `start`:
+    /// window-local object `i` is the stream item `start + i`.
+    ///
+    /// # Panics
+    /// Panics if `start + width` exceeds the stream length.
+    pub fn window(&self, start: usize) -> Database {
+        assert!(
+            start + self.width <= self.grades.len(),
+            "window [{start}, {}) runs off the stream",
+            start + self.width
+        );
+        let m = self.grades[0].len();
+        let cols: Vec<Vec<f64>> = (0..m)
+            .map(|j| {
+                self.grades[start..start + self.width]
+                    .iter()
+                    .map(|row| row[j])
+                    .collect()
+            })
+            .collect();
+        Database::from_f64_columns(&cols).expect("valid dimensions")
+    }
+
+    /// Maps a window-local object id back to its stream position.
+    pub fn stream_index(&self, start: usize, id: ObjectId) -> usize {
+        start + id.index()
+    }
+}
+
 /// Human-readable labels for restaurant attributes (used by examples).
 pub const RESTAURANT_ATTRIBUTES: [&str; 3] = ["zagat-rating", "cheapness", "proximity"];
 
@@ -109,6 +284,79 @@ mod tests {
             cheap_rank > 100,
             "top-rated was also cheapest? rank {cheap_rank}"
         );
+    }
+
+    #[test]
+    fn ranked_join_combined_scores_sit_in_a_narrow_band() {
+        let db = ranked_join(400, 5);
+        assert_eq!(db.num_lists(), 2);
+        for o in db.objects() {
+            let row = db.row(o).unwrap();
+            let sum = row[0].value() + row[1].value();
+            assert!((0.98..=1.04).contains(&sum), "score {sum} out of band");
+        }
+    }
+
+    #[test]
+    fn wide_table_subsets_have_disjoint_specialists() {
+        let db = wide_table(120, 4, 11);
+        let a = attribute_subset(&db, &[0]);
+        let b = attribute_subset(&db, &[2]);
+        // Attribute 0's specialist set {0, 4, 8, …} and attribute 2's
+        // {2, 6, 10, …} are disjoint, so the two projections' winners are.
+        let top_a = a.list(0).at_rank(0).unwrap().object;
+        let top_b = b.list(0).at_rank(0).unwrap().object;
+        assert_eq!(top_a.index() % 4, 0);
+        assert_eq!(top_b.index() % 4, 2);
+    }
+
+    #[test]
+    fn attribute_subset_preserves_object_identity() {
+        let db = wide_table(40, 4, 3);
+        let proj = attribute_subset(&db, &[3, 1]);
+        assert_eq!(proj.num_lists(), 2);
+        for o in db.objects() {
+            let row = db.row(o).unwrap();
+            let prow = proj.row(o).unwrap();
+            assert_eq!(prow, vec![row[3], row[1]]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_attribute_subset_rejected() {
+        let db = wide_table(10, 2, 0);
+        let _ = attribute_subset(&db, &[]);
+    }
+
+    #[test]
+    fn sliding_windows_share_all_but_one_item() {
+        let s = SlidingWindowStream::new(100, 3, 16, 21);
+        assert_eq!(s.num_positions(), 85);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 100);
+        let w0 = s.window(0);
+        let w1 = s.window(1);
+        assert_eq!(w0.num_objects(), 16);
+        // Item at stream position 1 is object 1 of window 0 and object 0 of
+        // window 1 — identical grades, shifted identity.
+        assert_eq!(w0.row(ObjectId(1)), w1.row(ObjectId(0)));
+        assert_eq!(s.stream_index(1, ObjectId(0)), 1);
+    }
+
+    #[test]
+    fn sliding_window_winners_rotate_with_drift() {
+        let s = SlidingWindowStream::new(200, 2, 32, 9);
+        let winner = |start: usize| {
+            let w = s.window(start);
+            s.stream_index(start, w.list(0).at_rank(0).unwrap().object)
+        };
+        // Slide one item at a time: the winner must keep changing (each
+        // quality peak eventually exits the window) even though adjacent
+        // windows share all but one item.
+        let winners: Vec<usize> = (0..s.num_positions()).map(winner).collect();
+        let changes = winners.windows(2).filter(|p| p[0] != p[1]).count();
+        assert!(changes >= 3, "winner changed only {changes} times");
     }
 
     #[test]

@@ -27,6 +27,10 @@ struct Args {
     c_r: f64,
     theta: f64,
     batch: usize,
+    rounds: Option<u64>,
+    time_limit_ms: Option<u64>,
+    cost_limit: Option<f64>,
+    degrade: bool,
     verbose: bool,
     queries: Option<String>,
     workers: usize,
@@ -51,6 +55,10 @@ impl Default for Args {
             c_r: 1.0,
             theta: 1.0,
             batch: 1,
+            rounds: None,
+            time_limit_ms: None,
+            cost_limit: None,
+            degrade: false,
             verbose: false,
             queries: None,
             workers: 4,
@@ -87,6 +95,14 @@ OPTIONS:
   --verbose       print the full top-k list
   --help          this text
 
+ANYTIME (interruptible execution, §6.2 — any trigger may fire first):
+  --rounds <R>    interrupt the run after R rounds, returning the best
+                  certified answer with its achieved guarantee θ̂
+  --time-limit <ms>  wall-clock deadline for the run (milliseconds)
+  --cost-limit <c>   middleware-cost watermark under --cs/--cr; unlike a
+                  hard budget the run answers with a certified θ̂
+                  instead of failing when the watermark is crossed
+
 STORAGE (the on-disk columnar tier, see fagin-store):
   --save <f>      after building the workload, write it to <f> as a store
                   file (checksummed stripes, fsync + atomic rename)
@@ -103,11 +119,14 @@ BATCH MODE (drive the query service without writing Rust):
                   overrides the CLI defaults with key=value tokens:
                     agg=min k=25 theta=1.0 batch=8 budget=5000
                     policy=no-wild|unrestricted|no-random|sorted:0,2
-                    grades=true|false
+                    grades=true|false degrade=true|false deadline_ms=50
                   Blank lines and lines starting with # are skipped.
   --workers <w>   service worker threads                  [default: 4]
   --queue-cap <q> admission queue-depth cap               [default: 65536]
-  --no-cache      disable the threshold-aware result cache";
+  --no-cache      disable the threshold-aware result cache
+  --degrade       degraded admission for every query: over-budget and
+                  past-deadline queries answer with a certified θ̂
+                  instead of being rejected";
 
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args::default();
@@ -122,6 +141,10 @@ fn parse_args() -> Result<Option<Args>, String> {
         }
         if flag == "--no-cache" {
             args.no_cache = true;
+            continue;
+        }
+        if flag == "--degrade" {
+            args.degrade = true;
             continue;
         }
         let value = it
@@ -145,6 +168,23 @@ fn parse_args() -> Result<Option<Args>, String> {
                 if args.batch == 0 {
                     return Err("--batch: batch size must be at least 1".into());
                 }
+            }
+            "--rounds" => {
+                let rounds: u64 = value.parse().map_err(|e| format!("--rounds: {e}"))?;
+                if rounds == 0 {
+                    return Err("--rounds: at least 1 round is required".into());
+                }
+                args.rounds = Some(rounds);
+            }
+            "--time-limit" => {
+                args.time_limit_ms = Some(value.parse().map_err(|e| format!("--time-limit: {e}"))?);
+            }
+            "--cost-limit" => {
+                let limit = parse_f64(&value)?;
+                if !(limit.is_finite() && limit >= 0.0) {
+                    return Err(format!("--cost-limit: must be non-negative, got {value}"));
+                }
+                args.cost_limit = Some(limit);
             }
             "--queries" => args.queries = Some(value),
             "--save" => args.save = Some(value),
@@ -319,6 +359,9 @@ fn base_request(a: &Args, z: &[usize], m: usize) -> Result<QueryRequest, String>
     if a.theta > 1.0 {
         req = req.with_theta(a.theta);
     }
+    if a.degrade {
+        req = req.with_degradation();
+    }
     Ok(req)
 }
 
@@ -357,6 +400,13 @@ fn parse_query_line(line: &str, base: &QueryRequest) -> Result<QueryRequest, Str
             "grades" => {
                 req.require_grades = value.parse().map_err(|e| format!("grades: {e}"))?;
                 grades_explicit = true;
+            }
+            "degrade" => {
+                req.degrade = value.parse().map_err(|e| format!("degrade: {e}"))?;
+            }
+            "deadline_ms" => {
+                let ms: u64 = value.parse().map_err(|e| format!("deadline_ms: {e}"))?;
+                req.deadline = Some(std::time::Duration::from_millis(ms));
             }
             "policy" => {
                 req.policy = match value {
@@ -466,8 +516,13 @@ fn run_service_batch(
                         .items
                         .first()
                         .map_or("-".to_string(), ToString::to_string);
+                    let degraded = if resp.is_degraded() {
+                        format!(" | degraded θ̂={:.4}", resp.guarantee())
+                    } else {
+                        String::new()
+                    };
                     println!(
-                        "  line {line:>4}: {} | top: {top} | cost {:.1} | {:?}",
+                        "  line {line:>4}: {} | top: {top} | cost {:.1} | {:?}{degraded}",
                         resp.algorithm, resp.cost, resp.source
                     );
                 }
@@ -498,10 +553,11 @@ fn run_service_batch(
         failed,
     );
     println!(
-        "cache hit rate: {:.1}% ({} hits / {} completed)",
+        "cache hit rate: {:.1}% ({} hits / {} completed) | degraded: {}",
         metrics.cache_hit_rate * 100.0,
         metrics.cache_hits,
         metrics.completed,
+        metrics.degraded,
     );
     println!(
         "coalesced: {} rides on in-flight runs, shared scans: {} served / {} extended",
@@ -560,12 +616,45 @@ fn run() -> Result<(), String> {
         println!("planner: {line}");
     }
 
+    let interruptible =
+        args.rounds.is_some() || args.time_limit_ms.is_some() || args.cost_limit.is_some();
     let mut session = Session::with_policy(&db, policy);
     let start = std::time::Instant::now();
-    let out = algo
-        .run(&mut session, agg.as_ref(), args.k)
-        .map_err(|e| format!("query failed: {e}"))?;
+    let out = if interruptible {
+        // The deadline is anchored here so parse/build time never eats
+        // into the user's budget.
+        let mut cfg = AnytimeConfig::new();
+        if let Some(rounds) = args.rounds {
+            cfg = cfg.with_round_cap(rounds);
+        }
+        if let Some(ms) = args.time_limit_ms {
+            cfg =
+                cfg.with_deadline(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+        }
+        if let Some(limit) = args.cost_limit {
+            cfg = cfg.with_cost_watermark(costs, limit);
+        }
+        algo.run_anytime(
+            &mut session,
+            agg.as_ref(),
+            args.k,
+            &cfg,
+            &mut RunScratch::new(),
+        )
+    } else {
+        algo.run(&mut session, agg.as_ref(), args.k)
+    }
+    .map_err(|e| format!("query failed: {e}"))?;
     let elapsed = start.elapsed();
+
+    if out.metrics.halt.is_interrupted() {
+        println!(
+            "anytime: interrupted ({:?}) — best certified answer, guarantee θ̂ = {:.6}",
+            out.metrics.halt, out.metrics.approximation_guarantee
+        );
+    } else if interruptible {
+        println!("anytime: ran to convergence before any trigger fired (answer is exact)");
+    }
 
     println!();
     let show = if args.verbose {

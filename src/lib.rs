@@ -54,7 +54,9 @@ pub mod prelude {
     };
     pub use fagin_core::oracle;
     pub use fagin_core::planner::{Capabilities, Guarantee, Plan, PlanError, Planner};
-    pub use fagin_core::{AlgoError, RunMetrics, RunScratch, ScoredObject, TopKOutput};
+    pub use fagin_core::{
+        AlgoError, AnytimeConfig, HaltReason, RunMetrics, RunScratch, ScoredObject, TopKOutput,
+    };
     pub use fagin_middleware::{
         AccessError, AccessPolicy, AccessStats, BatchConfig, CostBudget, CostModel, Database,
         DatabaseBuilder, DatabaseShard, Entry, GeneratorSource, Grade, GradedSource,

@@ -135,6 +135,194 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Randomized optimality fuzzer with seeded shrinking.
+//
+// Each case draws a database shape, size, aggregation arity, k, and cost
+// model from a replayable seed, runs TA / NRA / CA on it, and audits the
+// measured cost against the paper's proven ratio bound times the cost of a
+// concrete correct rival (`optimality::no_wild_guess_rival_cost`): since
+// opt ≤ rival, `cost > c·rival + c′` would falsify the theorem. A breach is
+// shrunk (halve n, drop a list, halve k — greedily, while it reproduces)
+// and reported as a hard failure with the replayable case printed.
+// ---------------------------------------------------------------------------
+
+use fagin_topk::workloads::random;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Clone, Copy, Debug)]
+struct FuzzCase {
+    n: usize,
+    m: usize,
+    k: usize,
+    /// 0 uniform, 1 correlated, 2 anti-correlated, 3 Zipf, 4 distinct.
+    shape: u8,
+    cost_ratio: f64,
+    seed: u64,
+}
+
+fn build_db(case: &FuzzCase) -> Database {
+    match case.shape % 5 {
+        0 => random::uniform(case.n, case.m, case.seed),
+        1 => random::correlated(case.n, case.m, 0.4, case.seed),
+        2 => random::anticorrelated(case.n, case.m, 0.2, case.seed),
+        3 => random::zipf(case.n, case.m, 1.1, case.seed),
+        _ => random::uniform_distinct(case.n, case.m, case.seed),
+    }
+}
+
+/// The cost of one full access round: `m` sorted accesses, each of which
+/// can trigger up to `m − 1` random resolutions.
+fn round_cost(m: usize, costs: &CostModel) -> f64 {
+    m as f64 * (costs.sorted + (m as f64 - 1.0) * costs.random)
+}
+
+/// Audits one case against every applicable theorem; returns a breach
+/// description, or `None` when all inequalities hold.
+fn audit_case(case: &FuzzCase) -> Option<String> {
+    use fagin_topk::core::optimality::OptimalityAudit;
+    let db = build_db(case);
+    let (m, k) = (case.m, case.k);
+    let costs = CostModel::new(1.0, case.cost_ratio);
+
+    // Theorem 6.1: TA over the no-wild-guess class.
+    let rival = optimality::no_wild_guess_rival_cost(&db, &Average, k, &costs);
+    let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses());
+    let out = Ta::new().run(&mut s, &Average, k).unwrap();
+    if !oracle::is_valid_top_k(&db, &Average, k, &out.objects()) {
+        return Some("TA returned a wrong answer".into());
+    }
+    let audit = OptimalityAudit {
+        cost: costs.cost(&out.stats),
+        rival_cost: rival,
+        ratio_bound: optimality::ta_ratio_bound(m, &costs),
+        additive: (k + 1) as f64 * round_cost(m, &costs),
+    };
+    if audit.breached() {
+        return Some(format!("TA breached Theorem 6.1: {audit:?}"));
+    }
+
+    // Theorem 8.5: NRA over the no-random-access class.
+    let rival = optimality::no_random_access_rival_cost(&db, &Average, k, &costs);
+    let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+    let out = Nra::new().run(&mut s, &Average, k).unwrap();
+    if !oracle::is_valid_top_k(&db, &Average, k, &out.objects()) {
+        return Some("NRA returned a wrong answer".into());
+    }
+    let audit = OptimalityAudit {
+        cost: costs.cost(&out.stats),
+        rival_cost: rival,
+        ratio_bound: optimality::nra_ratio_bound(m),
+        additive: ((k + 1) * m * m) as f64 * costs.sorted,
+    };
+    if audit.breached() {
+        return Some(format!("NRA breached Theorem 8.5: {audit:?}"));
+    }
+
+    // Theorems 8.9/8.10: CA needs distinctness, and strict per-argument
+    // monotonicity (Average) or t = min.
+    if db.satisfies_distinctness() {
+        let h = costs.h().max(1);
+        for (agg, bound, name) in [
+            (
+                &Average as &dyn Aggregation,
+                optimality::ca_ratio_bound(m, k),
+                "Theorem 8.9 (strictly monotone)",
+            ),
+            (
+                &Min,
+                optimality::ca_min_ratio_bound(m),
+                "Theorem 8.10 (min)",
+            ),
+        ] {
+            let rival = optimality::no_wild_guess_rival_cost(&db, agg, k, &costs);
+            let mut s = Session::with_policy(&db, AccessPolicy::no_wild_guesses());
+            let out = Ca::for_costs(&costs).run(&mut s, agg, k).unwrap();
+            if !oracle::is_valid_top_k(&db, agg, k, &out.objects()) {
+                return Some(format!("CA returned a wrong answer under {name}"));
+            }
+            let audit = OptimalityAudit {
+                cost: costs.cost(&out.stats),
+                rival_cost: rival,
+                ratio_bound: bound,
+                // CA defers random access h rounds: its overshoot past a
+                // rival's halting point spans up to h sorted rounds plus
+                // one resolution round, per selected object.
+                additive: (k + 1) as f64 * ((h * m) as f64 * costs.sorted + round_cost(m, &costs)),
+            };
+            if audit.breached() {
+                return Some(format!("CA breached {name}: {audit:?}"));
+            }
+        }
+    }
+    None
+}
+
+/// Greedily shrinks a breaching case while the breach reproduces.
+fn shrink_case(mut case: FuzzCase, mut failure: String) -> (FuzzCase, String) {
+    loop {
+        let half_n = FuzzCase {
+            n: case.n / 2,
+            k: case.k.min((case.n / 2).max(1)),
+            ..case
+        };
+        let drop_list = FuzzCase {
+            m: case.m.saturating_sub(1),
+            ..case
+        };
+        let half_k = FuzzCase {
+            k: case.k.div_ceil(2),
+            ..case
+        };
+        let mut shrunk = false;
+        for cand in [half_n, drop_list, half_k] {
+            let same = (cand.n, cand.m, cand.k) == (case.n, case.m, case.k);
+            if same || cand.n < 2 || cand.m < 2 || cand.k < 1 || cand.k > cand.n {
+                continue;
+            }
+            if let Some(f) = audit_case(&cand) {
+                case = cand;
+                failure = f;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return (case, failure);
+        }
+    }
+}
+
+/// The fuzzer proper: replay any failure by pasting the printed case into
+/// `audit_case`.
+#[test]
+fn optimality_fuzzer_finds_no_breaches() {
+    const BASE_SEED: u64 = 0xFA61_2001;
+    const CASES: u64 = 48;
+    for i in 0..CASES {
+        let seed = BASE_SEED.wrapping_add(i);
+        let mut r = StdRng::seed_from_u64(seed);
+        let n = 8 + (r.random::<u64>() % 120) as usize;
+        let case = FuzzCase {
+            n,
+            m: 2 + (r.random::<u64>() % 3) as usize,
+            k: 1 + (r.random::<u64>() % 6.min(n as u64)) as usize,
+            shape: (r.random::<u64>() % 5) as u8,
+            cost_ratio: [1.0, 2.0, 5.0, 10.0][(r.random::<u64>() % 4) as usize],
+            seed,
+        };
+        if let Some(failure) = audit_case(&case) {
+            let (minimal, minimal_failure) = shrink_case(case, failure.clone());
+            panic!(
+                "instance-optimality breach (replay seed {seed}):\n  \
+                 original: {case:?}\n    {failure}\n  \
+                 shrunk:   {minimal:?}\n    {minimal_failure}"
+            );
+        }
+    }
+}
+
 /// Example 6.3 end-to-end: the wild-guess gap is real and grows linearly.
 #[test]
 fn wild_guess_gap_grows_linearly() {

@@ -66,6 +66,137 @@ fn planner_matches_each_scenario() {
 }
 
 #[test]
+fn ranked_join_descends_deep_but_stays_exact() {
+    let db = scenarios::ranked_join(1_000, 5);
+    let mut s = Session::new(&db);
+    let exact = Ta::new().run(&mut s, &Sum, 5).unwrap();
+    assert!(oracle::is_valid_top_k(&db, &Sum, 5, &exact.objects()));
+    // Hostility check: near-constant combined scores keep τ above M_k until
+    // the run has descended through a large fraction of both relations.
+    assert!(
+        exact.stats.sorted_total() > 600,
+        "join was not hostile: only {} sorted accesses",
+        exact.stats.sorted_total()
+    );
+    // Modest θ-slack collapses the descent…
+    let mut s2 = Session::new(&db);
+    let approx = Ta::new().with_theta(1.5).run(&mut s2, &Sum, 5).unwrap();
+    assert!(oracle::is_valid_theta_approximation(
+        &db,
+        &Sum,
+        5,
+        1.5,
+        &approx.objects()
+    ));
+    // …and never costs more than the exact run (here: much less).
+    assert!(approx.stats.sorted_total() <= exact.stats.sorted_total() / 2);
+    assert!(approx.stats.random_total() <= exact.stats.random_total());
+}
+
+#[test]
+fn ranked_join_without_random_access_matches_oracle() {
+    // Join middleware often cannot probe by key: NRA must still be exact.
+    let db = scenarios::ranked_join(600, 8);
+    let mut s = Session::with_policy(&db, AccessPolicy::no_random_access());
+    let out = Nra::new().run(&mut s, &Average, 5).unwrap();
+    assert!(oracle::is_valid_top_k(&db, &Average, 5, &out.objects()));
+    assert_eq!(out.stats.random_total(), 0);
+}
+
+#[test]
+fn attribute_subset_queries_match_the_oracle_on_every_subset() {
+    let wide = scenarios::wide_table(240, 4, 13);
+    for mask in 1u32..16 {
+        let attrs: Vec<usize> = (0..4).filter(|j| mask & (1 << j) != 0).collect();
+        let proj = scenarios::attribute_subset(&wide, &attrs);
+        let caps = Capabilities::full(attrs.len());
+        let plan = Planner.plan(&caps, &Average, 6, &CostModel::UNIT).unwrap();
+        let mut s = Session::new(&proj);
+        let exact = plan.execute(&mut s, &Average, 6).unwrap();
+        assert!(
+            oracle::is_valid_top_k(&proj, &Average, 6, &exact.objects()),
+            "wrong answer on subset {attrs:?}"
+        );
+        // The θ-approximate plan on the same projection is valid and never
+        // costs more.
+        let theta_plan = Planner
+            .plan_query_theta(
+                &caps,
+                &Average,
+                6,
+                &CostModel::UNIT,
+                BatchConfig::scalar(),
+                None,
+                1.3,
+            )
+            .unwrap();
+        let mut s2 = Session::new(&proj);
+        let approx = theta_plan.execute(&mut s2, &Average, 6).unwrap();
+        assert!(
+            oracle::is_valid_theta_approximation(&proj, &Average, 6, 1.3, &approx.objects()),
+            "invalid θ-answer on subset {attrs:?}"
+        );
+        assert!(approx.stats.sorted_total() <= exact.stats.sorted_total());
+        assert!(approx.stats.random_total() <= exact.stats.random_total());
+    }
+}
+
+#[test]
+fn attribute_subset_winners_are_subset_specific() {
+    // The hostile part: per-attribute specialists mean projections disagree
+    // about the top object, so cross-subset answer reuse would be wrong.
+    let wide = scenarios::wide_table(240, 4, 13);
+    let tops: Vec<_> = (0..4)
+        .map(|j| {
+            let proj = scenarios::attribute_subset(&wide, &[j]);
+            oracle::true_top_k(&proj, &Average, 1)[0].object
+        })
+        .collect();
+    for a in 0..4 {
+        for b in a + 1..4 {
+            assert_ne!(tops[a], tops[b], "attributes {a} and {b} share a winner");
+        }
+    }
+}
+
+#[test]
+fn sliding_window_stream_stays_exact_under_drift() {
+    let stream = scenarios::SlidingWindowStream::new(160, 3, 32, 17);
+    let mut winners = Vec::new();
+    for start in (0..stream.num_positions()).step_by(8) {
+        let win = stream.window(start);
+        let mut s = Session::new(&win);
+        let exact = Ta::new().run(&mut s, &Average, 4).unwrap();
+        assert!(
+            oracle::is_valid_top_k(&win, &Average, 4, &exact.objects()),
+            "wrong answer at window start {start}"
+        );
+        winners.push(stream.stream_index(start, exact.items[0].object));
+
+        // An interrupted anytime run over the same window must certify what
+        // it returns: θ̂ passes the oracle's θ-approximation predicate.
+        let mut s2 = Session::new(&win);
+        let cfg = AnytimeConfig::new().with_round_cap(2);
+        let mut scratch = RunScratch::new();
+        let any = Ta::new()
+            .run_anytime(&mut s2, &Average, 4, &cfg, &mut scratch)
+            .unwrap();
+        let theta_hat = any.metrics.approximation_guarantee;
+        assert!(theta_hat.is_finite() && theta_hat >= 1.0);
+        assert!(
+            oracle::is_valid_theta_approximation(&win, &Average, 4, theta_hat, &any.objects()),
+            "uncertified anytime answer at window start {start} (θ̂ = {theta_hat})"
+        );
+        assert!(any.stats.total() <= exact.stats.total());
+    }
+    // Regime drift: the winner rotated at least once across the sweep.
+    assert!(
+        winners.windows(2).any(|p| p[0] != p[1]),
+        "winners never rotated: {winners:?}"
+    );
+}
+
+#[test]
 fn repeated_top_1_scheduling_is_consistent() {
     // Re-running the same query on the same state gives the same decision
     // and the same cost (determinism end-to-end).

@@ -136,12 +136,15 @@ fn gradeless_answers_only_hit_on_exact_k() {
     assert_eq!(repeat.objects(), cold.objects());
 }
 
-/// Approximate requests neither read nor write the cache.
+/// The guarantee-ordering rule across the cache: a θ̂-tagged entry never
+/// certifies an exact answer, while an exact certificate serves any
+/// looser-θ request (an exact answer is a valid θ-approximation for every
+/// θ ≥ 1).
 #[test]
-fn theta_requests_bypass_the_cache_both_ways() {
+fn theta_entries_never_certify_exact_but_exact_serves_theta() {
     let db = db(1_000, 15);
     let svc = service(&db);
-    // A θ run first: must not seed the cache.
+    // A θ run first: cached under its guarantee tag, not as an exact entry.
     let approx = svc
         .query(QueryRequest::new(AggSpec::Average, 8).with_theta(3.0))
         .unwrap();
@@ -152,14 +155,19 @@ fn theta_requests_bypass_the_cache_both_ways() {
         AnswerSource::Cold,
         "an approximate run must never certify exact answers"
     );
-    // The exact run's certificate serves exact prefixes; a later θ request
-    // still bypasses it (cold), by design.
+    // The exact run's certificate now serves exact prefixes AND looser-θ
+    // requests: exact dominates every guarantee.
     let approx2 = svc
         .query(QueryRequest::new(AggSpec::Average, 3).with_theta(3.0))
         .unwrap();
-    assert_eq!(approx2.source, AnswerSource::Cold);
+    assert!(
+        approx2.is_cache_hit(),
+        "exact certificates serve looser-θ prefixes"
+    );
+    assert_eq!(approx2.guarantee(), 1.0, "served answer is the exact one");
     let hit = svc.query(QueryRequest::new(AggSpec::Average, 3)).unwrap();
     assert!(hit.is_cache_hit());
+    assert_eq!(hit.objects(), approx2.objects());
 }
 
 /// Admission control: the queue cap and cost budgets reject with typed

@@ -177,3 +177,53 @@ fn racing_identical_queries_agree_bytewise() {
         assert_eq!(answer, &answers[0], "racing clients saw different answers");
     }
 }
+
+/// The degraded-admission acceptance bar: on a latency-budget stream with
+/// degradation opted in, *zero* requests error with `CostBudgetExceeded`
+/// (or any other rejection) — every one is answered, and every degraded
+/// answer carries a θ̂ certificate the oracle verifies.
+#[test]
+fn latency_budget_stream_with_degrade_never_rejects() {
+    use std::time::Duration;
+    let db = db(1_200);
+    // Cache off so every request actually executes its budgeted run.
+    let service = TopKService::new(
+        Arc::clone(&db),
+        ServiceConfig::default().with_workers(4).without_cache(),
+    );
+    let mut stream = Vec::new();
+    for deadline_ms in [0u64, 1, 5] {
+        for req in shapes() {
+            stream.push(
+                req.with_deadline(Duration::from_millis(deadline_ms))
+                    .with_degradation(),
+            );
+        }
+    }
+    let mut degraded = 0u64;
+    for req in &stream {
+        let agg = req.agg.instance();
+        let k = req.k;
+        let resp = service
+            .query(req.clone())
+            .unwrap_or_else(|e| panic!("latency-budget request rejected: {e}"));
+        let theta = resp.guarantee();
+        assert!(
+            theta.is_finite() && theta >= 1.0,
+            "uncertified guarantee {theta}"
+        );
+        assert!(
+            oracle::is_valid_theta_approximation(&db, agg, k, theta, &resp.objects()),
+            "degraded answer does not satisfy its certificate θ̂ = {theta}"
+        );
+        degraded += u64::from(resp.is_degraded());
+    }
+    let m = service.metrics();
+    assert_eq!(m.rejected_over_budget, 0, "degrade must pre-empt rejection");
+    assert_eq!(m.completed, stream.len() as u64);
+    assert_eq!(m.degraded, degraded);
+    assert!(
+        degraded > 0,
+        "the zero-ms deadlines must interrupt at least one run"
+    );
+}
