@@ -11,6 +11,7 @@
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-access-counts
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-service-qps
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-theta-monotone
+//! cargo run --release -p fagin-bench --bin experiments -- --assert-obs-overhead
 //! ```
 //!
 //! `--assert-budget[=MULT]` measures NRA(lazy) and CA(h=2) against TA on
@@ -36,6 +37,12 @@
 //! θ-approximation predicate — relaxing the guarantee may only ever
 //! remove work.
 //!
+//! `--assert-obs-overhead[=PCT]` re-measures the full perf grid twice —
+//! with and without a flight recorder attached — and exits non-zero if the
+//! aggregate traced wall time exceeds untraced by more than `PCT` percent
+//! (default 5) or any cell's access counts differ: observability must
+//! watch the run without slowing or steering it.
+//!
 //! Any assertion given alone runs just its check; combined with
 //! experiment ids they run after the experiments.
 
@@ -53,6 +60,13 @@ const DEFAULT_BUDGET_MULTIPLE: f64 = 8.0;
 /// above it with real cores); 0.75 leaves room for scheduler noise while
 /// still failing loudly on a stampede regression (which lands near 0.27).
 const DEFAULT_SERVICE_QPS_RATIO: f64 = 0.75;
+
+/// Default ceiling on the flight recorder's aggregate wall-clock overhead
+/// across the perf grid, in percent: the instrumented drive loops pay one
+/// monotonic-clock read per batch and one ring write per event, which
+/// measures well under this on the grid; 5% leaves room for CI noise while
+/// still catching an accidentally hot trace path.
+const DEFAULT_OBS_OVERHEAD_PCT: f64 = 5.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +98,14 @@ fn main() {
         }
     });
     let theta_monotone = args.iter().any(|a| a == "--assert-theta-monotone");
+    let obs_overhead: Option<f64> = args.iter().find_map(|a| {
+        if a == "--assert-obs-overhead" {
+            Some(DEFAULT_OBS_OVERHEAD_PCT)
+        } else {
+            a.strip_prefix("--assert-obs-overhead=")
+                .map(|v| v.parse().expect("--assert-obs-overhead=PCT needs a number"))
+        }
+    });
     if let Some(unknown) = args.iter().find(|a| {
         a.starts_with("--")
             && *a != "--quick"
@@ -95,11 +117,14 @@ fn main() {
             && *a != "--assert-service-qps"
             && !a.starts_with("--assert-service-qps=")
             && *a != "--assert-theta-monotone"
+            && *a != "--assert-obs-overhead"
+            && !a.starts_with("--assert-obs-overhead=")
     }) {
         eprintln!(
             "unknown flag: {unknown} (valid: --quick, --no-json, \
              --assert-budget[=MULT], --assert-access-counts[=PATH], \
-             --assert-service-qps[=RATIO], --assert-theta-monotone)"
+             --assert-service-qps[=RATIO], --assert-theta-monotone, \
+             --assert-obs-overhead[=PCT])"
         );
         std::process::exit(2);
     }
@@ -112,7 +137,12 @@ fn main() {
     // An assertion flag alone runs only its check; otherwise an empty id
     // list means every experiment.
     let ids: Vec<&str> = if named.is_empty() {
-        if budget.is_some() || access_counts.is_some() || service_qps.is_some() || theta_monotone {
+        if budget.is_some()
+            || access_counts.is_some()
+            || service_qps.is_some()
+            || theta_monotone
+            || obs_overhead.is_some()
+        {
             Vec::new()
         } else {
             ALL_IDS.to_vec()
@@ -247,6 +277,43 @@ fn main() {
             if !row.ok {
                 failed = true;
             }
+        }
+    }
+    if let Some(max_pct) = obs_overhead {
+        println!(
+            "observability-overhead guardrail (traced vs untraced perf grid, max +{max_pct}%)"
+        );
+        let guard = report::obs_overhead_guard(scale, max_pct);
+        for row in &guard.rows {
+            println!(
+                "  {:14} {:14} off {:9.3}ms  on {:9.3}ms  {:7}s+{:<7}r {}",
+                row.workload,
+                row.algorithm,
+                row.off_secs * 1e3,
+                row.on_secs * 1e3,
+                row.sorted,
+                row.random,
+                if row.counts_match {
+                    "ok"
+                } else {
+                    "ACCESS COUNTS CHANGED"
+                }
+            );
+        }
+        println!(
+            "  aggregate off {:.3}ms  on {:.3}ms -> {:+.2}% (max +{:.2}%) {}",
+            guard.off_total_secs * 1e3,
+            guard.on_total_secs * 1e3,
+            guard.overhead_pct,
+            guard.max_pct,
+            if guard.ok {
+                "ok"
+            } else {
+                "OBS OVERHEAD OVER BUDGET"
+            }
+        );
+        if !guard.ok {
+            failed = true;
         }
     }
     if failed {

@@ -90,9 +90,12 @@ fn store_roundtrip(db: &Database, tag: &str) -> Database {
     store.into_database()
 }
 
-fn measure_grid(workloads: &[(&'static str, Database)]) -> Vec<PerfRecord> {
-    let k = 10;
-    let algorithms: Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> = vec![
+/// The perf grid's algorithm suite with each algorithm's natural policy —
+/// one definition shared by [`measure_grid`] (the `BENCH_topk.json` rows)
+/// and [`obs_overhead_guard`], so the overhead check always measures
+/// exactly the cells the perf artifact records.
+fn grid_algorithms() -> Vec<(Box<dyn TopKAlgorithm>, AccessPolicy)> {
+    vec![
         (Box::new(Ta::new()), AccessPolicy::no_wild_guesses()),
         (
             Box::new(Ta::new().batched(64)),
@@ -107,7 +110,12 @@ fn measure_grid(workloads: &[(&'static str, Database)]) -> Vec<PerfRecord> {
             AccessPolicy::no_random_access(),
         ),
         (Box::new(Ca::new(2)), AccessPolicy::no_wild_guesses()),
-    ];
+    ]
+}
+
+fn measure_grid(workloads: &[(&'static str, Database)]) -> Vec<PerfRecord> {
+    let k = 10;
+    let algorithms = grid_algorithms();
 
     let agg: &dyn Aggregation = &Min;
     let mut arena = RunScratch::new();
@@ -948,6 +956,136 @@ pub fn service_qps_guard(scale: Scale, min_ratio: f64) -> ServiceQpsGuard {
         min_ratio,
         ok: ratio >= min_ratio,
         rows,
+    }
+}
+
+/// One measured cell of the observability-overhead guardrail.
+#[derive(Clone, Debug)]
+pub struct ObsOverheadRow {
+    /// Workload name.
+    pub workload: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Steady-state wall time with no recorder attached (best of three).
+    pub off_secs: f64,
+    /// Steady-state wall time narrating into an attached worker-sized
+    /// flight ring (best of three).
+    pub on_secs: f64,
+    /// Sorted accesses of the traced run.
+    pub sorted: u64,
+    /// Random accesses of the traced run.
+    pub random: u64,
+    /// Whether the traced run's access counts are byte-identical to the
+    /// untraced run's — tracing must observe the access sequence, never
+    /// steer it.
+    pub counts_match: bool,
+}
+
+/// The observability-overhead guardrail's verdict.
+#[derive(Clone, Debug)]
+pub struct ObsOverheadGuard {
+    /// The measured cells (full perf grid).
+    pub rows: Vec<ObsOverheadRow>,
+    /// Aggregate untraced wall time over the grid, seconds.
+    pub off_total_secs: f64,
+    /// Aggregate traced wall time over the grid, seconds.
+    pub on_total_secs: f64,
+    /// `(on_total - off_total) / off_total`, as a percentage (negative
+    /// when tracing happened to measure faster — scheduler noise).
+    pub overhead_pct: f64,
+    /// The largest overhead percentage the build tolerates.
+    pub max_pct: f64,
+    /// Whether the aggregate overhead stays under `max_pct` *and* every
+    /// cell's access counts match.
+    pub ok: bool,
+}
+
+/// The ring size the overhead guard attaches — the serving layer's
+/// per-worker configuration, so the guard prices exactly what production
+/// queries pay (including the overwrite path once a run saturates it).
+const OBS_GUARD_RING_SLOTS: usize = 1024;
+
+/// Observability-overhead guardrail (`experiments -- --assert-obs-overhead`):
+/// the full perf grid — every workload shape × the `BENCH_topk.json`
+/// algorithm suite — re-measured twice per cell, once with no recorder and
+/// once narrating into an attached worker-sized flight ring. The aggregate
+/// traced wall time must stay within `max_pct` percent of untraced, and
+/// every cell's access counts must be byte-identical (instrumentation
+/// observes the run; it must never change what the run does).
+///
+/// The two variants are interleaved rep-by-rep (off, on, off, on, …) and
+/// each side keeps its best of three, so frequency scaling and cache drift
+/// hit both sides alike instead of biasing whichever ran second. The
+/// verdict compares grid-aggregate sums, not per-cell ratios: individual
+/// cells finish in microseconds, where a percentage is pure jitter.
+pub fn obs_overhead_guard(scale: Scale, max_pct: f64) -> ObsOverheadGuard {
+    let n = scale.pick(2_000, 40_000);
+    let m = 3;
+    let k = 10;
+    let agg: &dyn Aggregation = &Min;
+    let workloads = standard_workloads(n, m);
+    let algorithms = grid_algorithms();
+
+    let mut arena = RunScratch::new();
+    let mut rows = Vec::new();
+    for (workload, db) in &workloads {
+        for (algo, policy) in &algorithms {
+            let mut s_off = Session::with_policy(db, policy.clone());
+            let mut s_on = Session::with_policy(db, policy.clone());
+            s_on.attach_recorder(fagin_middleware::FlightRecorder::new(OBS_GUARD_RING_SLOTS));
+            // Warm-ups size the shared arena for this cell on both sides.
+            for s in [&mut s_off, &mut s_on] {
+                algo.run_with(s, agg, k, &mut arena)
+                    .unwrap_or_else(|e| panic!("{} failed on {workload}: {e}", algo.name()));
+            }
+            let mut off_secs = f64::INFINITY;
+            let mut on_secs = f64::INFINITY;
+            let mut off_counts = (0u64, 0u64);
+            let mut on_counts = (0u64, 0u64);
+            for _ in 0..3 {
+                s_off.reset(policy.clone());
+                let started = Instant::now();
+                let out = algo
+                    .run_with(&mut s_off, agg, k, &mut arena)
+                    .unwrap_or_else(|e| panic!("{} failed on {workload}: {e}", algo.name()));
+                off_secs = off_secs.min(started.elapsed().as_secs_f64());
+                off_counts = (out.stats.sorted_total(), out.stats.random_total());
+
+                s_on.reset(policy.clone());
+                if let Some(rec) = s_on.recorder_mut() {
+                    rec.clear();
+                    rec.set_query(1);
+                }
+                let started = Instant::now();
+                let out = algo
+                    .run_with(&mut s_on, agg, k, &mut arena)
+                    .unwrap_or_else(|e| panic!("{} failed on {workload}: {e}", algo.name()));
+                on_secs = on_secs.min(started.elapsed().as_secs_f64());
+                on_counts = (out.stats.sorted_total(), out.stats.random_total());
+            }
+            rows.push(ObsOverheadRow {
+                workload: (*workload).to_string(),
+                algorithm: algo.name(),
+                off_secs,
+                on_secs,
+                sorted: on_counts.0,
+                random: on_counts.1,
+                counts_match: off_counts == on_counts,
+            });
+        }
+    }
+    let off_total_secs: f64 = rows.iter().map(|r| r.off_secs).sum();
+    let on_total_secs: f64 = rows.iter().map(|r| r.on_secs).sum();
+    let overhead_pct =
+        (on_total_secs - off_total_secs) / off_total_secs.max(BUDGET_NOISE_FLOOR_SECS) * 100.0;
+    let ok = overhead_pct <= max_pct && rows.iter().all(|r| r.counts_match);
+    ObsOverheadGuard {
+        rows,
+        off_total_secs,
+        on_total_secs,
+        overhead_pct,
+        max_pct,
+        ok,
     }
 }
 

@@ -9,7 +9,7 @@
 //! spends the same random-access budget in TA's arrival order instead, can
 //! be worse by an unbounded factor.
 
-use fagin_middleware::{BatchConfig, Middleware};
+use fagin_middleware::{BatchConfig, EventKind, Middleware};
 
 use crate::aggregation::Aggregation;
 use crate::anytime::{AnytimeConfig, BestSnapshot};
@@ -123,6 +123,7 @@ impl Ca {
         let mut ra_phases = 0u64;
         let mut best = BestSnapshot::default();
         let mut halt = HaltReason::Converged;
+        let mut evictions_traced = 0usize;
 
         'drive: loop {
             rounds += 1;
@@ -173,12 +174,26 @@ impl Ca {
                 }
             }
 
+            let evicted = engine.evictions().len();
+            if evicted > evictions_traced {
+                mw.trace(
+                    EventKind::EvictionWave,
+                    0,
+                    (evicted - evictions_traced) as u64,
+                );
+                evictions_traced = evicted;
+            }
             if budget_err.is_none() && engine.check_halt(n) {
+                // θ-scaled completion is relaxed, not exact.
+                if self.theta > 1.0 {
+                    halt = HaltReason::ThetaSatisfied;
+                }
                 break;
             }
             if drive.exhausted.iter().all(|&e| e) {
                 break;
             }
+            mw.trace(EventKind::RoundBoundary, 0, rounds);
             if let Some(cfg) = anytime {
                 // Each learned field keeps the bounds sound, so even a
                 // mid-phase budget failure certifies whatever is known.
@@ -201,6 +216,7 @@ impl Ca {
             }
         }
 
+        mw.trace(EventKind::Halt, halt.code(), rounds);
         let (items, guarantee) = if halt.is_interrupted() {
             best.take().map(|(g, items)| (items, g)).expect("certified")
         } else {

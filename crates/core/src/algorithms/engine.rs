@@ -65,7 +65,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use fagin_middleware::{BatchConfig, Entry, Grade, Middleware, ObjectId, SlotSet};
+use fagin_middleware::{BatchConfig, Entry, EventKind, Grade, Middleware, ObjectId, SlotSet};
 
 use crate::aggregation::Aggregation;
 use crate::anytime::{AnytimeConfig, BestSnapshot};
@@ -1079,6 +1079,7 @@ impl Nra {
         let mut rounds = 0u64;
         let mut best = BestSnapshot::default();
         let mut halt = HaltReason::Converged;
+        let mut evictions_traced = 0usize;
 
         loop {
             rounds += 1;
@@ -1108,13 +1109,28 @@ impl Nra {
                 }
             }
             engine.refresh_selection();
+            let evicted = engine.evictions().len();
+            if evicted > evictions_traced {
+                mw.trace(
+                    EventKind::EvictionWave,
+                    0,
+                    (evicted - evictions_traced) as u64,
+                );
+                evictions_traced = evicted;
+            }
             if budget_err.is_none() && engine.check_halt(n) {
+                // With slack, the θ-scaled rule firing is a relaxed (not
+                // exact) completion — reported distinctly on every run.
+                if self.theta > 1.0 {
+                    halt = HaltReason::ThetaSatisfied;
+                }
                 break;
             }
             if drive.exhausted.iter().all(|&e| e) {
                 // Complete information: the selection is exact.
                 break;
             }
+            mw.trace(EventKind::RoundBoundary, 0, rounds);
             if let Some(cfg) = anytime {
                 // The engine's bounds are sound at any observation
                 // boundary, so even a mid-round budget failure certifies.
@@ -1137,6 +1153,7 @@ impl Nra {
             }
         }
 
+        mw.trace(EventKind::Halt, halt.code(), rounds);
         let (items, guarantee) = if halt.is_interrupted() {
             best.take().map(|(g, items)| (items, g)).expect("certified")
         } else {

@@ -7,11 +7,11 @@
 //! `≥ 3(h−2)` more than CA, proving that CA's choice of random-access
 //! target is essential for an optimality ratio independent of `c_R/c_S`.
 
-use fagin_middleware::Middleware;
+use fagin_middleware::{EventKind, Middleware};
 
 use crate::aggregation::Aggregation;
 use crate::arena::RunScratch;
-use crate::output::{AlgoError, RunMetrics, TopKOutput};
+use crate::output::{AlgoError, HaltReason, RunMetrics, TopKOutput};
 
 use super::engine::{BookkeepingStrategy, BoundEngine};
 use super::{validate, TopKAlgorithm};
@@ -120,8 +120,10 @@ impl TopKAlgorithm for Intermittent {
             if drive.exhausted.iter().all(|&e| e) {
                 break;
             }
+            mw.trace(EventKind::RoundBoundary, 0, rounds);
         }
 
+        mw.trace(EventKind::Halt, HaltReason::Converged.code(), rounds);
         let items = engine.output_items();
         let mut metrics = RunMetrics::new();
         metrics.rounds = rounds;

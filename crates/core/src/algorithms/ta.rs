@@ -23,7 +23,8 @@
 use std::collections::BTreeSet;
 
 use fagin_middleware::{
-    AccessError, AccessStats, BatchConfig, Entry, Grade, Middleware, ObjectId, SlotSet, SlotTable,
+    AccessError, AccessStats, BatchConfig, Entry, EventKind, Grade, Middleware, ObjectId, SlotSet,
+    SlotTable,
 };
 
 use crate::aggregation::Aggregation;
@@ -338,6 +339,7 @@ impl Ta {
             s,
             rounds: 0,
             halted: false,
+            halt: HaltReason::Converged,
             distinct_seen: 0,
         })
     }
@@ -431,6 +433,9 @@ impl TopKAlgorithm for Ta {
                 }
             }
         }
+        if halt.is_interrupted() {
+            stepper.trace_halt(halt);
+        }
         let mut out = stepper.finish();
         if halt.is_interrupted() {
             let (g, items) = best.take().expect("interrupts require a certificate");
@@ -475,6 +480,9 @@ pub struct TaStepper<'a> {
     s: Lease<'a, TaScratch>,
     rounds: u64,
     halted: bool,
+    /// Why the stepper halted (meaningful once `halted`): the exact rule,
+    /// or its θ-scaled relaxation when configured with θ > 1.
+    halt: HaltReason,
     distinct_seen: usize,
 }
 
@@ -557,6 +565,14 @@ impl TaStepper<'_> {
             // halting point by at most b − 1 accesses on this list.
             if self.stop_rule_satisfied() {
                 self.halted = true;
+                // The θ-scaled rule firing under slack is a relaxed (not
+                // exact) completion; report which one every run.
+                self.halt = if self.theta > 1.0 {
+                    HaltReason::ThetaSatisfied
+                } else {
+                    HaltReason::Converged
+                };
+                self.trace_halt(self.halt);
                 return Ok(true);
             }
         }
@@ -565,8 +581,19 @@ impl TaStepper<'_> {
             // resolved, so the buffer holds the exact answer. This is the
             // TA_Z completion case of footnote 14, and the k ≥ N case.
             self.halted = true;
+            self.halt = HaltReason::Converged;
+            self.trace_halt(self.halt);
+        } else {
+            self.mw.trace(EventKind::RoundBoundary, 0, self.rounds);
         }
         Ok(self.halted)
+    }
+
+    /// Emits the halt trace event ([`run_anytime`](TopKAlgorithm::run_anytime)
+    /// calls this with the trigger's reason when it interrupts the run
+    /// instead of letting the stop rule fire).
+    fn trace_halt(&mut self, reason: HaltReason) {
+        self.mw.trace(EventKind::Halt, reason.code(), self.rounds);
     }
 
     /// Computes `t(R)` for every entry of one sorted batch and offers the
@@ -685,6 +712,7 @@ impl TaStepper<'_> {
         metrics.rounds = self.rounds;
         metrics.final_threshold = Some(threshold);
         metrics.approximation_guarantee = self.theta;
+        metrics.halt = self.halt;
         // Theorem 4.2: TA's buffer is the top-k plus one bottom grade per
         // list; memoization (optional) adds the seen cache.
         let memo_len = if self.memoize { self.s.memo.len() } else { 0 };

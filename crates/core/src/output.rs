@@ -28,15 +28,20 @@ impl fmt::Display for ScoredObject {
     }
 }
 
-/// Why a run ended: converged normally, or was interrupted by an anytime
-/// trigger (see [`crate::anytime::AnytimeConfig`]) and returned its best
-/// certified snapshot instead.
+/// Why a run ended. Every run reports one: exact convergence, a θ-scaled
+/// stop rule, or an anytime trigger (see [`crate::anytime::AnytimeConfig`])
+/// that cut the run short and returned its best certified snapshot.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum HaltReason {
-    /// The algorithm's own halting rule fired (or the lists were
-    /// exhausted): the answer carries the configured guarantee.
+    /// The algorithm's own exact halting rule fired (or the lists were
+    /// exhausted): the answer is exact.
     #[default]
     Converged,
+    /// A θ-relaxed (θ > 1) stop rule fired: the run halted as soon as its
+    /// θ-scaled threshold test passed, and the answer carries the
+    /// configured guarantee. Not an interruption — the algorithm ran to
+    /// its own (relaxed) completion.
+    ThetaSatisfied,
     /// An anytime deadline passed at a round boundary.
     Deadline,
     /// An anytime cost watermark was reached at a round boundary.
@@ -49,10 +54,52 @@ pub enum HaltReason {
 }
 
 impl HaltReason {
-    /// Whether the run was cut short by an anytime trigger (any reason
-    /// other than [`HaltReason::Converged`]).
+    /// Whether the run was cut short by an anytime trigger — i.e. ended
+    /// before its own (exact or θ-relaxed) stop rule was satisfied.
+    /// θ-halting is *not* an interruption: the serving layer treats
+    /// interrupted answers as degraded, and a θ-run delivered exactly
+    /// what was asked of it.
     pub fn is_interrupted(&self) -> bool {
-        *self != HaltReason::Converged
+        !matches!(self, HaltReason::Converged | HaltReason::ThetaSatisfied)
+    }
+
+    /// Stable numeric code (trace-event payloads).
+    pub fn code(&self) -> u32 {
+        match self {
+            HaltReason::Converged => 0,
+            HaltReason::ThetaSatisfied => 1,
+            HaltReason::Deadline => 2,
+            HaltReason::CostWatermark => 3,
+            HaltReason::RoundCap => 4,
+            HaltReason::BudgetExhausted => 5,
+        }
+    }
+
+    /// Stable lowercase label (slow-query log, metrics export).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HaltReason::Converged => "converged",
+            HaltReason::ThetaSatisfied => "theta_satisfied",
+            HaltReason::Deadline => "deadline",
+            HaltReason::CostWatermark => "cost_watermark",
+            HaltReason::RoundCap => "round_cap",
+            HaltReason::BudgetExhausted => "budget_exhausted",
+        }
+    }
+
+    /// The reason with code `code`, if any ([`HaltReason::code`]'s
+    /// inverse; trace-event decoding).
+    pub fn from_code(code: u32) -> Option<HaltReason> {
+        [
+            HaltReason::Converged,
+            HaltReason::ThetaSatisfied,
+            HaltReason::Deadline,
+            HaltReason::CostWatermark,
+            HaltReason::RoundCap,
+            HaltReason::BudgetExhausted,
+        ]
+        .into_iter()
+        .find(|r| r.code() == code)
     }
 }
 
@@ -257,5 +304,31 @@ mod tests {
         assert!(!RunMetrics::new().halt.is_interrupted());
         assert!(HaltReason::Deadline.is_interrupted());
         assert!(HaltReason::BudgetExhausted.is_interrupted());
+        // θ-halting is a completed run, not a degraded one.
+        assert!(!HaltReason::ThetaSatisfied.is_interrupted());
+    }
+
+    #[test]
+    fn halt_reason_codes_round_trip() {
+        let all = [
+            HaltReason::Converged,
+            HaltReason::ThetaSatisfied,
+            HaltReason::Deadline,
+            HaltReason::CostWatermark,
+            HaltReason::RoundCap,
+            HaltReason::BudgetExhausted,
+        ];
+        for r in all {
+            assert_eq!(HaltReason::from_code(r.code()), Some(r));
+            assert!(!r.label().is_empty());
+            assert!(r
+                .label()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert_eq!(HaltReason::from_code(99), None);
+        // Labels are distinct.
+        let labels: std::collections::HashSet<_> = all.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), all.len());
     }
 }

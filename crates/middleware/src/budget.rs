@@ -211,6 +211,10 @@ impl<M: Middleware> Middleware for CostBudget<M> {
     fn position(&self, list: usize) -> usize {
         self.inner.position(list)
     }
+
+    fn trace(&mut self, kind: fagin_obs::EventKind, detail: u32, count: u64) {
+        self.inner.trace(kind, detail, count)
+    }
 }
 
 #[cfg(test)]

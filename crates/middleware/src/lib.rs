@@ -59,6 +59,7 @@ pub use budget::CostBudget;
 pub use cost::{AccessStats, CostModel};
 pub use database::{Database, DatabaseBuilder};
 pub use error::{AccessError, BuildError};
+pub use fagin_obs::{EventKind, FlightRecorder, TraceEvent};
 pub use grade::{Entry, Grade, ObjectId};
 pub use list::SortedList;
 pub use policy::{AccessPolicy, SortedAccessSet};

@@ -12,6 +12,8 @@
 
 use std::sync::Arc;
 
+use fagin_obs::{EventKind, FlightRecorder};
+
 use crate::cost::AccessStats;
 use crate::database::Database;
 use crate::error::AccessError;
@@ -165,6 +167,21 @@ pub trait Middleware {
     /// Current sorted-access depth of `list` (how many entries have been
     /// read from it).
     fn position(&self, list: usize) -> usize;
+
+    /// Emits a structured trace event toward whatever flight recorder
+    /// this middleware carries (see [`Session::attach_recorder`]).
+    ///
+    /// This is how the core drive loops narrate themselves — round
+    /// boundaries, eviction waves, the halt — without owning a recorder
+    /// or even knowing whether one is attached: the middleware stamps the
+    /// monotonic clock and stores the event, or does nothing at all. The
+    /// default is a no-op so external implementations keep compiling;
+    /// *wrappers* (budget decorators, shard views, `&mut M`) must forward
+    /// it or the record loses every drive-loop event.
+    #[inline]
+    fn trace(&mut self, kind: EventKind, detail: u32, count: u64) {
+        let _ = (kind, detail, count);
+    }
 }
 
 /// Forwarding impl so a wrapper that takes a middleware *by value* (e.g.
@@ -217,6 +234,10 @@ impl<M: Middleware + ?Sized> Middleware for &mut M {
     fn position(&self, list: usize) -> usize {
         (**self).position(list)
     }
+
+    fn trace(&mut self, kind: EventKind, detail: u32, count: u64) {
+        (**self).trace(kind, detail, count)
+    }
 }
 
 /// A counted, policy-enforcing session over a [`Database`].
@@ -234,7 +255,32 @@ pub struct Session<'db> {
     /// frontier instead of directly from the lists (identical bytes —
     /// see [`ScanFrontier`] — but the sweep is shared across sessions).
     frontier: Option<Arc<ScanFrontier>>,
+    /// When attached, access batches and drive-loop narration land here
+    /// as fixed-size binary events. The ring is preallocated at attach
+    /// time, so the instrumented hot path stays allocation-free.
+    recorder: Option<FlightRecorder>,
+    /// Round boundaries swallowed since the last recorded one (round
+    /// events are decimated to every [`ROUND_TRACE_STRIDE`]th).
+    rounds_untraced: u32,
 }
+
+/// Batches below this size are deferred — tallied clock-free in the
+/// recorder and flushed as one aggregate instant event at the next round
+/// boundary ([`FlightRecorder::defer`]); at or above it the serve is
+/// individually timed (two clock reads). Tiny batches — the paper's
+/// access-by-access `BatchConfig::scalar()` drive loops issue size-1
+/// batches — take sub-clock-resolution time anyway, and their real cost is
+/// a few slot-table reads, so even *one* clock read per batch would
+/// multiply the round; deferral is what keeps instrumented wall clock
+/// within the obs-overhead guardrail's budget.
+const TIMED_BATCH_MIN: usize = 8;
+
+/// Every `STRIDE`th round boundary is recorded (with its true round number
+/// in `count`); the rest are swallowed clock-free. One stamped event per
+/// scalar round would otherwise dominate the round's own work — see
+/// [`Session::trace`]'s body — and the count delta preserves exact
+/// per-round durations for consumers.
+const ROUND_TRACE_STRIDE: u32 = 8;
 
 impl<'db> Session<'db> {
     /// Opens a session with the default policy
@@ -254,7 +300,40 @@ impl<'db> Session<'db> {
             positions: vec![0; db.num_lists()],
             seen,
             frontier: None,
+            recorder: None,
+            rounds_untraced: 0,
         }
+    }
+
+    /// Attaches a flight recorder: subsequent access batches and every
+    /// [`Middleware::trace`] call land in its ring as fixed-size events
+    /// stamped on its monotonic clock. The ring was preallocated when the
+    /// recorder was built, so recording never allocates — the counting-
+    /// allocator tests run TA's steady-state loop with a recorder
+    /// attached and still observe zero allocations.
+    ///
+    /// Like the scan frontier, the attachment survives [`Session::reset`]
+    /// (a serving worker attaches once and rewinds per query); the ring's
+    /// *contents* also survive, so the owner decides when a new query
+    /// starts ([`FlightRecorder::clear`] + [`FlightRecorder::set_query`]).
+    pub fn attach_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the flight recorder, if any; subsequent
+    /// accesses are untraced.
+    pub fn detach_recorder(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take()
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Mutable access to the attached flight recorder, if any.
+    pub fn recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.recorder.as_mut()
     }
 
     /// Attaches the session to a shared scan frontier: sorted accesses are
@@ -298,6 +377,7 @@ impl<'db> Session<'db> {
         self.stats.reset();
         self.positions.fill(0);
         self.seen.reset();
+        self.rounds_untraced = 0;
     }
 
     /// The underlying database (subsystem-side; for oracles and reports).
@@ -419,6 +499,10 @@ impl Middleware for Session<'_> {
             }
             None => want,
         };
+        let trace_start = match &self.recorder {
+            Some(r) if allowed >= TIMED_BATCH_MIN => r.now_nanos(),
+            _ => 0,
+        };
         out.reserve(allowed);
         match &self.frontier {
             Some(frontier) => {
@@ -440,6 +524,20 @@ impl Middleware for Session<'_> {
         }
         self.positions[list] = pos + allowed;
         self.stats.record_sorted_n(list, allowed as u64);
+        if let Some(r) = &mut self.recorder {
+            if allowed >= TIMED_BATCH_MIN {
+                r.record_span(
+                    EventKind::SortedBatch,
+                    list as u32,
+                    allowed as u64,
+                    trace_start,
+                );
+            } else {
+                // Clock-free: tallied, and flushed as one aggregate event
+                // at the next stamped recording (the round boundary).
+                r.defer(EventKind::SortedBatch, allowed as u64);
+            }
+        }
         Ok(allowed)
     }
 
@@ -462,6 +560,10 @@ impl Middleware for Session<'_> {
             Some(b) => b.saturating_sub(self.stats.total()),
             None => u64::MAX,
         };
+        let trace_start = match &self.recorder {
+            Some(r) if objects.len() >= TIMED_BATCH_MIN => r.now_nanos(),
+            _ => 0,
+        };
         let mut served: u64 = 0;
         let mut failure = None;
         out.reserve(objects.len());
@@ -482,6 +584,13 @@ impl Middleware for Session<'_> {
             served += 1;
         }
         self.stats.record_random_n(list, served);
+        if let Some(r) = &mut self.recorder {
+            if objects.len() >= TIMED_BATCH_MIN {
+                r.record_span(EventKind::RandomLookup, list as u32, served, trace_start);
+            } else {
+                r.defer(EventKind::RandomLookup, served);
+            }
+        }
         match failure {
             Some(e) => Err(e),
             None => Ok(()),
@@ -498,6 +607,26 @@ impl Middleware for Session<'_> {
 
     fn position(&self, list: usize) -> usize {
         self.positions[list]
+    }
+
+    fn trace(&mut self, kind: EventKind, detail: u32, count: u64) {
+        if let Some(r) = &mut self.recorder {
+            // Round boundaries arrive once per drive-loop round — tens of
+            // nanoseconds of real work on a scalar loop — so stamping each
+            // one would put a clock read on every round. Every STRIDEth is
+            // recorded instead; `count` carries the true 1-based round
+            // number, so consumers recover exact per-round durations from
+            // the count delta (the serve layer divides by it), and the
+            // halt event still reports the exact total.
+            if kind == EventKind::RoundBoundary {
+                self.rounds_untraced += 1;
+                if self.rounds_untraced < ROUND_TRACE_STRIDE {
+                    return;
+                }
+                self.rounds_untraced = 0;
+            }
+            r.record(kind, detail, count);
+        }
     }
 }
 

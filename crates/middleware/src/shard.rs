@@ -171,6 +171,10 @@ impl Middleware for ShardView<'_> {
     fn position(&self, list: usize) -> usize {
         self.inner.position(list)
     }
+
+    fn trace(&mut self, kind: fagin_obs::EventKind, detail: u32, count: u64) {
+        self.inner.trace(kind, detail, count)
+    }
 }
 
 impl Database {

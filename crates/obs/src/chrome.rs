@@ -1,0 +1,91 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) rendering of a flight
+//! record.
+//!
+//! The output is the JSON Object Format: `{"traceEvents": [...]}` with
+//! microsecond timestamps. Events recorded with a duration render as
+//! complete spans (`"ph": "X"`), instants as instant events
+//! (`"ph": "i"`). The query id becomes the *thread* id, so a coalesced
+//! burst renders as parallel rows — the leader's row shows the rounds and
+//! access batches, each rider's row just its join and delivery.
+
+use crate::event::TraceEvent;
+
+/// Renders `events` (any order; they are sorted by start time) as a
+/// Chrome-trace JSON document. Hand-rolled JSON like the rest of the
+/// workspace — the build environment is offline, so no serde. Allocates
+/// freely: export runs after the measured work.
+pub fn render(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.nanos.saturating_sub(e.dur_nanos));
+    let mut out = String::with_capacity(128 + 160 * sorted.len());
+    out.push_str("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    for (i, ev) in sorted.iter().enumerate() {
+        let start_us = (ev.nanos.saturating_sub(ev.dur_nanos)) as f64 / 1_000.0;
+        let args = format!("{{\"detail\": {}, \"count\": {}}}", ev.detail, ev.count);
+        let common = format!(
+            "\"name\": \"{}\", \"cat\": \"fagin\", \"pid\": 1, \"tid\": {}, \
+             \"ts\": {start_us:.3}, \"args\": {args}",
+            ev.kind.label(),
+            ev.query,
+        );
+        let body = if ev.dur_nanos > 0 {
+            format!(
+                "  {{{common}, \"ph\": \"X\", \"dur\": {:.3}}}",
+                ev.dur_nanos as f64 / 1_000.0
+            )
+        } else {
+            format!("  {{{common}, \"ph\": \"i\", \"s\": \"t\"}}")
+        };
+        out.push_str(&body);
+        out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(kind: EventKind, query: u32, nanos: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            nanos,
+            dur_nanos: dur,
+            count: 5,
+            query,
+            detail: 2,
+            kind,
+        }
+    }
+
+    #[test]
+    fn renders_spans_and_instants() {
+        let events = vec![
+            ev(EventKind::Done, 1, 9_500, 8_000),
+            ev(EventKind::Admitted, 1, 1_000, 0),
+            ev(EventKind::SortedBatch, 1, 5_000, 2_500),
+        ];
+        let json = render(&events);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.ends_with("]}\n"));
+        assert!(json.contains("\"name\": \"admitted\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 8.000"));
+        assert!(json.contains("\"tid\": 1"));
+        // Sorted by start time: admitted (1 µs) renders first.
+        let admitted = json.find("admitted").unwrap();
+        let done = json.find("done").unwrap();
+        assert!(admitted < done, "events ordered by start");
+        // Balanced JSON at the bracket-count level.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_record_is_valid_json() {
+        let json = render(&[]);
+        assert!(json.contains("\"traceEvents\": [\n]"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The fixed-size binary trace event.
+
+/// What a [`TraceEvent`] describes.
+///
+/// The taxonomy covers one query's life across all three layers: the
+/// service admits it, the middleware serves its accesses, the core drive
+/// loop rounds and halts. Payload conventions (`detail`, `count`) are
+/// documented per variant; producers own the encoding, the recorder just
+/// stores words.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A query entered the service. `detail` = k, `count` = algorithm
+    /// discriminant (service-defined).
+    Admitted = 0,
+    /// The result cache was consulted. `count` = 1 for a hit, 0 for a
+    /// miss.
+    CacheProbe = 1,
+    /// The query joined an identical in-flight run instead of executing
+    /// (single-flight coalescing). `count` = the rider's wait in nanos
+    /// when stamped at delivery.
+    CoalesceJoin = 2,
+    /// A drive-loop round completed. `count` = the 1-based round number.
+    RoundBoundary = 3,
+    /// A batch of sorted accesses was served. For a timed span
+    /// (`dur_nanos` > 0): `detail` = list index, `count` = entries served.
+    /// For a deferred aggregate (small batches accumulated clock-free and
+    /// flushed at the next structural event — see
+    /// [`FlightRecorder::defer`](crate::FlightRecorder::defer)):
+    /// `detail` = batches accumulated, `count` = entries served in total.
+    SortedBatch = 4,
+    /// A batch of random lookups was served. `detail`/`count` exactly as
+    /// for [`Self::SortedBatch`], with `count` = grades fetched.
+    RandomLookup = 5,
+    /// The run halted. `detail` = the halt-reason code
+    /// (`fagin_core::HaltReason::code`), `count` = rounds executed.
+    Halt = 6,
+    /// The bound engine evicted hopeless candidates. `count` = candidates
+    /// dropped in this wave.
+    EvictionWave = 7,
+    /// The service interrupted the run for a degraded (anytime) answer.
+    /// `detail` = the halt-reason code.
+    Degraded = 8,
+    /// The query's answer was delivered. `dur_nanos` = its wall-clock
+    /// latency, `count` = total middleware accesses.
+    Done = 9,
+}
+
+impl EventKind {
+    /// Stable human-readable name (Chrome-trace event names, tests).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Admitted => "admitted",
+            EventKind::CacheProbe => "cache_probe",
+            EventKind::CoalesceJoin => "coalesce_join",
+            EventKind::RoundBoundary => "round",
+            EventKind::SortedBatch => "sorted_batch",
+            EventKind::RandomLookup => "random_lookup",
+            EventKind::Halt => "halt",
+            EventKind::EvictionWave => "eviction_wave",
+            EventKind::Degraded => "degraded",
+            EventKind::Done => "done",
+        }
+    }
+}
+
+/// One fixed-size binary trace event.
+///
+/// `Copy` and exactly as wide as its fields: a ring of these is a flat
+/// preallocated buffer, and recording is a single struct store. Times are
+/// nanoseconds on the recorder's monotonic clock (`nanos` is the stamp at
+/// *completion*; spans additionally carry `dur_nanos`, so a span started
+/// at `nanos - dur_nanos`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Completion stamp, nanoseconds since the recorder's epoch.
+    pub nanos: u64,
+    /// Span duration in nanoseconds; 0 for instant events.
+    pub dur_nanos: u64,
+    /// Primary payload word (see [`EventKind`]).
+    pub count: u64,
+    /// Query id the event belongs to (0 when outside any query).
+    pub query: u32,
+    /// Secondary payload word (list index, halt code, …).
+    pub detail: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Default for TraceEvent {
+    fn default() -> Self {
+        TraceEvent {
+            nanos: 0,
+            dur_nanos: 0,
+            count: 0,
+            query: 0,
+            detail: 0,
+            kind: EventKind::Admitted,
+        }
+    }
+}

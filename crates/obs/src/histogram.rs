@@ -1,0 +1,258 @@
+//! Constant-memory log₂-bucket histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64` (plus the
+/// zero bucket), so any value has a home and memory is a fixed 64 words.
+const BUCKETS: usize = 64;
+
+/// A bounded histogram over `u64` samples with power-of-two buckets.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values with bit
+/// length `i`, i.e. the range `[2^(i-1), 2^i - 1]` (the last bucket's
+/// upper edge saturates at `u64::MAX`). Recording is a single relaxed
+/// atomic increment — shared-reference, thread-safe, allocation-free —
+/// and the whole structure is 66 words regardless of how many samples it
+/// has absorbed. Quantiles are answered by nearest-rank over the bucket
+/// counts and report the bucket's upper edge, so they over-estimate by at
+/// most 2× — the price of constant memory, and exactly the resolution the
+/// bucket scheme advertises.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// The index of the bucket holding `value`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The inclusive upper edge of bucket `index`.
+#[inline]
+fn upper_edge(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        // Bucket 63 also absorbs 64-bit values (bucket_of clamps), so
+        // its edge saturates.
+        i if i >= 63 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Absorbs one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Absorbs a duration as nanoseconds.
+    #[inline]
+    pub fn record_nanos(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Samples absorbed.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether any sample has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Sum of all samples (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        (count > 0).then(|| self.sum() as f64 / count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank, reported as the
+    /// holding bucket's upper edge; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Forgets every sample.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (quantiles and exports read this so one
+    /// report is internally consistent).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A frozen copy of a [`Histogram`].
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Histogram`] for the bucket
+    /// scheme).
+    pub buckets: [u64; BUCKETS],
+    /// Samples absorbed (consistent with `buckets`).
+    pub count: u64,
+    /// Sum of all samples at snapshot time.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile by nearest rank (bucket upper edge); `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(upper_edge(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// The non-empty buckets as `(upper_edge, cumulative_count)` pairs —
+    /// the shape a Prometheus `le` series wants.
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.buckets.iter().enumerate().filter_map(move |(i, &c)| {
+            acc += c;
+            (c > 0).then_some((upper_edge(i), acc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(upper_edge(0), 0);
+        assert_eq!(upper_edge(1), 1);
+        assert_eq!(upper_edge(2), 3);
+        assert_eq!(upper_edge(10), 1023);
+        assert_eq!(upper_edge(62), (1u64 << 62) - 1);
+        assert_eq!(upper_edge(63), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_edges() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1060);
+        // 10 → bucket 4 (edge 15), 20/30 → bucket 5 (edge 31),
+        // 1000 → bucket 10 (edge 1023).
+        assert_eq!(h.quantile(0.0), Some(15));
+        assert_eq!(h.quantile(0.5), Some(31));
+        assert_eq!(h.quantile(0.99), Some(1023));
+        assert_eq!(h.quantile(1.0), Some(1023));
+        let within_2x = |q: u64, exact: f64| (q as f64) >= exact && (q as f64) < exact * 2.0 + 1.0;
+        assert!(within_2x(h.quantile(0.5).unwrap(), 20.0));
+    }
+
+    #[test]
+    fn zero_samples_live_in_the_zero_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(1));
+        assert_eq!(h.mean(), Some(1.0 / 3.0));
+    }
+
+    #[test]
+    fn cumulative_series_is_monotone_and_complete() {
+        let h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let series: Vec<(u64, u64)> = snap.cumulative().collect();
+        assert!(!series.is_empty());
+        assert!(series
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(series.last().unwrap().1, 100);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.snapshot().cumulative().count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().cumulative().last().unwrap().1, 4000);
+    }
+}

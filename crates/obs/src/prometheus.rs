@@ -1,0 +1,208 @@
+//! Prometheus text exposition rendering — and parsing, so an export can
+//! be round-trip tested instead of eyeballed.
+//!
+//! Only the slice of the format the service emits is supported: `# HELP`
+//! / `# TYPE` comments, `counter` and `gauge` samples, and `histogram`
+//! triples (`_bucket{le="…"}` series with a `+Inf` bucket, `_sum`,
+//! `_count`).
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// Appends a `counter` sample.
+pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a `gauge` sample.
+pub fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a `histogram` family from a snapshot, dividing every sample
+/// value by `scale` (pass `1e9` to export nanosecond samples in
+/// seconds, `1.0` to export raw units).
+pub fn histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnapshot, scale: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (edge, cumulative) in snap.cumulative() {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            edge as f64 / scale
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {}", snap.sum as f64 / scale);
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+}
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in source order (empty for unlabelled samples).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a text exposition document into its samples. Comment lines are
+/// validated just enough to reject garbage (`# HELP`/`# TYPE` only).
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if !(comment.starts_with("HELP ") || comment.starts_with("TYPE ")) {
+                return Err(format!("line {}: unknown comment: {line}", lineno + 1));
+            }
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, value_part) = match line.find('}') {
+        Some(close) => {
+            let (head, tail) = line.split_at(close + 1);
+            (head, tail.trim())
+        }
+        None => line
+            .split_once(char::is_whitespace)
+            .map(|(n, v)| (n, v.trim()))
+            .ok_or_else(|| format!("no value: {line}"))?,
+    };
+    let (name, labels) = match name_part.split_once('{') {
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels: {line}"))?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad label pair {pair:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value {v:?}"))?;
+                labels.push((k.trim().to_string(), v.to_string()));
+            }
+            (name.to_string(), labels)
+        }
+        None => (name_part.to_string(), Vec::new()),
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let value = match value_part {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse().map_err(|e| format!("bad value {v:?}: {e}"))?,
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Histogram;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let mut text = String::new();
+        counter(
+            &mut text,
+            "fagin_queries_completed",
+            "Answered queries.",
+            42,
+        );
+        gauge(&mut text, "fagin_cache_hit_rate", "Hit rate.", 0.625);
+        let samples = parse(&text).unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].name, "fagin_queries_completed");
+        assert_eq!(samples[0].value, 42.0);
+        assert_eq!(samples[1].value, 0.625);
+    }
+
+    #[test]
+    fn histograms_round_trip_cumulatively() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 300, 4000] {
+            h.record(v);
+        }
+        let mut text = String::new();
+        histogram(
+            &mut text,
+            "fagin_cost",
+            "Middleware cost.",
+            &h.snapshot(),
+            1.0,
+        );
+        let samples = parse(&text).unwrap();
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "fagin_cost_bucket")
+            .collect();
+        assert!(buckets.len() >= 3);
+        // Cumulative counts are monotone and end at the +Inf bucket.
+        assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+        let inf = buckets.last().unwrap();
+        assert_eq!(inf.label("le"), Some("+Inf"));
+        assert_eq!(inf.value, 4.0);
+        assert_eq!(
+            samples
+                .iter()
+                .find(|s| s.name == "fagin_cost_count")
+                .unwrap()
+                .value,
+            4.0
+        );
+        assert_eq!(
+            samples
+                .iter()
+                .find(|s| s.name == "fagin_cost_sum")
+                .unwrap()
+                .value,
+            4600.0
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("fagin_ok 1\n").is_ok());
+        assert!(parse("# YOLO nope\n").is_err());
+        assert!(parse("no-dashes-allowed 1\n").is_err());
+        assert!(parse("fagin_bucket{le=\"1\" 3\n").is_err());
+        assert!(parse("fagin_bucket{le=unquoted} 3\n").is_err());
+        assert!(parse("fagin_novalue\n").is_err());
+        assert!(parse("fagin_nan abc\n").is_err());
+    }
+}

@@ -1,0 +1,440 @@
+//! The preallocated flight-recorder ring.
+
+use std::time::Instant;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// A zero-allocation ring buffer of [`TraceEvent`]s.
+///
+/// All storage is allocated once, in [`FlightRecorder::new`]; recording
+/// afterwards is a clock read and a struct store into the ring, and when
+/// the ring is full the oldest event is overwritten (`dropped` counts the
+/// overwrites). This is what lets a recorder ride inside a drive loop the
+/// counting-allocator tests prove allocation-free.
+///
+/// Timestamps are nanoseconds since the recorder's *epoch* (a monotonic
+/// [`Instant`]). Recorders that must merge into one timeline — a worker's
+/// session ring draining into the service ring — are built over a shared
+/// epoch with [`FlightRecorder::with_epoch`], so their stamps are already
+/// on the same axis and [`FlightRecorder::drain_into`] is a plain copy.
+///
+/// Without the `recorder` cargo feature every recording method is an
+/// empty inline body: the ring stays empty and the clock is never read.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    /// Flat preallocated storage; only the first `len` logical slots
+    /// (ending at `head`) hold recorded events.
+    slots: Vec<TraceEvent>,
+    /// Next slot to write.
+    head: usize,
+    /// Recorded events currently held (≤ capacity).
+    len: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+    /// The zero point of every `nanos` stamp.
+    epoch: Instant,
+    /// Stamped onto every recorded event.
+    query: u32,
+    /// Deferred small-batch tallies — `(batches, entries)` accumulated
+    /// clock-free by [`FlightRecorder::defer`] and flushed as one
+    /// aggregate event each at the next stamped recording.
+    pending_sorted: (u32, u64),
+    pending_random: (u32, u64),
+}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` events, with a fresh epoch.
+    ///
+    /// This is the only allocation the recorder ever performs.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_epoch(capacity, Instant::now())
+    }
+
+    /// A recorder whose timestamps share `epoch` with other recorders.
+    pub fn with_epoch(capacity: usize, epoch: Instant) -> Self {
+        FlightRecorder {
+            slots: vec![TraceEvent::default(); capacity.max(1)],
+            head: 0,
+            len: 0,
+            dropped: 0,
+            epoch,
+            query: 0,
+            pending_sorted: (0, 0),
+            pending_random: (0, 0),
+        }
+    }
+
+    /// The recorder's epoch (pass to [`FlightRecorder::with_epoch`] to
+    /// build a sibling on the same time axis).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Nanoseconds elapsed since the epoch on the monotonic clock.
+    #[inline]
+    pub fn now_nanos(&self) -> u64 {
+        #[cfg(feature = "recorder")]
+        {
+            self.epoch.elapsed().as_nanos() as u64
+        }
+        #[cfg(not(feature = "recorder"))]
+        {
+            0
+        }
+    }
+
+    /// Sets the query id stamped onto subsequently recorded events.
+    #[inline]
+    pub fn set_query(&mut self, query: u32) {
+        self.query = query;
+    }
+
+    /// The query id currently being stamped.
+    pub fn query(&self) -> u32 {
+        self.query
+    }
+
+    /// Accumulates a small [`EventKind::SortedBatch`] /
+    /// [`EventKind::RandomLookup`] batch **without reading the clock**.
+    ///
+    /// Per-access instant events are the one place tracing could outweigh
+    /// the traced work: an unbatched TA round serves ~`3m` single-entry
+    /// batches whose real cost is a few slot-table reads each, so a clock
+    /// read per batch multiplies the round. Deferral makes the hot path a
+    /// pair of integer adds; the tallies surface as one aggregate instant
+    /// event per kind (`detail` = batches, `count` = entries, stamped with
+    /// the triggering event's clock read) at the next
+    /// [`record`](Self::record) / [`record_span`](Self::record_span) /
+    /// [`push`](Self::push) — in a drive loop, the round boundary — or at
+    /// [`drain_into`](Self::drain_into) time.
+    ///
+    /// Kinds other than the two access kinds are ignored (debug-asserted).
+    #[inline]
+    pub fn defer(&mut self, kind: EventKind, count: u64) {
+        #[cfg(feature = "recorder")]
+        {
+            match kind {
+                EventKind::SortedBatch => {
+                    self.pending_sorted.0 += 1;
+                    self.pending_sorted.1 += count;
+                }
+                EventKind::RandomLookup => {
+                    self.pending_random.0 += 1;
+                    self.pending_random.1 += count;
+                }
+                _ => debug_assert!(false, "only access batches defer, got {kind:?}"),
+            }
+        }
+        #[cfg(not(feature = "recorder"))]
+        let _ = (kind, count);
+    }
+
+    /// Pushes the deferred tallies (if any) as aggregate instant events
+    /// stamped `now`, oldest semantics first (sorted, then random).
+    #[cfg(feature = "recorder")]
+    fn flush_deferred(&mut self, now: u64) {
+        for (kind, pending) in [
+            (EventKind::SortedBatch, self.pending_sorted),
+            (EventKind::RandomLookup, self.pending_random),
+        ] {
+            if pending.0 > 0 {
+                self.push_raw(TraceEvent {
+                    nanos: now,
+                    dur_nanos: 0,
+                    count: pending.1,
+                    query: self.query,
+                    detail: pending.0,
+                    kind,
+                });
+            }
+        }
+        self.pending_sorted = (0, 0);
+        self.pending_random = (0, 0);
+    }
+
+    /// Records an instant event stamped now.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind, detail: u32, count: u64) {
+        #[cfg(feature = "recorder")]
+        {
+            let now = self.now_nanos();
+            self.flush_deferred(now);
+            self.push_raw(TraceEvent {
+                nanos: now,
+                dur_nanos: 0,
+                count,
+                query: self.query,
+                detail,
+                kind,
+            });
+        }
+        #[cfg(not(feature = "recorder"))]
+        let _ = (kind, detail, count);
+    }
+
+    /// Records a span that started at `start_nanos` (from
+    /// [`FlightRecorder::now_nanos`]) and completes now.
+    #[inline]
+    pub fn record_span(&mut self, kind: EventKind, detail: u32, count: u64, start_nanos: u64) {
+        #[cfg(feature = "recorder")]
+        {
+            let now = self.now_nanos();
+            self.flush_deferred(now);
+            self.push_raw(TraceEvent {
+                nanos: now,
+                dur_nanos: now.saturating_sub(start_nanos),
+                count,
+                query: self.query,
+                detail,
+                kind,
+            });
+        }
+        #[cfg(not(feature = "recorder"))]
+        let _ = (kind, detail, count, start_nanos);
+    }
+
+    /// Records a fully formed event (timestamps are the caller's
+    /// responsibility — used when replaying events across rings). Flushes
+    /// deferred tallies first, stamped with the pushed event's time.
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        #[cfg(feature = "recorder")]
+        {
+            self.flush_deferred(ev.nanos);
+            self.push_raw(ev);
+        }
+        #[cfg(not(feature = "recorder"))]
+        let _ = ev;
+    }
+
+    /// The ring store itself — no flushing, no clock.
+    #[cfg(feature = "recorder")]
+    #[inline]
+    fn push_raw(&mut self, ev: TraceEvent) {
+        if self.len == self.slots.len() {
+            self.dropped += 1;
+        } else {
+            self.len += 1;
+        }
+        self.slots[self.head] = ev;
+        self.head = (self.head + 1) % self.slots.len();
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum events the ring holds before overwriting.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events overwritten since the last [`FlightRecorder::clear`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Forgets every held event and deferred tally (storage is retained).
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        self.dropped = 0;
+        self.pending_sorted = (0, 0);
+        self.pending_random = (0, 0);
+    }
+
+    /// The held events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let cap = self.slots.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| &self.slots[(start + i) % cap])
+    }
+
+    /// Copies every held event into `dst` (oldest first) and clears this
+    /// ring. No allocation on either side: `dst` overwrites its oldest
+    /// events if it runs out of room, exactly like direct recording.
+    ///
+    /// Stamps are rebased from this recorder's epoch onto `dst`'s, so
+    /// merged timelines stay coherent even across epochs (recorders built
+    /// over a shared epoch rebase by zero).
+    pub fn drain_into(&mut self, dst: &mut FlightRecorder) {
+        #[cfg(feature = "recorder")]
+        self.flush_deferred(self.now_nanos());
+        // Signed offset between the two epochs, in nanoseconds.
+        let forward = self.epoch.saturating_duration_since(dst.epoch).as_nanos() as i128;
+        let backward = dst.epoch.saturating_duration_since(self.epoch).as_nanos() as i128;
+        let offset = forward - backward;
+        let cap = self.slots.len();
+        let start = (self.head + cap - self.len) % cap;
+        for i in 0..self.len {
+            let mut ev = self.slots[(start + i) % cap];
+            ev.nanos = (ev.nanos as i128 + offset).clamp(0, u64::MAX as i128) as u64;
+            dst.push(ev);
+        }
+        self.clear();
+    }
+
+    /// The held events as a fresh vector (allocates; for export paths).
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(all(test, feature = "recorder"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_overwrites_oldest() {
+        let mut r = FlightRecorder::new(3);
+        assert!(r.is_empty());
+        r.set_query(7);
+        r.record(EventKind::Admitted, 1, 10);
+        r.record(EventKind::RoundBoundary, 0, 1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        r.record(EventKind::RoundBoundary, 0, 2);
+        r.record(EventKind::Halt, 0, 2); // overwrites Admitted
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 1);
+        let kinds: Vec<EventKind> = r.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::RoundBoundary,
+                EventKind::RoundBoundary,
+                EventKind::Halt
+            ]
+        );
+        assert!(r.iter().all(|e| e.query == 7));
+        let stamps: Vec<u64> = r.iter().map(|e| e.nanos).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "monotonic stamps");
+    }
+
+    #[test]
+    fn spans_measure_elapsed_time() {
+        let mut r = FlightRecorder::new(4);
+        let t0 = r.now_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        r.record_span(EventKind::SortedBatch, 2, 64, t0);
+        let ev = *r.iter().next().unwrap();
+        assert_eq!(ev.kind, EventKind::SortedBatch);
+        assert_eq!(ev.detail, 2);
+        assert_eq!(ev.count, 64);
+        assert!(ev.dur_nanos >= 1_000_000, "span covers the sleep");
+        assert!(ev.nanos >= ev.dur_nanos, "span starts after the epoch");
+    }
+
+    #[test]
+    fn clear_retains_storage() {
+        let mut r = FlightRecorder::new(2);
+        r.record(EventKind::Admitted, 0, 0);
+        r.record(EventKind::Done, 0, 0);
+        r.record(EventKind::Done, 0, 0);
+        assert_eq!(r.dropped(), 1);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.capacity(), 2);
+        r.record(EventKind::Admitted, 0, 0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn drain_rebases_onto_shared_timeline() {
+        let epoch = Instant::now();
+        let mut service = FlightRecorder::with_epoch(8, epoch);
+        let mut worker = FlightRecorder::with_epoch(8, epoch);
+        service.set_query(1);
+        service.record(EventKind::Admitted, 10, 0);
+        worker.set_query(1);
+        worker.record(EventKind::RoundBoundary, 0, 1);
+        worker.record(EventKind::Halt, 0, 1);
+        worker.drain_into(&mut service);
+        assert!(worker.is_empty());
+        assert_eq!(service.len(), 3);
+        let stamps: Vec<u64> = service.iter().map(|e| e.nanos).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "one time axis");
+    }
+
+    #[test]
+    fn drain_rebases_across_distinct_epochs() {
+        let early = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let late = Instant::now();
+        // An event stamped on the late epoch lands later when rebased
+        // onto the early one.
+        let mut src = FlightRecorder::with_epoch(2, late);
+        src.record(EventKind::Done, 0, 0);
+        let src_stamp = src.iter().next().unwrap().nanos;
+        let mut dst = FlightRecorder::with_epoch(2, early);
+        src.drain_into(&mut dst);
+        let rebased = dst.iter().next().unwrap().nanos;
+        assert!(rebased > src_stamp, "late-epoch stamp moves forward");
+        assert!(rebased >= 1_000_000, "covers the epoch gap");
+    }
+
+    #[test]
+    fn deferred_batches_flush_as_one_aggregate_per_kind() {
+        let mut r = FlightRecorder::new(8);
+        r.set_query(3);
+        r.defer(EventKind::SortedBatch, 1);
+        r.defer(EventKind::SortedBatch, 1);
+        r.defer(EventKind::RandomLookup, 2);
+        assert!(r.is_empty(), "deferral never touches the ring");
+        r.record(EventKind::RoundBoundary, 0, 1);
+        let events = r.to_vec();
+        assert_eq!(
+            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![
+                EventKind::SortedBatch,
+                EventKind::RandomLookup,
+                EventKind::RoundBoundary
+            ],
+            "aggregates land before the event that flushed them"
+        );
+        assert_eq!(
+            (events[0].detail, events[0].count),
+            (2, 2),
+            "2 batches, 2 entries"
+        );
+        assert_eq!(
+            (events[1].detail, events[1].count),
+            (1, 2),
+            "1 batch, 2 grades"
+        );
+        assert_eq!(events[0].nanos, events[2].nanos, "one shared clock read");
+        assert!(events.iter().all(|e| e.query == 3));
+        // A second structural event flushes nothing new.
+        r.record(EventKind::Halt, 0, 1);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn draining_flushes_deferred_tallies() {
+        let mut r = FlightRecorder::new(4);
+        r.defer(EventKind::SortedBatch, 5);
+        let mut dst = FlightRecorder::with_epoch(4, r.epoch());
+        r.drain_into(&mut dst);
+        assert_eq!(dst.len(), 1);
+        let ev = *dst.iter().next().unwrap();
+        assert_eq!(ev.kind, EventKind::SortedBatch);
+        assert_eq!((ev.detail, ev.count), (1, 5));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = FlightRecorder::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.record(EventKind::Admitted, 0, 0);
+        r.record(EventKind::Done, 0, 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().kind, EventKind::Done);
+    }
+}

@@ -22,8 +22,13 @@
 //!   query — while bounds, halting and accounting stay private per query;
 //! * **admission control**: an exact queue-depth cap and per-query
 //!   middleware-cost budgets, both rejecting with typed [`ServeError`]s;
-//! * **service metrics** ([`ServiceMetrics`]): throughput, cache hit rate,
-//!   coalesced/shared-scan counters, p50/p99 middleware cost per query.
+//! * **observability** ([`ServiceMetrics`]): throughput, cache hit rate,
+//!   coalesced/shared-scan counters, and bounded log₂-bucket histograms
+//!   for per-query middleware cost and wall-clock latency; a zero-steady-
+//!   state-allocation flight recorder merging every query's lifecycle
+//!   events into one service-wide ring ([`TopKService::flight_events`]);
+//!   a Prometheus text endpoint ([`TopKService::metrics_text`]); and a
+//!   top-N slow-query log ([`TopKService::slow_queries`]).
 //!
 //! ## Quick tour
 //!
@@ -64,6 +69,6 @@ pub mod service;
 
 pub use cache::{CacheHit, CachedRun, ResultCache};
 pub use error::ServeError;
-pub use metrics::ServiceMetrics;
+pub use metrics::{ServiceMetrics, SlowQuery};
 pub use request::{AggSpec, QueryRequest};
 pub use service::{AnswerSource, QueryResponse, QueryTicket, ServiceConfig, TopKService};

@@ -35,13 +35,19 @@
 //!    ([`ServeError::CostBudgetExceeded`]), both typed so clients can
 //!    react. Worker panics are caught at the loop: the caller's ticket
 //!    resolves to [`ServeError::WorkerPanicked`] and the worker survives;
-//! 5. **metrics**: a [`ServiceMetrics`] snapshot with throughput, cache
-//!    hit rate, coalescing and shared-scan counters, and p50/p99
-//!    middleware cost per query.
+//! 5. **observability**: a [`ServiceMetrics`] snapshot with throughput,
+//!    cache hit rate, coalescing and shared-scan counters, and bounded
+//!    log₂-bucket histograms for per-query cost and latency; plus the
+//!    flight recorder — every query's lifecycle (admission, cache probe,
+//!    coalesce join, drive-loop rounds, halt, delivery) lands as
+//!    fixed-size binary events in one preallocated service-wide ring
+//!    ([`TopKService::flight_events`]), exportable as Chrome-trace JSON —
+//!    a Prometheus text endpoint ([`TopKService::metrics_text`]), and a
+//!    top-N slow-query log ([`TopKService::slow_queries`]).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -49,11 +55,12 @@ use fagin_core::algorithms::WarmStart;
 use fagin_core::planner::Planner;
 use fagin_core::{AlgoError, AnytimeConfig, RunMetrics, RunScratch, ScoredObject, TopKOutput};
 use fagin_middleware::{AccessError, AccessStats, CostBudget, Database, ObjectId, Session};
+use fagin_obs::{EventKind, FlightRecorder, TraceEvent};
 
 use crate::cache::{CacheHit, CacheKey, CachedRun, ResultCache};
 use crate::error::ServeError;
 use crate::inflight::{self, Flight, FlightAnswer, FlightOutcome, InflightMap, Join};
-use crate::metrics::{Recorder, ServiceMetrics};
+use crate::metrics::{Recorder, ServiceMetrics, SlowQuery};
 use crate::request::QueryRequest;
 use crate::scanhub::ScanHub;
 
@@ -66,6 +73,14 @@ const FOLLOW_RETRIES: usize = 2;
 /// round boundary *before* the hard budget would reject an access mid-round
 /// (the budget itself stays in force as the backstop).
 const DEGRADE_WATERMARK: f64 = 0.9;
+
+/// Capacity of the service-wide flight-record ring (most recent events
+/// win; the ring never grows).
+const SERVICE_RING_CAPACITY: usize = 4096;
+
+/// Capacity of each worker session's private ring, drained into the
+/// service ring after every executed query.
+const WORKER_RING_CAPACITY: usize = 1024;
 
 /// Where an answer came from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -256,16 +271,56 @@ struct Shared {
     recorder: Recorder,
     queue_len: AtomicUsize,
     queue_cap: usize,
+    /// The merged flight record: lifecycle events recorded service-side
+    /// plus every worker session's drained ring, all stamped on `epoch`.
+    flight: Mutex<FlightRecorder>,
+    /// Shared time axis for every recorder in the service.
+    epoch: Instant,
+    /// Source of the trace query ids (ids start at 1; 0 = outside any
+    /// query).
+    query_counter: AtomicU32,
 }
 
 impl Shared {
-    fn admit(&self) -> std::sync::MutexGuard<'_, Coalescer> {
+    fn admit(&self) -> MutexGuard<'_, Coalescer> {
         // A worker that panics while holding the admission lock poisons
         // it; the state is still valid (cache and table mutations are
         // individually complete), so siblings recover and keep serving.
         self.admission
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn flight_ring(&self) -> MutexGuard<'_, FlightRecorder> {
+        // Same recovery argument: every ring mutation is a complete
+        // struct store, so a poisoned ring is still a valid ring.
+        self.flight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn next_query(&self) -> u32 {
+        self.query_counter.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records one service-side lifecycle instant for `query`.
+    fn trace(&self, query: u32, kind: EventKind, detail: u32, count: u64) {
+        let mut ring = self.flight_ring();
+        ring.set_query(query);
+        ring.record(kind, detail, count);
+    }
+
+    /// Records the delivery event: `dur_nanos` carries the query's
+    /// wall-clock latency, `count` its total middleware accesses.
+    fn trace_done(&self, query: u32, latency: Duration, accesses: u64) {
+        let mut ring = self.flight_ring();
+        let now = ring.now_nanos();
+        ring.push(TraceEvent {
+            nanos: now,
+            dur_nanos: latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+            count: accesses,
+            query,
+            detail: 0,
+            kind: EventKind::Done,
+        });
     }
 }
 
@@ -312,6 +367,8 @@ impl TopKService {
             .distinctness
             .unwrap_or_else(|| db.satisfies_distinctness());
         let scan_hub = config.scan_sharing.then(|| ScanHub::new(Arc::clone(&db)));
+        let flight = FlightRecorder::new(SERVICE_RING_CAPACITY);
+        let epoch = flight.epoch();
         let shared = Arc::new(Shared {
             distinctness,
             admission: Mutex::new(Coalescer {
@@ -324,6 +381,9 @@ impl TopKService {
             recorder: Recorder::new(),
             queue_len: AtomicUsize::new(0),
             queue_cap: config.queue_cap,
+            flight: Mutex::new(flight),
+            epoch,
+            query_counter: AtomicU32::new(0),
             db,
         });
         let (sender, receiver) = mpsc::channel::<Job>();
@@ -398,8 +458,27 @@ impl TopKService {
                 .as_mut()
                 .and_then(|c| c.lookup(&request));
             if let Some(hit) = hit {
-                self.shared.recorder.record_completed(0.0, true);
-                let resp = hit_response(self.shared.db.num_lists(), &request, hit, started);
+                let latency = started.elapsed();
+                self.shared.recorder.record_completed(0.0, true, latency);
+                let qid = self.shared.next_query();
+                {
+                    // One lock for the whole fast-path lifecycle:
+                    // admitted, probed (hit), delivered.
+                    let mut ring = self.shared.flight_ring();
+                    ring.set_query(qid);
+                    ring.record(EventKind::Admitted, request.k as u32, 0);
+                    ring.record(EventKind::CacheProbe, 0, 1);
+                    let now = ring.now_nanos();
+                    ring.push(TraceEvent {
+                        nanos: now,
+                        dur_nanos: latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+                        count: 0,
+                        query: qid,
+                        detail: 0,
+                        kind: EventKind::Done,
+                    });
+                }
+                let resp = hit_response(self.shared.db.num_lists(), &request, hit, latency);
                 let (reply, rx) = mpsc::channel();
                 let _ = reply.send(Ok(resp));
                 return Ok(QueryTicket { rx });
@@ -447,6 +526,27 @@ impl TopKService {
         m
     }
 
+    /// The Prometheus text exposition of every service counter and
+    /// histogram (parseable by [`fagin_obs::prometheus::parse`]).
+    pub fn metrics_text(&self) -> String {
+        self.shared.recorder.metrics_text(&self.metrics())
+    }
+
+    /// A snapshot of the merged flight record, oldest event first: every
+    /// query's lifecycle (admission, cache probe, coalesce join, rounds,
+    /// batches, halt, delivery) on one monotonic time axis. The ring
+    /// holds the most recent [`SERVICE_RING_CAPACITY`](self) events.
+    pub fn flight_events(&self) -> Vec<TraceEvent> {
+        self.shared.flight_ring().to_vec()
+    }
+
+    /// The slow-query log: the top-N executed queries by wall-clock
+    /// latency, slowest first, each with its halt reason, certified
+    /// guarantee, depth and access counts.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.recorder.slow_queries()
+    }
+
     /// Drops every cached entry (no-op when the cache is disabled).
     pub fn clear_cache(&self) {
         if let Some(cache) = self.shared.admit().cache.as_mut() {
@@ -484,6 +584,12 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
     // generation stamps; see `fagin_core::arena`).
     let mut arena = RunScratch::new();
     let mut session = Session::new(shared.db.as_ref());
+    // The session ring shares the service epoch, so draining it into the
+    // service ring after each query is a plain copy on one time axis.
+    session.attach_recorder(FlightRecorder::with_epoch(
+        WORKER_RING_CAPACITY,
+        shared.epoch,
+    ));
     if let Some(hub) = &shared.scan_hub {
         session.share_scans(Arc::clone(hub.frontier()));
     }
@@ -512,6 +618,10 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
             shared.recorder.record_worker_panic();
             arena = RunScratch::new();
             session = Session::new(shared.db.as_ref());
+            session.attach_recorder(FlightRecorder::with_epoch(
+                WORKER_RING_CAPACITY,
+                shared.epoch,
+            ));
             if let Some(hub) = &shared.scan_hub {
                 session.share_scans(Arc::clone(hub.frontier()));
             }
@@ -553,7 +663,7 @@ enum Admission {
 /// guarantee-tagged θ̂ entry serves any looser-θ request at its certified
 /// `k`. Shared by the submit-side fast path and the worker-side admission
 /// loop.
-fn hit_response(m: usize, req: &QueryRequest, hit: CacheHit, started: Instant) -> QueryResponse {
+fn hit_response(m: usize, req: &QueryRequest, hit: CacheHit, latency: Duration) -> QueryResponse {
     let run = RunMetrics {
         final_threshold: hit.threshold,
         approximation_guarantee: hit.guarantee,
@@ -581,8 +691,35 @@ fn hit_response(m: usize, req: &QueryRequest, hit: CacheHit, started: Instant) -
         },
         cost: 0.0,
         rationale: vec![rationale],
-        latency: started.elapsed(),
+        latency,
     }
+}
+
+/// Finalizes one executed run: latency and histogram recording, the
+/// slow-query log entry, the delivery trace event, and the response.
+fn finish_executed(
+    shared: &Shared,
+    qid: u32,
+    req: &QueryRequest,
+    run: ExecutedRun,
+    started: Instant,
+) -> QueryResponse {
+    let latency = started.elapsed();
+    shared.recorder.record_completed(run.cost, false, latency);
+    shared.recorder.note_slow(SlowQuery {
+        query: qid,
+        latency,
+        algorithm: run.name.clone(),
+        k: req.k,
+        halt: run.metrics.halt.label(),
+        guarantee: run.metrics.approximation_guarantee,
+        rounds: run.metrics.rounds,
+        sorted_accesses: run.stats.sorted_total(),
+        random_accesses: run.stats.random_total(),
+        cost: run.cost,
+    });
+    shared.trace_done(qid, latency, run.stats.total());
+    run.into_response(latency)
 }
 
 /// Answers one query: admission (cache read and flight join under one
@@ -597,6 +734,8 @@ fn execute(
 ) -> Result<QueryResponse, ServeError> {
     let started = Instant::now();
     let m = shared.db.num_lists();
+    let qid = shared.next_query();
+    shared.trace(qid, EventKind::Admitted, req.k as u32, 0);
 
     // Every request is cache-eligible: exact entries serve any θ by the
     // prefix rule, and guarantee-tagged θ̂ entries serve looser-θ requests
@@ -613,9 +752,8 @@ fn execute(
         } else {
             None
         };
-        let run = run_query(shared, req, session, arena, warm)?;
-        shared.recorder.record_completed(run.cost, false);
-        return Ok(run.into_response(started));
+        let run = run_query(shared, req, session, arena, warm, qid)?;
+        return Ok(finish_executed(shared, qid, req, run, started));
     }
 
     let mut follow_failures = 0;
@@ -646,15 +784,32 @@ fn execute(
             }
         };
 
+        // The probe outcome is part of the query's lifecycle: a hit ends
+        // it, a miss leads into a flight join or an execution.
+        if cache_eligible {
+            let hit = matches!(admission, Admission::Hit(_));
+            shared.trace(qid, EventKind::CacheProbe, 0, u64::from(hit));
+        }
+
         match admission {
             Admission::Hit(hit) => {
-                shared.recorder.record_completed(0.0, true);
-                return Ok(hit_response(m, req, hit, started));
+                let latency = started.elapsed();
+                shared.recorder.record_completed(0.0, true, latency);
+                shared.trace_done(qid, latency, 0);
+                return Ok(hit_response(m, req, hit, latency));
             }
             Admission::Follow(flight) => {
                 match flight.await_outcome() {
                     FlightOutcome::Answer(answer) if answer.serves(req.k) => {
-                        shared.recorder.record_coalesced();
+                        let latency = started.elapsed();
+                        shared.recorder.record_coalesced(latency);
+                        shared.trace(
+                            qid,
+                            EventKind::CoalesceJoin,
+                            answer.requested_k as u32,
+                            latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+                        );
+                        shared.trace_done(qid, latency, 0);
                         let take = req.k.min(answer.items.len());
                         return Ok(QueryResponse {
                             items: answer.items[..take].to_vec(),
@@ -674,7 +829,7 @@ fn execute(
                                  (τ-prefix rule); zero middleware accesses",
                                 answer.requested_k
                             )],
-                            latency: started.elapsed(),
+                            latency,
                         });
                     }
                     // The leader failed or its answer cannot serve our k
@@ -700,7 +855,7 @@ fn execute(
                 }
             }
             Admission::Lead(guard, warm) => {
-                let run = run_query(shared, req, session, arena, warm);
+                let run = run_query(shared, req, session, arena, warm, qid);
                 return match run {
                     Ok(mut run) => {
                         let items = Arc::new(std::mem::take(&mut run.items));
@@ -742,13 +897,12 @@ fn execute(
                         };
                         guard.settle(&mut adm.inflight, outcome);
                         drop(adm);
-                        shared.recorder.record_completed(run.cost, false);
                         run.items = (*items).clone();
                         if !follow_notes.is_empty() {
                             follow_notes.append(&mut run.rationale);
                             run.rationale = std::mem::take(&mut follow_notes);
                         }
-                        Ok(run.into_response(started))
+                        Ok(finish_executed(shared, qid, req, run, started))
                     }
                     Err(e) => {
                         // Followers wake with the typed error and retry
@@ -761,7 +915,7 @@ fn execute(
                 };
             }
             Admission::Solo(warm) => {
-                let mut run = run_query(shared, req, session, arena, warm)?;
+                let mut run = run_query(shared, req, session, arena, warm, qid)?;
                 if cache_eligible {
                     // Every completed run certifies *something*: exact runs
                     // the τ-prefix family (guarantee 1.0), θ and degraded
@@ -784,12 +938,11 @@ fn execute(
                             .push(cached_rationale(req.k, run.graded, guarantee));
                     }
                 }
-                shared.recorder.record_completed(run.cost, false);
                 if !follow_notes.is_empty() {
                     follow_notes.append(&mut run.rationale);
                     run.rationale = std::mem::take(&mut follow_notes);
                 }
-                return Ok(run.into_response(started));
+                return Ok(finish_executed(shared, qid, req, run, started));
             }
         }
     }
@@ -825,7 +978,7 @@ struct ExecutedRun {
 }
 
 impl ExecutedRun {
-    fn into_response(self, started: Instant) -> QueryResponse {
+    fn into_response(self, latency: Duration) -> QueryResponse {
         QueryResponse {
             items: self.items,
             stats: self.stats,
@@ -834,7 +987,7 @@ impl ExecutedRun {
             source: self.source,
             cost: self.cost,
             rationale: self.rationale,
-            latency: started.elapsed(),
+            latency,
         }
     }
 }
@@ -848,6 +1001,7 @@ fn run_query(
     session: &mut Session<'_>,
     arena: &mut RunScratch,
     warm: Option<WarmStart>,
+    qid: u32,
 ) -> Result<ExecutedRun, ServeError> {
     #[cfg(test)]
     if req.k == PANIC_K {
@@ -855,6 +1009,16 @@ fn run_query(
     }
 
     let m = shared.db.num_lists();
+    // Stamp the session ring for this query; anything a previous query
+    // left behind (e.g. after a panic) is stale and dropped.
+    let run_start = match session.recorder_mut() {
+        Some(rec) => {
+            rec.clear();
+            rec.set_query(qid);
+            rec.now_nanos()
+        }
+        None => 0,
+    };
     // Attachment accounting only: the frontier itself lives in the
     // worker's session for the worker's whole life.
     let _lease = shared.scan_hub.as_ref().map(ScanHub::lease);
@@ -923,11 +1087,54 @@ fn run_query(
     };
     if out.metrics.halt.is_interrupted() {
         shared.recorder.record_degraded();
+        if let Some(rec) = session.recorder_mut() {
+            rec.record(EventKind::Degraded, out.metrics.halt.code(), 1);
+        }
         rationale.push(format!(
             "degraded admission: {:?} interrupt returned the best certified answer \
              with θ̂ = {:.3}",
             out.metrics.halt, out.metrics.approximation_guarantee
         ));
+    }
+
+    // Fold the run's flight record into the service histograms (round
+    // durations from successive round boundaries; the sorted/random time
+    // split from timed batch spans), then merge it into the service ring.
+    if let Some(rec) = session.recorder() {
+        let mut prev_round = run_start;
+        let mut prev_round_no = 0u64;
+        let mut sorted_nanos = 0u64;
+        let mut random_nanos = 0u64;
+        for ev in rec.iter() {
+            match ev.kind {
+                EventKind::RoundBoundary => {
+                    // Round events are decimated (the middleware records
+                    // every STRIDEth), so a stamp delta can span several
+                    // rounds; `count` carries the true round number, and
+                    // dividing by its delta recovers per-round duration.
+                    let rounds = ev.count.saturating_sub(prev_round_no).max(1);
+                    shared
+                        .recorder
+                        .record_round_duration(ev.nanos.saturating_sub(prev_round) / rounds);
+                    prev_round = ev.nanos;
+                    prev_round_no = ev.count;
+                }
+                EventKind::SortedBatch => sorted_nanos += ev.dur_nanos,
+                EventKind::RandomLookup => random_nanos += ev.dur_nanos,
+                _ => {}
+            }
+        }
+        if sorted_nanos > 0 {
+            shared.recorder.record_sorted_time(sorted_nanos);
+        }
+        if random_nanos > 0 {
+            shared.recorder.record_random_time(random_nanos);
+        }
+    }
+    if let Some(rec) = session.recorder_mut() {
+        if !rec.is_empty() {
+            rec.drain_into(&mut shared.flight_ring());
+        }
     }
 
     let mut items = out.items;

@@ -39,6 +39,7 @@ struct Args {
     save: Option<String>,
     load: Option<String>,
     store_backend: String,
+    trace: Option<String>,
 }
 
 impl Default for Args {
@@ -67,6 +68,7 @@ impl Default for Args {
             save: None,
             load: None,
             store_backend: "auto".into(),
+            trace: None,
         }
     }
 }
@@ -112,6 +114,13 @@ STORAGE (the on-disk columnar tier, see fagin-store):
   --store-backend auto | mmap | in-memory                 [default: auto]
                   how --load serves the stripes: mmap = zero-copy mapped
                   pages, in-memory = portable decode into owned memory
+
+OBSERVABILITY (the flight recorder, see fagin-obs):
+  --trace <f>     dump the run's flight record to <f> as Chrome-trace
+                  JSON (load in chrome://tracing or ui.perfetto.dev).
+                  Single-query mode records the session's sorted/random
+                  batches, round boundaries and halt; batch mode dumps
+                  the service's merged ring across every query
 
 BATCH MODE (drive the query service without writing Rust):
   --queries <f>   newline-delimited query list, fed through TopKService;
@@ -187,6 +196,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 args.cost_limit = Some(limit);
             }
             "--queries" => args.queries = Some(value),
+            "--trace" => args.trace = Some(value),
             "--save" => args.save = Some(value),
             "--load" => args.load = Some(value),
             "--store-backend" => args.store_backend = value,
@@ -568,6 +578,41 @@ fn run_service_batch(
         metrics.cost_p50.map_or("-".into(), |c| format!("{c:.1}")),
         metrics.cost_p99.map_or("-".into(), |c| format!("{c:.1}")),
     );
+    println!(
+        "latency per query: p50 {} p99 {}",
+        metrics
+            .latency_p50
+            .map_or("-".into(), |l| format!("{l:.2?}")),
+        metrics
+            .latency_p99
+            .map_or("-".into(), |l| format!("{l:.2?}")),
+    );
+    let slow = service.slow_queries();
+    if !slow.is_empty() {
+        println!("slowest queries:");
+        for q in slow.iter().take(5) {
+            println!(
+                "  #{:<5} {:>10.2?} | {} | k={} | halt={} | θ̂={:.3} | depth {} | \
+                 {} sorted + {} random (cost {:.1})",
+                q.query,
+                q.latency,
+                q.algorithm,
+                q.k,
+                q.halt,
+                q.guarantee,
+                q.rounds,
+                q.sorted_accesses,
+                q.random_accesses,
+                q.cost,
+            );
+        }
+    }
+    if let Some(path) = &args.trace {
+        let events = service.flight_events();
+        std::fs::write(path, fagin_topk::obs::chrome::render(&events))
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        println!("trace: {} events -> {path}", events.len());
+    }
     Ok(())
 }
 
@@ -619,6 +664,12 @@ fn run() -> Result<(), String> {
     let interruptible =
         args.rounds.is_some() || args.time_limit_ms.is_some() || args.cost_limit.is_some();
     let mut session = Session::with_policy(&db, policy);
+    if args.trace.is_some() {
+        let mut rec = FlightRecorder::new(65_536);
+        rec.set_query(1);
+        rec.record(EventKind::Admitted, args.k as u32, 0);
+        session.attach_recorder(rec);
+    }
     let start = std::time::Instant::now();
     let out = if interruptible {
         // The deadline is anchored here so parse/build time never eats
@@ -646,6 +697,29 @@ fn run() -> Result<(), String> {
     }
     .map_err(|e| format!("query failed: {e}"))?;
     let elapsed = start.elapsed();
+
+    if let Some(path) = &args.trace {
+        if let Some(rec) = session.recorder_mut() {
+            let now = rec.now_nanos();
+            rec.push(TraceEvent {
+                nanos: now,
+                dur_nanos: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                count: out.stats.total(),
+                query: 1,
+                detail: 0,
+                kind: EventKind::Done,
+            });
+            let dropped = rec.dropped();
+            let events = rec.to_vec();
+            std::fs::write(path, fagin_topk::obs::chrome::render(&events))
+                .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+            print!("trace: {} events -> {path}", events.len());
+            if dropped > 0 {
+                print!(" ({dropped} oldest dropped: ring full)");
+            }
+            println!();
+        }
+    }
 
     if out.metrics.halt.is_interrupted() {
         println!(

@@ -7,8 +7,11 @@
 //! (NRA), the Combined Algorithm (CA), and the baselines the paper measures
 //! them against — over a fully instrumented middleware substrate.
 //!
-//! This umbrella crate re-exports the five component crates:
+//! This umbrella crate re-exports the six component crates:
 //!
+//! * [`obs`] — the observability substrate: the zero-allocation flight
+//!   recorder, bounded log₂-bucket histograms, and the Chrome-trace /
+//!   Prometheus exporters;
 //! * [`middleware`] — sorted-list databases, access sessions, cost model,
 //!   and machine-checked access policies;
 //! * [`core`] — aggregation functions and the algorithm suite;
@@ -38,6 +41,7 @@
 
 pub use fagin_core as core;
 pub use fagin_middleware as middleware;
+pub use fagin_obs as obs;
 pub use fagin_serve as serve;
 pub use fagin_store as store;
 pub use fagin_workloads as workloads;
@@ -63,9 +67,10 @@ pub mod prelude {
         MaterializedSource, Middleware, ObjectId, ScanFrontier, Session, ShardView, SlotSet,
         SlotTable, SortedAccessSet, SubsystemMiddleware,
     };
+    pub use fagin_obs::{EventKind, FlightRecorder, Histogram, TraceEvent};
     pub use fagin_serve::{
         AggSpec, AnswerSource, QueryRequest, QueryResponse, QueryTicket, ResultCache, ServeError,
-        ServiceConfig, ServiceMetrics, TopKService,
+        ServiceConfig, ServiceMetrics, SlowQuery, TopKService,
     };
     pub use fagin_store::{
         Backend, BackendKind, Store, StoreError, StoreOptions, StoreWriter, Verify,

@@ -107,6 +107,63 @@ fn ta_steady_state_stepping_allocates_nothing() {
     assert!(oracle::is_valid_top_k(&db, &Min, 10, &out.objects()));
 }
 
+/// The flight recorder must not change the zero-allocation contract: with
+/// a recorder attached to the session, the same steady-state drive loop —
+/// now narrating every round boundary, sorted batch, random lookup and the
+/// halt into the preallocated ring — still never touches the heap. The
+/// ring overwrites its oldest slot when full, so even saturating it stays
+/// allocation-free.
+#[test]
+fn ta_steady_state_stepping_stays_alloc_free_with_tracing_enabled() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let db = pseudo_db(2_000, 3, 41);
+    let mut arena = RunScratch::new();
+    let mut session = Session::new(&db);
+    let ta = Ta::new();
+    let _ = ta.run_with(&mut session, &Min, 10, &mut arena).unwrap();
+
+    // A deliberately small ring: the run saturates it, exercising the
+    // overwrite path inside the measured region.
+    session.attach_recorder(FlightRecorder::new(256));
+    session.reset(AccessPolicy::no_wild_guesses());
+    if let Some(rec) = session.recorder_mut() {
+        rec.clear();
+        rec.set_query(1);
+    }
+    let mut stepper = ta.stepper_in(&mut session, &Min, 10, &mut arena).unwrap();
+    let (allocs, _) = counted(|| {
+        while !stepper.is_halted() {
+            stepper.step().unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "tracing must not cost the steady-state drive loop any allocations"
+    );
+    let out = stepper.finish();
+    assert!(oracle::is_valid_top_k(&db, &Min, 10, &out.objects()));
+
+    let rec = session
+        .detach_recorder()
+        .expect("recorder survives the run");
+    assert!(
+        !rec.is_empty(),
+        "the drive loop must actually have narrated itself into the ring"
+    );
+    assert!(
+        rec.dropped() > 0,
+        "a 256-slot ring must saturate on this workload (overwrite path hit)"
+    );
+    let kinds: Vec<EventKind> = rec.iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&EventKind::RoundBoundary));
+    assert_eq!(
+        kinds.last(),
+        Some(&EventKind::Halt),
+        "the halt is the newest event in the ring"
+    );
+    assert!(rec.iter().all(|e| e.query == 1), "every event is stamped");
+}
+
 /// Runs the same query repeatedly over one arena until the per-run
 /// allocation count reaches its fixed point, and returns it. Reuse warms
 /// capacities monotonically (recycled buffers — e.g. CA's per-mask score
