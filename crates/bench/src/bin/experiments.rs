@@ -12,6 +12,7 @@
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-service-qps
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-theta-monotone
 //! cargo run --release -p fagin-bench --bin experiments -- --assert-obs-overhead
+//! cargo run --release -p fagin-bench --bin experiments -- --assert-fault-survival
 //! ```
 //!
 //! `--assert-budget[=MULT]` measures NRA(lazy) and CA(h=2) against TA on
@@ -42,6 +43,13 @@
 //! aggregate traced wall time exceeds untraced by more than `PCT` percent
 //! (default 5) or any cell's access counts differ: observability must
 //! watch the run without slowing or steering it.
+//!
+//! `--assert-fault-survival` drives a fixed fault-schedule matrix (seeded
+//! chaos, a source dying mid-query, a permanently tripped breaker)
+//! through TA/NRA/CA on every workload shape under the full resilience
+//! stack and exits non-zero if any run ends outside the trichotomy —
+//! exact, certified θ̂-degraded, or typed source loss — or any fault goes
+//! unaccounted (`faults != retries + lost_conversions`).
 //!
 //! Any assertion given alone runs just its check; combined with
 //! experiment ids they run after the experiments.
@@ -98,6 +106,7 @@ fn main() {
         }
     });
     let theta_monotone = args.iter().any(|a| a == "--assert-theta-monotone");
+    let fault_survival = args.iter().any(|a| a == "--assert-fault-survival");
     let obs_overhead: Option<f64> = args.iter().find_map(|a| {
         if a == "--assert-obs-overhead" {
             Some(DEFAULT_OBS_OVERHEAD_PCT)
@@ -117,6 +126,7 @@ fn main() {
             && *a != "--assert-service-qps"
             && !a.starts_with("--assert-service-qps=")
             && *a != "--assert-theta-monotone"
+            && *a != "--assert-fault-survival"
             && *a != "--assert-obs-overhead"
             && !a.starts_with("--assert-obs-overhead=")
     }) {
@@ -124,7 +134,7 @@ fn main() {
             "unknown flag: {unknown} (valid: --quick, --no-json, \
              --assert-budget[=MULT], --assert-access-counts[=PATH], \
              --assert-service-qps[=RATIO], --assert-theta-monotone, \
-             --assert-obs-overhead[=PCT])"
+             --assert-fault-survival, --assert-obs-overhead[=PCT])"
         );
         std::process::exit(2);
     }
@@ -141,6 +151,7 @@ fn main() {
             || access_counts.is_some()
             || service_qps.is_some()
             || theta_monotone
+            || fault_survival
             || obs_overhead.is_some()
         {
             Vec::new()
@@ -272,6 +283,32 @@ fn main() {
                     "UNCERTIFIED ANSWER"
                 } else {
                     "MORE ACCESSES THAN EXACT"
+                }
+            );
+            if !row.ok {
+                failed = true;
+            }
+        }
+    }
+    if fault_survival {
+        println!(
+            "fault-survival guardrail (exact | certified θ̂ | typed error, every fault accounted)"
+        );
+        for row in report::fault_survival_guard(scale) {
+            println!(
+                "  {:14} {:20} {:18} {:3} faults / {:3} retries -> {:18} {}",
+                row.workload,
+                row.algorithm,
+                row.schedule,
+                row.faults,
+                row.retries,
+                row.ending,
+                if row.ok {
+                    "ok"
+                } else if !row.valid {
+                    "OUTSIDE THE TRICHOTOMY"
+                } else {
+                    "UNACCOUNTED FAULTS"
                 }
             );
             if !row.ok {

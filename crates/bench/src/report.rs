@@ -14,8 +14,9 @@ use std::time::Instant;
 
 use fagin_core::aggregation::{Aggregation, Min};
 use fagin_core::algorithms::{BookkeepingStrategy, Ca, Nra, Ta, TopKAlgorithm};
-use fagin_core::{oracle, AnytimeConfig, RunScratch, TopKOutput};
+use fagin_core::{oracle, AlgoError, AnytimeConfig, RunScratch, TopKOutput};
 use fagin_middleware::{AccessPolicy, Database, Session};
+use fagin_remote::{BreakerConfig, FaultInjector, FaultPlan, Resilient, RetryPolicy};
 use fagin_workloads::random;
 
 use crate::Scale;
@@ -1156,6 +1157,170 @@ pub fn theta_monotone_guard(scale: Scale) -> Vec<ThetaMonotoneRow> {
                     ok: valid && sorted <= exact_sorted && random <= exact_random,
                 });
             }
+        }
+    }
+    rows
+}
+
+/// One checked cell of the fault-survival matrix.
+#[derive(Clone, Debug)]
+pub struct FaultSurvivalRow {
+    /// Workload name.
+    pub workload: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Human-readable fault-schedule label.
+    pub schedule: String,
+    /// How the run ended: `"exact"`, `"certified-degraded"`, or
+    /// `"typed-error"` (an `"INVALID"` ending fails the row).
+    pub ending: &'static str,
+    /// Faults the resilience layer absorbed or surfaced.
+    pub faults: u64,
+    /// Retries it spent doing so.
+    pub retries: u64,
+    /// The ending is one of the three legal ones and (for answers) the
+    /// oracle certifies it.
+    pub valid: bool,
+    /// Every fault is accounted: `faults == retries + lost_conversions`.
+    pub accounted: bool,
+    /// `valid && accounted`.
+    pub ok: bool,
+}
+
+/// Classifies one chaos run against the survival trichotomy: an exact
+/// answer the oracle confirms, a certified θ̂ answer with an interrupted
+/// halt, or a typed source loss. Anything else — a transient error
+/// leaking through the stack, an uncertified answer, a wrong exact
+/// answer — is `("INVALID", false)`.
+fn classify_survival(
+    db: &Database,
+    agg: &dyn Aggregation,
+    k: usize,
+    result: Result<TopKOutput, AlgoError>,
+) -> (&'static str, bool) {
+    match result {
+        Ok(out) => {
+            let theta = out.metrics.approximation_guarantee;
+            if !(theta.is_finite() && theta >= 1.0) {
+                return ("INVALID", false);
+            }
+            if theta == 1.0 && !out.metrics.halt.is_interrupted() {
+                let valid = oracle::is_valid_top_k(db, agg, k, &out.objects());
+                ("exact", valid)
+            } else {
+                let valid = out.metrics.halt.is_interrupted()
+                    && oracle::is_valid_theta_approximation(db, agg, k, theta, &out.objects());
+                ("certified-degraded", valid)
+            }
+        }
+        Err(AlgoError::Access(e)) if e.is_source_loss() => ("typed-error", true),
+        Err(_) => ("INVALID", false),
+    }
+}
+
+/// Fault-survival guardrail (`experiments -- --assert-fault-survival`):
+/// a fixed fault-schedule matrix — seeded chaos at three rates, a source
+/// dying mid-query, and a permanently tripped breaker — driven through
+/// TA, NRA(lazy) and CA(h=2) on every workload shape, under the full
+/// resilience stack (fault injector → bounded retries → circuit
+/// breakers). Every cell must end in the trichotomy: a bytewise-exact
+/// answer, a certified θ̂ answer with an interrupted halt, or a typed
+/// source loss — no panics, no uncertified answers — and the fault-plane
+/// counters must account for every retry
+/// (`faults == retries + lost_conversions`). Schedules are deterministic
+/// functions of their seeds, so any failure reproduces exactly.
+pub fn fault_survival_guard(scale: Scale) -> Vec<FaultSurvivalRow> {
+    let n = scale.pick(300, 1_500);
+    let m = 3;
+    let k = 10;
+    let agg: &dyn Aggregation = &Min;
+    let mut arena = RunScratch::new();
+    let mut rows = Vec::new();
+    for (workload, db) in &standard_workloads(n, m) {
+        for (family, policy) in theta_families() {
+            let algo = family(1.0);
+            let push = |schedule: String,
+                        result: Result<TopKOutput, AlgoError>,
+                        fs: fagin_remote::FaultStats,
+                        rows: &mut Vec<FaultSurvivalRow>| {
+                let (ending, valid) = classify_survival(db, agg, k, result);
+                let accounted = fs.faults() == fs.retries() + fs.lost_conversions();
+                rows.push(FaultSurvivalRow {
+                    workload: (*workload).to_string(),
+                    algorithm: algo.name(),
+                    schedule,
+                    ending,
+                    faults: fs.faults(),
+                    retries: fs.retries(),
+                    valid,
+                    accounted,
+                    ok: valid && accounted,
+                });
+            };
+
+            // (a) Seeded chaos at three rates: transient errors,
+            // disconnect outages and truncated batches at deterministic
+            // access indices.
+            for (seed, rate) in [(11u64, 25u32), (23, 60), (41, 100)] {
+                let plan = FaultPlan::seeded(seed, rate, 100_000);
+                let mut mw = Resilient::with_policy(
+                    FaultInjector::new(Session::with_policy(db, policy.clone()), plan),
+                    RetryPolicy::instant(2),
+                    BreakerConfig::default(),
+                );
+                let result = algo.run_anytime(&mut mw, agg, k, &AnytimeConfig::new(), &mut arena);
+                push(
+                    format!("seeded({seed}, {rate}/1000)"),
+                    result,
+                    mw.fault_stats(),
+                    &mut rows,
+                );
+            }
+
+            // (b) A source dying mid-query: list 1 goes down for good
+            // after the run has made real progress.
+            let plan = FaultPlan::new().kill_list_from(1, (n as u64) / 4);
+            let mut mw = Resilient::with_policy(
+                FaultInjector::new(Session::with_policy(db, policy.clone()), plan),
+                RetryPolicy::instant(1),
+                BreakerConfig::default(),
+            );
+            let result = algo.run_anytime(&mut mw, agg, k, &AnytimeConfig::new(), &mut arena);
+            push(
+                "kill(list 1)".to_string(),
+                result,
+                mw.fault_stats(),
+                &mut rows,
+            );
+
+            // (c) A permanently tripped breaker: the first failure opens
+            // the breaker (trip_after = 1), and a second query on the
+            // same stack faces it open from its very first access. Both
+            // queries must still end inside the trichotomy.
+            let plan = FaultPlan::new().kill_list_from(1, 8);
+            let mut mw = Resilient::with_policy(
+                FaultInjector::new(Session::with_policy(db, policy.clone()), plan),
+                RetryPolicy::instant(0),
+                BreakerConfig {
+                    trip_after: 1,
+                    probe_after: u64::MAX,
+                },
+            );
+            let result = algo.run_anytime(&mut mw, agg, k, &AnytimeConfig::new(), &mut arena);
+            push(
+                "breaker-trip".to_string(),
+                result,
+                mw.fault_stats(),
+                &mut rows,
+            );
+            mw.inner_mut().inner_mut().reset(policy.clone());
+            let result = algo.run_anytime(&mut mw, agg, k, &AnytimeConfig::new(), &mut arena);
+            push(
+                "breaker-open".to_string(),
+                result,
+                mw.fault_stats(),
+                &mut rows,
+            );
         }
     }
     rows

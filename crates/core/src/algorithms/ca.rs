@@ -9,7 +9,7 @@
 //! spends the same random-access budget in TA's arrival order instead, can
 //! be worse by an unbounded factor.
 
-use fagin_middleware::{BatchConfig, EventKind, Middleware};
+use fagin_middleware::{AccessError, BatchConfig, EventKind, Middleware};
 
 use crate::aggregation::Aggregation;
 use crate::anytime::{AnytimeConfig, BestSnapshot};
@@ -141,6 +141,14 @@ impl Ca {
                         continue;
                     }
                     Ok(_) => engine.observe_sorted_batch(i, &drive.batch_buf),
+                    Err(e) if e.is_source_loss() => {
+                        // Dead source: freeze the list at its last-seen
+                        // grade (bounds stay sound) and continue on the
+                        // surviving lists; see the NRA drive loop.
+                        *done = true;
+                        drive.lost[i] = true;
+                        continue;
+                    }
                     Err(e) => {
                         if anytime.is_none() {
                             return Err(e.into());
@@ -158,8 +166,18 @@ impl Ca {
                 if let Some(object) = engine.best_viable_incomplete() {
                     engine.missing_fields_into(object, &mut drive.missing);
                     for &list in drive.missing.iter() {
+                        // A lost source serves no random lookups either:
+                        // skip its fields (the object stays incomplete,
+                        // its B bound stays soundly pessimistic).
+                        if drive.lost[list] {
+                            continue;
+                        }
                         match mw.random_lookup(list, object) {
                             Ok(g) => engine.learn_random(object, list, g),
+                            Err(e) if e.is_source_loss() => {
+                                drive.lost[list] = true;
+                                drive.exhausted[list] = true;
+                            }
                             Err(e) => {
                                 if anytime.is_none() {
                                     return Err(e.into());
@@ -191,7 +209,23 @@ impl Ca {
                 break;
             }
             if drive.exhausted.iter().all(|&e| e) {
-                break;
+                if !drive.lost.iter().any(|&l| l) {
+                    break;
+                }
+                // Surviving lists exhausted with at least one source lost:
+                // salvage a certified degraded answer or fail typed (see
+                // the NRA drive loop for the reasoning).
+                if anytime.is_some() {
+                    if let Some(g) = engine.certificate(n) {
+                        best.offer(g, || engine.output_items());
+                    }
+                    if best.is_certified() {
+                        halt = HaltReason::SourceLost;
+                        break 'drive;
+                    }
+                }
+                let list = drive.lost.iter().position(|&l| l).expect("a lost list");
+                return Err(AccessError::SourceLost { list }.into());
             }
             mw.trace(EventKind::RoundBoundary, 0, rounds);
             if let Some(cfg) = anytime {

@@ -65,7 +65,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use fagin_middleware::{BatchConfig, Entry, EventKind, Grade, Middleware, ObjectId, SlotSet};
+use fagin_middleware::{
+    AccessError, BatchConfig, Entry, EventKind, Grade, Middleware, ObjectId, SlotSet,
+};
 
 use crate::aggregation::Aggregation;
 use crate::anytime::{AnytimeConfig, BestSnapshot};
@@ -1097,6 +1099,17 @@ impl Nra {
                         continue;
                     }
                     Ok(_) => engine.observe_sorted_batch(i, &drive.batch_buf),
+                    Err(e) if e.is_source_loss() => {
+                        // The list's backing source died. Freezing the list
+                        // at its last-seen grade keeps τ and every B bound
+                        // sound (unseen grades there are ≤ the frozen
+                        // bottom), so the run continues on the survivors;
+                        // `lost` keeps this from masquerading as
+                        // exhaustion-by-complete-information below.
+                        *done = true;
+                        drive.lost[i] = true;
+                        continue;
+                    }
                     Err(e) => {
                         if anytime.is_none() {
                             return Err(e.into());
@@ -1127,8 +1140,25 @@ impl Nra {
                 break;
             }
             if drive.exhausted.iter().all(|&e| e) {
-                // Complete information: the selection is exact.
-                break;
+                if !drive.lost.iter().any(|&l| l) {
+                    // Complete information: the selection is exact.
+                    break;
+                }
+                // Every surviving list is exhausted but lost sources
+                // withheld entries, so the frozen bounds cannot improve
+                // further. Salvage the best certified snapshot as a
+                // degraded answer, or fail with the typed loss.
+                if anytime.is_some() {
+                    if let Some(g) = engine.certificate(n) {
+                        best.offer(g, || engine.output_items());
+                    }
+                    if best.is_certified() {
+                        halt = HaltReason::SourceLost;
+                        break;
+                    }
+                }
+                let list = drive.lost.iter().position(|&l| l).expect("a lost list");
+                return Err(AccessError::SourceLost { list }.into());
             }
             mw.trace(EventKind::RoundBoundary, 0, rounds);
             if let Some(cfg) = anytime {

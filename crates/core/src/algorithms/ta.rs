@@ -95,6 +95,10 @@ pub(crate) struct TaScratch {
     active: Vec<usize>,
     /// Exhaustion flags, parallel to `active`.
     exhausted: Vec<bool>,
+    /// Source-loss flags, parallel to `active`: a lost list is frozen
+    /// (also marked exhausted), and all-exhausted can no longer claim the
+    /// complete-information exact answer.
+    lost: Vec<bool>,
     scratch: Vec<Grade>,
     /// Reusable batch of sorted-access results.
     batch_buf: Vec<Entry>,
@@ -117,6 +121,7 @@ impl Default for TaScratch {
             bottoms: Bottoms::new(0),
             active: Vec::new(),
             exhausted: Vec::new(),
+            lost: Vec::new(),
             scratch: Vec::new(),
             batch_buf: Vec::new(),
             pending: Vec::new(),
@@ -135,6 +140,7 @@ impl TaScratch {
         self.bottoms.reset(m);
         self.active.clear();
         self.exhausted.clear();
+        self.lost.clear();
         self.scratch.clear();
         self.batch_buf.clear();
         self.pending.clear();
@@ -317,6 +323,7 @@ impl Ta {
         }
         let actives = s.active.len();
         s.exhausted.resize(actives, false);
+        s.lost.resize(actives, false);
         // Warm starts prefill the buffer and a grade memo: seeded objects
         // re-seen under sorted access are answered without random probes,
         // and the stopping rule can fire at a shallower depth. The memo is
@@ -413,6 +420,14 @@ impl TopKAlgorithm for Ta {
                 // so the best one still answers.
                 Err(AlgoError::Access(AccessError::BudgetExhausted)) if best.is_certified() => {
                     halt = HaltReason::BudgetExhausted;
+                    break;
+                }
+                // Source-loss rescue: a source died (random lookups on a
+                // lost list, or every list lost/exhausted without the stop
+                // rule firing). Same consistency argument as above — the
+                // snapshots predate the failing round.
+                Err(AlgoError::Access(e)) if e.is_source_loss() && best.is_certified() => {
+                    halt = HaltReason::SourceLost;
                     break;
                 }
                 Err(e) => return Err(e),
@@ -538,6 +553,18 @@ impl TaStepper<'_> {
             let served = self.mw.sorted_next_batch(list, b, &mut entries);
             let served = match served {
                 Ok(n) => n,
+                Err(e) if e.is_source_loss() => {
+                    // The list's source died under sorted access. Freeze it
+                    // (τ keeps its last-seen bottom, which stays a sound
+                    // upper bound on unseen objects) and keep going: the
+                    // stop rule can still fire exactly off already-resolved
+                    // objects, and random lookups are unaffected until this
+                    // list is probed.
+                    self.s.batch_buf = entries;
+                    self.s.exhausted[ai] = true;
+                    self.s.lost[ai] = true;
+                    continue;
+                }
                 Err(e) => {
                     self.s.batch_buf = entries;
                     return Err(e.into());
@@ -580,6 +607,14 @@ impl TaStepper<'_> {
             // Every active list fully read: every object has been seen and
             // resolved, so the buffer holds the exact answer. This is the
             // TA_Z completion case of footnote 14, and the k ≥ N case.
+            // Unless a source was lost — then the "fully read" claim is
+            // false and the run can only end degraded or in a typed error.
+            if let Some(ai) = self.s.lost.iter().position(|&l| l) {
+                return Err(AccessError::SourceLost {
+                    list: self.s.active[ai],
+                }
+                .into());
+            }
             self.halted = true;
             self.halt = HaltReason::Converged;
             self.trace_halt(self.halt);

@@ -98,6 +98,12 @@ impl RunScratch {
 #[derive(Default)]
 pub(crate) struct DriveScratch {
     pub exhausted: Vec<bool>,
+    /// Lists whose backing source died mid-run (`SourceLost`). A lost list
+    /// is also marked exhausted (no further sorted access), but the
+    /// distinction matters at the end: all-exhausted with no losses means
+    /// complete information (exact answer); any loss means the run can only
+    /// end exactly via its own halting rule, or degraded/errored.
+    pub lost: Vec<bool>,
     pub batch_buf: Vec<fagin_middleware::Entry>,
     pub pending: std::collections::VecDeque<fagin_middleware::ObjectId>,
     pub missing: Vec<usize>,
@@ -108,6 +114,8 @@ impl DriveScratch {
     pub(crate) fn reset(&mut self, m: usize) {
         self.exhausted.clear();
         self.exhausted.resize(m, false);
+        self.lost.clear();
+        self.lost.resize(m, false);
         self.batch_buf.clear();
         self.pending.clear();
         self.missing.clear();

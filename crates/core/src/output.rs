@@ -51,6 +51,14 @@ pub enum HaltReason {
     /// The middleware's hard cost budget ran out mid-run and the anytime
     /// path salvaged the best certified snapshot instead of erroring.
     BudgetExhausted,
+    /// One or more backing sources died mid-run (retries exhausted or a
+    /// circuit breaker tripped) and the run could no longer make the
+    /// progress its exact stop rule needed. The answer is the best
+    /// *certified* snapshot: its `approximation_guarantee` θ̂ was computed
+    /// from sound `W`/`B` bounds, which stay valid when a list freezes at
+    /// its last-seen grade — so the degraded answer is never silently
+    /// wrong, only certifiably approximate.
+    SourceLost,
 }
 
 impl HaltReason {
@@ -72,6 +80,7 @@ impl HaltReason {
             HaltReason::CostWatermark => 3,
             HaltReason::RoundCap => 4,
             HaltReason::BudgetExhausted => 5,
+            HaltReason::SourceLost => 6,
         }
     }
 
@@ -84,6 +93,7 @@ impl HaltReason {
             HaltReason::CostWatermark => "cost_watermark",
             HaltReason::RoundCap => "round_cap",
             HaltReason::BudgetExhausted => "budget_exhausted",
+            HaltReason::SourceLost => "source_lost",
         }
     }
 
@@ -97,6 +107,7 @@ impl HaltReason {
             HaltReason::CostWatermark,
             HaltReason::RoundCap,
             HaltReason::BudgetExhausted,
+            HaltReason::SourceLost,
         ]
         .into_iter()
         .find(|r| r.code() == code)
@@ -304,6 +315,9 @@ mod tests {
         assert!(!RunMetrics::new().halt.is_interrupted());
         assert!(HaltReason::Deadline.is_interrupted());
         assert!(HaltReason::BudgetExhausted.is_interrupted());
+        // Losing a source mid-run is an interruption: the serving layer
+        // must surface the answer as degraded, never as exact.
+        assert!(HaltReason::SourceLost.is_interrupted());
         // θ-halting is a completed run, not a degraded one.
         assert!(!HaltReason::ThetaSatisfied.is_interrupted());
     }
@@ -317,6 +331,7 @@ mod tests {
             HaltReason::CostWatermark,
             HaltReason::RoundCap,
             HaltReason::BudgetExhausted,
+            HaltReason::SourceLost,
         ];
         for r in all {
             assert_eq!(HaltReason::from_code(r.code()), Some(r));

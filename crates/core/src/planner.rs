@@ -74,6 +74,32 @@ impl Capabilities {
     fn all_sorted(&self) -> bool {
         self.sorted_lists.len() == self.num_lists
     }
+
+    /// Failure-aware re-planning input: the capabilities that remain after
+    /// sources degrade at runtime. `lost_sorted` names lists whose sorted
+    /// access is gone (tripped breakers, dead shard servers) — they drop
+    /// out of `Z`, steering the planner to TA_Z exactly as §7 prescribes
+    /// for restricted sorted access. `random_down = true` removes random
+    /// access entirely (and with it the exact-grades requirement, which
+    /// §8.1 shows is unsatisfiable without random access), steering TA→NRA.
+    ///
+    /// Degrading is monotone: capabilities are only ever removed, so a plan
+    /// over the degraded set never touches a dead source mode.
+    pub fn degraded(
+        &self,
+        lost_sorted: impl IntoIterator<Item = usize>,
+        random_down: bool,
+    ) -> Capabilities {
+        let mut caps = self.clone();
+        for list in lost_sorted {
+            caps.sorted_lists.remove(&list);
+        }
+        if random_down {
+            caps.random_access = false;
+            caps.require_grades = false;
+        }
+        caps
+    }
 }
 
 /// The paper-backed guarantee attached to a plan.
@@ -801,6 +827,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn degraded_capabilities_replan_as_the_paper_prescribes() {
+        // Random access lost mid-flight: TA re-plans to NRA (§8.1).
+        let caps = Capabilities::full(3).degraded([], true);
+        let plan = Planner.plan(&caps, &Average, 2, &CostModel::UNIT).unwrap();
+        assert!(plan.algorithm.name().starts_with("NRA"));
+
+        // A sorted source lost: TA re-plans to TA_Z over the survivors (§7).
+        let caps = Capabilities::full(3).degraded([1], false);
+        let plan = Planner.plan(&caps, &Average, 2, &CostModel::UNIT).unwrap();
+        assert_eq!(plan.algorithm.name(), "TA_Z(|Z|=2)");
+
+        // Degrading is monotone and idempotent.
+        let caps = Capabilities::full(3)
+            .degraded([0], false)
+            .degraded([0], true);
+        assert_eq!(caps.sorted_lists.len(), 2);
+        assert!(!caps.random_access && !caps.require_grades);
+
+        // Everything lost: planning fails typed, not wrong.
+        let caps = Capabilities::full(3).degraded([0, 1, 2], false);
+        assert_eq!(
+            Planner
+                .plan(&caps, &Average, 2, &CostModel::UNIT)
+                .map(|p| p.algorithm.name())
+                .err(),
+            Some(PlanError::NoSortedAccess)
+        );
     }
 
     #[test]

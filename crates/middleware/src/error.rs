@@ -48,6 +48,55 @@ pub enum AccessError {
     },
     /// The access budget configured on the session was exhausted.
     BudgetExhausted,
+    /// A remote or wrapped source failed *transiently* (timeout, dropped
+    /// connection, injected fault): the access was not served, nothing was
+    /// billed, and an identical retry may succeed. This is the only
+    /// [retryable](AccessError::is_retryable) access error.
+    SourceUnavailable {
+        /// List whose backing source failed.
+        list: usize,
+    },
+    /// A source is *permanently* gone for this query: bounded retries were
+    /// exhausted or its circuit breaker is open. Engines treat the list as
+    /// frozen at its last-seen grade and either finish exactly on the
+    /// surviving sources or salvage a certified degraded answer
+    /// (`HaltReason::SourceLost`).
+    SourceLost {
+        /// List whose backing source was declared lost.
+        list: usize,
+    },
+}
+
+impl AccessError {
+    /// Whether an identical retry of the failed access may succeed.
+    ///
+    /// Policy violations, shape errors, and exhausted budgets are
+    /// deterministic — retrying reproduces them — so only
+    /// [`AccessError::SourceUnavailable`] is retryable. Retry loops (the
+    /// `fagin-remote` resilience wrapper, the serving layer) key off this
+    /// instead of matching variants.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, AccessError::SourceUnavailable { .. })
+    }
+
+    /// Whether this error means a backing source failed (transiently or
+    /// permanently), as opposed to a policy/shape/budget violation.
+    pub fn is_source_loss(&self) -> bool {
+        matches!(
+            self,
+            AccessError::SourceUnavailable { .. } | AccessError::SourceLost { .. }
+        )
+    }
+
+    /// The list whose source failed, for source-loss errors.
+    pub fn lost_list(&self) -> Option<usize> {
+        match self {
+            AccessError::SourceUnavailable { list } | AccessError::SourceLost { list } => {
+                Some(*list)
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for AccessError {
@@ -75,6 +124,12 @@ impl fmt::Display for AccessError {
                 )
             }
             AccessError::BudgetExhausted => write!(f, "access budget exhausted"),
+            AccessError::SourceUnavailable { list } => {
+                write!(f, "source for list {list} unavailable (transient)")
+            }
+            AccessError::SourceLost { list } => {
+                write!(f, "source for list {list} lost (permanent)")
+            }
         }
     }
 }
@@ -214,6 +269,49 @@ mod tests {
             b: ObjectId(2),
         };
         assert!(b.to_string().contains("distinctness"));
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        // Exactly one transient variant; everything else is deterministic.
+        let transient = AccessError::SourceUnavailable { list: 1 };
+        assert!(transient.is_retryable());
+        assert!(transient.is_source_loss());
+        assert_eq!(transient.lost_list(), Some(1));
+
+        let permanent = AccessError::SourceLost { list: 2 };
+        assert!(!permanent.is_retryable());
+        assert!(permanent.is_source_loss());
+        assert_eq!(permanent.lost_list(), Some(2));
+
+        let deterministic = [
+            AccessError::NoSuchList {
+                list: 9,
+                num_lists: 2,
+            },
+            AccessError::NoSuchObject {
+                object: ObjectId(7),
+            },
+            AccessError::RandomAccessForbidden { list: 0 },
+            AccessError::SortedAccessForbidden { list: 0 },
+            AccessError::WildGuess {
+                list: 0,
+                object: ObjectId(1),
+            },
+            AccessError::BudgetExhausted,
+        ];
+        for e in deterministic {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+            assert!(!e.is_source_loss(), "{e} is not a source loss");
+            assert_eq!(e.lost_list(), None);
+        }
+
+        assert!(AccessError::SourceUnavailable { list: 3 }
+            .to_string()
+            .contains("transient"));
+        assert!(AccessError::SourceLost { list: 3 }
+            .to_string()
+            .contains("permanent"));
     }
 
     #[test]

@@ -44,6 +44,18 @@ pub enum EventKind {
     /// The query's answer was delivered. `dur_nanos` = its wall-clock
     /// latency, `count` = total middleware accesses.
     Done = 9,
+    /// A failed access on a source is being retried after backoff.
+    /// `detail` = list index, `count` = the 1-based attempt number the
+    /// retry begins.
+    Retry = 10,
+    /// A source access failed (transport fault, injected fault, timeout).
+    /// `detail` = list index, `count` = consecutive failures observed on
+    /// that source so far.
+    Fault = 11,
+    /// A source's circuit breaker changed state. `detail` = list index,
+    /// `count` = 1 when the breaker tripped open, 0 when a half-open probe
+    /// closed it again.
+    Breaker = 12,
 }
 
 impl EventKind {
@@ -60,6 +72,9 @@ impl EventKind {
             EventKind::EvictionWave => "eviction_wave",
             EventKind::Degraded => "degraded",
             EventKind::Done => "done",
+            EventKind::Retry => "retry",
+            EventKind::Fault => "fault",
+            EventKind::Breaker => "breaker",
         }
     }
 }

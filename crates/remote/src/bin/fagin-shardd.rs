@@ -1,0 +1,119 @@
+//! `fagin-shardd`: serve a `fagin-store` file over the shard protocol.
+//!
+//! ```text
+//! fagin-shardd --store grades.fstore [--addr 127.0.0.1:7471]
+//!              [--backend auto|mmap|memory] [--verify full|header]
+//! ```
+//!
+//! Prints one `listening on ADDR` line (flushed) once the socket is
+//! bound — scripts and CI wait for it — then serves until killed. The
+//! server is stateless; clients enforce their own access policies, so a
+//! crashed client costs the server nothing.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use fagin_remote::ShardServer;
+use fagin_store::{Backend, Store, StoreOptions, Verify};
+
+struct Args {
+    store: PathBuf,
+    addr: String,
+    backend: Backend,
+    verify: Verify,
+}
+
+fn usage() -> &'static str {
+    "usage: fagin-shardd --store PATH [--addr HOST:PORT] [--backend auto|mmap|memory] [--verify full|header]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut store = None;
+    let mut addr = "127.0.0.1:7471".to_string();
+    let mut backend = Backend::Auto;
+    let mut verify = Verify::Full;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--store" => store = Some(PathBuf::from(value("--store")?)),
+            "--addr" => addr = value("--addr")?,
+            "--backend" => {
+                backend = match value("--backend")?.as_str() {
+                    "auto" => Backend::Auto,
+                    "mmap" => Backend::Mmap,
+                    "memory" => Backend::InMemory,
+                    other => return Err(format!("unknown backend {other:?}\n{}", usage())),
+                }
+            }
+            "--verify" => {
+                verify = match value("--verify")?.as_str() {
+                    "full" => Verify::Full,
+                    "header" => Verify::HeaderOnly,
+                    other => return Err(format!("unknown verify level {other:?}\n{}", usage())),
+                }
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        store: store.ok_or_else(|| format!("--store is required\n{}", usage()))?,
+        addr,
+        backend,
+        verify,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let options = StoreOptions::with_backend(args.backend).verify(args.verify);
+    let store = match Store::open(&args.store, options) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("fagin-shardd: cannot open {}: {e}", args.store.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let backend = store.backend();
+    let db = Arc::new(store.into_database());
+    let server = match ShardServer::bind(&*args.addr, Arc::clone(&db)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("fagin-shardd: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("fagin-shardd: no local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fagin-shardd: serving {} ({} lists, {} objects, {} backend)",
+        args.store.display(),
+        db.num_lists(),
+        db.num_objects(),
+        backend.label(),
+    );
+    println!("listening on {addr}");
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("fagin-shardd: serve failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,208 @@
+//! Per-source circuit breakers: deterministic, time-free health tracking.
+//!
+//! A [`CircuitBreaker`] guards one source (one list's transport). It
+//! counts *consecutive* failures; at [`BreakerConfig::trip_after`] it
+//! opens, and an open breaker fast-fails every call — the caller converts
+//! the rejection into a permanent
+//! [`AccessError::SourceLost`](fagin_middleware::AccessError) so the
+//! engine can freeze the list and finish on survivors instead of burning
+//! its deadline re-dialing a dead shard. After
+//! [`BreakerConfig::probe_after`] rejected calls the breaker goes
+//! *half-open* and admits exactly one probe: success closes it, failure
+//! re-opens it (and restarts the rejection count).
+//!
+//! The state machine advances on **calls**, not wall-clock time. That
+//! keeps every transition deterministic under a seeded
+//! [`FaultPlan`](crate::FaultPlan) — the chaos suite replays schedules and
+//! asserts exact trip/probe counts — and costs nothing on the happy path.
+
+/// Thresholds for one [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub trip_after: u32,
+    /// Rejected calls an open breaker absorbs before admitting one
+    /// half-open probe.
+    pub probe_after: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            probe_after: 16,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    Closed,
+    /// Tripped: calls are rejected without touching the source.
+    Open,
+    /// One probe is being admitted; the next record decides.
+    HalfOpen,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { rejected: u64 },
+    HalfOpen,
+}
+
+/// A call-counted circuit breaker (see the module docs).
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: State,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: State::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Whether the breaker is open (the source is considered lost).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+
+    /// Consecutive failures recorded while closed (0 otherwise).
+    pub fn consecutive_failures(&self) -> u32 {
+        match self.state {
+            State::Closed {
+                consecutive_failures,
+            } => consecutive_failures,
+            _ => 0,
+        }
+    }
+
+    /// Asks to place one call. `true` admits it (closed, or the half-open
+    /// probe); `false` rejects it. Every rejection advances the open
+    /// breaker toward its probe.
+    pub fn allow(&mut self) -> bool {
+        match &mut self.state {
+            State::Closed { .. } => true,
+            State::Open { rejected } => {
+                *rejected += 1;
+                if *rejected >= self.config.probe_after {
+                    self.state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // The probe is in flight; admit it (callers are sequential per
+            // breaker, so "one probe" means the next recorded outcome).
+            State::HalfOpen => true,
+        }
+    }
+
+    /// Records a successful call. Returns `true` when this closed a
+    /// half-open breaker.
+    pub fn record_success(&mut self) -> bool {
+        let closed_probe = matches!(self.state, State::HalfOpen);
+        self.state = State::Closed {
+            consecutive_failures: 0,
+        };
+        closed_probe
+    }
+
+    /// Records a failed call. Returns `true` when this call tripped the
+    /// breaker open (from closed at threshold, or a failed probe).
+    pub fn record_failure(&mut self) -> bool {
+        match &mut self.state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.config.trip_after {
+                    self.state = State::Open { rejected: 0 };
+                    true
+                } else {
+                    false
+                }
+            }
+            State::Open { .. } => false,
+            State::HalfOpen => {
+                self.state = State::Open { rejected: 0 };
+                true
+            }
+        }
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(trip_after: u32, probe_after: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after,
+            probe_after,
+        })
+    }
+
+    #[test]
+    fn trips_on_consecutive_failures_only() {
+        let mut b = breaker(3, 4);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(!b.record_success(), "success while closed is not a probe");
+        assert_eq!(b.consecutive_failures(), 0, "success resets the streak");
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_rejects_then_probes() {
+        let mut b = breaker(1, 3);
+        assert!(b.record_failure());
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow(), "third rejection admits the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.record_success(), "probe success closes");
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut b = breaker(1, 2);
+        b.record_failure();
+        assert!(!b.allow());
+        assert!(b.allow());
+        assert!(b.record_failure(), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        // The rejection count restarted: another full probe_after wait.
+        assert!(!b.allow());
+        assert!(b.allow());
+    }
+}

@@ -1,0 +1,50 @@
+//! # fagin-remote
+//!
+//! Fault-tolerant remote sources for the fagin middleware: the lists a
+//! query aggregates over no longer need to live in the querying process.
+//!
+//! The crate has two planes:
+//!
+//! * **Transport.** A [`ShardServer`] serves a
+//!   [`Database`](fagin_middleware::Database) (typically opened from a
+//!   `fagin-store` file — that is what the `fagin-shardd` binary does)
+//!   over a tiny length-prefixed TCP protocol ([`proto`]), stateless and
+//!   idempotent per request. [`RemoteSource`] is the client: a full
+//!   [`Middleware`](fagin_middleware::Middleware) that enforces policy,
+//!   budget, and accounting on the client side, decision-for-decision
+//!   identical to a local `Session` — with faults disabled, access counts
+//!   over the loopback are byte-identical to local runs.
+//!
+//! * **Fault plane.** Failures are typed transient
+//!   ([`AccessError::SourceUnavailable`](fagin_middleware::AccessError))
+//!   or permanent
+//!   ([`AccessError::SourceLost`](fagin_middleware::AccessError)).
+//!   [`Resilient`] turns transients into bounded, backoff-spaced,
+//!   deadline-aware retries and converts the rest into `SourceLost`, with
+//!   a per-list [`CircuitBreaker`] to stop hammering a dead shard;
+//!   engines upstream freeze the lost list and finish on survivors,
+//!   degrading to a certified θ̂-approximate answer instead of failing.
+//!   [`FaultInjector`] replays deterministic [`FaultPlan`] schedules over
+//!   any middleware so the whole tower is testable without a network.
+//!
+//! ```text
+//!   engine ── Resilient ── RemoteSource ══ TCP ══ ShardServer ── Database
+//!                 │              (or)
+//!                 └───── FaultInjector ── Session ── Database   (tests)
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod client;
+mod fault;
+mod health;
+pub mod proto;
+mod resilient;
+mod server;
+
+pub use client::{ConnectError, RemoteSource, ShardInfo};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use health::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use resilient::{FaultStats, Resilient, RetryPolicy};
+pub use server::{ServerChaos, ServerHandle, ShardServer};

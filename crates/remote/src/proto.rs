@@ -1,0 +1,477 @@
+//! Wire protocol between [`RemoteSource`](crate::RemoteSource) and the
+//! shard server: length-prefixed binary frames over a byte stream.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by that many payload bytes. The first payload byte is a tag;
+//! the rest is the fixed-layout body. All integers are little-endian,
+//! grades travel as IEEE-754 `f64` bits. There is no versioning handshake
+//! beyond [`Request::Hello`] — the protocol is an internal transport, not
+//! a public API — but decoding is still fully defensive: every length is
+//! validated against the frame, every grade is checked finite
+//! ([`Grade::try_new`]), and a frame longer than [`MAX_FRAME`] is rejected
+//! before any allocation, so a corrupt or hostile peer surfaces as a typed
+//! [`WireError`], never a panic or an OOM.
+//!
+//! The server is **stateless per request**: sorted batches carry their
+//! explicit start position, so a client that retries after a lost
+//! connection can never double-read (idempotence is what makes the retry
+//! loop in [`Resilient`](crate::Resilient) safe to run against live
+//! accounting).
+//!
+//! ```text
+//!   frame   := len:u32  payload[len]
+//!   request := 0x00                                    Hello
+//!            | 0x01 list:u32 pos:u64 max:u32           SortedBatch
+//!            | 0x02 list:u32 n:u32 object:u32 ×n       RandomMany
+//!   reply   := 0x00 lists:u32 objects:u64 distinct:u8  HelloOk
+//!            | 0x01 n:u32 (object:u32 grade:f64) ×n    Entries
+//!            | 0x02 n:u32 grade:f64 ×n                 Grades
+//!            | 0x03 code:u8 len:u16 msg[len]           Error
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use fagin_middleware::{Entry, Grade, ObjectId};
+
+/// Hard cap on a frame's payload length. Large enough for a full-list
+/// sorted batch over millions of entries (12 bytes each), small enough
+/// that a corrupt length prefix cannot drive a pathological allocation.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Error code for a request the server could not decode.
+pub const ERR_BAD_REQUEST: u8 = 1;
+/// Error code for a structurally valid request naming a list or object
+/// outside the served database.
+pub const ERR_OUT_OF_RANGE: u8 = 2;
+
+/// A malformed frame or payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message was complete.
+    Truncated,
+    /// The payload continued past the end of the message.
+    TrailingBytes,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A grade's `f64` bits decoded to NaN or an infinity.
+    NonFiniteGrade,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame payload truncated"),
+            WireError::TrailingBytes => write!(f, "frame payload has trailing bytes"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::NonFiniteGrade => write!(f, "non-finite grade on the wire"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A client→server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Asks for the shape of the served database.
+    Hello,
+    /// Asks for `max` entries of `list` starting at rank `pos`.
+    ///
+    /// The position is explicit so the request is idempotent: the server
+    /// keeps no cursor, and a retried request returns the same bytes.
+    SortedBatch {
+        /// List index.
+        list: u32,
+        /// Rank of the first entry wanted.
+        pos: u64,
+        /// Maximum number of entries to return.
+        max: u32,
+    },
+    /// Asks for the grades of `objects` in `list`, in order.
+    RandomMany {
+        /// List index.
+        list: u32,
+        /// Objects to grade.
+        objects: Vec<u32>,
+    },
+}
+
+/// A server→client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Hello`]: the served database's shape.
+    HelloOk {
+        /// Number of sorted lists `m`.
+        lists: u32,
+        /// Number of objects `N` (every list has one entry per object).
+        objects: u64,
+        /// Whether the database satisfies the distinctness property (§6).
+        distinct: bool,
+    },
+    /// Reply to [`Request::SortedBatch`]: the entries, top-down.
+    Entries(Vec<Entry>),
+    /// Reply to [`Request::RandomMany`]: one grade per requested object.
+    Grades(Vec<Grade>),
+    /// The server rejected the request ([`ERR_BAD_REQUEST`] /
+    /// [`ERR_OUT_OF_RANGE`]).
+    Error {
+        /// Machine-readable reason.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn grade(&mut self) -> Result<Grade, WireError> {
+        let bits = self.u64()?;
+        Grade::try_new(f64::from_bits(bits)).ok_or(WireError::NonFiniteGrade)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+impl Request {
+    /// Appends this request's payload (tag + body) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Hello => buf.push(0x00),
+            Request::SortedBatch { list, pos, max } => {
+                buf.push(0x01);
+                buf.extend_from_slice(&list.to_le_bytes());
+                buf.extend_from_slice(&pos.to_le_bytes());
+                buf.extend_from_slice(&max.to_le_bytes());
+            }
+            Request::RandomMany { list, objects } => {
+                buf.push(0x02);
+                buf.extend_from_slice(&list.to_le_bytes());
+                buf.extend_from_slice(&(objects.len() as u32).to_le_bytes());
+                for o in objects {
+                    buf.extend_from_slice(&o.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes one request payload. Rejects trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor { buf: payload };
+        let req = match c.u8()? {
+            0x00 => Request::Hello,
+            0x01 => Request::SortedBatch {
+                list: c.u32()?,
+                pos: c.u64()?,
+                max: c.u32()?,
+            },
+            0x02 => {
+                let list = c.u32()?;
+                let n = c.u32()? as usize;
+                // Length-check before allocating: n u32s must be present.
+                let raw = c.take(n.checked_mul(4).ok_or(WireError::Truncated)?)?;
+                let objects = raw
+                    .chunks_exact(4)
+                    .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+                    .collect();
+                Request::RandomMany { list, objects }
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Appends this response's payload (tag + body) to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::HelloOk {
+                lists,
+                objects,
+                distinct,
+            } => {
+                buf.push(0x00);
+                buf.extend_from_slice(&lists.to_le_bytes());
+                buf.extend_from_slice(&objects.to_le_bytes());
+                buf.push(u8::from(*distinct));
+            }
+            Response::Entries(entries) => {
+                buf.push(0x01);
+                buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                // Manual field-by-field encode: the wire layout is 12
+                // packed bytes per entry, independent of Entry's in-memory
+                // padding.
+                for e in entries {
+                    buf.extend_from_slice(&e.object.0.to_le_bytes());
+                    buf.extend_from_slice(&e.grade.value().to_bits().to_le_bytes());
+                }
+            }
+            Response::Grades(grades) => {
+                buf.push(0x02);
+                buf.extend_from_slice(&(grades.len() as u32).to_le_bytes());
+                for g in grades {
+                    buf.extend_from_slice(&g.value().to_bits().to_le_bytes());
+                }
+            }
+            Response::Error { code, message } => {
+                buf.push(0x03);
+                buf.push(*code);
+                let msg = message.as_bytes();
+                let len = msg.len().min(u16::MAX as usize);
+                buf.extend_from_slice(&(len as u16).to_le_bytes());
+                buf.extend_from_slice(&msg[..len]);
+            }
+        }
+    }
+
+    /// Decodes one response payload. Rejects trailing bytes and non-finite
+    /// grades.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut c = Cursor { buf: payload };
+        let resp = match c.u8()? {
+            0x00 => Response::HelloOk {
+                lists: c.u32()?,
+                objects: c.u64()?,
+                distinct: c.u8()? != 0,
+            },
+            0x01 => {
+                let n = c.u32()? as usize;
+                // 12 bytes per entry must be present before we allocate.
+                if c.buf.len() < n.checked_mul(12).ok_or(WireError::Truncated)? {
+                    return Err(WireError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let object = ObjectId(c.u32()?);
+                    let grade = c.grade()?;
+                    entries.push(Entry::new(object, grade));
+                }
+                Response::Entries(entries)
+            }
+            0x02 => {
+                let n = c.u32()? as usize;
+                if c.buf.len() < n.checked_mul(8).ok_or(WireError::Truncated)? {
+                    return Err(WireError::Truncated);
+                }
+                let mut grades = Vec::with_capacity(n);
+                for _ in 0..n {
+                    grades.push(c.grade()?);
+                }
+                Response::Grades(grades)
+            }
+            0x03 => {
+                let code = c.u8()?;
+                let len = c.u16()? as usize;
+                let message = String::from_utf8_lossy(c.take(len)?).into_owned();
+                Response::Error { code, message }
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload into `buf` (cleared first).
+///
+/// A length prefix beyond [`MAX_FRAME`] is rejected *before* any
+/// allocation, so a corrupt peer cannot drive memory growth.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<()> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame length exceeds MAX_FRAME",
+        ));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_request(req: Request) {
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert_eq!(Request::decode(&buf).unwrap(), req);
+    }
+
+    fn rt_response(resp: Response) {
+        let mut buf = Vec::new();
+        resp.encode(&mut buf);
+        assert_eq!(Response::decode(&buf).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        rt_request(Request::Hello);
+        rt_request(Request::SortedBatch {
+            list: 3,
+            pos: 1 << 40,
+            max: 128,
+        });
+        rt_request(Request::RandomMany {
+            list: 0,
+            objects: vec![7, 0, 42],
+        });
+        rt_request(Request::RandomMany {
+            list: 9,
+            objects: vec![],
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        rt_response(Response::HelloOk {
+            lists: 4,
+            objects: 1_000_000,
+            distinct: true,
+        });
+        rt_response(Response::Entries(vec![
+            Entry::new(ObjectId(5), Grade::new(0.75)),
+            Entry::new(ObjectId(0), Grade::new(0.0)),
+        ]));
+        rt_response(Response::Entries(vec![]));
+        rt_response(Response::Grades(vec![Grade::new(0.5), Grade::ONE]));
+        rt_response(Response::Error {
+            code: ERR_OUT_OF_RANGE,
+            message: "no list 9".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        let mut buf = Vec::new();
+        Request::SortedBatch {
+            list: 1,
+            pos: 2,
+            max: 3,
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            match Request::decode(&buf[..cut]) {
+                Err(WireError::Truncated) => {}
+                other => panic!("cut at {cut}: {other:?}"),
+            }
+        }
+        let mut buf = Vec::new();
+        Response::Entries(vec![Entry::new(ObjectId(1), Grade::new(0.5))]).encode(&mut buf);
+        for cut in 1..buf.len() {
+            assert_eq!(
+                Response::decode(&buf[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        Request::Hello.encode(&mut buf);
+        buf.push(0xFF);
+        assert_eq!(Request::decode(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert_eq!(Request::decode(&[0x77]), Err(WireError::BadTag(0x77)));
+        assert_eq!(Response::decode(&[0x77]), Err(WireError::BadTag(0x77)));
+        assert_eq!(Request::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn non_finite_grades_rejected() {
+        let mut buf = Vec::new();
+        buf.push(0x02); // Grades
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(Response::decode(&buf), Err(WireError::NonFiniteGrade));
+    }
+
+    #[test]
+    fn count_overflow_cannot_allocate() {
+        // A hostile count of u32::MAX entries must fail the length check,
+        // not reserve 48 GiB.
+        let mut buf = Vec::new();
+        buf.push(0x01); // Entries
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Response::decode(&buf), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn frames_round_trip_and_cap() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        read_frame(&mut r, &mut buf).unwrap();
+        assert_eq!(buf, b"hello");
+
+        // A corrupt length prefix past the cap is rejected up front.
+        let bogus = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut r = &bogus[..];
+        let err = read_frame(&mut r, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,243 @@
+//! The shard server: serves one [`Database`] over the wire protocol.
+//!
+//! A [`ShardServer`] accepts TCP connections and answers
+//! [`Request`]s with a thread per connection. It is deliberately
+//! **stateless per request** — sorted batches carry explicit positions,
+//! so there are no server-side cursors, any request is idempotent, and a
+//! client that retries after a dropped connection can never double-read.
+//! All policy enforcement and accounting happen in the client
+//! ([`RemoteSource`](crate::RemoteSource)); the server only validates
+//! ranges defensively and answers out-of-range requests with a typed
+//! protocol error instead of trusting its peer.
+//!
+//! For reconnect testing, [`ServerChaos`] drops chosen requests on the
+//! floor (connection closed without a reply) by global request index —
+//! deterministic, like everything else in the fault plane.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fagin_middleware::Database;
+
+use crate::proto::{read_frame, write_frame, Request, Response, ERR_BAD_REQUEST, ERR_OUT_OF_RANGE};
+
+/// Deterministic server-side faults for reconnect tests.
+#[derive(Clone, Debug, Default)]
+pub struct ServerChaos {
+    /// Global 0-based request indices to drop: the connection that sent
+    /// them is closed without a reply.
+    pub drop_requests: BTreeSet<u64>,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    distinct: bool,
+    chaos: ServerChaos,
+    requests: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A bound, not-yet-serving shard server.
+pub struct ShardServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl ShardServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) to serve `db`.
+    pub fn bind(addr: impl ToSocketAddrs, db: Arc<Database>) -> io::Result<Self> {
+        Self::bind_with_chaos(addr, db, ServerChaos::default())
+    }
+
+    /// Binds with a chaos schedule (see [`ServerChaos`]).
+    pub fn bind_with_chaos(
+        addr: impl ToSocketAddrs,
+        db: Arc<Database>,
+        chaos: ServerChaos,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        // Distinctness is O(total entries); computed once at bind, served
+        // from the Hello cache forever after.
+        let distinct = db.satisfies_distinctness();
+        Ok(ShardServer {
+            listener,
+            shared: Arc::new(Shared {
+                db,
+                distinct,
+                chaos,
+                requests: AtomicU64::new(0),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until the process exits (the binary's mode).
+    pub fn run(self) -> io::Result<()> {
+        accept_loop(self.listener, self.shared);
+        Ok(())
+    }
+
+    /// Serves on a background thread; the handle stops the server when
+    /// shut down or dropped.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let thread = std::thread::spawn(move || accept_loop(listener, shared));
+        Ok(ServerHandle {
+            addr,
+            shared: self.shared,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle on a spawned [`ShardServer`]; stops it on shutdown or drop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served (or chaos-dropped) so far.
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and joins the accept loop. Already-open
+    /// connections finish their current request and close on the next
+    /// read.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || serve_connection(stream, shared));
+            }
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE, aborted handshake):
+                // keep serving.
+            }
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let mut rbuf = Vec::new();
+    let mut wbuf = Vec::new();
+    loop {
+        if read_frame(&mut stream, &mut rbuf).is_err() {
+            return; // peer hung up (or sent garbage lengths)
+        }
+        let idx = shared.requests.fetch_add(1, Ordering::Relaxed);
+        if shared.chaos.drop_requests.contains(&idx) {
+            return; // chaos: close without replying
+        }
+        let reply = match Request::decode(&rbuf) {
+            Ok(req) => answer(&req, &shared),
+            Err(e) => Response::Error {
+                code: ERR_BAD_REQUEST,
+                message: e.to_string(),
+            },
+        };
+        wbuf.clear();
+        reply.encode(&mut wbuf);
+        if write_frame(&mut stream, &wbuf).is_err() {
+            return;
+        }
+    }
+}
+
+fn answer(req: &Request, shared: &Shared) -> Response {
+    let db = &shared.db;
+    match req {
+        Request::Hello => Response::HelloOk {
+            lists: db.num_lists() as u32,
+            objects: db.num_objects() as u64,
+            distinct: shared.distinct,
+        },
+        Request::SortedBatch { list, pos, max } => {
+            let list = *list as usize;
+            if list >= db.num_lists() {
+                return out_of_range(format!("no list {list}"));
+            }
+            let l = db.list(list);
+            let pos = usize::try_from(*pos).unwrap_or(usize::MAX).min(l.len());
+            let end = pos.saturating_add(*max as usize).min(l.len());
+            let entries = (pos..end)
+                .map(|rank| l.at_rank(rank).expect("rank < len"))
+                .collect();
+            Response::Entries(entries)
+        }
+        Request::RandomMany { list, objects } => {
+            let list = *list as usize;
+            if list >= db.num_lists() {
+                return out_of_range(format!("no list {list}"));
+            }
+            let l = db.list(list);
+            let n = db.num_objects();
+            let mut grades = Vec::with_capacity(objects.len());
+            for &o in objects {
+                if o as usize >= n {
+                    return out_of_range(format!("no object {o}"));
+                }
+                grades.push(
+                    l.grade_of(fagin_middleware::ObjectId(o))
+                        .expect("object exists in every list"),
+                );
+            }
+            Response::Grades(grades)
+        }
+    }
+}
+
+fn out_of_range(message: String) -> Response {
+    Response::Error {
+        code: ERR_OUT_OF_RANGE,
+        message,
+    }
+}

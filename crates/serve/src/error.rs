@@ -52,6 +52,42 @@ pub enum ServeError {
     Shutdown,
 }
 
+impl ServeError {
+    /// Whether retrying the same request may succeed without any operator
+    /// intervention — the service-level half of the fault taxonomy (the
+    /// middleware half is [`AccessError::is_retryable`]).
+    ///
+    /// * [`QueueFull`](ServeError::QueueFull) — transient by definition:
+    ///   the queue drains as workers finish. [`TopKService::query`]
+    ///   retries it transparently with a short bounded backoff.
+    /// * [`WorkerPanicked`](ServeError::WorkerPanicked) — the panic was
+    ///   query- or worker-specific and the pool survived; a retry runs on
+    ///   a rebuilt session.
+    /// * Everything else is permanent for this request: a cost budget does
+    ///   not grow back, a plan stays unsatisfiable, a lost source stays
+    ///   lost, and a shutdown is final.
+    ///
+    /// [`AccessError::is_retryable`]: fagin_middleware::AccessError::is_retryable
+    /// [`TopKService::query`]: crate::service::TopKService::query
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ServeError::QueueFull { .. } | ServeError::WorkerPanicked { .. } => true,
+            ServeError::Query(AlgoError::Access(e)) => e.is_retryable(),
+            _ => false,
+        }
+    }
+
+    /// Whether this failure is a *source loss* — the permanent half of the
+    /// fault plane ([`AccessError::is_source_loss`]). Coalesced followers
+    /// fail fast on a leader lost this way instead of re-running solo
+    /// against the same dead shard.
+    ///
+    /// [`AccessError::is_source_loss`]: fagin_middleware::AccessError::is_source_loss
+    pub fn is_source_loss(&self) -> bool {
+        matches!(self, ServeError::Query(AlgoError::Access(e)) if e.is_source_loss())
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -127,5 +163,48 @@ mod tests {
         use std::error::Error;
         assert!(ServeError::Query(AlgoError::ZeroK).source().is_some());
         assert!(ServeError::Shutdown.source().is_none());
+    }
+
+    #[test]
+    fn retryability_partitions_the_taxonomy() {
+        use fagin_middleware::AccessError;
+        // Transient: load and worker-local failures.
+        assert!(ServeError::QueueFull { depth: 9, cap: 8 }.is_retryable());
+        assert!(ServeError::WorkerPanicked {
+            message: "boom".into()
+        }
+        .is_retryable());
+        // Permanent: budgets, plans, shutdown.
+        assert!(!ServeError::CostBudgetExceeded {
+            budget: 1.0,
+            spent: 2.0
+        }
+        .is_retryable());
+        assert!(!ServeError::Plan(PlanError::NoSortedAccess).is_retryable());
+        assert!(!ServeError::Shutdown.is_retryable());
+        assert!(!ServeError::Query(AlgoError::ZeroK).is_retryable());
+        // Access errors delegate to the middleware taxonomy.
+        assert!(
+            ServeError::Query(AlgoError::Access(AccessError::SourceUnavailable {
+                list: 1
+            }))
+            .is_retryable()
+        );
+        assert!(
+            !ServeError::Query(AlgoError::Access(AccessError::SourceLost { list: 1 }))
+                .is_retryable()
+        );
+        assert!(!ServeError::Query(AlgoError::Access(AccessError::BudgetExhausted)).is_retryable());
+    }
+
+    #[test]
+    fn source_loss_is_recognized() {
+        use fagin_middleware::AccessError;
+        let lost = ServeError::Query(AlgoError::Access(AccessError::SourceLost { list: 0 }));
+        assert!(lost.is_source_loss());
+        assert!(!lost.is_retryable());
+        assert!(!ServeError::Shutdown.is_source_loss());
+        assert!(!ServeError::QueueFull { depth: 1, cap: 1 }.is_source_loss());
+        assert!(!ServeError::Query(AlgoError::ZeroK).is_source_loss());
     }
 }

@@ -96,6 +96,9 @@ pub(crate) struct Recorder {
     rejected_budget: AtomicU64,
     failed: AtomicU64,
     worker_panics: AtomicU64,
+    source_faults: AtomicU64,
+    retries: AtomicU64,
+    breaker_trips: AtomicU64,
     /// Middleware cost per completed query (cost-model units, rounded).
     costs: Histogram,
     /// Wall-clock latency per completed query, nanoseconds.
@@ -123,6 +126,9 @@ impl Recorder {
             rejected_budget: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            source_faults: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
             costs: Histogram::new(),
             latency: Histogram::new(),
             round_duration: Histogram::new(),
@@ -218,6 +224,22 @@ impl Recorder {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds one batch of fault-plane counters (drained from a worker's
+    /// `FaultStats` deltas after each executed query) into the service
+    /// totals: transient source faults observed, transparent retries
+    /// performed, circuit-breaker trips.
+    pub(crate) fn add_fault_counts(&self, faults: u64, retries: u64, trips: u64) {
+        if faults > 0 {
+            self.source_faults.fetch_add(faults, Ordering::Relaxed);
+        }
+        if retries > 0 {
+            self.retries.fetch_add(retries, Ordering::Relaxed);
+        }
+        if trips > 0 {
+            self.breaker_trips.fetch_add(trips, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ServiceMetrics {
         let completed = self.completed.load(Ordering::Relaxed);
         let hits = self.cache_hits.load(Ordering::Relaxed);
@@ -233,6 +255,9 @@ impl Recorder {
             rejected_over_budget: self.rejected_budget.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            source_faults: self.source_faults.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
             shared_scan_served: 0,
             shared_scan_extended: 0,
             elapsed_secs: elapsed,
@@ -311,6 +336,24 @@ impl Recorder {
             "fagin_worker_panics_total",
             "Worker panics caught at the worker loop.",
             m.worker_panics,
+        );
+        counter(
+            &mut out,
+            "fagin_source_faults_total",
+            "Transient source faults observed by the fault plane.",
+            m.source_faults,
+        );
+        counter(
+            &mut out,
+            "fagin_source_retries_total",
+            "Transparent retries of transient source faults.",
+            m.retries,
+        );
+        counter(
+            &mut out,
+            "fagin_breaker_trips_total",
+            "Per-list circuit-breaker trips (source declared lost).",
+            m.breaker_trips,
         );
         counter(
             &mut out,
@@ -401,6 +444,17 @@ pub struct ServiceMetrics {
     /// Worker panics caught at the worker loop (each one also failed its
     /// query with a typed error; the worker itself survived).
     pub worker_panics: u64,
+    /// Transient source faults observed by the fault plane (remote
+    /// transport failures, injected faults). Each one was either retried
+    /// transparently or converted into a permanent source loss.
+    pub source_faults: u64,
+    /// Transparent retries the fault plane performed; a subset of
+    /// `source_faults` (the rest became losses).
+    pub retries: u64,
+    /// Circuit-breaker trips: a list's consecutive-failure streak crossed
+    /// the threshold and the source was declared lost until a half-open
+    /// probe succeeds.
+    pub breaker_trips: u64,
     /// Sorted accesses served from the shared scan frontier's
     /// already-materialized prefix (sweep work some other query paid for).
     /// Zero when scan sharing is disabled.
@@ -435,7 +489,7 @@ impl fmt::Display for ServiceMetrics {
             f,
             "{} queries ({:.1}/s) | hit rate {:.1}% | coalesced {} | degraded {} | \
              cost p50 {} p99 {} | latency p50 {} p99 {} | rejected {}+{} | failed {} | \
-             panics {} | shared scans {}/{}",
+             panics {} | faults {} (retried {}, trips {}) | shared scans {}/{}",
             self.completed,
             self.queries_per_sec,
             self.cache_hit_rate * 100.0,
@@ -449,6 +503,9 @@ impl fmt::Display for ServiceMetrics {
             self.rejected_over_budget,
             self.failed,
             self.worker_panics,
+            self.source_faults,
+            self.retries,
+            self.breaker_trips,
             self.shared_scan_served,
             self.shared_scan_served + self.shared_scan_extended,
         )
@@ -469,6 +526,8 @@ mod tests {
         r.record_budget_rejection();
         r.record_failure();
         r.record_degraded();
+        r.add_fault_counts(5, 4, 1);
+        r.add_fault_counts(0, 0, 0);
         let m = r.snapshot();
         assert_eq!(m.completed, 3);
         assert_eq!(m.cache_hits, 1);
@@ -480,6 +539,10 @@ mod tests {
         assert_eq!(m.rejected_queue_full, 1);
         assert_eq!(m.rejected_over_budget, 1);
         assert_eq!(m.failed, 1);
+        assert_eq!(m.source_faults, 5);
+        assert_eq!(m.retries, 4);
+        assert_eq!(m.breaker_trips, 1);
+        assert!(m.to_string().contains("faults 5 (retried 4, trips 1)"));
         assert!((m.cache_hit_rate - 1.0 / 3.0).abs() < 1e-12);
         // Log₂-bucket upper edges: 10 lands in [8, 15], 30 in [16, 31].
         assert_eq!(m.cost_p50, Some(15.0));
@@ -575,6 +638,7 @@ mod tests {
         r.record_round_duration(50_000);
         r.record_sorted_time(40_000);
         r.record_random_time(10_000);
+        r.add_fault_counts(3, 2, 1);
         let m = r.snapshot();
         let text = r.metrics_text(&m);
         let samples = fagin_obs::prometheus::parse(&text).expect("well-formed exposition");
@@ -587,6 +651,9 @@ mod tests {
         assert_eq!(find("fagin_queries_completed_total").value, 2.0);
         assert_eq!(find("fagin_cache_hits_total").value, 1.0);
         assert_eq!(find("fagin_cache_hit_rate").value, 0.5);
+        assert_eq!(find("fagin_source_faults_total").value, 3.0);
+        assert_eq!(find("fagin_source_retries_total").value, 2.0);
+        assert_eq!(find("fagin_breaker_trips_total").value, 1.0);
         assert_eq!(find("fagin_query_cost_count").value, 2.0);
         assert_eq!(find("fagin_query_latency_seconds_count").value, 2.0);
         assert_eq!(find("fagin_round_duration_seconds_count").value, 1.0);

@@ -45,6 +45,7 @@
 //!    a Prometheus text endpoint ([`TopKService::metrics_text`]), and a
 //!    top-N slow-query log ([`TopKService::slow_queries`]).
 
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
@@ -53,9 +54,18 @@ use std::time::{Duration, Instant};
 
 use fagin_core::algorithms::WarmStart;
 use fagin_core::planner::Planner;
-use fagin_core::{AlgoError, AnytimeConfig, RunMetrics, RunScratch, ScoredObject, TopKOutput};
-use fagin_middleware::{AccessError, AccessStats, CostBudget, Database, ObjectId, Session};
+use fagin_core::{
+    AlgoError, AnytimeConfig, HaltReason, RunMetrics, RunScratch, ScoredObject, TopKOutput,
+};
+use fagin_middleware::{
+    AccessError, AccessPolicy, AccessStats, CostBudget, Database, Entry, Grade, Middleware,
+    ObjectId, Session,
+};
 use fagin_obs::{EventKind, FlightRecorder, TraceEvent};
+use fagin_remote::{
+    BreakerConfig, ConnectError, FaultInjector, FaultPlan, RemoteSource, Resilient, RetryPolicy,
+    ShardInfo,
+};
 
 use crate::cache::{CacheHit, CacheKey, CachedRun, ResultCache};
 use crate::error::ServeError;
@@ -66,7 +76,22 @@ use crate::scanhub::ScanHub;
 
 /// How many failed follows (leader errored, or its answer could not serve
 /// our `k`) a query tolerates before it stops coalescing and runs solo.
+/// A leader that failed from *source loss* is not retried at all: every
+/// follower fails fast with the typed error instead of stampeding the
+/// dead shard with solo runs.
 const FOLLOW_RETRIES: usize = 2;
+
+/// Transparent [`ServeError::QueueFull`] retries inside
+/// [`TopKService::query`] (the queue drains as workers finish, so a
+/// brief full queue is not worth surfacing to a blocking caller).
+const QUEUE_RETRIES: u32 = 3;
+
+/// Base backoff between those queue retries; grows linearly per attempt.
+const QUEUE_BACKOFF: Duration = Duration::from_micros(500);
+
+/// Per-request socket timeout for remote-backed services
+/// ([`TopKService::connect`]).
+const REMOTE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Fraction of a degrade-opted query's cost budget at which the anytime
 /// cost watermark fires: the run yields its best certified answer at a
@@ -184,6 +209,17 @@ pub struct ServiceConfig {
     /// Whether the database satisfies the distinctness property (§6);
     /// `None` detects it once at construction.
     pub distinctness: Option<bool>,
+    /// Deterministic fault schedule injected between every worker's
+    /// session and the database (each worker replays its own copy).
+    /// `None` (the default) serves faithfully. With a plan installed the
+    /// service exercises its full fault plane — retries, breakers,
+    /// degraded answers — without any network.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry/backoff policy of the per-worker resilience layer (used when
+    /// a fault plan is installed or the service is remote-backed).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds of the per-worker resilience layer.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for ServiceConfig {
@@ -195,6 +231,9 @@ impl Default for ServiceConfig {
             coalescing: true,
             scan_sharing: true,
             distinctness: None,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -243,6 +282,26 @@ impl ServiceConfig {
         self.distinctness = Some(distinct);
         self
     }
+
+    /// Installs a deterministic fault schedule between every worker's
+    /// session and the database (chaos testing; see
+    /// [`ServiceConfig::fault_plan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the resilience layer's retry/backoff policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the resilience layer's circuit-breaker thresholds.
+    pub fn with_breaker_config(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
 }
 
 struct Job {
@@ -261,8 +320,36 @@ struct Coalescer {
     inflight: InflightMap,
 }
 
+/// Where worker sessions get their lists from.
+enum WorkerBackend {
+    /// Plain sessions over the shared in-process database.
+    Local,
+    /// Sessions over the shared database, wrapped in a deterministic
+    /// fault injector and the resilience layer (chaos testing).
+    Faulty {
+        /// The schedule every worker replays (its own copy, so per-worker
+        /// access indices are deterministic).
+        plan: FaultPlan,
+    },
+    /// Remote sources speaking the shard protocol, wrapped in the
+    /// resilience layer. Workers dial lazily on first access.
+    Remote {
+        addr: SocketAddr,
+        info: ShardInfo,
+        timeout: Duration,
+    },
+}
+
 struct Shared {
-    db: Arc<Database>,
+    /// The in-process database (`None` for remote-backed services, where
+    /// the lists live behind [`WorkerBackend::Remote`]).
+    db: Option<Arc<Database>>,
+    /// Number of sorted lists `m` (cached: valid with or without a local
+    /// database).
+    lists: usize,
+    backend: WorkerBackend,
+    retry: RetryPolicy,
+    breaker: BreakerConfig,
     distinctness: bool,
     admission: Mutex<Coalescer>,
     cache_enabled: bool,
@@ -324,6 +411,217 @@ impl Shared {
     }
 }
 
+/// One worker's middleware tower, chosen by the service backend: a plain
+/// [`Session`], a fault-injected session, or a remote source — the latter
+/// two behind the [`Resilient`] retry/breaker layer. Implements
+/// [`Middleware`] by delegation so `run_query` is backend-agnostic.
+enum WorkerSource<'db> {
+    Local(Box<Session<'db>>),
+    Faulty(Box<Resilient<FaultInjector<Session<'db>>>>),
+    Remote(Box<Resilient<RemoteSource>>),
+}
+
+impl<'db> WorkerSource<'db> {
+    /// Builds one worker's tower. Infallible: remote sources are prepared
+    /// undialed (the shape was validated at [`TopKService::connect`] time)
+    /// and dial lazily on first access.
+    fn build(shared: &'db Shared) -> Self {
+        let recorder = FlightRecorder::with_epoch(WORKER_RING_CAPACITY, shared.epoch);
+        let local_session = |shared: &'db Shared, recorder| {
+            let db = shared
+                .db
+                .as_deref()
+                .expect("local backends hold a database");
+            let mut session = Session::new(db);
+            session.attach_recorder(recorder);
+            if let Some(hub) = &shared.scan_hub {
+                session.share_scans(Arc::clone(hub.frontier()));
+            }
+            session
+        };
+        match &shared.backend {
+            WorkerBackend::Local => WorkerSource::Local(Box::new(local_session(shared, recorder))),
+            WorkerBackend::Faulty { plan } => {
+                WorkerSource::Faulty(Box::new(Resilient::with_policy(
+                    FaultInjector::new(local_session(shared, recorder), plan.clone()),
+                    shared.retry,
+                    shared.breaker,
+                )))
+            }
+            WorkerBackend::Remote {
+                addr,
+                info,
+                timeout,
+            } => {
+                let mut source =
+                    RemoteSource::prepared(*addr, *info, AccessPolicy::default(), *timeout);
+                source.attach_recorder(recorder);
+                WorkerSource::Remote(Box::new(Resilient::with_policy(
+                    source,
+                    shared.retry,
+                    shared.breaker,
+                )))
+            }
+        }
+    }
+
+    /// Rewinds to a fresh run under `policy` (counters, cursors, seen-set;
+    /// breakers and fault counters deliberately survive — a dead shard
+    /// stays dead across queries until a probe revives it).
+    fn reset(&mut self, policy: AccessPolicy) {
+        match self {
+            WorkerSource::Local(s) => s.reset(policy),
+            WorkerSource::Faulty(r) => r.inner_mut().inner_mut().reset(policy),
+            WorkerSource::Remote(r) => r.inner_mut().reset(policy),
+        }
+    }
+
+    fn recorder(&self) -> Option<&FlightRecorder> {
+        match self {
+            WorkerSource::Local(s) => s.recorder(),
+            WorkerSource::Faulty(r) => r.inner().inner().recorder(),
+            WorkerSource::Remote(r) => r.inner().recorder(),
+        }
+    }
+
+    fn recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        match self {
+            WorkerSource::Local(s) => s.recorder_mut(),
+            WorkerSource::Faulty(r) => r.inner_mut().inner_mut().recorder_mut(),
+            WorkerSource::Remote(r) => r.inner_mut().recorder_mut(),
+        }
+    }
+
+    /// Propagates the query deadline into the resilience layer: a retry
+    /// whose backoff would sleep past it converts to a source loss, so a
+    /// struggling shard can degrade the answer but never stall the query.
+    fn set_deadline(&mut self, deadline: Option<Instant>) {
+        match self {
+            WorkerSource::Local(_) => {}
+            WorkerSource::Faulty(r) => r.set_deadline(deadline),
+            WorkerSource::Remote(r) => r.set_deadline(deadline),
+        }
+    }
+
+    /// Lists whose circuit breakers are open — the failure-aware planning
+    /// input ([`fagin_core::planner::Capabilities::degraded`]).
+    fn lost_lists(&self) -> Vec<usize> {
+        match self {
+            WorkerSource::Local(_) => Vec::new(),
+            WorkerSource::Faulty(r) => r.lost_lists(),
+            WorkerSource::Remote(r) => r.lost_lists(),
+        }
+    }
+
+    /// Cumulative fault-plane totals `(faults, retries, breaker trips)`;
+    /// the worker loop drains per-query deltas into the service metrics.
+    fn fault_totals(&self) -> (u64, u64, u64) {
+        match self {
+            WorkerSource::Local(_) => (0, 0, 0),
+            WorkerSource::Faulty(r) => {
+                let s = r.fault_stats();
+                (s.faults(), s.retries(), s.trips())
+            }
+            WorkerSource::Remote(r) => {
+                let s = r.fault_stats();
+                (s.faults(), s.retries(), s.trips())
+            }
+        }
+    }
+}
+
+impl Middleware for WorkerSource<'_> {
+    fn num_lists(&self) -> usize {
+        match self {
+            WorkerSource::Local(s) => s.num_lists(),
+            WorkerSource::Faulty(r) => r.num_lists(),
+            WorkerSource::Remote(r) => r.num_lists(),
+        }
+    }
+
+    fn num_objects(&self) -> usize {
+        match self {
+            WorkerSource::Local(s) => s.num_objects(),
+            WorkerSource::Faulty(r) => r.num_objects(),
+            WorkerSource::Remote(r) => r.num_objects(),
+        }
+    }
+
+    fn sorted_next(&mut self, list: usize) -> Result<Option<Entry>, AccessError> {
+        match self {
+            WorkerSource::Local(s) => s.sorted_next(list),
+            WorkerSource::Faulty(r) => r.sorted_next(list),
+            WorkerSource::Remote(r) => r.sorted_next(list),
+        }
+    }
+
+    fn random_lookup(&mut self, list: usize, object: ObjectId) -> Result<Grade, AccessError> {
+        match self {
+            WorkerSource::Local(s) => s.random_lookup(list, object),
+            WorkerSource::Faulty(r) => r.random_lookup(list, object),
+            WorkerSource::Remote(r) => r.random_lookup(list, object),
+        }
+    }
+
+    fn sorted_next_batch(
+        &mut self,
+        list: usize,
+        max: usize,
+        out: &mut Vec<Entry>,
+    ) -> Result<usize, AccessError> {
+        match self {
+            WorkerSource::Local(s) => s.sorted_next_batch(list, max, out),
+            WorkerSource::Faulty(r) => r.sorted_next_batch(list, max, out),
+            WorkerSource::Remote(r) => r.sorted_next_batch(list, max, out),
+        }
+    }
+
+    fn random_lookup_many(
+        &mut self,
+        list: usize,
+        objects: &[ObjectId],
+        out: &mut Vec<Grade>,
+    ) -> Result<(), AccessError> {
+        match self {
+            WorkerSource::Local(s) => s.random_lookup_many(list, objects, out),
+            WorkerSource::Faulty(r) => r.random_lookup_many(list, objects, out),
+            WorkerSource::Remote(r) => r.random_lookup_many(list, objects, out),
+        }
+    }
+
+    fn stats(&self) -> &AccessStats {
+        match self {
+            WorkerSource::Local(s) => s.stats(),
+            WorkerSource::Faulty(r) => r.stats(),
+            WorkerSource::Remote(r) => r.stats(),
+        }
+    }
+
+    fn policy(&self) -> &AccessPolicy {
+        match self {
+            WorkerSource::Local(s) => s.policy(),
+            WorkerSource::Faulty(r) => r.policy(),
+            WorkerSource::Remote(r) => r.policy(),
+        }
+    }
+
+    fn position(&self, list: usize) -> usize {
+        match self {
+            WorkerSource::Local(s) => s.position(list),
+            WorkerSource::Faulty(r) => r.position(list),
+            WorkerSource::Remote(r) => r.position(list),
+        }
+    }
+
+    fn trace(&mut self, kind: EventKind, detail: u32, count: u64) {
+        match self {
+            WorkerSource::Local(s) => s.trace(kind, detail, count),
+            WorkerSource::Faulty(r) => r.trace(kind, detail, count),
+            WorkerSource::Remote(r) => r.trace(kind, detail, count),
+        }
+    }
+}
+
 /// A handle to one submitted query's eventual answer.
 pub struct QueryTicket {
     rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
@@ -367,9 +665,69 @@ impl TopKService {
             .distinctness
             .unwrap_or_else(|| db.satisfies_distinctness());
         let scan_hub = config.scan_sharing.then(|| ScanHub::new(Arc::clone(&db)));
+        let lists = db.num_lists();
+        let backend = match &config.fault_plan {
+            Some(plan) => WorkerBackend::Faulty { plan: plan.clone() },
+            None => WorkerBackend::Local,
+        };
+        Self::start(Some(db), lists, distinctness, scan_hub, backend, config)
+    }
+
+    /// Starts the worker pool over a *remote* shard server: each worker
+    /// owns one lazily-dialed connection to `addr`, wrapped in the
+    /// retry/backoff + circuit-breaker layer. The address is probed once
+    /// here to learn the shard's shape (list count, object-id space,
+    /// distinctness); queries then run the same planner and algorithms as
+    /// the local path, access for access.
+    ///
+    /// With faults disabled on the far side, answers and access counts
+    /// are byte-identical to serving the same data in-process; when the
+    /// shard misbehaves, the service retries transient failures, trips
+    /// the breaker on persistent ones, and — for requests opting in via
+    /// [`QueryRequest::with_degradation`] — returns a certified θ̂ answer
+    /// over the surviving lists.
+    ///
+    /// [`QueryRequest::with_degradation`]: crate::request::QueryRequest::with_degradation
+    pub fn connect(
+        addr: impl std::net::ToSocketAddrs,
+        config: ServiceConfig,
+    ) -> Result<Self, ConnectError> {
+        let probe = RemoteSource::connect(addr)?;
+        let info = probe.info();
+        let addr = probe.addr();
+        drop(probe);
+        let distinctness = config.distinctness.unwrap_or(info.distinct);
+        let backend = WorkerBackend::Remote {
+            addr,
+            info,
+            timeout: REMOTE_TIMEOUT,
+        };
+        Ok(Self::start(
+            None,
+            info.lists,
+            distinctness,
+            None,
+            backend,
+            config,
+        ))
+    }
+
+    fn start(
+        db: Option<Arc<Database>>,
+        lists: usize,
+        distinctness: bool,
+        scan_hub: Option<ScanHub>,
+        backend: WorkerBackend,
+        config: ServiceConfig,
+    ) -> Self {
         let flight = FlightRecorder::new(SERVICE_RING_CAPACITY);
         let epoch = flight.epoch();
         let shared = Arc::new(Shared {
+            db,
+            lists,
+            backend,
+            retry: config.retry,
+            breaker: config.breaker,
             distinctness,
             admission: Mutex::new(Coalescer {
                 cache: config.cache_capacity.map(ResultCache::new),
@@ -384,7 +742,6 @@ impl TopKService {
             flight: Mutex::new(flight),
             epoch,
             query_counter: AtomicU32::new(0),
-            db,
         });
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
@@ -427,9 +784,16 @@ impl TopKService {
         self.workers.len()
     }
 
-    /// The shared database.
-    pub fn database(&self) -> &Arc<Database> {
-        &self.shared.db
+    /// The shared in-memory database, when one backs this service
+    /// (`None` for remote-backed services, whose data lives behind the
+    /// shard server).
+    pub fn database(&self) -> Option<&Arc<Database>> {
+        self.shared.db.as_ref()
+    }
+
+    /// Number of graded lists served (local or remote).
+    pub fn num_lists(&self) -> usize {
+        self.shared.lists
     }
 
     /// Whether the service treats the database as distinct (§6).
@@ -478,7 +842,7 @@ impl TopKService {
                         kind: EventKind::Done,
                     });
                 }
-                let resp = hit_response(self.shared.db.num_lists(), &request, hit, latency);
+                let resp = hit_response(self.shared.lists, &request, hit, latency);
                 let (reply, rx) = mpsc::channel();
                 let _ = reply.send(Ok(resp));
                 return Ok(QueryTicket { rx });
@@ -512,8 +876,30 @@ impl TopKService {
     }
 
     /// Submits and waits: the blocking convenience path.
+    ///
+    /// Transparently retries [`ServeError::QueueFull`] — the only purely
+    /// load-induced rejection — up to [`QUEUE_RETRIES`](self) times with a
+    /// short linear backoff, since by its own taxonomy
+    /// ([`ServeError::is_retryable`]) the queue drains as workers finish.
+    /// Every attempt is still tallied in
+    /// [`ServiceMetrics::rejected_queue_full`]; callers that want a single
+    /// shot (or their own backoff) use [`submit`](TopKService::submit).
+    ///
+    /// [`ServiceMetrics::rejected_queue_full`]: crate::metrics::ServiceMetrics::rejected_queue_full
     pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
-        self.submit(request)?.wait()
+        let mut attempt = 0u32;
+        loop {
+            match self.submit(request.clone()) {
+                Err(e @ ServeError::QueueFull { .. }) => {
+                    if attempt >= QUEUE_RETRIES {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(QUEUE_BACKOFF * attempt);
+                }
+                other => return other?.wait(),
+            }
+        }
     }
 
     /// A point-in-time metrics snapshot.
@@ -583,16 +969,14 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
     // state nor session bookkeeping per request (both clear in O(1) via
     // generation stamps; see `fagin_core::arena`).
     let mut arena = RunScratch::new();
-    let mut session = Session::new(shared.db.as_ref());
-    // The session ring shares the service epoch, so draining it into the
-    // service ring after each query is a plain copy on one time axis.
-    session.attach_recorder(FlightRecorder::with_epoch(
-        WORKER_RING_CAPACITY,
-        shared.epoch,
-    ));
-    if let Some(hub) = &shared.scan_hub {
-        session.share_scans(Arc::clone(hub.frontier()));
-    }
+    // The source's session ring shares the service epoch, so draining it
+    // into the service ring after each query is a plain copy on one time
+    // axis.
+    let mut source = WorkerSource::build(shared);
+    // Cumulative fault-plane totals already drained into the service
+    // metrics; breakers (and their counters) survive across queries, so
+    // per-query contributions are deltas against this base.
+    let mut fault_base = (0u64, 0u64, 0u64);
     loop {
         // Holding the lock only around `recv` hands exactly one job to
         // exactly one idle worker; execution happens lock-free. A sibling
@@ -607,28 +991,30 @@ fn worker_loop(shared: &Shared, receiver: &Mutex<mpsc::Receiver<Job>>) {
         };
         shared.queue_len.fetch_sub(1, Ordering::SeqCst);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            execute(shared, &job.request, &mut session, &mut arena)
+            execute(shared, &job.request, &mut source, &mut arena)
         }))
         .unwrap_or_else(|payload| {
             // The worker survives its query's panic: tally it, rebuild the
-            // possibly mid-run session and arena, and fail this query with
+            // possibly mid-run source and arena, and fail this query with
             // a typed error instead of stranding the caller's ticket. (If
             // the query led a flight, the guard already failed it during
             // unwinding, so followers retried rather than blocking.)
             shared.recorder.record_worker_panic();
             arena = RunScratch::new();
-            session = Session::new(shared.db.as_ref());
-            session.attach_recorder(FlightRecorder::with_epoch(
-                WORKER_RING_CAPACITY,
-                shared.epoch,
-            ));
-            if let Some(hub) = &shared.scan_hub {
-                session.share_scans(Arc::clone(hub.frontier()));
-            }
+            source = WorkerSource::build(shared);
+            fault_base = (0, 0, 0);
             Err(ServeError::WorkerPanicked {
                 message: panic_message(payload),
             })
         });
+        // Fold this query's fault-plane activity into the service counters.
+        let totals = source.fault_totals();
+        shared.recorder.add_fault_counts(
+            totals.0.saturating_sub(fault_base.0),
+            totals.1.saturating_sub(fault_base.1),
+            totals.2.saturating_sub(fault_base.2),
+        );
+        fault_base = totals;
         if let Err(e) = &result {
             match e {
                 ServeError::CostBudgetExceeded { .. } => shared.recorder.record_budget_rejection(),
@@ -729,11 +1115,11 @@ fn finish_executed(
 fn execute(
     shared: &Shared,
     req: &QueryRequest,
-    session: &mut Session<'_>,
+    source: &mut WorkerSource<'_>,
     arena: &mut RunScratch,
 ) -> Result<QueryResponse, ServeError> {
     let started = Instant::now();
-    let m = shared.db.num_lists();
+    let m = shared.lists;
     let qid = shared.next_query();
     shared.trace(qid, EventKind::Admitted, req.k as u32, 0);
 
@@ -752,7 +1138,7 @@ fn execute(
         } else {
             None
         };
-        let run = run_query(shared, req, session, arena, warm, qid)?;
+        let run = run_query(shared, req, source, arena, warm, qid)?;
         return Ok(finish_executed(shared, qid, req, run, started));
     }
 
@@ -832,6 +1218,15 @@ fn execute(
                             latency,
                         });
                     }
+                    // The leader died of *source loss*: the shard is down
+                    // for every flight member alike, so re-running solo
+                    // would only hammer the same dead source once per
+                    // follower (a solo-run storm). Fail fast with the
+                    // leader's typed error; the caller can opt into
+                    // degradation and retry.
+                    FlightOutcome::Failed(e) if e.is_source_loss() => {
+                        return Err(e);
+                    }
                     // The leader failed or its answer cannot serve our k
                     // (e.g. a gradeless run at a larger k'): re-enter
                     // admission — the cache may have been fed meanwhile,
@@ -855,7 +1250,7 @@ fn execute(
                 }
             }
             Admission::Lead(guard, warm) => {
-                let run = run_query(shared, req, session, arena, warm, qid);
+                let run = run_query(shared, req, source, arena, warm, qid);
                 return match run {
                     Ok(mut run) => {
                         let items = Arc::new(std::mem::take(&mut run.items));
@@ -887,6 +1282,17 @@ fn execute(
                                 requested_k: req.k,
                                 algorithm: run.name.clone(),
                             })
+                        } else if matches!(run.metrics.halt, HaltReason::SourceLost) {
+                            // The leader survived a source loss with a
+                            // certified θ̂ answer (it asked for
+                            // degradation), but followers demanded exact:
+                            // hand them the typed loss so they fail fast
+                            // instead of re-running against the dead
+                            // shard. The leader still gets its answer.
+                            let list = source.lost_lists().first().copied().unwrap_or(0);
+                            FlightOutcome::Failed(ServeError::Query(AlgoError::Access(
+                                AccessError::SourceLost { list },
+                            )))
                         } else {
                             // Unreachable for exact requests (the only
                             // ones that coalesce), but never hand
@@ -915,7 +1321,7 @@ fn execute(
                 };
             }
             Admission::Solo(warm) => {
-                let mut run = run_query(shared, req, session, arena, warm, qid)?;
+                let mut run = run_query(shared, req, source, arena, warm, qid)?;
                 if cache_eligible {
                     // Every completed run certifies *something*: exact runs
                     // the τ-prefix family (guarantee 1.0), θ and degraded
@@ -998,7 +1404,7 @@ impl ExecutedRun {
 fn run_query(
     shared: &Shared,
     req: &QueryRequest,
-    session: &mut Session<'_>,
+    source: &mut WorkerSource<'_>,
     arena: &mut RunScratch,
     warm: Option<WarmStart>,
     qid: u32,
@@ -1008,10 +1414,10 @@ fn run_query(
         panic!("injected worker fault");
     }
 
-    let m = shared.db.num_lists();
+    let m = shared.lists;
     // Stamp the session ring for this query; anything a previous query
     // left behind (e.g. after a panic) is stale and dropped.
-    let run_start = match session.recorder_mut() {
+    let run_start = match source.recorder_mut() {
         Some(rec) => {
             rec.clear();
             rec.set_query(qid);
@@ -1025,7 +1431,16 @@ fn run_query(
     let warm_seeds = warm.as_ref().map(WarmStart::len);
 
     let agg = req.agg.instance();
-    let caps = req.capabilities(m, shared.distinctness);
+    let mut caps = req.capabilities(m, shared.distinctness);
+    // Failure-aware planning: lists whose circuit breakers are open are
+    // not worth planning over — sorted scans on them would only convert
+    // to immediate `SourceLost`. Plan over the survivors (§C: losing a
+    // sorted source forces TA_Z-style Z-restriction; the monotone
+    // capability lattice picks the right algorithm automatically).
+    let lost = source.lost_lists();
+    if !lost.is_empty() {
+        caps = caps.degraded(lost.iter().copied(), false);
+    }
     // The planner threads θ into every branch of its decision table
     // (θ-TA, TA_Z, θ-NRA, θ-CA); choices without a θ channel fall back
     // exact and say so in the rationale.
@@ -1033,10 +1448,24 @@ fn run_query(
         Planner.plan_query_theta(&caps, agg, req.k, &req.costs, req.batch, warm, req.theta)?;
     let algorithm = plan.algorithm;
     let mut rationale = plan.rationale;
+    if !lost.is_empty() {
+        rationale.insert(
+            0,
+            format!(
+                "failure-aware planning: lists {lost:?} have open breakers; \
+                 planned over the survivors"
+            ),
+        );
+    }
 
-    // The worker's session, rewound in place: accounting and policy
+    // The worker's source, rewound in place: accounting and policy
     // enforcement are per-query even though the storage is per-worker.
-    session.reset(req.policy.clone());
+    // (Breaker state deliberately survives the rewind.)
+    source.reset(req.policy.clone());
+    // Deadline-budget propagation: the resilience layer refuses retries
+    // whose backoff would overrun the query deadline, converting them to
+    // source loss so the anytime engine can degrade instead of stalling.
+    source.set_deadline(req.deadline.map(|d| Instant::now() + d));
     let out: TopKOutput = if req.is_anytime() {
         // Degraded admission: run cooperatively. A deadline or watermark
         // interrupt — or a budget strike with a certificate in hand —
@@ -1048,7 +1477,7 @@ fn run_query(
         }
         match req.cost_budget {
             Some(limit) => {
-                let mut guarded = CostBudget::new(&mut *session, req.costs, limit);
+                let mut guarded = CostBudget::new(&mut *source, req.costs, limit);
                 if req.degrade {
                     let (model, at) = guarded.watermark(DEGRADE_WATERMARK);
                     cfg = cfg.with_cost_watermark(model, at);
@@ -1066,12 +1495,12 @@ fn run_query(
                     other => other?,
                 }
             }
-            None => algorithm.run_anytime(&mut *session, agg, req.k, &cfg, arena)?,
+            None => algorithm.run_anytime(&mut *source, agg, req.k, &cfg, arena)?,
         }
     } else {
         match req.cost_budget {
             Some(limit) => {
-                let mut guarded = CostBudget::new(&mut *session, req.costs, limit);
+                let mut guarded = CostBudget::new(&mut *source, req.costs, limit);
                 match algorithm.run_with(&mut guarded, agg, req.k, arena) {
                     Err(AlgoError::Access(AccessError::BudgetExhausted)) => {
                         return Err(ServeError::CostBudgetExceeded {
@@ -1082,12 +1511,12 @@ fn run_query(
                     other => other?,
                 }
             }
-            None => algorithm.run_with(&mut *session, agg, req.k, arena)?,
+            None => algorithm.run_with(&mut *source, agg, req.k, arena)?,
         }
     };
     if out.metrics.halt.is_interrupted() {
         shared.recorder.record_degraded();
-        if let Some(rec) = session.recorder_mut() {
+        if let Some(rec) = source.recorder_mut() {
             rec.record(EventKind::Degraded, out.metrics.halt.code(), 1);
         }
         rationale.push(format!(
@@ -1100,7 +1529,7 @@ fn run_query(
     // Fold the run's flight record into the service histograms (round
     // durations from successive round boundaries; the sorted/random time
     // split from timed batch spans), then merge it into the service ring.
-    if let Some(rec) = session.recorder() {
+    if let Some(rec) = source.recorder() {
         let mut prev_round = run_start;
         let mut prev_round_no = 0u64;
         let mut sorted_nanos = 0u64;
@@ -1131,7 +1560,7 @@ fn run_query(
             shared.recorder.record_random_time(random_nanos);
         }
     }
-    if let Some(rec) = session.recorder_mut() {
+    if let Some(rec) = source.recorder_mut() {
         if !rec.is_empty() {
             rec.drain_into(&mut shared.flight_ring());
         }
@@ -1229,11 +1658,25 @@ mod tests {
     #[test]
     fn queue_cap_rejects_typed() {
         let service = TopKService::new(db(), ServiceConfig::default().with_queue_cap(0));
+        // `submit` is single-shot: one attempt, one tallied rejection.
+        let err = match service.submit(QueryRequest::new(AggSpec::Min, 1)) {
+            Err(e) => e,
+            Ok(_) => panic!("a zero-cap queue must reject"),
+        };
+        assert_eq!(err, ServeError::QueueFull { depth: 0, cap: 0 });
+        assert!(err.is_retryable());
+        assert_eq!(service.metrics().rejected_queue_full, 1);
+        // `query` is retry-transparent for QueueFull: with a cap of zero
+        // the queue never drains, so it exhausts its retry budget and
+        // surfaces the same typed rejection, each attempt tallied.
         let err = service
             .query(QueryRequest::new(AggSpec::Min, 1))
             .unwrap_err();
         assert_eq!(err, ServeError::QueueFull { depth: 0, cap: 0 });
-        assert_eq!(service.metrics().rejected_queue_full, 1);
+        assert_eq!(
+            service.metrics().rejected_queue_full,
+            1 + u64::from(1 + QUEUE_RETRIES)
+        );
     }
 
     #[test]
@@ -1522,5 +1965,110 @@ mod tests {
         let ticket = service.submit(QueryRequest::new(AggSpec::Min, 1)).unwrap();
         drop(service); // drains in-flight work, then joins
         assert!(ticket.wait().is_ok(), "in-flight answers are delivered");
+    }
+
+    #[test]
+    fn fault_plan_degrades_with_certificate() {
+        // List 1 dies after the first complete round. The query opted
+        // into degradation, so the anytime rescue returns the best
+        // certified snapshot as a θ̂ answer with halt = SourceLost, and
+        // every fault and retry is tallied in the service metrics.
+        let service = TopKService::new(
+            db(),
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_fault_plan(FaultPlan::new().kill_list_from(1, 9))
+                .with_retry_policy(RetryPolicy::instant(1)),
+        );
+        let resp = service
+            .query(QueryRequest::new(AggSpec::Average, 2).with_degradation())
+            .unwrap();
+        assert_eq!(resp.run.halt, HaltReason::SourceLost);
+        assert!(
+            resp.run.approximation_guarantee >= 1.0,
+            "degraded answers certify a θ̂: {}",
+            resp.run.approximation_guarantee
+        );
+        assert!(resp.is_degraded());
+        let m = service.metrics();
+        assert!(m.source_faults > 0, "faults tallied: {m}");
+        assert!(m.retries > 0, "retries tallied: {m}");
+        assert_eq!(m.degraded, 1);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn exact_queries_surface_typed_source_loss() {
+        // Without the degradation opt-in, a dead source is a typed,
+        // non-retryable error — never a silently partial answer.
+        let service = TopKService::new(
+            db(),
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_fault_plan(FaultPlan::new().kill_list_from(0, 0))
+                .with_retry_policy(RetryPolicy::instant(0)),
+        );
+        let err = service
+            .query(QueryRequest::new(AggSpec::Min, 2))
+            .unwrap_err();
+        assert!(err.is_source_loss(), "got {err:?}");
+        assert!(!err.is_retryable());
+        let m = service.metrics();
+        assert!(m.source_faults > 0);
+        assert_eq!(m.failed, 1);
+    }
+
+    #[test]
+    fn open_breakers_drive_failure_aware_planning() {
+        // List 2 is dead from the first access. With zero retries the
+        // breaker books one consecutive failure per query and trips on
+        // the third; from then on planning consults the open breaker
+        // instead of walking back into the loss.
+        let service = TopKService::new(
+            db(),
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_fault_plan(FaultPlan::new().kill_list_from(2, 0))
+                .with_retry_policy(RetryPolicy::instant(0)),
+        );
+        let mut tripped = false;
+        for k in 1..=4 {
+            let err = service
+                .query(QueryRequest::new(AggSpec::Average, k))
+                .unwrap_err();
+            assert!(err.is_source_loss(), "got {err:?}");
+            if service.metrics().breaker_trips > 0 {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "breaker should trip: {}", service.metrics());
+        let faults_at_trip = service.metrics().source_faults;
+
+        // Failure-aware planning is now observable two ways. A request
+        // whose capabilities cannot cover the surviving lists is refused
+        // at *plan* time with a typed error (before the trip, the same
+        // shape planned NRA and died at runtime instead):
+        let err = service
+            .query(
+                QueryRequest::new(AggSpec::Average, 2)
+                    .with_policy(AccessPolicy::no_random_access())
+                    .require_grades(false),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Plan(_)), "got {err:?}");
+
+        // And a plannable request fails fast on the open breaker's
+        // rejection — no fresh faults, no retry storm against the dead
+        // shard.
+        let err = service
+            .query(QueryRequest::new(AggSpec::Average, 2))
+            .unwrap_err();
+        assert!(err.is_source_loss(), "got {err:?}");
+        assert_eq!(
+            service.metrics().source_faults,
+            faults_at_trip,
+            "open breaker rejects without re-probing the dead source"
+        );
     }
 }

@@ -39,6 +39,7 @@ struct Args {
     save: Option<String>,
     load: Option<String>,
     store_backend: String,
+    connect: Option<String>,
     trace: Option<String>,
 }
 
@@ -68,6 +69,7 @@ impl Default for Args {
             save: None,
             load: None,
             store_backend: "auto".into(),
+            connect: None,
             trace: None,
         }
     }
@@ -114,6 +116,15 @@ STORAGE (the on-disk columnar tier, see fagin-store):
   --store-backend auto | mmap | in-memory                 [default: auto]
                   how --load serves the stripes: mmap = zero-copy mapped
                   pages, in-memory = portable decode into owned memory
+
+REMOTE (the shard-server transport, see fagin-remote):
+  --connect <a>   serve the query from a fagin-shardd shard at HOST:PORT
+                  instead of a local workload (--workload/--n/--m/--seed
+                  are ignored; --save/--load do not apply). Single-query
+                  mode runs the algorithm client-side over the remote
+                  middleware; batch mode (--queries) drives a
+                  remote-backed TopKService. Answers and access counts
+                  must match a local run over the same store bytes
 
 OBSERVABILITY (the flight recorder, see fagin-obs):
   --trace <f>     dump the run's flight record to <f> as Chrome-trace
@@ -200,6 +211,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--save" => args.save = Some(value),
             "--load" => args.load = Some(value),
             "--store-backend" => args.store_backend = value,
+            "--connect" => args.connect = Some(value),
             "--workers" => {
                 args.workers = parse_usize(&value)?;
                 if args.workers == 0 {
@@ -284,6 +296,7 @@ fn build_algorithm(
     m: usize,
     agg: &dyn Aggregation,
     costs: &CostModel,
+    distinct: bool,
 ) -> Result<AlgoChoice, String> {
     let restricted = z.len() < m;
     let default_policy = if restricted {
@@ -299,7 +312,7 @@ fn build_algorithm(
                 sorted_lists: z.iter().copied().collect(),
                 random_access: true,
                 require_grades: true,
-                distinctness: a.workload == "distinct",
+                distinctness: distinct,
             };
             // The planner threads the batch into its choice when the
             // chosen algorithm has a batched drive loop (TA/TA_Z/NRA/CA)
@@ -456,19 +469,31 @@ fn parse_query_line(line: &str, base: &QueryRequest) -> Result<QueryRequest, Str
     Ok(req)
 }
 
-/// Batch mode: feed the query file through a [`TopKService`] and report
-/// aggregate throughput and cache behavior.
+/// The service configuration encoded by the CLI flags, shared by local
+/// (`--queries`) and remote (`--connect --queries`) batch modes.
+fn service_config(args: &Args) -> ServiceConfig {
+    let mut config = ServiceConfig::default()
+        .with_workers(args.workers)
+        .with_queue_cap(args.queue_cap);
+    if args.no_cache {
+        config = config.without_cache();
+    }
+    config
+}
+
+/// Batch mode: feed the query file through a [`TopKService`] — local or
+/// remote-backed — and report aggregate throughput and cache behavior.
 fn run_service_batch(
     args: &Args,
-    db: Database,
+    service: &TopKService,
     z: &[usize],
     path: &str,
-    workload: &str,
+    header: &str,
     serving: &str,
 ) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read queries file: {e}"))?;
-    let base = base_request(args, z, db.num_lists())?;
+    let base = base_request(args, z, service.num_lists())?;
     let requests: Vec<(usize, QueryRequest)> = text
         .lines()
         .enumerate()
@@ -491,17 +516,8 @@ fn run_service_batch(
         );
     }
 
-    let n = db.num_objects();
-    let m = db.num_lists();
-    let mut config = ServiceConfig::default()
-        .with_workers(args.workers)
-        .with_queue_cap(args.queue_cap);
-    if args.no_cache {
-        config = config.without_cache();
-    }
-    let service = TopKService::new(std::sync::Arc::new(db), config);
     println!(
-        "service: {} workers, queue cap {}, cache {} | workload {workload} (N={n}, m={m}) | serving: {serving}",
+        "service: {} workers, queue cap {}, cache {} | {header} | serving: {serving}",
         args.workers,
         args.queue_cap,
         if args.no_cache { "off" } else { "on" },
@@ -616,111 +632,36 @@ fn run_service_batch(
     Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let Some(args) = parse_args()? else {
-        println!("{HELP}");
-        return Ok(());
-    };
-    let costs = CostModel::new(args.c_s, args.c_r);
-    let (db, z, workload, serving) = acquire_database(&args)?;
-    if let Some(path) = &args.save {
-        let summary = StoreWriter::write(&db, Path::new(path))
-            .map_err(|e| format!("cannot save store {path}: {e}"))?;
-        println!(
-            "saved store: {path} ({} bytes, N={}, m={})",
-            summary.file_len, summary.n, summary.m
-        );
+/// The anytime trigger set, if any `--rounds`/`--time-limit`/
+/// `--cost-limit` flag asked for interruptible execution. The deadline is
+/// anchored here so parse/build time never eats into the user's budget.
+fn anytime_config(args: &Args, costs: CostModel) -> Option<AnytimeConfig> {
+    if args.rounds.is_none() && args.time_limit_ms.is_none() && args.cost_limit.is_none() {
+        return None;
     }
-    if let Some(path) = args.queries.clone() {
-        return run_service_batch(&args, db, &z, &path, &workload, serving);
+    let mut cfg = AnytimeConfig::new();
+    if let Some(rounds) = args.rounds {
+        cfg = cfg.with_round_cap(rounds);
     }
-    let agg = build_aggregation(&args.agg)?;
-    let (algo, policy, rationale) =
-        build_algorithm(&args, &z, db.num_lists(), agg.as_ref(), &costs)?;
+    if let Some(ms) = args.time_limit_ms {
+        cfg = cfg.with_deadline(std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    }
+    if let Some(limit) = args.cost_limit {
+        cfg = cfg.with_cost_watermark(costs, limit);
+    }
+    Some(cfg)
+}
 
-    let provenance = if args.load.is_some() {
-        String::new()
-    } else {
-        format!(", seed={}", args.seed)
-    };
-    println!(
-        "workload: {} (N={}, m={}{provenance}) | serving: {serving}",
-        workload,
-        db.num_objects(),
-        db.num_lists(),
-    );
-    println!(
-        "query: top-{} under {} | algorithm: {} | c_S={}, c_R={}",
-        args.k,
-        agg.name(),
-        algo.name(),
-        args.c_s,
-        args.c_r
-    );
-    for line in &rationale {
-        println!("planner: {line}");
-    }
-
-    let interruptible =
-        args.rounds.is_some() || args.time_limit_ms.is_some() || args.cost_limit.is_some();
-    let mut session = Session::with_policy(&db, policy);
-    if args.trace.is_some() {
-        let mut rec = FlightRecorder::new(65_536);
-        rec.set_query(1);
-        rec.record(EventKind::Admitted, args.k as u32, 0);
-        session.attach_recorder(rec);
-    }
-    let start = std::time::Instant::now();
-    let out = if interruptible {
-        // The deadline is anchored here so parse/build time never eats
-        // into the user's budget.
-        let mut cfg = AnytimeConfig::new();
-        if let Some(rounds) = args.rounds {
-            cfg = cfg.with_round_cap(rounds);
-        }
-        if let Some(ms) = args.time_limit_ms {
-            cfg =
-                cfg.with_deadline(std::time::Instant::now() + std::time::Duration::from_millis(ms));
-        }
-        if let Some(limit) = args.cost_limit {
-            cfg = cfg.with_cost_watermark(costs, limit);
-        }
-        algo.run_anytime(
-            &mut session,
-            agg.as_ref(),
-            args.k,
-            &cfg,
-            &mut RunScratch::new(),
-        )
-    } else {
-        algo.run(&mut session, agg.as_ref(), args.k)
-    }
-    .map_err(|e| format!("query failed: {e}"))?;
-    let elapsed = start.elapsed();
-
-    if let Some(path) = &args.trace {
-        if let Some(rec) = session.recorder_mut() {
-            let now = rec.now_nanos();
-            rec.push(TraceEvent {
-                nanos: now,
-                dur_nanos: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
-                count: out.stats.total(),
-                query: 1,
-                detail: 0,
-                kind: EventKind::Done,
-            });
-            let dropped = rec.dropped();
-            let events = rec.to_vec();
-            std::fs::write(path, fagin_topk::obs::chrome::render(&events))
-                .map_err(|e| format!("cannot write trace {path}: {e}"))?;
-            print!("trace: {} events -> {path}", events.len());
-            if dropped > 0 {
-                print!(" ({dropped} oldest dropped: ring full)");
-            }
-            println!();
-        }
-    }
-
+/// Prints the answer block — anytime status, ranked items, access and
+/// round accounting — identically for local and remote runs, so loopback
+/// smoke checks can diff the lines byte-for-byte.
+fn report_answer(
+    args: &Args,
+    costs: &CostModel,
+    out: &TopKOutput,
+    elapsed: std::time::Duration,
+    interruptible: bool,
+) {
     if out.metrics.halt.is_interrupted() {
         println!(
             "anytime: interrupted ({:?}) — best certified answer, guarantee θ̂ = {:.6}",
@@ -764,6 +705,177 @@ fn run() -> Result<(), String> {
         out.metrics.peak_buffer,
         elapsed
     );
+}
+
+/// `--connect` mode: the query is served by a `fagin-shardd` shard over
+/// the length-prefixed TCP protocol. Single-query mode runs the algorithm
+/// client-side with the shard as its middleware; batch mode drives a
+/// remote-backed [`TopKService`]. Either way the answers (and, with
+/// healthy links, the access counts) are byte-identical to a local run
+/// over the same store bytes.
+fn run_remote(args: &Args, addr: &str) -> Result<(), String> {
+    if args.save.is_some() || args.load.is_some() {
+        return Err("--connect serves from a remote shard: --save/--load do not apply".into());
+    }
+    let costs = CostModel::new(args.c_s, args.c_r);
+    let mut remote =
+        RemoteSource::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let info = remote.info();
+    let (n, m) = (info.objects, info.lists);
+    let z: Vec<usize> = (0..m).collect();
+
+    if let Some(path) = args.queries.clone() {
+        drop(remote);
+        let service = TopKService::connect(addr, service_config(args))
+            .map_err(|e| format!("cannot connect service to {addr}: {e}"))?;
+        let header = format!("shard {addr} (N={n}, m={m})");
+        return run_service_batch(args, &service, &z, &path, &header, "remote");
+    }
+
+    let agg = build_aggregation(&args.agg)?;
+    let (algo, policy, rationale) =
+        build_algorithm(args, &z, m, agg.as_ref(), &costs, info.distinct)?;
+    remote.reset(policy);
+    if args.trace.is_some() {
+        println!("note: --trace ignored with --connect (traces record local sessions)");
+    }
+    println!("workload: shard {addr} (N={n}, m={m}) | serving: remote");
+    println!(
+        "query: top-{} under {} | algorithm: {} | c_S={}, c_R={}",
+        args.k,
+        agg.name(),
+        algo.name(),
+        args.c_s,
+        args.c_r
+    );
+    for line in &rationale {
+        println!("planner: {line}");
+    }
+
+    let cfg = anytime_config(args, costs);
+    let start = std::time::Instant::now();
+    let out = match &cfg {
+        Some(cfg) => algo.run_anytime(
+            &mut remote,
+            agg.as_ref(),
+            args.k,
+            cfg,
+            &mut RunScratch::new(),
+        ),
+        None => algo.run(&mut remote, agg.as_ref(), args.k),
+    }
+    .map_err(|e| format!("query failed: {e}"))?;
+    let elapsed = start.elapsed();
+    report_answer(args, &costs, &out, elapsed, cfg.is_some());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = parse_args()? else {
+        println!("{HELP}");
+        return Ok(());
+    };
+    if let Some(addr) = args.connect.clone() {
+        return run_remote(&args, &addr);
+    }
+    let costs = CostModel::new(args.c_s, args.c_r);
+    let (db, z, workload, serving) = acquire_database(&args)?;
+    if let Some(path) = &args.save {
+        let summary = StoreWriter::write(&db, Path::new(path))
+            .map_err(|e| format!("cannot save store {path}: {e}"))?;
+        println!(
+            "saved store: {path} ({} bytes, N={}, m={})",
+            summary.file_len, summary.n, summary.m
+        );
+    }
+    if let Some(path) = args.queries.clone() {
+        let header = format!(
+            "workload {workload} (N={}, m={})",
+            db.num_objects(),
+            db.num_lists()
+        );
+        let service = TopKService::new(std::sync::Arc::new(db), service_config(&args));
+        return run_service_batch(&args, &service, &z, &path, &header, serving);
+    }
+    let agg = build_aggregation(&args.agg)?;
+    let (algo, policy, rationale) = build_algorithm(
+        &args,
+        &z,
+        db.num_lists(),
+        agg.as_ref(),
+        &costs,
+        args.workload == "distinct",
+    )?;
+
+    let provenance = if args.load.is_some() {
+        String::new()
+    } else {
+        format!(", seed={}", args.seed)
+    };
+    println!(
+        "workload: {} (N={}, m={}{provenance}) | serving: {serving}",
+        workload,
+        db.num_objects(),
+        db.num_lists(),
+    );
+    println!(
+        "query: top-{} under {} | algorithm: {} | c_S={}, c_R={}",
+        args.k,
+        agg.name(),
+        algo.name(),
+        args.c_s,
+        args.c_r
+    );
+    for line in &rationale {
+        println!("planner: {line}");
+    }
+
+    let cfg = anytime_config(&args, costs);
+    let mut session = Session::with_policy(&db, policy);
+    if args.trace.is_some() {
+        let mut rec = FlightRecorder::new(65_536);
+        rec.set_query(1);
+        rec.record(EventKind::Admitted, args.k as u32, 0);
+        session.attach_recorder(rec);
+    }
+    let start = std::time::Instant::now();
+    let out = match &cfg {
+        Some(cfg) => algo.run_anytime(
+            &mut session,
+            agg.as_ref(),
+            args.k,
+            cfg,
+            &mut RunScratch::new(),
+        ),
+        None => algo.run(&mut session, agg.as_ref(), args.k),
+    }
+    .map_err(|e| format!("query failed: {e}"))?;
+    let elapsed = start.elapsed();
+
+    if let Some(path) = &args.trace {
+        if let Some(rec) = session.recorder_mut() {
+            let now = rec.now_nanos();
+            rec.push(TraceEvent {
+                nanos: now,
+                dur_nanos: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                count: out.stats.total(),
+                query: 1,
+                detail: 0,
+                kind: EventKind::Done,
+            });
+            let dropped = rec.dropped();
+            let events = rec.to_vec();
+            std::fs::write(path, fagin_topk::obs::chrome::render(&events))
+                .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+            print!("trace: {} events -> {path}", events.len());
+            if dropped > 0 {
+                print!(" ({dropped} oldest dropped: ring full)");
+            }
+            println!();
+        }
+    }
+
+    report_answer(&args, &costs, &out, elapsed, cfg.is_some());
     Ok(())
 }
 

@@ -20,7 +20,10 @@
 //! * [`serve`] — the concurrent multi-query service with its
 //!   threshold-aware result cache, admission control and metrics;
 //! * [`store`] — the on-disk columnar storage tier: versioned,
-//!   checksummed stripe files served zero-copy through mmap.
+//!   checksummed stripe files served zero-copy through mmap;
+//! * [`remote`] — the fault-tolerant remote-source tier: the shard-server
+//!   TCP transport, deterministic fault injection, and the retry /
+//!   circuit-breaker resilience layer.
 //!
 //! The `prelude` brings the common types into scope:
 //!
@@ -42,6 +45,7 @@
 pub use fagin_core as core;
 pub use fagin_middleware as middleware;
 pub use fagin_obs as obs;
+pub use fagin_remote as remote;
 pub use fagin_serve as serve;
 pub use fagin_store as store;
 pub use fagin_workloads as workloads;
@@ -68,6 +72,11 @@ pub mod prelude {
         SlotTable, SortedAccessSet, SubsystemMiddleware,
     };
     pub use fagin_obs::{EventKind, FlightRecorder, Histogram, TraceEvent};
+    pub use fagin_remote::{
+        BreakerConfig, BreakerState, CircuitBreaker, ConnectError, FaultInjector, FaultKind,
+        FaultPlan, FaultStats, RemoteSource, Resilient, RetryPolicy, ServerChaos, ServerHandle,
+        ShardInfo, ShardServer,
+    };
     pub use fagin_serve::{
         AggSpec, AnswerSource, QueryRequest, QueryResponse, QueryTicket, ResultCache, ServeError,
         ServiceConfig, ServiceMetrics, SlowQuery, TopKService,

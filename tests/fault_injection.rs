@@ -1,0 +1,186 @@
+//! Chaos suite: seeded fault schedules driven through TA / NRA / CA under
+//! the full resilience stack (fault injector → retry/backoff → circuit
+//! breakers). Every run must end in exactly one of three states — an
+//! **exact** answer, a **certified θ̂** answer with an interrupted halt
+//! reason, or a **typed error** — with zero panics, and the fault-plane
+//! counters must account for every retry:
+//! `faults == retries + lost_conversions`.
+
+use fagin_topk::prelude::*;
+use proptest::prelude::*;
+
+fn resilient_over(
+    db: &Database,
+    plan: FaultPlan,
+    retries: u32,
+) -> Resilient<FaultInjector<Session<'_>>> {
+    Resilient::with_policy(
+        FaultInjector::new(Session::with_policy(db, AccessPolicy::unrestricted()), plan),
+        RetryPolicy::instant(retries),
+        BreakerConfig::default(),
+    )
+}
+
+fn algorithms() -> Vec<Box<dyn TopKAlgorithm>> {
+    vec![
+        Box::new(Ta::new()),
+        Box::new(Nra::new()),
+        Box::new(Ca::new(2)),
+    ]
+}
+
+/// Books the run's ending against the trichotomy and returns a label for
+/// diagnostics. Panics (= test failure) on any fourth state.
+fn assert_trichotomy(
+    db: &Database,
+    agg: &dyn Aggregation,
+    k: usize,
+    name: &str,
+    result: Result<TopKOutput, AlgoError>,
+) -> &'static str {
+    match result {
+        Ok(out) => {
+            let theta = out.metrics.approximation_guarantee;
+            assert!(
+                theta.is_finite() && theta >= 1.0,
+                "{name}: uncertified guarantee {theta}"
+            );
+            if theta == 1.0 && !out.metrics.halt.is_interrupted() {
+                assert!(
+                    oracle::is_valid_top_k(db, agg, k, &out.objects()),
+                    "{name}: exact answer is wrong"
+                );
+                "exact"
+            } else {
+                assert!(
+                    out.metrics.halt.is_interrupted(),
+                    "{name}: θ̂ = {theta} without an interrupted halt ({:?})",
+                    out.metrics.halt
+                );
+                assert!(
+                    oracle::is_valid_theta_approximation(db, agg, k, theta, &out.objects()),
+                    "{name}: degraded answer violates its certificate θ̂ = {theta}"
+                );
+                "certified-degraded"
+            }
+        }
+        Err(AlgoError::Access(e)) => {
+            assert!(
+                e.is_source_loss(),
+                "{name}: transient error leaked through the resilience layer: {e:?}"
+            );
+            "typed-error"
+        }
+        Err(other) => panic!("{name}: non-access failure under chaos: {other:?}"),
+    }
+}
+
+/// One seeded schedule through one algorithm, in both exact and anytime
+/// modes, checking the trichotomy and the retry-accounting invariant.
+fn chaos_run(
+    db: &Database,
+    algo: &dyn TopKAlgorithm,
+    agg: &dyn Aggregation,
+    k: usize,
+    plan: &FaultPlan,
+) {
+    // Exact mode: the run either survives (retries absorb the faults) and
+    // is exactly right, or fails with a typed source loss.
+    let mut mw = resilient_over(db, plan.clone(), 2);
+    let result = algo.run(&mut mw, agg, k);
+    let fs = mw.fault_stats();
+    assert_eq!(
+        fs.faults(),
+        fs.retries() + fs.lost_conversions(),
+        "{}: unaccounted faults (exact mode)",
+        algo.name()
+    );
+    assert_trichotomy(db, agg, k, &algo.name(), result);
+
+    // Anytime mode on a fresh stack: source loss mid-run may now degrade
+    // to the best certified snapshot instead of erroring.
+    let mut mw = resilient_over(db, plan.clone(), 2);
+    let mut scratch = RunScratch::new();
+    let result = algo.run_anytime(&mut mw, agg, k, &AnytimeConfig::new(), &mut scratch);
+    let fs = mw.fault_stats();
+    assert_eq!(
+        fs.faults(),
+        fs.retries() + fs.lost_conversions(),
+        "{}: unaccounted faults (anytime mode)",
+        algo.name()
+    );
+    assert_trichotomy(db, agg, k, &algo.name(), result);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Seeded chaos schedules: every (seed, rate) pair drives all three
+    /// algorithms and both aggregations to a trichotomy-conforming end.
+    #[test]
+    fn seeded_schedules_end_in_the_trichotomy(
+        seed in any::<u64>(),
+        rate in 0u32..120,
+        k in 1usize..4,
+    ) {
+        let db = fagin_topk::workloads::random::uniform_distinct(24, 3, seed ^ 0xD1CE);
+        let plan = FaultPlan::seeded(seed, rate, 8192);
+        for algo in algorithms() {
+            chaos_run(&db, algo.as_ref(), &Min, k, &plan);
+            chaos_run(&db, algo.as_ref(), &Average, k, &plan);
+        }
+    }
+}
+
+/// With no faults scheduled, the full resilience stack is a transparent
+/// pass-through: answers and access counts are identical to a bare
+/// session, and the fault plane records nothing.
+#[test]
+fn empty_plan_is_byte_identical_to_a_bare_session() {
+    let db = fagin_topk::workloads::random::uniform_distinct(48, 3, 7);
+    for algo in algorithms() {
+        for agg in [&Min as &dyn Aggregation, &Average] {
+            let mut bare = Session::with_policy(&db, AccessPolicy::unrestricted());
+            let reference = algo.run(&mut bare, agg, 3).unwrap();
+
+            let mut wrapped = resilient_over(&db, FaultPlan::new(), 3);
+            let shielded = algo.run(&mut wrapped, agg, 3).unwrap();
+
+            assert_eq!(shielded.objects(), reference.objects(), "{}", algo.name());
+            assert_eq!(
+                shielded.stats,
+                reference.stats,
+                "{}: per-list access counts drifted through the stack",
+                algo.name()
+            );
+            let fs = wrapped.fault_stats();
+            assert_eq!((fs.faults(), fs.retries(), fs.trips()), (0, 0, 0));
+        }
+    }
+}
+
+/// A permanently dead list ends every algorithm in the degraded half of
+/// the trichotomy: a certified θ̂ answer (anytime) or a typed loss (exact)
+/// — never a silently wrong answer.
+#[test]
+fn killed_lists_degrade_or_fail_typed_everywhere() {
+    let db = fagin_topk::workloads::random::uniform_distinct(32, 3, 11);
+    for algo in algorithms() {
+        // Let a little progress happen, then kill list 1 outright.
+        let plan = FaultPlan::new().kill_list_from(1, 12);
+        let mut mw = resilient_over(&db, plan.clone(), 1);
+        let mut scratch = RunScratch::new();
+        let result = algo.run_anytime(&mut mw, &Average, 2, &AnytimeConfig::new(), &mut scratch);
+        // Freezing a dead list keeps every bound sound, so any of the
+        // three endings is legal here — what is *illegal* is a wrong
+        // answer, which assert_trichotomy checks against the oracle.
+        let _ended = assert_trichotomy(&db, &Average, 2, &algo.name(), result);
+        let fs = mw.fault_stats();
+        assert!(
+            fs.faults() > 0,
+            "{}: the kill never registered",
+            algo.name()
+        );
+        assert_eq!(fs.faults(), fs.retries() + fs.lost_conversions());
+    }
+}

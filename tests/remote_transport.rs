@@ -1,0 +1,172 @@
+//! Loopback round-trips through the shard-server transport: with faults
+//! disabled, a remote source must be indistinguishable from a local
+//! session — same answers, same per-list access counts, byte for byte.
+//! With the server misbehaving (dropped requests, shutdown mid-run), the
+//! client reconnects idempotently or fails with the typed loss.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use fagin_topk::prelude::*;
+
+fn db() -> Arc<Database> {
+    Arc::new(fagin_topk::workloads::random::uniform_distinct(40, 3, 23))
+}
+
+fn algorithms() -> Vec<Box<dyn TopKAlgorithm>> {
+    vec![
+        Box::new(Ta::new()),
+        Box::new(Nra::new()),
+        Box::new(Ca::new(2)),
+    ]
+}
+
+#[test]
+fn remote_answers_and_access_counts_match_local_byte_for_byte() {
+    let db = db();
+    let server = ShardServer::bind("127.0.0.1:0", Arc::clone(&db))
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let mut remote = RemoteSource::connect(server.addr()).unwrap();
+    let info = remote.info();
+    assert_eq!(info.lists, db.num_lists());
+    assert_eq!(info.objects, db.num_objects());
+    assert_eq!(info.distinct, db.satisfies_distinctness());
+
+    for algo in algorithms() {
+        for agg in [&Min as &dyn Aggregation, &Average] {
+            let mut local = Session::new(&db);
+            let want = algo.run(&mut local, agg, 3).unwrap();
+
+            remote.reset(AccessPolicy::default());
+            let got = algo.run(&mut remote, agg, 3).unwrap();
+
+            assert_eq!(got.objects(), want.objects(), "{}", algo.name());
+            assert_eq!(
+                got.stats,
+                want.stats,
+                "{}: remote access accounting drifted from local",
+                algo.name()
+            );
+            assert_eq!(
+                got.metrics.final_threshold,
+                want.metrics.final_threshold,
+                "{}: thresholds drifted",
+                algo.name()
+            );
+        }
+    }
+    assert_eq!(remote.reconnects(), 0, "no faults, no reconnects");
+    assert!(server.requests() > 0);
+    server.shutdown();
+}
+
+#[test]
+fn dropped_requests_are_survived_by_reconnecting() {
+    let db = db();
+    // The server hangs up on its 3rd and 7th requests; the stateless
+    // protocol makes the retried request idempotent.
+    let chaos = ServerChaos {
+        drop_requests: [3u64, 7u64].into_iter().collect(),
+    };
+    let server = ShardServer::bind_with_chaos("127.0.0.1:0", Arc::clone(&db), chaos)
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let remote = RemoteSource::connect_with(
+        server.addr(),
+        AccessPolicy::default(),
+        Duration::from_secs(2),
+    )
+    .unwrap();
+    let mut resilient =
+        Resilient::with_policy(remote, RetryPolicy::instant(3), BreakerConfig::default());
+
+    let mut local = Session::new(&db);
+    let want = Ta::new().run(&mut local, &Average, 3).unwrap();
+    let got = Ta::new().run(&mut resilient, &Average, 3).unwrap();
+    assert_eq!(got.objects(), want.objects());
+    assert_eq!(
+        got.stats, want.stats,
+        "retried requests must not double-bill accesses"
+    );
+
+    let fs = resilient.fault_stats();
+    assert!(fs.faults() > 0, "the dropped requests never surfaced");
+    assert_eq!(fs.faults(), fs.retries() + fs.lost_conversions());
+    assert!(
+        resilient.inner().reconnects() > 0,
+        "a dropped request forces a reconnect"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn a_dead_server_becomes_a_typed_source_loss() {
+    let db = db();
+    // Request 0 is the connect-time hello, request 1 the warm access;
+    // request 2 is chaos-dropped, forcing a reconnect — against a
+    // listener that will be gone by then.
+    let chaos = ServerChaos {
+        drop_requests: [2u64].into_iter().collect(),
+    };
+    let server = ShardServer::bind_with_chaos("127.0.0.1:0", Arc::clone(&db), chaos)
+        .unwrap()
+        .spawn()
+        .unwrap();
+    let remote = RemoteSource::connect_with(
+        server.addr(),
+        AccessPolicy::default(),
+        Duration::from_millis(200),
+    )
+    .unwrap();
+    let mut resilient =
+        Resilient::with_policy(remote, RetryPolicy::instant(1), BreakerConfig::default());
+    // Warm access while alive, then kill the server for good.
+    assert!(resilient.sorted_next(0).unwrap().is_some());
+    server.shutdown();
+
+    let err = resilient.sorted_next(1).unwrap_err();
+    assert!(err.is_source_loss(), "got {err:?}");
+    let fs = resilient.fault_stats();
+    assert!(fs.faults() > 0);
+    assert_eq!(fs.faults(), fs.retries() + fs.lost_conversions());
+}
+
+#[test]
+fn service_connect_round_trips_against_local_serving() {
+    let db = db();
+    let server = ShardServer::bind("127.0.0.1:0", Arc::clone(&db))
+        .unwrap()
+        .spawn()
+        .unwrap();
+
+    let local = TopKService::new(Arc::clone(&db), ServiceConfig::default());
+    let remote = TopKService::connect(server.addr(), ServiceConfig::default().with_workers(2))
+        .expect("probe and connect");
+    assert!(
+        remote.database().is_none(),
+        "remote services hold no local db"
+    );
+    assert_eq!(remote.num_lists(), db.num_lists());
+
+    for (agg, k) in [(AggSpec::Min, 2), (AggSpec::Average, 4), (AggSpec::Sum, 1)] {
+        let want = local.query(QueryRequest::new(agg, k)).unwrap();
+        let got = remote.query(QueryRequest::new(agg, k)).unwrap();
+        assert_eq!(got.objects(), want.objects(), "{agg:?} k={k}");
+        assert_eq!(
+            got.stats, want.stats,
+            "{agg:?} k={k}: remote serving must bill identical accesses"
+        );
+        // And the remote-backed cache works exactly like the local one.
+        let hit = remote.query(QueryRequest::new(agg, k)).unwrap();
+        assert!(hit.is_cache_hit(), "{agg:?} k={k}");
+        assert_eq!(hit.objects(), want.objects());
+    }
+    let m = remote.metrics();
+    assert_eq!((m.source_faults, m.breaker_trips), (0, 0));
+    server.shutdown();
+}

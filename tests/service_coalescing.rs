@@ -12,6 +12,7 @@
 //!   per-query access statistics as a service sweeping privately.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use fagin_topk::prelude::*;
 
@@ -135,6 +136,80 @@ fn coalesced_rides_actually_happen_under_load() {
         }
     }
     panic!("no query ever coalesced across 50 bursts of 16 identical queries");
+}
+
+/// Regression: a flight whose leader dies of *source loss* must not turn
+/// its followers into a solo-run storm. The shard is down for every
+/// member of the flight alike, so each follower re-running "just to be
+/// sure" would hammer the dead source once per follower. Followers must
+/// fail fast with the leader's typed error and perform zero executions.
+///
+/// The fault plan delays the leader's early accesses (so followers have
+/// time to pile into the flight) and then kills list 0 outright. One
+/// worker per query keeps the burst to a single flight generation (a
+/// queued job arriving after the flight retires would legitimately lead
+/// a fresh run), and the breaker is configured to never trip so breaker
+/// rejections can't mask executions. Every run that actually executes
+/// against the dead list registers at least one fault (and possibly a
+/// couple more — the failure-aware re-plan can lose the dead list's
+/// random access too), so a storm shows at least `BURST` faults; a burst
+/// with fewer proves at least one follower fast-failed without
+/// executing — in practice all of them do and the count stays at the
+/// single leader's 1–3.
+#[test]
+fn a_leader_lost_to_source_loss_fails_its_followers_fast() {
+    const BURST: usize = 8;
+    let db = db(600);
+    // Accesses 0..29 sleep 5 ms each (a slow but healthy source), then
+    // list 0 is dead for good. Each worker has its own injector, so every
+    // led run replays this schedule.
+    let mut plan = FaultPlan::new().kill_list_from(0, 30);
+    for i in 0..30 {
+        plan = plan.fault_at(i, FaultKind::Delay { micros: 5_000 });
+    }
+    let config = ServiceConfig::default()
+        .with_workers(BURST)
+        .with_fault_plan(plan)
+        .with_retry_policy(RetryPolicy::instant(0))
+        // Never trips: breaker rejections would otherwise also fail
+        // queries without faults and blur the execution count.
+        .with_breaker_config(BreakerConfig {
+            trip_after: u32::MAX,
+            probe_after: 1,
+        });
+    let req = QueryRequest::new(AggSpec::Average, 3);
+
+    // Scheduling decides how many followers make it into the flight
+    // before its leader dies, so a single burst can't guarantee any did;
+    // the delayed accesses make it all but certain. Retry a few fresh
+    // bursts, asserting the hard invariants every time, until one shows
+    // fewer faults than queries — proof that at least one follower
+    // fast-failed instead of re-running.
+    for _ in 0..30 {
+        let service = TopKService::new(Arc::clone(&db), config.clone());
+        let tickets: Vec<_> = (0..BURST)
+            .map(|_| service.submit(req.clone()).unwrap())
+            .collect();
+        for t in tickets {
+            let err = t.wait().expect_err("the dead list fails every query");
+            assert!(
+                err.is_source_loss(),
+                "followers must inherit the leader's typed loss, got {err:?}"
+            );
+        }
+        let m = service.metrics();
+        assert_eq!(m.failed as usize, BURST, "every query fails, none hang");
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.breaker_trips, 0, "the breaker was configured off");
+        if (m.source_faults as usize) < BURST {
+            return; // at least one follower fast-failed without executing
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!(
+        "across 30 bursts of {BURST} queries, every query executed against \
+         the dead shard — followers are solo-run-storming"
+    );
 }
 
 #[test]
